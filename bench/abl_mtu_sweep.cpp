@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Ablation: the vRIO channel MTU (Section 4.4's engineering choice).
+ *
+ * MTU 8100 is the largest jumbo size whose TSO fragments (with
+ * headers) pack a full 64KB message into the 17-page SKB budget, so
+ * reassembly is zero-copy.  9000 looks bigger but breaks the budget;
+ * 1500 multiplies the per-message fragment count.  We report the
+ * static page math and measured bulk block-write throughput.
+ */
+#include <cstdio>
+
+#include "common.hpp"
+#include "models/vrio.hpp"
+#include "transport/encap.hpp"
+#include "util/strutil.hpp"
+
+using namespace vrio;
+using models::ModelKind;
+
+namespace {
+
+struct MtuResult
+{
+    double write_mbps;
+    uint64_t copied_bytes;
+};
+
+MtuResult
+bulkWrites(uint32_t mtu)
+{
+    bench::SweepOptions opt;
+    opt.tweak = [mtu](models::ModelConfig &mc) {
+        mc.with_block = true;
+        mc.vrio_mtu = mtu;
+        mc.ramdisk_cfg.capacity_bytes = 64ull << 20;
+    };
+    bench::Experiment exp(ModelKind::Vrio, 1, opt);
+    exp.settle();
+
+    auto &guest = exp.model->guest(0);
+    uint64_t bytes_done = 0;
+    std::function<void(uint64_t)> next = [&](uint64_t sector) {
+        Bytes data(256 * 1024, 0x33);
+        uint64_t nsec = data.size() / virtio::kSectorSize;
+        if (sector + nsec >= guest.blockCapacitySectors())
+            sector = 0;
+        guest.submitBlock(
+            {virtio::BlkType::Out, sector, uint32_t(nsec),
+             std::move(data)},
+            [&, sector, nsec](virtio::BlkStatus s, Bytes) {
+                if (s == virtio::BlkStatus::Ok)
+                    bytes_done += nsec * virtio::kSectorSize;
+                next(sector + nsec);
+            });
+    };
+    next(0);
+    sim::Tick span = sim::Tick(300) * sim::kMillisecond;
+    exp.sim->runUntil(exp.sim->now() + span);
+
+    auto &vm = static_cast<models::VrioModel &>(*exp.model);
+    return {double(bytes_done) * 8.0 / sim::ticksToSeconds(span) / 1e6,
+            vm.hypervisor().copiedBytes()};
+}
+
+} // namespace
+
+int
+main()
+{
+    stats::Table table("Ablation: vRIO channel MTU");
+    table.setHeader({"MTU", "frags/64KB", "SKB pages", "zero-copy",
+                     "write Mbps", "copied bytes"});
+
+    for (uint32_t mtu : {1500u, 4000u, net::kMtuVrioJumbo,
+                         net::kMtuJumboMax}) {
+        uint32_t msg = 64 * 1024;
+        uint32_t mss = net::mssForMtu(mtu);
+        uint32_t frags = (msg + mss - 1) / mss;
+        auto res = bulkWrites(mtu);
+        table.addRow({std::to_string(mtu), std::to_string(frags),
+                      std::to_string(transport::skbPagesNeeded(msg, mtu)),
+                      transport::zeroCopyEligible(msg, mtu) ? "yes"
+                                                            : "no",
+                      strFormat("%.0f", res.write_mbps),
+                      strFormat("%llu",
+                                (unsigned long long)res.copied_bytes)});
+    }
+
+    std::printf("%s\n", table.toString().c_str());
+    std::printf("8100 is the sweet spot: <=17 SKB pages (zero-copy "
+                "reassembly) with near-minimal fragment count; 9000 "
+                "needs 22 pages and falls back to copying.\n");
+    return 0;
+}

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Ablation: the I/O hypervisor's order-preserving steering policy
+ * (Section 4.1) vs a naive round-robin spray, on a synthetic trace.
+ *
+ * Round-robin balances perfectly but lets a device's packets execute
+ * on different workers concurrently, reordering them and forcing
+ * client network stacks to cope; the vRIO policy pins in-flight
+ * devices, preserving order at a small balance cost.
+ */
+#include <cstdio>
+
+#include "iohost/steering.hpp"
+#include "sim/random.hpp"
+#include "stats/table.hpp"
+#include "util/strutil.hpp"
+
+using namespace vrio;
+
+namespace {
+
+struct TraceResult
+{
+    uint64_t reorders = 0;   ///< packets that could bypass a peer
+    double balance = 0;      ///< max/mean worker load
+};
+
+/**
+ * Synthetic trace: packets of D devices arrive in bursts; service
+ * times vary, so packets of one device on *different* workers can
+ * complete out of order.  We count a potential reorder whenever a
+ * packet is placed on a different worker than an earlier in-flight
+ * packet of the same device.
+ */
+TraceResult
+runTrace(bool order_preserving, unsigned workers, unsigned devices,
+         uint64_t packets, uint64_t seed)
+{
+    sim::Random rng(seed);
+    iohost::SteeringPolicy policy(workers);
+    std::vector<uint64_t> load(workers, 0);
+    std::vector<uint64_t> total(workers, 0);
+    unsigned rr = 0;
+
+    struct Flying
+    {
+        uint32_t device;
+        unsigned worker;
+    };
+    std::vector<Flying> flying;
+    std::map<uint32_t, unsigned> last_worker;
+    std::map<uint32_t, uint64_t> inflight_of;
+    TraceResult res;
+
+    for (uint64_t i = 0; i < packets; ++i) {
+        // Drain a few random completions to keep ~8 in flight.
+        while (flying.size() > 8) {
+            size_t idx = rng.uniformInt(0, flying.size() - 1);
+            Flying f = flying[idx];
+            flying.erase(flying.begin() + idx);
+            --load[f.worker];
+            --inflight_of[f.device];
+            if (order_preserving)
+                policy.complete(f.device, f.worker);
+        }
+        uint32_t dev = uint32_t(rng.uniformInt(0, devices - 1));
+        unsigned w;
+        if (order_preserving) {
+            w = policy.steer(dev);
+        } else {
+            w = rr++ % workers;
+        }
+        if (inflight_of[dev] > 0 && w != last_worker[dev])
+            ++res.reorders;
+        ++inflight_of[dev];
+        last_worker[dev] = w;
+        ++load[w];
+        ++total[w];
+        flying.push_back({dev, w});
+    }
+
+    uint64_t max_load = 0, sum = 0;
+    for (unsigned w = 0; w < workers; ++w) {
+        max_load = std::max(max_load, total[w]);
+        sum += total[w];
+    }
+    res.balance = double(max_load) / (double(sum) / workers);
+    return res;
+}
+
+} // namespace
+
+int
+main()
+{
+    stats::Table table("Ablation: steering policy (4 workers, 100K "
+                       "packets)");
+    table.setHeader({"devices", "policy", "potential reorders",
+                     "balance (max/mean)"});
+
+    for (unsigned devices : {2u, 8u, 64u}) {
+        for (bool preserve : {true, false}) {
+            auto res = runTrace(preserve, 4, devices, 100000, 7);
+            table.addRow({std::to_string(devices),
+                          preserve ? "order-preserving" : "round-robin",
+                          std::to_string(res.reorders),
+                          strFormat("%.3f", res.balance)});
+        }
+    }
+
+    std::printf("%s\n", table.toString().c_str());
+    std::printf("the vRIO policy never splits a device's in-flight "
+                "packets across workers (0 reorders) at a modest "
+                "balance cost when devices are few.\n");
+    return 0;
+}

@@ -1,0 +1,181 @@
+#include "common.hpp"
+
+#include "util/logging.hpp"
+
+namespace vrio::bench {
+
+using models::ModelConfig;
+using models::ModelKind;
+using sim::kMillisecond;
+
+Experiment::Experiment(ModelKind kind, unsigned n_vms,
+                       const SweepOptions &opt)
+{
+    core::TestbedOptions options;
+    options.vmhosts = opt.vmhosts;
+    options.sidecores = opt.sidecores;
+    options.generators = opt.generators;
+    options.costs = opt.costs;
+    options.seed = opt.seed;
+    options.configure = opt.tweak;
+    testbed = std::make_unique<core::Testbed>(kind, n_vms, options);
+    sim = &testbed->simulation();
+    rack = &testbed->rack();
+    model = &testbed->model();
+}
+
+void
+Experiment::settle()
+{
+    testbed->settle();
+}
+
+void
+mergeHistogram(stats::Histogram &into, const stats::Histogram &from)
+{
+    for (double v : from.raw())
+        into.add(v);
+}
+
+double
+busyCycles(const std::vector<const sim::Resource *> &resources, double ghz)
+{
+    double cycles = 0;
+    for (const auto *res : resources) {
+        cycles +=
+            sim::ticksToSeconds(res->busyTicks()) * ghz * 1e9;
+    }
+    return cycles;
+}
+
+RrResult
+runNetperfRr(ModelKind kind, unsigned n_vms, const SweepOptions &opt)
+{
+    Experiment exp(kind, n_vms, opt);
+    exp.settle();
+
+    std::vector<std::unique_ptr<workloads::NetperfRr>> wls;
+    for (unsigned v = 0; v < n_vms; ++v) {
+        auto &gen = exp.rack->generator(v % opt.generators);
+        unsigned session = gen.newSession();
+        wls.push_back(std::make_unique<workloads::NetperfRr>(
+            gen, session, exp.model->guest(v),
+            workloads::NetperfRr::Config{}));
+        wls.back()->start();
+    }
+
+    exp.sim->runUntil(exp.sim->now() + opt.warmup);
+    for (auto &wl : wls)
+        wl->resetStats();
+    auto io_before = exp.model->ioResources();
+    std::vector<uint64_t> contended_before, completed_before;
+    for (const auto *res : io_before) {
+        contended_before.push_back(res->contendedJobs());
+        completed_before.push_back(res->completed());
+    }
+
+    exp.sim->runUntil(exp.sim->now() + opt.measure);
+
+    RrResult out;
+    for (auto &wl : wls) {
+        mergeHistogram(out.latency_us, wl->latencyUs());
+        out.transactions += wl->transactions();
+    }
+    auto io_after = exp.model->ioResources();
+    uint64_t contended = 0, completed = 0;
+    for (size_t i = 0; i < io_after.size(); ++i) {
+        contended += io_after[i]->contendedJobs() - contended_before[i];
+        completed += io_after[i]->completed() - completed_before[i];
+    }
+    out.contended_fraction =
+        completed > 0 ? double(contended) / double(completed) : 0.0;
+    return out;
+}
+
+StreamResult
+runNetperfStream(ModelKind kind, unsigned n_vms, const SweepOptions &opt)
+{
+    Experiment exp(kind, n_vms, opt);
+    exp.settle();
+
+    std::vector<std::unique_ptr<workloads::NetperfStream>> wls;
+    for (unsigned v = 0; v < n_vms; ++v) {
+        auto &gen = exp.rack->generator(v % opt.generators);
+        unsigned session = gen.newSession();
+        wls.push_back(std::make_unique<workloads::NetperfStream>(
+            gen, session, exp.model->guest(v), opt.costs,
+            workloads::NetperfStream::Config{}));
+        wls.back()->start();
+    }
+
+    exp.sim->runUntil(exp.sim->now() + opt.warmup);
+    for (auto &wl : wls)
+        wl->resetStats();
+
+    // Cycle accounting for Fig. 10: guest vCPUs plus I/O cores.
+    double cycles_before = 0;
+    for (unsigned v = 0; v < n_vms; ++v) {
+        cycles_before += busyCycles(
+            {&exp.model->guest(v).vm().vcpu().resource()},
+            opt.costs.guest_ghz);
+    }
+    double io_ghz = (kind == ModelKind::Vrio ||
+                     kind == ModelKind::VrioNoPoll)
+                        ? opt.costs.iohost_ghz
+                        : opt.costs.guest_ghz;
+    cycles_before += busyCycles(exp.model->ioResources(), io_ghz);
+
+    exp.sim->runUntil(exp.sim->now() + opt.measure);
+
+    StreamResult out;
+    uint64_t bytes = 0;
+    for (auto &wl : wls) {
+        out.total_gbps += wl->throughputGbps(*exp.sim);
+        bytes += wl->bytesReceived();
+    }
+
+    double cycles_after = 0;
+    for (unsigned v = 0; v < n_vms; ++v) {
+        cycles_after += busyCycles(
+            {&exp.model->guest(v).vm().vcpu().resource()},
+            opt.costs.guest_ghz);
+    }
+    cycles_after += busyCycles(exp.model->ioResources(), io_ghz);
+
+    double messages = double(bytes) / 64.0;
+    out.cycles_per_msg =
+        messages > 0 ? (cycles_after - cycles_before) / messages : 0.0;
+    return out;
+}
+
+TpsResult
+runRequestResponse(ModelKind kind, unsigned n_vms,
+                   workloads::RequestResponseServer::Config wcfg,
+                   const SweepOptions &opt)
+{
+    Experiment exp(kind, n_vms, opt);
+    exp.settle();
+
+    std::vector<std::unique_ptr<workloads::RequestResponseServer>> wls;
+    for (unsigned v = 0; v < n_vms; ++v) {
+        auto &gen = exp.rack->generator(v % opt.generators);
+        unsigned session = gen.newSession();
+        wls.push_back(std::make_unique<workloads::RequestResponseServer>(
+            gen, session, exp.model->guest(v), wcfg));
+        wls.back()->start();
+    }
+
+    exp.sim->runUntil(exp.sim->now() + opt.warmup);
+    for (auto &wl : wls)
+        wl->resetStats();
+    exp.sim->runUntil(exp.sim->now() + opt.measure);
+
+    TpsResult out;
+    for (auto &wl : wls) {
+        out.total_tps += wl->throughputTps(*exp.sim);
+        mergeHistogram(out.latency_us, wl->latencyUs());
+    }
+    return out;
+}
+
+} // namespace vrio::bench

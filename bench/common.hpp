@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Shared experiment harness for the table/figure reproduction
+ * binaries.  Each bench builds a rack + model + workloads, warms up,
+ * measures, and prints the paper's rows via stats::Table.
+ */
+#ifndef VRIO_BENCH_COMMON_HPP
+#define VRIO_BENCH_COMMON_HPP
+
+#include <memory>
+#include <vector>
+
+#include "core/testbed.hpp"
+#include "models/io_model.hpp"
+#include "stats/histogram.hpp"
+#include "stats/table.hpp"
+#include "workloads/filebench.hpp"
+#include "workloads/netperf.hpp"
+#include "workloads/request_response.hpp"
+
+namespace vrio::bench {
+
+struct SweepOptions
+{
+    sim::Tick warmup = sim::Tick(30) * sim::kMillisecond;
+    sim::Tick measure = sim::Tick(250) * sim::kMillisecond;
+    unsigned vmhosts = 1;
+    /** Per-VMhost sidecores (Elvis) / total IOhost workers (vRIO). */
+    unsigned sidecores = 1;
+    /** Generators in the rack; VM v drives generator v % generators. */
+    unsigned generators = 1;
+    models::CostParams costs{};
+    uint64_t seed = 42;
+    /** Extra knobs forwarded to the model config. */
+    std::function<void(models::ModelConfig &)> tweak;
+};
+
+/** A complete experiment instance (thin wrapper over core::Testbed
+ *  exposing pointer-style members the bench code uses). */
+struct Experiment
+{
+    std::unique_ptr<core::Testbed> testbed;
+    sim::Simulation *sim = nullptr;
+    models::Rack *rack = nullptr;
+    models::IoModel *model = nullptr;
+
+    Experiment(models::ModelKind kind, unsigned n_vms,
+               const SweepOptions &opt);
+
+    /** Run the vRIO control handshake etc. */
+    void settle();
+};
+
+struct RrResult
+{
+    stats::Histogram latency_us; ///< merged across all VMs
+    uint64_t transactions = 0;
+    /** Fraction of IOhost packets that waited for a worker (Fig. 8). */
+    double contended_fraction = 0;
+};
+
+/** Netperf UDP RR, one session per VM, closed loop. */
+RrResult runNetperfRr(models::ModelKind kind, unsigned n_vms,
+                      const SweepOptions &opt);
+
+struct StreamResult
+{
+    double total_gbps = 0;
+    /** Guest+host cycles consumed per 64B message (Fig. 10). */
+    double cycles_per_msg = 0;
+};
+
+/** Netperf TCP stream (64B messages), guest -> generator. */
+StreamResult runNetperfStream(models::ModelKind kind, unsigned n_vms,
+                              const SweepOptions &opt);
+
+struct TpsResult
+{
+    double total_tps = 0;
+    stats::Histogram latency_us;
+};
+
+/** Apache / memcached style macrobenchmark. */
+TpsResult runRequestResponse(models::ModelKind kind, unsigned n_vms,
+                             workloads::RequestResponseServer::Config wcfg,
+                             const SweepOptions &opt);
+
+/** Merge a histogram's samples into another. */
+void mergeHistogram(stats::Histogram &into, const stats::Histogram &from);
+
+/** Busy cycles consumed by a set of core resources (at ghz). */
+double busyCycles(const std::vector<const sim::Resource *> &resources,
+                  double ghz);
+
+} // namespace vrio::bench
+
+#endif // VRIO_BENCH_COMMON_HPP

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Reproduces Fig. 1: relative cost vs relative added capability for
+ * adjacent CPU and NIC upgrades.  Shape target: every CPU point lies
+ * below the break-even diagonal (compute upgrades carry a premium);
+ * every NIC point lies above it (bandwidth outpaces cost).
+ */
+#include <cstdio>
+
+#include "cost/pricing.hpp"
+#include "stats/table.hpp"
+#include "util/strutil.hpp"
+
+using namespace vrio;
+
+int
+main()
+{
+    stats::Table table("Figure 1: added hardware vs added cost "
+                       "(adjacent upgrades)");
+    table.setHeader({"kind", "upgrade", "cost x", "gain y",
+                     "vs diagonal"});
+
+    unsigned cpu_below = 0, cpu_total = 0;
+    for (const auto &pt : cost::cpuUpgradePoints()) {
+        ++cpu_total;
+        cpu_below += pt.gain_ratio < pt.cost_ratio;
+        table.addRow({"CPU", pt.from + " -> " + pt.to,
+                      strFormat("%.2f", pt.cost_ratio),
+                      strFormat("%.2f", pt.gain_ratio),
+                      pt.gain_ratio < pt.cost_ratio ? "below" : "above"});
+    }
+    unsigned nic_above = 0, nic_total = 0;
+    for (const auto &pt : cost::nicUpgradePoints()) {
+        ++nic_total;
+        nic_above += pt.gain_ratio > pt.cost_ratio;
+        table.addRow({"NIC", pt.from + " -> " + pt.to,
+                      strFormat("%.2f", pt.cost_ratio),
+                      strFormat("%.2f", pt.gain_ratio),
+                      pt.gain_ratio > pt.cost_ratio ? "above" : "below"});
+    }
+
+    std::printf("%s\n", table.toString().c_str());
+    std::printf("CPU points below the break-even diagonal: %u/%u\n",
+                cpu_below, cpu_total);
+    std::printf("NIC points above the break-even diagonal: %u/%u\n",
+                nic_above, nic_total);
+    std::printf("paper shape: all CPU points below, all NIC points "
+                "above the diagonal.\n");
+    return 0;
+}

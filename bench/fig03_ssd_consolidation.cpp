@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Reproduces Fig. 3: vRIO rack price relative to Elvis under
+ * different PCIe-SSD consolidation ratios.  Shape target: savings
+ * between ~8%% (no drive reduction) and ~38%% (full consolidation),
+ * monotone in the consolidation ratio.
+ */
+#include <cstdio>
+
+#include "cost/rack_cost.hpp"
+#include "stats/table.hpp"
+#include "util/strutil.hpp"
+
+using namespace vrio;
+
+int
+main()
+{
+    stats::Table table("Figure 3: vRIO price relative to Elvis vs SSD "
+                       "consolidation ratio");
+    table.setHeader({"setup", "ratio", "drive", "elvis $", "vrio $",
+                     "relative"});
+
+    double min_saving = 1.0, max_saving = 0.0;
+    for (unsigned n : {3u, 6u}) {
+        for (bool big : {false, true}) {
+            for (unsigned v = n; v >= 1; --v) {
+                auto cmp = cost::ssdConsolidation(n, v, big);
+                double rel = cmp.relative();
+                min_saving = std::min(min_saving, 1.0 - rel);
+                max_saving = std::max(max_saving, 1.0 - rel);
+                table.addRow(
+                    {strFormat("R930 x %u", n),
+                     strFormat("%u=>%u", n, v),
+                     big ? "6.4TB" : "3.2TB",
+                     strFormat("%.0fK", cmp.elvis_price / 1000.0),
+                     strFormat("%.0fK", cmp.vrio_price / 1000.0),
+                     strFormat("%.1f%%", rel * 100.0)});
+            }
+        }
+    }
+
+    std::printf("%s\n", table.toString().c_str());
+    std::printf("cost reduction range: %.0f%% - %.0f%% "
+                "(paper: 8%% - 38%%).\n",
+                min_saving * 100.0, max_saving * 100.0);
+    return 0;
+}

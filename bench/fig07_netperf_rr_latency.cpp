@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Reproduces Fig. 7: Netperf UDP RR average latency vs number of VMs
+ * for baseline / vrio / elvis / optimum.  Also reproduces Fig. 8 (the
+ * vRIO-vs-optimum latency gap and the contended-packet fraction) from
+ * the same runs, since the paper derives it from this experiment.
+ *
+ * Shape targets: optimum ~30-32 us and nearly flat; vRIO ~12 us above
+ * optimum with a slowly growing gap; Elvis 8 us *below* vRIO at N=1
+ * but crossing above it around N=6; baseline worst and rising.
+ */
+#include <cstdio>
+
+#include "common.hpp"
+
+using namespace vrio;
+using models::ModelKind;
+
+int
+main()
+{
+    bench::SweepOptions opt;
+
+    const ModelKind kinds[] = {ModelKind::Baseline, ModelKind::Vrio,
+                               ModelKind::Elvis, ModelKind::Optimum};
+
+    stats::Table table("Figure 7: Netperf RR average latency [usec] "
+                       "vs number of VMs");
+    table.setHeader({"vms", "baseline", "vrio", "elvis", "optimum"});
+
+    stats::Table gap("Figure 8: vRIO latency gap vs optimum [usec] and "
+                     "IOhost contention [%]");
+    gap.setHeader({"vms", "latency gap", "contention"});
+
+    for (unsigned n = 1; n <= 7; ++n) {
+        std::vector<double> row;
+        double vrio_mean = 0, optimum_mean = 0, vrio_contention = 0;
+        for (ModelKind kind : kinds) {
+            auto res = bench::runNetperfRr(kind, n, opt);
+            row.push_back(res.latency_us.mean());
+            if (kind == ModelKind::Vrio) {
+                vrio_mean = res.latency_us.mean();
+                vrio_contention = res.contended_fraction;
+            }
+            if (kind == ModelKind::Optimum)
+                optimum_mean = res.latency_us.mean();
+        }
+        table.addRow(std::to_string(n), row, 1);
+        gap.addRow(std::to_string(n),
+                   {vrio_mean - optimum_mean, vrio_contention * 100.0},
+                   1);
+    }
+
+    std::printf("%s\n", table.toString().c_str());
+    std::printf("%s\n", gap.toString().c_str());
+    std::printf("paper anchors: optimum 30-32us flat; vrio = optimum + "
+                "~12us (gap drifting up ~1us by N=7);\n"
+                "elvis = vrio - 8us at N=1, crossing vrio near N=6; "
+                "baseline highest and rising.\n");
+    return 0;
+}

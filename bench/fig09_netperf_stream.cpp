@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Reproduces Fig. 9: Netperf TCP stream throughput (64B messages) vs
+ * number of VMs.  Shape: elvis tracks the optimum; vRIO is 5-8%
+ * below; the baseline is roughly half.
+ */
+#include <cstdio>
+
+#include "common.hpp"
+
+using namespace vrio;
+using models::ModelKind;
+
+int
+main()
+{
+    bench::SweepOptions opt;
+
+    const ModelKind kinds[] = {ModelKind::Optimum, ModelKind::Elvis,
+                               ModelKind::Vrio, ModelKind::Baseline};
+
+    stats::Table table("Figure 9: Netperf stream throughput [Gbps] vs "
+                       "number of VMs");
+    table.setHeader({"vms", "optimum", "elvis", "vrio", "baseline"});
+
+    for (unsigned n = 1; n <= 7; ++n) {
+        std::vector<double> row;
+        for (ModelKind kind : kinds) {
+            auto res = bench::runNetperfStream(kind, n, opt);
+            row.push_back(res.total_gbps);
+        }
+        table.addRow(std::to_string(n), row, 2);
+    }
+
+    std::printf("%s\n", table.toString().c_str());
+    std::printf("paper shape: elvis ~= optimum; vrio 5-8%% lower; "
+                "baseline ~half; ~0.85 Gbps per VM, linear in N.\n");
+    return 0;
+}

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Reproduces Fig. 10: per-message processing cycles for Netperf
+ * stream with one VM, relative to the optimum.
+ * Shape target: optimum +0%, vrio +9%, elvis +1%, baseline +40%.
+ */
+#include <cstdio>
+
+#include "common.hpp"
+#include "util/strutil.hpp"
+
+using namespace vrio;
+using models::ModelKind;
+
+int
+main()
+{
+    bench::SweepOptions opt;
+    opt.measure = sim::Tick(500) * sim::kMillisecond;
+
+    const ModelKind kinds[] = {ModelKind::Optimum, ModelKind::Vrio,
+                               ModelKind::Elvis, ModelKind::Baseline};
+
+    double cycles[4] = {0, 0, 0, 0};
+    for (int k = 0; k < 4; ++k) {
+        auto res = bench::runNetperfStream(kinds[k], 1, opt);
+        cycles[k] = res.cycles_per_msg;
+    }
+
+    stats::Table table("Figure 10: stream per-message processing cycles "
+                       "(N=1)");
+    table.setHeader({"model", "cycles/message", "vs optimum"});
+    for (int k = 0; k < 4; ++k) {
+        table.addRow({models::modelKindName(kinds[k]),
+                      vrio::strFormat("%.0f", cycles[k]),
+                      vrio::strFormat("%+.0f%%", (cycles[k] / cycles[0] -
+                                                  1.0) * 100.0)});
+    }
+
+    std::printf("%s\n", table.toString().c_str());
+    std::printf("paper: optimum +0%%, vrio +9%%, elvis +1%%, "
+                "baseline +40%%.\n");
+    return 0;
+}

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Reproduces Fig. 12: memcached (memslap) and Apache (ApacheBench)
+ * throughput vs number of VMs.  Shape: vRIO approaches the optimum
+ * while Elvis falls behind at higher load (interrupt tax); baseline
+ * is far below.
+ */
+#include <cstdio>
+
+#include "common.hpp"
+
+using namespace vrio;
+using models::ModelKind;
+
+int
+main()
+{
+    bench::SweepOptions opt;
+
+    const ModelKind kinds[] = {ModelKind::Optimum, ModelKind::Vrio,
+                               ModelKind::Elvis, ModelKind::Baseline};
+
+    struct Wl
+    {
+        const char *name;
+        workloads::RequestResponseServer::Config cfg;
+        const char *unit;
+    };
+    const Wl wls[] = {
+        {"Figure 12a: memcached [Ktps]",
+         workloads::RequestResponseServer::memcached(), "Ktps"},
+        {"Figure 12b: apache [Ktps]",
+         workloads::RequestResponseServer::apache(), "Ktps"},
+    };
+
+    for (const Wl &wl : wls) {
+        stats::Table table(wl.name);
+        table.setHeader({"vms", "optimum", "vrio", "elvis", "baseline"});
+        for (unsigned n = 1; n <= 7; ++n) {
+            std::vector<double> row;
+            for (ModelKind kind : kinds) {
+                auto res =
+                    bench::runRequestResponse(kind, n, wl.cfg, opt);
+                row.push_back(res.total_tps / 1000.0);
+            }
+            table.addRow(std::to_string(n), row, 1);
+        }
+        std::printf("%s\n", table.toString().c_str());
+    }
+    std::printf("paper shape: vrio approaches optimum; elvis falls "
+                "behind as N grows; baseline worst.\n");
+    return 0;
+}

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Reproduces Fig. 16: the two consolidation payoffs.
+ *
+ * (a) Tradeoff (2=>1): two VMhosts x five webserver VMs.  Elvis needs
+ *     one sidecore per host (2 total); vRIO serves both hosts with a
+ *     single remote sidecore at a small throughput cost (paper: -8%),
+ *     while the baseline with N+1 cores per host loses ~half.
+ *
+ * (b) Imbalance (2=>2): same rack, but only one VMhost is active and
+ *     its I/O is encrypted (AES-256 interposition).  With the same
+ *     two-sidecore budget, Elvis can only use the busy host's local
+ *     sidecore, while vRIO's two consolidated sidecores both serve
+ *     the busy host (paper: +82% for vRIO).
+ */
+#include <cstdio>
+
+#include "common.hpp"
+#include "interpose/services.hpp"
+#include "util/strutil.hpp"
+
+using namespace vrio;
+using models::ModelKind;
+
+namespace {
+
+struct WebserverRun
+{
+    double total_mbps = 0;
+};
+
+WebserverRun
+runWebserver(ModelKind kind, unsigned sidecores, bool only_first_host,
+             bool encrypt)
+{
+    bench::SweepOptions opt;
+    opt.vmhosts = 2;
+    opt.sidecores = sidecores;
+    opt.measure = sim::Tick(400) * sim::kMillisecond;
+
+    std::vector<std::unique_ptr<interpose::Chain>> chains;
+    opt.tweak = [&](models::ModelConfig &mc) {
+        mc.with_block = true;
+        mc.ramdisk_cfg.capacity_bytes = 32ull << 20;
+        if (encrypt) {
+            mc.chain_factory = [&chains](uint32_t, bool is_block)
+                -> interpose::Chain * {
+                if (!is_block)
+                    return nullptr;
+                Bytes key(32, 0x5a);
+                auto chain = std::make_unique<interpose::Chain>();
+                chain->append(
+                    std::make_unique<interpose::EncryptionService>(key));
+                chains.push_back(std::move(chain));
+                return chains.back().get();
+            };
+        }
+    };
+
+    bench::Experiment exp(kind, 10, opt);
+    exp.settle();
+
+    std::vector<std::unique_ptr<workloads::FilebenchWebserver>> wls;
+    for (unsigned v = 0; v < 10; ++v) {
+        // VMs are distributed round-robin: even indexes on host 0.
+        if (only_first_host && v % 2 != 0)
+            continue;
+        wls.push_back(std::make_unique<workloads::FilebenchWebserver>(
+            exp.model->guest(v), exp.sim->random().split(),
+            workloads::FilebenchWebserver::Config{}));
+        wls.back()->start();
+    }
+    exp.sim->runUntil(exp.sim->now() + opt.warmup);
+    for (auto &wl : wls)
+        wl->resetStats();
+    exp.sim->runUntil(exp.sim->now() + opt.measure);
+
+    WebserverRun out;
+    for (auto &wl : wls)
+        out.total_mbps += wl->throughputMbps(*exp.sim);
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    // (a) Tradeoff: elvis 1 sidecore/host (2 total) vs vrio 1 total.
+    double elvis_a =
+        runWebserver(ModelKind::Elvis, 1, false, false).total_mbps;
+    double vrio_a =
+        runWebserver(ModelKind::Vrio, 1, false, false).total_mbps;
+    double base_a =
+        runWebserver(ModelKind::Baseline, 1, false, false).total_mbps;
+
+    stats::Table ta("Figure 16a: sidecore consolidation tradeoff "
+                    "(2=>1), Webserver [Mbps]");
+    ta.setHeader({"setup", "Mbps", "vs elvis"});
+    ta.addRow({"elvis (2 sidecores)", strFormat("%.0f", elvis_a), "0%"});
+    ta.addRow({"vrio (1 sidecore)", strFormat("%.0f", vrio_a),
+               strFormat("%+.0f%%", (vrio_a / elvis_a - 1) * 100)});
+    ta.addRow({"baseline (N+1 cores)", strFormat("%.0f", base_a),
+               strFormat("%+.0f%%", (base_a / elvis_a - 1) * 100)});
+    std::printf("%s\n", ta.toString().c_str());
+
+    // (b) Imbalance: one busy host + AES-256 interposition; both
+    //     setups have a two-sidecore budget.
+    double elvis_b =
+        runWebserver(ModelKind::Elvis, 1, true, true).total_mbps;
+    double vrio_b =
+        runWebserver(ModelKind::Vrio, 2, true, true).total_mbps;
+
+    stats::Table tb("Figure 16b: load imbalance (2=>2) with AES-256 "
+                    "interposition [Mbps]");
+    tb.setHeader({"setup", "Mbps", "vs elvis"});
+    tb.addRow({"elvis (1 usable sidecore)", strFormat("%.0f", elvis_b),
+               "0%"});
+    tb.addRow({"vrio (2 consolidated)", strFormat("%.0f", vrio_b),
+               strFormat("%+.0f%%", (vrio_b / elvis_b - 1) * 100)});
+    std::printf("%s\n", tb.toString().c_str());
+
+    std::printf("paper: (a) elvis 0%%, vrio -8%%, baseline -51%%; "
+                "(b) vrio +82%%.\n");
+    return 0;
+}

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the protocol-level primitives:
+ * the real code that would sit on vRIO's data path (encapsulation,
+ * TSO splitting, reassembly, virtqueue operations, AES, CRC32,
+ * steering).  These measure *host* (benchmark machine) performance of
+ * the implementations, independent of the simulator.
+ */
+#include <benchmark/benchmark.h>
+
+#include "crypto/modes.hpp"
+#include "iohost/steering.hpp"
+#include "net/tso.hpp"
+#include "sim/random.hpp"
+#include "transport/encap.hpp"
+#include "transport/reassembly.hpp"
+#include "transport/segmenter.hpp"
+#include "util/crc32.hpp"
+#include "virtio/virtqueue.hpp"
+
+using namespace vrio;
+
+namespace {
+
+transport::TransportHeader
+netHeader(uint32_t len)
+{
+    transport::TransportHeader hdr;
+    hdr.type = transport::MsgType::NetOut;
+    hdr.device_id = 1;
+    hdr.total_len = len;
+    return hdr;
+}
+
+void
+BM_Encapsulate(benchmark::State &state)
+{
+    Bytes payload(size_t(state.range(0)), 0x42);
+    auto src = net::MacAddress::local(1);
+    auto dst = net::MacAddress::local(2);
+    uint32_t id = 0;
+    for (auto _ : state) {
+        auto frame = transport::encapsulate(
+            src, dst, ++id, netHeader(uint32_t(payload.size())),
+            payload);
+        benchmark::DoNotOptimize(frame);
+    }
+    state.SetBytesProcessed(state.iterations() *
+                            int64_t(payload.size()));
+}
+BENCHMARK(BM_Encapsulate)->Arg(64)->Arg(1500)->Arg(16384)->Arg(65000);
+
+void
+BM_TsoSegment64K(benchmark::State &state)
+{
+    Bytes payload(65000, 0x42);
+    auto frame = transport::encapsulate(net::MacAddress::local(1),
+                                        net::MacAddress::local(2), 1,
+                                        netHeader(65000), payload);
+    uint32_t mtu = uint32_t(state.range(0));
+    for (auto _ : state) {
+        auto segs = net::tsoSegment(*frame, mtu);
+        benchmark::DoNotOptimize(segs);
+    }
+    state.SetBytesProcessed(state.iterations() * 65000);
+}
+BENCHMARK(BM_TsoSegment64K)->Arg(1500)->Arg(8100);
+
+void
+BM_ReassembleMessage(benchmark::State &state)
+{
+    Bytes payload(size_t(state.range(0)), 0x42);
+    auto frame = transport::encapsulate(
+        net::MacAddress::local(1), net::MacAddress::local(2), 1,
+        netHeader(uint32_t(payload.size())), payload);
+    auto segs = net::tsoSegment(*frame, net::kMtuVrioJumbo);
+
+    sim::EventQueue eq;
+    transport::Reassembler reasm(eq, net::kMtuVrioJumbo);
+    for (auto _ : state) {
+        bool done = false;
+        for (const auto &seg : segs) {
+            if (auto msg = reasm.feed(*seg))
+                done = true;
+        }
+        benchmark::DoNotOptimize(done);
+    }
+    state.SetBytesProcessed(state.iterations() *
+                            int64_t(payload.size()));
+}
+BENCHMARK(BM_ReassembleMessage)->Arg(4096)->Arg(65000);
+
+void
+BM_SegmentLargeRequest(benchmark::State &state)
+{
+    Bytes payload(256 * 1024, 0x55);
+    transport::TransportHeader proto;
+    proto.type = transport::MsgType::BlkReq;
+    for (auto _ : state) {
+        auto parts = transport::segmentRequest(proto, payload);
+        benchmark::DoNotOptimize(parts);
+    }
+    state.SetBytesProcessed(state.iterations() * 256 * 1024);
+}
+BENCHMARK(BM_SegmentLargeRequest);
+
+void
+BM_VirtqueueRoundTrip(benchmark::State &state)
+{
+    virtio::GuestMemory mem(1 << 20);
+    virtio::DriverQueue drv(mem, 256);
+    virtio::DeviceQueue dev(mem, drv.ringAddr(), 256);
+    uint64_t buf = mem.alloc(2048);
+    for (auto _ : state) {
+        auto head = drv.addChain({{buf, 2048}}, {});
+        auto chain = dev.popAvail();
+        dev.pushUsed(chain->head, 0);
+        auto used = drv.popUsed();
+        benchmark::DoNotOptimize(used);
+        benchmark::DoNotOptimize(head);
+    }
+}
+BENCHMARK(BM_VirtqueueRoundTrip);
+
+void
+BM_AesCtr(benchmark::State &state)
+{
+    Bytes key(32, 0x11);
+    crypto::Aes aes(key);
+    Bytes data(size_t(state.range(0)), 0x42);
+    for (auto _ : state) {
+        auto out = crypto::ctrCrypt(aes, 7, data);
+        benchmark::DoNotOptimize(out);
+    }
+    state.SetBytesProcessed(state.iterations() * int64_t(data.size()));
+}
+BENCHMARK(BM_AesCtr)->Arg(64)->Arg(4096)->Arg(65536);
+
+void
+BM_Crc32(benchmark::State &state)
+{
+    Bytes data(size_t(state.range(0)), 0x42);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(crc32(data));
+    state.SetBytesProcessed(state.iterations() * int64_t(data.size()));
+}
+BENCHMARK(BM_Crc32)->Arg(64)->Arg(4096)->Arg(65536);
+
+void
+BM_SteeringDecision(benchmark::State &state)
+{
+    iohost::SteeringPolicy policy(4);
+    sim::Random rng(9);
+    std::vector<std::pair<uint32_t, unsigned>> flying;
+    for (auto _ : state) {
+        uint32_t dev = uint32_t(rng.uniformInt(0, 31));
+        flying.emplace_back(dev, policy.steer(dev));
+        if (flying.size() > 16) {
+            auto [d, w] = flying.front();
+            flying.erase(flying.begin());
+            policy.complete(d, w);
+        }
+    }
+}
+BENCHMARK(BM_SteeringDecision);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Reproduces Table 1 (Dell R930 per-server price, components and
+ * throughput) and Table 2 (overall Elvis vs vRIO rack prices) from
+ * the paper's published component prices.
+ */
+#include <cstdio>
+
+#include "cost/rack_cost.hpp"
+#include "stats/table.hpp"
+#include "util/strutil.hpp"
+
+using namespace vrio;
+
+int
+main()
+{
+    cost::ComponentPrices prices;
+
+    stats::Table t1("Table 1: Dell R930 per-server price, components "
+                    "and throughput");
+    t1.setHeader({"component", "elvis", "vmhost", "light iohost",
+                  "heavy iohost"});
+    const cost::ServerConfig servers[] = {
+        cost::elvisServer(), cost::vrioVmHost(), cost::lightIoHost(),
+        cost::heavyIoHost()};
+
+    auto row = [&](const char *label, auto get) {
+        std::vector<std::string> cells{label};
+        for (const auto &s : servers)
+            cells.push_back(get(s));
+        t1.addRow(cells);
+    };
+    row("18-core CPUs", [](const auto &s) {
+        return std::to_string(s.cpus);
+    });
+    row("8GB DIMMs", [](const auto &s) {
+        return std::to_string(s.dram_8gb);
+    });
+    row("16GB DIMMs", [](const auto &s) {
+        return std::to_string(s.dram_16gb);
+    });
+    row("10Gbps NIC DP", [](const auto &s) {
+        return std::to_string(s.nic_10g);
+    });
+    row("40Gbps NIC DP", [](const auto &s) {
+        return std::to_string(s.nic_40g);
+    });
+    row("memory [GB]", [](const auto &s) {
+        return std::to_string(s.memoryGb());
+    });
+    row("total price", [&](const auto &s) {
+        return strFormat("$%.1fK", s.price(prices) / 1000.0);
+    });
+    row("total Gbps", [](const auto &s) {
+        return strFormat("%.2f", s.totalGbps());
+    });
+    // Required Gbps per Section 3: VMhosts carry 1.5x an Elvis
+    // server's VM load; the IOhost carries 2x the VMhosts' traffic.
+    double elvis_req = cost::requiredGbps(72);
+    double vmhost_req = elvis_req * 1.5;
+    double light_req = 2 * 2 * vmhost_req;
+    double heavy_req = 2 * light_req;
+    t1.addRow({"required Gbps", strFormat("%.2f", elvis_req),
+               strFormat("%.2f", vmhost_req),
+               strFormat("%.2f", light_req),
+               strFormat("%.2f", heavy_req)});
+    std::printf("%s\n", t1.toString().c_str());
+    std::printf("paper: $44.5K / $47.0K / $26.0K / $44.2K; "
+                "40 / 80 / 160 / 320 Gbps; required 26.72 / 40.08 / "
+                "160.31 / 320.63.\n\n");
+
+    stats::Table t2("Table 2: overall Elvis vs vRIO rack prices");
+    t2.setHeader({"setup", "elvis servers", "vrio servers",
+                  "elvis price", "vrio price", "diff"});
+    for (unsigned n : {3u, 6u}) {
+        auto elvis = cost::elvisRack(n);
+        auto vrio_setup = cost::vrioRack(n);
+        double ep = elvis.price(prices);
+        double vp = vrio_setup.price(prices);
+        t2.addRow({strFormat("R930 x %u", n), std::to_string(n),
+                   vrio_setup.name.substr(5),
+                   strFormat("$%.1fK", ep / 1000.0),
+                   strFormat("$%.1fK", vp / 1000.0),
+                   strFormat("%+.0f%%", (vp / ep - 1.0) * 100.0)});
+    }
+    std::printf("%s\n", t2.toString().c_str());
+    std::printf("paper: $133.4K vs $120.0K (-10%%); $266.9K vs $232.3K "
+                "(-13%%).\n");
+    return 0;
+}

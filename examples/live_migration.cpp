@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Live migration example — the Section 4.6 capability the paper
+ * describes ("This architecture facilitates VM live migration between
+ * VMhosts that share an IOhost") whose dynamic switch the authors
+ * left unimplemented.  Here a VM under active request/response load
+ * moves between VMhosts; the IOhost simply redirects its T-MAC to the
+ * other port, and the outside world — which only knows the front-end
+ * (F) address — never notices.
+ *
+ * Build tree: ./build/examples/live_migration
+ */
+#include <cstdio>
+
+#include "core/vrio.hpp"
+
+using namespace vrio;
+
+int
+main()
+{
+    core::TestbedOptions options;
+    options.vmhosts = 2;
+    options.configure = [](models::ModelConfig &mc) {
+        mc.spare_client_slots = 1; // migration headroom on each host
+    };
+    core::Testbed tb(models::ModelKind::Vrio, 2, options);
+    tb.settle();
+    auto &vm = static_cast<models::VrioModel &>(tb.model());
+
+    auto &gen = tb.generator();
+    unsigned session = gen.newSession();
+    workloads::NetperfRr rr(gen, session, tb.guest(0), {});
+    rr.start();
+
+    auto report = [&](const char *phase) {
+        std::printf("%-22s host=%u  txns=%6llu  mean=%.1f us\n", phase,
+                    vm.clientHost(0),
+                    (unsigned long long)rr.transactions(),
+                    rr.latencyUs().mean());
+        rr.resetStats();
+    };
+
+    tb.runFor(sim::Tick(100) * sim::kMillisecond);
+    report("before migration:");
+
+    vm.migrateClient(0, 1);
+    tb.runFor(sim::Tick(100) * sim::kMillisecond);
+    report("after move to host 1:");
+
+    vm.migrateClient(0, 0);
+    tb.runFor(sim::Tick(100) * sim::kMillisecond);
+    report("after move back:");
+
+    std::printf("\nthe client kept its F-MAC throughout; the load "
+                "generator never re-resolved anything — the IOhost "
+                "re-pointed the T-channel and traffic continued.\n");
+    return 0;
+}

@@ -1,0 +1,30 @@
+#include "block/alignment.hpp"
+
+#include "util/logging.hpp"
+
+namespace vrio::block {
+
+ZeroCopySplit
+splitForZeroCopy(uint64_t offset, uint64_t length, uint64_t alignment)
+{
+    vrio_assert(alignment > 0, "alignment must be positive");
+    ZeroCopySplit split;
+    if (length == 0)
+        return split;
+
+    uint64_t first_aligned = (offset + alignment - 1) / alignment * alignment;
+    uint64_t end = offset + length;
+    uint64_t last_aligned = end / alignment * alignment;
+
+    if (first_aligned >= last_aligned) {
+        // No full aligned unit inside the extent.
+        split.head_copy = length;
+        return split;
+    }
+    split.head_copy = first_aligned - offset;
+    split.aligned = last_aligned - first_aligned;
+    split.tail_copy = end - last_aligned;
+    return split;
+}
+
+} // namespace vrio::block

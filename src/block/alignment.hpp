@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Sector-alignment decomposition for zero-copy block writes.
+ *
+ * Section 4.4: when the IOhost writes IOclient data to a block
+ * device, "writes to a block device must be aligned to sector size,
+ * so the worker uses for zero copy inner portions of the buffer that
+ * are aligned, while copying the buffer edges."  splitForZeroCopy()
+ * computes that decomposition; the I/O hypervisor charges copy cycles
+ * only for the edge bytes.
+ */
+#ifndef VRIO_BLOCK_ALIGNMENT_HPP
+#define VRIO_BLOCK_ALIGNMENT_HPP
+
+#include <cstdint>
+
+namespace vrio::block {
+
+/** Decomposition of a byte extent against an alignment boundary. */
+struct ZeroCopySplit
+{
+    /** Bytes before the first aligned boundary (must be copied). */
+    uint64_t head_copy = 0;
+    /** Aligned middle usable without copying. */
+    uint64_t aligned = 0;
+    /** Bytes after the last aligned boundary (must be copied). */
+    uint64_t tail_copy = 0;
+
+    uint64_t copied() const { return head_copy + tail_copy; }
+    uint64_t total() const { return head_copy + aligned + tail_copy; }
+};
+
+/**
+ * Split the extent [offset, offset+length) by @p alignment.
+ * When the extent contains no full aligned unit, everything is a
+ * head copy.
+ */
+ZeroCopySplit splitForZeroCopy(uint64_t offset, uint64_t length,
+                               uint64_t alignment);
+
+} // namespace vrio::block
+
+#endif // VRIO_BLOCK_ALIGNMENT_HPP

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Asynchronous block device interface.
+ */
+#ifndef VRIO_BLOCK_BLOCK_DEVICE_HPP
+#define VRIO_BLOCK_BLOCK_DEVICE_HPP
+
+#include <functional>
+
+#include "sim/simulation.hpp"
+#include "util/byte_buffer.hpp"
+#include "virtio/virtio_blk.hpp"
+
+namespace vrio::block {
+
+/** One I/O request against a device (sectors of 512 bytes). */
+struct BlockRequest
+{
+    virtio::BlkType kind = virtio::BlkType::In;
+    uint64_t sector = 0;
+    uint32_t nsectors = 0;
+    /** Payload for writes; empty for reads/flushes. */
+    Bytes data;
+
+    uint64_t byteLength() const
+    {
+        return uint64_t(nsectors) * virtio::kSectorSize;
+    }
+    /** First sector past the request. */
+    uint64_t endSector() const { return sector + nsectors; }
+    /** True if the sector ranges intersect. */
+    bool overlaps(const BlockRequest &other) const
+    {
+        return sector < other.endSector() && other.sector < endSector();
+    }
+};
+
+/** Completion: status plus data (for reads). */
+using BlockCallback = std::function<void(virtio::BlkStatus, Bytes)>;
+
+class BlockDevice : public sim::SimObject
+{
+  public:
+    using SimObject::SimObject;
+
+    virtual uint64_t capacitySectors() const = 0;
+
+    /**
+     * Submit a request; @p done fires at simulated completion time.
+     * Out-of-range requests complete with IoErr.
+     */
+    virtual void submit(BlockRequest req, BlockCallback done) = 0;
+
+    uint64_t completedRequests() const { return completed; }
+
+  protected:
+    uint64_t completed = 0;
+};
+
+} // namespace vrio::block
+
+#endif // VRIO_BLOCK_BLOCK_DEVICE_HPP

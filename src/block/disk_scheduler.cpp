@@ -1,0 +1,83 @@
+#include "block/disk_scheduler.hpp"
+
+#include "util/logging.hpp"
+
+namespace vrio::block {
+
+bool
+DiskScheduler::conflicts(const BlockRequest &req, uint64_t before_id) const
+{
+    if (req.kind == virtio::BlkType::Flush) {
+        // A flush conflicts with everything in flight and everything
+        // queued before it (it is a barrier).
+        return !in_flight.empty() ||
+               (!pending.empty() && pending.front().id < before_id);
+    }
+    for (const auto &[id, flying] : in_flight) {
+        if (flying.kind == virtio::BlkType::Flush || flying.overlaps(req))
+            return true;
+    }
+    for (const auto &p : pending) {
+        if (p.id >= before_id)
+            break;
+        if (p.req.kind == virtio::BlkType::Flush || p.req.overlaps(req))
+            return true;
+    }
+    return false;
+}
+
+void
+DiskScheduler::submit(BlockRequest req, BlockCallback done)
+{
+    Pending p{std::move(req), std::move(done), next_id++};
+    if (conflicts(p.req, p.id)) {
+        ++deferred;
+        pending.push_back(std::move(p));
+        return;
+    }
+    dispatchNow(std::move(p));
+}
+
+void
+DiskScheduler::dispatchNow(Pending p)
+{
+    uint64_t id = p.id;
+    in_flight.emplace_back(id, p.req);
+    BlockCallback user_done = std::move(p.done);
+    dispatch(std::move(p.req),
+             [this, id, user_done = std::move(user_done)](
+                 virtio::BlkStatus status, Bytes data) {
+                 for (auto it = in_flight.begin(); it != in_flight.end();
+                      ++it) {
+                     if (it->first == id) {
+                         in_flight.erase(it);
+                         break;
+                     }
+                 }
+                 user_done(status, std::move(data));
+                 drain();
+             });
+}
+
+void
+DiskScheduler::drain()
+{
+    // Dispatch every pending request that no longer conflicts; FIFO
+    // scan preserves per-block order because a pending request still
+    // conflicts with earlier pending overlapping requests.
+    bool progress = true;
+    while (progress) {
+        progress = false;
+        for (auto it = pending.begin(); it != pending.end(); ++it) {
+            if (!conflicts(it->req, it->id)) {
+                Pending p = std::move(*it);
+                pending.erase(it);
+                dispatchNow(std::move(p));
+                progress = true;
+                break;
+            }
+        }
+    }
+}
+
+} // namespace vrio::block

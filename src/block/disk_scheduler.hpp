@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Guest-OS disk scheduler invariant.
+ *
+ * Section 4.5 of the paper leans on the fact that "it is the
+ * responsibility of the guest OS disk scheduler (not its driver) to
+ * reorder requests, making sure that each individual block has only
+ * one outstanding request associated with it, while all subsequent
+ * requests for that block are pending."  That invariant is what makes
+ * vRIO's blind retransmission of presumed-lost block requests safe.
+ * DiskScheduler enforces it: requests whose sector range overlaps an
+ * in-flight request are held back until the conflict drains.
+ */
+#ifndef VRIO_BLOCK_DISK_SCHEDULER_HPP
+#define VRIO_BLOCK_DISK_SCHEDULER_HPP
+
+#include <deque>
+#include <list>
+
+#include "block/block_device.hpp"
+
+namespace vrio::block {
+
+class DiskScheduler
+{
+  public:
+    /** Sink receiving dispatched (conflict-free) requests. */
+    using Dispatch = std::function<void(BlockRequest, BlockCallback)>;
+
+    explicit DiskScheduler(Dispatch dispatch)
+        : dispatch(std::move(dispatch))
+    {}
+
+    /**
+     * Queue a request.  It is dispatched immediately when no in-flight
+     * request overlaps its sector range; otherwise it waits.  Pending
+     * requests dispatch FIFO as conflicts drain (a request also
+     * conflicts with *earlier pending* requests it overlaps, which
+     * preserves per-block ordering).
+     */
+    void submit(BlockRequest req, BlockCallback done);
+
+    size_t inFlight() const { return in_flight.size(); }
+    size_t pendingCount() const { return pending.size(); }
+    uint64_t deferrals() const { return deferred; }
+
+  private:
+    struct Pending
+    {
+        BlockRequest req;
+        BlockCallback done;
+        uint64_t id;
+    };
+
+    Dispatch dispatch;
+    /** Sector ranges currently at the device, keyed by internal id. */
+    std::list<std::pair<uint64_t, BlockRequest>> in_flight;
+    std::deque<Pending> pending;
+    uint64_t next_id = 0;
+    uint64_t deferred = 0;
+
+    bool conflicts(const BlockRequest &req, uint64_t before_id) const;
+    void dispatchNow(Pending p);
+    void drain();
+};
+
+} // namespace vrio::block
+
+#endif // VRIO_BLOCK_DISK_SCHEDULER_HPP

@@ -1,0 +1,92 @@
+#include "block/ram_disk.hpp"
+
+#include <cstring>
+
+#include "util/logging.hpp"
+
+namespace vrio::block {
+
+RamDisk::RamDisk(sim::Simulation &sim, std::string name, RamDiskConfig cfg)
+    : BlockDevice(sim, std::move(name)), cfg(cfg),
+      store(cfg.capacity_bytes, 0),
+      channel(sim.events(), this->name() + ".chan")
+{
+    vrio_assert(cfg.capacity_bytes % virtio::kSectorSize == 0,
+                "capacity must be sector-aligned");
+}
+
+uint64_t
+RamDisk::capacitySectors() const
+{
+    return cfg.capacity_bytes / virtio::kSectorSize;
+}
+
+bool
+RamDisk::inRange(const BlockRequest &req) const
+{
+    return req.endSector() <= capacitySectors() &&
+           req.endSector() >= req.sector;
+}
+
+void
+RamDisk::submit(BlockRequest req, BlockCallback done)
+{
+    if (req.kind != virtio::BlkType::Flush && !inRange(req)) {
+        // Complete asynchronously for uniform caller behaviour.
+        sim().events().schedule(cfg.request_latency,
+                                [done = std::move(done)]() {
+                                    done(virtio::BlkStatus::IoErr, {});
+                                });
+        return;
+    }
+    if (req.kind == virtio::BlkType::Out &&
+        req.data.size() != req.byteLength()) {
+        vrio_panic("write payload ", req.data.size(),
+                   " != request length ", req.byteLength());
+    }
+
+    sim::Tick service =
+        cfg.request_latency + sim::bytesToTicks(req.byteLength(), cfg.gbps);
+    channel.submit(
+        service, [this, req = std::move(req), done = std::move(done)]() {
+            ++completed;
+            uint64_t off = req.sector * virtio::kSectorSize;
+            switch (req.kind) {
+              case virtio::BlkType::In: {
+                Bytes out(store.begin() + off,
+                          store.begin() + off + req.byteLength());
+                done(virtio::BlkStatus::Ok, std::move(out));
+                break;
+              }
+              case virtio::BlkType::Out:
+                std::memcpy(store.data() + off, req.data.data(),
+                            req.data.size());
+                done(virtio::BlkStatus::Ok, {});
+                break;
+              case virtio::BlkType::Flush:
+                done(virtio::BlkStatus::Ok, {});
+                break;
+              default:
+                done(virtio::BlkStatus::Unsupported, {});
+            }
+        });
+}
+
+Bytes
+RamDisk::peek(uint64_t sector, uint32_t nsectors) const
+{
+    uint64_t off = sector * virtio::kSectorSize;
+    uint64_t len = uint64_t(nsectors) * virtio::kSectorSize;
+    vrio_assert(off + len <= store.size(), "peek out of range");
+    return Bytes(store.begin() + off, store.begin() + off + len);
+}
+
+void
+RamDisk::poke(uint64_t sector, std::span<const uint8_t> data)
+{
+    uint64_t off = sector * virtio::kSectorSize;
+    vrio_assert(off + data.size() <= store.size(), "poke out of range");
+    std::memcpy(store.data() + off, data.data(), data.size());
+}
+
+} // namespace vrio::block

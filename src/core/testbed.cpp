@@ -1,0 +1,52 @@
+#include "core/testbed.hpp"
+
+namespace vrio::core {
+
+Testbed::Testbed(models::ModelKind kind, unsigned num_vms,
+                 TestbedOptions options)
+{
+    sim_ = std::make_unique<sim::Simulation>(options.seed);
+
+    models::RackConfig rc;
+    rc.num_generators = options.generators;
+    rc.costs = options.costs;
+    rack_ = std::make_unique<models::Rack>(*sim_, rc);
+
+    models::ModelConfig mc;
+    mc.kind = kind;
+    mc.num_vms = num_vms;
+    mc.num_vmhosts = options.vmhosts;
+    mc.sidecores = options.sidecores;
+    mc.costs = options.costs;
+    if (options.configure)
+        options.configure(mc);
+    model_ = models::makeModel(*rack_, mc);
+}
+
+Testbed::~Testbed() = default;
+
+models::GuestEndpoint &
+Testbed::guest(unsigned vm_index)
+{
+    return model_->guest(vm_index);
+}
+
+models::Generator &
+Testbed::generator(unsigned index)
+{
+    return rack_->generator(index);
+}
+
+void
+Testbed::settle()
+{
+    runFor(sim::Tick(5) * sim::kMillisecond);
+}
+
+void
+Testbed::runFor(sim::Tick duration)
+{
+    sim_->runUntil(sim_->now() + duration);
+}
+
+} // namespace vrio::core

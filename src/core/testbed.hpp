@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Top-level public API: assemble a simulated rack running one of the
+ * paper's I/O models with a few lines of code.
+ *
+ * @code
+ *   core::Testbed tb(models::ModelKind::Vrio, 2);
+ *   auto &guest = tb.guest(0);
+ *   guest.setNetHandler(...);
+ *   tb.runFor(sim::kSecond);
+ * @endcode
+ */
+#ifndef VRIO_CORE_TESTBED_HPP
+#define VRIO_CORE_TESTBED_HPP
+
+#include <memory>
+
+#include "models/io_model.hpp"
+
+namespace vrio::core {
+
+struct TestbedOptions
+{
+    unsigned vmhosts = 1;
+    /** Elvis: sidecores per VMhost; vRIO: total IOhost workers. */
+    unsigned sidecores = 1;
+    unsigned generators = 1;
+    models::CostParams costs{};
+    uint64_t seed = 1;
+    /** Final say over the model configuration. */
+    std::function<void(models::ModelConfig &)> configure;
+};
+
+class Testbed
+{
+  public:
+    Testbed(models::ModelKind kind, unsigned num_vms,
+            TestbedOptions options = {});
+    ~Testbed();
+
+    Testbed(const Testbed &) = delete;
+    Testbed &operator=(const Testbed &) = delete;
+
+    sim::Simulation &simulation() { return *sim_; }
+    models::Rack &rack() { return *rack_; }
+    models::IoModel &model() { return *model_; }
+    models::GuestEndpoint &guest(unsigned vm_index);
+    models::Generator &generator(unsigned index = 0);
+
+    /** Run the control-channel handshake / settle-in period. */
+    void settle();
+
+    /** Advance simulated time by @p duration. */
+    void runFor(sim::Tick duration);
+
+  private:
+    std::unique_ptr<sim::Simulation> sim_;
+    std::unique_ptr<models::Rack> rack_;
+    std::unique_ptr<models::IoModel> model_;
+};
+
+} // namespace vrio::core
+
+#endif // VRIO_CORE_TESTBED_HPP

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Umbrella header: everything a downstream user of the vRIO library
+ * typically needs.
+ *
+ * Layering (bottom to top):
+ *  - sim/stats/util: discrete-event engine, statistics, byte codecs
+ *  - virtio/net/hv/block/crypto: substrates (rings, NICs, links,
+ *    switch, machines, VMs, block devices, AES)
+ *  - transport: the vRIO wire protocol (encapsulation, TSO-aware
+ *    reassembly, block retransmission, control channel)
+ *  - interpose: programmable interposition services
+ *  - iohost: the I/O hypervisor (workers, steering, back-ends)
+ *  - models: the five I/O model wirings + load generators
+ *  - workloads: netperf / Apache / memcached / filebench
+ *  - cost: the Section-3 price analysis
+ *  - core: the Testbed convenience API
+ */
+#ifndef VRIO_CORE_VRIO_HPP
+#define VRIO_CORE_VRIO_HPP
+
+#include "core/testbed.hpp"
+#include "cost/pricing.hpp"
+#include "cost/rack_cost.hpp"
+#include "interpose/services.hpp"
+#include "models/io_model.hpp"
+#include "models/vrio.hpp"
+#include "stats/table.hpp"
+#include "workloads/filebench.hpp"
+#include "workloads/netperf.hpp"
+#include "workloads/request_response.hpp"
+
+#endif // VRIO_CORE_VRIO_HPP

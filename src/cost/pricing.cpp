@@ -1,0 +1,109 @@
+#include "cost/pricing.hpp"
+
+namespace vrio::cost {
+
+const std::vector<CpuModel> &
+cpuCatalog()
+{
+    // name, series, price, cores, ghz, cache, tdp, qpi, nm
+    static const std::vector<CpuModel> catalog = {
+        // The paper's worked example (prices exact).
+        {"E7-8850 v2", "E7 v2 2.3", 3059, 12, 2.3, 24, 105, 7.2, 22},
+        {"E7-8870 v2", "E7 v2 2.3", 4616, 15, 2.3, 30, 130, 8.0, 22},
+        // Representative same-speed pairs from the 2015 price list.
+        {"E5-2620 v3", "E5 v3 2.4", 417, 6, 2.4, 15, 85, 8.0, 22},
+        {"E5-2630 v3", "E5 v3 2.4", 667, 8, 2.4, 20, 85, 8.0, 22},
+        {"E5-2650 v3", "E5 v3 2.3", 1166, 10, 2.3, 25, 105, 9.6, 22},
+        {"E5-2695 v3", "E5 v3 2.3", 2424, 14, 2.3, 35, 120, 9.6, 22},
+        {"E5-2660 v3", "E5 v3 2.6", 1445, 10, 2.6, 25, 105, 9.6, 22},
+        {"E5-2690 v3", "E5 v3 2.6", 2090, 12, 2.6, 30, 135, 9.6, 22},
+        {"E7-4850 v2", "E7 v2 2.3b", 3059, 12, 2.3, 24, 105, 7.2, 22},
+        {"E7-4880 v2", "E7 v2 2.3b", 5506, 15, 2.3, 37.5, 130, 8.0, 22},
+        {"E5-2640 v2", "E5 v2 2.0", 885, 8, 2.0, 20, 95, 7.2, 22},
+        {"E5-2648L v2", "E5 v2 2.0", 1479, 10, 2.0, 25, 70, 8.0, 22},
+        {"E5-4620 v2", "E5 v2 2.6", 1611, 8, 2.6, 20, 95, 7.2, 22},
+        {"E5-4650 v2", "E5 v2 2.6", 3616, 10, 2.6, 25, 95, 8.0, 22},
+    };
+    return catalog;
+}
+
+const std::vector<NicModel> &
+nicCatalog()
+{
+    static const std::vector<NicModel> catalog = {
+        // The paper's worked example (prices exact).
+        {"MCX312B-XCCT", "Mellanox", "ConnectX-3", 560, 2, 10, "SFP+"},
+        {"MCX314A-BCCT", "Mellanox", "ConnectX-3", 1121, 2, 40, "QSFP"},
+        // Representative mid-2015 adapters.
+        {"X520-DA2", "Intel", "700/500", 399, 2, 10, "SFP+"},
+        {"XL710-QDA2", "Intel", "700/500", 719, 2, 40, "QSFP+"},
+        {"I350-T2", "Intel", "I350/X540", 132, 2, 1, "RJ45"},
+        {"X540-T2", "Intel", "I350/X540", 478, 2, 10, "RJ45"},
+        {"T520-CR", "Chelsio", "T5", 520, 2, 10, "SFP+"},
+        {"T580-CR", "Chelsio", "T5", 1010, 2, 40, "QSFP"},
+        {"SFN7122F", "SolarFlare", "Flareon", 615, 2, 10, "SFP+"},
+        {"SFN7142Q", "SolarFlare", "Flareon", 1190, 2, 40, "QSFP"},
+        {"OCe14102", "Emulex", "OneConnect", 471, 2, 10, "SFP+"},
+        {"OCe14402", "Emulex", "OneConnect", 1056, 2, 40, "QSFP"},
+        {"57810S", "Dell", "Broadcom", 345, 2, 10, "SFP+"},
+        {"57840S", "Dell", "Broadcom", 624, 2, 20, "SFP+"},
+    };
+    return catalog;
+}
+
+bool
+cpuAdjacent(const CpuModel &c1, const CpuModel &c2)
+{
+    // (1) fewer cores; (2) same series/version/speed/feature size
+    //     (encoded in our `series` key plus ghz/nm); (3) cache, power
+    //     and QPI speed smaller than or equal.
+    return c1.cores < c2.cores && c1.series == c2.series &&
+           c1.ghz == c2.ghz && c1.feature_nm == c2.feature_nm &&
+           c1.cache_mb <= c2.cache_mb && c1.tdp_watts <= c2.tdp_watts &&
+           c1.qpi_gts <= c2.qpi_gts;
+}
+
+bool
+nicAdjacent(const NicModel &n1, const NicModel &n2)
+{
+    // (1) lower throughput; (2) same vendor, product series and port
+    //     count (form factor/connector follows the port speed).
+    return n1.totalGbps() < n2.totalGbps() && n1.vendor == n2.vendor &&
+           n1.series == n2.series && n1.ports == n2.ports;
+}
+
+std::vector<UpgradePoint>
+cpuUpgradePoints()
+{
+    std::vector<UpgradePoint> out;
+    const auto &cat = cpuCatalog();
+    for (const auto &c1 : cat) {
+        for (const auto &c2 : cat) {
+            if (cpuAdjacent(c1, c2)) {
+                out.push_back({c1.name, c2.name,
+                               c2.price_usd / c1.price_usd,
+                               double(c2.cores) / double(c1.cores)});
+            }
+        }
+    }
+    return out;
+}
+
+std::vector<UpgradePoint>
+nicUpgradePoints()
+{
+    std::vector<UpgradePoint> out;
+    const auto &cat = nicCatalog();
+    for (const auto &n1 : cat) {
+        for (const auto &n2 : cat) {
+            if (nicAdjacent(n1, n2)) {
+                out.push_back({n1.name, n2.name,
+                               n2.price_usd / n1.price_usd,
+                               n2.totalGbps() / n1.totalGbps()});
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace vrio::cost

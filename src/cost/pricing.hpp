@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Hardware price-trend analysis (Section 3, Fig. 1).
+ *
+ * The paper compares "adjacent" CPU pairs (same series/speed/process,
+ * more cores) against adjacent NIC pairs (same vendor/series/ports,
+ * more bandwidth) and observes that compute upgrades carry a premium
+ * (cost grows faster than capability) while network upgrades do not
+ * (bandwidth grows faster than cost).  We implement the adjacency
+ * definitions over embedded datasets.
+ *
+ * Dataset provenance: the two worked examples in the paper (Intel
+ * E7-8850v2/E7-8870v2 and Mellanox MCX312B/MCX314A) are reproduced
+ * with the paper's exact prices; the remaining entries reconstruct
+ * representative mid-2015 list prices from the same product families.
+ */
+#ifndef VRIO_COST_PRICING_HPP
+#define VRIO_COST_PRICING_HPP
+
+#include <string>
+#include <vector>
+
+namespace vrio::cost {
+
+struct CpuModel
+{
+    std::string name;
+    std::string series; ///< e.g. "E7 v2"
+    double price_usd;
+    unsigned cores;
+    double ghz;
+    double cache_mb;
+    double tdp_watts;
+    double qpi_gts;
+    unsigned feature_nm;
+};
+
+struct NicModel
+{
+    std::string name;
+    std::string vendor;
+    std::string series;
+    double price_usd; ///< incl. cable, as in Table 1
+    unsigned ports;
+    double gbps_per_port;
+    std::string form_factor;
+
+    double totalGbps() const { return ports * gbps_per_port; }
+};
+
+/** One point of Fig. 1: relative upgrade cost vs relative gain. */
+struct UpgradePoint
+{
+    std::string from;
+    std::string to;
+    double cost_ratio; ///< x axis: price(to) / price(from)
+    double gain_ratio; ///< y axis: capability(to) / capability(from)
+};
+
+/** The embedded CPU dataset. */
+const std::vector<CpuModel> &cpuCatalog();
+/** The embedded NIC dataset. */
+const std::vector<NicModel> &nicCatalog();
+
+/** True if (c1, c2) satisfy the paper's CPU adjacency definition. */
+bool cpuAdjacent(const CpuModel &c1, const CpuModel &c2);
+/** True if (n1, n2) satisfy the paper's NIC adjacency definition. */
+bool nicAdjacent(const NicModel &n1, const NicModel &n2);
+
+/** All adjacent CPU pairs in the catalog as Fig. 1 points. */
+std::vector<UpgradePoint> cpuUpgradePoints();
+/** All adjacent NIC pairs in the catalog as Fig. 1 points. */
+std::vector<UpgradePoint> nicUpgradePoints();
+
+} // namespace vrio::cost
+
+#endif // VRIO_COST_PRICING_HPP

@@ -1,0 +1,128 @@
+#include "cost/rack_cost.hpp"
+
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace vrio::cost {
+
+double
+ServerConfig::price(const ComponentPrices &p) const
+{
+    return p.base + cpus * p.cpu_18core + dram_8gb * p.dram_8gb +
+           dram_16gb * p.dram_16gb + nic_10g * p.nic_10g_dp +
+           nic_40g * p.nic_40g_dp;
+}
+
+double
+ServerConfig::totalGbps() const
+{
+    return nic_10g * 2 * 10.0 + nic_40g * 2 * 40.0;
+}
+
+double
+requiredGbps(unsigned cores)
+{
+    return cores * 380.0 / 1024.0;
+}
+
+ServerConfig
+elvisServer()
+{
+    // 4 CPUs, 288 GB (4 GB/core), two 2x10G NICs.
+    return {"elvis", 4, 0, 18, 2, 0};
+}
+
+ServerConfig
+vrioVmHost()
+{
+    // Hosts 1.5x the VMs: 432 GB (2x8GB + 26x16GB for even DIMM
+    // count), one 2x40G NIC toward the IOhost.
+    return {"vmhost", 4, 2, 26, 0, 1};
+}
+
+ServerConfig
+lightIoHost()
+{
+    // Half the CPUs, minimal memory (64 GB), two 2x40G NICs.
+    return {"light iohost", 2, 8, 0, 0, 2};
+}
+
+ServerConfig
+heavyIoHost()
+{
+    // Two light IOhosts merged: 4 CPUs, four 2x40G NICs.
+    return {"heavy iohost", 4, 8, 0, 0, 4};
+}
+
+double
+RackSetup::price(const ComponentPrices &p) const
+{
+    double total = 0;
+    for (const auto &server : servers)
+        total += server.price(p);
+    return total;
+}
+
+unsigned
+RackSetup::vmCores(const ComponentPrices &) const
+{
+    // Elvis servers dedicate 1/3 of their cores to sidecores; vRIO
+    // VMhosts run VMs on all cores; IOhosts run none.
+    unsigned cores = 0;
+    for (const auto &server : servers) {
+        if (server.name == "elvis")
+            cores += server.cores() * 2 / 3;
+        else if (server.name == "vmhost")
+            cores += server.cores();
+    }
+    return cores;
+}
+
+RackSetup
+elvisRack(unsigned n)
+{
+    RackSetup setup;
+    setup.name = "elvis x" + std::to_string(n);
+    for (unsigned i = 0; i < n; ++i)
+        setup.servers.push_back(elvisServer());
+    return setup;
+}
+
+RackSetup
+vrioRack(unsigned n)
+{
+    vrio_assert(n == 3 || n == 6,
+                "the paper's vRIO setups replace 3 or 6 Elvis servers");
+    RackSetup setup;
+    unsigned vmhosts = n == 3 ? 2 : 4;
+    setup.name = "vrio " + std::to_string(vmhosts) + "+1";
+    for (unsigned i = 0; i < vmhosts; ++i)
+        setup.servers.push_back(vrioVmHost());
+    setup.servers.push_back(n == 3 ? lightIoHost() : heavyIoHost());
+    return setup;
+}
+
+SsdComparison
+ssdConsolidation(unsigned n, unsigned vrio_drives, bool big_drives,
+                 const ComponentPrices &p)
+{
+    vrio_assert(vrio_drives >= 1 && vrio_drives <= n,
+                "consolidation ratio must be n => 1..n");
+    double drive = big_drives ? p.ssd_6_4tb : p.ssd_3_2tb;
+
+    SsdComparison cmp;
+    cmp.elvis_drives = n;
+    cmp.vrio_drives = vrio_drives;
+    // Elvis needs at least one drive per server.
+    cmp.elvis_price = elvisRack(n).price(p) + n * drive;
+    // vRIO consolidates the drives at the IOhost and adds one 2x40G
+    // NIC per 80 Gbps of aggregate drive bandwidth (21.6 Gbps each).
+    unsigned extra_nics =
+        unsigned(std::ceil(vrio_drives * 21.6 / 80.0));
+    cmp.vrio_price = vrioRack(n).price(p) + vrio_drives * drive +
+                     extra_nics * p.nic_40g_dp;
+    return cmp;
+}
+
+} // namespace vrio::cost

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Rack cost configurator (Section 3, Tables 1-2 and Fig. 3).
+ *
+ * Builds the paper's Dell PowerEdge R930 configurations from its
+ * published component prices, and compares equivalent Elvis and vRIO
+ * rack setups, including the SSD consolidation variants.
+ */
+#ifndef VRIO_COST_RACK_COST_HPP
+#define VRIO_COST_RACK_COST_HPP
+
+#include <string>
+#include <vector>
+
+namespace vrio::cost {
+
+/** Component prices from Table 1 (Dell, July 2015). */
+struct ComponentPrices
+{
+    double base = 6407;        ///< R930 chassis
+    double cpu_18core = 8006;  ///< 18-core 2.5GHz Xeon E7-8890 v3
+    double dram_8gb = 172;
+    double dram_16gb = 273;
+    double nic_10g_dp = 560;   ///< dual-port, incl. cable
+    double nic_40g_dp = 1121;
+    double ssd_3_2tb = 12706;  ///< FusionIO SX300
+    double ssd_6_4tb = 24063;
+};
+
+/** A server bill of materials (one column of Table 1). */
+struct ServerConfig
+{
+    std::string name;
+    unsigned cpus = 0;
+    unsigned dram_8gb = 0;
+    unsigned dram_16gb = 0;
+    unsigned nic_10g = 0;
+    unsigned nic_40g = 0;
+
+    double price(const ComponentPrices &p = {}) const;
+    /** Installed NIC bandwidth in Gbps. */
+    double totalGbps() const;
+    unsigned cores() const { return cpus * 18; }
+    /** Installed memory in GB. */
+    unsigned memoryGb() const
+    {
+        return dram_8gb * 8 + dram_16gb * 16;
+    }
+};
+
+/**
+ * Per-core network demand (Section 3): 380 Mbps per core from the
+ * cloud-provider measurement study, reported by the paper in binary
+ * Gbps (divide by 1024) — 72 cores => 26.72 Gbps.
+ */
+double requiredGbps(unsigned cores);
+
+/** The four server types of Table 1. */
+ServerConfig elvisServer();
+ServerConfig vrioVmHost();
+ServerConfig lightIoHost();
+ServerConfig heavyIoHost();
+
+/** One rack setup of Table 2. */
+struct RackSetup
+{
+    std::string name;
+    std::vector<ServerConfig> servers;
+
+    double price(const ComponentPrices &p = {}) const;
+    unsigned vmCores(const ComponentPrices &p = {}) const;
+};
+
+/** Elvis rack: @p n identical Elvis servers. */
+RackSetup elvisRack(unsigned n);
+/**
+ * vRIO rack replacing @p n Elvis servers: per Section 3, 3 servers
+ * become 2 VMhosts + 1 light IOhost, and 6 become 4 VMhosts + 1
+ * heavy IOhost.  Only n in {3, 6} correspond to the paper's setups.
+ */
+RackSetup vrioRack(unsigned n);
+
+/** Fig. 3: SSD consolidation pricing. */
+struct SsdComparison
+{
+    unsigned elvis_drives;
+    unsigned vrio_drives;
+    double elvis_price;
+    double vrio_price;
+    /** vRIO price relative to Elvis (the Fig. 3 y-axis). */
+    double relative() const { return vrio_price / elvis_price; }
+};
+
+/**
+ * Price an e => v drive consolidation on an n-server rack (n in
+ * {3, 6}) using 3.2TB or 6.4TB drives.  vRIO's drives move to the
+ * IOhost, which gains one 2x40G NIC per 80 Gbps of drive bandwidth
+ * (SX300: 21.6 Gbps per drive).
+ */
+SsdComparison ssdConsolidation(unsigned n, unsigned vrio_drives,
+                               bool big_drives,
+                               const ComponentPrices &p = {});
+
+} // namespace vrio::cost
+
+#endif // VRIO_COST_RACK_COST_HPP

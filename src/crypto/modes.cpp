@@ -1,0 +1,92 @@
+#include "crypto/modes.hpp"
+
+#include <cstring>
+
+#include "util/logging.hpp"
+
+namespace vrio::crypto {
+
+Bytes
+pkcs7Pad(std::span<const uint8_t> data)
+{
+    size_t pad = Aes::kBlockSize - data.size() % Aes::kBlockSize;
+    Bytes out(data.begin(), data.end());
+    out.insert(out.end(), pad, uint8_t(pad));
+    return out;
+}
+
+bool
+pkcs7Unpad(std::span<const uint8_t> data, Bytes &out)
+{
+    out.clear();
+    if (data.empty() || data.size() % Aes::kBlockSize != 0)
+        return false;
+    uint8_t pad = data.back();
+    if (pad == 0 || pad > Aes::kBlockSize || pad > data.size())
+        return false;
+    for (size_t i = data.size() - pad; i < data.size(); ++i) {
+        if (data[i] != pad)
+            return false;
+    }
+    out.assign(data.begin(), data.end() - pad);
+    return true;
+}
+
+Bytes
+cbcEncrypt(const Aes &aes, const Iv &iv, std::span<const uint8_t> plaintext)
+{
+    Bytes buf = pkcs7Pad(plaintext);
+    const uint8_t *prev = iv.data();
+    for (size_t off = 0; off < buf.size(); off += Aes::kBlockSize) {
+        for (size_t i = 0; i < Aes::kBlockSize; ++i)
+            buf[off + i] ^= prev[i];
+        aes.encryptBlock(buf.data() + off);
+        prev = buf.data() + off;
+    }
+    return buf;
+}
+
+bool
+cbcDecrypt(const Aes &aes, const Iv &iv, std::span<const uint8_t> ciphertext,
+           Bytes &out)
+{
+    out.clear();
+    if (ciphertext.empty() || ciphertext.size() % Aes::kBlockSize != 0)
+        return false;
+    Bytes buf(ciphertext.begin(), ciphertext.end());
+    Bytes prev(iv.begin(), iv.end());
+    for (size_t off = 0; off < buf.size(); off += Aes::kBlockSize) {
+        Bytes cipher_block(buf.begin() + off,
+                           buf.begin() + off + Aes::kBlockSize);
+        aes.decryptBlock(buf.data() + off);
+        for (size_t i = 0; i < Aes::kBlockSize; ++i)
+            buf[off + i] ^= prev[i];
+        prev = std::move(cipher_block);
+    }
+    return pkcs7Unpad(buf, out);
+}
+
+Bytes
+ctrCrypt(const Aes &aes, uint64_t nonce, std::span<const uint8_t> data)
+{
+    Bytes out(data.begin(), data.end());
+    uint8_t counter_block[Aes::kBlockSize];
+    uint8_t keystream[Aes::kBlockSize];
+    uint64_t counter = 0;
+    for (size_t off = 0; off < out.size(); off += Aes::kBlockSize) {
+        // Counter block: 8-byte nonce || 8-byte big-endian counter.
+        for (int i = 0; i < 8; ++i)
+            counter_block[i] = uint8_t(nonce >> (8 * (7 - i)));
+        for (int i = 0; i < 8; ++i)
+            counter_block[8 + i] = uint8_t(counter >> (8 * (7 - i)));
+        std::memcpy(keystream, counter_block, Aes::kBlockSize);
+        aes.encryptBlock(keystream);
+        size_t n = std::min(size_t(Aes::kBlockSize), out.size() - off);
+        for (size_t i = 0; i < n; ++i)
+            out[off + i] ^= keystream[i];
+        ++counter;
+    }
+    return out;
+}
+
+} // namespace vrio::crypto

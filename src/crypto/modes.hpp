@@ -1,0 +1,50 @@
+/**
+ * @file
+ * AES block cipher modes: CBC (with PKCS#7 padding) and CTR.
+ *
+ * The interposition encryption service uses CBC for block-device
+ * payloads (matching "AES-256 ... through standard Linux APIs" in the
+ * imbalance experiment) and CTR for packet payloads, which must not
+ * grow.
+ */
+#ifndef VRIO_CRYPTO_MODES_HPP
+#define VRIO_CRYPTO_MODES_HPP
+
+#include "crypto/aes.hpp"
+#include "util/byte_buffer.hpp"
+
+namespace vrio::crypto {
+
+/** 16-byte initialization vector. */
+using Iv = std::array<uint8_t, Aes::kBlockSize>;
+
+/** PKCS#7: pad to a whole number of blocks (always adds 1..16 bytes). */
+Bytes pkcs7Pad(std::span<const uint8_t> data);
+
+/**
+ * Remove PKCS#7 padding.  Returns false (and leaves @p out empty) if
+ * the padding is malformed.
+ */
+bool pkcs7Unpad(std::span<const uint8_t> data, Bytes &out);
+
+/** CBC-encrypt @p plaintext (PKCS#7 padded internally). */
+Bytes cbcEncrypt(const Aes &aes, const Iv &iv,
+                 std::span<const uint8_t> plaintext);
+
+/**
+ * CBC-decrypt and strip padding; returns false on malformed input
+ * (not a whole number of blocks, or bad padding).
+ */
+bool cbcDecrypt(const Aes &aes, const Iv &iv,
+                std::span<const uint8_t> ciphertext, Bytes &out);
+
+/**
+ * CTR keystream XOR (encrypt == decrypt); output length equals input
+ * length.  @p nonce seeds the counter block.
+ */
+Bytes ctrCrypt(const Aes &aes, uint64_t nonce,
+               std::span<const uint8_t> data);
+
+} // namespace vrio::crypto
+
+#endif // VRIO_CRYPTO_MODES_HPP

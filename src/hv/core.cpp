@@ -1,0 +1,46 @@
+#include "hv/core.hpp"
+
+#include "util/logging.hpp"
+#include "util/strutil.hpp"
+
+namespace vrio::hv {
+
+Core::Core(sim::Simulation &sim, std::string name, double ghz)
+    : SimObject(sim, std::move(name)), ghz_(ghz),
+      res(sim.events(), this->name())
+{
+    vrio_assert(ghz > 0, "core clock must be positive");
+}
+
+void
+Core::run(double cycles, std::function<void()> done)
+{
+    res.submit(sim::cyclesToTicks(cycles, ghz_), std::move(done));
+}
+
+void
+Core::runFor(sim::Tick duration, std::function<void()> done)
+{
+    res.submit(duration, std::move(done));
+}
+
+Machine::Machine(sim::Simulation &sim, std::string name, MachineConfig cfg)
+    : SimObject(sim, std::move(name)), cfg(cfg)
+{
+    vrio_assert(cfg.cores > 0, "machine needs at least one core");
+    for (unsigned i = 0; i < cfg.cores; ++i) {
+        cores.push_back(std::make_unique<Core>(
+            sim, strFormat("%s.core%u", this->name().c_str(), i),
+            cfg.ghz));
+    }
+}
+
+Core &
+Machine::core(unsigned i)
+{
+    vrio_assert(i < cores.size(), "core index ", i, " out of range on ",
+                name());
+    return *cores[i];
+}
+
+} // namespace vrio::hv

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * CPU cores and machines.
+ *
+ * A Core is a single-server FIFO resource denominated in cycles at a
+ * fixed clock.  Machines group cores; the paper's testbed machines
+ * (IBM x3550/x3650, Section 5) are instantiated from these.
+ */
+#ifndef VRIO_HV_CORE_HPP
+#define VRIO_HV_CORE_HPP
+
+#include <memory>
+#include <vector>
+
+#include "sim/resource.hpp"
+#include "sim/simulation.hpp"
+
+namespace vrio::hv {
+
+class Core : public sim::SimObject
+{
+  public:
+    Core(sim::Simulation &sim, std::string name, double ghz);
+
+    double ghz() const { return ghz_; }
+
+    /** Execute @p cycles of work; @p done runs at completion. */
+    void run(double cycles, std::function<void()> done);
+
+    /** Execute @p duration of work (already in ticks). */
+    void runFor(sim::Tick duration, std::function<void()> done);
+
+    /** Underlying queueing resource (for utilization sampling). */
+    sim::Resource &resource() { return res; }
+    const sim::Resource &resource() const { return res; }
+
+  private:
+    double ghz_;
+    sim::Resource res;
+};
+
+struct MachineConfig
+{
+    unsigned cores = 8;
+    double ghz = 2.2;
+    /** Memory visible to software on this machine (bytes). */
+    size_t memory_bytes = size_t(56) * 1024 * 1024 * 1024;
+};
+
+class Machine : public sim::SimObject
+{
+  public:
+    Machine(sim::Simulation &sim, std::string name, MachineConfig cfg);
+
+    unsigned coreCount() const { return unsigned(cores.size()); }
+    Core &core(unsigned i);
+    const MachineConfig &config() const { return cfg; }
+
+  private:
+    MachineConfig cfg;
+    std::vector<std::unique_ptr<Core>> cores;
+};
+
+} // namespace vrio::hv
+
+#endif // VRIO_HV_CORE_HPP

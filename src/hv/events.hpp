@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Virtualization-event accounting (the currency of the paper's
+ * Table 3).
+ *
+ * Every I/O model wiring increments these counters as its
+ * request-response path executes; `bench/tab03_interrupt_accounting`
+ * replays one transaction per model and prints the table.
+ */
+#ifndef VRIO_HV_EVENTS_HPP
+#define VRIO_HV_EVENTS_HPP
+
+#include <cstdint>
+#include <string>
+
+namespace vrio::hv {
+
+/** Events charged against a single request-response transaction. */
+enum class IoEvent {
+    SyncExit,       ///< synchronous guest exit (trap to hypervisor)
+    GuestInterrupt, ///< virtual interrupt handled by the guest
+    Injection,      ///< hypervisor-mediated interrupt injection
+    HostInterrupt,  ///< physical interrupt handled by the (VM)host
+    IohostInterrupt ///< physical interrupt handled at the IOhost
+};
+
+struct IoEventCounts
+{
+    uint64_t sync_exits = 0;
+    uint64_t guest_interrupts = 0;
+    uint64_t injections = 0;
+    uint64_t host_interrupts = 0;
+    uint64_t iohost_interrupts = 0;
+
+    void
+    record(IoEvent e, uint64_t n = 1)
+    {
+        switch (e) {
+          case IoEvent::SyncExit:
+            sync_exits += n;
+            break;
+          case IoEvent::GuestInterrupt:
+            guest_interrupts += n;
+            break;
+          case IoEvent::Injection:
+            injections += n;
+            break;
+          case IoEvent::HostInterrupt:
+            host_interrupts += n;
+            break;
+          case IoEvent::IohostInterrupt:
+            iohost_interrupts += n;
+            break;
+        }
+    }
+
+    uint64_t
+    sum() const
+    {
+        return sync_exits + guest_interrupts + injections +
+               host_interrupts + iohost_interrupts;
+    }
+};
+
+} // namespace vrio::hv
+
+#endif // VRIO_HV_EVENTS_HPP

@@ -1,0 +1,34 @@
+#include "hv/vm.hpp"
+
+namespace vrio::hv {
+
+const char *
+clientKindName(ClientKind kind)
+{
+    switch (kind) {
+      case ClientKind::KvmGuest:
+        return "kvm-guest";
+      case ClientKind::EsxiGuest:
+        return "esxi-guest";
+      case ClientKind::BareMetalX86:
+        return "bare-metal-x86";
+      case ClientKind::BareMetalPower:
+        return "bare-metal-power";
+    }
+    return "unknown";
+}
+
+Vm::Vm(sim::Simulation &sim, std::string name, Core &vcpu,
+       size_t io_arena_bytes, ClientKind kind)
+    : SimObject(sim, std::move(name)), vcpu_(&vcpu), mem(io_arena_bytes),
+      kind_(kind)
+{}
+
+bool
+Vm::isBareMetal() const
+{
+    return kind_ == ClientKind::BareMetalX86 ||
+           kind_ == ClientKind::BareMetalPower;
+}
+
+} // namespace vrio::hv

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Virtual machines and bare-metal IOclients.
+ *
+ * A Vm binds a vCPU core to a guest-physical memory arena holding its
+ * virtqueues and I/O buffers.  The paper's VMs have 1 VCPU and 1 GB
+ * of memory; we size the modeled arena to the I/O working set only
+ * (rings + in-flight buffers), since nothing else is touched by the
+ * I/O paths being studied.
+ *
+ * ClientKind captures the heterogeneity experiment of Section 5: the
+ * IOhost serves KVM guests, ESXi guests, and bare-metal OSes (x86 or
+ * POWER) identically, because the vRIO channel is just Ethernet.
+ */
+#ifndef VRIO_HV_VM_HPP
+#define VRIO_HV_VM_HPP
+
+#include "hv/core.hpp"
+#include "hv/events.hpp"
+#include "virtio/guest_memory.hpp"
+
+namespace vrio::hv {
+
+enum class ClientKind {
+    KvmGuest,
+    EsxiGuest,
+    BareMetalX86,
+    BareMetalPower,
+};
+
+/** Human-readable name of a client kind. */
+const char *clientKindName(ClientKind kind);
+
+class Vm : public sim::SimObject
+{
+  public:
+    /**
+     * @param vcpu the core this (single-VCPU) client is pinned to.
+     * @param io_arena_bytes size of the modeled guest memory arena.
+     */
+    Vm(sim::Simulation &sim, std::string name, Core &vcpu,
+       size_t io_arena_bytes = 8u << 20,
+       ClientKind kind = ClientKind::KvmGuest);
+
+    Core &vcpu() { return *vcpu_; }
+    virtio::GuestMemory &memory() { return mem; }
+
+    /**
+     * Rebind this client to a new core — the compute half of a live
+     * migration.  In-flight work on the old core completes there; new
+     * work runs on the new core.
+     */
+    void migrateTo(Core &new_vcpu) { vcpu_ = &new_vcpu; }
+    ClientKind kind() const { return kind_; }
+    bool isBareMetal() const;
+
+    /** Per-client Table-3 event accounting. */
+    IoEventCounts &events() { return events_; }
+    const IoEventCounts &events() const { return events_; }
+
+    /**
+     * Record an involuntary guest context switch.  Elvis guests with
+     * local low-latency block devices suffer two orders of magnitude
+     * more of these than vRIO guests (the paper's explanation of
+     * Fig. 14's "2 pairs" reversal).
+     */
+    void noteContextSwitch() { ++ctx_switches; }
+    uint64_t contextSwitches() const { return ctx_switches; }
+
+  private:
+    Core *vcpu_;
+    virtio::GuestMemory mem;
+    ClientKind kind_;
+    IoEventCounts events_;
+    uint64_t ctx_switches = 0;
+};
+
+} // namespace vrio::hv
+
+#endif // VRIO_HV_VM_HPP

@@ -1,0 +1,80 @@
+#include "interpose/rle.hpp"
+
+namespace vrio::interpose {
+
+namespace {
+constexpr uint8_t kLiteral = 0x00;
+constexpr uint8_t kRun = 0x01;
+constexpr size_t kMinRun = 4;
+constexpr size_t kMaxChunk = 0xffff;
+} // namespace
+
+Bytes
+rleCompress(std::span<const uint8_t> data)
+{
+    Bytes out;
+    ByteWriter w(out);
+    size_t i = 0;
+    size_t literal_start = 0;
+
+    auto flush_literals = [&](size_t end) {
+        size_t pos = literal_start;
+        while (pos < end) {
+            size_t len = std::min(kMaxChunk, end - pos);
+            w.putU8(kLiteral);
+            w.putU16le(uint16_t(len));
+            w.putBytes(data.subspan(pos, len));
+            pos += len;
+        }
+    };
+
+    while (i < data.size()) {
+        size_t run = 1;
+        while (i + run < data.size() && data[i + run] == data[i] &&
+               run < kMaxChunk) {
+            ++run;
+        }
+        if (run >= kMinRun) {
+            flush_literals(i);
+            w.putU8(kRun);
+            w.putU16le(uint16_t(run));
+            w.putU8(data[i]);
+            i += run;
+            literal_start = i;
+        } else {
+            i += run;
+        }
+    }
+    flush_literals(data.size());
+    return out;
+}
+
+bool
+rleDecompress(std::span<const uint8_t> data, Bytes &out)
+{
+    out.clear();
+    size_t i = 0;
+    while (i < data.size()) {
+        uint8_t tag = data[i++];
+        if (i + 2 > data.size())
+            return false;
+        uint16_t n = uint16_t(data[i]) | uint16_t(data[i + 1]) << 8;
+        i += 2;
+        if (tag == kLiteral) {
+            if (i + n > data.size())
+                return false;
+            out.insert(out.end(), data.begin() + i, data.begin() + i + n);
+            i += n;
+        } else if (tag == kRun) {
+            if (i + 1 > data.size())
+                return false;
+            out.insert(out.end(), n, data[i]);
+            i += 1;
+        } else {
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace vrio::interpose

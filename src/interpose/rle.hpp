@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Byte-oriented run-length codec used by the compression
+ * interposition service.
+ *
+ * Format: a stream of (count, byte) records for runs of >= 4 equal
+ * bytes, and literal blocks otherwise:
+ *   0x00 <u16 len> <len literal bytes>
+ *   0x01 <u16 count> <byte>
+ * Chosen for simplicity and determinism, not ratio — the point of the
+ * service is real, measurable per-byte CPU work on the interposition
+ * path plus correct round trips.
+ */
+#ifndef VRIO_INTERPOSE_RLE_HPP
+#define VRIO_INTERPOSE_RLE_HPP
+
+#include "util/byte_buffer.hpp"
+
+namespace vrio::interpose {
+
+/** Compress @p data (always succeeds; may expand ~0.1%). */
+Bytes rleCompress(std::span<const uint8_t> data);
+
+/**
+ * Decompress; returns false on malformed input (truncated record or
+ * trailing garbage).
+ */
+bool rleDecompress(std::span<const uint8_t> data, Bytes &out);
+
+} // namespace vrio::interpose
+
+#endif // VRIO_INTERPOSE_RLE_HPP

@@ -1,0 +1,31 @@
+#include "interpose/service.hpp"
+
+namespace vrio::interpose {
+
+void
+Chain::append(std::unique_ptr<Service> service)
+{
+    services.push_back(std::move(service));
+}
+
+bool
+Chain::run(IoContext &ctx, Bytes &payload, double &cycles_out)
+{
+    for (auto &service : services) {
+        cycles_out += service->cycleCost(payload.size());
+        if (!service->process(ctx, payload))
+            return false;
+    }
+    return true;
+}
+
+double
+Chain::cycleCost(size_t payload_bytes) const
+{
+    double cycles = 0;
+    for (const auto &service : services)
+        cycles += service->cycleCost(payload_bytes);
+    return cycles;
+}
+
+} // namespace vrio::interpose

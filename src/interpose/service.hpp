@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Programmable I/O interposition framework.
+ *
+ * Interposition is the paper's raison d'etre: the whole point of
+ * keeping a paravirtual indirection layer (rather than raw SRIOV) is
+ * that the host can run services on every I/O — "block or packet
+ * level encryption, SDN, deep packet inspection, intrusion detection,
+ * anti-virus, deduplication, and compression" (Section 4.1).  In vRIO
+ * these services run on the I/O hypervisor's workers; in virtio and
+ * Elvis they run on the local host.  A Chain is attached to a
+ * back-end device and processes each request/response payload.
+ */
+#ifndef VRIO_INTERPOSE_SERVICE_HPP
+#define VRIO_INTERPOSE_SERVICE_HPP
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/mac.hpp"
+#include "util/byte_buffer.hpp"
+
+namespace vrio::interpose {
+
+/** Direction of the interposed I/O relative to the client. */
+enum class Direction {
+    FromClient, ///< client transmit / block write
+    ToClient,   ///< client receive / block read
+};
+
+/** What a service gets to see about the I/O it interposes on. */
+struct IoContext
+{
+    Direction dir = Direction::FromClient;
+    uint32_t device_id = 0;
+    bool is_block = false;
+    /** Block: starting sector of the request (for sector-keyed modes). */
+    uint64_t sector = 0;
+    /** L2 addresses (services may rewrite them, e.g. SDN). */
+    net::MacAddress src;
+    net::MacAddress dst;
+    uint16_t ether_type = 0;
+};
+
+/**
+ * One interposition service.  process() may transform the payload and
+ * the L2 addresses in the context; returning false drops the I/O
+ * (firewall/IDS verdict).  cycleCost() is the CPU this service burns
+ * for a payload of the given size, charged to whichever core runs the
+ * chain (a sidecore/worker, or the VM host core in the baseline).
+ */
+class Service
+{
+  public:
+    virtual ~Service() = default;
+
+    virtual std::string name() const = 0;
+    virtual bool process(IoContext &ctx, Bytes &payload) = 0;
+    virtual double cycleCost(size_t payload_bytes) const = 0;
+};
+
+/** Ordered pipeline of services. */
+class Chain
+{
+  public:
+    void append(std::unique_ptr<Service> service);
+
+    /**
+     * Run all services in order.
+     *
+     * @param cycles_out accumulates the total cycle cost.
+     * @return false as soon as any service drops the I/O.
+     */
+    bool run(IoContext &ctx, Bytes &payload, double &cycles_out);
+
+    /** Cycle cost of the full chain without running it. */
+    double cycleCost(size_t payload_bytes) const;
+
+    size_t size() const { return services.size(); }
+    bool empty() const { return services.empty(); }
+    Service &at(size_t i) { return *services.at(i); }
+
+  private:
+    std::vector<std::unique_ptr<Service>> services;
+};
+
+} // namespace vrio::interpose
+
+#endif // VRIO_INTERPOSE_SERVICE_HPP

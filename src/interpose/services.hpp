@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Concrete interposition services.
+ */
+#ifndef VRIO_INTERPOSE_SERVICES_HPP
+#define VRIO_INTERPOSE_SERVICES_HPP
+
+#include <map>
+#include <optional>
+
+#include "crypto/modes.hpp"
+#include "interpose/service.hpp"
+
+namespace vrio::interpose {
+
+/** Per-device byte/operation metering (billing / accounting). */
+class MeteringService : public Service
+{
+  public:
+    std::string name() const override { return "metering"; }
+    bool process(IoContext &ctx, Bytes &payload) override;
+    double cycleCost(size_t) const override { return 120; }
+
+    uint64_t bytesSeen(uint32_t device_id) const;
+    uint64_t opsSeen(uint32_t device_id) const;
+
+  private:
+    struct Meter
+    {
+        uint64_t bytes = 0;
+        uint64_t ops = 0;
+    };
+    std::map<uint32_t, Meter> meters;
+};
+
+/** L2 firewall: default-allow with explicit deny rules. */
+class FirewallService : public Service
+{
+  public:
+    struct Rule
+    {
+        /** Match any source when unset. */
+        std::optional<net::MacAddress> src;
+        std::optional<net::MacAddress> dst;
+        std::optional<uint16_t> ether_type;
+
+        bool matches(const IoContext &ctx) const;
+    };
+
+    std::string name() const override { return "firewall"; }
+    bool process(IoContext &ctx, Bytes &payload) override;
+    double cycleCost(size_t) const override
+    {
+        return 90 + 40 * double(rules.size());
+    }
+
+    void deny(Rule rule) { rules.push_back(std::move(rule)); }
+    uint64_t droppedCount() const { return dropped; }
+
+  private:
+    std::vector<Rule> rules;
+    uint64_t dropped = 0;
+};
+
+/**
+ * Seamless encryption (the Fig. 16b imbalance workload): AES-256 over
+ * every payload.  Both directions use length-preserving AES-CTR —
+ * packets must not grow, and block payloads must keep their sector
+ * count (modelling XTS-class disk encryption).  Block keystreams are
+ * keyed by (device, sector); packet keystreams by device.
+ *
+ * The cycle cost (default 22 cycles/byte) reflects unaccelerated
+ * software AES, which is what makes encryption an interesting
+ * consolidation workload: one webserver's encrypted I/O can saturate
+ * more than one sidecore.
+ */
+class EncryptionService : public Service
+{
+  public:
+    explicit EncryptionService(std::span<const uint8_t> key,
+                               double cycles_per_byte = 22.0);
+
+    std::string name() const override { return "aes256"; }
+    bool process(IoContext &ctx, Bytes &payload) override;
+    double cycleCost(size_t payload_bytes) const override
+    {
+        return 900 + cycles_per_byte * double(payload_bytes);
+    }
+
+  private:
+    crypto::Aes aes;
+    double cycles_per_byte;
+};
+
+/** SDN-style L2 rewrite: maps virtual MACs to rack-local MACs. */
+class SdnRewriteService : public Service
+{
+  public:
+    std::string name() const override { return "sdn-rewrite"; }
+    bool process(IoContext &ctx, Bytes &payload) override;
+    double cycleCost(size_t) const override { return 150; }
+
+    void mapAddress(net::MacAddress from, net::MacAddress to);
+    uint64_t rewrites() const { return rewrites_; }
+
+  private:
+    std::map<net::MacAddress, net::MacAddress> mapping;
+    uint64_t rewrites_ = 0;
+};
+
+/**
+ * Transparent block-storage compression (length-preserving): write
+ * payloads are RLE-compressed into a self-describing container padded
+ * to the original size (keeping sector alignment intact); reads
+ * decompress transparently.  Incompressible blocks are stored raw.
+ * Like real in-place storage compression, the win is bandwidth/cycles
+ * on the wire side and measurable data reduction statistics; the
+ * at-rest footprint is unchanged.
+ */
+class CompressionService : public Service
+{
+  public:
+    std::string name() const override { return "rle-compress"; }
+    bool process(IoContext &ctx, Bytes &payload) override;
+    double cycleCost(size_t payload_bytes) const override
+    {
+        return 600 + 2.4 * double(payload_bytes);
+    }
+
+    uint64_t blocksCompressed() const { return compressed; }
+    uint64_t blocksStoredRaw() const { return raw; }
+    uint64_t logicalBytes() const { return logical_bytes; }
+    uint64_t compressedBytes() const { return compressed_bytes; }
+    /** Achieved data reduction (1.0 = incompressible). */
+    double ratio() const
+    {
+        return compressed_bytes
+                   ? double(logical_bytes) / double(compressed_bytes)
+                   : 1.0;
+    }
+
+  private:
+    uint64_t compressed = 0;
+    uint64_t raw = 0;
+    uint64_t logical_bytes = 0;
+    uint64_t compressed_bytes = 0;
+};
+
+/**
+ * Content-defined duplicate detection over 4KB chunks (CRC32
+ * fingerprints).  Detection only — it reports the dedup ratio rather
+ * than rewriting the stream.
+ */
+class DedupService : public Service
+{
+  public:
+    std::string name() const override { return "dedup"; }
+    bool process(IoContext &ctx, Bytes &payload) override;
+    double cycleCost(size_t payload_bytes) const override
+    {
+        return 300 + 1.2 * double(payload_bytes);
+    }
+
+    uint64_t chunksSeen() const { return chunks; }
+    uint64_t duplicateChunks() const { return duplicates; }
+
+  private:
+    std::map<uint32_t, uint64_t> fingerprints;
+    uint64_t chunks = 0;
+    uint64_t duplicates = 0;
+};
+
+} // namespace vrio::interpose
+
+#endif // VRIO_INTERPOSE_SERVICES_HPP

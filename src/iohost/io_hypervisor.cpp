@@ -1,0 +1,548 @@
+#include "iohost/io_hypervisor.hpp"
+
+#include "block/alignment.hpp"
+#include "util/logging.hpp"
+
+namespace vrio::iohost {
+
+using transport::MessageAssembler;
+using transport::MsgType;
+using transport::TransportHeader;
+
+IoHypervisor::IoHypervisor(sim::Simulation &sim, std::string name,
+                           hv::Machine &machine, IoHypervisorConfig cfg)
+    : SimObject(sim, std::move(name)), cfg(cfg), machine(machine),
+      steer(cfg.num_workers),
+      reasm(std::make_unique<transport::Reassembler>(sim.events(),
+                                                     cfg.mtu))
+{
+    vrio_assert(cfg.first_worker_core + cfg.num_workers <=
+                    machine.coreCount(),
+                "IOhost machine has too few cores for ",
+                cfg.num_workers, " workers");
+}
+
+hv::Core &
+IoHypervisor::workerCore(unsigned w)
+{
+    vrio_assert(w < cfg.num_workers, "bad worker ", w);
+    return machine.core(cfg.first_worker_core + w);
+}
+
+void
+IoHypervisor::attachClientNic(net::Nic &nic)
+{
+    client_nics.push_back(&nic);
+    nic.setPromiscuous(true);
+    if (cfg.polling) {
+        nic.setRxMode(0, net::Nic::RxMode::Poll);
+        nic.setRxNotify(0, [this](unsigned) { clientRxNotify(); });
+    } else {
+        nic.setRxMode(0, net::Nic::RxMode::Interrupt);
+        nic.setRxHandler(0, [this](unsigned) {
+            // vRIO w/o poll: the IOhost takes a physical interrupt
+            // per (coalesced) arrival; charge the IRQ path, then
+            // drain the ring from the handler.
+            ++irqs_taken;
+            workerCore(0).run(cfg.interrupt_cycles,
+                              [this]() { pumpClientRings(); });
+        });
+    }
+}
+
+void
+IoHypervisor::mapClientPort(net::MacAddress t_mac, size_t port_index)
+{
+    vrio_assert(port_index < client_nics.size(), "bad client port ",
+                port_index);
+    client_port_of[t_mac] = port_index;
+}
+
+void
+IoHypervisor::attachExternalNic(net::Nic &nic)
+{
+    vrio_assert(!external_nic, "external NIC already attached");
+    external_nic = &nic;
+    nic.setPromiscuous(true);
+    if (cfg.polling) {
+        nic.setRxMode(0, net::Nic::RxMode::Poll);
+        nic.setRxNotify(0, [this](unsigned) { externalRxNotify(); });
+    } else {
+        nic.setRxMode(0, net::Nic::RxMode::Interrupt);
+        nic.setRxHandler(0, [this](unsigned) {
+            ++irqs_taken;
+            workerCore(0).run(cfg.interrupt_cycles,
+                              [this]() { pumpExternalRings(); });
+        });
+    }
+}
+
+void
+IoHypervisor::addNetDevice(NetDeviceEntry entry)
+{
+    vrio_assert(net_devices.emplace(entry.device_id, entry).second,
+                "duplicate net device ", entry.device_id);
+    f_mac_index[entry.f_mac] = entry.device_id;
+}
+
+void
+IoHypervisor::addBlockDevice(BlockDeviceEntry entry)
+{
+    vrio_assert(entry.device != nullptr, "block device must be backed");
+    vrio_assert(blk_devices.emplace(entry.device_id, entry).second,
+                "duplicate block device ", entry.device_id);
+}
+
+void
+IoHypervisor::sendDeviceCreate(const transport::DeviceCreateCmd &cmd,
+                               net::MacAddress t_mac)
+{
+    Bytes payload;
+    ByteWriter w(payload);
+    cmd.encode(w);
+    TransportHeader hdr;
+    hdr.type = MsgType::DevCreate;
+    hdr.device_id = cmd.device_id;
+    hdr.total_len = uint32_t(payload.size());
+    sendToClient(t_mac, hdr, payload);
+}
+
+// -- client-channel ingress ---------------------------------------------
+
+void
+IoHypervisor::clientRxNotify()
+{
+    if (pump_scheduled)
+        return;
+    pump_scheduled = true;
+    sim().events().schedule(cfg.poll_pickup, [this]() {
+        pump_scheduled = false;
+        pumpClientRings();
+    });
+}
+
+bool
+IoHypervisor::intakeAllowed() const
+{
+    return inflight < size_t(cfg.num_workers) * cfg.batch_max;
+}
+
+void
+IoHypervisor::stageDone()
+{
+    vrio_assert(inflight > 0, "stageDone underflow");
+    --inflight;
+    // A worker went idle: it takes the next batch off the rings.
+    pumpClientRings();
+    if (external_nic)
+        pumpExternalRings();
+}
+
+void
+IoHypervisor::pumpClientRings()
+{
+    vrio_assert(!client_nics.empty(), "no client NIC");
+    for (size_t i = 0; i < client_nics.size(); ++i) {
+        net::Nic *nic = client_nics[i];
+        while (nic->rxPending(0) > 0 && intakeAllowed()) {
+            auto batch = nic->rxTake(0, cfg.batch_max);
+            pending_batch_cycles += cfg.batch_fixed_cycles;
+            for (const auto &frame : batch) {
+                // Learn which port this client is behind.
+                client_port_of[frame->ether().src] = i;
+                handleWireFrame(frame);
+            }
+        }
+    }
+}
+
+void
+IoHypervisor::handleWireFrame(const net::FramePtr &frame)
+{
+    auto msg = reasm->feed(*frame);
+    if (!msg)
+        return;
+    auto req = assembler.feed(std::move(*msg));
+    if (!req)
+        return;
+    dispatch(std::move(*req));
+}
+
+void
+IoHypervisor::dispatch(MessageAssembler::Assembled req)
+{
+    ++messages;
+    switch (req.hdr.type) {
+      case MsgType::NetOut:
+        ++inflight;
+        execNet(steer.steer(req.hdr.device_id), std::move(req));
+        break;
+      case MsgType::BlkReq:
+        ++inflight;
+        execBlock(steer.steer(req.hdr.device_id), std::move(req));
+        break;
+      case MsgType::DevAck:
+        execAck(std::move(req));
+        break;
+      default:
+        vrio_warn("IOhost ignoring unexpected message type ",
+                  transport::msgTypeName(req.hdr.type));
+    }
+}
+
+double
+IoHypervisor::interposeCycles(interpose::Chain *chain, size_t bytes) const
+{
+    return chain ? chain->cycleCost(bytes) : 0.0;
+}
+
+double
+IoHypervisor::takeBatchCycles()
+{
+    double cycles = pending_batch_cycles;
+    pending_batch_cycles = 0;
+    return cycles;
+}
+
+double
+IoHypervisor::disturbanceCycles()
+{
+    auto &rng = sim().random();
+    double cycles = 0;
+    auto draw = [&rng](double mean, double cap) {
+        double us = rng.exponential(mean);
+        return cap > 0 && us > cap ? cap : us;
+    };
+    if (cfg.jitter_p > 0 && rng.bernoulli(cfg.jitter_p)) {
+        cycles += draw(cfg.jitter_mean_us, cfg.jitter_cap_us) *
+                  cfg.worker_ghz * 1e3;
+    }
+    if (cfg.stall_p > 0 && rng.bernoulli(cfg.stall_p)) {
+        cycles += draw(cfg.stall_mean_us, cfg.stall_cap_us) *
+                  cfg.worker_ghz * 1e3;
+    }
+    return cycles;
+}
+
+void
+IoHypervisor::execNet(unsigned worker, MessageAssembler::Assembled req)
+{
+    auto it = net_devices.find(req.hdr.device_id);
+    if (it == net_devices.end()) {
+        vrio_warn("net request for unknown device ", req.hdr.device_id);
+        steer.complete(req.hdr.device_id, worker);
+        return;
+    }
+    NetDeviceEntry &dev = it->second;
+
+    double cycles = cfg.net_fixed_cycles +
+                    cfg.net_per_byte_cycles * double(req.payload.size()) +
+                    interposeCycles(dev.chain, req.payload.size()) +
+                    takeBatchCycles() + disturbanceCycles();
+    if (!req.zero_copy) {
+        cycles += cfg.copy_per_byte_cycles * double(req.payload.size());
+        copied_bytes += req.payload.size();
+    }
+
+    uint32_t device_id = req.hdr.device_id;
+    workerCore(worker).run(cycles, [this, worker, device_id,
+                                    req = std::move(req)]() mutable {
+        steer.complete(device_id, worker);
+        stageDone();
+
+        // The payload is the guest's L2 frame; run interposition and
+        // forward it out the external port.
+        auto it = net_devices.find(device_id);
+        if (it == net_devices.end())
+            return;
+        NetDeviceEntry &dev = it->second;
+
+        if (dev.chain) {
+            interpose::IoContext ctx;
+            ctx.dir = interpose::Direction::FromClient;
+            ctx.device_id = device_id;
+            ctx.is_block = false;
+            net::EtherHeader eh;
+            if (req.payload.size() >= net::kEtherHeaderSize) {
+                ByteReader r(req.payload);
+                eh = net::EtherHeader::decode(r);
+                ctx.src = eh.src;
+                ctx.dst = eh.dst;
+                ctx.ether_type = eh.ether_type;
+            }
+            double chain_cycles = 0; // pre-charged above
+            if (!dev.chain->run(ctx, req.payload, chain_cycles))
+                return; // dropped by a service (e.g. firewall)
+            // Services may rewrite L2 addresses (SDN); apply them.
+            if ((ctx.dst != eh.dst || ctx.src != eh.src) &&
+                req.payload.size() >= net::kEtherHeaderSize) {
+                eh.dst = ctx.dst;
+                eh.src = ctx.src;
+                Bytes hdr;
+                ByteWriter w(hdr);
+                eh.encode(w);
+                std::copy(hdr.begin(), hdr.end(), req.payload.begin());
+            }
+        }
+
+        vrio_assert(external_nic, "no external NIC");
+        auto out = std::make_shared<net::Frame>();
+        out->bytes = std::move(req.payload);
+        ++net_forwarded;
+        external_nic->send(0, std::move(out));
+        if (!cfg.polling) {
+            // TX-done interrupt on the external port (no-poll mode).
+            ++irqs_taken;
+            workerCore(0).run(cfg.interrupt_cycles, []() {});
+        }
+    });
+}
+
+void
+IoHypervisor::execBlock(unsigned worker, MessageAssembler::Assembled req)
+{
+    auto it = blk_devices.find(req.hdr.device_id);
+    if (it == blk_devices.end()) {
+        vrio_warn("block request for unknown device ", req.hdr.device_id);
+        steer.complete(req.hdr.device_id, worker);
+        return;
+    }
+    BlockDeviceEntry &dev = it->second;
+    auto kind = virtio::BlkType(req.hdr.blk_type);
+    bool is_write = kind == virtio::BlkType::Out;
+
+    // Zero-copy accounting (Section 4.4): writes reuse the DMA buffer
+    // for its sector-aligned interior, copying only the edges; the
+    // edges come from where the payload landed inside the SKB pages.
+    uint64_t copy_bytes = 0;
+    if (is_write) {
+        auto split = block::splitForZeroCopy(
+            TransportHeader::kSize % virtio::kSectorSize,
+            req.payload.size(), virtio::kSectorSize);
+        copy_bytes += split.copied();
+    }
+    if (!req.zero_copy)
+        copy_bytes += req.payload.size();
+    copied_bytes += copy_bytes;
+
+    size_t touched = is_write ? req.payload.size() : 0;
+    double cycles = cfg.blk_fixed_cycles +
+                    cfg.blk_per_byte_cycles * double(touched) +
+                    cfg.copy_per_byte_cycles * double(copy_bytes) +
+                    interposeCycles(dev.chain, req.payload.size()) +
+                    takeBatchCycles() + disturbanceCycles();
+
+    uint32_t device_id = req.hdr.device_id;
+    workerCore(worker).run(cycles, [this, worker, device_id,
+                                    req = std::move(req),
+                                    kind]() mutable {
+        steer.complete(device_id, worker);
+        stageDone();
+        auto it = blk_devices.find(device_id);
+        if (it == blk_devices.end())
+            return;
+        BlockDeviceEntry &dev = it->second;
+        bool is_write = kind == virtio::BlkType::Out;
+
+        // Interpose on write payloads before they hit the device.
+        if (dev.chain && is_write) {
+            interpose::IoContext ctx;
+            ctx.dir = interpose::Direction::FromClient;
+            ctx.device_id = device_id;
+            ctx.is_block = true;
+            ctx.sector = req.hdr.sector;
+            double chain_cycles = 0;
+            if (!dev.chain->run(ctx, req.payload, chain_cycles)) {
+                TransportHeader resp = req.hdr;
+                resp.type = MsgType::BlkResp;
+                resp.status = uint8_t(virtio::BlkStatus::IoErr);
+                resp.total_len = 0;
+                sendToClient(dev.t_mac, resp, {});
+                return;
+            }
+        }
+
+        block::BlockRequest breq;
+        breq.kind = kind;
+        breq.sector = req.hdr.sector;
+        if (is_write) {
+            vrio_assert(req.payload.size() % virtio::kSectorSize == 0,
+                        "unaligned write payload");
+            breq.nsectors =
+                uint32_t(req.payload.size() / virtio::kSectorSize);
+            breq.data = std::move(req.payload);
+        } else if (kind == virtio::BlkType::In) {
+            breq.nsectors = req.hdr.io_len / virtio::kSectorSize;
+        }
+
+        TransportHeader resp_proto = req.hdr;
+        resp_proto.type = MsgType::BlkResp;
+
+        dev.device->submit(
+            std::move(breq),
+            [this, device_id, resp_proto](virtio::BlkStatus status,
+                                          Bytes data) mutable {
+                auto it = blk_devices.find(device_id);
+                if (it == blk_devices.end())
+                    return;
+                BlockDeviceEntry &dev = it->second;
+                ++blk_ops;
+
+                // Interpose on read data flowing back to the client
+                // (e.g. decryption); reads of encrypted-at-rest data
+                // are transformed by the same chain in the ToClient
+                // direction.
+                if (dev.chain && status == virtio::BlkStatus::Ok &&
+                    !data.empty()) {
+                    interpose::IoContext ctx;
+                    ctx.dir = interpose::Direction::ToClient;
+                    ctx.device_id = device_id;
+                    ctx.is_block = true;
+                    ctx.sector = resp_proto.sector;
+                    double chain_cycles = 0;
+                    if (!dev.chain->run(ctx, data, chain_cycles)) {
+                        status = virtio::BlkStatus::IoErr;
+                        data.clear();
+                    }
+                }
+
+                // Completion-side worker cost (response path).
+                unsigned w = steer.steer(device_id);
+                double cycles =
+                    cfg.blk_fixed_cycles / 2 +
+                    cfg.blk_per_byte_cycles * double(data.size()) +
+                    interposeCycles(dev.chain, data.size());
+                workerCore(w).run(
+                    cycles, [this, w, device_id, resp_proto, status,
+                             data = std::move(data)]() mutable {
+                        steer.complete(device_id, w);
+                        auto it = blk_devices.find(device_id);
+                        if (it == blk_devices.end())
+                            return;
+                        TransportHeader resp = resp_proto;
+                        resp.status = uint8_t(status);
+                        sendToClient(it->second.t_mac, resp, data);
+                    });
+            });
+    });
+}
+
+void
+IoHypervisor::execAck(MessageAssembler::Assembled req)
+{
+    transport::DeviceAck ack;
+    ByteReader r(req.payload);
+    if (transport::DeviceAck::decode(r, ack))
+        ++acks;
+}
+
+void
+IoHypervisor::sendToClient(net::MacAddress t_mac,
+                           const TransportHeader &hdr, const Bytes &payload)
+{
+    vrio_assert(!client_nics.empty(), "no client NIC");
+    auto learned = client_port_of.find(t_mac);
+    net::Nic *nic = learned != client_port_of.end()
+                        ? client_nics[learned->second]
+                        : client_nics.front();
+    net::MacAddress src = nic->queueMac(0);
+    // Software-segment oversized responses, then one TSO send per part.
+    auto parts = transport::segmentRequest(hdr, payload);
+    for (const auto &part : parts) {
+        auto frame = transport::encapsulate(src, t_mac, next_wire_id++,
+                                            part.hdr, part.payload);
+        nic->send(0, std::move(frame));
+        if (!cfg.polling) {
+            // Interrupt-driven IOhost: each transmit completion also
+            // interrupts (half of the "4 IOhost interrupts" of
+            // Table 3's no-poll row).
+            ++irqs_taken;
+            workerCore(0).run(cfg.interrupt_cycles, []() {});
+        }
+    }
+}
+
+// -- external ingress -----------------------------------------------------
+
+void
+IoHypervisor::externalRxNotify()
+{
+    // Reuse the client pump gate: a single poll loop services both
+    // rings in practice; modelling one shared pickup delay suffices.
+    if (pump_scheduled)
+        return;
+    pump_scheduled = true;
+    sim().events().schedule(cfg.poll_pickup, [this]() {
+        pump_scheduled = false;
+        pumpExternalRings();
+        pumpClientRings();
+    });
+}
+
+void
+IoHypervisor::pumpExternalRings()
+{
+    vrio_assert(external_nic, "no external NIC");
+    while (external_nic->rxPending(0) > 0 && intakeAllowed()) {
+        auto batch = external_nic->rxTake(0, cfg.batch_max);
+        pending_batch_cycles += cfg.batch_fixed_cycles;
+        for (auto &frame : batch)
+            handleExternalFrame(std::move(frame));
+    }
+}
+
+void
+IoHypervisor::handleExternalFrame(net::FramePtr frame)
+{
+    net::EtherHeader eh = frame->ether();
+    auto idx = f_mac_index.find(eh.dst);
+    if (idx == f_mac_index.end())
+        return; // not for any consolidated device
+    uint32_t device_id = idx->second;
+    auto it = net_devices.find(device_id);
+    vrio_assert(it != net_devices.end(), "index out of sync");
+    NetDeviceEntry &dev = it->second;
+
+    ++inflight;
+    unsigned worker = steer.steer(device_id);
+    size_t frame_bytes = frame->bytes.size() + frame->pad;
+    double cycles = cfg.net_fixed_cycles +
+                    cfg.net_per_byte_cycles * double(frame_bytes) +
+                    interposeCycles(dev.chain, frame_bytes) +
+                    takeBatchCycles() + disturbanceCycles();
+
+    workerCore(worker).run(cycles, [this, worker, device_id,
+                                    frame = std::move(frame)]() mutable {
+        steer.complete(device_id, worker);
+        stageDone();
+        auto it = net_devices.find(device_id);
+        if (it == net_devices.end())
+            return;
+        NetDeviceEntry &dev = it->second;
+
+        Bytes payload = std::move(frame->bytes);
+        if (dev.chain) {
+            interpose::IoContext ctx;
+            ctx.dir = interpose::Direction::ToClient;
+            ctx.device_id = device_id;
+            ctx.is_block = false;
+            ByteReader r(payload);
+            auto eh = net::EtherHeader::decode(r);
+            ctx.src = eh.src;
+            ctx.dst = eh.dst;
+            ctx.ether_type = eh.ether_type;
+            double chain_cycles = 0;
+            if (!dev.chain->run(ctx, payload, chain_cycles))
+                return;
+        }
+
+        TransportHeader hdr;
+        hdr.type = MsgType::NetIn;
+        hdr.device_id = device_id;
+        hdr.total_len = uint32_t(payload.size());
+        ++net_forwarded;
+        sendToClient(dev.t_mac, hdr, payload);
+    });
+}
+
+} // namespace vrio::iohost

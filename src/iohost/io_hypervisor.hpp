@@ -1,0 +1,217 @@
+/**
+ * @file
+ * The vRIO I/O hypervisor — the software that controls the IOhost
+ * (Section 4.1).
+ *
+ * It owns a set of workers (sidecores), polls the client-facing NIC
+ * (or takes interrupts, in the no-poll ablation), reassembles
+ * transport messages, steers each request to a worker under the
+ * order-preserving policy, runs the per-device interposition chain,
+ * and executes the back-end action: forwarding guest packets out the
+ * external NIC, delivering external packets to guests, or performing
+ * block I/O against consolidated devices.
+ */
+#ifndef VRIO_IOHOST_IO_HYPERVISOR_HPP
+#define VRIO_IOHOST_IO_HYPERVISOR_HPP
+
+#include <map>
+#include <memory>
+
+#include "block/block_device.hpp"
+#include "hv/core.hpp"
+#include "interpose/service.hpp"
+#include "iohost/steering.hpp"
+#include "net/nic.hpp"
+#include "transport/control.hpp"
+#include "transport/reassembly.hpp"
+#include "transport/segmenter.hpp"
+
+namespace vrio::iohost {
+
+struct IoHypervisorConfig
+{
+    unsigned num_workers = 1;
+    /** First machine core used as a worker (cores [first, first+n)). */
+    unsigned first_worker_core = 0;
+
+    /** Poll the NICs (vRIO) or take interrupts (vRIO w/o poll). */
+    bool polling = true;
+
+    uint32_t mtu = net::kMtuVrioJumbo;
+
+    // -- cycle costs, charged to worker cores ------------------------
+    /**
+     * Per poll batch (ring scan, wakeup, prefetch).  Charged once per
+     * batch taken off a ring, so it amortizes across messages under
+     * load but is paid in full by every lone ping-pong packet.
+     */
+    double batch_fixed_cycles = 1800;
+    /** Per net message: decapsulate + backend + re-encapsulate. */
+    double net_fixed_cycles = 1600;
+    double net_per_byte_cycles = 1.4;
+    /** Per block request: decapsulate + backend + response. */
+    double blk_fixed_cycles = 3600;
+    double blk_per_byte_cycles = 0.5;
+    /** Extra per copied byte (unaligned edges, non-zero-copy SKBs). */
+    double copy_per_byte_cycles = 0.35;
+    /** Per physical interrupt in no-poll mode. */
+    double interrupt_cycles = 4400;
+
+    /**
+     * Worker service-time disturbances (jitter and rare stalls);
+     * probability + exponential mean in microseconds.
+     */
+    double jitter_p = 0;
+    double jitter_mean_us = 0;
+    double stall_p = 0;
+    double stall_mean_us = 0;
+    double jitter_cap_us = 0;
+    double stall_cap_us = 0;
+    /** Worker clock for converting stall time to cycles. */
+    double worker_ghz = 2.7;
+
+    /** Frame-arrival to worker pickup when polling and idle. */
+    sim::Tick poll_pickup = sim::Tick(300) * sim::kNanosecond;
+    /** Max frames taken from a ring per poll batch. */
+    size_t batch_max = 16;
+};
+
+/** A guest-facing net device consolidated on the IOhost. */
+struct NetDeviceEntry
+{
+    uint32_t device_id = 0;
+    /** The front-end (F) MAC the outside world addresses. */
+    net::MacAddress f_mac;
+    /** The client's transport-channel (T) MAC. */
+    net::MacAddress t_mac;
+    /** Interposition chain (may be null). */
+    interpose::Chain *chain = nullptr;
+};
+
+/** A guest-facing block device backed by an IOhost-local device. */
+struct BlockDeviceEntry
+{
+    uint32_t device_id = 0;
+    net::MacAddress t_mac;
+    block::BlockDevice *device = nullptr;
+    interpose::Chain *chain = nullptr;
+};
+
+class IoHypervisor : public sim::SimObject
+{
+  public:
+    IoHypervisor(sim::Simulation &sim, std::string name,
+                 hv::Machine &machine, IoHypervisorConfig cfg);
+
+    /**
+     * NIC wired (directly or via switch) toward IOclients.  May be
+     * called several times — Fig. 2b wires one IOhost port per
+     * VMhost; egress learns which port leads to which client T-MAC
+     * from ingress traffic.
+     */
+    void attachClientNic(net::Nic &nic);
+
+    /**
+     * Statically map a client T-MAC to a client NIC index (rack
+     * wiring is known at configuration time); ingress learning still
+     * updates the map if a client moves.
+     */
+    void mapClientPort(net::MacAddress t_mac, size_t port_index);
+
+    /** NIC wired to the rack switch / outside world. */
+    void attachExternalNic(net::Nic &nic);
+
+    void addNetDevice(NetDeviceEntry entry);
+    void addBlockDevice(BlockDeviceEntry entry);
+
+    /**
+     * Push a DevCreate command to the IOclient behind @p t_mac
+     * (Section 4.1: device creation is done via the I/O hypervisor).
+     */
+    void sendDeviceCreate(const transport::DeviceCreateCmd &cmd,
+                          net::MacAddress t_mac);
+
+    hv::Core &workerCore(unsigned w);
+    const SteeringPolicy &steering() const { return steer; }
+
+    // -- statistics ---------------------------------------------------
+    uint64_t messagesProcessed() const { return messages; }
+    uint64_t requestsForwarded() const { return net_forwarded; }
+    uint64_t blockOps() const { return blk_ops; }
+    uint64_t copiedBytes() const { return copied_bytes; }
+    uint64_t interruptsTaken() const { return irqs_taken; }
+    uint64_t acksReceived() const { return acks; }
+    const transport::Reassembler &reassembler() const { return *reasm; }
+
+  private:
+    IoHypervisorConfig cfg;
+    hv::Machine &machine;
+    std::vector<net::Nic *> client_nics;
+    /** Learned client T-MAC -> client NIC index. */
+    std::map<net::MacAddress, size_t> client_port_of;
+    net::Nic *external_nic = nullptr;
+
+    SteeringPolicy steer;
+    std::unique_ptr<transport::Reassembler> reasm;
+    transport::MessageAssembler assembler;
+
+    std::map<uint32_t, NetDeviceEntry> net_devices;
+    /** F-MAC -> device id, for routing external ingress. */
+    std::map<net::MacAddress, uint32_t> f_mac_index;
+    std::map<uint32_t, BlockDeviceEntry> blk_devices;
+
+    uint32_t next_wire_id = 1;
+    bool pump_scheduled = false;
+    /**
+     * Requests dispatched to workers and not yet through their first
+     * processing stage.  Ring intake stops when the workers are this
+     * far behind — "a worker that becomes *idle* takes a batch of
+     * packets off a relevant NIC receive ring" (Section 4.1) — which
+     * is what lets a small RX ring overflow under bursts (the
+     * Section 4.5 512-vs-4096 observation).
+     */
+    size_t inflight = 0;
+
+    /** Batch overhead awaiting attribution to the next message. */
+    double pending_batch_cycles = 0;
+
+    uint64_t messages = 0;
+    uint64_t net_forwarded = 0;
+    uint64_t blk_ops = 0;
+    uint64_t copied_bytes = 0;
+    uint64_t irqs_taken = 0;
+    uint64_t acks = 0;
+
+    // Ingress from the client channel.
+    void clientRxNotify();
+    void pumpClientRings();
+    void handleWireFrame(const net::FramePtr &frame);
+    void dispatch(transport::MessageAssembler::Assembled req);
+    bool intakeAllowed() const;
+    void stageDone();
+
+    // Request execution on worker cores.
+    void execNet(unsigned worker,
+                 transport::MessageAssembler::Assembled req);
+    void execBlock(unsigned worker,
+                   transport::MessageAssembler::Assembled req);
+    void execAck(transport::MessageAssembler::Assembled req);
+
+    // Egress toward clients.
+    void sendToClient(net::MacAddress t_mac,
+                      const transport::TransportHeader &hdr,
+                      const Bytes &payload);
+
+    // Ingress from the external network (frames for guest F MACs).
+    void externalRxNotify();
+    void pumpExternalRings();
+    void handleExternalFrame(net::FramePtr frame);
+
+    double interposeCycles(interpose::Chain *chain, size_t bytes) const;
+    double disturbanceCycles();
+    double takeBatchCycles();
+};
+
+} // namespace vrio::iohost
+
+#endif // VRIO_IOHOST_IO_HYPERVISOR_HPP

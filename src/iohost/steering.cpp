@@ -1,0 +1,60 @@
+#include "iohost/steering.hpp"
+
+#include "util/logging.hpp"
+
+namespace vrio::iohost {
+
+SteeringPolicy::SteeringPolicy(unsigned num_workers) : load(num_workers, 0)
+{
+    vrio_assert(num_workers >= 1, "need at least one worker");
+}
+
+unsigned
+SteeringPolicy::steer(uint32_t device_id)
+{
+    DeviceState &dev = devices[device_id];
+    if (dev.in_flight > 0) {
+        // Order-preservation rule: follow the in-flight requests.
+        ++pinned;
+    } else {
+        unsigned best = 0;
+        for (unsigned w = 1; w < load.size(); ++w) {
+            if (load[w] < load[best])
+                best = w;
+        }
+        dev.worker = best;
+    }
+    ++dev.in_flight;
+    ++load[dev.worker];
+    return dev.worker;
+}
+
+void
+SteeringPolicy::complete(uint32_t device_id, unsigned worker)
+{
+    auto it = devices.find(device_id);
+    vrio_assert(it != devices.end(), "complete for unknown device ",
+                device_id);
+    DeviceState &dev = it->second;
+    vrio_assert(dev.in_flight > 0, "complete with no in-flight work");
+    vrio_assert(dev.worker == worker, "completion on wrong worker");
+    --dev.in_flight;
+    vrio_assert(load[worker] > 0, "worker load underflow");
+    --load[worker];
+}
+
+uint64_t
+SteeringPolicy::workerLoad(unsigned worker) const
+{
+    vrio_assert(worker < load.size(), "bad worker ", worker);
+    return load[worker];
+}
+
+uint64_t
+SteeringPolicy::deviceInFlight(uint32_t device_id) const
+{
+    auto it = devices.find(device_id);
+    return it == devices.end() ? 0 : it->second.in_flight;
+}
+
+} // namespace vrio::iohost

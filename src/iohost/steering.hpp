@@ -1,0 +1,61 @@
+/**
+ * @file
+ * The I/O hypervisor's request steering policy (Section 4.1).
+ *
+ * "For each virtual device D, so long as there exists a still-
+ * unprocessed packet of D designated for processing on the sidecore
+ * of worker W, then any subsequent requests of D will be steered to W
+ * as well.  This policy preserves the order of the original requests
+ * and rids network stacks from the need to handle out-of-order
+ * packets."
+ *
+ * Implemented as a pure data structure so the ordering invariant can
+ * be property-tested independent of the simulator.
+ */
+#ifndef VRIO_IOHOST_STEERING_HPP
+#define VRIO_IOHOST_STEERING_HPP
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace vrio::iohost {
+
+class SteeringPolicy
+{
+  public:
+    explicit SteeringPolicy(unsigned num_workers);
+
+    /**
+     * Choose the worker for the next request of @p device_id and
+     * record it as in-flight there.  A device with in-flight work is
+     * pinned to its worker; otherwise the least-loaded worker wins.
+     */
+    unsigned steer(uint32_t device_id);
+
+    /** A request of @p device_id finished on @p worker. */
+    void complete(uint32_t device_id, unsigned worker);
+
+    unsigned workerCount() const { return unsigned(load.size()); }
+    /** Requests currently steered to @p worker and unfinished. */
+    uint64_t workerLoad(unsigned worker) const;
+    /** Unfinished requests of @p device_id. */
+    uint64_t deviceInFlight(uint32_t device_id) const;
+    /** Steering decisions that were forced by the affinity rule. */
+    uint64_t pinnedDecisions() const { return pinned; }
+
+  private:
+    struct DeviceState
+    {
+        unsigned worker = 0;
+        uint64_t in_flight = 0;
+    };
+
+    std::vector<uint64_t> load;
+    std::map<uint32_t, DeviceState> devices;
+    uint64_t pinned = 0;
+};
+
+} // namespace vrio::iohost
+
+#endif // VRIO_IOHOST_STEERING_HPP

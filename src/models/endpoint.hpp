@@ -1,0 +1,69 @@
+/**
+ * @file
+ * The guest-visible I/O interface every model implements.
+ *
+ * Workloads (netperf, Apache, memcached, filebench) are written
+ * against GuestEndpoint and never know which of the five I/O models
+ * is wired beneath them — exactly as the paper's benchmarks run
+ * unmodified across virtio/Elvis/SRIOV/vRIO.
+ */
+#ifndef VRIO_MODELS_ENDPOINT_HPP
+#define VRIO_MODELS_ENDPOINT_HPP
+
+#include <functional>
+
+#include "block/block_device.hpp"
+#include "hv/vm.hpp"
+#include "net/mac.hpp"
+
+namespace vrio::models {
+
+/** Delivered guest-side packet: payload plus L2 source. */
+using NetHandler =
+    std::function<void(Bytes payload, net::MacAddress src, uint64_t pad)>;
+
+class GuestEndpoint
+{
+  public:
+    virtual ~GuestEndpoint() = default;
+
+    /** The client (VM or bare-metal OS) behind this endpoint. */
+    virtual hv::Vm &vm() = 0;
+
+    /** The L2 address the outside world uses to reach this guest. */
+    virtual net::MacAddress mac() const = 0;
+
+    /**
+     * Transmit @p payload to @p dst.  All guest- and host-side path
+     * costs are charged internally; @p pad simulates additional
+     * payload bytes without materializing them (models that must
+     * materialize — vRIO encapsulation — convert pad to zeros).
+     *
+     * @param messages number of application messages coalesced into
+     *        this send (netperf stream: 64B messages per TSO chunk).
+     *        Models whose rings see one descriptor/notification per
+     *        message (the baseline) charge per-message costs.
+     */
+    virtual void sendNet(net::MacAddress dst, Bytes payload,
+                         uint64_t pad = 0, uint64_t messages = 1) = 0;
+
+    /** Install the receive upcall (runs after guest-side costs). */
+    virtual void setNetHandler(NetHandler handler) = 0;
+
+    /** True when a paravirtual block device is attached. */
+    virtual bool hasBlockDevice() const = 0;
+
+    /** Capacity of the attached block device (0 when absent). */
+    virtual uint64_t blockCapacitySectors() const = 0;
+
+    /**
+     * Submit a block request through the guest disk scheduler and the
+     * model's block path.  Completion runs after all path costs.
+     */
+    virtual void submitBlock(block::BlockRequest req,
+                             block::BlockCallback done) = 0;
+};
+
+} // namespace vrio::models
+
+#endif // VRIO_MODELS_ENDPOINT_HPP

@@ -1,0 +1,62 @@
+#include "models/io_model.hpp"
+
+#include "models/baseline.hpp"
+#include "models/elvis.hpp"
+#include "models/optimum.hpp"
+#include "models/vrio.hpp"
+#include "util/logging.hpp"
+
+namespace vrio::models {
+
+const char *
+modelKindName(ModelKind kind)
+{
+    switch (kind) {
+      case ModelKind::Baseline:
+        return "baseline";
+      case ModelKind::Elvis:
+        return "elvis";
+      case ModelKind::Optimum:
+        return "optimum";
+      case ModelKind::Vrio:
+        return "vrio";
+      case ModelKind::VrioNoPoll:
+        return "vrio-no-poll";
+    }
+    return "unknown";
+}
+
+hv::IoEventCounts
+IoModel::eventTotals() const
+{
+    hv::IoEventCounts total;
+    for (unsigned v = 0; v < cfg_.num_vms; ++v) {
+        const hv::IoEventCounts &e = vmAt(v).events();
+        total.sync_exits += e.sync_exits;
+        total.guest_interrupts += e.guest_interrupts;
+        total.injections += e.injections;
+        total.host_interrupts += e.host_interrupts;
+        total.iohost_interrupts += e.iohost_interrupts;
+    }
+    total.iohost_interrupts += iohostInterrupts();
+    return total;
+}
+
+std::unique_ptr<IoModel>
+makeModel(Rack &rack, ModelConfig cfg)
+{
+    switch (cfg.kind) {
+      case ModelKind::Baseline:
+        return std::make_unique<BaselineModel>(rack, cfg);
+      case ModelKind::Elvis:
+        return std::make_unique<ElvisModel>(rack, cfg);
+      case ModelKind::Optimum:
+        return std::make_unique<OptimumModel>(rack, cfg);
+      case ModelKind::Vrio:
+      case ModelKind::VrioNoPoll:
+        return std::make_unique<VrioModel>(rack, cfg);
+    }
+    vrio_panic("unreachable model kind");
+}
+
+} // namespace vrio::models

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Common interface of the five I/O model wirings (Section 2):
+ * baseline virtio, Elvis, SRIOV+ELI (the optimum), vRIO, and the
+ * no-poll vRIO ablation.
+ */
+#ifndef VRIO_MODELS_IO_MODEL_HPP
+#define VRIO_MODELS_IO_MODEL_HPP
+
+#include <functional>
+#include <memory>
+
+#include "block/ram_disk.hpp"
+#include "block/ssd_model.hpp"
+#include "hv/events.hpp"
+#include "interpose/service.hpp"
+#include "models/endpoint.hpp"
+#include "models/rack.hpp"
+
+namespace vrio::models {
+
+enum class ModelKind {
+    Baseline,  ///< KVM virtio (trap and emulate), state of practice
+    Elvis,     ///< local sidecores, state of the art
+    Optimum,   ///< SRIOV + ELI, non-interposable upper bound
+    Vrio,      ///< remote sidecores, polling IOhost
+    VrioNoPoll ///< ablation: interrupt-driven IOhost
+};
+
+const char *modelKindName(ModelKind kind);
+
+struct ModelConfig
+{
+    ModelKind kind = ModelKind::Vrio;
+    unsigned num_vms = 1;
+    /** Logical VMhosts; VMs are distributed round-robin. */
+    unsigned num_vmhosts = 1;
+    /**
+     * Sidecores: per VMhost for Elvis/baseline I/O cores, total at the
+     * IOhost for vRIO.
+     */
+    unsigned sidecores = 1;
+    CostParams costs;
+
+    /** Attach a paravirtual block device (ramdisk-backed) per VM. */
+    bool with_block = false;
+    /** Use the SSD model instead of a ramdisk as backing store. */
+    bool block_use_ssd = false;
+    block::RamDiskConfig ramdisk_cfg{.capacity_bytes = 16ull << 20};
+    block::SsdConfig ssd_cfg{.capacity_bytes = 16ull << 20};
+
+    // -- vRIO specifics ----------------------------------------------
+    /**
+     * How the transport interface T reaches the IOhost (Section 4.6):
+     * an SRIOV VF with ELI (the latency-minimizing default) or a
+     * traditional paravirtual NIC through the local hypervisor
+     * (T_virtio — used around live migration to non-vRIO hosts),
+     * which reintroduces exits, vhost work and injections on the
+     * channel.
+     */
+    enum class VrioChannel { Tsriov, Tvirtio };
+    VrioChannel vrio_channel = VrioChannel::Tsriov;
+
+    uint32_t vrio_mtu = net::kMtuVrioJumbo;
+    /** IOhost NIC RX ring (Section 4.5: 512 showed loss, 4096 fixed). */
+    size_t iohost_rx_ring = 4096;
+    /**
+     * Wire VMhosts to the IOhost through the rack switch instead of
+     * direct cables (the Section 4.6 fault-tolerance arrangement: a
+     * typical rack layout, reachability survives rewiring, but the
+     * channel shares the switch and adds its forwarding latency).
+     */
+    bool vrio_via_switch = false;
+    /** VMhost-IOhost direct links (10GbE SRIOV channel in Section 5). */
+    double direct_link_gbps = 10.0;
+    /** One-way latency of the direct links (NIC pipeline + wire). */
+    sim::Tick direct_link_latency = sim::Tick(3200) * sim::kNanosecond;
+    /** IOhost external bandwidth (two dual-port NICs in Section 5). */
+    double iohost_external_gbps = 40.0;
+    /** Frame loss on the vRIO channel (retransmission experiments). */
+    double vrio_channel_loss = 0.0;
+    /** IOhost worker poll batch size (ablation knob). */
+    size_t iohost_batch_max = 16;
+    /**
+     * IOhost frame-arrival to worker pickup latency.  Raising it
+     * models monitor/mwait-style power-aware polling (Section 4.6's
+     * energy discussion): the core sleeps until the ring is touched,
+     * trading wakeup latency for polling energy.
+     */
+    sim::Tick iohost_poll_pickup = sim::Tick(300) * sim::kNanosecond;
+    /**
+     * Spare vCPU cores / SRIOV VFs per VMhost, kept free as live
+     * migration targets (the Section 4.6 extension).
+     */
+    unsigned spare_client_slots = 0;
+
+    /**
+     * Client kind per VM index (heterogeneity experiments: KVM/ESXi
+     * guests and bare-metal OSes share the IOhost).  Empty = all KVM.
+     */
+    std::vector<hv::ClientKind> client_kinds;
+
+    /**
+     * Per-device interposition chain factory (may return nullptr).
+     * Chains are owned by the caller and must outlive the model.
+     */
+    std::function<interpose::Chain *(uint32_t device_id, bool is_block)>
+        chain_factory;
+};
+
+class IoModel
+{
+  public:
+    IoModel(Rack &rack, ModelConfig cfg) : rack_(rack), cfg_(cfg) {}
+    virtual ~IoModel() = default;
+
+    IoModel(const IoModel &) = delete;
+    IoModel &operator=(const IoModel &) = delete;
+
+    ModelKind kind() const { return cfg_.kind; }
+    const ModelConfig &config() const { return cfg_; }
+    unsigned numVms() const { return cfg_.num_vms; }
+    Rack &rack() { return rack_; }
+
+    virtual GuestEndpoint &guest(unsigned vm_index) = 0;
+
+    /**
+     * I/O-processing resources (sidecores, vhost cores, or IOhost
+     * workers) for utilization reporting; empty for the optimum.
+     */
+    virtual std::vector<const sim::Resource *> ioResources() const = 0;
+
+    /** Summed Table-3 event counts across all guests. */
+    hv::IoEventCounts eventTotals() const;
+
+    /** Interrupts taken at the IOhost (vRIO only; 0 elsewhere). */
+    virtual uint64_t iohostInterrupts() const { return 0; }
+
+  protected:
+    Rack &rack_;
+    ModelConfig cfg_;
+
+    virtual const hv::Vm &vmAt(unsigned vm_index) const = 0;
+};
+
+/** Instantiate the wiring for @p cfg.kind. */
+std::unique_ptr<IoModel> makeModel(Rack &rack, ModelConfig cfg);
+
+} // namespace vrio::models
+
+#endif // VRIO_MODELS_IO_MODEL_HPP

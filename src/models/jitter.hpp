@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Service-time disturbance sampling (see CostParams::Stall).
+ */
+#ifndef VRIO_MODELS_JITTER_HPP
+#define VRIO_MODELS_JITTER_HPP
+
+#include "models/cost_params.hpp"
+#include "sim/random.hpp"
+
+namespace vrio::models {
+
+/**
+ * Extra cycles an operation suffers from a stall source: usually 0;
+ * with probability s.p, Exponential(s.mean_us) microseconds of delay
+ * converted to cycles at @p ghz.
+ */
+inline double
+stallCycles(sim::Random &rng, const CostParams::Stall &s, double ghz)
+{
+    if (s.p <= 0 || !rng.bernoulli(s.p))
+        return 0.0;
+    double us = rng.exponential(s.mean_us);
+    if (s.cap_us > 0 && us > s.cap_us)
+        us = s.cap_us;
+    return us * ghz * 1e3;
+}
+
+} // namespace vrio::models
+
+#endif // VRIO_MODELS_JITTER_HPP

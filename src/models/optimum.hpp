@@ -1,0 +1,48 @@
+/**
+ * @file
+ * The "optimum" I/O model: SRIOV with exitless interrupts (ELI).
+ *
+ * Each VM owns a NIC virtual function; transmits go straight to the
+ * wire and device interrupts are delivered directly to the guest.
+ * There is no host involvement at all — and therefore no
+ * interposition.  Table 3 row: 0 exits, 2 guest interrupts,
+ * 0 injections, 0 host interrupts.
+ */
+#ifndef VRIO_MODELS_OPTIMUM_HPP
+#define VRIO_MODELS_OPTIMUM_HPP
+
+#include "models/io_model.hpp"
+
+namespace vrio::models {
+
+class OptimumModel : public IoModel
+{
+  public:
+    OptimumModel(Rack &rack, ModelConfig cfg);
+    ~OptimumModel() override;
+
+    GuestEndpoint &guest(unsigned vm_index) override;
+    std::vector<const sim::Resource *> ioResources() const override
+    {
+        return {}; // no host I/O cores by construction
+    }
+
+  protected:
+    const hv::Vm &vmAt(unsigned vm_index) const override;
+
+  private:
+    class Endpoint;
+
+    struct Host
+    {
+        std::unique_ptr<hv::Machine> machine;
+        std::unique_ptr<net::Nic> nic;
+    };
+
+    std::vector<Host> hosts;
+    std::vector<std::unique_ptr<Endpoint>> endpoints;
+};
+
+} // namespace vrio::models
+
+#endif // VRIO_MODELS_OPTIMUM_HPP

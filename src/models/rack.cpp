@@ -1,0 +1,56 @@
+#include "models/rack.hpp"
+
+#include "util/logging.hpp"
+#include "util/strutil.hpp"
+
+namespace vrio::models {
+
+Rack::Rack(sim::Simulation &sim, RackConfig cfg) : sim_(sim), cfg(cfg)
+{
+    net::SwitchConfig sc;
+    sc.forwarding_latency = cfg.switch_latency;
+    switch_ = std::make_unique<net::Switch>(sim, "rack.switch", sc);
+
+    for (unsigned g = 0; g < cfg.num_generators; ++g) {
+        // Generator MAC ranges: 0x10000*g + 0x1000.
+        generators.push_back(std::make_unique<Generator>(
+            sim, strFormat("gen%u", g), cfg.costs,
+            0x1000 + 0x10000ull * g));
+        connectToSwitch(strFormat("rack.genlink%u", g),
+                        generators.back()->port());
+    }
+}
+
+Generator &
+Rack::generator(unsigned i)
+{
+    vrio_assert(i < generators.size(), "bad generator ", i);
+    return *generators[i];
+}
+
+net::Link &
+Rack::connectToSwitch(const std::string &name, net::NetPort &port,
+                      double gbps)
+{
+    net::LinkConfig lc;
+    lc.gbps = gbps > 0 ? gbps : cfg.link_gbps;
+    lc.propagation = cfg.link_latency;
+    links.push_back(std::make_unique<net::Link>(sim_, name, lc));
+    links.back()->connect(port, switch_->newPort());
+    return *links.back();
+}
+
+net::Link &
+Rack::directLink(const std::string &name, net::NetPort &a, net::NetPort &b,
+                 double gbps, double loss_probability, sim::Tick latency)
+{
+    net::LinkConfig lc;
+    lc.gbps = gbps;
+    lc.propagation = latency > 0 ? latency : cfg.link_latency;
+    lc.loss_probability = loss_probability;
+    links.push_back(std::make_unique<net::Link>(sim_, name, lc));
+    links.back()->connect(a, b);
+    return *links.back();
+}
+
+} // namespace vrio::models

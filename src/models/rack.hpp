@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Shared rack scaffolding: the ToR switch and the load generators.
+ *
+ * Each I/O model wiring adds its own VMhosts (and, for vRIO, the
+ * IOhost) to a Rack.
+ */
+#ifndef VRIO_MODELS_RACK_HPP
+#define VRIO_MODELS_RACK_HPP
+
+#include <memory>
+#include <vector>
+
+#include "models/generator.hpp"
+#include "net/switch.hpp"
+
+namespace vrio::models {
+
+struct RackConfig
+{
+    unsigned num_generators = 1;
+    CostParams costs;
+    double link_gbps = 10.0;
+    /** One-way link latency incl. NIC pipeline (both endpoints). */
+    sim::Tick link_latency = sim::Tick(2000) * sim::kNanosecond;
+    sim::Tick switch_latency = sim::Tick(800) * sim::kNanosecond;
+};
+
+class Rack
+{
+  public:
+    Rack(sim::Simulation &sim, RackConfig cfg);
+
+    sim::Simulation &sim() { return sim_; }
+    const RackConfig &config() const { return cfg; }
+    net::Switch &rackSwitch() { return *switch_; }
+    Generator &generator(unsigned i);
+    unsigned generatorCount() const { return unsigned(generators.size()); }
+
+    /** Wire @p port to a fresh switch port with a standard rack link. */
+    net::Link &connectToSwitch(const std::string &name, net::NetPort &port,
+                               double gbps = 0);
+
+    /** Point-to-point link (VMhost - IOhost direct wiring, Fig. 2b). */
+    net::Link &directLink(const std::string &name, net::NetPort &a,
+                          net::NetPort &b, double gbps,
+                          double loss_probability = 0.0,
+                          sim::Tick latency = 0);
+
+  private:
+    sim::Simulation &sim_;
+    RackConfig cfg;
+    std::unique_ptr<net::Switch> switch_;
+    std::vector<std::unique_ptr<Generator>> generators;
+    std::vector<std::unique_ptr<net::Link>> links;
+};
+
+} // namespace vrio::models
+
+#endif // VRIO_MODELS_RACK_HPP

@@ -1,0 +1,144 @@
+#include "models/virtio_blk_dev.hpp"
+
+#include "util/logging.hpp"
+
+namespace vrio::models {
+
+using virtio::BlkStatus;
+using virtio::BlkType;
+
+VirtioBlkDev::VirtioBlkDev(hv::Vm &vm, uint16_t qsize) : vm(vm)
+{
+    drv = std::make_unique<virtio::DriverQueue>(vm.memory(), qsize);
+    dev = std::make_unique<virtio::DeviceQueue>(vm.memory(),
+                                                drv->ringAddr(), qsize);
+    slots.resize(qsize);
+}
+
+VirtioBlkDev::~VirtioBlkDev()
+{
+    for (auto &slot : slots) {
+        if (slot.live)
+            freeSlot(slot);
+    }
+}
+
+void
+VirtioBlkDev::freeSlot(Slot &slot)
+{
+    auto &mem = vm.memory();
+    mem.free(slot.hdr_addr);
+    if (slot.data_addr)
+        mem.free(slot.data_addr);
+    mem.free(slot.status_addr);
+    slot = Slot{};
+}
+
+std::optional<uint16_t>
+VirtioBlkDev::guestSubmit(const block::BlockRequest &req)
+{
+    // Indirect chains occupy a single ring slot (as Linux's
+    // virtio-blk driver does for its 3-descriptor requests).
+    if (drv->freeDescCount() < 1)
+        return std::nullopt;
+    auto &mem = vm.memory();
+
+    virtio::VirtioBlkReq hdr;
+    hdr.type = req.kind;
+    hdr.sector = req.sector;
+    Bytes hdr_bytes;
+    ByteWriter w(hdr_bytes);
+    hdr.encode(w);
+
+    Slot slot;
+    slot.live = true;
+    slot.is_read = req.kind == BlkType::In;
+    slot.hdr_addr = mem.alloc(virtio::VirtioBlkReq::kSize);
+    mem.write(slot.hdr_addr, hdr_bytes);
+    slot.status_addr = mem.alloc(1);
+
+    std::vector<virtio::BufferSpec> out{{slot.hdr_addr,
+                                         virtio::VirtioBlkReq::kSize}};
+    std::vector<virtio::BufferSpec> in;
+    if (req.kind == BlkType::Out && !req.data.empty()) {
+        slot.data_addr = mem.alloc(req.data.size());
+        slot.data_len = uint32_t(req.data.size());
+        mem.write(slot.data_addr, req.data);
+        out.push_back({slot.data_addr, slot.data_len});
+    } else if (req.kind == BlkType::In) {
+        slot.data_len = uint32_t(req.byteLength());
+        slot.data_addr = mem.alloc(slot.data_len);
+        in.push_back({slot.data_addr, slot.data_len});
+    }
+    in.push_back({slot.status_addr, 1});
+
+    auto head = drv->addChainIndirect(out, in);
+    if (!head) {
+        mem.free(slot.hdr_addr);
+        if (slot.data_addr)
+            mem.free(slot.data_addr);
+        mem.free(slot.status_addr);
+        return std::nullopt;
+    }
+    vrio_assert(!slots[*head].live, "slot already live");
+    slots[*head] = std::move(slot);
+    return head;
+}
+
+std::optional<VirtioBlkDev::HostRequest>
+VirtioBlkDev::hostPop()
+{
+    auto chain = dev->popAvail();
+    if (!chain)
+        return std::nullopt;
+
+    Bytes out = dev->gatherOut(*chain);
+    ByteReader r(out);
+    HostRequest req;
+    req.hdr = virtio::VirtioBlkReq::decode(r);
+    req.data = r.getBytes(r.remaining());
+    // The chain's writable capacity minus the status byte.
+    req.read_len = chain->inLen() - 1;
+    req.head = chain->head;
+    slots[chain->head].chain = std::move(*chain);
+    return req;
+}
+
+void
+VirtioBlkDev::hostComplete(uint16_t head, BlkStatus status,
+                           std::span<const uint8_t> data)
+{
+    Slot &slot = slots[head];
+    vrio_assert(slot.live, "completion for dead slot ", head);
+
+    // Scatter read data followed by the status byte, which occupies
+    // the final writable descriptor.
+    Bytes in_bytes;
+    if (slot.is_read) {
+        in_bytes.assign(data.begin(), data.end());
+        in_bytes.resize(slot.data_len, 0);
+    }
+    in_bytes.push_back(uint8_t(status));
+    uint32_t written = dev->scatterIn(slot.chain, in_bytes);
+    dev->pushUsed(head, written);
+}
+
+std::optional<VirtioBlkDev::Completion>
+VirtioBlkDev::guestReap()
+{
+    auto used = drv->popUsed();
+    if (!used)
+        return std::nullopt;
+    Slot &slot = slots[used->head];
+    vrio_assert(slot.live, "reap of dead slot ", used->head);
+
+    Completion done;
+    done.head = used->head;
+    done.status = BlkStatus(vm.memory().read(slot.status_addr, 1)[0]);
+    if (slot.is_read && done.status == BlkStatus::Ok)
+        done.data = vm.memory().read(slot.data_addr, slot.data_len);
+    freeSlot(slot);
+    return done;
+}
+
+} // namespace vrio::models

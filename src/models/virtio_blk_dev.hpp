@@ -1,0 +1,90 @@
+/**
+ * @file
+ * A paravirtual block device over a real virtqueue, shared by the
+ * baseline and Elvis models (vRIO replaces the ring with the
+ * transport channel, per Fig. 4).
+ *
+ * Each request is a spec-shaped chain: a 16-byte virtio_blk header
+ * (device-readable), the data buffers (readable for writes, writable
+ * for reads), and a one-byte status (device-writable).
+ */
+#ifndef VRIO_MODELS_VIRTIO_BLK_DEV_HPP
+#define VRIO_MODELS_VIRTIO_BLK_DEV_HPP
+
+#include <optional>
+
+#include "block/block_device.hpp"
+#include "hv/vm.hpp"
+#include "virtio/virtio_blk.hpp"
+#include "virtio/virtqueue.hpp"
+
+namespace vrio::models {
+
+class VirtioBlkDev
+{
+  public:
+    explicit VirtioBlkDev(hv::Vm &vm, uint16_t qsize = 128);
+    ~VirtioBlkDev();
+
+    // -- guest side ---------------------------------------------------
+
+    /**
+     * Post a block request into the ring.
+     * @return chain head (the request id), or nullopt when the ring
+     *         lacks descriptors/memory (caller backs off).
+     */
+    std::optional<uint16_t> guestSubmit(const block::BlockRequest &req);
+
+    struct Completion
+    {
+        uint16_t head;
+        virtio::BlkStatus status;
+        Bytes data; ///< read data (empty for writes/flushes)
+    };
+
+    /** Reap one completion; recycles the chain's buffers. */
+    std::optional<Completion> guestReap();
+
+    // -- host side ------------------------------------------------------
+
+    struct HostRequest
+    {
+        virtio::VirtioBlkReq hdr;
+        Bytes data;        ///< write payload
+        uint32_t read_len; ///< capacity of the read buffers
+        uint16_t head;
+    };
+
+    bool hostHasWork() const { return dev->hasAvail(); }
+
+    /** Pop one request from the ring. */
+    std::optional<HostRequest> hostPop();
+
+    /** Publish completion, scattering read data into the chain. */
+    void hostComplete(uint16_t head, virtio::BlkStatus status,
+                      std::span<const uint8_t> data);
+
+  private:
+    struct Slot
+    {
+        bool live = false;
+        bool is_read = false;
+        uint64_t hdr_addr = 0;
+        uint64_t data_addr = 0; ///< 0 when the request carries no data
+        uint32_t data_len = 0;
+        uint64_t status_addr = 0;
+        /** Host-side view of the chain, kept for hostComplete. */
+        virtio::DeviceQueue::Chain chain;
+    };
+
+    hv::Vm &vm;
+    std::unique_ptr<virtio::DriverQueue> drv;
+    std::unique_ptr<virtio::DeviceQueue> dev;
+    std::vector<Slot> slots;
+
+    void freeSlot(Slot &slot);
+};
+
+} // namespace vrio::models
+
+#endif // VRIO_MODELS_VIRTIO_BLK_DEV_HPP

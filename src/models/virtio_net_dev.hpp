@@ -1,0 +1,109 @@
+/**
+ * @file
+ * A paravirtual net device over real virtqueues, shared by the
+ * baseline and Elvis models.
+ *
+ * Guest transmits post virtio_net_hdr + L2 frame into the TX ring;
+ * the host side (vhost thread or sidecore) pops, gathers and sends.
+ * Receive buffers are pre-posted by the guest and filled by the host.
+ * The only non-wire-format concession is that simulated `pad` bytes
+ * travel alongside each buffer rather than being materialized.
+ */
+#ifndef VRIO_MODELS_VIRTIO_NET_DEV_HPP
+#define VRIO_MODELS_VIRTIO_NET_DEV_HPP
+
+#include <deque>
+#include <optional>
+
+#include "hv/vm.hpp"
+#include "net/ether.hpp"
+#include "virtio/virtio_net.hpp"
+#include "virtio/virtqueue.hpp"
+
+namespace vrio::models {
+
+class VirtioNetDev
+{
+  public:
+    /**
+     * @param rx_buf_size size of each pre-posted receive buffer; the
+     *        guest keeps the RX ring full of them.
+     */
+    VirtioNetDev(hv::Vm &vm, uint16_t qsize = 256,
+                 uint32_t rx_buf_size = 2048);
+    ~VirtioNetDev();
+
+    // -- guest side ---------------------------------------------------
+
+    /**
+     * Post an L2 frame for transmission.
+     * @return false when the TX ring is out of descriptors (caller
+     *         backs off, as a real driver would stop the queue).
+     */
+    bool guestTransmit(const net::EtherHeader &hdr,
+                       std::span<const uint8_t> payload, uint64_t pad);
+
+    /** Reap TX completions, freeing their buffers; returns count. */
+    unsigned guestReapTx();
+
+    struct RxPacket
+    {
+        Bytes frame; ///< L2 frame bytes
+        uint64_t pad;
+    };
+
+    /** Reap one received packet (refills the RX ring). */
+    std::optional<RxPacket> guestReapRx();
+
+    // -- host side ------------------------------------------------------
+
+    struct TxPacket
+    {
+        Bytes frame; ///< L2 frame bytes (virtio_net_hdr stripped)
+        uint64_t pad;
+        uint16_t head; ///< for deviceCompleteTx
+    };
+
+    bool hostHasTx() const { return tx_dev->hasAvail(); }
+
+    /** Pop one transmit request from the TX ring. */
+    std::optional<TxPacket> hostPopTx();
+
+    /** Publish TX completion (guest must reap to recycle). */
+    void hostCompleteTx(uint16_t head);
+
+    /**
+     * Deliver a received L2 frame into pre-posted RX buffers.
+     * @return false when the RX ring is empty (packet dropped —
+     *         receive livelock territory).
+     */
+    bool hostDeliverRx(std::span<const uint8_t> frame, uint64_t pad);
+
+    uint64_t rxDrops() const { return rx_drops; }
+    uint16_t txFreeDescriptors() const { return tx_drv->freeDescCount(); }
+
+  private:
+    hv::Vm &vm;
+    uint32_t rx_buf_size;
+    std::unique_ptr<virtio::DriverQueue> tx_drv;
+    std::unique_ptr<virtio::DriverQueue> rx_drv;
+    std::unique_ptr<virtio::DeviceQueue> tx_dev;
+    std::unique_ptr<virtio::DeviceQueue> rx_dev;
+
+    /** Guest addresses of in-flight TX buffers, by chain head. */
+    std::vector<uint64_t> tx_buf_addr;
+    /** Pads travelling with in-flight TX chains, by chain head. */
+    std::vector<uint64_t> tx_pad;
+    /** Guest addresses of posted RX buffers, by chain head. */
+    std::vector<uint64_t> rx_buf_addr;
+    /** Pad side-channel for filled RX buffers, FIFO. */
+    std::deque<uint64_t> rx_pads;
+
+    uint64_t rx_drops = 0;
+
+    void refillRx();
+};
+
+} // namespace vrio::models
+
+#endif // VRIO_MODELS_VIRTIO_NET_DEV_HPP

@@ -1,0 +1,666 @@
+#include "models/vrio.hpp"
+
+#include "models/jitter.hpp"
+
+#include "transport/control.hpp"
+#include "transport/encap.hpp"
+#include "transport/reassembly.hpp"
+#include "transport/segmenter.hpp"
+#include "util/logging.hpp"
+#include "util/strutil.hpp"
+
+namespace vrio::models {
+
+using transport::MsgType;
+using transport::TransportHeader;
+
+/**
+ * The IOclient: the vRIO driver stack inside one VM — paravirtual
+ * front-ends on top, the transport driver (T) below, speaking the
+ * real wire protocol through its SRIOV VF.
+ */
+class VrioModel::Client : public GuestEndpoint
+{
+  public:
+    Client(VrioModel &model, unsigned host_index, unsigned vm_index,
+           unsigned vf, net::Nic *host_nic, net::MacAddress f_mac,
+           net::MacAddress t_mac, net::MacAddress iohost_mac,
+           hv::ClientKind kind, hv::Core *io_core, std::string name)
+        : model(model), host_index(host_index), vm_index(vm_index), vf(vf),
+          host_nic(host_nic), f_mac(f_mac), t_mac(t_mac),
+          iohost_mac(iohost_mac),
+          vm_(model.rack().sim(), std::move(name),
+              /*vcpu*/ model.hosts[host_index].machine->core(vf),
+              8u << 20, kind),
+          reasm(model.rack().sim().events(), model.config().vrio_mtu),
+          rtq(model.rack().sim().events(), transport::RetransmitConfig{},
+              [this](uint64_t serial, uint16_t gen) {
+                  sendBlockParts(serial, gen);
+              },
+              [this](uint64_t serial) { failBlock(serial); }),
+          io_core(io_core)
+    {
+        host_nic->setQueueMac(vf, t_mac);
+        host_nic->setRxHandler(vf,
+                               [this](unsigned q) { vfInterrupt(q); });
+    }
+
+    /** Rebind this client's transport channel (migration). */
+    void
+    rebind(unsigned new_host, unsigned new_vf, net::Nic *new_nic,
+           hv::Core &new_vcpu, net::MacAddress new_iohost_mac)
+    {
+        host_nic->clearQueueMac(vf);
+        host_nic->setRxHandler(vf, nullptr);
+        host_index = new_host;
+        vf = new_vf;
+        host_nic = new_nic;
+        iohost_mac = new_iohost_mac;
+        host_nic->setQueueMac(vf, t_mac);
+        host_nic->setRxHandler(vf,
+                               [this](unsigned q) { vfInterrupt(q); });
+        vm_.migrateTo(new_vcpu);
+    }
+
+    uint32_t netDeviceId() const { return 0x5600 + vm_index; }
+    uint32_t blkDeviceId() const { return 0x5700 + vm_index; }
+
+    void
+    attachRemoteDisk(uint64_t capacity_sectors)
+    {
+        blk_capacity = capacity_sectors;
+        sched = std::make_unique<block::DiskScheduler>(
+            [this](block::BlockRequest req, block::BlockCallback done) {
+                dispatchBlock(std::move(req), std::move(done));
+            });
+    }
+
+    hv::Vm &vm() override { return vm_; }
+    net::MacAddress mac() const override { return f_mac; }
+    net::MacAddress tMac() const { return t_mac; }
+
+    void
+    sendNet(net::MacAddress dst, Bytes payload, uint64_t pad,
+            uint64_t messages) override
+    {
+        (void)messages;
+        const CostParams &c = model.config().costs;
+        // The transport driver materializes the whole guest frame
+        // (pad bytes become real zeros: vRIO ships actual bytes).
+        Bytes frame_bytes;
+        ByteWriter w(frame_bytes);
+        net::EtherHeader eh;
+        eh.dst = dst;
+        eh.src = f_mac;
+        eh.ether_type = uint16_t(net::EtherType::Raw);
+        eh.encode(w);
+        w.putBytes(payload);
+        w.putZeros(size_t(pad));
+
+        double cycles =
+            c.guest_net_tx + c.vrio_encap +
+            c.vrio_client_per_byte * double(frame_bytes.size());
+        vm_.vcpu().run(cycles, [this, &c,
+                                frame_bytes =
+                                    std::move(frame_bytes)]() mutable {
+            TransportHeader hdr;
+            hdr.type = MsgType::NetOut;
+            hdr.device_id = netDeviceId();
+            hdr.request_serial = next_serial++;
+            hdr.total_len = uint32_t(frame_bytes.size());
+            auto wire = transport::encapsulate(
+                t_mac, iohost_mac, next_wire_id++, hdr, frame_bytes);
+            transmitWire(std::move(wire));
+            // ELI TX-completion interrupt.
+            vm_.events().record(hv::IoEvent::GuestInterrupt);
+            vm_.vcpu().run(c.guest_irq, []() {});
+        });
+    }
+
+    void setNetHandler(NetHandler h) override { handler = std::move(h); }
+
+    bool hasBlockDevice() const override { return sched != nullptr; }
+
+    uint64_t blockCapacitySectors() const override { return blk_capacity; }
+
+    void
+    submitBlock(block::BlockRequest req, block::BlockCallback done) override
+    {
+        vrio_assert(sched, "no remote block device attached");
+        sched->submit(std::move(req), std::move(done));
+    }
+
+    // -- protocol statistics -------------------------------------------
+    uint64_t retransmissions() const { return rtq.retransmissions(); }
+    uint64_t staleResponses() const { return rtq.staleResponses(); }
+    uint64_t devCreates() const { return dev_creates; }
+    uint64_t blockFailures() const { return blk_failures; }
+
+  private:
+    friend class VrioModel;
+
+    VrioModel &model;
+    unsigned host_index;
+    unsigned vm_index;
+    unsigned vf;
+    net::Nic *host_nic;
+    net::MacAddress f_mac;
+    net::MacAddress t_mac;
+    net::MacAddress iohost_mac;
+    hv::Vm vm_;
+    NetHandler handler;
+
+    transport::Reassembler reasm;
+    transport::MessageAssembler assembler;
+    transport::RetransmitQueue rtq;
+
+    struct PendingBlock
+    {
+        block::BlockRequest req;
+        block::BlockCallback done;
+    };
+    std::map<uint64_t, PendingBlock> pending;
+    std::unique_ptr<block::DiskScheduler> sched;
+    uint64_t blk_capacity = 0;
+
+    uint64_t next_serial = 1;
+    uint32_t next_wire_id = 1;
+    uint64_t dev_creates = 0;
+    uint64_t blk_failures = 0;
+    /** Local-hypervisor I/O core for the T_virtio channel (null =
+     *  T_sriov, the default). */
+    hv::Core *io_core = nullptr;
+
+    bool tvirtio() const { return io_core != nullptr; }
+
+    /**
+     * Hand one wire message to the channel.  T_sriov: straight to the
+     * VF.  T_virtio: kick exit, vhost forwarding on the local I/O
+     * core, then the physical send — the traditional-paravirtual
+     * overheads the SRIOV channel exists to avoid.
+     */
+    void
+    transmitWire(net::FramePtr frame)
+    {
+        if (!tvirtio()) {
+            host_nic->send(vf, std::move(frame));
+            return;
+        }
+        const CostParams &c = model.config().costs;
+        vm_.events().record(hv::IoEvent::SyncExit);
+        vm_.vcpu().run(c.exit, [this, &c, frame = std::move(frame)]() mutable {
+            io_core->run(c.vhost_net,
+                         [this, frame = std::move(frame)]() mutable {
+                             host_nic->send(vf, std::move(frame));
+                         });
+        });
+    }
+
+    void
+    dispatchBlock(block::BlockRequest req, block::BlockCallback done)
+    {
+        const CostParams &c = model.config().costs;
+        uint64_t serial = next_serial++;
+        double cycles = c.guest_blk_submit +
+                        c.vrio_client_per_byte * double(req.data.size());
+        pending.emplace(serial,
+                        PendingBlock{std::move(req), std::move(done)});
+        vm_.vcpu().run(cycles, [this, serial]() {
+            // track() performs the generation-0 send and arms the
+            // 10 ms doubling timer (Section 4.5).
+            rtq.track(serial);
+        });
+    }
+
+    /** (Re)send all software segments of a block request. */
+    void
+    sendBlockParts(uint64_t serial, uint16_t generation)
+    {
+        auto it = pending.find(serial);
+        if (it == pending.end())
+            return;
+        const block::BlockRequest &req = it->second.req;
+        const CostParams &c = model.config().costs;
+
+        TransportHeader proto;
+        proto.type = MsgType::BlkReq;
+        proto.device_id = blkDeviceId();
+        proto.request_serial = serial;
+        proto.generation = generation;
+        proto.flags = generation > 0 ? transport::kFlagRetransmit : 0;
+        proto.sector = req.sector;
+        proto.io_len = uint32_t(req.byteLength());
+        proto.blk_type = uint8_t(req.kind);
+
+        auto parts = transport::segmentRequest(proto, req.data);
+        double cycles = c.vrio_encap * double(parts.size());
+        vm_.vcpu().run(cycles, [this, parts = std::move(parts)]() {
+            for (const auto &part : parts) {
+                auto wire = transport::encapsulate(
+                    t_mac, iohost_mac, next_wire_id++, part.hdr,
+                    part.payload);
+                transmitWire(std::move(wire));
+            }
+        });
+    }
+
+    /** Retry cap exceeded: raise a device error (Section 4.5). */
+    void
+    failBlock(uint64_t serial)
+    {
+        auto it = pending.find(serial);
+        if (it == pending.end())
+            return;
+        auto done = std::move(it->second.done);
+        pending.erase(it);
+        ++blk_failures;
+        done(virtio::BlkStatus::IoErr, {});
+    }
+
+    /**
+     * Interrupt on this client's VF: delivered directly via ELI on
+     * T_sriov, or taken by the local host and injected on T_virtio.
+     */
+    void
+    vfInterrupt(unsigned q)
+    {
+        const CostParams &c = model.config().costs;
+        auto frames = host_nic->rxTake(q, 64);
+        if (tvirtio()) {
+            vm_.events().record(hv::IoEvent::HostInterrupt);
+            vm_.events().record(hv::IoEvent::Injection);
+            io_core->run(c.host_irq + c.vhost_net + c.injection, []() {});
+            vm_.events().record(hv::IoEvent::GuestInterrupt);
+            vm_.events().record(hv::IoEvent::SyncExit); // EOI trap
+            vm_.vcpu().run(c.guest_irq + c.eoi_exit, []() {});
+        } else {
+            vm_.events().record(hv::IoEvent::GuestInterrupt);
+            vm_.vcpu().run(c.guest_irq, []() {});
+        }
+        for (const auto &frame : frames) {
+            auto msg = reasm.feed(*frame);
+            if (!msg)
+                continue;
+            auto assembled = assembler.feed(std::move(*msg));
+            if (!assembled)
+                continue;
+            handleMessage(std::move(*assembled));
+        }
+    }
+
+    void
+    handleMessage(transport::MessageAssembler::Assembled msg)
+    {
+        switch (msg.hdr.type) {
+          case MsgType::NetIn:
+            receiveNet(std::move(msg));
+            break;
+          case MsgType::BlkResp:
+            receiveBlockResp(std::move(msg));
+            break;
+          case MsgType::DevCreate:
+            receiveDevCreate(std::move(msg));
+            break;
+          default:
+            vrio_warn("client ignoring message type ",
+                      transport::msgTypeName(msg.hdr.type));
+        }
+    }
+
+    void
+    receiveNet(transport::MessageAssembler::Assembled msg)
+    {
+        const CostParams &c = model.config().costs;
+        if (msg.payload.size() < net::kEtherHeaderSize)
+            return;
+        net::EtherHeader eh;
+        {
+            ByteReader r(msg.payload);
+            eh = net::EtherHeader::decode(r);
+        }
+        Bytes payload(msg.payload.begin() + net::kEtherHeaderSize,
+                      msg.payload.end());
+        auto &rng = vm_.sim().random();
+        double cycles = c.guest_net_rx + c.vrio_decap +
+                        c.vrio_client_per_byte * double(payload.size()) +
+                        stallCycles(rng, c.guest_jitter, c.guest_ghz) +
+                        stallCycles(rng, c.guest_stall, c.guest_ghz);
+        vm_.vcpu().run(cycles, [this, payload = std::move(payload),
+                                src = eh.src]() mutable {
+            if (handler)
+                handler(std::move(payload), src, 0);
+        });
+    }
+
+    void
+    receiveBlockResp(transport::MessageAssembler::Assembled msg)
+    {
+        const CostParams &c = model.config().costs;
+        auto verdict =
+            rtq.accept(msg.hdr.request_serial, msg.hdr.generation);
+        if (verdict != transport::RetransmitQueue::Accept::Ok)
+            return; // stale or unknown: ignored (Section 4.5)
+
+        auto it = pending.find(msg.hdr.request_serial);
+        vrio_assert(it != pending.end(),
+                    "accepted response without a pending request");
+        auto done = std::move(it->second.done);
+        pending.erase(it);
+
+        auto status = virtio::BlkStatus(msg.hdr.status);
+        double cycles = c.guest_blk_complete + c.vrio_decap +
+                        c.vrio_client_per_byte * double(msg.payload.size());
+        if (vm_.vcpu().resource().busyServers() > 0) {
+            vm_.noteContextSwitch();
+            cycles += c.guest_ctx_switch;
+        }
+        vm_.vcpu().run(cycles, [status, data = std::move(msg.payload),
+                                done = std::move(done)]() mutable {
+            done(status, std::move(data));
+        });
+    }
+
+    void
+    receiveDevCreate(transport::MessageAssembler::Assembled msg)
+    {
+        transport::DeviceCreateCmd cmd;
+        ByteReader r(msg.payload);
+        if (!transport::DeviceCreateCmd::decode(r, cmd))
+            return;
+        ++dev_creates;
+
+        transport::DeviceAck ack;
+        ack.device_id = cmd.device_id;
+        ack.accepted = 1;
+        Bytes payload;
+        ByteWriter w(payload);
+        ack.encode(w);
+        TransportHeader hdr;
+        hdr.type = MsgType::DevAck;
+        hdr.device_id = cmd.device_id;
+        hdr.total_len = uint32_t(payload.size());
+        auto wire = transport::encapsulate(t_mac, iohost_mac,
+                                           next_wire_id++, hdr, payload);
+        transmitWire(std::move(wire));
+    }
+};
+
+VrioModel::VrioModel(Rack &rack, ModelConfig cfg) : IoModel(rack, cfg)
+{
+    vrio_assert(cfg.kind == ModelKind::Vrio ||
+                    cfg.kind == ModelKind::VrioNoPoll,
+                "VrioModel requires a vRIO kind");
+    auto &sim = rack.sim();
+
+    // -- the IOhost -----------------------------------------------------
+    hv::MachineConfig iomc;
+    iomc.cores = cfg.sidecores;
+    iomc.ghz = cfg.costs.iohost_ghz;
+    iohost_machine =
+        std::make_unique<hv::Machine>(sim, "vrio.iohost", iomc);
+
+    iohost::IoHypervisorConfig ihc;
+    ihc.num_workers = cfg.sidecores;
+    ihc.polling = cfg.kind == ModelKind::Vrio;
+    ihc.mtu = cfg.vrio_mtu;
+    ihc.batch_max = cfg.iohost_batch_max;
+    ihc.poll_pickup = cfg.iohost_poll_pickup;
+    ihc.worker_ghz = cfg.costs.iohost_ghz;
+    ihc.jitter_p = cfg.costs.worker_jitter.p;
+    ihc.jitter_mean_us = cfg.costs.worker_jitter.mean_us;
+    ihc.stall_p = cfg.costs.worker_stall.p;
+    ihc.stall_mean_us = cfg.costs.worker_stall.mean_us;
+    ihc.jitter_cap_us = cfg.costs.worker_jitter.cap_us;
+    ihc.stall_cap_us = cfg.costs.worker_stall.cap_us;
+    iohv = std::make_unique<iohost::IoHypervisor>(
+        sim, "vrio.iohv", *iohost_machine, ihc);
+
+    net::NicConfig enc;
+    enc.gbps = cfg.iohost_external_gbps;
+    enc.num_queues = 1;
+    enc.mtu = 64 * 1024;
+    enc.rx_ring_size = 4096;
+    external_nic = std::make_unique<net::Nic>(sim, "vrio.iohost.extnic",
+                                              enc);
+    external_nic->setQueueMac(0, net::MacAddress::local(0x7e0000));
+    rack.connectToSwitch("vrio.iohost.extlink", external_nic->port(),
+                         cfg.iohost_external_gbps);
+    iohv->attachExternalNic(*external_nic);
+
+    // -- VMhosts and their direct links to the IOhost --------------------
+    for (unsigned h = 0; h < cfg.num_vmhosts; ++h) {
+        unsigned vms_here =
+            (cfg.num_vms + cfg.num_vmhosts - 1 - h) / cfg.num_vmhosts;
+        if (vms_here == 0)
+            vms_here = 1;
+
+        Host host;
+        unsigned slots = vms_here + cfg.spare_client_slots;
+        host.slot_used.assign(slots, false);
+        for (unsigned i = 0; i < vms_here; ++i)
+            host.slot_used[i] = true;
+        bool tvirtio =
+            cfg.vrio_channel == ModelConfig::VrioChannel::Tvirtio;
+        hv::MachineConfig mc;
+        // All local sidecores moved to the IOhost; the T_virtio
+        // fallback brings back a local I/O core for vhost.
+        mc.cores = slots + (tvirtio ? 1 : 0);
+        mc.ghz = cfg.costs.guest_ghz;
+        host.machine = std::make_unique<hv::Machine>(
+            sim, strFormat("vrio.host%u", h), mc);
+
+        net::NicConfig nc;
+        nc.gbps = cfg.direct_link_gbps;
+        nc.num_queues = slots;
+        nc.mtu = cfg.vrio_mtu;
+        nc.intr_coalesce_delay = sim::Tick(600) * sim::kNanosecond;
+        nc.intr_coalesce_frames = 8;
+        host.nic = std::make_unique<net::Nic>(
+            sim, strFormat("vrio.host%u.nic", h), nc);
+
+        net::NicConfig ioc;
+        ioc.gbps = cfg.direct_link_gbps;
+        ioc.num_queues = 1;
+        ioc.mtu = cfg.vrio_mtu;
+        ioc.rx_ring_size = cfg.iohost_rx_ring;
+        host.iohost_port = std::make_unique<net::Nic>(
+            sim, strFormat("vrio.iohost.cnic%u", h), ioc);
+        host.iohost_port->setQueueMac(
+            0, net::MacAddress::local(0x7f0000 + h));
+        iohv->attachClientNic(*host.iohost_port);
+
+        if (cfg.vrio_via_switch) {
+            // Section 4.6 alternative: both ends plug into the rack
+            // switch; the T-channel shares the fabric with external
+            // traffic and pays the forwarding latency, but VMhosts
+            // stay reachable if the IOhost is replaced.
+            rack.connectToSwitch(strFormat("vrio.swlink%u", h),
+                                 host.nic->port(),
+                                 cfg.direct_link_gbps);
+            rack.connectToSwitch(strFormat("vrio.swport%u", h),
+                                 host.iohost_port->port(),
+                                 cfg.direct_link_gbps);
+        } else {
+            rack.directLink(strFormat("vrio.dlink%u", h),
+                            host.nic->port(), host.iohost_port->port(),
+                            cfg.direct_link_gbps, cfg.vrio_channel_loss,
+                            cfg.direct_link_latency);
+        }
+        hosts.push_back(std::move(host));
+    }
+
+    // -- clients and their consolidated devices --------------------------
+    for (unsigned v = 0; v < cfg.num_vms; ++v) {
+        unsigned h = v % cfg.num_vmhosts;
+        unsigned slot = v / cfg.num_vmhosts;
+        auto f_mac = net::MacAddress::local(0x500000 + v);
+        auto t_mac = net::MacAddress::local(0x400000 + v);
+        hv::ClientKind kind = v < cfg.client_kinds.size()
+                                  ? cfg.client_kinds[v]
+                                  : hv::ClientKind::KvmGuest;
+        hv::Core *io_core = nullptr;
+        if (cfg.vrio_channel == ModelConfig::VrioChannel::Tvirtio) {
+            hv::Machine &m = *hosts[h].machine;
+            io_core = &m.core(m.coreCount() - 1);
+        }
+        auto client = std::make_unique<Client>(
+            *this, h, v, slot, hosts[h].nic.get(), f_mac, t_mac,
+            hosts[h].iohost_port->queueMac(0), kind, io_core,
+            strFormat("vrio.vm%u", v));
+
+        interpose::Chain *net_chain = nullptr;
+        interpose::Chain *blk_chain = nullptr;
+        if (cfg.chain_factory) {
+            net_chain = cfg.chain_factory(client->netDeviceId(), false);
+            blk_chain = cfg.chain_factory(client->blkDeviceId(), true);
+        }
+
+        iohv->mapClientPort(t_mac, h);
+
+        iohost::NetDeviceEntry nd;
+        nd.device_id = client->netDeviceId();
+        nd.f_mac = f_mac;
+        nd.t_mac = t_mac;
+        nd.chain = net_chain;
+        iohv->addNetDevice(nd);
+
+        if (cfg.with_block) {
+            std::unique_ptr<block::BlockDevice> disk;
+            if (cfg.block_use_ssd) {
+                disk = std::make_unique<block::SsdModel>(
+                    sim, strFormat("vrio.iohost.ssd%u", v), cfg.ssd_cfg);
+            } else {
+                disk = std::make_unique<block::RamDisk>(
+                    sim, strFormat("vrio.iohost.rd%u", v),
+                    cfg.ramdisk_cfg);
+            }
+            iohost::BlockDeviceEntry bd;
+            bd.device_id = client->blkDeviceId();
+            bd.t_mac = t_mac;
+            bd.device = disk.get();
+            bd.chain = blk_chain;
+            iohv->addBlockDevice(bd);
+            client->attachRemoteDisk(disk->capacitySectors());
+            remote_disks.push_back(std::move(disk));
+        }
+
+        clients.push_back(std::move(client));
+    }
+
+    // -- device-creation handshake at simulation start -------------------
+    // The I/O hypervisor announces each consolidated device to its
+    // IOclient (Section 4.1); clients ack over the same channel.
+    sim.events().schedule(0, [this]() {
+        for (auto &client : clients) {
+            transport::DeviceCreateCmd cmd;
+            cmd.kind = transport::DeviceKind::Net;
+            cmd.device_id = client->netDeviceId();
+            cmd.mac = client->mac();
+            iohv->sendDeviceCreate(cmd, client->tMac());
+            if (client->hasBlockDevice()) {
+                transport::DeviceCreateCmd bcmd;
+                bcmd.kind = transport::DeviceKind::Block;
+                bcmd.device_id = client->blkDeviceId();
+                bcmd.capacity_sectors = client->blk_capacity;
+                iohv->sendDeviceCreate(bcmd, client->tMac());
+            }
+        }
+    });
+}
+
+VrioModel::~VrioModel() = default;
+
+GuestEndpoint &
+VrioModel::guest(unsigned vm_index)
+{
+    vrio_assert(vm_index < clients.size(), "bad VM ", vm_index);
+    return *clients[vm_index];
+}
+
+const hv::Vm &
+VrioModel::vmAt(unsigned vm_index) const
+{
+    vrio_assert(vm_index < clients.size(), "bad VM ", vm_index);
+    return const_cast<Client &>(*clients[vm_index]).vm();
+}
+
+std::vector<const sim::Resource *>
+VrioModel::ioResources() const
+{
+    std::vector<const sim::Resource *> out;
+    for (unsigned w = 0; w < cfg_.sidecores; ++w)
+        out.push_back(&iohost_machine->core(w).resource());
+    return out;
+}
+
+void
+VrioModel::migrateClient(unsigned vm_index, unsigned to_host)
+{
+    vrio_assert(vm_index < clients.size(), "bad VM ", vm_index);
+    vrio_assert(to_host < hosts.size(), "bad host ", to_host);
+    Client &client = *clients[vm_index];
+    vrio_assert(client.host_index != to_host,
+                "client already on host ", to_host);
+    Host &dst = hosts[to_host];
+    unsigned new_vf = unsigned(dst.slot_used.size());
+    for (unsigned i = 0; i < dst.slot_used.size(); ++i) {
+        if (!dst.slot_used[i]) {
+            new_vf = i;
+            break;
+        }
+    }
+    vrio_assert(new_vf < dst.slot_used.size(),
+                "destination host ", to_host,
+                " has no spare client slot (set spare_client_slots)");
+    dst.slot_used[new_vf] = true;
+    hosts[client.host_index].slot_used[client.vf] = false;
+    client.rebind(to_host, new_vf, dst.nic.get(),
+                  dst.machine->core(new_vf),
+                  dst.iohost_port->queueMac(0));
+    // Redirect the IOhost's egress for this client to the new port.
+    iohv->mapClientPort(client.tMac(), to_host);
+}
+
+unsigned
+VrioModel::clientHost(unsigned vm_index) const
+{
+    return clients.at(vm_index)->host_index;
+}
+
+std::vector<const net::Nic *>
+VrioModel::allNics() const
+{
+    std::vector<const net::Nic *> out;
+    for (const auto &host : hosts) {
+        out.push_back(host.nic.get());
+        out.push_back(host.iohost_port.get());
+    }
+    out.push_back(external_nic.get());
+    return out;
+}
+
+uint64_t
+VrioModel::iohostInterrupts() const
+{
+    return iohv->interruptsTaken();
+}
+
+uint64_t
+VrioModel::clientRetransmissions(unsigned vm_index) const
+{
+    return clients.at(vm_index)->retransmissions();
+}
+
+uint64_t
+VrioModel::clientStaleResponses(unsigned vm_index) const
+{
+    return clients.at(vm_index)->staleResponses();
+}
+
+uint64_t
+VrioModel::clientDevCreates(unsigned vm_index) const
+{
+    return clients.at(vm_index)->devCreates();
+}
+
+} // namespace vrio::models

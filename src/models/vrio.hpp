@@ -1,0 +1,84 @@
+/**
+ * @file
+ * The vRIO I/O model (Section 4): local hosts run only VMs; their
+ * paravirtual I/O is processed by remote sidecores on an IOhost,
+ * reached through per-VM SRIOV channels carrying the real transport
+ * protocol of src/transport.  cfg.kind selects the polling IOhost
+ * (Vrio) or the interrupt-driven ablation (VrioNoPoll).
+ *
+ * Table 3 rows: vrio 0/2/0/0/0; vrio w/o poll 0/2/0/0/4.
+ */
+#ifndef VRIO_MODELS_VRIO_HPP
+#define VRIO_MODELS_VRIO_HPP
+
+#include "block/disk_scheduler.hpp"
+#include "iohost/io_hypervisor.hpp"
+#include "models/io_model.hpp"
+#include "transport/retransmit.hpp"
+
+namespace vrio::models {
+
+class VrioModel : public IoModel
+{
+  public:
+    VrioModel(Rack &rack, ModelConfig cfg);
+    ~VrioModel() override;
+
+    GuestEndpoint &guest(unsigned vm_index) override;
+    std::vector<const sim::Resource *> ioResources() const override;
+    uint64_t iohostInterrupts() const override;
+
+    iohost::IoHypervisor &hypervisor() { return *iohv; }
+
+    /** All NICs in the wiring (diagnostics: drop counters etc.). */
+    std::vector<const net::Nic *> allNics() const;
+
+    /**
+     * Live-migrate an IOclient to another VMhost sharing this IOhost
+     * (the dynamic switch of Section 4.6, which the paper describes
+     * but did not implement).  The client detaches from its SRIOV VF,
+     * rebinds to a spare vCPU/VF on the destination host, and the I/O
+     * hypervisor redirects its T-MAC to the new port.  Frames in
+     * flight during the switch are lost and recovered by the block
+     * retransmission protocol (or the guest's TCP, for networking).
+     *
+     * Requires cfg.spare_client_slots > 0 on the destination host;
+     * panics otherwise (rack capacity planning is the caller's job).
+     */
+    void migrateClient(unsigned vm_index, unsigned to_host);
+
+    /** The VMhost currently hosting a client. */
+    unsigned clientHost(unsigned vm_index) const;
+
+    /** Per-client protocol statistics (for tests and benches). */
+    uint64_t clientRetransmissions(unsigned vm_index) const;
+    uint64_t clientStaleResponses(unsigned vm_index) const;
+    uint64_t clientDevCreates(unsigned vm_index) const;
+
+  protected:
+    const hv::Vm &vmAt(unsigned vm_index) const override;
+
+  private:
+    class Client;
+
+    struct Host
+    {
+        std::unique_ptr<hv::Machine> machine;
+        std::unique_ptr<net::Nic> nic; ///< T-channel SRIOV NIC
+        std::unique_ptr<net::Nic> iohost_port; ///< IOhost end of the link
+        /** Occupancy of each vCPU/VF slot on this host. */
+        std::vector<bool> slot_used;
+    };
+
+    std::vector<Host> hosts;
+    std::vector<std::unique_ptr<Client>> clients;
+
+    std::unique_ptr<hv::Machine> iohost_machine;
+    std::unique_ptr<net::Nic> external_nic;
+    std::unique_ptr<iohost::IoHypervisor> iohv;
+    std::vector<std::unique_ptr<block::BlockDevice>> remote_disks;
+};
+
+} // namespace vrio::models
+
+#endif // VRIO_MODELS_VRIO_HPP

@@ -1,0 +1,25 @@
+#include "net/ether.hpp"
+
+namespace vrio::net {
+
+void
+EtherHeader::encode(ByteWriter &w) const
+{
+    w.putBytes(std::span<const uint8_t>(dst.bytes()));
+    w.putBytes(std::span<const uint8_t>(src.bytes()));
+    w.putU16be(ether_type);
+}
+
+EtherHeader
+EtherHeader::decode(ByteReader &r)
+{
+    EtherHeader h;
+    auto d = r.viewBytes(6);
+    std::copy(d.begin(), d.end(), h.dst.bytes().begin());
+    auto s = r.viewBytes(6);
+    std::copy(s.begin(), s.end(), h.src.bytes().begin());
+    h.ether_type = r.getU16be();
+    return h;
+}
+
+} // namespace vrio::net

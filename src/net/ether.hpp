@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Ethernet II header codec and MTU constants.
+ */
+#ifndef VRIO_NET_ETHER_HPP
+#define VRIO_NET_ETHER_HPP
+
+#include <cstdint>
+
+#include "net/mac.hpp"
+#include "util/byte_buffer.hpp"
+
+namespace vrio::net {
+
+/** Standard Ethernet MTU. */
+constexpr uint32_t kMtuStandard = 1500;
+/**
+ * The jumbo MTU vRIO uses.  Chosen (Section 4.4) so a TSO fragment
+ * plus headers fits in two 4KB pages, keeping <= 17 fragments per
+ * 64KB message so the IOhost can reassemble into one SKB zero-copy.
+ */
+constexpr uint32_t kMtuVrioJumbo = 8100;
+/** Largest conventional jumbo MTU. */
+constexpr uint32_t kMtuJumboMax = 9000;
+
+constexpr uint32_t kEtherHeaderSize = 14;
+constexpr uint32_t kEtherFcsSize = 4;
+
+/** EtherType values used in this library. */
+enum class EtherType : uint16_t {
+    Ipv4 = 0x0800,
+    Arp = 0x0806,
+    /** IEEE experimental; carries the raw vRIO control channel. */
+    VrioControl = 0x88b5,
+    /** IEEE experimental #2; payload test traffic. */
+    Raw = 0x88b6,
+};
+
+struct EtherHeader
+{
+    MacAddress dst;
+    MacAddress src;
+    uint16_t ether_type = 0;
+
+    static constexpr size_t kSize = kEtherHeaderSize;
+
+    void encode(ByteWriter &w) const;
+    static EtherHeader decode(ByteReader &r);
+};
+
+} // namespace vrio::net
+
+#endif // VRIO_NET_ETHER_HPP

@@ -1,0 +1,23 @@
+#include "net/frame.hpp"
+
+namespace vrio::net {
+
+FramePtr
+makeFrame(const EtherHeader &hdr, std::span<const uint8_t> payload,
+          uint64_t pad)
+{
+    auto f = std::make_shared<Frame>();
+    ByteWriter w(f->bytes);
+    hdr.encode(w);
+    w.putBytes(payload);
+    f->pad = pad;
+    return f;
+}
+
+FramePtr
+makePadFrame(const EtherHeader &hdr, uint64_t pad)
+{
+    return makeFrame(hdr, {}, pad);
+}
+
+} // namespace vrio::net

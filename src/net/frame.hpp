@@ -1,0 +1,65 @@
+/**
+ * @file
+ * On-wire frame representation.
+ *
+ * A Frame carries real encoded bytes from the Ethernet header onward,
+ * so protocol logic (vRIO encapsulation, TSO splitting, reassembly)
+ * operates on genuine wire formats.  Bulk workloads that do not care
+ * about payload *content* may represent part of the payload as `pad`
+ * bytes that occupy wire time and ring slots without being
+ * materialized in memory.
+ */
+#ifndef VRIO_NET_FRAME_HPP
+#define VRIO_NET_FRAME_HPP
+
+#include <memory>
+
+#include "net/ether.hpp"
+#include "sim/ticks.hpp"
+#include "util/byte_buffer.hpp"
+
+namespace vrio::net {
+
+struct Frame
+{
+    /** Encoded bytes starting at the Ethernet header (no FCS). */
+    Bytes bytes;
+    /** Simulated-but-unmaterialized payload bytes. */
+    uint64_t pad = 0;
+
+    /** Cross-layer annotations used for end-to-end accounting only. */
+    uint64_t trace_id = 0;
+    sim::Tick born = 0;
+
+    /** Bytes this frame occupies on the wire (with FCS). */
+    uint64_t wireSize() const
+    {
+        return bytes.size() + pad + kEtherFcsSize;
+    }
+
+    /** Decode the leading Ethernet header. */
+    EtherHeader ether() const
+    {
+        ByteReader r(bytes);
+        return EtherHeader::decode(r);
+    }
+
+    /** View of everything after the Ethernet header. */
+    std::span<const uint8_t> l3() const
+    {
+        return std::span<const uint8_t>(bytes).subspan(kEtherHeaderSize);
+    }
+};
+
+using FramePtr = std::shared_ptr<Frame>;
+
+/** Build a frame from a header and payload (+ optional pad bytes). */
+FramePtr makeFrame(const EtherHeader &hdr,
+                   std::span<const uint8_t> payload, uint64_t pad = 0);
+
+/** Build a frame whose payload is entirely simulated (@p pad bytes). */
+FramePtr makePadFrame(const EtherHeader &hdr, uint64_t pad);
+
+} // namespace vrio::net
+
+#endif // VRIO_NET_FRAME_HPP

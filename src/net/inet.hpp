@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Minimal IPv4/TCP header codecs — the "fake TCP" of Section 4.3.
+ *
+ * vRIO works at raw Ethernet level but prepends spec-shaped IPv4+TCP
+ * headers so NIC TSO engines will segment its (up to 64KB) messages in
+ * hardware, exactly like the STT tunnelling protocol the paper cites.
+ * The TCP sequence number carries the byte offset of a segment within
+ * the original message, so the receiver can reassemble; the ACK field
+ * carries the message identifier.  Nothing else of TCP (handshakes,
+ * retransmission, congestion control) exists on this channel.
+ */
+#ifndef VRIO_NET_INET_HPP
+#define VRIO_NET_INET_HPP
+
+#include <cstdint>
+
+#include "util/byte_buffer.hpp"
+
+namespace vrio::net {
+
+constexpr size_t kIpv4HeaderSize = 20;
+constexpr size_t kTcpHeaderSize = 20;
+
+/** RFC 1071 internet checksum over @p data (pads odd length with 0). */
+uint16_t inetChecksum(std::span<const uint8_t> data);
+
+struct Ipv4Header
+{
+    uint8_t tos = 0;
+    uint16_t total_length = 0; ///< header + payload
+    uint16_t identification = 0;
+    uint8_t ttl = 64;
+    uint8_t protocol = 6; ///< TCP
+    uint32_t src = 0;
+    uint32_t dst = 0;
+
+    static constexpr size_t kSize = kIpv4HeaderSize;
+
+    /** Encode with a correct header checksum. */
+    void encode(ByteWriter &w) const;
+    /**
+     * Decode; @p checksum_ok (optional) receives whether the header
+     * checksum verified.
+     */
+    static Ipv4Header decode(ByteReader &r, bool *checksum_ok = nullptr);
+};
+
+struct TcpHeader
+{
+    uint16_t src_port = 0;
+    uint16_t dst_port = 0;
+    uint32_t seq = 0; ///< vRIO: byte offset within the original message
+    uint32_t ack = 0; ///< vRIO: message identifier
+    uint8_t flags = 0x10; ///< ACK, to look like established traffic
+    uint16_t window = 0xffff;
+
+    static constexpr size_t kSize = kTcpHeaderSize;
+
+    void encode(ByteWriter &w) const;
+    static TcpHeader decode(ByteReader &r);
+};
+
+} // namespace vrio::net
+
+#endif // VRIO_NET_INET_HPP

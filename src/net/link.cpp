@@ -1,0 +1,61 @@
+#include "net/link.hpp"
+
+#include "util/logging.hpp"
+
+namespace vrio::net {
+
+Link::Link(sim::Simulation &sim, std::string name, LinkConfig cfg)
+    : SimObject(sim, std::move(name)), cfg(cfg)
+{
+    tx_a = std::make_unique<sim::Resource>(sim.events(),
+                                           this->name() + ".txA");
+    tx_b = std::make_unique<sim::Resource>(sim.events(),
+                                           this->name() + ".txB");
+}
+
+void
+Link::connect(NetPort &a, NetPort &b)
+{
+    vrio_assert(!end_a && !end_b, "link ", name(), " already connected");
+    vrio_assert(!a.link_ && !b.link_, "port already plugged in");
+    end_a = &a;
+    end_b = &b;
+    a.link_ = this;
+    b.link_ = this;
+}
+
+void
+Link::transmit(NetPort &from, FramePtr frame)
+{
+    vrio_assert(end_a && end_b, "transmit on unconnected link ", name());
+    NetPort *to;
+    sim::Resource *tx;
+    if (&from == end_a) {
+        to = end_b;
+        tx = tx_a.get();
+    } else if (&from == end_b) {
+        to = end_a;
+        tx = tx_b.get();
+    } else {
+        vrio_panic("transmit from a port not on link ", name());
+    }
+
+    uint64_t wire_bytes = frame->wireSize();
+    sim::Tick serialization = sim::bytesToTicks(wire_bytes, cfg.gbps);
+    tx->submit(serialization, [this, to, frame = std::move(frame),
+                               wire_bytes]() mutable {
+        bytes += wire_bytes;
+        if (cfg.loss_probability > 0.0 &&
+            sim().random().bernoulli(cfg.loss_probability)) {
+            ++lost;
+            return;
+        }
+        ++delivered;
+        sim().events().schedule(cfg.propagation,
+                                [to, frame = std::move(frame)]() mutable {
+                                    to->receive(std::move(frame));
+                                });
+    });
+}
+
+} // namespace vrio::net

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Point-to-point Ethernet link.
+ *
+ * Each direction has its own transmitter (serialization at line rate),
+ * a propagation delay, and an optional Bernoulli loss process.
+ * Ethernet is unreliable (Section 4.5); the loss process is how tests
+ * and benches exercise the vRIO block retransmission machinery.
+ */
+#ifndef VRIO_NET_LINK_HPP
+#define VRIO_NET_LINK_HPP
+
+#include <functional>
+
+#include "net/frame.hpp"
+#include "sim/resource.hpp"
+#include "sim/simulation.hpp"
+
+namespace vrio::net {
+
+class Link;
+
+/** Anything a link endpoint can deliver frames to. */
+class NetPort
+{
+  public:
+    virtual ~NetPort() = default;
+
+    /** A frame has fully arrived at this port. */
+    virtual void receive(FramePtr frame) = 0;
+
+    /** The link this port is plugged into (set by Link::connect). */
+    Link *link() const { return link_; }
+
+  private:
+    friend class Link;
+    Link *link_ = nullptr;
+};
+
+struct LinkConfig
+{
+    double gbps = 10.0;
+    sim::Tick propagation = sim::Tick(500) * sim::kNanosecond;
+    /** Probability that any given frame is dropped in flight. */
+    double loss_probability = 0.0;
+};
+
+class Link : public sim::SimObject
+{
+  public:
+    Link(sim::Simulation &sim, std::string name, LinkConfig cfg);
+
+    /** Plug both endpoints in (each port joins exactly one link). */
+    void connect(NetPort &a, NetPort &b);
+
+    /**
+     * Transmit @p frame from endpoint @p from toward the other end:
+     * serialization (queued at line rate) + propagation + loss.
+     */
+    void transmit(NetPort &from, FramePtr frame);
+
+    double gbps() const { return cfg.gbps; }
+
+    uint64_t framesDelivered() const { return delivered; }
+    uint64_t framesLost() const { return lost; }
+    uint64_t bytesCarried() const { return bytes; }
+
+  private:
+    LinkConfig cfg;
+    NetPort *end_a = nullptr;
+    NetPort *end_b = nullptr;
+    std::unique_ptr<sim::Resource> tx_a; ///< transmitter at end A
+    std::unique_ptr<sim::Resource> tx_b;
+
+    uint64_t delivered = 0;
+    uint64_t lost = 0;
+    uint64_t bytes = 0;
+};
+
+} // namespace vrio::net
+
+#endif // VRIO_NET_LINK_HPP

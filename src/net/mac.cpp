@@ -1,0 +1,57 @@
+#include "net/mac.hpp"
+
+#include "util/strutil.hpp"
+
+namespace vrio::net {
+
+MacAddress
+MacAddress::fromU64(uint64_t value)
+{
+    MacAddress mac;
+    for (int i = 0; i < 6; ++i)
+        mac.octets[i] = uint8_t(value >> (8 * (5 - i)));
+    return mac;
+}
+
+MacAddress
+MacAddress::local(uint64_t index)
+{
+    // 0x02 prefix = locally administered, unicast.
+    return fromU64(0x020000000000ull | (index & 0xffffffffffull));
+}
+
+MacAddress
+MacAddress::broadcast()
+{
+    return fromU64(0xffffffffffffull);
+}
+
+uint64_t
+MacAddress::toU64() const
+{
+    uint64_t v = 0;
+    for (int i = 0; i < 6; ++i)
+        v = v << 8 | octets[i];
+    return v;
+}
+
+std::string
+MacAddress::toString() const
+{
+    return strFormat("%02x:%02x:%02x:%02x:%02x:%02x", octets[0], octets[1],
+                     octets[2], octets[3], octets[4], octets[5]);
+}
+
+bool
+MacAddress::isBroadcast() const
+{
+    return *this == broadcast();
+}
+
+bool
+MacAddress::isMulticast() const
+{
+    return octets[0] & 0x01;
+}
+
+} // namespace vrio::net

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Ethernet MAC addresses.
+ */
+#ifndef VRIO_NET_MAC_HPP
+#define VRIO_NET_MAC_HPP
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace vrio::net {
+
+class MacAddress
+{
+  public:
+    MacAddress() = default;
+
+    /** From the low 48 bits of @p value (big-endian byte order). */
+    static MacAddress fromU64(uint64_t value);
+
+    /** Locally-administered unicast address derived from an index. */
+    static MacAddress local(uint64_t index);
+
+    /** ff:ff:ff:ff:ff:ff. */
+    static MacAddress broadcast();
+
+    uint64_t toU64() const;
+    std::string toString() const;
+
+    bool isBroadcast() const;
+    /** Multicast bit (least significant bit of the first octet). */
+    bool isMulticast() const;
+
+    const std::array<uint8_t, 6> &bytes() const { return octets; }
+    std::array<uint8_t, 6> &bytes() { return octets; }
+
+    auto operator<=>(const MacAddress &) const = default;
+
+  private:
+    std::array<uint8_t, 6> octets{};
+};
+
+} // namespace vrio::net
+
+#endif // VRIO_NET_MAC_HPP

@@ -1,0 +1,58 @@
+#include "net/switch.hpp"
+
+#include "util/logging.hpp"
+
+namespace vrio::net {
+
+Switch::Switch(sim::Simulation &sim, std::string name, SwitchConfig cfg)
+    : SimObject(sim, std::move(name)), cfg(cfg)
+{}
+
+NetPort &
+Switch::newPort()
+{
+    ports.push_back(std::make_unique<Port>(*this, ports.size()));
+    return *ports.back();
+}
+
+void
+Switch::ingress(size_t port_index, FramePtr frame)
+{
+    EtherHeader hdr = frame->ether();
+
+    // Learn the source address.
+    if (!hdr.src.isMulticast())
+        mac_table[hdr.src] = port_index;
+
+    sim().events().schedule(
+        cfg.forwarding_latency,
+        [this, port_index, hdr, frame = std::move(frame)]() mutable {
+            if (!hdr.dst.isMulticast()) {
+                auto it = mac_table.find(hdr.dst);
+                if (it != mac_table.end()) {
+                    if (it->second != port_index) {
+                        ++forwarded;
+                        egress(it->second, std::move(frame));
+                    }
+                    // Destination is on the ingress port: filter.
+                    return;
+                }
+            }
+            // Unknown unicast or broadcast/multicast: flood.
+            ++flooded;
+            for (size_t i = 0; i < ports.size(); ++i) {
+                if (i != port_index && ports[i]->link())
+                    egress(i, std::make_shared<Frame>(*frame));
+            }
+        });
+}
+
+void
+Switch::egress(size_t port_index, FramePtr frame)
+{
+    Link *link = ports[port_index]->link();
+    vrio_assert(link, "egress on unconnected switch port ", port_index);
+    link->transmit(*ports[port_index], std::move(frame));
+}
+
+} // namespace vrio::net

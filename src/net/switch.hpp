@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Store-and-forward learning Ethernet switch (the rack ToR switch of
+ * Figure 2).
+ */
+#ifndef VRIO_NET_SWITCH_HPP
+#define VRIO_NET_SWITCH_HPP
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "net/link.hpp"
+
+namespace vrio::net {
+
+struct SwitchConfig
+{
+    /** Fixed forwarding latency through the fabric. */
+    sim::Tick forwarding_latency = sim::Tick(800) * sim::kNanosecond;
+};
+
+class Switch : public sim::SimObject
+{
+  public:
+    Switch(sim::Simulation &sim, std::string name, SwitchConfig cfg = {});
+
+    /**
+     * Allocate a new switch port; connect its return value to a Link.
+     * Ports are never deallocated (racks are static).
+     */
+    NetPort &newPort();
+
+    size_t portCount() const { return ports.size(); }
+    uint64_t framesForwarded() const { return forwarded; }
+    uint64_t framesFlooded() const { return flooded; }
+
+    /** MAC table size (learned addresses). */
+    size_t macTableSize() const { return mac_table.size(); }
+
+  private:
+    class Port : public NetPort
+    {
+      public:
+        Port(Switch &sw, size_t index) : sw(sw), index(index) {}
+        void receive(FramePtr frame) override
+        {
+            sw.ingress(index, std::move(frame));
+        }
+
+      private:
+        Switch &sw;
+        size_t index;
+    };
+
+    SwitchConfig cfg;
+    std::vector<std::unique_ptr<Port>> ports;
+    std::map<MacAddress, size_t> mac_table;
+    uint64_t forwarded = 0;
+    uint64_t flooded = 0;
+
+    void ingress(size_t port_index, FramePtr frame);
+    void egress(size_t port_index, FramePtr frame);
+};
+
+} // namespace vrio::net
+
+#endif // VRIO_NET_SWITCH_HPP

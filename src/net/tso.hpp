@@ -1,0 +1,45 @@
+/**
+ * @file
+ * TCP segmentation offload engine (pure functions).
+ *
+ * Given a frame carrying Ethernet+IPv4+TCP headers and an oversized
+ * payload, produce wire-legal segments of at most MTU bytes of L3
+ * payload, adjusting per-segment IP total-length and TCP sequence
+ * numbers exactly as NIC TSO hardware does.  The vRIO transport leans
+ * on this to ship up to 64KB messages with a single driver-side send
+ * (Section 4.3).
+ */
+#ifndef VRIO_NET_TSO_HPP
+#define VRIO_NET_TSO_HPP
+
+#include <vector>
+
+#include "net/frame.hpp"
+#include "net/inet.hpp"
+
+namespace vrio::net {
+
+/** Largest payload a single TSO send may carry (64KB TCP limit). */
+constexpr uint32_t kTsoMaxPayload = 64 * 1024;
+
+/** True if the frame is Ethernet/IPv4/TCP and thus TSO-eligible. */
+bool frameIsTcpIpv4(const Frame &frame);
+
+/** MSS for a given MTU: IP and TCP headers are carried per segment. */
+constexpr uint32_t
+mssForMtu(uint32_t mtu)
+{
+    return mtu - uint32_t(kIpv4HeaderSize) - uint32_t(kTcpHeaderSize);
+}
+
+/**
+ * Split @p frame into segments whose L3 size is at most @p mtu.
+ * The input must satisfy frameIsTcpIpv4() and have no pad bytes.
+ * Frames already within the MTU are returned as a single copy.
+ * Trace annotations are propagated to every segment.
+ */
+std::vector<FramePtr> tsoSegment(const Frame &frame, uint32_t mtu);
+
+} // namespace vrio::net
+
+#endif // VRIO_NET_TSO_HPP

@@ -1,0 +1,103 @@
+#include "sim/event_queue.hpp"
+
+#include <utility>
+
+#include "util/logging.hpp"
+
+namespace vrio::sim {
+
+void
+EventHandle::cancel()
+{
+    if (state)
+        state->cancelled = true;
+}
+
+bool
+EventHandle::pending() const
+{
+    return state && !state->cancelled && !state->fired;
+}
+
+EventHandle
+EventQueue::scheduleAt(Tick when, std::function<void()> fn)
+{
+    vrio_assert(when >= now_, "scheduling into the past: ", when, " < ",
+                now_);
+    EventHandle handle;
+    handle.state = std::make_shared<EventHandle::State>();
+    heap.push(Entry{when, next_seq++, std::move(fn), handle.state});
+    return handle;
+}
+
+EventHandle
+EventQueue::schedule(Tick delay, std::function<void()> fn)
+{
+    return scheduleAt(now_ + delay, std::move(fn));
+}
+
+void
+EventQueue::skim()
+{
+    while (!heap.empty() && heap.top().state->cancelled)
+        heap.pop();
+}
+
+bool
+EventQueue::empty() const
+{
+    // skim() is non-const; emulate by checking live entries lazily.
+    auto *self = const_cast<EventQueue *>(this);
+    self->skim();
+    return heap.empty();
+}
+
+Tick
+EventQueue::nextEventTick() const
+{
+    vrio_assert(!empty(), "nextEventTick on an empty queue");
+    return heap.top().when;
+}
+
+bool
+EventQueue::step()
+{
+    skim();
+    if (heap.empty())
+        return false;
+    Entry entry = std::move(const_cast<Entry &>(heap.top()));
+    heap.pop();
+    now_ = entry.when;
+    entry.state->fired = true;
+    entry.fn();
+    return true;
+}
+
+uint64_t
+EventQueue::runUntil(Tick limit)
+{
+    uint64_t executed = 0;
+    while (true) {
+        skim();
+        if (heap.empty() || heap.top().when > limit) {
+            // Time advances to the limit even when idle, so periodic
+            // reporting and utilization windows line up.
+            if (limit > now_)
+                now_ = limit;
+            return executed;
+        }
+        step();
+        ++executed;
+    }
+}
+
+uint64_t
+EventQueue::runToCompletion()
+{
+    uint64_t executed = 0;
+    while (step())
+        ++executed;
+    return executed;
+}
+
+} // namespace vrio::sim

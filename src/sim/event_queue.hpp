@@ -1,0 +1,110 @@
+/**
+ * @file
+ * The event queue at the heart of the discrete-event simulator.
+ *
+ * Events are closures scheduled at absolute ticks.  Ties are broken by
+ * insertion order, which makes simulations fully deterministic for a
+ * given seed.  Events can be cancelled (used heavily by the
+ * retransmission timers of the vRIO block protocol).
+ */
+#ifndef VRIO_SIM_EVENT_QUEUE_HPP
+#define VRIO_SIM_EVENT_QUEUE_HPP
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/ticks.hpp"
+
+namespace vrio::sim {
+
+/**
+ * Handle to a scheduled event.  Default-constructed handles are inert.
+ * The handle does not own the event; cancelling after the event fired
+ * is a harmless no-op.
+ */
+class EventHandle
+{
+  public:
+    EventHandle() = default;
+
+    /** Prevent a pending event from firing. */
+    void cancel();
+    /** True if the event is still scheduled and not cancelled. */
+    bool pending() const;
+
+  private:
+    friend class EventQueue;
+    struct State
+    {
+        bool cancelled = false;
+        bool fired = false;
+    };
+    std::shared_ptr<State> state;
+};
+
+class EventQueue
+{
+  public:
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /** Schedule @p fn at absolute time @p when (>= now). */
+    EventHandle scheduleAt(Tick when, std::function<void()> fn);
+
+    /** Schedule @p fn @p delay ticks from now. */
+    EventHandle schedule(Tick delay, std::function<void()> fn);
+
+    /** True when no runnable events remain. */
+    bool empty() const;
+
+    /** Next pending event time; panics when empty. */
+    Tick nextEventTick() const;
+
+    /**
+     * Run events until the queue is empty or @p limit is reached.
+     * Time stops at the last executed event (or at @p limit if that is
+     * earlier than the next event).
+     *
+     * @return number of events executed.
+     */
+    uint64_t runUntil(Tick limit);
+
+    /** Run until no events remain. */
+    uint64_t runToCompletion();
+
+    /** Execute exactly one event if one exists; returns false if idle. */
+    bool step();
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        uint64_t seq;
+        std::function<void()> fn;
+        std::shared_ptr<EventHandle::State> state;
+    };
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap;
+    Tick now_ = 0;
+    uint64_t next_seq = 0;
+
+    /** Drop cancelled entries from the top of the heap. */
+    void skim();
+};
+
+} // namespace vrio::sim
+
+#endif // VRIO_SIM_EVENT_QUEUE_HPP

@@ -1,0 +1,123 @@
+#include "sim/random.hpp"
+
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace vrio::sim {
+
+namespace {
+
+inline uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+uint64_t
+Random::splitMix64(uint64_t &x)
+{
+    uint64_t z = (x += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+Random::Random(uint64_t seed)
+{
+    uint64_t x = seed;
+    for (auto &word : s)
+        word = splitMix64(x);
+}
+
+uint64_t
+Random::next()
+{
+    const uint64_t result = rotl(s[1] * 5, 7) * 9;
+    const uint64_t t = s[1] << 17;
+    s[2] ^= s[0];
+    s[3] ^= s[1];
+    s[1] ^= s[2];
+    s[0] ^= s[3];
+    s[2] ^= t;
+    s[3] = rotl(s[3], 45);
+    return result;
+}
+
+double
+Random::uniform()
+{
+    // 53 high bits -> double in [0, 1).
+    return double(next() >> 11) * 0x1.0p-53;
+}
+
+double
+Random::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+uint64_t
+Random::uniformInt(uint64_t lo, uint64_t hi)
+{
+    vrio_assert(lo <= hi, "uniformInt: lo > hi");
+    uint64_t span = hi - lo + 1;
+    if (span == 0) // full 64-bit range
+        return next();
+    // Rejection sampling to avoid modulo bias.
+    uint64_t limit = UINT64_MAX - UINT64_MAX % span;
+    uint64_t v;
+    do {
+        v = next();
+    } while (v >= limit);
+    return lo + v % span;
+}
+
+bool
+Random::bernoulli(double p)
+{
+    return uniform() < p;
+}
+
+double
+Random::exponential(double mean)
+{
+    vrio_assert(mean > 0, "exponential mean must be positive");
+    double u;
+    do {
+        u = uniform();
+    } while (u == 0.0);
+    return -mean * std::log(u);
+}
+
+double
+Random::normal(double mean, double stddev)
+{
+    double u1;
+    do {
+        u1 = uniform();
+    } while (u1 == 0.0);
+    double u2 = uniform();
+    double z = std::sqrt(-2.0 * std::log(u1)) *
+               std::cos(2.0 * M_PI * u2);
+    return mean + stddev * z;
+}
+
+double
+Random::lognormalMean(double mean, double sigma)
+{
+    vrio_assert(mean > 0, "lognormal mean must be positive");
+    // E[lognormal(mu, sigma)] = exp(mu + sigma^2/2)  =>  solve for mu.
+    double mu = std::log(mean) - sigma * sigma / 2.0;
+    return std::exp(normal(mu, sigma));
+}
+
+Random
+Random::split()
+{
+    return Random(next());
+}
+
+} // namespace vrio::sim

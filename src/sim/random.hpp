@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Deterministic pseudo-random source (xoshiro256**).
+ *
+ * A dedicated implementation (rather than <random> engines) keeps
+ * experiment results bit-identical across standard library versions,
+ * which the regression tests rely on.
+ */
+#ifndef VRIO_SIM_RANDOM_HPP
+#define VRIO_SIM_RANDOM_HPP
+
+#include <cstdint>
+
+namespace vrio::sim {
+
+class Random
+{
+  public:
+    explicit Random(uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** Raw 64 random bits. */
+    uint64_t next();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    uint64_t uniformInt(uint64_t lo, uint64_t hi);
+
+    /** True with probability @p p. */
+    bool bernoulli(double p);
+
+    /** Exponential with the given mean (inter-arrival times). */
+    double exponential(double mean);
+
+    /** Normal via Box-Muller. */
+    double normal(double mean, double stddev);
+
+    /**
+     * Log-normal parameterized by the target arithmetic mean and the
+     * sigma of the underlying normal; used for filebench-style file
+     * size distributions (mean 28KB in the Webserver personality).
+     */
+    double lognormalMean(double mean, double sigma);
+
+    /** Fork an independent stream (for per-VM generators). */
+    Random split();
+
+  private:
+    uint64_t s[4];
+
+    static uint64_t splitMix64(uint64_t &x);
+};
+
+} // namespace vrio::sim
+
+#endif // VRIO_SIM_RANDOM_HPP

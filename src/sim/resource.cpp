@@ -1,0 +1,122 @@
+#include "sim/resource.hpp"
+
+#include <utility>
+
+#include "util/logging.hpp"
+
+namespace vrio::sim {
+
+Resource::Resource(EventQueue &eq, std::string name, unsigned servers)
+    : eq(eq), name_(std::move(name)), nservers(servers)
+{
+    vrio_assert(servers >= 1, "resource needs at least one server");
+}
+
+void
+Resource::submit(Tick service_time, std::function<void()> on_done)
+{
+    Job job;
+    job.service = service_time;
+    job.on_done = std::move(on_done);
+    job.enqueued = eq.now();
+    if (busy < nservers) {
+        beginService(std::move(job));
+    } else {
+        ++contended;
+        queue.push_back(std::move(job));
+    }
+}
+
+void
+Resource::submitDeferred(std::function<Tick()> make_job,
+                         std::function<void()> on_done)
+{
+    Job job;
+    job.service = 0;
+    job.make_service = std::move(make_job);
+    job.on_done = std::move(on_done);
+    job.enqueued = eq.now();
+    if (busy < nservers) {
+        beginService(std::move(job));
+    } else {
+        ++contended;
+        queue.push_back(std::move(job));
+    }
+}
+
+void
+Resource::beginService(Job job)
+{
+    ++busy;
+    Tick wait = eq.now() - job.enqueued;
+    wait_hist.add(ticksToMicros(wait));
+    Tick service =
+        job.make_service ? job.make_service() : job.service;
+    auto done = std::move(job.on_done);
+    eq.schedule(service, [this, service, done = std::move(done)]() {
+        busy_ticks += service;
+        ++completed_;
+        --busy;
+        if (done)
+            done();
+        startNext();
+    });
+}
+
+void
+Resource::startNext()
+{
+    if (!queue.empty() && busy < nservers) {
+        Job job = std::move(queue.front());
+        queue.pop_front();
+        beginService(std::move(job));
+    }
+}
+
+double
+Resource::utilizationSince(Tick start_tick) const
+{
+    Tick now = eq.now();
+    if (now <= start_tick)
+        return 0.0;
+    // busy_ticks only counts *completed* service; good enough for the
+    // window sizes used in reporting (>> individual job lengths).
+    Tick window = now - start_tick;
+    return double(busy_ticks) / double(window * nservers);
+}
+
+void
+Resource::resetStats()
+{
+    completed_ = 0;
+    contended = 0;
+    busy_ticks = 0;
+    stats_epoch = eq.now();
+    wait_hist.reset();
+}
+
+UtilizationSampler::UtilizationSampler(EventQueue &eq, const Resource &res,
+                                       Tick window, Tick until)
+    : eq(eq), res(res), window(window), until(until)
+{
+    vrio_assert(window > 0, "sampler window must be positive");
+    eq.schedule(window, [this]() { sample(); });
+}
+
+void
+UtilizationSampler::sample()
+{
+    Tick busy = res.busyTicks();
+    double util =
+        double(busy - last_busy) / double(window * res.servers());
+    last_busy = busy;
+    // Busy time can exceed the window slightly when a long job
+    // completes inside it; clamp for presentation.
+    if (util > 1.0)
+        util = 1.0;
+    series_.add(eq.now(), util * 100.0);
+    if (until == 0 || eq.now() + window <= until)
+        eq.schedule(window, [this]() { sample(); });
+}
+
+} // namespace vrio::sim

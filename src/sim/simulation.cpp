@@ -1,0 +1,7 @@
+#include "sim/simulation.hpp"
+
+namespace vrio::sim {
+
+Simulation::Simulation(uint64_t seed) : rng(seed) {}
+
+} // namespace vrio::sim

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Top-level simulation context: event queue + RNG + statistics.
+ */
+#ifndef VRIO_SIM_SIMULATION_HPP
+#define VRIO_SIM_SIMULATION_HPP
+
+#include <string>
+
+#include "sim/event_queue.hpp"
+#include "sim/random.hpp"
+#include "stats/registry.hpp"
+
+namespace vrio::sim {
+
+class Simulation
+{
+  public:
+    explicit Simulation(uint64_t seed = 1);
+
+    EventQueue &events() { return eq; }
+    Random &random() { return rng; }
+    stats::Registry &stats() { return registry; }
+
+    Tick now() const { return eq.now(); }
+
+    /** Run until @p limit (absolute tick) or until idle. */
+    void runUntil(Tick limit) { eq.runUntil(limit); }
+    /** Run until no events remain. */
+    void runToCompletion() { eq.runToCompletion(); }
+
+    /** Schedule @p fn after @p delay. */
+    EventHandle after(Tick delay, std::function<void()> fn)
+    {
+        return eq.schedule(delay, std::move(fn));
+    }
+
+  private:
+    EventQueue eq;
+    Random rng;
+    stats::Registry registry;
+};
+
+/**
+ * Base for named objects that live inside a simulation (machines,
+ * NICs, devices, workers).  Holds the back-reference and a dotted
+ * instance name used as the stats prefix.
+ */
+class SimObject
+{
+  public:
+    SimObject(Simulation &sim, std::string name)
+        : sim_(sim), name_(std::move(name))
+    {}
+    virtual ~SimObject() = default;
+
+    SimObject(const SimObject &) = delete;
+    SimObject &operator=(const SimObject &) = delete;
+
+    Simulation &sim() const { return sim_; }
+    const std::string &name() const { return name_; }
+    Tick now() const { return sim_.now(); }
+
+  protected:
+    stats::Counter &
+    statCounter(const std::string &leaf) const
+    {
+        return sim_.stats().counter(name_ + "." + leaf);
+    }
+    stats::Histogram &
+    statHistogram(const std::string &leaf) const
+    {
+        return sim_.stats().histogram(name_ + "." + leaf);
+    }
+
+  private:
+    Simulation &sim_;
+    std::string name_;
+};
+
+} // namespace vrio::sim
+
+#endif // VRIO_SIM_SIMULATION_HPP

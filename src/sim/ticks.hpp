@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Simulated-time definitions.
+ *
+ * Ticks are picoseconds.  Picosecond resolution keeps cycle-accurate
+ * arithmetic exact for the clock rates in the paper's testbed
+ * (2.2/2.7/2.93 GHz) while still allowing ~5000 hours of simulated
+ * time in 64 bits.
+ */
+#ifndef VRIO_SIM_TICKS_HPP
+#define VRIO_SIM_TICKS_HPP
+
+#include <cstdint>
+
+namespace vrio::sim {
+
+using Tick = uint64_t;
+
+constexpr Tick kPicosecond = 1;
+constexpr Tick kNanosecond = 1000 * kPicosecond;
+constexpr Tick kMicrosecond = 1000 * kNanosecond;
+constexpr Tick kMillisecond = 1000 * kMicrosecond;
+constexpr Tick kSecond = 1000 * kMillisecond;
+
+/** Ticks taken by @p cycles CPU cycles at @p ghz GHz. */
+constexpr Tick
+cyclesToTicks(double cycles, double ghz)
+{
+    // cycles / (ghz * 1e9 Hz) seconds = cycles / ghz nanoseconds.
+    // Round to nearest to keep e.g. 2200 cycles @ 2.2 GHz == 1 us.
+    return Tick(cycles / ghz * double(kNanosecond) + 0.5);
+}
+
+/** Ticks needed to serialize @p bytes at @p gbps gigabits per second. */
+constexpr Tick
+bytesToTicks(uint64_t bytes, double gbps)
+{
+    // bytes*8 bits at gbps*1e9 bit/s = bytes*8/gbps nanoseconds.
+    return Tick(double(bytes) * 8.0 / gbps * double(kNanosecond));
+}
+
+/** Convert ticks to (double) microseconds for reporting. */
+constexpr double
+ticksToMicros(Tick t)
+{
+    return double(t) / double(kMicrosecond);
+}
+
+/** Convert ticks to (double) seconds for reporting. */
+constexpr double
+ticksToSeconds(Tick t)
+{
+    return double(t) / double(kSecond);
+}
+
+} // namespace vrio::sim
+
+#endif // VRIO_SIM_TICKS_HPP

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Trivial counter/gauge/running-average statistics.
+ */
+#ifndef VRIO_STATS_COUNTERS_HPP
+#define VRIO_STATS_COUNTERS_HPP
+
+#include <cstdint>
+
+namespace vrio::stats {
+
+/** Monotonic event counter. */
+class Counter
+{
+  public:
+    void inc(uint64_t by = 1) { count_ += by; }
+    uint64_t value() const { return count_; }
+    void reset() { count_ = 0; }
+
+  private:
+    uint64_t count_ = 0;
+};
+
+/** Last-value gauge. */
+class Gauge
+{
+  public:
+    void set(double v) { value_ = v; }
+    double value() const { return value_; }
+
+  private:
+    double value_ = 0;
+};
+
+/**
+ * Numerically stable running mean/variance (Welford's algorithm);
+ * used where retaining samples would be wasteful, e.g. per-packet
+ * queueing delays in long throughput runs.
+ */
+class RunningStats
+{
+  public:
+    void add(double v);
+    uint64_t count() const { return n; }
+    double mean() const { return n ? m : 0.0; }
+    /** Population variance. */
+    double variance() const { return n > 1 ? s / double(n) : 0.0; }
+    double min() const { return n ? min_ : 0.0; }
+    double max() const { return n ? max_ : 0.0; }
+    void reset() { *this = RunningStats(); }
+
+  private:
+    uint64_t n = 0;
+    double m = 0;
+    double s = 0;
+    double min_ = 0;
+    double max_ = 0;
+};
+
+inline void
+RunningStats::add(double v)
+{
+    ++n;
+    if (n == 1) {
+        min_ = max_ = v;
+    } else {
+        if (v < min_)
+            min_ = v;
+        if (v > max_)
+            max_ = v;
+    }
+    double delta = v - m;
+    m += delta / double(n);
+    s += delta * (v - m);
+}
+
+} // namespace vrio::stats
+
+#endif // VRIO_STATS_COUNTERS_HPP

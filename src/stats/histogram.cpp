@@ -1,0 +1,87 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace vrio::stats {
+
+void
+Histogram::add(double value)
+{
+    samples.push_back(value);
+    total += value;
+    sorted = false;
+}
+
+double
+Histogram::mean() const
+{
+    return samples.empty() ? 0.0 : total / double(samples.size());
+}
+
+double
+Histogram::stddev() const
+{
+    if (samples.size() < 2)
+        return 0.0;
+    double m = mean();
+    double acc = 0;
+    for (double s : samples)
+        acc += (s - m) * (s - m);
+    return std::sqrt(acc / double(samples.size()));
+}
+
+double
+Histogram::min() const
+{
+    if (samples.empty())
+        return 0.0;
+    ensureSorted();
+    return samples.front();
+}
+
+double
+Histogram::max() const
+{
+    if (samples.empty())
+        return 0.0;
+    ensureSorted();
+    return samples.back();
+}
+
+double
+Histogram::percentile(double p) const
+{
+    vrio_assert(p >= 0.0 && p <= 100.0, "percentile ", p, " out of range");
+    if (samples.empty())
+        return 0.0;
+    ensureSorted();
+    if (p >= 100.0)
+        return samples.back();
+    // Nearest-rank: ceil(p/100 * n) with 1-based rank.
+    size_t rank = size_t(std::ceil(p / 100.0 * double(samples.size())));
+    if (rank == 0)
+        rank = 1;
+    return samples[rank - 1];
+}
+
+void
+Histogram::reset()
+{
+    samples.clear();
+    total = 0;
+    sorted = false;
+}
+
+void
+Histogram::ensureSorted() const
+{
+    if (!sorted) {
+        std::sort(samples.begin(), samples.end());
+        sorted = true;
+    }
+}
+
+} // namespace vrio::stats

@@ -1,0 +1,86 @@
+#include "stats/registry.hpp"
+
+#include "util/strutil.hpp"
+
+namespace vrio::stats {
+
+Counter &
+Registry::counter(const std::string &name)
+{
+    return counters[name];
+}
+
+Histogram &
+Registry::histogram(const std::string &name)
+{
+    return histograms[name];
+}
+
+bool
+Registry::hasCounter(const std::string &name) const
+{
+    return counters.count(name) != 0;
+}
+
+bool
+Registry::hasHistogram(const std::string &name) const
+{
+    return histograms.count(name) != 0;
+}
+
+uint64_t
+Registry::counterValue(const std::string &name) const
+{
+    auto it = counters.find(name);
+    return it == counters.end() ? 0 : it->second.value();
+}
+
+std::vector<std::string>
+Registry::counterNames(const std::string &prefix) const
+{
+    std::vector<std::string> out;
+    for (const auto &[name, _] : counters) {
+        if (name.rfind(prefix, 0) == 0)
+            out.push_back(name);
+    }
+    return out;
+}
+
+std::vector<std::string>
+Registry::histogramNames(const std::string &prefix) const
+{
+    std::vector<std::string> out;
+    for (const auto &[name, _] : histograms) {
+        if (name.rfind(prefix, 0) == 0)
+            out.push_back(name);
+    }
+    return out;
+}
+
+std::string
+Registry::dump() const
+{
+    std::string out;
+    for (const auto &[name, c] : counters)
+        out += strFormat("%-48s %12llu\n", name.c_str(),
+                         (unsigned long long)c.value());
+    for (const auto &[name, h] : histograms) {
+        out += strFormat("%-48s n=%llu mean=%.3f p50=%.3f p99=%.3f "
+                         "max=%.3f\n",
+                         name.c_str(), (unsigned long long)h.count(),
+                         h.mean(), h.percentile(50), h.percentile(99),
+                         h.max());
+    }
+    return out;
+}
+
+void
+Registry::resetAll()
+{
+    for (auto &[_, c] : counters)
+        c.reset();
+    for (auto &[_, h] : histograms)
+        h.reset();
+}
+
+} // namespace vrio::stats

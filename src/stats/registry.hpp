@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Named statistic registry.
+ *
+ * Simulation objects register their counters/histograms under
+ * hierarchical dotted names ("iohost.worker0.batches") so experiments
+ * can dump everything or query specific stats after a run.
+ */
+#ifndef VRIO_STATS_REGISTRY_HPP
+#define VRIO_STATS_REGISTRY_HPP
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "stats/counters.hpp"
+#include "stats/histogram.hpp"
+
+namespace vrio::stats {
+
+class Registry
+{
+  public:
+    /** Find-or-create a counter named @p name. */
+    Counter &counter(const std::string &name);
+    /** Find-or-create a histogram named @p name. */
+    Histogram &histogram(const std::string &name);
+
+    /** True if a counter with this exact name exists. */
+    bool hasCounter(const std::string &name) const;
+    bool hasHistogram(const std::string &name) const;
+
+    /** Counter value, or 0 if absent. */
+    uint64_t counterValue(const std::string &name) const;
+
+    /** All counter names with the given prefix, sorted. */
+    std::vector<std::string> counterNames(const std::string &prefix = "")
+        const;
+    std::vector<std::string> histogramNames(const std::string &prefix = "")
+        const;
+
+    /** Multi-line human-readable dump of every stat. */
+    std::string dump() const;
+
+    /** Reset all values (names are retained). */
+    void resetAll();
+
+  private:
+    std::map<std::string, Counter> counters;
+    std::map<std::string, Histogram> histograms;
+};
+
+} // namespace vrio::stats
+
+#endif // VRIO_STATS_REGISTRY_HPP

@@ -1,0 +1,102 @@
+#include "stats/table.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+#include "util/strutil.hpp"
+
+namespace vrio::stats {
+
+void
+Table::setHeader(std::vector<std::string> names)
+{
+    vrio_assert(rows.empty(), "setHeader after rows were added");
+    header = std::move(names);
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    vrio_assert(header.empty() || cells.size() == header.size(),
+                "row arity ", cells.size(), " != header arity ",
+                header.size());
+    rows.push_back(std::move(cells));
+}
+
+void
+Table::addRow(const std::string &label, const std::vector<double> &vals,
+              int precision)
+{
+    std::vector<std::string> cells;
+    cells.push_back(label);
+    for (double v : vals)
+        cells.push_back(strFormat("%.*f", precision, v));
+    addRow(std::move(cells));
+}
+
+const std::string &
+Table::cell(size_t row, size_t col) const
+{
+    vrio_assert(row < rows.size() && col < rows[row].size(),
+                "table cell (", row, ",", col, ") out of range");
+    return rows[row][col];
+}
+
+std::string
+Table::toString() const
+{
+    // Column widths across header and all rows.
+    size_t ncols = header.size();
+    for (const auto &r : rows)
+        ncols = std::max(ncols, r.size());
+    std::vector<size_t> width(ncols, 0);
+    for (size_t c = 0; c < header.size(); ++c)
+        width[c] = std::max(width[c], header[c].size());
+    for (const auto &r : rows) {
+        for (size_t c = 0; c < r.size(); ++c)
+            width[c] = std::max(width[c], r[c].size());
+    }
+
+    std::string out = "== " + title_ + " ==\n";
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (size_t c = 0; c < cells.size(); ++c) {
+            // Left-align first column (labels), right-align the rest.
+            int pad = int(width[c]);
+            out += padTo(cells[c], c == 0 ? -pad : pad);
+            if (c + 1 < cells.size())
+                out += "  ";
+        }
+        out += "\n";
+    };
+    if (!header.empty()) {
+        emit(header);
+        size_t total = 0;
+        for (size_t c = 0; c < ncols; ++c)
+            total += width[c] + (c + 1 < ncols ? 2 : 0);
+        out += std::string(total, '-') + "\n";
+    }
+    for (const auto &r : rows)
+        emit(r);
+    return out;
+}
+
+std::string
+Table::toCsv() const
+{
+    std::string out;
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (size_t c = 0; c < cells.size(); ++c) {
+            out += cells[c];
+            if (c + 1 < cells.size())
+                out += ",";
+        }
+        out += "\n";
+    };
+    if (!header.empty())
+        emit(header);
+    for (const auto &r : rows)
+        emit(r);
+    return out;
+}
+
+} // namespace vrio::stats

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * ASCII/CSV result-table builder.
+ *
+ * Every bench binary regenerates one of the paper's tables or figures
+ * by printing a Table: figures become their underlying data series
+ * (one row per x value, one column per curve).
+ */
+#ifndef VRIO_STATS_TABLE_HPP
+#define VRIO_STATS_TABLE_HPP
+
+#include <string>
+#include <vector>
+
+namespace vrio::stats {
+
+class Table
+{
+  public:
+    /** @param title caption printed above the table. */
+    explicit Table(std::string title) : title_(std::move(title)) {}
+
+    /** Set the column headers; must precede addRow(). */
+    void setHeader(std::vector<std::string> names);
+
+    /** Append a preformatted row (must match header arity). */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: format a row of doubles with @p precision. */
+    void addRow(const std::string &label, const std::vector<double> &vals,
+                int precision = 2);
+
+    size_t rowCount() const { return rows.size(); }
+    const std::string &title() const { return title_; }
+    /** Cell text at (row, col); panics when out of range. */
+    const std::string &cell(size_t row, size_t col) const;
+
+    /** Render with aligned columns and a rule under the header. */
+    std::string toString() const;
+    /** Render as CSV (no title line). */
+    std::string toCsv() const;
+
+  private:
+    std::string title_;
+    std::vector<std::string> header;
+    std::vector<std::vector<std::string>> rows;
+};
+
+} // namespace vrio::stats
+
+#endif // VRIO_STATS_TABLE_HPP

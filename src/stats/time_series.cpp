@@ -1,0 +1,61 @@
+#include "stats/time_series.hpp"
+
+#include "util/logging.hpp"
+
+namespace vrio::stats {
+
+void
+TimeSeries::add(uint64_t tick, double value)
+{
+    vrio_assert(data.empty() || tick >= data.back().tick,
+                "TimeSeries ticks must be non-decreasing");
+    data.push_back({tick, value});
+}
+
+double
+TimeSeries::mean() const
+{
+    if (data.empty())
+        return 0.0;
+    double acc = 0;
+    for (const auto &p : data)
+        acc += p.value;
+    return acc / double(data.size());
+}
+
+std::vector<TimeSeries::Point>
+TimeSeries::runningAverage() const
+{
+    std::vector<Point> out;
+    out.reserve(data.size());
+    double acc = 0;
+    for (size_t i = 0; i < data.size(); ++i) {
+        acc += data[i].value;
+        out.push_back({data[i].tick, acc / double(i + 1)});
+    }
+    return out;
+}
+
+std::vector<TimeSeries::Point>
+TimeSeries::resample(uint64_t start, uint64_t end, uint64_t window) const
+{
+    vrio_assert(window > 0, "resample window must be positive");
+    std::vector<Point> out;
+    size_t i = 0;
+    while (i < data.size() && data[i].tick < start)
+        ++i;
+    for (uint64_t w = start; w < end; w += window) {
+        uint64_t w_end = w + window;
+        double acc = 0;
+        uint64_t n = 0;
+        while (i < data.size() && data[i].tick < w_end) {
+            acc += data[i].value;
+            ++n;
+            ++i;
+        }
+        out.push_back({w, n ? acc / double(n) : 0.0});
+    }
+    return out;
+}
+
+} // namespace vrio::stats

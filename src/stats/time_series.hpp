@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Timestamped value series, used for CPU-utilization traces (Fig. 15)
+ * and throughput-over-time plots.
+ */
+#ifndef VRIO_STATS_TIME_SERIES_HPP
+#define VRIO_STATS_TIME_SERIES_HPP
+
+#include <cstdint>
+#include <vector>
+
+namespace vrio::stats {
+
+class TimeSeries
+{
+  public:
+    struct Point
+    {
+        uint64_t tick;
+        double value;
+    };
+
+    /** Record @p value at time @p tick (ticks must be non-decreasing). */
+    void add(uint64_t tick, double value);
+
+    const std::vector<Point> &points() const { return data; }
+    bool empty() const { return data.empty(); }
+
+    /** Mean of values (unweighted by time). */
+    double mean() const;
+
+    /**
+     * Running average series: point i holds the mean of values 0..i.
+     * Mirrors the "avg." line of the paper's Fig. 15.
+     */
+    std::vector<Point> runningAverage() const;
+
+    /**
+     * Resample into fixed windows of @p window ticks covering
+     * [start, end); each output point is the mean of the input values
+     * whose tick falls in that window (empty windows repeat 0).
+     */
+    std::vector<Point> resample(uint64_t start, uint64_t end,
+                                uint64_t window) const;
+
+  private:
+    std::vector<Point> data;
+};
+
+} // namespace vrio::stats
+
+#endif // VRIO_STATS_TIME_SERIES_HPP

@@ -1,0 +1,44 @@
+#include "transport/control.hpp"
+
+namespace vrio::transport {
+
+void
+DeviceCreateCmd::encode(ByteWriter &w) const
+{
+    w.putU8(uint8_t(kind));
+    w.putU32le(device_id);
+    w.putBytes(std::span<const uint8_t>(mac.bytes()));
+    w.putU64le(capacity_sectors);
+}
+
+bool
+DeviceCreateCmd::decode(ByteReader &r, DeviceCreateCmd &out)
+{
+    if (r.remaining() < kSize)
+        return false;
+    out.kind = DeviceKind(r.getU8());
+    out.device_id = r.getU32le();
+    auto m = r.viewBytes(6);
+    std::copy(m.begin(), m.end(), out.mac.bytes().begin());
+    out.capacity_sectors = r.getU64le();
+    return true;
+}
+
+void
+DeviceAck::encode(ByteWriter &w) const
+{
+    w.putU32le(device_id);
+    w.putU8(accepted);
+}
+
+bool
+DeviceAck::decode(ByteReader &r, DeviceAck &out)
+{
+    if (r.remaining() < kSize)
+        return false;
+    out.device_id = r.getU32le();
+    out.accepted = r.getU8();
+    return true;
+}
+
+} // namespace vrio::transport

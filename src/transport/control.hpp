@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Control-channel payloads: device lifecycle commands.
+ *
+ * In vRIO "device creation is done via the I/O hypervisor.  The
+ * transport driver therefore has a secondary role: receiving commands
+ * from the I/O hypervisor to create and destroy paravirtual devices
+ * in the IOclient" (Section 4.1).  These payloads ride in DevCreate /
+ * DevDestroy / DevAck transport messages.
+ */
+#ifndef VRIO_TRANSPORT_CONTROL_HPP
+#define VRIO_TRANSPORT_CONTROL_HPP
+
+#include <cstdint>
+
+#include "net/mac.hpp"
+#include "util/byte_buffer.hpp"
+
+namespace vrio::transport {
+
+enum class DeviceKind : uint8_t {
+    Net = 1,
+    Block = 2,
+};
+
+/** DevCreate payload. */
+struct DeviceCreateCmd
+{
+    DeviceKind kind = DeviceKind::Net;
+    uint32_t device_id = 0;
+    /** Net: the front-end (F) MAC the device answers to. */
+    net::MacAddress mac;
+    /** Block: device capacity in sectors. */
+    uint64_t capacity_sectors = 0;
+
+    static constexpr size_t kSize = 1 + 4 + 6 + 8;
+
+    void encode(ByteWriter &w) const;
+    static bool decode(ByteReader &r, DeviceCreateCmd &out);
+};
+
+/** DevAck payload. */
+struct DeviceAck
+{
+    uint32_t device_id = 0;
+    uint8_t accepted = 1;
+
+    static constexpr size_t kSize = 5;
+
+    void encode(ByteWriter &w) const;
+    static bool decode(ByteReader &r, DeviceAck &out);
+};
+
+} // namespace vrio::transport
+
+#endif // VRIO_TRANSPORT_CONTROL_HPP

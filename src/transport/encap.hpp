@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Encapsulation of vRIO transport messages into wire frames.
+ *
+ * A transport message (header + up to ~64KB payload) becomes one
+ * Ethernet frame carrying fake IPv4+TCP headers (Section 4.3).  The
+ * TCP sequence number is the byte offset within the message (so NIC
+ * TSO segmentation produces self-describing segments) and the TCP
+ * ACK number is a per-sender wire-message id used as the reassembly
+ * key.  decapsulate() recovers a segment's place in its message.
+ */
+#ifndef VRIO_TRANSPORT_ENCAP_HPP
+#define VRIO_TRANSPORT_ENCAP_HPP
+
+#include "net/frame.hpp"
+#include "net/inet.hpp"
+#include "net/tso.hpp"
+#include "transport/header.hpp"
+
+namespace vrio::transport {
+
+/** TCP port identifying the vRIO channel in the fake headers. */
+constexpr uint16_t kVrioPort = 0x5652;
+
+/** Largest payload one transport message may carry (Section 4.3). */
+constexpr uint32_t kMaxMessagePayload =
+    net::kTsoMaxPayload - uint32_t(TransportHeader::kSize);
+
+/**
+ * Build the wire frame for one transport message.
+ *
+ * @param wire_msg_id per-sender id keying reassembly at the receiver.
+ * @return a frame that may exceed the MTU; the sending NIC applies
+ *         TSO (the frame is Ethernet/IPv4/TCP by construction).
+ */
+net::FramePtr encapsulate(net::MacAddress src, net::MacAddress dst,
+                          uint32_t wire_msg_id,
+                          const TransportHeader &hdr,
+                          std::span<const uint8_t> payload);
+
+/** A decoded wire segment (one frame of a possibly-TSO-split message). */
+struct Segment
+{
+    net::MacAddress src;
+    net::MacAddress dst;
+    uint32_t wire_msg_id = 0;
+    uint32_t offset = 0; ///< byte offset within the message
+    /** Message bytes carried by this frame (hdr+payload substring). */
+    std::span<const uint8_t> data;
+};
+
+/**
+ * Parse a frame as a vRIO wire segment.
+ * @return false if the frame is not vRIO traffic (wrong EtherType,
+ *         not TCP, or wrong port).
+ */
+bool decapsulate(const net::Frame &frame, Segment &out);
+
+/**
+ * Pages an SKB needs to hold a reassembled message of @p message_bytes
+ * sent over @p mtu, under the kernel constraint that each received
+ * fragment occupies whole pages (Section 4.4's 17-fragment analysis).
+ */
+uint32_t skbPagesNeeded(uint32_t message_bytes, uint32_t mtu);
+
+/** Linux SKB frag limit the MTU=8100 choice is engineered around. */
+constexpr uint32_t kSkbMaxFrags = 17;
+
+/**
+ * True when a message of @p message_bytes arriving over @p mtu can be
+ * reassembled zero-copy (its fragments fit the 17-page SKB budget).
+ */
+bool zeroCopyEligible(uint32_t message_bytes, uint32_t mtu);
+
+} // namespace vrio::transport
+
+#endif // VRIO_TRANSPORT_ENCAP_HPP

@@ -1,0 +1,72 @@
+#include "transport/header.hpp"
+
+namespace vrio::transport {
+
+void
+TransportHeader::encode(ByteWriter &w) const
+{
+    w.putU16le(kMagic);
+    w.putU8(kVersion);
+    w.putU8(uint8_t(type));
+    w.putU32le(device_id);
+    w.putU64le(request_serial);
+    w.putU16le(generation);
+    w.putU16le(part);
+    w.putU16le(parts);
+    w.putU16le(flags);
+    w.putU32le(total_len);
+    w.putU32le(io_len);
+    w.putU64le(sector);
+    w.putU8(blk_type);
+    w.putU8(status);
+    w.putU16le(0); // reserved
+}
+
+bool
+TransportHeader::decode(ByteReader &r, TransportHeader &out)
+{
+    if (r.remaining() < kSize)
+        return false;
+    if (r.getU16le() != kMagic)
+        return false;
+    if (r.getU8() != kVersion)
+        return false;
+    out.type = MsgType(r.getU8());
+    out.device_id = r.getU32le();
+    out.request_serial = r.getU64le();
+    out.generation = r.getU16le();
+    out.part = r.getU16le();
+    out.parts = r.getU16le();
+    out.flags = r.getU16le();
+    out.total_len = r.getU32le();
+    out.io_len = r.getU32le();
+    out.sector = r.getU64le();
+    out.blk_type = r.getU8();
+    out.status = r.getU8();
+    r.skip(2); // reserved
+    return true;
+}
+
+const char *
+msgTypeName(MsgType type)
+{
+    switch (type) {
+      case MsgType::NetOut:
+        return "net-out";
+      case MsgType::NetIn:
+        return "net-in";
+      case MsgType::BlkReq:
+        return "blk-req";
+      case MsgType::BlkResp:
+        return "blk-resp";
+      case MsgType::DevCreate:
+        return "dev-create";
+      case MsgType::DevDestroy:
+        return "dev-destroy";
+      case MsgType::DevAck:
+        return "dev-ack";
+    }
+    return "unknown";
+}
+
+} // namespace vrio::transport

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * vRIO transport wire header.
+ *
+ * Every vRIO message between an IOclient's transport driver and the
+ * I/O hypervisor starts with this header, carried inside the fake
+ * TCP/IP encapsulation of Section 4.3.  It conveys the virtio
+ * metadata the paper reuses ("the front-end device identifier, type
+ * of request, and request size"), plus the identifiers that drive
+ * reassembly and the block retransmission protocol of Section 4.5.
+ *
+ * Layout (little-endian, 40 bytes):
+ *
+ *   0  u16 magic          'VR' (0x5652)
+ *   2  u8  version        1
+ *   3  u8  type           MsgType
+ *   4  u32 device_id      front-end device identifier
+ *   8  u64 request_serial per-device request number
+ *  16  u16 generation     retransmission generation (unique-id rule)
+ *  18  u16 part           software-segmentation part index
+ *  20  u16 parts          total parts in the full request
+ *  22  u16 flags
+ *  24  u32 total_len      payload bytes following this header
+ *  28  u32 io_len         block: total request bytes (read length, or
+ *                         write length across all parts)
+ *  32  u64 sector         block: starting sector
+ *  40  u8  blk_type       block: virtio::BlkType
+ *  41  u8  status         responses: virtio::BlkStatus
+ *  42  u16 reserved
+ */
+#ifndef VRIO_TRANSPORT_HEADER_HPP
+#define VRIO_TRANSPORT_HEADER_HPP
+
+#include <cstdint>
+
+#include "util/byte_buffer.hpp"
+
+namespace vrio::transport {
+
+constexpr uint16_t kMagic = 0x5652; // 'VR'
+constexpr uint8_t kVersion = 1;
+
+enum class MsgType : uint8_t {
+    NetOut = 1,   ///< client -> IOhost: guest transmit
+    NetIn = 2,    ///< IOhost -> client: guest receive
+    BlkReq = 3,   ///< client -> IOhost: block request
+    BlkResp = 4,  ///< IOhost -> client: block completion
+    DevCreate = 5,///< IOhost -> client: create a front-end
+    DevDestroy = 6,
+    DevAck = 7,   ///< client -> IOhost: control acknowledgement
+};
+
+/** Header flag bits. */
+constexpr uint16_t kFlagRetransmit = 1; ///< diagnostic marking only
+
+struct TransportHeader
+{
+    MsgType type = MsgType::NetOut;
+    uint32_t device_id = 0;
+    uint64_t request_serial = 0;
+    uint16_t generation = 0;
+    uint16_t part = 0;
+    uint16_t parts = 1;
+    uint16_t flags = 0;
+    uint32_t total_len = 0;
+    uint32_t io_len = 0;
+    uint64_t sector = 0;
+    uint8_t blk_type = 0;
+    uint8_t status = 0;
+
+    static constexpr size_t kSize = 44;
+
+    void encode(ByteWriter &w) const;
+
+    /**
+     * Decode; returns false on bad magic/version (corrupt or foreign
+     * frame — callers must treat the wire as untrusted).
+     */
+    static bool decode(ByteReader &r, TransportHeader &out);
+};
+
+const char *msgTypeName(MsgType type);
+
+} // namespace vrio::transport
+
+#endif // VRIO_TRANSPORT_HEADER_HPP

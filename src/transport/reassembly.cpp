@@ -1,0 +1,176 @@
+#include "transport/reassembly.hpp"
+
+#include <cstring>
+
+#include "util/logging.hpp"
+
+namespace vrio::transport {
+
+Reassembler::Reassembler(sim::EventQueue &eq, uint32_t mtu,
+                         sim::Tick timeout)
+    : eq(eq), mtu(mtu), timeout(timeout)
+{}
+
+void
+Reassembler::scheduleSweep()
+{
+    if (sweep_scheduled)
+        return;
+    sweep_scheduled = true;
+    eq.schedule(timeout, [this]() {
+        sweep_scheduled = false;
+        sweep();
+    });
+}
+
+void
+Reassembler::sweep()
+{
+    sim::Tick now = eq.now();
+    for (auto it = partials.begin(); it != partials.end();) {
+        if (now - it->second.last_activity >= timeout) {
+            ++expired;
+            it = partials.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    if (!partials.empty())
+        scheduleSweep();
+}
+
+std::optional<Message>
+Reassembler::feed(const net::Frame &frame)
+{
+    Segment seg;
+    if (!decapsulate(frame, seg)) {
+        ++foreign;
+        return std::nullopt;
+    }
+
+    Key key{seg.src.toU64(), seg.wire_msg_id};
+    Partial &p = partials[key];
+    p.src = seg.src;
+    p.dst = seg.dst;
+    p.last_activity = eq.now();
+
+    // Reject duplicate or overlapping segments (can happen when a
+    // wire-message id is reused after an expiry raced a late frame).
+    auto overlap = [&](uint32_t off, uint32_t len) {
+        for (const auto &[eoff, elen] : p.extents) {
+            if (off < eoff + elen && eoff < off + len)
+                return true;
+        }
+        return false;
+    };
+    uint32_t len = uint32_t(seg.data.size());
+    if (len == 0 || overlap(seg.offset, len)) {
+        ++duplicate_segments;
+        return std::nullopt;
+    }
+
+    if (p.data.size() < seg.offset + len)
+        p.data.resize(seg.offset + len);
+    std::memcpy(p.data.data() + seg.offset, seg.data.data(), len);
+    p.extents[seg.offset] = len;
+    p.bytes_received += len;
+    ++p.frags;
+
+    // The segment at offset 0 carries the transport header, which
+    // tells us the full message length.
+    if (seg.offset == 0) {
+        ByteReader r(seg.data);
+        TransportHeader hdr;
+        if (!TransportHeader::decode(r, hdr)) {
+            // Corrupt leading segment: drop the whole partial.
+            partials.erase(key);
+            ++foreign;
+            return std::nullopt;
+        }
+        p.expected_total =
+            uint32_t(TransportHeader::kSize) + hdr.total_len;
+    }
+
+    auto done = tryComplete(key, p);
+    if (!done)
+        scheduleSweep();
+    return done;
+}
+
+std::optional<Message>
+Reassembler::tryComplete(const Key &key, Partial &p)
+{
+    if (!p.expected_total || p.bytes_received < *p.expected_total)
+        return std::nullopt;
+    vrio_assert(p.bytes_received == *p.expected_total,
+                "reassembly overshoot: ", p.bytes_received, " > ",
+                *p.expected_total);
+
+    Message msg;
+    ByteReader r(p.data);
+    bool ok = TransportHeader::decode(r, msg.hdr);
+    vrio_assert(ok, "header decode failed on a complete message");
+    msg.payload = r.getBytes(msg.hdr.total_len);
+    msg.src = p.src;
+    msg.dst = p.dst;
+    msg.zero_copy = zeroCopyEligible(*p.expected_total, mtu);
+    if (!msg.zero_copy)
+        ++copied;
+
+    partials.erase(key);
+    ++completed;
+    return msg;
+}
+
+std::optional<MessageAssembler::Assembled>
+MessageAssembler::feed(Message msg)
+{
+    if (msg.hdr.parts <= 1) {
+        Assembled a;
+        a.hdr = msg.hdr;
+        a.payload = std::move(msg.payload);
+        a.src = msg.src;
+        a.zero_copy = msg.zero_copy;
+        return a;
+    }
+
+    GroupKey key{msg.src.toU64(), msg.hdr.device_id,
+                 msg.hdr.request_serial, msg.hdr.generation};
+    Group &g = groups[key];
+    g.expected_parts = msg.hdr.parts;
+    uint16_t part = msg.hdr.part;
+    g.parts[part] = std::move(msg);
+
+    if (g.parts.size() < g.expected_parts)
+        return std::nullopt;
+
+    Assembled a;
+    a.hdr = g.parts.begin()->second.hdr;
+    a.src = g.parts.begin()->second.src;
+    for (auto &[idx, m] : g.parts) {
+        vrio_assert(idx < g.expected_parts, "part index out of range");
+        a.payload.insert(a.payload.end(), m.payload.begin(),
+                         m.payload.end());
+        a.zero_copy = a.zero_copy && m.zero_copy;
+    }
+    a.hdr.part = 0;
+    a.hdr.parts = 1;
+    a.hdr.total_len = uint32_t(a.payload.size());
+    groups.erase(key);
+    return a;
+}
+
+void
+MessageAssembler::dropRequest(uint32_t device_id, uint64_t serial)
+{
+    for (auto it = groups.begin(); it != groups.end();) {
+        if (it->first.device_id == device_id &&
+            it->first.serial == serial) {
+            it = groups.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+} // namespace vrio::transport

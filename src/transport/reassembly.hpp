@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Two-level reassembly at the receiving side of the vRIO channel.
+ *
+ * Level 1 (Reassembler): wire segments (TSO splits of one transport
+ * message) -> complete transport message.  Keyed by (source MAC,
+ * wire message id); byte offsets come from the fake TCP sequence
+ * numbers.  Incomplete messages expire after a timeout, modelling the
+ * receiver discarding stale partial SKB chains when a segment was
+ * lost.
+ *
+ * Level 2 (MessageAssembler): multiple transport messages that a
+ * driver software-segmented (block payloads larger than the 64KB TSO
+ * bound, Section 4.3) -> the original request payload.
+ */
+#ifndef VRIO_TRANSPORT_REASSEMBLY_HPP
+#define VRIO_TRANSPORT_REASSEMBLY_HPP
+
+#include <map>
+#include <optional>
+
+#include "sim/event_queue.hpp"
+#include "transport/encap.hpp"
+
+namespace vrio::transport {
+
+/** A fully reassembled transport message. */
+struct Message
+{
+    TransportHeader hdr;
+    Bytes payload;
+    net::MacAddress src;
+    net::MacAddress dst;
+    /** Whether reassembly stayed within the zero-copy page budget. */
+    bool zero_copy = true;
+};
+
+class Reassembler
+{
+  public:
+    /**
+     * @param eq event queue for partial-message expiry.
+     * @param mtu the channel MTU (for zero-copy accounting).
+     * @param timeout how long a partial message may linger.
+     */
+    Reassembler(sim::EventQueue &eq, uint32_t mtu,
+                sim::Tick timeout = sim::Tick(50) * sim::kMillisecond);
+
+    /**
+     * Feed one received frame.  Non-vRIO frames are ignored (counted).
+     * @return a complete message when this frame finishes one.
+     */
+    std::optional<Message> feed(const net::Frame &frame);
+
+    size_t partialCount() const { return partials.size(); }
+    uint64_t messagesCompleted() const { return completed; }
+    uint64_t partialsExpired() const { return expired; }
+    uint64_t foreignFrames() const { return foreign; }
+    uint64_t duplicateSegments() const { return duplicate_segments; }
+    /** Messages whose size/MTU forced a copying reassembly. */
+    uint64_t copiedReassemblies() const { return copied; }
+
+  private:
+    struct Key
+    {
+        uint64_t src_mac;
+        uint32_t wire_msg_id;
+        auto operator<=>(const Key &) const = default;
+    };
+    struct Partial
+    {
+        Bytes data;               ///< message bytes, dense from 0
+        std::map<uint32_t, uint32_t> extents; ///< offset -> length
+        uint32_t bytes_received = 0;
+        uint32_t frags = 0;
+        std::optional<uint32_t> expected_total; ///< from offset-0 hdr
+        net::MacAddress src;
+        net::MacAddress dst;
+        sim::Tick last_activity = 0;
+    };
+
+    sim::EventQueue &eq;
+    uint32_t mtu;
+    sim::Tick timeout;
+    std::map<Key, Partial> partials;
+
+    uint64_t completed = 0;
+    uint64_t expired = 0;
+    uint64_t foreign = 0;
+    uint64_t duplicate_segments = 0;
+    uint64_t copied = 0;
+    bool sweep_scheduled = false;
+
+    void scheduleSweep();
+    void sweep();
+    std::optional<Message> tryComplete(const Key &key, Partial &p);
+};
+
+/** Level-2 assembly of software-segmented multi-part requests. */
+class MessageAssembler
+{
+  public:
+    /** A fully assembled request (all parts concatenated). */
+    struct Assembled
+    {
+        TransportHeader hdr; ///< header of part 0 (part/parts cleared)
+        Bytes payload;
+        net::MacAddress src;
+        /** True only if every part reassembled zero-copy. */
+        bool zero_copy = true;
+    };
+
+    /**
+     * Feed a complete transport message; returns the assembled
+     * request when all of its parts have arrived.  Single-part
+     * messages pass straight through.
+     */
+    std::optional<Assembled> feed(Message msg);
+
+    size_t pendingGroups() const { return groups.size(); }
+
+    /**
+     * Drop partially assembled state for a given request (used when
+     * a retransmitted generation supersedes an old one).
+     */
+    void dropRequest(uint32_t device_id, uint64_t serial);
+
+  private:
+    struct GroupKey
+    {
+        uint64_t src_mac;
+        uint32_t device_id;
+        uint64_t serial;
+        uint16_t generation;
+        auto operator<=>(const GroupKey &) const = default;
+    };
+    struct Group
+    {
+        std::map<uint16_t, Message> parts;
+        uint16_t expected_parts = 0;
+    };
+
+    std::map<GroupKey, Group> groups;
+};
+
+} // namespace vrio::transport
+
+#endif // VRIO_TRANSPORT_REASSEMBLY_HPP

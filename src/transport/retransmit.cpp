@@ -1,0 +1,83 @@
+#include "transport/retransmit.hpp"
+
+#include "util/logging.hpp"
+
+namespace vrio::transport {
+
+RetransmitQueue::RetransmitQueue(sim::EventQueue &eq, RetransmitConfig cfg,
+                                 SendFn send, GiveUpFn give_up)
+    : eq(eq), cfg(cfg), send(std::move(send)), give_up(std::move(give_up))
+{
+    vrio_assert(cfg.initial_timeout > 0, "timeout must be positive");
+}
+
+void
+RetransmitQueue::track(uint64_t serial)
+{
+    auto [it, inserted] = live.emplace(serial, Entry{});
+    vrio_assert(inserted, "duplicate live serial ", serial);
+    it->second.timeout = cfg.initial_timeout;
+    send(serial, 0);
+    arm(serial);
+}
+
+void
+RetransmitQueue::arm(uint64_t serial)
+{
+    auto it = live.find(serial);
+    vrio_assert(it != live.end(), "arming unknown serial ", serial);
+    it->second.timer =
+        eq.schedule(it->second.timeout, [this, serial]() {
+            expire(serial);
+        });
+}
+
+void
+RetransmitQueue::expire(uint64_t serial)
+{
+    auto it = live.find(serial);
+    if (it == live.end())
+        return; // completed concurrently
+    Entry &e = it->second;
+    if (e.attempts >= cfg.max_retries) {
+        ++give_ups;
+        live.erase(it);
+        give_up(serial);
+        return;
+    }
+    ++e.attempts;
+    ++retransmits;
+    ++e.generation; // the new unique identifier for this attempt
+    e.timeout *= 2; // exponential backoff per Section 4.5
+    if (cfg.max_timeout > 0 && e.timeout > cfg.max_timeout)
+        e.timeout = cfg.max_timeout;
+    send(serial, e.generation);
+    arm(serial);
+}
+
+RetransmitQueue::Accept
+RetransmitQueue::accept(uint64_t serial, uint16_t generation)
+{
+    auto it = live.find(serial);
+    if (it == live.end())
+        return Accept::Unknown;
+    if (it->second.generation != generation) {
+        ++stale;
+        return Accept::Stale;
+    }
+    it->second.timer.cancel();
+    live.erase(it);
+    return Accept::Ok;
+}
+
+void
+RetransmitQueue::cancel(uint64_t serial)
+{
+    auto it = live.find(serial);
+    if (it == live.end())
+        return;
+    it->second.timer.cancel();
+    live.erase(it);
+}
+
+} // namespace vrio::transport

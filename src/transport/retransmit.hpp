@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Block-request retransmission (Section 4.5).
+ *
+ * Ethernet is unreliable; virtual networking rides on its guests' TCP,
+ * but block I/O needs the transport to provide reliability itself.
+ * The protocol: every tracked request carries a unique (serial,
+ * generation) identifier; a timer starts at 10 ms and doubles on each
+ * expiry; expiry bumps the generation and retransmits; responses whose
+ * generation is not current are "stale" and ignored; after a retry cap
+ * the request fails with a device error.  The guest disk scheduler's
+ * single-outstanding-request-per-block invariant (block/disk_scheduler)
+ * is what makes blind retransmission safe.
+ */
+#ifndef VRIO_TRANSPORT_RETRANSMIT_HPP
+#define VRIO_TRANSPORT_RETRANSMIT_HPP
+
+#include <functional>
+#include <map>
+
+#include "sim/event_queue.hpp"
+
+namespace vrio::transport {
+
+struct RetransmitConfig
+{
+    /** First timeout; doubles after every expiry (10 ms per paper). */
+    sim::Tick initial_timeout = sim::Tick(10) * sim::kMillisecond;
+    /** Backoff ceiling; 0 = uncapped doubling. */
+    sim::Tick max_timeout = 0;
+    /** Retransmissions before the request is failed. */
+    unsigned max_retries = 6;
+};
+
+class RetransmitQueue
+{
+  public:
+    /**
+     * @param send invoked to (re)send a request at a new generation.
+     * @param give_up invoked when the retry cap is exceeded; the
+     *        caller raises a device error (BlkStatus::IoErr).
+     */
+    using SendFn = std::function<void(uint64_t serial, uint16_t gen)>;
+    using GiveUpFn = std::function<void(uint64_t serial)>;
+
+    RetransmitQueue(sim::EventQueue &eq, RetransmitConfig cfg,
+                    SendFn send, GiveUpFn give_up);
+
+    /**
+     * Track a new request and perform the initial send (generation 0).
+     * Serials must be unique among live requests.
+     */
+    void track(uint64_t serial);
+
+    /** Outcome of matching an arriving response. */
+    enum class Accept {
+        Ok,      ///< current generation; request completed
+        Stale,   ///< old generation; ignore the response
+        Unknown, ///< not tracked (already completed or failed)
+    };
+
+    /**
+     * Match a response.  Accept::Ok cancels the timer and forgets the
+     * request.
+     */
+    Accept accept(uint64_t serial, uint16_t generation);
+
+    /** Abandon a tracked request (e.g. device destroyed). */
+    void cancel(uint64_t serial);
+
+    size_t inFlight() const { return live.size(); }
+    uint64_t retransmissions() const { return retransmits; }
+    uint64_t giveUps() const { return give_ups; }
+    uint64_t staleResponses() const { return stale; }
+
+  private:
+    struct Entry
+    {
+        uint16_t generation = 0;
+        unsigned attempts = 0;
+        sim::Tick timeout;
+        sim::EventHandle timer;
+    };
+
+    sim::EventQueue &eq;
+    RetransmitConfig cfg;
+    SendFn send;
+    GiveUpFn give_up;
+    std::map<uint64_t, Entry> live;
+
+    uint64_t retransmits = 0;
+    uint64_t give_ups = 0;
+    uint64_t stale = 0;
+
+    void arm(uint64_t serial);
+    void expire(uint64_t serial);
+};
+
+} // namespace vrio::transport
+
+#endif // VRIO_TRANSPORT_RETRANSMIT_HPP

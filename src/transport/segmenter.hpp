@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Software segmentation of oversized requests (Section 4.3).
+ *
+ * "Network stacks do not produce packet sizes bigger than 64KB, so
+ * the vRIO transport driver only needs to segment block I/O traffic."
+ * segmentRequest() splits a request payload into <= 64KB transport
+ * messages, each of which becomes one TSO send.
+ */
+#ifndef VRIO_TRANSPORT_SEGMENTER_HPP
+#define VRIO_TRANSPORT_SEGMENTER_HPP
+
+#include <vector>
+
+#include "transport/header.hpp"
+
+namespace vrio::transport {
+
+/** One software segment: a header and the payload slice it carries. */
+struct SoftSegment
+{
+    TransportHeader hdr;
+    Bytes payload;
+};
+
+/**
+ * Split @p payload into parts of at most @p max_part bytes (default:
+ * the TSO message bound).  @p proto is the prototype header: its
+ * type/device/serial/generation/sector fields are copied to each part
+ * and part/parts/total_len are filled in.  Zero-length payloads yield
+ * a single empty part (e.g. block reads carry no request data).
+ */
+std::vector<SoftSegment>
+segmentRequest(const TransportHeader &proto, Bytes payload,
+               uint32_t max_part = 0);
+
+} // namespace vrio::transport
+
+#endif // VRIO_TRANSPORT_SEGMENTER_HPP

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Bounds-checked byte buffer with endian-aware codecs.
+ *
+ * All wire formats in the library (Ethernet frames, fake TCP/IP
+ * headers, the vRIO transport header, virtio ring structures) are
+ * serialized through ByteReader/ByteWriter so that out-of-bounds
+ * accesses are caught at the point of the bug rather than corrupting
+ * adjacent state.
+ */
+#ifndef VRIO_UTIL_BYTE_BUFFER_HPP
+#define VRIO_UTIL_BYTE_BUFFER_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace vrio {
+
+/** Growable owned byte array used for packet payloads and disk data. */
+using Bytes = std::vector<uint8_t>;
+
+/**
+ * Sequential writer over a growable byte vector.
+ *
+ * Integers can be appended in little-endian (virtio is a little-endian
+ * protocol) or big-endian (network order for the fake TCP/IP headers).
+ */
+class ByteWriter
+{
+  public:
+    /** Append to @p out, starting at its current end. */
+    explicit ByteWriter(Bytes &out) : buf(out), start(out.size()) {}
+
+    void putU8(uint8_t v);
+    void putU16le(uint16_t v);
+    void putU32le(uint32_t v);
+    void putU64le(uint64_t v);
+    void putU16be(uint16_t v);
+    void putU32be(uint32_t v);
+    void putU64be(uint64_t v);
+    /** Append a raw byte span. */
+    void putBytes(std::span<const uint8_t> data);
+    /** Append @p count copies of @p fill. */
+    void putZeros(size_t count, uint8_t fill = 0);
+
+    /** Number of bytes written through this writer so far. */
+    size_t written() const { return buf.size() - start; }
+
+  private:
+    Bytes &buf;
+    size_t start = 0;
+};
+
+/**
+ * Sequential bounds-checked reader over a byte span.
+ *
+ * Reading past the end panics (it indicates a protocol-decoder bug or
+ * a truncated frame that the caller failed to length-check).  Callers
+ * that handle untrusted lengths should consult remaining() first.
+ */
+class ByteReader
+{
+  public:
+    explicit ByteReader(std::span<const uint8_t> data) : buf(data) {}
+
+    uint8_t getU8();
+    uint16_t getU16le();
+    uint32_t getU32le();
+    uint64_t getU64le();
+    uint16_t getU16be();
+    uint32_t getU32be();
+    uint64_t getU64be();
+    /** Copy @p count bytes out of the stream. */
+    Bytes getBytes(size_t count);
+    /** View of the next @p count bytes without copying. */
+    std::span<const uint8_t> viewBytes(size_t count);
+    /** Discard @p count bytes. */
+    void skip(size_t count);
+
+    size_t remaining() const { return buf.size() - pos; }
+    size_t offset() const { return pos; }
+
+  private:
+    std::span<const uint8_t> buf;
+    size_t pos = 0;
+
+    void need(size_t count) const;
+};
+
+} // namespace vrio
+
+#endif // VRIO_UTIL_BYTE_BUFFER_HPP

@@ -1,0 +1,41 @@
+#include "util/crc32.hpp"
+
+#include <array>
+
+namespace vrio {
+
+namespace {
+
+std::array<uint32_t, 256>
+makeTable()
+{
+    std::array<uint32_t, 256> table{};
+    for (uint32_t i = 0; i < 256; ++i) {
+        uint32_t c = i;
+        for (int k = 0; k < 8; ++k)
+            c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+        table[i] = c;
+    }
+    return table;
+}
+
+const std::array<uint32_t, 256> g_table = makeTable();
+
+} // namespace
+
+uint32_t
+crc32Update(uint32_t seed, std::span<const uint8_t> data)
+{
+    uint32_t c = seed ^ 0xffffffffu;
+    for (uint8_t byte : data)
+        c = g_table[(c ^ byte) & 0xff] ^ (c >> 8);
+    return c ^ 0xffffffffu;
+}
+
+uint32_t
+crc32(std::span<const uint8_t> data)
+{
+    return crc32Update(0, data);
+}
+
+} // namespace vrio

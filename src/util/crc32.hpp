@@ -1,0 +1,22 @@
+/**
+ * @file
+ * CRC32 (IEEE 802.3 polynomial), used for Ethernet frame check
+ * sequences and block-content fingerprints in the dedup service.
+ */
+#ifndef VRIO_UTIL_CRC32_HPP
+#define VRIO_UTIL_CRC32_HPP
+
+#include <cstdint>
+#include <span>
+
+namespace vrio {
+
+/** CRC32 of @p data with the standard IEEE seed/finalization. */
+uint32_t crc32(std::span<const uint8_t> data);
+
+/** Incremental variant: feed a previous crc32() result as @p seed. */
+uint32_t crc32Update(uint32_t seed, std::span<const uint8_t> data);
+
+} // namespace vrio
+
+#endif // VRIO_UTIL_CRC32_HPP

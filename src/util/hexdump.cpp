@@ -1,0 +1,50 @@
+#include "util/hexdump.hpp"
+
+#include <cctype>
+#include <cstdio>
+
+namespace vrio {
+
+std::string
+toHex(std::span<const uint8_t> data)
+{
+    static const char digits[] = "0123456789abcdef";
+    std::string out;
+    out.reserve(data.size() * 2);
+    for (uint8_t b : data) {
+        out.push_back(digits[b >> 4]);
+        out.push_back(digits[b & 0xf]);
+    }
+    return out;
+}
+
+std::string
+hexDump(std::span<const uint8_t> data)
+{
+    std::string out;
+    char line[128];
+    for (size_t off = 0; off < data.size(); off += 16) {
+        int n = std::snprintf(line, sizeof(line), "%08zx  ", off);
+        out.append(line, n);
+        for (size_t i = 0; i < 16; ++i) {
+            if (off + i < data.size()) {
+                n = std::snprintf(line, sizeof(line), "%02x ",
+                                  data[off + i]);
+                out.append(line, n);
+            } else {
+                out.append("   ");
+            }
+            if (i == 7)
+                out.push_back(' ');
+        }
+        out.append(" |");
+        for (size_t i = 0; i < 16 && off + i < data.size(); ++i) {
+            uint8_t b = data[off + i];
+            out.push_back(std::isprint(b) ? char(b) : '.');
+        }
+        out.append("|\n");
+    }
+    return out;
+}
+
+} // namespace vrio

@@ -1,0 +1,22 @@
+/**
+ * @file
+ * Debug helpers for printing byte buffers.
+ */
+#ifndef VRIO_UTIL_HEXDUMP_HPP
+#define VRIO_UTIL_HEXDUMP_HPP
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace vrio {
+
+/** Compact lowercase hex string ("deadbeef"). */
+std::string toHex(std::span<const uint8_t> data);
+
+/** Classic 16-bytes-per-line hex dump with offsets and ASCII gutter. */
+std::string hexDump(std::span<const uint8_t> data);
+
+} // namespace vrio
+
+#endif // VRIO_UTIL_HEXDUMP_HPP

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Error-reporting and logging helpers.
+ *
+ * Follows the gem5 convention: panic() is for conditions that indicate
+ * a bug in this library itself (it aborts, so a debugger or core dump
+ * can capture the state), while fatal() is for user errors such as bad
+ * configuration (it exits cleanly with an error code).  warn() and
+ * inform() emit diagnostics without terminating.
+ */
+#ifndef VRIO_UTIL_LOGGING_HPP
+#define VRIO_UTIL_LOGGING_HPP
+
+#include <sstream>
+#include <string>
+
+namespace vrio {
+
+/** Verbosity levels for inform()/warn() output. */
+enum class LogLevel { Quiet, Normal, Verbose, Debug };
+
+/** Set the global verbosity. Messages below this level are dropped. */
+void setLogLevel(LogLevel level);
+
+/** Current global verbosity. */
+LogLevel logLevel();
+
+namespace detail {
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+void debugImpl(const std::string &msg);
+
+/** Build a message from stream-style arguments. */
+template <typename... Args>
+std::string
+buildMsg(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    return oss.str();
+}
+
+} // namespace detail
+
+} // namespace vrio
+
+/** Internal invariant violated: abort with a message. */
+#define vrio_panic(...)                                                     \
+    ::vrio::detail::panicImpl(__FILE__, __LINE__,                           \
+                              ::vrio::detail::buildMsg(__VA_ARGS__))
+
+/** Unrecoverable user/configuration error: exit(1) with a message. */
+#define vrio_fatal(...)                                                     \
+    ::vrio::detail::fatalImpl(__FILE__, __LINE__,                           \
+                              ::vrio::detail::buildMsg(__VA_ARGS__))
+
+/** Non-fatal diagnostic about suspicious behaviour. */
+#define vrio_warn(...)                                                      \
+    ::vrio::detail::warnImpl(::vrio::detail::buildMsg(__VA_ARGS__))
+
+/** Status message for the user. */
+#define vrio_inform(...)                                                    \
+    ::vrio::detail::informImpl(::vrio::detail::buildMsg(__VA_ARGS__))
+
+/** Debug-level trace message (dropped unless LogLevel::Debug). */
+#define vrio_debug(...)                                                     \
+    ::vrio::detail::debugImpl(::vrio::detail::buildMsg(__VA_ARGS__))
+
+/** Assert an invariant of the library; aborts via panic on failure. */
+#define vrio_assert(cond, ...)                                              \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            vrio_panic("assertion failed: " #cond " ",                     \
+                       ::vrio::detail::buildMsg("" __VA_ARGS__));           \
+        }                                                                   \
+    } while (0)
+
+#endif // VRIO_UTIL_LOGGING_HPP

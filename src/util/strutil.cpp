@@ -1,0 +1,86 @@
+#include "util/strutil.hpp"
+
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+
+namespace vrio {
+
+std::string
+strFormat(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    va_list args2;
+    va_copy(args2, args);
+    int n = std::vsnprintf(nullptr, 0, fmt, args);
+    va_end(args);
+    std::string out(n, '\0');
+    std::vsnprintf(out.data(), n + 1, fmt, args2);
+    va_end(args2);
+    return out;
+}
+
+std::string
+siAbbrev(double value, int precision)
+{
+    const char *suffix = "";
+    double v = std::fabs(value);
+    if (v >= 1e9) {
+        value /= 1e9;
+        suffix = "G";
+    } else if (v >= 1e6) {
+        value /= 1e6;
+        suffix = "M";
+    } else if (v >= 1e3) {
+        value /= 1e3;
+        suffix = "K";
+    }
+    return strFormat("%.*f%s", precision, value, suffix);
+}
+
+std::string
+formatGbps(double bits_per_sec, int precision)
+{
+    return strFormat("%.*f Gbps", precision, bits_per_sec / 1e9);
+}
+
+std::string
+formatNanos(double nanos, int precision)
+{
+    if (nanos < 1e3)
+        return strFormat("%.*f ns", precision, nanos);
+    if (nanos < 1e6)
+        return strFormat("%.*f us", precision, nanos / 1e3);
+    if (nanos < 1e9)
+        return strFormat("%.*f ms", precision, nanos / 1e6);
+    return strFormat("%.*f s", precision, nanos / 1e9);
+}
+
+std::vector<std::string>
+splitString(const std::string &s, char sep)
+{
+    std::vector<std::string> out;
+    size_t start = 0;
+    while (true) {
+        size_t end = s.find(sep, start);
+        if (end == std::string::npos) {
+            out.push_back(s.substr(start));
+            return out;
+        }
+        out.push_back(s.substr(start, end - start));
+        start = end + 1;
+    }
+}
+
+std::string
+padTo(const std::string &s, int pad)
+{
+    size_t width = size_t(pad < 0 ? -pad : pad);
+    if (s.size() >= width)
+        return s;
+    std::string spaces(width - s.size(), ' ');
+    return pad > 0 ? spaces + s : s + spaces;
+}
+
+} // namespace vrio

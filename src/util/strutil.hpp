@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Small string/number formatting helpers shared by the stats tables
+ * and the bench binaries.
+ */
+#ifndef VRIO_UTIL_STRUTIL_HPP
+#define VRIO_UTIL_STRUTIL_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vrio {
+
+/** printf-style formatting into a std::string. */
+std::string strFormat(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** "1.5K", "2.3M", "4.1G" style SI abbreviation of a count. */
+std::string siAbbrev(double value, int precision = 1);
+
+/** "12.3 Gbps" style formatting of bits per second. */
+std::string formatGbps(double bits_per_sec, int precision = 2);
+
+/** "12.3 us" / "1.2 ms" style formatting of nanoseconds. */
+std::string formatNanos(double nanos, int precision = 1);
+
+/** Split @p s on @p sep, keeping empty fields. */
+std::vector<std::string> splitString(const std::string &s, char sep);
+
+/** Left-pad (pad > 0) or right-pad (pad < 0) to |pad| columns. */
+std::string padTo(const std::string &s, int pad);
+
+} // namespace vrio
+
+#endif // VRIO_UTIL_STRUTIL_HPP

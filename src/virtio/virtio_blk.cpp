@@ -1,0 +1,23 @@
+#include "virtio/virtio_blk.hpp"
+
+namespace vrio::virtio {
+
+void
+VirtioBlkReq::encode(ByteWriter &w) const
+{
+    w.putU32le(uint32_t(type));
+    w.putU32le(reserved);
+    w.putU64le(sector);
+}
+
+VirtioBlkReq
+VirtioBlkReq::decode(ByteReader &r)
+{
+    VirtioBlkReq req;
+    req.type = BlkType(r.getU32le());
+    req.reserved = r.getU32le();
+    req.sector = r.getU64le();
+    return req;
+}
+
+} // namespace vrio::virtio

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * virtio-blk request header and status (virtio spec 5.2.6).
+ *
+ * A block request chain is: 16-byte header (device-readable), data
+ * buffers (readable for writes, writable for reads), and a one-byte
+ * status (device-writable).
+ */
+#ifndef VRIO_VIRTIO_VIRTIO_BLK_HPP
+#define VRIO_VIRTIO_VIRTIO_BLK_HPP
+
+#include <cstdint>
+
+#include "util/byte_buffer.hpp"
+
+namespace vrio::virtio {
+
+enum class BlkType : uint32_t {
+    In = 0,    ///< read from device
+    Out = 1,   ///< write to device
+    Flush = 4,
+};
+
+enum class BlkStatus : uint8_t {
+    Ok = 0,
+    IoErr = 1,
+    Unsupported = 2,
+};
+
+constexpr uint32_t kSectorSize = 512;
+
+struct VirtioBlkReq
+{
+    BlkType type = BlkType::In;
+    uint32_t reserved = 0;
+    uint64_t sector = 0; ///< in 512-byte sectors
+
+    static constexpr size_t kSize = 16;
+
+    void encode(ByteWriter &w) const;
+    static VirtioBlkReq decode(ByteReader &r);
+};
+
+} // namespace vrio::virtio
+
+#endif // VRIO_VIRTIO_VIRTIO_BLK_HPP

@@ -1,0 +1,31 @@
+#include "virtio/virtio_net.hpp"
+
+namespace vrio::virtio {
+
+void
+VirtioNetHdr::encode(ByteWriter &w) const
+{
+    w.putU8(flags);
+    w.putU8(uint8_t(gso_type));
+    w.putU16le(hdr_len);
+    w.putU16le(gso_size);
+    w.putU16le(csum_start);
+    w.putU16le(csum_offset);
+    w.putU16le(num_buffers);
+}
+
+VirtioNetHdr
+VirtioNetHdr::decode(ByteReader &r)
+{
+    VirtioNetHdr h;
+    h.flags = r.getU8();
+    h.gso_type = NetGso(r.getU8());
+    h.hdr_len = r.getU16le();
+    h.gso_size = r.getU16le();
+    h.csum_start = r.getU16le();
+    h.csum_offset = r.getU16le();
+    h.num_buffers = r.getU16le();
+    return h;
+}
+
+} // namespace vrio::virtio

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * virtio-net request header (struct virtio_net_hdr, virtio spec 5.1.6).
+ *
+ * Every packet traversing a paravirtual net device is prefixed by this
+ * header; the vRIO transport reuses it verbatim as the per-request
+ * metadata it ships to the IOhost (Section 4.1: "We directly reuse the
+ * virtio protocol ... for this purpose").
+ */
+#ifndef VRIO_VIRTIO_VIRTIO_NET_HPP
+#define VRIO_VIRTIO_VIRTIO_NET_HPP
+
+#include <cstdint>
+
+#include "util/byte_buffer.hpp"
+
+namespace vrio::virtio {
+
+/** virtio_net_hdr.flags bits. */
+constexpr uint8_t kNetHdrFlagNeedsCsum = 1;
+
+/** virtio_net_hdr.gso_type values. */
+enum class NetGso : uint8_t {
+    None = 0,
+    TcpV4 = 1,
+    Udp = 3,
+    TcpV6 = 4,
+};
+
+struct VirtioNetHdr
+{
+    uint8_t flags = 0;
+    NetGso gso_type = NetGso::None;
+    uint16_t hdr_len = 0;    ///< length of headers preceding payload
+    uint16_t gso_size = 0;   ///< MSS when GSO is in use
+    uint16_t csum_start = 0;
+    uint16_t csum_offset = 0;
+    uint16_t num_buffers = 0; ///< mergeable-rx-buffers field
+
+    /** Encoded size in bytes (mergeable layout, 12 bytes). */
+    static constexpr size_t kSize = 12;
+
+    void encode(ByteWriter &w) const;
+    static VirtioNetHdr decode(ByteReader &r);
+};
+
+} // namespace vrio::virtio
+
+#endif // VRIO_VIRTIO_VIRTIO_NET_HPP

@@ -1,0 +1,404 @@
+#include "virtio/virtqueue.hpp"
+
+#include "util/logging.hpp"
+
+namespace vrio::virtio {
+
+namespace {
+
+constexpr size_t kDescSize = 16;
+
+size_t
+availBytes(uint16_t qsize)
+{
+    return 2 + 2 + 2 * size_t(qsize) + 2; // flags, idx, ring, used_event
+}
+
+size_t
+usedBytes(uint16_t qsize)
+{
+    return 2 + 2 + 8 * size_t(qsize) + 2; // flags, idx, ring, avail_event
+}
+
+uint64_t
+alignUp(uint64_t v, uint64_t a)
+{
+    return (v + a - 1) & ~(a - 1);
+}
+
+} // namespace
+
+VirtqLayout::VirtqLayout(GuestMemory &mem, uint64_t base, uint16_t qsize)
+    : mem(mem), qsize_(qsize)
+{
+    vrio_assert(qsize > 0 && (qsize & (qsize - 1)) == 0,
+                "virtqueue size must be a power of two, got ", qsize);
+    desc_base = base;
+    avail_base = alignUp(desc_base + kDescSize * qsize, 4);
+    used_base = alignUp(avail_base + availBytes(qsize), 4);
+}
+
+size_t
+VirtqLayout::footprint(uint16_t qsize)
+{
+    uint64_t avail = alignUp(kDescSize * uint64_t(qsize), 4);
+    uint64_t used = alignUp(avail + availBytes(qsize), 4);
+    return used + usedBytes(qsize);
+}
+
+Desc
+VirtqLayout::readDesc(uint16_t i) const
+{
+    vrio_assert(i < qsize_, "descriptor index ", i, " out of range");
+    uint64_t a = desc_base + kDescSize * i;
+    Desc d;
+    d.addr = mem.readU64(a);
+    d.len = mem.readU32(a + 8);
+    d.flags = mem.readU16(a + 12);
+    d.next = mem.readU16(a + 14);
+    return d;
+}
+
+void
+VirtqLayout::writeDesc(uint16_t i, const Desc &d)
+{
+    vrio_assert(i < qsize_, "descriptor index ", i, " out of range");
+    uint64_t a = desc_base + kDescSize * i;
+    mem.writeU64(a, d.addr);
+    mem.writeU32(a + 8, d.len);
+    mem.writeU16(a + 12, d.flags);
+    mem.writeU16(a + 14, d.next);
+}
+
+uint16_t
+VirtqLayout::availIdx() const
+{
+    return mem.readU16(avail_base + 2);
+}
+
+void
+VirtqLayout::setAvailIdx(uint16_t v)
+{
+    mem.writeU16(avail_base + 2, v);
+}
+
+uint16_t
+VirtqLayout::availRing(uint16_t slot) const
+{
+    return mem.readU16(avail_base + 4 + 2 * (slot % qsize_));
+}
+
+void
+VirtqLayout::setAvailRing(uint16_t slot, uint16_t v)
+{
+    mem.writeU16(avail_base + 4 + 2 * (slot % qsize_), v);
+}
+
+uint16_t
+VirtqLayout::usedIdx() const
+{
+    return mem.readU16(used_base + 2);
+}
+
+void
+VirtqLayout::setUsedIdx(uint16_t v)
+{
+    mem.writeU16(used_base + 2, v);
+}
+
+std::pair<uint32_t, uint32_t>
+VirtqLayout::usedRing(uint16_t slot) const
+{
+    uint64_t a = used_base + 4 + 8 * (slot % qsize_);
+    return {mem.readU32(a), mem.readU32(a + 4)};
+}
+
+void
+VirtqLayout::setUsedRing(uint16_t slot, uint32_t id, uint32_t len)
+{
+    uint64_t a = used_base + 4 + 8 * (slot % qsize_);
+    mem.writeU32(a, id);
+    mem.writeU32(a + 4, len);
+}
+
+DriverQueue::DriverQueue(GuestMemory &mem, uint16_t qsize)
+    : mem(mem),
+      base(mem.alloc(VirtqLayout::footprint(qsize), 16)),
+      layout(mem, base, qsize),
+      free_head(0),
+      free_count(qsize),
+      chain_len(qsize, 0),
+      indirect_table(qsize, 0)
+{
+    // Thread the initial free list through the descriptor table.
+    for (uint16_t i = 0; i < qsize; ++i) {
+        Desc d;
+        d.next = uint16_t(i + 1);
+        layout.writeDesc(i, d);
+    }
+    layout.setAvailIdx(0);
+    layout.setUsedIdx(0);
+}
+
+DriverQueue::~DriverQueue()
+{
+    mem.free(base);
+}
+
+std::optional<uint16_t>
+DriverQueue::addChainIndirect(const std::vector<BufferSpec> &out,
+                              const std::vector<BufferSpec> &in)
+{
+    size_t total = out.size() + in.size();
+    vrio_assert(total > 0, "empty descriptor chain");
+    if (free_count < 1)
+        return std::nullopt;
+
+    // Build the indirect table in its own guest allocation.
+    uint64_t table = mem.alloc(16 * total, 16);
+    auto write_entry = [&](size_t i, const BufferSpec &b, bool writable,
+                           bool last) {
+        uint64_t a = table + 16 * i;
+        mem.writeU64(a, b.addr);
+        mem.writeU32(a + 8, b.len);
+        uint16_t flags = writable ? kDescFlagWrite : 0;
+        if (!last)
+            flags |= kDescFlagNext;
+        mem.writeU16(a + 12, flags);
+        mem.writeU16(a + 14, last ? 0 : uint16_t(i + 1));
+    };
+    size_t i = 0;
+    for (const auto &b : out) {
+        write_entry(i, b, false, i + 1 == total);
+        ++i;
+    }
+    for (const auto &b : in) {
+        write_entry(i, b, true, i + 1 == total);
+        ++i;
+    }
+
+    // One ring descriptor points at the table.
+    uint16_t head = free_head;
+    Desc d = layout.readDesc(head);
+    free_head = d.next;
+    --free_count;
+    d.addr = table;
+    d.len = uint32_t(16 * total);
+    d.flags = kDescFlagIndirect;
+    d.next = 0;
+    layout.writeDesc(head, d);
+    chain_len[head] = 1;
+    indirect_table[head] = table;
+
+    uint16_t idx = layout.availIdx();
+    layout.setAvailRing(idx, head);
+    layout.setAvailIdx(uint16_t(idx + 1));
+    return head;
+}
+
+std::optional<uint16_t>
+DriverQueue::addChain(const std::vector<BufferSpec> &out,
+                      const std::vector<BufferSpec> &in)
+{
+    size_t total = out.size() + in.size();
+    vrio_assert(total > 0, "empty descriptor chain");
+    if (total > free_count)
+        return std::nullopt;
+
+    uint16_t head = free_head;
+    uint16_t cur = free_head;
+    uint16_t prev = cur;
+    size_t emitted = 0;
+    auto emit = [&](const BufferSpec &b, bool writable) {
+        Desc d = layout.readDesc(cur);
+        uint16_t next_free = d.next;
+        d.addr = b.addr;
+        d.len = b.len;
+        d.flags = writable ? kDescFlagWrite : 0;
+        bool last = ++emitted == total;
+        if (!last) {
+            d.flags |= kDescFlagNext;
+            d.next = next_free;
+        } else {
+            d.next = 0;
+        }
+        layout.writeDesc(cur, d);
+        prev = cur;
+        cur = next_free;
+    };
+    for (const auto &b : out)
+        emit(b, false);
+    for (const auto &b : in)
+        emit(b, true);
+    (void)prev;
+
+    free_head = cur;
+    free_count = uint16_t(free_count - total);
+    chain_len[head] = uint16_t(total);
+
+    // Publish: write ring slot first, then the index (the memory
+    // ordering a real driver enforces with a write barrier).
+    uint16_t idx = layout.availIdx();
+    layout.setAvailRing(idx, head);
+    layout.setAvailIdx(uint16_t(idx + 1));
+    return head;
+}
+
+bool
+DriverQueue::hasUsed() const
+{
+    return layout.usedIdx() != last_used_seen;
+}
+
+std::optional<DriverQueue::UsedElem>
+DriverQueue::popUsed()
+{
+    if (!hasUsed())
+        return std::nullopt;
+    auto [id, len] = layout.usedRing(last_used_seen);
+    ++last_used_seen;
+    vrio_assert(id < layout.qsize(), "device returned bad chain id ", id);
+    uint16_t head = uint16_t(id);
+
+    // Recycle the chain's descriptors onto the free list.
+    uint16_t count = chain_len[head];
+    vrio_assert(count > 0, "used element for unposted chain ", head);
+    chain_len[head] = 0;
+    uint16_t tail = head;
+    for (uint16_t i = 1; i < count; ++i) {
+        Desc d = layout.readDesc(tail);
+        vrio_assert(d.flags & kDescFlagNext, "chain shorter than recorded");
+        tail = d.next;
+    }
+    Desc last = layout.readDesc(tail);
+    last.flags = 0;
+    last.next = free_head;
+    layout.writeDesc(tail, last);
+    free_head = head;
+    free_count = uint16_t(free_count + count);
+
+    if (indirect_table[head]) {
+        mem.free(indirect_table[head]);
+        indirect_table[head] = 0;
+    }
+
+    return UsedElem{head, len};
+}
+
+DeviceQueue::DeviceQueue(GuestMemory &mem, uint64_t ring_addr,
+                         uint16_t qsize)
+    : mem(mem), layout(mem, ring_addr, qsize)
+{}
+
+bool
+DeviceQueue::hasAvail() const
+{
+    return layout.availIdx() != last_avail_seen;
+}
+
+uint32_t
+DeviceQueue::Chain::outLen() const
+{
+    uint32_t n = 0;
+    for (const auto &d : descs) {
+        if (!(d.flags & kDescFlagWrite))
+            n += d.len;
+    }
+    return n;
+}
+
+uint32_t
+DeviceQueue::Chain::inLen() const
+{
+    uint32_t n = 0;
+    for (const auto &d : descs) {
+        if (d.flags & kDescFlagWrite)
+            n += d.len;
+    }
+    return n;
+}
+
+std::optional<DeviceQueue::Chain>
+DeviceQueue::popAvail()
+{
+    if (!hasAvail())
+        return std::nullopt;
+    uint16_t head = layout.availRing(last_avail_seen);
+    ++last_avail_seen;
+
+    Chain chain;
+    chain.head = head;
+
+    Desc first = layout.readDesc(head);
+    if (first.flags & kDescFlagIndirect) {
+        // Walk the out-of-ring table the descriptor points at.
+        vrio_assert(first.len % 16 == 0, "bad indirect table length");
+        uint16_t n = uint16_t(first.len / 16);
+        for (uint16_t i = 0; i < n; ++i) {
+            uint64_t a = first.addr + 16 * i;
+            Desc d;
+            d.addr = mem.readU64(a);
+            d.len = mem.readU32(a + 8);
+            d.flags = mem.readU16(a + 12);
+            d.next = mem.readU16(a + 14);
+            chain.descs.push_back(d);
+            if (!(d.flags & kDescFlagNext))
+                break;
+        }
+        return chain;
+    }
+
+    uint16_t cur = head;
+    for (uint16_t hops = 0;; ++hops) {
+        vrio_assert(hops < layout.qsize(),
+                    "descriptor chain loop detected at head ", head);
+        Desc d = layout.readDesc(cur);
+        chain.descs.push_back(d);
+        if (!(d.flags & kDescFlagNext))
+            break;
+        cur = d.next;
+    }
+    return chain;
+}
+
+Bytes
+DeviceQueue::gatherOut(const Chain &chain) const
+{
+    Bytes out;
+    out.reserve(chain.outLen());
+    for (const auto &d : chain.descs) {
+        if (d.flags & kDescFlagWrite)
+            continue;
+        auto view = mem.window(d.addr, d.len);
+        out.insert(out.end(), view.begin(), view.end());
+    }
+    return out;
+}
+
+uint32_t
+DeviceQueue::scatterIn(const Chain &chain, std::span<const uint8_t> data)
+{
+    uint32_t written = 0;
+    size_t off = 0;
+    for (const auto &d : chain.descs) {
+        if (!(d.flags & kDescFlagWrite))
+            continue;
+        if (off >= data.size())
+            break;
+        size_t n = std::min(size_t(d.len), data.size() - off);
+        mem.write(d.addr, data.subspan(off, n));
+        off += n;
+        written += uint32_t(n);
+    }
+    return written;
+}
+
+void
+DeviceQueue::pushUsed(uint16_t head, uint32_t len)
+{
+    uint16_t idx = layout.usedIdx();
+    layout.setUsedRing(idx, head, len);
+    layout.setUsedIdx(uint16_t(idx + 1));
+}
+
+} // namespace vrio::virtio

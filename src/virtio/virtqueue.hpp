@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Split virtqueue (virtio 1.0, "legacy" memory layout) implemented
+ * over GuestMemory, byte-for-byte compatible with the spec layout:
+ *
+ *   struct virtq_desc  { le64 addr; le32 len; le16 flags; le16 next; }
+ *   struct virtq_avail { le16 flags; le16 idx; le16 ring[qsz]; le16 used_event; }
+ *   struct virtq_used  { le16 flags; le16 idx;
+ *                        struct { le32 id; le32 len; } ring[qsz];
+ *                        le16 avail_event; }
+ *
+ * DriverQueue is the guest-side API (post buffers, reap completions);
+ * DeviceQueue is the host/back-end side (poll avail, gather/scatter
+ * data, push used).  The paper's models differ only in *who* runs the
+ * DeviceQueue and how it learns of new buffers (exit, sidecore poll,
+ * or — for vRIO — an IOhost across the network); the ring protocol
+ * itself is identical, which is why it is implemented once here.
+ */
+#ifndef VRIO_VIRTIO_VIRTQUEUE_HPP
+#define VRIO_VIRTIO_VIRTQUEUE_HPP
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "virtio/guest_memory.hpp"
+
+namespace vrio::virtio {
+
+/** Descriptor flags (virtio spec 2.6.5). */
+constexpr uint16_t kDescFlagNext = 1;
+constexpr uint16_t kDescFlagWrite = 2;
+/** VIRTQ_DESC_F_INDIRECT: the descriptor points at a table of
+ *  descriptors (virtio spec 2.6.5.3), letting one ring slot carry an
+ *  arbitrarily long chain. */
+constexpr uint16_t kDescFlagIndirect = 4;
+
+/** A descriptor as stored in the table. */
+struct Desc
+{
+    uint64_t addr = 0;
+    uint32_t len = 0;
+    uint16_t flags = 0;
+    uint16_t next = 0;
+};
+
+/** One guest buffer in a request chain. */
+struct BufferSpec
+{
+    uint64_t addr;
+    uint32_t len;
+};
+
+/**
+ * Structural accessors over the three ring areas.  Shared by the
+ * driver and device sides; performs all the le16/le32/le64 encoding.
+ */
+class VirtqLayout
+{
+  public:
+    /**
+     * @param mem guest memory holding the rings.
+     * @param base guest address of the descriptor table (the avail and
+     *        used rings follow contiguously, each 4-byte aligned, as
+     *        QEMU lays them out for legacy virtio).
+     * @param qsize ring size; must be a power of two.
+     */
+    VirtqLayout(GuestMemory &mem, uint64_t base, uint16_t qsize);
+
+    /** Total bytes of guest memory a queue of @p qsize occupies. */
+    static size_t footprint(uint16_t qsize);
+
+    uint16_t qsize() const { return qsize_; }
+
+    Desc readDesc(uint16_t i) const;
+    void writeDesc(uint16_t i, const Desc &d);
+
+    uint16_t availIdx() const;
+    void setAvailIdx(uint16_t v);
+    uint16_t availRing(uint16_t slot) const;
+    void setAvailRing(uint16_t slot, uint16_t v);
+
+    uint16_t usedIdx() const;
+    void setUsedIdx(uint16_t v);
+    /** Used element: descriptor-chain head id and written length. */
+    std::pair<uint32_t, uint32_t> usedRing(uint16_t slot) const;
+    void setUsedRing(uint16_t slot, uint32_t id, uint32_t len);
+
+    GuestMemory &memory() const { return mem; }
+
+  private:
+    GuestMemory &mem;
+    uint64_t desc_base;
+    uint64_t avail_base;
+    uint64_t used_base;
+    uint16_t qsize_;
+};
+
+/**
+ * Guest-side (driver) view of a virtqueue.  Owns the descriptor
+ * free list.
+ */
+class DriverQueue
+{
+  public:
+    /** Allocates the ring storage out of @p mem. */
+    DriverQueue(GuestMemory &mem, uint16_t qsize);
+    ~DriverQueue();
+
+    DriverQueue(const DriverQueue &) = delete;
+    DriverQueue &operator=(const DriverQueue &) = delete;
+
+    /**
+     * Post a request chain: @p out buffers are device-readable,
+     * @p in buffers device-writable (spec requires out before in).
+     *
+     * @return head descriptor index, or nullopt when the free list
+     *         cannot hold the chain (caller should back off).
+     */
+    std::optional<uint16_t> addChain(const std::vector<BufferSpec> &out,
+                                     const std::vector<BufferSpec> &in);
+
+    /**
+     * Post the chain through an indirect descriptor table
+     * (VIRTQ_DESC_F_INDIRECT): one ring slot regardless of chain
+     * length.  The table is allocated from guest memory and freed
+     * when the completion is reaped.
+     */
+    std::optional<uint16_t>
+    addChainIndirect(const std::vector<BufferSpec> &out,
+                     const std::vector<BufferSpec> &in);
+
+    /** True when the device has published completions we did not reap. */
+    bool hasUsed() const;
+
+    struct UsedElem
+    {
+        uint16_t head;
+        uint32_t len; ///< bytes the device wrote to the in-buffers
+    };
+
+    /** Reap one completion; recycles its descriptors. */
+    std::optional<UsedElem> popUsed();
+
+    /** Descriptors currently available for new chains. */
+    uint16_t freeDescCount() const { return free_count; }
+
+    /** Guest address of the ring block (for device-side attach). */
+    uint64_t ringAddr() const { return base; }
+    uint16_t qsize() const { return layout.qsize(); }
+
+    VirtqLayout &vq() { return layout; }
+
+  private:
+    GuestMemory &mem;
+    uint64_t base;
+    VirtqLayout layout;
+    /** Singly-linked free list threaded through desc.next. */
+    uint16_t free_head;
+    uint16_t free_count;
+    uint16_t last_used_seen = 0;
+    /** Chain length per head, to recycle the whole chain on reap. */
+    std::vector<uint16_t> chain_len;
+    /** Indirect-table guest address per head (0 = direct chain). */
+    std::vector<uint64_t> indirect_table;
+};
+
+/**
+ * Host-side (device/back-end) view of a virtqueue created by a
+ * DriverQueue, attached by guest address.
+ */
+class DeviceQueue
+{
+  public:
+    DeviceQueue(GuestMemory &mem, uint64_t ring_addr, uint16_t qsize);
+
+    /** True when the driver posted chains we have not popped. */
+    bool hasAvail() const;
+
+    struct Chain
+    {
+        uint16_t head = 0;
+        std::vector<Desc> descs;
+
+        /** Total length of device-readable buffers. */
+        uint32_t outLen() const;
+        /** Total length of device-writable buffers. */
+        uint32_t inLen() const;
+    };
+
+    /** Pop the next posted chain (walks the descriptor table). */
+    std::optional<Chain> popAvail();
+
+    /** Concatenate the device-readable bytes of @p chain. */
+    Bytes gatherOut(const Chain &chain) const;
+
+    /**
+     * Scatter @p data into the device-writable buffers of @p chain.
+     * @return bytes written (truncated to the chain's in-capacity).
+     */
+    uint32_t scatterIn(const Chain &chain, std::span<const uint8_t> data);
+
+    /** Publish completion of @p head having written @p len bytes. */
+    void pushUsed(uint16_t head, uint32_t len);
+
+    VirtqLayout &vq() { return layout; }
+
+  private:
+    GuestMemory &mem;
+    VirtqLayout layout;
+    uint16_t last_avail_seen = 0;
+};
+
+} // namespace vrio::virtio
+
+#endif // VRIO_VIRTIO_VIRTQUEUE_HPP

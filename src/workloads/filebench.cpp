@@ -1,0 +1,167 @@
+#include "workloads/filebench.hpp"
+
+#include "util/logging.hpp"
+
+namespace vrio::workloads {
+
+using virtio::BlkType;
+using virtio::kSectorSize;
+
+FilebenchRandom::FilebenchRandom(models::GuestEndpoint &guest,
+                                 sim::Random rng, Config cfg)
+    : guest(guest), rng(rng), cfg(cfg)
+{
+    vrio_assert(guest.hasBlockDevice(),
+                "filebench needs a block device on the guest");
+    vrio_assert(cfg.io_bytes % kSectorSize == 0,
+                "I/O size must be sector aligned");
+    device_sectors = guest.blockCapacitySectors();
+    sim_ = &guest.vm().sim();
+}
+
+void
+FilebenchRandom::start()
+{
+    epoch = sim_->now();
+    for (unsigned t = 0; t < cfg.readers; ++t)
+        threadLoop(false);
+    for (unsigned t = 0; t < cfg.writers; ++t)
+        threadLoop(true);
+}
+
+void
+FilebenchRandom::threadLoop(bool writer)
+{
+    uint32_t nsectors = cfg.io_bytes / kSectorSize;
+    uint64_t max_start = device_sectors - nsectors;
+    // 4KB-aligned random offset within the device.
+    uint64_t aligned_slots = max_start / nsectors;
+    uint64_t sector = rng.uniformInt(0, aligned_slots) * nsectors;
+
+    block::BlockRequest req;
+    req.kind = writer ? BlkType::Out : BlkType::In;
+    req.sector = sector;
+    req.nsectors = nsectors;
+    if (writer)
+        req.data.assign(cfg.io_bytes, uint8_t(ops));
+
+    guest.submitBlock(std::move(req), [this, writer](virtio::BlkStatus s,
+                                                     Bytes) {
+        if (s != virtio::BlkStatus::Ok) {
+            ++errors;
+        } else {
+            ++ops;
+            if (writer)
+                ++writes;
+            else
+                ++reads;
+        }
+        // Think, then issue the next op (closed loop).
+        guest.vm().vcpu().run(cfg.think_cycles, [this, writer]() {
+            threadLoop(writer);
+        });
+    });
+}
+
+void
+FilebenchRandom::resetStats()
+{
+    ops = reads = writes = errors = 0;
+    epoch = sim_->now();
+}
+
+double
+FilebenchRandom::opsPerSec(sim::Simulation &sim) const
+{
+    double seconds = sim::ticksToSeconds(sim.now() - epoch);
+    return seconds > 0 ? double(ops) / seconds : 0.0;
+}
+
+FilebenchWebserver::FilebenchWebserver(models::GuestEndpoint &guest,
+                                       sim::Random rng, Config cfg)
+    : guest(guest), rng(rng), cfg(cfg)
+{
+    vrio_assert(guest.hasBlockDevice(),
+                "webserver personality needs a block device");
+    device_sectors = guest.blockCapacitySectors();
+    sim_ = &guest.vm().sim();
+}
+
+uint64_t
+FilebenchWebserver::fileSector(unsigned file_index, uint32_t nsectors)
+{
+    // Deterministic file placement: files map into the device modulo
+    // its capacity (the dataset exceeds the modeled device; content
+    // is irrelevant to the I/O pattern).
+    uint64_t span = device_sectors > nsectors + 8
+                        ? device_sectors - nsectors - 8
+                        : 1;
+    return (uint64_t(file_index) * 131) % span;
+}
+
+void
+FilebenchWebserver::start()
+{
+    epoch = sim_->now();
+    for (unsigned t = 0; t < cfg.threads; ++t)
+        threadLoop();
+}
+
+void
+FilebenchWebserver::threadLoop()
+{
+    // Pick a file; its size is log-normal with the configured mean.
+    unsigned file = unsigned(rng.uniformInt(0, cfg.files - 1));
+    double size = rng.lognormalMean(cfg.mean_file_bytes, cfg.size_sigma);
+    uint32_t nsectors = uint32_t(
+        std::max<double>(1, (size + kSectorSize - 1) / kSectorSize));
+    // Clamp pathological tail samples to 1 MB.
+    nsectors = std::min<uint32_t>(nsectors, (1u << 20) / kSectorSize);
+
+    block::BlockRequest read;
+    read.kind = BlkType::In;
+    read.sector = fileSector(file, nsectors);
+    read.nsectors = nsectors;
+
+    guest.submitBlock(std::move(read), [this, nsectors](
+                                           virtio::BlkStatus s, Bytes) {
+        if (s == virtio::BlkStatus::Ok)
+            bytes_read += uint64_t(nsectors) * kSectorSize;
+        // Application work, then the log append.
+        guest.vm().vcpu().run(cfg.app_cycles, [this]() {
+            uint32_t log_sectors =
+                (cfg.log_append_bytes + kSectorSize - 1) / kSectorSize;
+            block::BlockRequest log;
+            log.kind = BlkType::Out;
+            // The log lives in the last 8 sectors, appended circularly.
+            log.sector = device_sectors - 8 +
+                         (log_cursor++ % (8 / log_sectors)) * log_sectors;
+            log.nsectors = log_sectors;
+            log.data.assign(uint64_t(log_sectors) * kSectorSize, 0x10);
+            guest.submitBlock(std::move(log),
+                              [this](virtio::BlkStatus, Bytes) {
+                                  ++ops;
+                                  threadLoop();
+                              });
+        });
+    });
+}
+
+void
+FilebenchWebserver::resetStats()
+{
+    ops = 0;
+    bytes_read = 0;
+    epoch = sim_->now();
+}
+
+double
+FilebenchWebserver::throughputMbps(sim::Simulation &sim) const
+{
+    double seconds = sim::ticksToSeconds(sim.now() - epoch);
+    if (seconds <= 0)
+        return 0;
+    return double(bytes_read) * 8.0 / seconds / 1e6;
+}
+
+} // namespace vrio::workloads

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Filebench personalities (Section 5): 4KB random readers/writers
+ * over O_DIRECT (Fig. 14) and the Webserver personality (30K files,
+ * 28KB mean size, 4 threads, log appends) used by the consolidation
+ * and imbalance experiments (Fig. 15/16).
+ */
+#ifndef VRIO_WORKLOADS_FILEBENCH_HPP
+#define VRIO_WORKLOADS_FILEBENCH_HPP
+
+#include "models/io_model.hpp"
+#include "sim/random.hpp"
+
+namespace vrio::workloads {
+
+/**
+ * N reader + M writer threads doing 4KB random I/O, closed loop per
+ * thread, O_DIRECT (every request crosses the guest-host boundary).
+ */
+class FilebenchRandom
+{
+  public:
+    struct Config
+    {
+        unsigned readers = 1;
+        unsigned writers = 0;
+        uint32_t io_bytes = 4096;
+        /** Per-op application think cycles. */
+        double think_cycles = 2500;
+    };
+
+    FilebenchRandom(models::GuestEndpoint &guest, sim::Random rng,
+                    Config cfg);
+
+    void start();
+    void resetStats();
+
+    uint64_t opsCompleted() const { return ops; }
+    uint64_t readOps() const { return reads; }
+    uint64_t writeOps() const { return writes; }
+    uint64_t ioErrors() const { return errors; }
+
+    double opsPerSec(sim::Simulation &sim) const;
+
+  private:
+    models::GuestEndpoint &guest;
+    sim::Random rng;
+    Config cfg;
+    uint64_t device_sectors = 0;
+
+    uint64_t ops = 0;
+    uint64_t reads = 0;
+    uint64_t writes = 0;
+    uint64_t errors = 0;
+    sim::Tick epoch = 0;
+    sim::Simulation *sim_ = nullptr;
+
+    void threadLoop(bool writer);
+};
+
+/**
+ * The Webserver personality: threads open/read whole files with a
+ * log-normal size distribution and append to a shared log.
+ */
+class FilebenchWebserver
+{
+  public:
+    struct Config
+    {
+        unsigned threads = 4;
+        unsigned files = 30000;
+        double mean_file_bytes = 28.0 * 1024;
+        double size_sigma = 1.0;
+        /** Application cycles per open/read/close + log update. */
+        double app_cycles = 400000;
+        uint32_t log_append_bytes = 512;
+    };
+
+    FilebenchWebserver(models::GuestEndpoint &guest, sim::Random rng,
+                       Config cfg);
+
+    void start();
+    void resetStats();
+
+    uint64_t opsCompleted() const { return ops; }
+    uint64_t bytesRead() const { return bytes_read; }
+
+    /** Read throughput in Mbps over [reset, now] — Fig. 16's metric. */
+    double throughputMbps(sim::Simulation &sim) const;
+
+  private:
+    models::GuestEndpoint &guest;
+    sim::Random rng;
+    Config cfg;
+    uint64_t device_sectors = 0;
+    uint64_t log_cursor = 0;
+
+    uint64_t ops = 0;
+    uint64_t bytes_read = 0;
+    sim::Tick epoch = 0;
+    sim::Simulation *sim_ = nullptr;
+
+    void threadLoop();
+    uint64_t fileSector(unsigned file_index, uint32_t nsectors);
+};
+
+} // namespace vrio::workloads
+
+#endif // VRIO_WORKLOADS_FILEBENCH_HPP

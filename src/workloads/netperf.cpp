@@ -1,0 +1,110 @@
+#include "workloads/netperf.hpp"
+
+namespace vrio::workloads {
+
+NetperfRr::NetperfRr(models::Generator &gen, unsigned session,
+                     models::GuestEndpoint &guest, Config cfg)
+    : gen(gen), session(session), guest(guest), cfg(cfg)
+{
+    // Guest side: echo server.
+    guest.setNetHandler([this](Bytes, net::MacAddress src, uint64_t) {
+        auto &g = this->guest;
+        g.vm().vcpu().run(this->cfg.server_cycles, [this, src]() {
+            this->guest.sendNet(src, Bytes(this->cfg.resp_bytes, 0xaa));
+        });
+    });
+
+    // Generator side: measure and fire the next request.
+    gen.setHandler(session, [this](Bytes, net::MacAddress, uint64_t) {
+        sim::Tick now = this->gen.sim().now();
+        latency.add(sim::ticksToMicros(now - sent_at));
+        ++txns;
+        sendRequest();
+    });
+}
+
+void
+NetperfRr::start()
+{
+    sendRequest();
+}
+
+void
+NetperfRr::sendRequest()
+{
+    sent_at = gen.sim().now();
+    gen.send(session, guest.mac(), Bytes(cfg.req_bytes, 0x55));
+}
+
+void
+NetperfRr::resetStats()
+{
+    latency.reset();
+    txns = 0;
+}
+
+NetperfStream::NetperfStream(models::Generator &gen, unsigned session,
+                             models::GuestEndpoint &guest,
+                             const models::CostParams &costs, Config cfg)
+    : gen(gen), session(session), guest(guest), costs(costs), cfg(cfg)
+{
+    sim_ = &gen.sim();
+
+    // Generator side: count payload and ack every chunk.
+    gen.setHandler(session, [this](Bytes payload, net::MacAddress src,
+                                   uint64_t pad) {
+        bytes_rx += payload.size() + pad;
+        this->gen.send(this->session, src, Bytes(1, 0x06));
+    });
+
+    // Guest side: an ack opens the window.
+    guest.setNetHandler([this](Bytes, net::MacAddress, uint64_t) {
+        if (in_flight > 0)
+            --in_flight;
+        trySend();
+    });
+}
+
+void
+NetperfStream::start()
+{
+    epoch = sim_->now();
+    trySend();
+}
+
+void
+NetperfStream::trySend()
+{
+    while (in_flight < cfg.window_chunks) {
+        ++in_flight;
+        ++chunks_tx;
+        // The guest pays per-message cost for every 64B send() that
+        // the stack later coalesces into this TSO chunk.
+        double msgs = double(cfg.chunk_bytes) / double(cfg.msg_bytes);
+        guest.vm().vcpu().run(costs.stream_msg_cycles * msgs,
+                              [this, msgs]() {
+                                  guest.sendNet(gen.sessionMac(session),
+                                                {}, cfg.chunk_bytes,
+                                                uint64_t(msgs));
+                              });
+    }
+}
+
+void
+NetperfStream::resetStats()
+{
+    bytes_rx = 0;
+    chunks_tx = 0;
+    epoch = sim_->now();
+}
+
+double
+NetperfStream::throughputGbps(sim::Simulation &sim) const
+{
+    double seconds = sim::ticksToSeconds(sim.now() - epoch);
+    if (seconds <= 0)
+        return 0;
+    return double(bytes_rx) * 8.0 / seconds / 1e9;
+}
+
+} // namespace vrio::workloads

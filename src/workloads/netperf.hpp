@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Netperf workloads (Section 5): UDP request-response for latency and
+ * TCP stream with 64-byte messages for throughput.
+ */
+#ifndef VRIO_WORKLOADS_NETPERF_HPP
+#define VRIO_WORKLOADS_NETPERF_HPP
+
+#include "models/generator.hpp"
+#include "models/io_model.hpp"
+#include "stats/histogram.hpp"
+
+namespace vrio::workloads {
+
+/**
+ * Netperf UDP RR: the generator sends one small request and waits for
+ * the one-byte echo, closed loop, exactly one transaction in flight.
+ */
+class NetperfRr
+{
+  public:
+    struct Config
+    {
+        size_t req_bytes = 1;
+        size_t resp_bytes = 1;
+        /** Guest-side application (echo) cycles per request. */
+        double server_cycles = 600;
+    };
+
+    NetperfRr(models::Generator &gen, unsigned session,
+              models::GuestEndpoint &guest, Config cfg);
+
+    /** Begin the closed loop. */
+    void start();
+
+    /** Discard samples gathered so far (warmup). */
+    void resetStats();
+
+    const stats::Histogram &latencyUs() const { return latency; }
+    uint64_t transactions() const { return txns; }
+
+  private:
+    models::Generator &gen;
+    unsigned session;
+    models::GuestEndpoint &guest;
+    Config cfg;
+    stats::Histogram latency;
+    uint64_t txns = 0;
+    sim::Tick sent_at = 0;
+
+    void sendRequest();
+};
+
+/**
+ * Netperf TCP stream, 64-byte messages, guest -> generator.  Messages
+ * coalesce into TSO chunks; a fixed window of chunks is in flight and
+ * the generator acks each chunk.
+ */
+class NetperfStream
+{
+  public:
+    struct Config
+    {
+        size_t msg_bytes = 64;
+        size_t chunk_bytes = 16 * 1024;
+        unsigned window_chunks = 8;
+    };
+
+    NetperfStream(models::Generator &gen, unsigned session,
+                  models::GuestEndpoint &guest,
+                  const models::CostParams &costs, Config cfg);
+
+    void start();
+    void resetStats();
+
+    /** Payload bytes received by the generator since the last reset. */
+    uint64_t bytesReceived() const { return bytes_rx; }
+    uint64_t chunksSent() const { return chunks_tx; }
+
+    /** Gbps over the window [reset, now]. */
+    double throughputGbps(sim::Simulation &sim) const;
+
+  private:
+    models::Generator &gen;
+    unsigned session;
+    models::GuestEndpoint &guest;
+    const models::CostParams &costs;
+    Config cfg;
+
+    unsigned in_flight = 0;
+    uint64_t bytes_rx = 0;
+    uint64_t chunks_tx = 0;
+    sim::Tick epoch = 0;
+    sim::Simulation *sim_ = nullptr;
+
+    void trySend();
+};
+
+} // namespace vrio::workloads
+
+#endif // VRIO_WORKLOADS_NETPERF_HPP

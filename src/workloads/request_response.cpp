@@ -1,0 +1,105 @@
+#include "workloads/request_response.hpp"
+
+namespace vrio::workloads {
+
+RequestResponseServer::Config
+RequestResponseServer::apache()
+{
+    Config cfg;
+    cfg.req_bytes = 200;        // HTTP GET
+    cfg.resp_bytes = 300;       // headers
+    cfg.resp_pad = 10 * 1024;   // static page body
+    cfg.resp_frames = 7;        // ~MTU-sized TCP segments
+    cfg.acks_per_response = 3;  // client TCP acks
+    cfg.server_cycles = 300000; // httpd request handling
+    cfg.concurrency = 4;
+    return cfg;
+}
+
+RequestResponseServer::Config
+RequestResponseServer::memcached()
+{
+    Config cfg;
+    cfg.req_bytes = 100;
+    cfg.resp_bytes = 64;
+    cfg.resp_pad = 1024;
+    cfg.resp_frames = 1;
+    cfg.acks_per_response = 1;
+    cfg.server_cycles = 11000; // hash lookup + response build
+    cfg.concurrency = 8;
+    return cfg;
+}
+
+RequestResponseServer::RequestResponseServer(models::Generator &gen,
+                                             unsigned session,
+                                             models::GuestEndpoint &guest,
+                                             Config cfg)
+    : gen(gen), session(session), guest(guest), cfg(cfg)
+{
+    guest.setNetHandler([this](Bytes payload, net::MacAddress src,
+                               uint64_t) {
+        // Client TCP acks are absorbed by the stack (the path costs
+        // were already charged by the model).
+        if (payload.size() < 8)
+            return;
+        auto &g = this->guest;
+        g.vm().vcpu().run(this->cfg.server_cycles, [this, src]() {
+            // The response leaves as resp_frames TCP segments.
+            unsigned frames = std::max(1u, this->cfg.resp_frames);
+            uint64_t pad_per = this->cfg.resp_pad / frames;
+            this->guest.sendNet(src,
+                                Bytes(this->cfg.resp_bytes, 0x42),
+                                pad_per);
+            for (unsigned f = 1; f < frames; ++f)
+                this->guest.sendNet(src, Bytes(64, 0x42), pad_per);
+        });
+    });
+
+    gen.setHandler(session, [this](Bytes, net::MacAddress src, uint64_t) {
+        if (++frames_seen < std::max(1u, this->cfg.resp_frames))
+            return;
+        frames_seen = 0;
+        if (!outstanding.empty()) {
+            sim::Tick t0 = outstanding.front();
+            outstanding.pop_front();
+            latency.add(sim::ticksToMicros(this->gen.sim().now() - t0));
+        }
+        ++completed_;
+        // TCP acks for the received segments.
+        for (unsigned a = 0; a < this->cfg.acks_per_response; ++a)
+            this->gen.send(this->session, src, Bytes(1, 0x06));
+        sendOne();
+    });
+}
+
+void
+RequestResponseServer::start()
+{
+    epoch = gen.sim().now();
+    for (unsigned i = 0; i < cfg.concurrency; ++i)
+        sendOne();
+}
+
+void
+RequestResponseServer::sendOne()
+{
+    outstanding.push_back(gen.sim().now());
+    gen.send(session, guest.mac(), Bytes(cfg.req_bytes, 0x55));
+}
+
+void
+RequestResponseServer::resetStats()
+{
+    latency.reset();
+    completed_ = 0;
+    epoch = gen.sim().now();
+}
+
+double
+RequestResponseServer::throughputTps(sim::Simulation &sim) const
+{
+    double seconds = sim::ticksToSeconds(sim.now() - epoch);
+    return seconds > 0 ? double(completed_) / seconds : 0.0;
+}
+
+} // namespace vrio::workloads

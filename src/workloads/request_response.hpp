@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Generic closed-loop request/response server workloads — the
+ * macrobenchmarks of Fig. 5 and Fig. 12.  ApacheBench-driven Apache
+ * and Memslap-driven memcached are both parameterized instances.
+ */
+#ifndef VRIO_WORKLOADS_REQUEST_RESPONSE_HPP
+#define VRIO_WORKLOADS_REQUEST_RESPONSE_HPP
+
+#include <deque>
+
+#include "models/generator.hpp"
+#include "models/io_model.hpp"
+#include "stats/histogram.hpp"
+
+namespace vrio::workloads {
+
+class RequestResponseServer
+{
+  public:
+    struct Config
+    {
+        size_t req_bytes = 100;
+        /** Materialized response bytes (headers; first frame). */
+        size_t resp_bytes = 64;
+        /** Simulated (pad) response bytes, split across frames. */
+        uint64_t resp_pad = 0;
+        /** Wire frames the response occupies (TCP segments). */
+        unsigned resp_frames = 1;
+        /** Client ACK packets sent back per response (TCP). */
+        unsigned acks_per_response = 0;
+        /** Server application cycles per request. */
+        double server_cycles = 10000;
+        /** Outstanding requests the driver keeps in flight. */
+        unsigned concurrency = 4;
+    };
+
+    /** ApacheBench-driven Apache httpd (static ~10KB pages). */
+    static Config apache();
+    /** Memslap-driven memcached (GET-heavy, ~1KB values). */
+    static Config memcached();
+
+    RequestResponseServer(models::Generator &gen, unsigned session,
+                          models::GuestEndpoint &guest, Config cfg);
+
+    void start();
+    void resetStats();
+
+    uint64_t completed() const { return completed_; }
+    const stats::Histogram &latencyUs() const { return latency; }
+
+    /** Transactions per second over [reset, now]. */
+    double throughputTps(sim::Simulation &sim) const;
+
+  private:
+    models::Generator &gen;
+    unsigned session;
+    models::GuestEndpoint &guest;
+    Config cfg;
+
+    stats::Histogram latency;
+    uint64_t completed_ = 0;
+    sim::Tick epoch = 0;
+    /** Send timestamps of in-flight requests, FIFO per response. */
+    std::deque<sim::Tick> outstanding;
+    /** Response frames received toward the current completion. */
+    unsigned frames_seen = 0;
+
+    void sendOne();
+};
+
+} // namespace vrio::workloads
+
+#endif // VRIO_WORKLOADS_REQUEST_RESPONSE_HPP

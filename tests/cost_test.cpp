@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Cost-model tests: the Section-3 adjacency rules, the exact Table 1
+ * and Table 2 figures, and the Fig. 3 consolidation envelope.
+ */
+#include <gtest/gtest.h>
+
+#include "cost/pricing.hpp"
+#include "cost/rack_cost.hpp"
+
+namespace vrio::cost {
+namespace {
+
+TEST(Pricing, PaperCpuAnchorPair)
+{
+    // The worked example of Section 3: E7-8850 v2 -> E7-8870 v2,
+    // x ~ 1.51 and y = 1.25.
+    bool found = false;
+    for (const auto &pt : cpuUpgradePoints()) {
+        if (pt.from == "E7-8850 v2" && pt.to == "E7-8870 v2") {
+            found = true;
+            EXPECT_NEAR(pt.cost_ratio, 4616.0 / 3059.0, 1e-9);
+            EXPECT_NEAR(pt.gain_ratio, 15.0 / 12.0, 1e-9);
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(Pricing, PaperNicAnchorPair)
+{
+    // MCX312B (2x10G, $560) -> MCX314A (2x40G, $1121): x ~ 2, y = 4.
+    bool found = false;
+    for (const auto &pt : nicUpgradePoints()) {
+        if (pt.from == "MCX312B-XCCT" && pt.to == "MCX314A-BCCT") {
+            found = true;
+            EXPECT_NEAR(pt.cost_ratio, 1121.0 / 560.0, 1e-9);
+            EXPECT_NEAR(pt.gain_ratio, 4.0, 1e-9);
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(Pricing, Figure1Separation)
+{
+    // The headline of Fig. 1: every CPU point below the diagonal,
+    // every NIC point above it.
+    auto cpus = cpuUpgradePoints();
+    auto nics = nicUpgradePoints();
+    ASSERT_GE(cpus.size(), 5u);
+    ASSERT_GE(nics.size(), 5u);
+    for (const auto &pt : cpus)
+        EXPECT_LT(pt.gain_ratio, pt.cost_ratio) << pt.from;
+    for (const auto &pt : nics)
+        EXPECT_GT(pt.gain_ratio, pt.cost_ratio) << pt.from;
+}
+
+TEST(Pricing, AdjacencyIsDirectional)
+{
+    const auto &cat = cpuCatalog();
+    // The anchor pair in reverse must not be adjacent.
+    EXPECT_TRUE(cpuAdjacent(cat[0], cat[1]));
+    EXPECT_FALSE(cpuAdjacent(cat[1], cat[0]));
+    EXPECT_FALSE(cpuAdjacent(cat[0], cat[0]));
+}
+
+TEST(Pricing, AdjacencyRequiresSameSeriesAndSpeed)
+{
+    CpuModel a{"a", "S", 100, 8, 2.0, 20, 90, 8.0, 22};
+    CpuModel b{"b", "S", 150, 10, 2.0, 25, 95, 8.0, 22};
+    EXPECT_TRUE(cpuAdjacent(a, b));
+    CpuModel c = b;
+    c.ghz = 2.2;
+    EXPECT_FALSE(cpuAdjacent(a, c));
+    CpuModel d = b;
+    d.series = "T";
+    EXPECT_FALSE(cpuAdjacent(a, d));
+    CpuModel e = b;
+    e.cache_mb = 10; // cache shrank: not an upgrade-adjacent pair
+    EXPECT_FALSE(cpuAdjacent(a, e));
+}
+
+TEST(RackCost, Table1ServerPrices)
+{
+    ComponentPrices p;
+    EXPECT_NEAR(elvisServer().price(p), 44465, 1);   // $44.5K
+    EXPECT_NEAR(vrioVmHost().price(p), 46994, 1);    // $47.0K
+    EXPECT_NEAR(lightIoHost().price(p), 26037, 1);   // $26.0K
+    EXPECT_NEAR(heavyIoHost().price(p), 44279, 60);  // $44.2K
+}
+
+TEST(RackCost, Table1Bandwidth)
+{
+    EXPECT_DOUBLE_EQ(elvisServer().totalGbps(), 40.0);
+    EXPECT_DOUBLE_EQ(vrioVmHost().totalGbps(), 80.0);
+    EXPECT_DOUBLE_EQ(lightIoHost().totalGbps(), 160.0);
+    EXPECT_DOUBLE_EQ(heavyIoHost().totalGbps(), 320.0);
+    // Per Section 3's arithmetic (380 Mbps/core in binary Gbps).
+    EXPECT_NEAR(requiredGbps(72), 26.72, 0.01);
+    EXPECT_NEAR(requiredGbps(72) * 1.5, 40.08, 0.01);
+}
+
+TEST(RackCost, Table1Memory)
+{
+    EXPECT_EQ(elvisServer().memoryGb(), 288u); // 4 GB per core
+    EXPECT_EQ(vrioVmHost().memoryGb(), 432u);  // 1.5x
+    EXPECT_EQ(lightIoHost().memoryGb(), 64u);  // R930 minimum
+}
+
+TEST(RackCost, Table2RackPrices)
+{
+    ComponentPrices p;
+    double e3 = elvisRack(3).price(p);
+    double v3 = vrioRack(3).price(p);
+    EXPECT_NEAR(e3, 133395, 1); // $133.4K
+    EXPECT_NEAR(v3, 120025, 1); // $120.0K
+    EXPECT_NEAR(v3 / e3 - 1.0, -0.10, 0.005);
+
+    double e6 = elvisRack(6).price(p);
+    double v6 = vrioRack(6).price(p);
+    EXPECT_NEAR(e6, 266790, 1); // $266.9K
+    EXPECT_NEAR(v6 / e6 - 1.0, -0.13, 0.005);
+}
+
+TEST(RackCost, VmCoreCountPreserved)
+{
+    // The consolidation must not shrink the VM-core pool: 2/3 of an
+    // Elvis server's cores equals the VMhost surplus.
+    EXPECT_EQ(elvisRack(3).vmCores(), vrioRack(3).vmCores());
+    EXPECT_EQ(elvisRack(6).vmCores(), vrioRack(6).vmCores());
+}
+
+TEST(RackCost, Figure3Envelope)
+{
+    double min_saving = 1.0, max_saving = 0.0;
+    for (unsigned n : {3u, 6u}) {
+        double prev = 2.0;
+        for (unsigned v = n; v >= 1; --v) {
+            for (bool big : {false, true}) {
+                auto cmp = ssdConsolidation(n, v, big);
+                double rel = cmp.relative();
+                EXPECT_LT(rel, 1.0) << "vRIO should always be cheaper";
+                min_saving = std::min(min_saving, 1.0 - rel);
+                max_saving = std::max(max_saving, 1.0 - rel);
+            }
+            // Monotone: fewer drives, relatively cheaper.
+            auto cmp = ssdConsolidation(n, v, false);
+            EXPECT_LE(cmp.relative(), prev + 1e-12);
+            prev = cmp.relative();
+        }
+    }
+    // The paper's 8%-38% band (we allow the computed 6%-38%).
+    EXPECT_GT(min_saving, 0.04);
+    EXPECT_LT(max_saving, 0.40);
+    EXPECT_GT(max_saving, 0.33);
+}
+
+TEST(RackCost, SsdNicRule)
+{
+    // "consolidating three or six drives requires us to add one or
+    // two 2x40Gbps NICs" — check via the price delta.
+    ComponentPrices p;
+    auto three = ssdConsolidation(3, 3, false, p);
+    auto six = ssdConsolidation(6, 6, false, p);
+    double three_nics =
+        three.vrio_price - vrioRack(3).price(p) - 3 * p.ssd_3_2tb;
+    double six_nics =
+        six.vrio_price - vrioRack(6).price(p) - 6 * p.ssd_3_2tb;
+    EXPECT_NEAR(three_nics, 1 * p.nic_40g_dp, 1e-9);
+    EXPECT_NEAR(six_nics, 2 * p.nic_40g_dp, 1e-9);
+}
+
+TEST(RackCost, InvalidConsolidationPanics)
+{
+    EXPECT_DEATH(ssdConsolidation(3, 0, false), "ratio");
+    EXPECT_DEATH(ssdConsolidation(3, 4, false), "ratio");
+    EXPECT_DEATH(vrioRack(5), "3 or 6");
+}
+
+} // namespace
+} // namespace vrio::cost

@@ -1,0 +1,365 @@
+/**
+ * @file
+ * Interposition framework and services tests.
+ */
+#include <gtest/gtest.h>
+
+#include "interpose/service.hpp"
+#include "interpose/rle.hpp"
+#include "interpose/services.hpp"
+#include "sim/random.hpp"
+
+namespace vrio::interpose {
+namespace {
+
+IoContext
+netCtx(uint32_t device = 1, Direction dir = Direction::FromClient)
+{
+    IoContext ctx;
+    ctx.dir = dir;
+    ctx.device_id = device;
+    ctx.is_block = false;
+    ctx.src = net::MacAddress::local(10);
+    ctx.dst = net::MacAddress::local(20);
+    ctx.ether_type = 0x0800;
+    return ctx;
+}
+
+IoContext
+blockCtx(uint32_t device = 2, Direction dir = Direction::FromClient)
+{
+    IoContext ctx = netCtx(device, dir);
+    ctx.is_block = true;
+    return ctx;
+}
+
+TEST(Chain, EmptyChainPassesThrough)
+{
+    Chain chain;
+    IoContext ctx = netCtx();
+    Bytes payload = {1, 2, 3};
+    double cycles = 0;
+    EXPECT_TRUE(chain.run(ctx, payload, cycles));
+    EXPECT_EQ(payload, (Bytes{1, 2, 3}));
+    EXPECT_DOUBLE_EQ(cycles, 0.0);
+}
+
+TEST(Chain, AccumulatesCycleCosts)
+{
+    Chain chain;
+    chain.append(std::make_unique<MeteringService>());
+    chain.append(std::make_unique<MeteringService>());
+    IoContext ctx = netCtx();
+    Bytes payload(100);
+    double cycles = 0;
+    EXPECT_TRUE(chain.run(ctx, payload, cycles));
+    EXPECT_DOUBLE_EQ(cycles, 240.0);
+    EXPECT_DOUBLE_EQ(chain.cycleCost(100), 240.0);
+}
+
+TEST(Metering, CountsPerDevice)
+{
+    MeteringService meter;
+    IoContext a = netCtx(1), b = netCtx(2);
+    Bytes p1(100), p2(50);
+    meter.process(a, p1);
+    meter.process(a, p1);
+    meter.process(b, p2);
+    EXPECT_EQ(meter.bytesSeen(1), 200u);
+    EXPECT_EQ(meter.opsSeen(1), 2u);
+    EXPECT_EQ(meter.bytesSeen(2), 50u);
+    EXPECT_EQ(meter.bytesSeen(3), 0u);
+}
+
+TEST(Firewall, DefaultAllow)
+{
+    FirewallService fw;
+    IoContext ctx = netCtx();
+    Bytes payload;
+    EXPECT_TRUE(fw.process(ctx, payload));
+    EXPECT_EQ(fw.droppedCount(), 0u);
+}
+
+TEST(Firewall, DeniesMatchingRule)
+{
+    FirewallService fw;
+    FirewallService::Rule rule;
+    rule.src = net::MacAddress::local(10);
+    fw.deny(rule);
+    IoContext ctx = netCtx();
+    Bytes payload;
+    EXPECT_FALSE(fw.process(ctx, payload));
+    EXPECT_EQ(fw.droppedCount(), 1u);
+
+    // Non-matching source passes.
+    ctx.src = net::MacAddress::local(11);
+    EXPECT_TRUE(fw.process(ctx, payload));
+}
+
+TEST(Firewall, CompoundRuleMatchesAllFields)
+{
+    FirewallService fw;
+    FirewallService::Rule rule;
+    rule.src = net::MacAddress::local(10);
+    rule.ether_type = 0x0800;
+    fw.deny(rule);
+    IoContext ctx = netCtx();
+    Bytes payload;
+    EXPECT_FALSE(fw.process(ctx, payload));
+    ctx.ether_type = 0x86dd;
+    EXPECT_TRUE(fw.process(ctx, payload));
+}
+
+TEST(Firewall, ChainStopsAtDrop)
+{
+    Chain chain;
+    auto fw = std::make_unique<FirewallService>();
+    fw->deny({}); // match-all rule: deny everything
+    chain.append(std::move(fw));
+    auto meter = std::make_unique<MeteringService>();
+    MeteringService *meter_raw = meter.get();
+    chain.append(std::move(meter));
+
+    IoContext ctx = netCtx();
+    Bytes payload(10);
+    double cycles = 0;
+    EXPECT_FALSE(chain.run(ctx, payload, cycles));
+    EXPECT_EQ(meter_raw->opsSeen(ctx.device_id), 0u);
+}
+
+TEST(Encryption, BlockWriteReadRoundTrip)
+{
+    Bytes key(32, 0x55);
+    EncryptionService enc(key);
+    IoContext wr = blockCtx(7, Direction::FromClient);
+    wr.sector = 128;
+    Bytes payload(4096, 0x3c);
+    Bytes original = payload;
+    ASSERT_TRUE(enc.process(wr, payload));
+    EXPECT_NE(payload, original);
+    // Length-preserving: a 4KB write stays 4KB on the device.
+    EXPECT_EQ(payload.size(), original.size());
+
+    IoContext rd = blockCtx(7, Direction::ToClient);
+    rd.sector = 128;
+    ASSERT_TRUE(enc.process(rd, payload));
+    EXPECT_EQ(payload, original);
+}
+
+TEST(Encryption, SectorsUseDistinctKeystreams)
+{
+    Bytes key(32, 0x55);
+    EncryptionService enc(key);
+    Bytes zero(512, 0);
+    IoContext s0 = blockCtx(7);
+    s0.sector = 0;
+    IoContext s8 = blockCtx(7);
+    s8.sector = 8;
+    Bytes a = zero, b = zero;
+    enc.process(s0, a);
+    enc.process(s8, b);
+    EXPECT_NE(a, b);
+}
+
+TEST(Encryption, PacketCtrPreservesSize)
+{
+    Bytes key(32, 0x55);
+    EncryptionService enc(key);
+    IoContext ctx = netCtx(3);
+    Bytes payload(63, 0x3c);
+    Bytes original = payload;
+    ASSERT_TRUE(enc.process(ctx, payload));
+    EXPECT_EQ(payload.size(), original.size());
+    EXPECT_NE(payload, original);
+    // CTR is symmetric: same direction op restores.
+    ASSERT_TRUE(enc.process(ctx, payload));
+    EXPECT_EQ(payload, original);
+}
+
+TEST(Encryption, DeviceIdsSeparateKeystreams)
+{
+    Bytes key(32, 0x55);
+    EncryptionService enc(key);
+    Bytes zero(64, 0);
+    IoContext d1 = netCtx(1), d2 = netCtx(2);
+    Bytes a = zero, b = zero;
+    enc.process(d1, a);
+    enc.process(d2, b);
+    EXPECT_NE(a, b);
+}
+
+TEST(Encryption, CostScalesWithBytes)
+{
+    Bytes key(32, 1);
+    EncryptionService enc(key, 22.0);
+    EXPECT_GT(enc.cycleCost(4096), enc.cycleCost(64));
+    EXPECT_NEAR(enc.cycleCost(4096) - enc.cycleCost(0), 22.0 * 4096, 1e-6);
+}
+
+TEST(SdnRewrite, RewritesMappedDestination)
+{
+    SdnRewriteService sdn;
+    auto virt = net::MacAddress::local(100);
+    auto phys = net::MacAddress::local(200);
+    sdn.mapAddress(virt, phys);
+
+    IoContext ctx = netCtx();
+    ctx.dst = virt;
+    Bytes payload;
+    EXPECT_TRUE(sdn.process(ctx, payload));
+    EXPECT_EQ(ctx.dst, phys);
+    EXPECT_EQ(sdn.rewrites(), 1u);
+
+    // Unmapped addresses untouched.
+    ctx.dst = net::MacAddress::local(5);
+    sdn.process(ctx, payload);
+    EXPECT_EQ(ctx.dst, net::MacAddress::local(5));
+}
+
+TEST(Dedup, DetectsRepeatedChunks)
+{
+    DedupService dd;
+    IoContext ctx = blockCtx();
+    Bytes chunk(4096, 0xaa);
+    dd.process(ctx, chunk);
+    dd.process(ctx, chunk);
+    dd.process(ctx, chunk);
+    EXPECT_EQ(dd.chunksSeen(), 3u);
+    EXPECT_EQ(dd.duplicateChunks(), 2u);
+
+    Bytes other(4096, 0xbb);
+    dd.process(ctx, other);
+    EXPECT_EQ(dd.duplicateChunks(), 2u);
+}
+
+TEST(Dedup, MultiChunkPayload)
+{
+    DedupService dd;
+    IoContext ctx = blockCtx();
+    Bytes payload(8192 + 100, 0x11); // 3 chunks: 4K, 4K, 100
+    dd.process(ctx, payload);
+    EXPECT_EQ(dd.chunksSeen(), 3u);
+    // First two 4K chunks are identical content.
+    EXPECT_EQ(dd.duplicateChunks(), 1u);
+}
+
+
+TEST(Rle, RoundTripVariousContent)
+{
+    sim::Random rng(3);
+    for (int iter = 0; iter < 200; ++iter) {
+        size_t n = rng.uniformInt(0, 8192);
+        Bytes data(n);
+        // Mix of runs and noise.
+        size_t i = 0;
+        while (i < n) {
+            if (rng.bernoulli(0.5)) {
+                size_t run = std::min<size_t>(rng.uniformInt(1, 600),
+                                              n - i);
+                uint8_t b = uint8_t(rng.next());
+                std::fill(data.begin() + i, data.begin() + i + run, b);
+                i += run;
+            } else {
+                data[i++] = uint8_t(rng.next());
+            }
+        }
+        Bytes comp = rleCompress(data);
+        Bytes out;
+        ASSERT_TRUE(rleDecompress(comp, out)) << "iter " << iter;
+        ASSERT_EQ(out, data) << "iter " << iter;
+    }
+}
+
+TEST(Rle, CompressesRuns)
+{
+    Bytes zeros(4096, 0);
+    EXPECT_LT(rleCompress(zeros).size(), 64u);
+    Bytes text;
+    for (int i = 0; i < 4096; ++i)
+        text.push_back(uint8_t(i * 7 + i / 3));
+    // Largely incompressible: bounded expansion only.
+    EXPECT_LT(rleCompress(text).size(), text.size() + 64);
+}
+
+TEST(Rle, RejectsMalformedInput)
+{
+    Bytes out;
+    EXPECT_FALSE(rleDecompress(Bytes{0x00, 0x10}, out)); // truncated hdr
+    EXPECT_FALSE(rleDecompress(Bytes{0x00, 0x10, 0x00, 1, 2}, out));
+    EXPECT_FALSE(rleDecompress(Bytes{0x01, 0x03, 0x00}, out)); // no byte
+    EXPECT_FALSE(rleDecompress(Bytes{0x07, 0x01, 0x00, 0x00}, out));
+    EXPECT_TRUE(rleDecompress({}, out));
+    EXPECT_TRUE(out.empty());
+}
+
+TEST(Compression, WriteReadRoundTripPreservesLength)
+{
+    CompressionService svc;
+    IoContext wr = blockCtx(1, Direction::FromClient);
+    Bytes payload(4096, 0x00); // very compressible
+    Bytes original = payload;
+    ASSERT_TRUE(svc.process(wr, payload));
+    EXPECT_EQ(payload.size(), original.size()); // sector-preserving
+    EXPECT_NE(payload, original);
+    EXPECT_EQ(svc.blocksCompressed(), 1u);
+    EXPECT_GT(svc.ratio(), 10.0);
+
+    IoContext rd = blockCtx(1, Direction::ToClient);
+    ASSERT_TRUE(svc.process(rd, payload));
+    EXPECT_EQ(payload, original);
+}
+
+TEST(Compression, IncompressibleStoredRaw)
+{
+    CompressionService svc;
+    IoContext wr = blockCtx(1, Direction::FromClient);
+    sim::Random rng(9);
+    Bytes payload(4096);
+    for (auto &b : payload)
+        b = uint8_t(rng.next());
+    Bytes original = payload;
+    ASSERT_TRUE(svc.process(wr, payload));
+    EXPECT_EQ(payload, original); // unchanged
+    EXPECT_EQ(svc.blocksStoredRaw(), 1u);
+
+    IoContext rd = blockCtx(1, Direction::ToClient);
+    ASSERT_TRUE(svc.process(rd, payload));
+    EXPECT_EQ(payload, original);
+}
+
+TEST(Compression, IgnoresPacketTraffic)
+{
+    CompressionService svc;
+    IoContext ctx = netCtx();
+    Bytes payload(512, 0x00);
+    Bytes original = payload;
+    ASSERT_TRUE(svc.process(ctx, payload));
+    EXPECT_EQ(payload, original);
+}
+
+TEST(Chain, FullServiceStackRoundTrip)
+{
+    // Client-side ordering: meter -> encrypt on the way out;
+    // decrypt -> meter on the way back.
+    Bytes key(32, 9);
+    Chain out_chain;
+    out_chain.append(std::make_unique<MeteringService>());
+    out_chain.append(std::make_unique<EncryptionService>(key));
+    Chain in_chain;
+    in_chain.append(std::make_unique<EncryptionService>(key));
+    in_chain.append(std::make_unique<MeteringService>());
+
+    IoContext wr = blockCtx(1, Direction::FromClient);
+    Bytes payload(777, 0x42);
+    Bytes original = payload;
+    double cycles = 0;
+    ASSERT_TRUE(out_chain.run(wr, payload, cycles));
+    EXPECT_GT(cycles, 22.0 * 777);
+
+    IoContext rd = blockCtx(1, Direction::ToClient);
+    ASSERT_TRUE(in_chain.run(rd, payload, cycles));
+    EXPECT_EQ(payload, original);
+}
+
+} // namespace
+} // namespace vrio::interpose

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Steering-policy unit and property tests (Section 4.1's
+ * order-preserving worker assignment).
+ */
+#include <gtest/gtest.h>
+
+#include "iohost/steering.hpp"
+#include "sim/random.hpp"
+
+namespace vrio::iohost {
+namespace {
+
+TEST(Steering, SingleWorkerTakesEverything)
+{
+    SteeringPolicy sp(1);
+    EXPECT_EQ(sp.steer(1), 0u);
+    EXPECT_EQ(sp.steer(2), 0u);
+    EXPECT_EQ(sp.workerLoad(0), 2u);
+    sp.complete(1, 0);
+    sp.complete(2, 0);
+    EXPECT_EQ(sp.workerLoad(0), 0u);
+}
+
+TEST(Steering, DevicePinnedWhileInFlight)
+{
+    SteeringPolicy sp(4);
+    unsigned w = sp.steer(7);
+    // While request 1 is unfinished, subsequent requests of device 7
+    // must land on the same worker regardless of load.
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(sp.steer(7), w);
+    EXPECT_EQ(sp.deviceInFlight(7), 11u);
+    EXPECT_EQ(sp.pinnedDecisions(), 10u);
+}
+
+TEST(Steering, IdleDeviceMayMove)
+{
+    SteeringPolicy sp(2);
+    unsigned w1 = sp.steer(1);
+    EXPECT_EQ(w1, 0u); // ties break toward worker 0
+    sp.complete(1, w1);
+    // Worker 0 now carries an in-flight request of device 2.
+    unsigned w2 = sp.steer(2);
+    EXPECT_EQ(w2, 0u);
+    // Device 1 is idle, so it is free to move to the less-loaded
+    // worker 1 (no ordering constraint binds it).
+    unsigned w1b = sp.steer(1);
+    EXPECT_EQ(w1b, 1u);
+}
+
+TEST(Steering, LeastLoadedBalancesDevices)
+{
+    SteeringPolicy sp(4);
+    for (uint32_t d = 0; d < 8; ++d)
+        sp.steer(d);
+    // 8 devices, 4 workers, all in flight: 2 each.
+    for (unsigned w = 0; w < 4; ++w)
+        EXPECT_EQ(sp.workerLoad(w), 2u);
+}
+
+TEST(Steering, CompleteOnWrongWorkerPanics)
+{
+    SteeringPolicy sp(2);
+    unsigned w = sp.steer(1);
+    EXPECT_DEATH(sp.complete(1, w ^ 1), "wrong worker");
+}
+
+TEST(Steering, OrderPreservationProperty)
+{
+    // Property: per device, the sequence of steer() decisions between
+    // idle points is constant (all requests of a burst go to one
+    // worker), which is what preserves per-device ordering given
+    // FIFO workers.
+    sim::Random rng(404);
+    SteeringPolicy sp(3);
+    struct Flying
+    {
+        uint32_t device;
+        unsigned worker;
+    };
+    std::vector<Flying> flying;
+    std::map<uint32_t, unsigned> current_worker;
+
+    for (int step = 0; step < 5000; ++step) {
+        if (flying.empty() || rng.bernoulli(0.6)) {
+            uint32_t d = uint32_t(rng.uniformInt(0, 9));
+            unsigned w = sp.steer(d);
+            if (sp.deviceInFlight(d) > 1) {
+                ASSERT_EQ(w, current_worker[d])
+                    << "device moved while in flight";
+            }
+            current_worker[d] = w;
+            flying.push_back({d, w});
+        } else {
+            size_t i = rng.uniformInt(0, flying.size() - 1);
+            sp.complete(flying[i].device, flying[i].worker);
+            flying.erase(flying.begin() + i);
+        }
+    }
+}
+
+TEST(Steering, LoadAccountingNeverNegative)
+{
+    sim::Random rng(7);
+    SteeringPolicy sp(2);
+    std::vector<std::pair<uint32_t, unsigned>> flying;
+    for (int step = 0; step < 2000; ++step) {
+        if (flying.empty() || rng.bernoulli(0.5)) {
+            uint32_t d = uint32_t(rng.uniformInt(0, 3));
+            flying.emplace_back(d, sp.steer(d));
+        } else {
+            auto [d, w] = flying.back();
+            flying.pop_back();
+            sp.complete(d, w);
+        }
+        uint64_t total = sp.workerLoad(0) + sp.workerLoad(1);
+        ASSERT_EQ(total, flying.size());
+    }
+}
+
+} // namespace
+} // namespace vrio::iohost

@@ -1,0 +1,304 @@
+/**
+ * @file
+ * Unit tests for the discrete-event engine: ordering, cancellation,
+ * resources, RNG distributions, tick conversions.
+ */
+#include <gtest/gtest.h>
+
+#include "sim/event_queue.hpp"
+#include "sim/random.hpp"
+#include "sim/resource.hpp"
+#include "sim/simulation.hpp"
+#include "sim/ticks.hpp"
+
+namespace vrio::sim {
+namespace {
+
+TEST(Ticks, Conversions)
+{
+    EXPECT_EQ(kMicrosecond, 1000000u);
+    EXPECT_EQ(bytesToTicks(1250, 10.0), 1000u * kNanosecond); // 1 us
+    // 2200 cycles at 2.2 GHz = 1 us.
+    EXPECT_EQ(cyclesToTicks(2200, 2.2), 1000u * kNanosecond);
+    EXPECT_DOUBLE_EQ(ticksToMicros(kMillisecond), 1000.0);
+    EXPECT_DOUBLE_EQ(ticksToSeconds(kSecond), 1.0);
+}
+
+TEST(EventQueue, ExecutesInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&]() { order.push_back(3); });
+    eq.schedule(10, [&]() { order.push_back(1); });
+    eq.schedule(20, [&]() { order.push_back(2); });
+    eq.runToCompletion();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 30u);
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        eq.schedule(10, [&order, i]() { order.push_back(i); });
+    eq.runToCompletion();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, NestedScheduling)
+{
+    EventQueue eq;
+    Tick fired_at = 0;
+    eq.schedule(10, [&]() {
+        eq.schedule(5, [&]() { fired_at = eq.now(); });
+    });
+    eq.runToCompletion();
+    EXPECT_EQ(fired_at, 15u);
+}
+
+TEST(EventQueue, CancelPreventsExecution)
+{
+    EventQueue eq;
+    bool fired = false;
+    EventHandle h = eq.schedule(10, [&]() { fired = true; });
+    EXPECT_TRUE(h.pending());
+    h.cancel();
+    EXPECT_FALSE(h.pending());
+    eq.runToCompletion();
+    EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, CancelAfterFireIsNoop)
+{
+    EventQueue eq;
+    EventHandle h = eq.schedule(1, []() {});
+    eq.runToCompletion();
+    EXPECT_FALSE(h.pending());
+    h.cancel(); // must not crash
+}
+
+TEST(EventQueue, RunUntilStopsAtLimit)
+{
+    EventQueue eq;
+    int count = 0;
+    eq.schedule(10, [&]() { ++count; });
+    eq.schedule(20, [&]() { ++count; });
+    uint64_t n = eq.runUntil(15);
+    EXPECT_EQ(n, 1u);
+    EXPECT_EQ(count, 1);
+    EXPECT_EQ(eq.now(), 15u);
+    eq.runToCompletion();
+    EXPECT_EQ(count, 2);
+}
+
+TEST(EventQueue, SchedulingIntoThePastPanics)
+{
+    EventQueue eq;
+    eq.schedule(10, []() {});
+    eq.runToCompletion();
+    EXPECT_DEATH(eq.scheduleAt(5, []() {}), "past");
+}
+
+TEST(EventQueue, EmptyReflectsCancelled)
+{
+    EventQueue eq;
+    EventHandle h = eq.schedule(10, []() {});
+    EXPECT_FALSE(eq.empty());
+    h.cancel();
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(Resource, FifoService)
+{
+    EventQueue eq;
+    Resource res(eq, "r");
+    std::vector<int> done;
+    res.submit(10, [&]() { done.push_back(1); });
+    res.submit(10, [&]() { done.push_back(2); });
+    res.submit(10, [&]() { done.push_back(3); });
+    eq.runToCompletion();
+    EXPECT_EQ(done, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 30u); // serialized
+    EXPECT_EQ(res.completed(), 3u);
+    EXPECT_EQ(res.busyTicks(), 30u);
+    EXPECT_EQ(res.contendedJobs(), 2u);
+}
+
+TEST(Resource, MultiServerParallelism)
+{
+    EventQueue eq;
+    Resource res(eq, "r", 2);
+    int done = 0;
+    for (int i = 0; i < 4; ++i)
+        res.submit(10, [&]() { ++done; });
+    eq.runToCompletion();
+    EXPECT_EQ(done, 4);
+    EXPECT_EQ(eq.now(), 20u); // two waves of two
+}
+
+TEST(Resource, WaitHistogramRecordsQueueing)
+{
+    EventQueue eq;
+    Resource res(eq, "r");
+    res.submit(10 * kMicrosecond, []() {});
+    res.submit(10 * kMicrosecond, []() {});
+    eq.runToCompletion();
+    // Second job waited 10 us.
+    EXPECT_DOUBLE_EQ(res.waitHistogram().max(), 10.0);
+    EXPECT_DOUBLE_EQ(res.waitHistogram().min(), 0.0);
+}
+
+TEST(Resource, DeferredServiceTimeComputedAtStart)
+{
+    EventQueue eq;
+    Resource res(eq, "r");
+    int batch = 0;
+    // While the first job runs, "batch" grows; the deferred job reads
+    // it when service begins.
+    Tick measured = 0;
+    res.submit(100, [&]() {});
+    res.submitDeferred(
+        [&]() { return Tick(batch * 10); },
+        [&]() { measured = eq.now(); });
+    eq.schedule(50, [&]() { batch = 7; });
+    eq.runToCompletion();
+    EXPECT_EQ(measured, 170u); // 100 + 7*10
+}
+
+TEST(Resource, UtilizationSampler)
+{
+    EventQueue eq;
+    Resource res(eq, "r");
+    UtilizationSampler sampler(eq, res, 100, 1000);
+    // Busy 50% of each window.
+    for (int i = 0; i < 10; ++i)
+        eq.scheduleAt(i * 100, [&]() { res.submit(50, []() {}); });
+    eq.runUntil(1000);
+    const auto &pts = sampler.series().points();
+    ASSERT_GE(pts.size(), 9u);
+    for (size_t i = 0; i < 9; ++i)
+        EXPECT_NEAR(pts[i].value, 50.0, 1e-9) << "window " << i;
+}
+
+TEST(Random, Deterministic)
+{
+    Random a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Random, UniformBounds)
+{
+    Random r(1);
+    for (int i = 0; i < 10000; ++i) {
+        double u = r.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Random, UniformIntInclusiveBounds)
+{
+    Random r(2);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 10000; ++i) {
+        uint64_t v = r.uniformInt(3, 7);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 7u);
+        saw_lo |= v == 3;
+        saw_hi |= v == 7;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Random, ExponentialMean)
+{
+    Random r(3);
+    double acc = 0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        acc += r.exponential(5.0);
+    EXPECT_NEAR(acc / n, 5.0, 0.1);
+}
+
+TEST(Random, NormalMoments)
+{
+    Random r(4);
+    double acc = 0, acc2 = 0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+        double v = r.normal(10.0, 2.0);
+        acc += v;
+        acc2 += v * v;
+    }
+    double mean = acc / n;
+    double var = acc2 / n - mean * mean;
+    EXPECT_NEAR(mean, 10.0, 0.05);
+    EXPECT_NEAR(var, 4.0, 0.1);
+}
+
+TEST(Random, LognormalMeanTargets)
+{
+    Random r(5);
+    double acc = 0;
+    const int n = 400000;
+    for (int i = 0; i < n; ++i)
+        acc += r.lognormalMean(28.0 * 1024, 1.0);
+    EXPECT_NEAR(acc / n / 1024.0, 28.0, 1.0);
+}
+
+TEST(Random, BernoulliFrequency)
+{
+    Random r(6);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        hits += r.bernoulli(0.25);
+    EXPECT_NEAR(double(hits) / n, 0.25, 0.01);
+}
+
+TEST(Random, SplitStreamsDiffer)
+{
+    Random a(7);
+    Random b = a.split();
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 5);
+}
+
+TEST(Simulation, StatsAndScheduling)
+{
+    Simulation sim(9);
+    int fired = 0;
+    sim.after(10 * kMicrosecond, [&]() { ++fired; });
+    sim.stats().counter("x").inc();
+    sim.runUntil(kSecond);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(sim.now(), kSecond);
+    EXPECT_EQ(sim.stats().counterValue("x"), 1u);
+}
+
+class NamedThing : public SimObject
+{
+  public:
+    using SimObject::SimObject;
+    void
+    touch()
+    {
+        statCounter("hits").inc();
+    }
+};
+
+TEST(SimObject, StatNamesArePrefixed)
+{
+    Simulation sim;
+    NamedThing thing(sim, "rack.widget");
+    thing.touch();
+    EXPECT_EQ(sim.stats().counterValue("rack.widget.hits"), 1u);
+}
+
+} // namespace
+} // namespace vrio::sim

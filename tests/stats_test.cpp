@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Unit tests for the stats module.
+ */
+#include <gtest/gtest.h>
+
+#include "stats/counters.hpp"
+#include "stats/histogram.hpp"
+#include "stats/registry.hpp"
+#include "stats/table.hpp"
+#include "stats/time_series.hpp"
+
+namespace vrio::stats {
+namespace {
+
+TEST(Histogram, BasicMoments)
+{
+    Histogram h;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        h.add(v);
+    EXPECT_EQ(h.count(), 8u);
+    EXPECT_DOUBLE_EQ(h.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(h.stddev(), 2.0);
+    EXPECT_DOUBLE_EQ(h.min(), 2.0);
+    EXPECT_DOUBLE_EQ(h.max(), 9.0);
+    EXPECT_DOUBLE_EQ(h.sum(), 40.0);
+}
+
+TEST(Histogram, EmptyIsZero)
+{
+    Histogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(h.percentile(99), 0.0);
+}
+
+TEST(Histogram, ExactPercentiles)
+{
+    Histogram h;
+    for (int i = 1; i <= 100; ++i)
+        h.add(double(i));
+    EXPECT_DOUBLE_EQ(h.percentile(50), 50.0);
+    EXPECT_DOUBLE_EQ(h.percentile(99), 99.0);
+    EXPECT_DOUBLE_EQ(h.percentile(100), 100.0);
+    EXPECT_DOUBLE_EQ(h.percentile(1), 1.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0), 1.0);
+}
+
+TEST(Histogram, DeepTailPercentiles)
+{
+    // Table 4 needs 99.999%: check nearest-rank at depth.
+    Histogram h;
+    for (int i = 0; i < 100000; ++i)
+        h.add(1.0);
+    h.add(1000.0);
+    EXPECT_DOUBLE_EQ(h.percentile(99.999), 1.0);
+    EXPECT_DOUBLE_EQ(h.percentile(100), 1000.0);
+}
+
+TEST(Histogram, AddAfterPercentileKeepsSorting)
+{
+    Histogram h;
+    h.add(5.0);
+    EXPECT_DOUBLE_EQ(h.percentile(50), 5.0);
+    h.add(1.0);
+    EXPECT_DOUBLE_EQ(h.percentile(50), 1.0);
+    EXPECT_DOUBLE_EQ(h.max(), 5.0);
+}
+
+TEST(Histogram, ResetClearsAll)
+{
+    Histogram h;
+    h.add(3.0);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+}
+
+TEST(RunningStats, MatchesDirectComputation)
+{
+    RunningStats rs;
+    double vals[] = {1, 2, 3, 4, 100};
+    double sum = 0;
+    for (double v : vals) {
+        rs.add(v);
+        sum += v;
+    }
+    EXPECT_EQ(rs.count(), 5u);
+    EXPECT_NEAR(rs.mean(), sum / 5, 1e-12);
+    EXPECT_DOUBLE_EQ(rs.min(), 1.0);
+    EXPECT_DOUBLE_EQ(rs.max(), 100.0);
+    double m = sum / 5;
+    double var = 0;
+    for (double v : vals)
+        var += (v - m) * (v - m);
+    var /= 5;
+    EXPECT_NEAR(rs.variance(), var, 1e-9);
+}
+
+TEST(Counter, IncAndReset)
+{
+    Counter c;
+    c.inc();
+    c.inc(5);
+    EXPECT_EQ(c.value(), 6u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(TimeSeries, RunningAverage)
+{
+    TimeSeries ts;
+    ts.add(0, 10);
+    ts.add(1, 20);
+    ts.add(2, 30);
+    auto avg = ts.runningAverage();
+    ASSERT_EQ(avg.size(), 3u);
+    EXPECT_DOUBLE_EQ(avg[0].value, 10.0);
+    EXPECT_DOUBLE_EQ(avg[1].value, 15.0);
+    EXPECT_DOUBLE_EQ(avg[2].value, 20.0);
+}
+
+TEST(TimeSeries, Resample)
+{
+    TimeSeries ts;
+    ts.add(5, 1);
+    ts.add(15, 3);
+    ts.add(17, 5);
+    ts.add(35, 7);
+    auto out = ts.resample(0, 40, 10);
+    ASSERT_EQ(out.size(), 4u);
+    EXPECT_DOUBLE_EQ(out[0].value, 1.0);
+    EXPECT_DOUBLE_EQ(out[1].value, 4.0); // mean of 3 and 5
+    EXPECT_DOUBLE_EQ(out[2].value, 0.0); // empty window
+    EXPECT_DOUBLE_EQ(out[3].value, 7.0);
+}
+
+TEST(TimeSeries, NonMonotonicTickPanics)
+{
+    TimeSeries ts;
+    ts.add(10, 1);
+    EXPECT_DEATH(ts.add(5, 2), "non-decreasing");
+}
+
+TEST(Registry, CounterLookup)
+{
+    Registry reg;
+    reg.counter("a.x").inc(3);
+    reg.counter("a.y").inc(1);
+    reg.counter("b.z").inc(7);
+    EXPECT_TRUE(reg.hasCounter("a.x"));
+    EXPECT_FALSE(reg.hasCounter("a.w"));
+    EXPECT_EQ(reg.counterValue("b.z"), 7u);
+    EXPECT_EQ(reg.counterValue("missing"), 0u);
+    auto names = reg.counterNames("a.");
+    ASSERT_EQ(names.size(), 2u);
+    EXPECT_EQ(names[0], "a.x");
+}
+
+TEST(Registry, DumpAndReset)
+{
+    Registry reg;
+    reg.counter("c").inc(2);
+    reg.histogram("h").add(1.5);
+    std::string dump = reg.dump();
+    EXPECT_NE(dump.find("c"), std::string::npos);
+    reg.resetAll();
+    EXPECT_EQ(reg.counterValue("c"), 0u);
+    EXPECT_EQ(reg.histogram("h").count(), 0u);
+}
+
+TEST(Table, RendersAlignedColumns)
+{
+    Table t("demo");
+    t.setHeader({"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addRow("beta", {2.5}, 1);
+    std::string s = t.toString();
+    EXPECT_NE(s.find("== demo =="), std::string::npos);
+    EXPECT_NE(s.find("alpha"), std::string::npos);
+    EXPECT_NE(s.find("2.5"), std::string::npos);
+    EXPECT_EQ(t.rowCount(), 2u);
+    EXPECT_EQ(t.cell(1, 1), "2.5");
+}
+
+TEST(Table, CsvOutput)
+{
+    Table t("x");
+    t.setHeader({"a", "b"});
+    t.addRow({"1", "2"});
+    EXPECT_EQ(t.toCsv(), "a,b\n1,2\n");
+}
+
+TEST(Table, ArityMismatchPanics)
+{
+    Table t("x");
+    t.setHeader({"a", "b"});
+    EXPECT_DEATH(t.addRow({"only-one"}), "arity");
+}
+
+} // namespace
+} // namespace vrio::stats

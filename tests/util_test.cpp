@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Unit tests for the util module: byte codecs, CRC32, string helpers.
+ */
+#include <gtest/gtest.h>
+
+#include "util/byte_buffer.hpp"
+#include "util/crc32.hpp"
+#include "util/hexdump.hpp"
+#include "util/strutil.hpp"
+
+namespace vrio {
+namespace {
+
+TEST(ByteWriter, LittleEndianLayout)
+{
+    Bytes buf;
+    ByteWriter w(buf);
+    w.putU16le(0x1234);
+    w.putU32le(0xdeadbeef);
+    w.putU64le(0x0102030405060708ull);
+    ASSERT_EQ(buf.size(), 14u);
+    EXPECT_EQ(buf[0], 0x34);
+    EXPECT_EQ(buf[1], 0x12);
+    EXPECT_EQ(buf[2], 0xef);
+    EXPECT_EQ(buf[5], 0xde);
+    EXPECT_EQ(buf[6], 0x08);
+    EXPECT_EQ(buf[13], 0x01);
+}
+
+TEST(ByteWriter, BigEndianLayout)
+{
+    Bytes buf;
+    ByteWriter w(buf);
+    w.putU16be(0x1234);
+    w.putU32be(0xdeadbeef);
+    EXPECT_EQ(buf[0], 0x12);
+    EXPECT_EQ(buf[1], 0x34);
+    EXPECT_EQ(buf[2], 0xde);
+    EXPECT_EQ(buf[5], 0xef);
+}
+
+TEST(ByteWriter, AppendsToExistingBuffer)
+{
+    Bytes buf = {0xaa};
+    ByteWriter w(buf);
+    w.putU8(0xbb);
+    EXPECT_EQ(buf.size(), 2u);
+    EXPECT_EQ(w.written(), 1u);
+    EXPECT_EQ(buf[0], 0xaa);
+}
+
+TEST(ByteReaderWriter, RoundTripAllWidths)
+{
+    Bytes buf;
+    ByteWriter w(buf);
+    w.putU8(0x7f);
+    w.putU16le(0xbeef);
+    w.putU32le(0xcafebabe);
+    w.putU64le(0x1122334455667788ull);
+    w.putU16be(0xbeef);
+    w.putU32be(0xcafebabe);
+    w.putU64be(0x1122334455667788ull);
+
+    ByteReader r(buf);
+    EXPECT_EQ(r.getU8(), 0x7f);
+    EXPECT_EQ(r.getU16le(), 0xbeef);
+    EXPECT_EQ(r.getU32le(), 0xcafebabeu);
+    EXPECT_EQ(r.getU64le(), 0x1122334455667788ull);
+    EXPECT_EQ(r.getU16be(), 0xbeef);
+    EXPECT_EQ(r.getU32be(), 0xcafebabeu);
+    EXPECT_EQ(r.getU64be(), 0x1122334455667788ull);
+    EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(ByteReader, OverrunPanics)
+{
+    Bytes buf = {1, 2};
+    ByteReader r(buf);
+    EXPECT_DEATH(r.getU32le(), "overrun");
+}
+
+TEST(ByteReader, ViewAndSkip)
+{
+    Bytes buf = {1, 2, 3, 4, 5};
+    ByteReader r(buf);
+    r.skip(1);
+    auto v = r.viewBytes(2);
+    EXPECT_EQ(v[0], 2);
+    EXPECT_EQ(v[1], 3);
+    Bytes rest = r.getBytes(2);
+    EXPECT_EQ(rest, (Bytes{4, 5}));
+}
+
+TEST(Crc32, KnownVectors)
+{
+    // Standard test vector: "123456789" -> 0xcbf43926.
+    const char *s = "123456789";
+    auto data = std::span<const uint8_t>(
+        reinterpret_cast<const uint8_t *>(s), 9);
+    EXPECT_EQ(crc32(data), 0xcbf43926u);
+    EXPECT_EQ(crc32({}), 0u);
+}
+
+TEST(Crc32, IncrementalMatchesOneShot)
+{
+    Bytes data(100);
+    for (size_t i = 0; i < data.size(); ++i)
+        data[i] = uint8_t(i * 7);
+    uint32_t whole = crc32(data);
+    uint32_t part = crc32(std::span<const uint8_t>(data).subspan(0, 37));
+    part = crc32Update(part, std::span<const uint8_t>(data).subspan(37));
+    EXPECT_EQ(whole, part);
+}
+
+TEST(Hexdump, CompactHex)
+{
+    Bytes data = {0xde, 0xad, 0xbe, 0xef};
+    EXPECT_EQ(toHex(data), "deadbeef");
+}
+
+TEST(Hexdump, DumpShowsAsciiGutter)
+{
+    Bytes data = {'h', 'i', 0x00};
+    std::string dump = hexDump(data);
+    EXPECT_NE(dump.find("68 69 00"), std::string::npos);
+    EXPECT_NE(dump.find("|hi.|"), std::string::npos);
+}
+
+TEST(StrUtil, Format)
+{
+    EXPECT_EQ(strFormat("%d-%s", 42, "x"), "42-x");
+}
+
+TEST(StrUtil, SiAbbrev)
+{
+    EXPECT_EQ(siAbbrev(1500.0), "1.5K");
+    EXPECT_EQ(siAbbrev(2.5e6), "2.5M");
+    EXPECT_EQ(siAbbrev(3.0e9, 0), "3G");
+    EXPECT_EQ(siAbbrev(999.0, 0), "999");
+}
+
+TEST(StrUtil, FormatNanos)
+{
+    EXPECT_EQ(formatNanos(500), "500.0 ns");
+    EXPECT_EQ(formatNanos(12300), "12.3 us");
+    EXPECT_EQ(formatNanos(4.5e6), "4.5 ms");
+    EXPECT_EQ(formatNanos(2.0e9), "2.0 s");
+}
+
+TEST(StrUtil, Split)
+{
+    auto parts = splitString("a,b,,c", ',');
+    ASSERT_EQ(parts.size(), 4u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[2], "");
+    EXPECT_EQ(parts[3], "c");
+}
+
+TEST(StrUtil, PadTo)
+{
+    EXPECT_EQ(padTo("ab", 4), "  ab");
+    EXPECT_EQ(padTo("ab", -4), "ab  ");
+    EXPECT_EQ(padTo("abcdef", 4), "abcdef");
+}
+
+} // namespace
+} // namespace vrio

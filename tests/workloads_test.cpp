@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Workload tests: each benchmark driver measures what it claims,
+ * against a real model wiring.
+ */
+#include <gtest/gtest.h>
+
+#include "core/testbed.hpp"
+#include "workloads/filebench.hpp"
+#include "workloads/netperf.hpp"
+#include "workloads/request_response.hpp"
+
+namespace vrio::workloads {
+namespace {
+
+using models::ModelKind;
+using sim::kMillisecond;
+using sim::kSecond;
+
+TEST(NetperfRr, MeasuresClosedLoopLatency)
+{
+    core::Testbed tb(ModelKind::Optimum, 1);
+    tb.settle();
+    auto &gen = tb.generator();
+    NetperfRr rr(gen, gen.newSession(), tb.guest(0), {});
+    rr.start();
+    tb.runFor(100 * kMillisecond);
+
+    EXPECT_GT(rr.transactions(), 1000u);
+    EXPECT_EQ(rr.latencyUs().count(), rr.transactions());
+    // Closed loop: transactions * latency ~ elapsed time.
+    double total_us = rr.latencyUs().mean() * double(rr.transactions());
+    EXPECT_NEAR(total_us, 100e3, 10e3);
+}
+
+TEST(NetperfRr, ResetDiscardsWarmup)
+{
+    core::Testbed tb(ModelKind::Optimum, 1);
+    tb.settle();
+    auto &gen = tb.generator();
+    NetperfRr rr(gen, gen.newSession(), tb.guest(0), {});
+    rr.start();
+    tb.runFor(20 * kMillisecond);
+    uint64_t warm = rr.transactions();
+    EXPECT_GT(warm, 0u);
+    rr.resetStats();
+    EXPECT_EQ(rr.transactions(), 0u);
+    tb.runFor(20 * kMillisecond);
+    EXPECT_GT(rr.transactions(), 0u);
+}
+
+TEST(NetperfStream, ThroughputBoundedByLink)
+{
+    core::Testbed tb(ModelKind::Optimum, 1);
+    tb.settle();
+    auto &gen = tb.generator();
+    models::CostParams costs;
+    NetperfStream st(gen, gen.newSession(), tb.guest(0), costs, {});
+    st.start();
+    tb.runFor(200 * kMillisecond);
+    double gbps = st.throughputGbps(tb.simulation());
+    EXPECT_GT(gbps, 0.3);
+    EXPECT_LT(gbps, 10.0); // the rack links are 10G
+    EXPECT_GT(st.chunksSent(), 0u);
+    EXPECT_GT(st.bytesReceived(), 0u);
+}
+
+TEST(NetperfStream, GuestCyclesLimitThroughput)
+{
+    // Doubling the per-message cost should roughly halve throughput
+    // (the guest vCPU is the bottleneck).
+    auto run = [](double msg_cycles) {
+        models::CostParams costs;
+        costs.stream_msg_cycles = msg_cycles;
+        core::TestbedOptions options;
+        options.costs = costs;
+        core::Testbed tb(ModelKind::Optimum, 1, options);
+        tb.settle();
+        auto &gen = tb.generator();
+        NetperfStream st(gen, gen.newSession(), tb.guest(0), costs, {});
+        st.start();
+        tb.runFor(200 * kMillisecond);
+        return st.throughputGbps(tb.simulation());
+    };
+    double base = run(1300);
+    double slow = run(2600);
+    EXPECT_NEAR(slow / base, 0.5, 0.08);
+}
+
+TEST(RequestResponse, ApacheConfigShapesTraffic)
+{
+    auto cfg = RequestResponseServer::apache();
+    EXPECT_GT(cfg.resp_pad, 8u * 1024);
+    EXPECT_GT(cfg.resp_frames, 1u);
+    EXPECT_GT(cfg.server_cycles,
+              RequestResponseServer::memcached().server_cycles);
+}
+
+TEST(RequestResponse, CompletesAndMeasures)
+{
+    core::Testbed tb(ModelKind::Vrio, 1);
+    tb.settle();
+    auto &gen = tb.generator();
+    RequestResponseServer srv(gen, gen.newSession(), tb.guest(0),
+                              RequestResponseServer::memcached());
+    srv.start();
+    tb.runFor(100 * kMillisecond);
+    EXPECT_GT(srv.completed(), 100u);
+    EXPECT_GT(srv.throughputTps(tb.simulation()), 1000.0);
+    EXPECT_GT(srv.latencyUs().mean(), 10.0);
+}
+
+TEST(RequestResponse, ConcurrencyRaisesThroughput)
+{
+    auto run = [](unsigned conc) {
+        core::Testbed tb(ModelKind::Vrio, 1);
+        tb.settle();
+        auto &gen = tb.generator();
+        auto cfg = RequestResponseServer::memcached();
+        cfg.concurrency = conc;
+        cfg.server_cycles = 40000;
+        RequestResponseServer srv(gen, gen.newSession(), tb.guest(0),
+                                  cfg);
+        srv.start();
+        tb.runFor(100 * kMillisecond);
+        return srv.throughputTps(tb.simulation());
+    };
+    EXPECT_GT(run(8), run(1) * 1.5);
+}
+
+core::TestbedOptions
+blockOptions()
+{
+    core::TestbedOptions options;
+    options.configure = [](models::ModelConfig &mc) {
+        mc.with_block = true;
+    };
+    return options;
+}
+
+TEST(FilebenchRandom, ReadsAndWritesComplete)
+{
+    core::Testbed tb(ModelKind::Elvis, 1, blockOptions());
+    tb.settle();
+    FilebenchRandom::Config cfg;
+    cfg.readers = 1;
+    cfg.writers = 1;
+    FilebenchRandom fb(tb.guest(0), tb.simulation().random().split(),
+                       cfg);
+    fb.start();
+    tb.runFor(100 * kMillisecond);
+    EXPECT_GT(fb.readOps(), 100u);
+    EXPECT_GT(fb.writeOps(), 100u);
+    EXPECT_EQ(fb.ioErrors(), 0u);
+    EXPECT_EQ(fb.opsCompleted(), fb.readOps() + fb.writeOps());
+    EXPECT_GT(fb.opsPerSec(tb.simulation()), 1000.0);
+}
+
+TEST(FilebenchRandom, MoreThreadsMoreOps)
+{
+    auto run = [](unsigned readers) {
+        core::Testbed tb(ModelKind::Vrio, 1, blockOptions());
+        tb.settle();
+        FilebenchRandom::Config cfg;
+        cfg.readers = readers;
+        FilebenchRandom fb(tb.guest(0),
+                           tb.simulation().random().split(), cfg);
+        fb.start();
+        tb.runFor(100 * kMillisecond);
+        return fb.opsPerSec(tb.simulation());
+    };
+    EXPECT_GT(run(4), run(1) * 1.8);
+}
+
+TEST(FilebenchRandom, RequiresBlockDevice)
+{
+    core::Testbed tb(ModelKind::Elvis, 1); // no block device
+    EXPECT_DEATH(FilebenchRandom(tb.guest(0),
+                                 tb.simulation().random().split(),
+                                 FilebenchRandom::Config{}),
+                 "block device");
+}
+
+TEST(FilebenchWebserver, ReadsFilesAndAppendsLog)
+{
+    core::Testbed tb(ModelKind::Elvis, 1, blockOptions());
+    tb.settle();
+    FilebenchWebserver::Config cfg;
+    cfg.app_cycles = 50000; // lighter than default for a quick test
+    FilebenchWebserver ws(tb.guest(0),
+                          tb.simulation().random().split(), cfg);
+    ws.start();
+    tb.runFor(200 * kMillisecond);
+    EXPECT_GT(ws.opsCompleted(), 100u);
+    EXPECT_GT(ws.bytesRead(), 1u << 20);
+    EXPECT_GT(ws.throughputMbps(tb.simulation()), 10.0);
+}
+
+TEST(FilebenchWebserver, FileSizesAverageNearMean)
+{
+    core::Testbed tb(ModelKind::Elvis, 1, blockOptions());
+    tb.settle();
+    FilebenchWebserver::Config cfg;
+    cfg.app_cycles = 20000;
+    FilebenchWebserver ws(tb.guest(0),
+                          tb.simulation().random().split(), cfg);
+    ws.start();
+    tb.runFor(400 * kMillisecond);
+    double mean_file = double(ws.bytesRead()) / double(ws.opsCompleted());
+    // Log-normal with mean 28KB, sector-rounded reads.
+    EXPECT_GT(mean_file, 20.0 * 1024);
+    EXPECT_LT(mean_file, 40.0 * 1024);
+}
+
+} // namespace
+} // namespace vrio::workloads
