@@ -1,8 +1,128 @@
 #include "common.hpp"
 
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+#include <thread>
+
 #include "util/logging.hpp"
 
 namespace vrio::bench {
+
+unsigned
+SweepRunner::defaultJobs()
+{
+    if (const char *env = std::getenv("VRIO_BENCH_JOBS")) {
+        long v = std::atol(env);
+        if (v >= 1)
+            return unsigned(v);
+        vrio_warn("ignoring bad VRIO_BENCH_JOBS='", env, "'");
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+SweepRunner::SweepRunner(unsigned jobs)
+    : njobs(jobs > 0 ? jobs : defaultJobs())
+{}
+
+void
+SweepRunner::add(std::string label, std::function<void()> task)
+{
+    cells.push_back(Cell{std::move(label), std::move(task)});
+}
+
+std::shared_ptr<RrResult>
+SweepRunner::netperfRr(models::ModelKind kind, unsigned n_vms,
+                       SweepOptions opt)
+{
+    std::string label = std::string("rr ") + models::modelKindName(kind) +
+                        " n=" + std::to_string(n_vms);
+    return defer<RrResult>(std::move(label), [kind, n_vms, opt]() {
+        return runNetperfRr(kind, n_vms, opt);
+    });
+}
+
+std::shared_ptr<StreamResult>
+SweepRunner::netperfStream(models::ModelKind kind, unsigned n_vms,
+                           SweepOptions opt)
+{
+    std::string label = std::string("stream ") +
+                        models::modelKindName(kind) +
+                        " n=" + std::to_string(n_vms);
+    return defer<StreamResult>(std::move(label), [kind, n_vms, opt]() {
+        return runNetperfStream(kind, n_vms, opt);
+    });
+}
+
+std::shared_ptr<TpsResult>
+SweepRunner::requestResponse(models::ModelKind kind, unsigned n_vms,
+                             workloads::RequestResponseServer::Config wcfg,
+                             SweepOptions opt)
+{
+    std::string label = std::string("reqresp ") +
+                        models::modelKindName(kind) +
+                        " n=" + std::to_string(n_vms);
+    return defer<TpsResult>(std::move(label),
+                            [kind, n_vms, wcfg, opt]() {
+                                return runRequestResponse(kind, n_vms,
+                                                          wcfg, opt);
+                            });
+}
+
+void
+SweepRunner::runCell(Cell &cell, bool verbose)
+{
+    if (!verbose) {
+        cell.task();
+        return;
+    }
+    auto t0 = std::chrono::steady_clock::now();
+    cell.task();
+    double ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+    // stderr so stdout tables stay byte-identical.
+    static std::mutex io_mutex;
+    std::lock_guard<std::mutex> lock(io_mutex);
+    std::fprintf(stderr, "[sweep] %-32s %9.1f ms\n", cell.label.c_str(),
+                 ms);
+}
+
+void
+SweepRunner::run()
+{
+    const char *env = std::getenv("VRIO_BENCH_VERBOSE");
+    bool verbose = env && env[0] == '1';
+
+    unsigned workers = unsigned(std::min<size_t>(njobs, cells.size()));
+    if (workers <= 1) {
+        for (Cell &cell : cells)
+            runCell(cell, verbose);
+        cells.clear();
+        return;
+    }
+
+    std::atomic<size_t> next{0};
+    auto worker = [this, &next, verbose]() {
+        while (true) {
+            size_t i = next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= cells.size())
+                return;
+            runCell(cells[i], verbose);
+        }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w)
+        pool.emplace_back(worker);
+    for (auto &t : pool)
+        t.join();
+    cells.clear();
+}
 
 using models::ModelConfig;
 using models::ModelKind;

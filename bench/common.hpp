@@ -7,7 +7,9 @@
 #ifndef VRIO_BENCH_COMMON_HPP
 #define VRIO_BENCH_COMMON_HPP
 
+#include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/testbed.hpp"
@@ -84,6 +86,78 @@ struct TpsResult
 TpsResult runRequestResponse(models::ModelKind kind, unsigned n_vms,
                              workloads::RequestResponseServer::Config wcfg,
                              const SweepOptions &opt);
+
+/**
+ * Parallel executor for independent sweep cells.
+ *
+ * Each cell builds its own self-contained Experiment + Simulation, so
+ * cells share no mutable state and can run on a thread pool.  Results
+ * land in per-cell slots handed out at defer time; consuming them in
+ * defer order after run() yields tables byte-identical to a
+ * sequential sweep regardless of worker count or scheduling.
+ *
+ * Worker count: explicit constructor argument, else the
+ * VRIO_BENCH_JOBS environment variable, else hardware_concurrency.
+ * Set VRIO_BENCH_VERBOSE=1 to log per-cell wall-clock to stderr
+ * (stdout stays byte-identical).
+ */
+class SweepRunner
+{
+  public:
+    /** @param jobs worker threads; 0 = defaultJobs(). */
+    explicit SweepRunner(unsigned jobs = 0);
+
+    /** VRIO_BENCH_JOBS, else hardware_concurrency, else 1. */
+    static unsigned defaultJobs();
+
+    unsigned jobs() const { return njobs; }
+
+    /**
+     * Queue a cell computing a value of type T; the returned slot is
+     * filled during run().  @p fn must be self-contained (no shared
+     * mutable state with other cells).
+     */
+    template <typename T, typename Fn>
+    std::shared_ptr<T>
+    defer(std::string label, Fn fn)
+    {
+        auto slot = std::make_shared<T>();
+        add(std::move(label),
+            [slot, fn = std::move(fn)]() { *slot = fn(); });
+        return slot;
+    }
+
+    /** Queue a Netperf UDP RR cell (see runNetperfRr). */
+    std::shared_ptr<RrResult> netperfRr(models::ModelKind kind,
+                                        unsigned n_vms, SweepOptions opt);
+
+    /** Queue a Netperf stream cell (see runNetperfStream). */
+    std::shared_ptr<StreamResult> netperfStream(models::ModelKind kind,
+                                                unsigned n_vms,
+                                                SweepOptions opt);
+
+    /** Queue a request/response macrobenchmark cell. */
+    std::shared_ptr<TpsResult>
+    requestResponse(models::ModelKind kind, unsigned n_vms,
+                    workloads::RequestResponseServer::Config wcfg,
+                    SweepOptions opt);
+
+    /** Execute all queued cells; returns once every slot is filled. */
+    void run();
+
+  private:
+    struct Cell
+    {
+        std::string label;
+        std::function<void()> task;
+    };
+
+    unsigned njobs;
+    std::vector<Cell> cells;
+
+    void add(std::string label, std::function<void()> task);
+    void runCell(Cell &cell, bool verbose);
+};
 
 /** Merge a histogram's samples into another. */
 void mergeHistogram(stats::Histogram &into, const stats::Histogram &from);

@@ -26,13 +26,22 @@ main()
     table.setHeader({"vms", "optimum", "vrio", "elvis", "vrio w/o poll",
                      "baseline"});
 
+    bench::SweepRunner runner;
+    std::vector<std::vector<std::shared_ptr<bench::TpsResult>>> cells;
+    for (unsigned n = 1; n <= 7; ++n) {
+        cells.emplace_back();
+        for (ModelKind kind : kinds) {
+            cells.back().push_back(runner.requestResponse(
+                kind, n, workloads::RequestResponseServer::apache(),
+                opt));
+        }
+    }
+    runner.run();
+
     for (unsigned n = 1; n <= 7; ++n) {
         std::vector<double> row;
-        for (ModelKind kind : kinds) {
-            auto res = bench::runRequestResponse(
-                kind, n, workloads::RequestResponseServer::apache(), opt);
-            row.push_back(res.total_tps);
-        }
+        for (const auto &res : cells[n - 1])
+            row.push_back(res->total_tps);
         table.addRow(std::to_string(n), row, 0);
     }
 

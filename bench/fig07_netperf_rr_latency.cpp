@@ -32,17 +32,26 @@ main()
                      "IOhost contention [%]");
     gap.setHeader({"vms", "latency gap", "contention"});
 
+    bench::SweepRunner runner;
+    std::vector<std::vector<std::shared_ptr<bench::RrResult>>> cells;
+    for (unsigned n = 1; n <= 7; ++n) {
+        cells.emplace_back();
+        for (ModelKind kind : kinds)
+            cells.back().push_back(runner.netperfRr(kind, n, opt));
+    }
+    runner.run();
+
     for (unsigned n = 1; n <= 7; ++n) {
         std::vector<double> row;
         double vrio_mean = 0, optimum_mean = 0, vrio_contention = 0;
-        for (ModelKind kind : kinds) {
-            auto res = bench::runNetperfRr(kind, n, opt);
+        for (size_t k = 0; k < std::size(kinds); ++k) {
+            const bench::RrResult &res = *cells[n - 1][k];
             row.push_back(res.latency_us.mean());
-            if (kind == ModelKind::Vrio) {
+            if (kinds[k] == ModelKind::Vrio) {
                 vrio_mean = res.latency_us.mean();
                 vrio_contention = res.contended_fraction;
             }
-            if (kind == ModelKind::Optimum)
+            if (kinds[k] == ModelKind::Optimum)
                 optimum_mean = res.latency_us.mean();
         }
         table.addRow(std::to_string(n), row, 1);

@@ -23,12 +23,19 @@ main()
                        "number of VMs");
     table.setHeader({"vms", "optimum", "elvis", "vrio", "baseline"});
 
+    bench::SweepRunner runner;
+    std::vector<std::vector<std::shared_ptr<bench::StreamResult>>> cells;
+    for (unsigned n = 1; n <= 7; ++n) {
+        cells.emplace_back();
+        for (ModelKind kind : kinds)
+            cells.back().push_back(runner.netperfStream(kind, n, opt));
+    }
+    runner.run();
+
     for (unsigned n = 1; n <= 7; ++n) {
         std::vector<double> row;
-        for (ModelKind kind : kinds) {
-            auto res = bench::runNetperfStream(kind, n, opt);
-            row.push_back(res.total_gbps);
-        }
+        for (const auto &res : cells[n - 1])
+            row.push_back(res->total_gbps);
         table.addRow(std::to_string(n), row, 2);
     }
 

@@ -33,16 +33,29 @@ main()
          workloads::RequestResponseServer::apache(), "Ktps"},
     };
 
+    bench::SweepRunner runner;
+    // cells[workload][n-1][kind]
+    std::vector<std::vector<std::vector<std::shared_ptr<bench::TpsResult>>>>
+        cells;
     for (const Wl &wl : wls) {
-        stats::Table table(wl.name);
+        cells.emplace_back();
+        for (unsigned n = 1; n <= 7; ++n) {
+            cells.back().emplace_back();
+            for (ModelKind kind : kinds) {
+                cells.back().back().push_back(
+                    runner.requestResponse(kind, n, wl.cfg, opt));
+            }
+        }
+    }
+    runner.run();
+
+    for (size_t w = 0; w < std::size(wls); ++w) {
+        stats::Table table(wls[w].name);
         table.setHeader({"vms", "optimum", "vrio", "elvis", "baseline"});
         for (unsigned n = 1; n <= 7; ++n) {
             std::vector<double> row;
-            for (ModelKind kind : kinds) {
-                auto res =
-                    bench::runRequestResponse(kind, n, wl.cfg, opt);
-                row.push_back(res.total_tps / 1000.0);
-            }
+            for (const auto &res : cells[w][n - 1])
+                row.push_back(res->total_tps / 1000.0);
             table.addRow(std::to_string(n), row, 1);
         }
         std::printf("%s\n", table.toString().c_str());

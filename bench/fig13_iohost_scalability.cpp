@@ -28,18 +28,32 @@ main()
     stats::Table thr("Figure 13b: Netperf stream throughput [Gbps]");
     thr.setHeader({"vms", "1 sidecore", "2 sidecores", "4 sidecores"});
 
+    bench::SweepRunner runner;
+    std::vector<std::vector<std::shared_ptr<bench::RrResult>>> rr_cells;
+    std::vector<std::vector<std::shared_ptr<bench::StreamResult>>>
+        st_cells;
     for (unsigned n = 4; n <= 28; n += 4) {
-        std::vector<double> lat_row, thr_row;
+        rr_cells.emplace_back();
+        st_cells.emplace_back();
         for (unsigned sc : sidecore_counts) {
             bench::SweepOptions opt;
             opt.vmhosts = 4;
             opt.generators = 4;
             opt.sidecores = sc;
             opt.measure = sim::Tick(150) * sim::kMillisecond;
-            auto rr = bench::runNetperfRr(ModelKind::Vrio, n, opt);
-            lat_row.push_back(rr.latency_us.mean());
-            auto st = bench::runNetperfStream(ModelKind::Vrio, n, opt);
-            thr_row.push_back(st.total_gbps);
+            rr_cells.back().push_back(
+                runner.netperfRr(ModelKind::Vrio, n, opt));
+            st_cells.back().push_back(
+                runner.netperfStream(ModelKind::Vrio, n, opt));
+        }
+    }
+    runner.run();
+
+    for (unsigned n = 4, row = 0; n <= 28; n += 4, ++row) {
+        std::vector<double> lat_row, thr_row;
+        for (size_t i = 0; i < std::size(sidecore_counts); ++i) {
+            lat_row.push_back(rr_cells[row][i]->latency_us.mean());
+            thr_row.push_back(st_cells[row][i]->total_gbps);
         }
         lat.addRow(std::to_string(n), lat_row, 1);
         thr.addRow(std::to_string(n), thr_row, 2);

@@ -34,17 +34,22 @@ const uint8_t kSbox[256] = {
     0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f, 0xb0,
     0x54, 0xbb, 0x16};
 
-uint8_t kInvSbox[256];
-bool g_inv_ready = false;
-
-void
-initInvSbox()
+struct InvSbox
 {
-    if (!g_inv_ready) {
+    uint8_t table[256];
+    InvSbox()
+    {
         for (int i = 0; i < 256; ++i)
-            kInvSbox[kSbox[i]] = uint8_t(i);
-        g_inv_ready = true;
+            table[kSbox[i]] = uint8_t(i);
     }
+};
+
+/** Thread-safe lazy init (magic static) for parallel sweep workers. */
+const uint8_t *
+invSbox()
+{
+    static const InvSbox inv;
+    return inv.table;
 }
 
 inline uint8_t
@@ -85,7 +90,6 @@ rotWord(uint32_t w)
 
 Aes::Aes(std::span<const uint8_t> key)
 {
-    initInvSbox();
     int nk;
     switch (key.size()) {
       case 16:
@@ -184,9 +188,9 @@ Aes::decryptBlock(uint8_t b[kBlockSize]) const
             b[4 * c + 3] ^= uint8_t(w);
         }
     };
-    auto invSubBytes = [&]() {
+    auto invSubBytes = [&, inv = invSbox()]() {
         for (int i = 0; i < 16; ++i)
-            b[i] = kInvSbox[b[i]];
+            b[i] = inv[b[i]];
     };
     auto invShiftRows = [&]() {
         uint8_t t;

@@ -13,13 +13,13 @@ Core::Core(sim::Simulation &sim, std::string name, double ghz)
 }
 
 void
-Core::run(double cycles, std::function<void()> done)
+Core::run(double cycles, sim::Resource::JobFn done)
 {
     res.submit(sim::cyclesToTicks(cycles, ghz_), std::move(done));
 }
 
 void
-Core::runFor(sim::Tick duration, std::function<void()> done)
+Core::runFor(sim::Tick duration, sim::Resource::JobFn done)
 {
     res.submit(duration, std::move(done));
 }

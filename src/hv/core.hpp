@@ -25,10 +25,10 @@ class Core : public sim::SimObject
     double ghz() const { return ghz_; }
 
     /** Execute @p cycles of work; @p done runs at completion. */
-    void run(double cycles, std::function<void()> done);
+    void run(double cycles, sim::Resource::JobFn done);
 
     /** Execute @p duration of work (already in ticks). */
-    void runFor(sim::Tick duration, std::function<void()> done);
+    void runFor(sim::Tick duration, sim::Resource::JobFn done);
 
     /** Underlying queueing resource (for utilization sampling). */
     sim::Resource &resource() { return res; }

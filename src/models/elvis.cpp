@@ -37,6 +37,7 @@ class ElvisModel::Endpoint : public GuestEndpoint
 
     uint32_t device_id() const { return 0x0e00 + vm_index; }
     unsigned sidecoreSlot() const { return sidecore_slot; }
+    unsigned vmIndex() const { return vm_index; }
 
     hv::Vm &vm() override { return vm_; }
     net::MacAddress mac() const override { return f_mac; }
@@ -443,7 +444,7 @@ ElvisModel::notifyTx(unsigned host, Endpoint *ep)
 {
     Host &hst = hosts[host];
     unsigned s = ep->sidecoreSlot();
-    hst.tx_pending[s].insert(ep);
+    hst.tx_pending[s].emplace(ep->vmIndex(), ep);
     if (!hst.pump_scheduled[s]) {
         hst.pump_scheduled[s] = true;
         rack_.sim().events().schedule(cfg_.costs.elvis_poll_pickup,
@@ -460,7 +461,7 @@ ElvisModel::pumpSidecore(unsigned host, unsigned s)
     hst.pump_scheduled[s] = false;
     auto pending = std::move(hst.tx_pending[s]);
     hst.tx_pending[s].clear();
-    for (Endpoint *ep : pending)
+    for (auto &[vm_index, ep] : pending)
         ep->sidecoreDrainTx();
 }
 

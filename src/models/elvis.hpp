@@ -13,7 +13,7 @@
 #ifndef VRIO_MODELS_ELVIS_HPP
 #define VRIO_MODELS_ELVIS_HPP
 
-#include <set>
+#include <map>
 
 #include "block/disk_scheduler.hpp"
 #include "models/io_model.hpp"
@@ -47,8 +47,14 @@ class ElvisModel : public IoModel
         unsigned first_sidecore = 0;
         unsigned num_sidecores = 1;
         std::vector<Endpoint *> vms;
-        /** VMs with unpolled TX work, per sidecore slot. */
-        std::vector<std::set<Endpoint *>> tx_pending;
+        /**
+         * VMs with unpolled TX work, per sidecore slot, keyed by VM
+         * index.  Keyed (rather than a set of pointers) so that drain
+         * order never depends on heap addresses — pointer ordering
+         * varies with the thread's allocation history and broke
+         * run-to-run determinism under the parallel sweep runner.
+         */
+        std::vector<std::map<unsigned, Endpoint *>> tx_pending;
         std::vector<bool> pump_scheduled;
     };
 

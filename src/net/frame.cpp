@@ -1,12 +1,14 @@
 #include "net/frame.hpp"
 
+#include "net/frame_pool.hpp"
+
 namespace vrio::net {
 
 FramePtr
 makeFrame(const EtherHeader &hdr, std::span<const uint8_t> payload,
           uint64_t pad)
 {
-    auto f = std::make_shared<Frame>();
+    FramePtr f = FramePool::local().acquire();
     ByteWriter w(f->bytes);
     hdr.encode(w);
     w.putBytes(payload);

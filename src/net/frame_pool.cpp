@@ -1,0 +1,79 @@
+#include "net/frame_pool.hpp"
+
+namespace vrio::net {
+
+namespace {
+
+/**
+ * Trivially-destructible flag, so the recycler can tell whether the
+ * thread's pool (a non-trivial thread_local) is still alive.  Frames
+ * released after pool teardown fall back to plain delete.
+ */
+thread_local bool tls_pool_alive = false;
+
+} // namespace
+
+FramePool::FramePool()
+{
+    tls_pool_alive = true;
+}
+
+FramePool::~FramePool()
+{
+    tls_pool_alive = false;
+    for (Frame *f : free)
+        delete f;
+}
+
+FramePool &
+FramePool::local()
+{
+    thread_local FramePool pool;
+    return pool;
+}
+
+FramePtr
+FramePool::acquire()
+{
+    Frame *f;
+    if (!free.empty()) {
+        f = free.back();
+        free.pop_back();
+        ++reused_;
+    } else {
+        f = new Frame();
+        ++allocated_;
+    }
+    return FramePtr(f, [](Frame *frame) { detail::recycleFrame(frame); });
+}
+
+void
+FramePool::release(Frame *frame)
+{
+    if (free.size() >= kMaxFree ||
+        frame->bytes.capacity() > kMaxRetainedCapacity) {
+        delete frame;
+        return;
+    }
+    frame->bytes.clear(); // keeps capacity
+    frame->pad = 0;
+    frame->trace_id = 0;
+    frame->born = 0;
+    free.push_back(frame);
+}
+
+namespace detail {
+
+void
+recycleFrame(Frame *frame)
+{
+    if (!tls_pool_alive) {
+        delete frame;
+        return;
+    }
+    FramePool::local().release(frame);
+}
+
+} // namespace detail
+
+} // namespace vrio::net

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Recycling allocator for Frame objects.
+ *
+ * Every simulated packet allocates a Frame plus its payload vector;
+ * across the NIC/link/switch/transport path those allocations (and
+ * their frees) dominated bench wall-clock.  The pool keeps returned
+ * Frames — with their payload capacity — on a per-thread free list so
+ * steady-state traffic reuses warm buffers instead of hitting the
+ * allocator per packet.
+ *
+ * The pool is thread-local: each sweep cell (one Simulation per
+ * worker thread) gets its own free list, so parallel benches share
+ * nothing.  Frames are created and released on the same thread in
+ * normal use; a frame released on a thread whose pool is gone is
+ * simply deleted.
+ */
+#ifndef VRIO_NET_FRAME_POOL_HPP
+#define VRIO_NET_FRAME_POOL_HPP
+
+#include <vector>
+
+#include "net/frame.hpp"
+
+namespace vrio::net {
+
+namespace detail {
+/** shared_ptr deleter target: return @p frame to its thread's pool. */
+void recycleFrame(Frame *frame);
+} // namespace detail
+
+class FramePool
+{
+  public:
+    FramePool();
+    ~FramePool();
+
+    FramePool(const FramePool &) = delete;
+    FramePool &operator=(const FramePool &) = delete;
+
+    /** The calling thread's pool. */
+    static FramePool &local();
+
+    /**
+     * An empty Frame (cleared fields, retained payload capacity),
+     * recycled back here when the last reference drops.
+     */
+    FramePtr acquire();
+
+    // -- statistics ------------------------------------------------
+    uint64_t reused() const { return reused_; }
+    uint64_t allocated() const { return allocated_; }
+    size_t freeListSize() const { return free.size(); }
+
+  private:
+    /** Free-list bound; beyond this, released frames are deleted. */
+    static constexpr size_t kMaxFree = 4096;
+    /** Don't hoard jumbo payload buffers (TSO bursts). */
+    static constexpr size_t kMaxRetainedCapacity = 64 * 1024;
+
+    std::vector<Frame *> free;
+    uint64_t reused_ = 0;
+    uint64_t allocated_ = 0;
+
+    friend void detail::recycleFrame(Frame *frame);
+    void release(Frame *frame);
+};
+
+} // namespace vrio::net
+
+#endif // VRIO_NET_FRAME_POOL_HPP

@@ -1,5 +1,6 @@
 #include "net/switch.hpp"
 
+#include "net/frame_pool.hpp"
 #include "util/logging.hpp"
 
 namespace vrio::net {
@@ -41,8 +42,14 @@ Switch::ingress(size_t port_index, FramePtr frame)
             // Unknown unicast or broadcast/multicast: flood.
             ++flooded;
             for (size_t i = 0; i < ports.size(); ++i) {
-                if (i != port_index && ports[i]->link())
-                    egress(i, std::make_shared<Frame>(*frame));
+                if (i != port_index && ports[i]->link()) {
+                    FramePtr copy = FramePool::local().acquire();
+                    copy->bytes = frame->bytes;
+                    copy->pad = frame->pad;
+                    copy->trace_id = frame->trace_id;
+                    copy->born = frame->born;
+                    egress(i, std::move(copy));
+                }
             }
         });
 }

@@ -1,5 +1,6 @@
 #include "net/tso.hpp"
 
+#include "net/frame_pool.hpp"
 #include "net/inet.hpp"
 #include "util/logging.hpp"
 
@@ -46,7 +47,7 @@ tsoSegment(const Frame &frame, uint32_t mtu)
     do {
         uint32_t chunk =
             std::min<uint32_t>(mss, uint32_t(payload.size()) - offset);
-        auto seg = std::make_shared<Frame>();
+        FramePtr seg = FramePool::local().acquire();
         ByteWriter w(seg->bytes);
         eh.encode(w);
         Ipv4Header seg_ip = ip;

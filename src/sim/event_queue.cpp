@@ -1,5 +1,6 @@
 #include "sim/event_queue.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "util/logging.hpp"
@@ -9,67 +10,138 @@ namespace vrio::sim {
 void
 EventHandle::cancel()
 {
-    if (state)
-        state->cancelled = true;
+    if (queue && queue->cancelSlot(slot, generation))
+        queue = nullptr; // inert from now on
 }
 
 bool
 EventHandle::pending() const
 {
-    return state && !state->cancelled && !state->fired;
+    return queue && queue->slotPending(slot, generation);
+}
+
+uint32_t
+EventQueue::allocSlot(Callback fn)
+{
+    uint32_t idx;
+    if (free_head != kNoSlot) {
+        idx = free_head;
+        free_head = slots[idx].next_free;
+    } else {
+        idx = uint32_t(slots.size());
+        slots.emplace_back();
+    }
+    Slot &s = slots[idx];
+    s.fn = std::move(fn);
+    s.armed = true;
+    ++live_count;
+    return idx;
+}
+
+EventQueue::Callback
+EventQueue::releaseSlot(uint32_t slot)
+{
+    Slot &s = slots[slot];
+    Callback fn = std::move(s.fn);
+    s.fn = nullptr;
+    s.armed = false;
+    ++s.generation;
+    s.next_free = free_head;
+    free_head = slot;
+    --live_count;
+    return fn;
+}
+
+bool
+EventQueue::cancelSlot(uint32_t slot, uint32_t gen)
+{
+    if (slot >= slots.size() || !slots[slot].armed ||
+        slots[slot].generation != gen) {
+        return false; // already fired/cancelled, or slot was reused
+    }
+    releaseSlot(slot); // drops the closure immediately
+    ++stale_count;     // its heap entry is now lazily deleted
+    compactIfBloated();
+    return true;
+}
+
+bool
+EventQueue::slotPending(uint32_t slot, uint32_t gen) const
+{
+    return slot < slots.size() && slots[slot].armed &&
+           slots[slot].generation == gen;
 }
 
 EventHandle
-EventQueue::scheduleAt(Tick when, std::function<void()> fn)
+EventQueue::scheduleAt(Tick when, Callback fn)
 {
     vrio_assert(when >= now_, "scheduling into the past: ", when, " < ",
                 now_);
+    uint32_t slot = allocSlot(std::move(fn));
     EventHandle handle;
-    handle.state = std::make_shared<EventHandle::State>();
-    heap.push(Entry{when, next_seq++, std::move(fn), handle.state});
+    handle.queue = this;
+    handle.slot = slot;
+    handle.generation = slots[slot].generation;
+    heap.push_back(Entry{when, next_seq++, slot, slots[slot].generation});
+    std::push_heap(heap.begin(), heap.end(), later);
     return handle;
 }
 
 EventHandle
-EventQueue::schedule(Tick delay, std::function<void()> fn)
+EventQueue::schedule(Tick delay, Callback fn)
 {
     return scheduleAt(now_ + delay, std::move(fn));
 }
 
 void
-EventQueue::skim()
+EventQueue::skimTop()
 {
-    while (!heap.empty() && heap.top().state->cancelled)
-        heap.pop();
+    while (!heap.empty()) {
+        const Entry &top = heap.front();
+        if (slots[top.slot].armed && slots[top.slot].generation == top.gen)
+            return;
+        std::pop_heap(heap.begin(), heap.end(), later);
+        heap.pop_back();
+        --stale_count;
+    }
 }
 
-bool
-EventQueue::empty() const
+void
+EventQueue::compactIfBloated()
 {
-    // skim() is non-const; emulate by checking live entries lazily.
-    auto *self = const_cast<EventQueue *>(this);
-    self->skim();
-    return heap.empty();
+    // Rebuilding is O(n); only worth it once stale entries dominate.
+    if (stale_count < 64 || stale_count * 2 < heap.size())
+        return;
+    std::erase_if(heap, [this](const Entry &e) {
+        return !slots[e.slot].armed || slots[e.slot].generation != e.gen;
+    });
+    std::make_heap(heap.begin(), heap.end(), later);
+    stale_count = 0;
 }
 
 Tick
 EventQueue::nextEventTick() const
 {
     vrio_assert(!empty(), "nextEventTick on an empty queue");
-    return heap.top().when;
+    auto *self = const_cast<EventQueue *>(this);
+    self->skimTop();
+    return heap.front().when;
 }
 
 bool
 EventQueue::step()
 {
-    skim();
+    skimTop();
     if (heap.empty())
         return false;
-    Entry entry = std::move(const_cast<Entry &>(heap.top()));
-    heap.pop();
+    Entry entry = heap.front();
+    std::pop_heap(heap.begin(), heap.end(), later);
+    heap.pop_back();
     now_ = entry.when;
-    entry.state->fired = true;
-    entry.fn();
+    // Move the closure out before invoking: the callback may schedule
+    // new events and reallocate the slot vector.
+    Callback fn = releaseSlot(entry.slot);
+    fn();
     return true;
 }
 
@@ -78,8 +150,8 @@ EventQueue::runUntil(Tick limit)
 {
     uint64_t executed = 0;
     while (true) {
-        skim();
-        if (heap.empty() || heap.top().when > limit) {
+        skimTop();
+        if (heap.empty() || heap.front().when > limit) {
             // Time advances to the limit even when idle, so periodic
             // reporting and utilization windows line up.
             if (limit > now_)

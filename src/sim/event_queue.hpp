@@ -6,24 +6,33 @@
  * insertion order, which makes simulations fully deterministic for a
  * given seed.  Events can be cancelled (used heavily by the
  * retransmission timers of the vRIO block protocol).
+ *
+ * Hot-path design: the heap holds 24-byte POD entries; the callback
+ * itself lives in a free-listed slot pool and is stored inline (no
+ * heap closure) for captures up to ~96 bytes.  Handles refer to slots
+ * by (index, generation) — no shared_ptr state — so cancellation is a
+ * generation check.  Cancelled entries are removed from the heap
+ * lazily; compaction keeps long-lived cancelled timers (retransmit
+ * pattern) from bloating the heap.
  */
 #ifndef VRIO_SIM_EVENT_QUEUE_HPP
 #define VRIO_SIM_EVENT_QUEUE_HPP
 
 #include <cstdint>
-#include <functional>
-#include <memory>
-#include <queue>
 #include <vector>
 
+#include "sim/small_function.hpp"
 #include "sim/ticks.hpp"
 
 namespace vrio::sim {
 
+class EventQueue;
+
 /**
  * Handle to a scheduled event.  Default-constructed handles are inert.
  * The handle does not own the event; cancelling after the event fired
- * is a harmless no-op.
+ * is a harmless no-op, and a stale handle can never affect a later
+ * event that reuses the same slot (the generation check fails).
  */
 class EventHandle
 {
@@ -37,28 +46,28 @@ class EventHandle
 
   private:
     friend class EventQueue;
-    struct State
-    {
-        bool cancelled = false;
-        bool fired = false;
-    };
-    std::shared_ptr<State> state;
+    EventQueue *queue = nullptr;
+    uint32_t slot = 0;
+    uint32_t generation = 0;
 };
 
 class EventQueue
 {
   public:
+    /** Callback type; inline up to 96 bytes of capture. */
+    using Callback = SmallFunction<void(), 96>;
+
     /** Current simulated time. */
     Tick now() const { return now_; }
 
     /** Schedule @p fn at absolute time @p when (>= now). */
-    EventHandle scheduleAt(Tick when, std::function<void()> fn);
+    EventHandle scheduleAt(Tick when, Callback fn);
 
     /** Schedule @p fn @p delay ticks from now. */
-    EventHandle schedule(Tick delay, std::function<void()> fn);
+    EventHandle schedule(Tick delay, Callback fn);
 
     /** True when no runnable events remain. */
-    bool empty() const;
+    bool empty() const { return live_count == 0; }
 
     /** Next pending event time; panics when empty. */
     Tick nextEventTick() const;
@@ -78,31 +87,68 @@ class EventQueue
     /** Execute exactly one event if one exists; returns false if idle. */
     bool step();
 
+    // -- introspection (tests / microbenchmarks) -------------------
+    /** Live (scheduled, not fired/cancelled) events. */
+    size_t liveEvents() const { return live_count; }
+    /** Heap entries resident, including lazily-deleted ones. */
+    size_t heapSize() const { return heap.size(); }
+    /** Callback slots ever allocated (pool high-water mark). */
+    size_t slotCapacity() const { return slots.size(); }
+
   private:
+    friend class EventHandle;
+
+    static constexpr uint32_t kNoSlot = UINT32_MAX;
+
+    /**
+     * Pooled callback storage.  `generation` increments every time the
+     * slot is released (fire or cancel), invalidating old handles.
+     */
+    struct Slot
+    {
+        Callback fn;
+        uint32_t generation = 0;
+        uint32_t next_free = kNoSlot;
+        bool armed = false;
+    };
+
+    /** POD heap entry; the closure stays in the slot pool. */
     struct Entry
     {
         Tick when;
         uint64_t seq;
-        std::function<void()> fn;
-        std::shared_ptr<EventHandle::State> state;
-    };
-    struct Later
-    {
-        bool
-        operator()(const Entry &a, const Entry &b) const
-        {
-            if (a.when != b.when)
-                return a.when > b.when;
-            return a.seq > b.seq;
-        }
+        uint32_t slot;
+        uint32_t gen;
     };
 
-    std::priority_queue<Entry, std::vector<Entry>, Later> heap;
+    /** std::push_heap is a max-heap; invert to pop earliest first. */
+    static bool
+    later(const Entry &a, const Entry &b)
+    {
+        if (a.when != b.when)
+            return a.when > b.when;
+        return a.seq > b.seq;
+    }
+
+    std::vector<Entry> heap;
+    std::vector<Slot> slots;
+    uint32_t free_head = kNoSlot;
+    size_t live_count = 0;   ///< armed slots
+    size_t stale_count = 0;  ///< cancelled entries still in the heap
     Tick now_ = 0;
     uint64_t next_seq = 0;
 
-    /** Drop cancelled entries from the top of the heap. */
-    void skim();
+    uint32_t allocSlot(Callback fn);
+    /** Take the callback out and recycle the slot. */
+    Callback releaseSlot(uint32_t slot);
+
+    bool cancelSlot(uint32_t slot, uint32_t gen);
+    bool slotPending(uint32_t slot, uint32_t gen) const;
+
+    /** Drop lazily-deleted entries from the top of the heap. */
+    void skimTop();
+    /** Rebuild the heap without stale entries once they dominate. */
+    void compactIfBloated();
 };
 
 } // namespace vrio::sim

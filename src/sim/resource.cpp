@@ -13,7 +13,7 @@ Resource::Resource(EventQueue &eq, std::string name, unsigned servers)
 }
 
 void
-Resource::submit(Tick service_time, std::function<void()> on_done)
+Resource::submit(Tick service_time, JobFn on_done)
 {
     Job job;
     job.service = service_time;
@@ -28,8 +28,7 @@ Resource::submit(Tick service_time, std::function<void()> on_done)
 }
 
 void
-Resource::submitDeferred(std::function<Tick()> make_job,
-                         std::function<void()> on_done)
+Resource::submitDeferred(ServiceFn make_job, JobFn on_done)
 {
     Job job;
     job.service = 0;
@@ -53,7 +52,7 @@ Resource::beginService(Job job)
     Tick service =
         job.make_service ? job.make_service() : job.service;
     auto done = std::move(job.on_done);
-    eq.schedule(service, [this, service, done = std::move(done)]() {
+    eq.schedule(service, [this, service, done = std::move(done)]() mutable {
         busy_ticks += service;
         ++completed_;
         --busy;

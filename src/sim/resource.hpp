@@ -13,7 +13,6 @@
 #define VRIO_SIM_RESOURCE_HPP
 
 #include <deque>
-#include <functional>
 #include <string>
 
 #include "sim/event_queue.hpp"
@@ -32,13 +31,17 @@ class Resource
      * @param servers number of identical servers (a dual-socket core
      *        pool is `servers = ncores`; a link transmitter is 1).
      */
+    /** Completion/service callbacks; inline up to 64 bytes of capture. */
+    using JobFn = SmallFunction<void(), 64>;
+    using ServiceFn = SmallFunction<Tick(), 64>;
+
     Resource(EventQueue &eq, std::string name, unsigned servers = 1);
 
     /**
      * Enqueue a job of length @p service_time; @p on_done runs at
      * completion time.  Jobs are served FIFO.
      */
-    void submit(Tick service_time, std::function<void()> on_done);
+    void submit(Tick service_time, JobFn on_done);
 
     /**
      * Like submit() but the job's service time is only determined when
@@ -46,8 +49,7 @@ class Resource
      * on what has accumulated).  @p make_job returns the service time
      * and is invoked at service start; @p on_done runs at completion.
      */
-    void submitDeferred(std::function<Tick()> make_job,
-                        std::function<void()> on_done);
+    void submitDeferred(ServiceFn make_job, JobFn on_done);
 
     const std::string &name() const { return name_; }
     unsigned servers() const { return nservers; }
@@ -76,8 +78,8 @@ class Resource
     struct Job
     {
         Tick service;
-        std::function<Tick()> make_service;
-        std::function<void()> on_done;
+        ServiceFn make_service;
+        JobFn on_done;
         Tick enqueued;
     };
 

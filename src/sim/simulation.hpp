@@ -30,7 +30,7 @@ class Simulation
     void runToCompletion() { eq.runToCompletion(); }
 
     /** Schedule @p fn after @p delay. */
-    EventHandle after(Tick delay, std::function<void()> fn)
+    EventHandle after(Tick delay, EventQueue::Callback fn)
     {
         return eq.schedule(delay, std::move(fn));
     }

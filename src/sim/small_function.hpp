@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Small-buffer-optimized move-only callable.
+ *
+ * The event queue fires tens of millions of closures per simulated
+ * second; std::function heap-allocates for anything beyond two words
+ * of capture, which made closure allocation the single hottest line
+ * in end-to-end benches.  SmallFunction stores captures up to
+ * `Inline` bytes in place (no allocation, no atomic refcounts) and
+ * falls back to the heap only for oversized captures.
+ *
+ * Move-only on purpose: event callbacks are consumed exactly once,
+ * and copyability is what forces std::function to box everything.
+ */
+#ifndef VRIO_SIM_SMALL_FUNCTION_HPP
+#define VRIO_SIM_SMALL_FUNCTION_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace vrio::sim {
+
+template <typename Sig, size_t Inline = 48> class SmallFunction;
+
+template <typename R, typename... Args, size_t Inline>
+class SmallFunction<R(Args...), Inline>
+{
+  public:
+    SmallFunction() = default;
+    SmallFunction(std::nullptr_t) {}
+
+    /** Wrap any callable; inline when it fits, heap-boxed otherwise. */
+    template <typename F,
+              typename = std::enable_if_t<!std::is_same_v<
+                  std::decay_t<F>, SmallFunction>>>
+    SmallFunction(F &&fn)
+    {
+        using Fn = std::decay_t<F>;
+        static_assert(std::is_invocable_r_v<R, Fn &, Args...>,
+                      "callable signature mismatch");
+        if constexpr (sizeof(Fn) <= Inline &&
+                      alignof(Fn) <= alignof(std::max_align_t)) {
+            ::new (storage()) Fn(std::forward<F>(fn));
+            invoke_ = [](void *s, Args &&...args) -> R {
+                return (*std::launder(reinterpret_cast<Fn *>(s)))(
+                    std::forward<Args>(args)...);
+            };
+            manage_ = [](Op op, void *s, void *dst) {
+                Fn *self = std::launder(reinterpret_cast<Fn *>(s));
+                if (op == Op::MoveTo)
+                    ::new (dst) Fn(std::move(*self));
+                self->~Fn();
+            };
+        } else {
+            *reinterpret_cast<Fn **>(storage()) =
+                new Fn(std::forward<F>(fn));
+            invoke_ = [](void *s, Args &&...args) -> R {
+                return (**reinterpret_cast<Fn **>(s))(
+                    std::forward<Args>(args)...);
+            };
+            manage_ = [](Op op, void *s, void *dst) {
+                Fn **self = reinterpret_cast<Fn **>(s);
+                if (op == Op::MoveTo) {
+                    *reinterpret_cast<Fn **>(dst) = *self;
+                    return; // ownership transferred, nothing to delete
+                }
+                delete *self;
+            };
+        }
+    }
+
+    SmallFunction(SmallFunction &&other) noexcept { moveFrom(other); }
+
+    SmallFunction &
+    operator=(SmallFunction &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            moveFrom(other);
+        }
+        return *this;
+    }
+
+    SmallFunction &
+    operator=(std::nullptr_t) noexcept
+    {
+        reset();
+        return *this;
+    }
+
+    SmallFunction(const SmallFunction &) = delete;
+    SmallFunction &operator=(const SmallFunction &) = delete;
+
+    ~SmallFunction() { reset(); }
+
+    explicit operator bool() const { return invoke_ != nullptr; }
+
+    R
+    operator()(Args... args)
+    {
+        return invoke_(storage(), std::forward<Args>(args)...);
+    }
+
+  private:
+    enum class Op { MoveTo, Destroy };
+    using InvokeFn = R (*)(void *, Args &&...);
+    using ManageFn = void (*)(Op, void *, void *);
+
+    alignas(std::max_align_t) unsigned char buf[Inline];
+    InvokeFn invoke_ = nullptr;
+    ManageFn manage_ = nullptr;
+
+    void *storage() { return buf; }
+
+    void
+    reset()
+    {
+        if (manage_)
+            manage_(Op::Destroy, storage(), nullptr);
+        invoke_ = nullptr;
+        manage_ = nullptr;
+    }
+
+    void
+    moveFrom(SmallFunction &other) noexcept
+    {
+        if (other.manage_) {
+            other.manage_(Op::MoveTo, other.storage(), storage());
+            invoke_ = other.invoke_;
+            manage_ = other.manage_;
+            other.invoke_ = nullptr;
+            other.manage_ = nullptr;
+        }
+    }
+};
+
+} // namespace vrio::sim
+
+#endif // VRIO_SIM_SMALL_FUNCTION_HPP

@@ -1,5 +1,6 @@
 #include "transport/encap.hpp"
 
+#include "net/frame_pool.hpp"
 #include "util/logging.hpp"
 
 namespace vrio::transport {
@@ -15,7 +16,7 @@ encapsulate(net::MacAddress src, net::MacAddress dst, uint32_t wire_msg_id,
                 "header total_len ", hdr.total_len, " != payload ",
                 payload.size());
 
-    auto frame = std::make_shared<net::Frame>();
+    net::FramePtr frame = net::FramePool::local().acquire();
     ByteWriter w(frame->bytes);
 
     net::EtherHeader eh;

@@ -1,24 +1,27 @@
 #include "util/logging.hpp"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 
 namespace vrio {
 
 namespace {
-LogLevel g_level = LogLevel::Normal;
+// Atomic so parallel sweep workers can read the level while another
+// thread (or main) sets it.
+std::atomic<LogLevel> g_level{LogLevel::Normal};
 } // namespace
 
 void
 setLogLevel(LogLevel level)
 {
-    g_level = level;
+    g_level.store(level, std::memory_order_relaxed);
 }
 
 LogLevel
 logLevel()
 {
-    return g_level;
+    return g_level.load(std::memory_order_relaxed);
 }
 
 namespace detail {
@@ -40,21 +43,21 @@ fatalImpl(const char *file, int line, const std::string &msg)
 void
 warnImpl(const std::string &msg)
 {
-    if (g_level >= LogLevel::Normal)
+    if (g_level.load(std::memory_order_relaxed) >= LogLevel::Normal)
         std::fprintf(stderr, "warn: %s\n", msg.c_str());
 }
 
 void
 informImpl(const std::string &msg)
 {
-    if (g_level >= LogLevel::Normal)
+    if (g_level.load(std::memory_order_relaxed) >= LogLevel::Normal)
         std::fprintf(stderr, "info: %s\n", msg.c_str());
 }
 
 void
 debugImpl(const std::string &msg)
 {
-    if (g_level >= LogLevel::Debug)
+    if (g_level.load(std::memory_order_relaxed) >= LogLevel::Debug)
         std::fprintf(stderr, "debug: %s\n", msg.c_str());
 }
 

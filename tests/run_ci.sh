@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Full CI sweep: sanitizer build + optimized build, the whole test
+# suite under both, and the simulator hot-path microbenchmark so
+# events/sec regressions show up in CI logs.
+#
+# Usage: tests/run_ci.sh [jobs]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${1:-$(nproc)}"
+
+run() {
+    echo "+ $*" >&2
+    "$@"
+}
+
+echo "== Debug + ASan/UBSan =="
+run cmake -B build-ci-asan -S . \
+    -DCMAKE_BUILD_TYPE=Debug \
+    -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all"
+run cmake --build build-ci-asan -j "$JOBS"
+run ctest --test-dir build-ci-asan --output-on-failure -j "$JOBS"
+
+echo "== Release =="
+run cmake -B build-ci-release -S . -DCMAKE_BUILD_TYPE=Release
+run cmake --build build-ci-release -j "$JOBS"
+run ctest --test-dir build-ci-release --output-on-failure -j "$JOBS"
+
+echo "== Simulator hot-path microbenchmark (Release) =="
+run ./build-ci-release/bench/micro_sim_hotpath
+
+echo "CI OK"

@@ -109,6 +109,136 @@ TEST(EventQueue, EmptyReflectsCancelled)
     EXPECT_TRUE(eq.empty());
 }
 
+TEST(EventQueue, CancelledTimersDoNotBloatHeap)
+{
+    // Retransmit pattern: arm a long timer, complete fast, cancel.
+    // The seed queue kept every cancelled entry resident until its
+    // tick was reached (~100k entries here); compaction must keep the
+    // heap near the live-event count instead.
+    EventQueue eq;
+    const int kTimers = 100000;
+    size_t peak_heap = 0;
+    for (int i = 0; i < kTimers; ++i) {
+        EventHandle h =
+            eq.schedule(Tick(10) * kMillisecond, []() {});
+        h.cancel();
+        peak_heap = std::max(peak_heap, eq.heapSize());
+    }
+    EXPECT_TRUE(eq.empty());
+    EXPECT_LT(peak_heap, 1024u);
+    EXPECT_LT(eq.heapSize(), 256u);
+}
+
+TEST(EventQueue, CancelBurstCompacts)
+{
+    // Burst-arm many timers, then cancel them all at once.
+    EventQueue eq;
+    std::vector<EventHandle> timers;
+    for (int i = 0; i < 100000; ++i)
+        timers.push_back(eq.schedule(Tick(i + 1) * kMicrosecond, []() {}));
+    EXPECT_EQ(eq.heapSize(), 100000u);
+    for (auto &h : timers)
+        h.cancel();
+    EXPECT_TRUE(eq.empty());
+    // Lazy deletion plus compaction: bulk cancellation must not leave
+    // the heap full of dead entries.
+    EXPECT_LT(eq.heapSize(), 256u);
+}
+
+TEST(EventQueue, SlotPoolIsRecycled)
+{
+    // Steady-state schedule/fire must reuse a handful of slots, not
+    // grow storage per event.
+    EventQueue eq;
+    for (int i = 0; i < 10000; ++i) {
+        eq.schedule(1, []() {});
+        eq.step();
+    }
+    EXPECT_LT(eq.slotCapacity(), 16u);
+}
+
+TEST(EventQueue, StaleHandleCannotCancelReusedSlot)
+{
+    EventQueue eq;
+    bool first_fired = false, second_fired = false;
+    EventHandle a = eq.schedule(10, [&]() { first_fired = true; });
+    a.cancel();
+    // The slot freed by `a` is reused by `b`.
+    EventHandle b = eq.schedule(20, [&]() { second_fired = true; });
+    EXPECT_FALSE(a.pending());
+    EXPECT_TRUE(b.pending());
+    a.cancel(); // stale generation: must not touch b
+    EXPECT_TRUE(b.pending());
+    eq.runToCompletion();
+    EXPECT_FALSE(first_fired);
+    EXPECT_TRUE(second_fired);
+}
+
+TEST(EventQueue, StaleHandleNotPendingAfterReuse)
+{
+    EventQueue eq;
+    EventHandle a = eq.schedule(10, []() {});
+    eq.runToCompletion(); // a fired; slot released
+    EventHandle b = eq.schedule(10, []() {});
+    EXPECT_FALSE(a.pending());
+    EXPECT_TRUE(b.pending());
+    a.cancel(); // no-op on the reused slot
+    EXPECT_TRUE(b.pending());
+    eq.runToCompletion();
+    EXPECT_FALSE(b.pending());
+}
+
+TEST(EventQueue, HandlesSurviveManyReuses)
+{
+    EventQueue eq;
+    EventHandle first = eq.schedule(1, []() {});
+    eq.runToCompletion();
+    // Cycle the same slot many times; the original handle must stay
+    // inert through every generation.
+    for (int i = 0; i < 1000; ++i) {
+        bool fired = false;
+        EventHandle h = eq.schedule(1, [&]() { fired = true; });
+        EXPECT_FALSE(first.pending());
+        first.cancel();
+        EXPECT_TRUE(h.pending());
+        eq.runToCompletion();
+        EXPECT_TRUE(fired);
+    }
+}
+
+TEST(SmallFunction, InlineAndHeapCaptures)
+{
+    int hits = 0;
+    SmallFunction<void(), 48> small([&hits]() { ++hits; });
+    EXPECT_TRUE(bool(small));
+    small();
+    EXPECT_EQ(hits, 1);
+
+    // Oversized capture takes the heap path; still callable and
+    // move-correct.
+    struct Big
+    {
+        uint64_t data[16] = {};
+    } big;
+    big.data[0] = 7;
+    SmallFunction<void(), 48> large([&hits, big]() {
+        hits += int(big.data[0]);
+    });
+    SmallFunction<void(), 48> moved = std::move(large);
+    EXPECT_FALSE(bool(large));
+    moved();
+    EXPECT_EQ(hits, 8);
+}
+
+TEST(SmallFunction, MoveOnlyCapture)
+{
+    auto p = std::make_unique<int>(41);
+    SmallFunction<int(), 48> fn(
+        [p = std::move(p)]() { return *p + 1; });
+    SmallFunction<int(), 48> fn2 = std::move(fn);
+    EXPECT_EQ(fn2(), 42);
+}
+
 TEST(Resource, FifoService)
 {
     EventQueue eq;

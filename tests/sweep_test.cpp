@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Determinism contract of bench::SweepRunner: the same cells produce
+ * bit-identical results whether executed inline, on one worker, or on
+ * eight workers.  Guards against accidental cross-cell shared state
+ * and against iteration orders that depend on heap addresses.
+ */
+#include <gtest/gtest.h>
+
+#include "common.hpp"
+
+using namespace vrio;
+using bench::RrResult;
+using bench::StreamResult;
+using bench::SweepOptions;
+using bench::SweepRunner;
+using models::ModelKind;
+
+namespace {
+
+SweepOptions
+quickOptions()
+{
+    SweepOptions opt;
+    opt.warmup = sim::Tick(5) * sim::kMillisecond;
+    opt.measure = sim::Tick(20) * sim::kMillisecond;
+    return opt;
+}
+
+struct SweepOutput
+{
+    std::vector<RrResult> rr;
+    std::vector<StreamResult> stream;
+};
+
+/** The same small sweep every test variant runs: a mix of models,
+ *  including Elvis whose sidecore drain order is the historically
+ *  fragile part. */
+SweepOutput
+runSweep(unsigned jobs)
+{
+    SweepRunner runner(jobs);
+    const SweepOptions opt = quickOptions();
+
+    std::vector<std::shared_ptr<RrResult>> rr_cells;
+    rr_cells.push_back(runner.netperfRr(ModelKind::Vrio, 2, opt));
+    rr_cells.push_back(runner.netperfRr(ModelKind::Elvis, 3, opt));
+    rr_cells.push_back(runner.netperfRr(ModelKind::Baseline, 2, opt));
+
+    std::vector<std::shared_ptr<StreamResult>> st_cells;
+    st_cells.push_back(runner.netperfStream(ModelKind::Vrio, 2, opt));
+    st_cells.push_back(runner.netperfStream(ModelKind::Elvis, 2, opt));
+
+    runner.run();
+
+    SweepOutput out;
+    for (const auto &cell : rr_cells)
+        out.rr.push_back(*cell);
+    for (const auto &cell : st_cells)
+        out.stream.push_back(*cell);
+    return out;
+}
+
+void
+expectBitIdentical(const SweepOutput &a, const SweepOutput &b)
+{
+    ASSERT_EQ(a.rr.size(), b.rr.size());
+    for (size_t i = 0; i < a.rr.size(); ++i) {
+        EXPECT_EQ(a.rr[i].transactions, b.rr[i].transactions)
+            << "rr cell " << i;
+        EXPECT_EQ(a.rr[i].contended_fraction, b.rr[i].contended_fraction)
+            << "rr cell " << i;
+        // Raw sample vectors, element by element: any divergence in
+        // event order shows up here long before it moves a mean.
+        const auto &sa = a.rr[i].latency_us.raw();
+        const auto &sb = b.rr[i].latency_us.raw();
+        ASSERT_EQ(sa.size(), sb.size()) << "rr cell " << i;
+        for (size_t k = 0; k < sa.size(); ++k)
+            ASSERT_EQ(sa[k], sb[k])
+                << "rr cell " << i << " sample " << k;
+    }
+    ASSERT_EQ(a.stream.size(), b.stream.size());
+    for (size_t i = 0; i < a.stream.size(); ++i) {
+        EXPECT_EQ(a.stream[i].total_gbps, b.stream[i].total_gbps)
+            << "stream cell " << i;
+        EXPECT_EQ(a.stream[i].cycles_per_msg, b.stream[i].cycles_per_msg)
+            << "stream cell " << i;
+    }
+}
+
+} // namespace
+
+TEST(SweepRunner, OneVsEightWorkersBitIdentical)
+{
+    SweepOutput one = runSweep(1);
+    SweepOutput eight = runSweep(8);
+    expectBitIdentical(one, eight);
+}
+
+TEST(SweepRunner, MatchesDirectSequentialCalls)
+{
+    SweepOutput pooled = runSweep(4);
+    const SweepOptions opt = quickOptions();
+
+    SweepOutput direct;
+    direct.rr.push_back(bench::runNetperfRr(ModelKind::Vrio, 2, opt));
+    direct.rr.push_back(bench::runNetperfRr(ModelKind::Elvis, 3, opt));
+    direct.rr.push_back(bench::runNetperfRr(ModelKind::Baseline, 2, opt));
+    direct.stream.push_back(
+        bench::runNetperfStream(ModelKind::Vrio, 2, opt));
+    direct.stream.push_back(
+        bench::runNetperfStream(ModelKind::Elvis, 2, opt));
+
+    expectBitIdentical(pooled, direct);
+}
+
+TEST(SweepRunner, RepeatedRunsBitIdentical)
+{
+    // Same worker count twice: shakes out any dependence on the
+    // allocator state left behind by the first run.
+    SweepOutput first = runSweep(8);
+    SweepOutput second = runSweep(8);
+    expectBitIdentical(first, second);
+}
+
+TEST(SweepRunner, DefaultJobsRespectsEnvironment)
+{
+    // Whatever the environment says, an explicit constructor argument
+    // wins and jobs() reports it.
+    SweepRunner runner(3);
+    EXPECT_EQ(runner.jobs(), 3u);
+    EXPECT_GE(SweepRunner::defaultJobs(), 1u);
+}
