@@ -113,6 +113,29 @@ benchCancelChurn(uint64_t total, size_t *peak_heap)
     return rate;
 }
 
+/**
+ * Same-tick batch firing: many events share each tick (bursty arrival
+ * pattern — a TSO chunk's segments, a poll batch's completions).
+ * runUntil() pops the whole tick cohort in one pass instead of
+ * re-entering the scheduler loop per event; this measures that path.
+ */
+double
+benchSameTickBatch(uint64_t total)
+{
+    EventQueue eq;
+    uint64_t fired = 0;
+    const unsigned cohort = 64; ///< events per tick
+    const unsigned ticks = 8;
+    auto t0 = std::chrono::steady_clock::now();
+    while (fired < total) {
+        for (unsigned t = 1; t <= ticks; ++t)
+            for (unsigned i = 0; i < cohort; ++i)
+                eq.schedule(Tick(t), [&fired]() { ++fired; });
+        eq.runToCompletion();
+    }
+    return double(fired) / secondsSince(t0);
+}
+
 /** Frame build/drop throughput with a ring-sized live window. */
 double
 benchFrameChurn(uint64_t total)
@@ -166,6 +189,8 @@ main()
     size_t peak = 0;
     std::printf("cancel_churn_timers_per_sec: %.0f\n",
                 benchCancelChurn(kEvents, &peak));
+    std::printf("same_tick_batch_events_per_sec: %.0f\n",
+                benchSameTickBatch(kEvents));
     std::printf("resource_jobs_per_sec: %.0f\n",
                 benchResourceChurn(kEvents / 2));
     std::printf("frames_per_sec: %.0f\n", benchFrameChurn(kFrames));

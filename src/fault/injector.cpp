@@ -1,0 +1,175 @@
+#include "fault/injector.hpp"
+
+#include "models/vrio.hpp"
+#include "util/logging.hpp"
+
+namespace vrio::fault {
+
+FaultInjector::FaultInjector(sim::Simulation &sim, std::string name,
+                             FaultPlan plan)
+    : SimObject(sim, std::move(name)), plan_(std::move(plan)),
+      rng(sim::Random(plan_.seed).split("fault"))
+{}
+
+FaultInjector::~FaultInjector()
+{
+    // Leave links usable if the injector dies first.
+    for (net::Link *link : links)
+        link->setFaultHook(nullptr);
+}
+
+void
+FaultInjector::attachLink(net::Link &link)
+{
+    link.setFaultHook(this);
+    links.push_back(&link);
+}
+
+void
+FaultInjector::attachIoHost(iohost::IoHypervisor &hv)
+{
+    vrio_assert(!iohv || iohv == &hv, "injector already owns an IOhost");
+    iohv = &hv;
+}
+
+void
+FaultInjector::attachRxRing(net::Nic &nic)
+{
+    rings.push_back(&nic);
+}
+
+void
+FaultInjector::attach(models::VrioModel &model)
+{
+    for (net::Link *link : model.channelLinks())
+        attachLink(*link);
+    attachIoHost(model.hypervisor());
+    for (net::Nic *nic : model.iohostClientNics())
+        attachRxRing(*nic);
+}
+
+void
+FaultInjector::arm()
+{
+    vrio_assert(!armed, "injector armed twice");
+    armed = true;
+    vrio_assert(plan_.outages.empty() || iohv,
+                "outage windows need an attached IOhost");
+    vrio_assert(plan_.stalls.empty() || iohv,
+                "stall windows need an attached IOhost");
+    vrio_assert(plan_.squeezes.empty() || !rings.empty(),
+                "squeeze windows need attached RX rings");
+
+    auto &eq = sim().events();
+    for (const OutageWindow &w : plan_.outages) {
+        if (w.at < eq.now()) {
+            vrio_warn("skipping outage scheduled in the past");
+            continue;
+        }
+        eq.scheduleAt(w.at, [this, w]() { beginOutage(w); });
+        eq.scheduleAt(w.at + w.duration, [this]() { endOutage(); });
+    }
+    for (const StallWindow &w : plan_.stalls) {
+        if (w.at < eq.now()) {
+            vrio_warn("skipping stall scheduled in the past");
+            continue;
+        }
+        eq.scheduleAt(w.at, [this, w]() { beginStall(w); });
+    }
+    for (const RxSqueezeWindow &w : plan_.squeezes) {
+        if (w.at < eq.now()) {
+            vrio_warn("skipping squeeze scheduled in the past");
+            continue;
+        }
+        eq.scheduleAt(w.at, [this, w]() { beginSqueeze(w); });
+        eq.scheduleAt(w.at + w.duration, [this]() { endSqueeze(); });
+    }
+}
+
+void
+FaultInjector::beginOutage(const OutageWindow &)
+{
+    ++outage_count;
+    statCounter("outages").inc();
+    iohv->setOffline(true);
+}
+
+void
+FaultInjector::endOutage()
+{
+    iohv->setOffline(false);
+}
+
+void
+FaultInjector::beginStall(const StallWindow &w)
+{
+    statCounter("stalls").inc();
+    // Occupy the sidecore with dead time; queued work resumes after.
+    iohv->workerCore(w.worker).runFor(w.duration, []() {});
+}
+
+void
+FaultInjector::beginSqueeze(const RxSqueezeWindow &w)
+{
+    statCounter("squeezes").inc();
+    for (net::Nic *nic : rings)
+        nic->setRxRingLimit(w.limit);
+}
+
+void
+FaultInjector::endSqueeze()
+{
+    for (net::Nic *nic : rings)
+        nic->setRxRingLimit(0);
+}
+
+net::FaultVerdict
+FaultInjector::onTransmit(net::Link &, int, const net::Frame &)
+{
+    net::FaultVerdict v;
+    const LinkFaultSpec &spec = plan_.channel;
+    // Inactive spec: no draw at all, so attaching a disarmed injector
+    // cannot perturb anything downstream.
+    if (!spec.active())
+        return v;
+
+    // One uniform draw decides the frame's fate; the fault classes
+    // partition [0, 1).
+    double u = rng.uniform();
+    double acc = spec.drop_rate;
+    if (u < acc) {
+        ++drops;
+        statCounter("injected.drop").inc();
+        v.kind = net::FaultVerdict::Kind::Drop;
+        return v;
+    }
+    acc += spec.corrupt_rate;
+    if (u < acc) {
+        ++corrupts;
+        statCounter("injected.corrupt").inc();
+        v.kind = net::FaultVerdict::Kind::Corrupt;
+        return v;
+    }
+    acc += spec.delay_rate;
+    if (u < acc) {
+        ++delays;
+        statCounter("injected.delay").inc();
+        v.kind = net::FaultVerdict::Kind::Delay;
+        v.extra_delay =
+            sim::Tick(rng.exponential(double(spec.delay_mean)));
+        return v;
+    }
+    acc += spec.reorder_rate;
+    if (u < acc) {
+        ++reorders;
+        statCounter("injected.reorder").inc();
+        // Holding this frame for a fixed window lets frames serialized
+        // behind it arrive first.
+        v.kind = net::FaultVerdict::Kind::Delay;
+        v.extra_delay = spec.reorder_window;
+        return v;
+    }
+    return v;
+}
+
+} // namespace vrio::fault

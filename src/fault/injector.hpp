@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Deterministic fault injector.
+ *
+ * Realizes a fault::FaultPlan against live simulation objects:
+ * interposes on net::Link transmissions (drop / corrupt / delay /
+ * reorder), clamps NIC RX rings, stalls sidecores, and crashes the
+ * I/O hypervisor for scripted windows.
+ *
+ * Determinism contract: all randomness comes from a private RNG
+ * stream derived as sim::Random(plan.seed).split("fault"), so the
+ * workload RNG sees exactly the draws it would see in a fault-free
+ * run.  An injector built from an empty plan — or one whose link spec
+ * is all-zero — makes no draws and schedules nothing, leaving the
+ * event schedule bit-identical to a run with no injector attached.
+ *
+ * Every injected fault and triggered window is counted under
+ * "<name>.*" in the simulation's stats::Registry.
+ */
+#ifndef VRIO_FAULT_INJECTOR_HPP
+#define VRIO_FAULT_INJECTOR_HPP
+
+#include <vector>
+
+#include "fault/plan.hpp"
+#include "iohost/io_hypervisor.hpp"
+#include "net/link.hpp"
+#include "net/nic.hpp"
+#include "sim/simulation.hpp"
+
+namespace vrio::models {
+class VrioModel;
+}
+
+namespace vrio::fault {
+
+class FaultInjector : public sim::SimObject, public net::LinkFaultHook
+{
+  public:
+    FaultInjector(sim::Simulation &sim, std::string name, FaultPlan plan);
+    ~FaultInjector() override;
+
+    /** Apply the plan's channel spec to frames crossing @p link. */
+    void attachLink(net::Link &link);
+
+    /** Target for outage and stall windows. */
+    void attachIoHost(iohost::IoHypervisor &iohv);
+
+    /** Target for RX-ring squeeze windows. */
+    void attachRxRing(net::Nic &nic);
+
+    /**
+     * Convenience wiring for the vRIO model: every T-channel link,
+     * the I/O hypervisor, and every IOhost-side client NIC.
+     */
+    void attach(models::VrioModel &model);
+
+    /**
+     * Schedule the plan's timeline (outages, stalls, squeezes) at
+     * absolute simulation ticks.  Call once, after attaching targets
+     * and before running; windows earlier than now() are skipped.
+     */
+    void arm();
+
+    const FaultPlan &plan() const { return plan_; }
+
+    // -- injection counts (also in the stats registry) ---------------
+    uint64_t framesDropped() const { return drops; }
+    uint64_t framesCorrupted() const { return corrupts; }
+    uint64_t framesDelayed() const { return delays; }
+    uint64_t framesReordered() const { return reorders; }
+    uint64_t outagesTriggered() const { return outage_count; }
+
+    // net::LinkFaultHook
+    net::FaultVerdict onTransmit(net::Link &link, int direction,
+                                 const net::Frame &frame) override;
+
+  private:
+    FaultPlan plan_;
+    /** Private stream; see the determinism contract above. */
+    sim::Random rng;
+
+    std::vector<net::Link *> links;
+    std::vector<net::Nic *> rings;
+    iohost::IoHypervisor *iohv = nullptr;
+    bool armed = false;
+
+    uint64_t drops = 0;
+    uint64_t corrupts = 0;
+    uint64_t delays = 0;
+    uint64_t reorders = 0;
+    uint64_t outage_count = 0;
+
+    void beginOutage(const OutageWindow &w);
+    void endOutage();
+    void beginStall(const StallWindow &w);
+    void beginSqueeze(const RxSqueezeWindow &w);
+    void endSqueeze();
+};
+
+} // namespace vrio::fault
+
+#endif // VRIO_FAULT_INJECTOR_HPP

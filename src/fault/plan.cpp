@@ -1,0 +1,83 @@
+#include "fault/plan.hpp"
+
+#include "util/logging.hpp"
+
+namespace vrio::fault {
+
+namespace {
+
+void
+checkRate(double p)
+{
+    vrio_assert(p >= 0.0 && p <= 1.0, "fault rate out of range: ", p);
+}
+
+} // namespace
+
+FaultPlan &
+FaultPlan::dropRate(double p)
+{
+    checkRate(p);
+    channel.drop_rate = p;
+    return *this;
+}
+
+FaultPlan &
+FaultPlan::corruptRate(double p)
+{
+    checkRate(p);
+    channel.corrupt_rate = p;
+    return *this;
+}
+
+FaultPlan &
+FaultPlan::delayRate(double p, sim::Tick mean)
+{
+    checkRate(p);
+    channel.delay_rate = p;
+    channel.delay_mean = mean;
+    return *this;
+}
+
+FaultPlan &
+FaultPlan::reorderRate(double p, sim::Tick window)
+{
+    checkRate(p);
+    channel.reorder_rate = p;
+    channel.reorder_window = window;
+    return *this;
+}
+
+FaultPlan &
+FaultPlan::killIoHost(sim::Tick at, sim::Tick duration)
+{
+    vrio_assert(duration > 0, "outage needs a positive duration");
+    outages.push_back(OutageWindow{at, duration});
+    return *this;
+}
+
+FaultPlan &
+FaultPlan::stallSidecore(unsigned worker, sim::Tick at, sim::Tick duration)
+{
+    vrio_assert(duration > 0, "stall needs a positive duration");
+    stalls.push_back(StallWindow{worker, at, duration});
+    return *this;
+}
+
+FaultPlan &
+FaultPlan::squeezeRxRing(sim::Tick at, sim::Tick duration, size_t limit)
+{
+    vrio_assert(duration > 0, "squeeze needs a positive duration");
+    vrio_assert(limit > 0, "squeeze limit must leave some ring");
+    squeezes.push_back(RxSqueezeWindow{at, duration, limit});
+    return *this;
+}
+
+bool
+FaultPlan::empty() const
+{
+    return !channel.active() && outages.empty() && stalls.empty() &&
+           squeezes.empty();
+}
+
+} // namespace vrio::fault

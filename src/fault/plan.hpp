@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Declarative description of a fault-injection scenario.
+ *
+ * A FaultPlan is pure data: per-link frame fault rates plus a scripted
+ * timeline of structural faults (IOhost outages, sidecore stalls, RX
+ * ring squeezes).  It is consumed by fault::FaultInjector, which
+ * attaches to the simulated hardware and realizes the plan
+ * deterministically from `seed` — the plan itself never draws random
+ * numbers.
+ *
+ * The paper's fault model (Section 4.5) covers Ethernet frame loss on
+ * the unreliable T-channel and IOhost RX ring overflow; corruption,
+ * delay/reorder, sidecore stalls, and whole-IOhost crash/restart are
+ * extrapolations the simulator adds so resilience can be explored
+ * beyond what the paper measured (see DESIGN.md, "Fault model").
+ */
+#ifndef VRIO_FAULT_PLAN_HPP
+#define VRIO_FAULT_PLAN_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/ticks.hpp"
+
+namespace vrio::fault {
+
+/** Per-frame fault probabilities for an interposed link. */
+struct LinkFaultSpec
+{
+    /** Frame vanishes in flight. */
+    double drop_rate = 0.0;
+    /** Frame arrives with a failing FCS (receiver drops it). */
+    double corrupt_rate = 0.0;
+    /** Frame is delayed by an exponential extra latency. */
+    double delay_rate = 0.0;
+    /** Extra-latency mean for delay faults. */
+    sim::Tick delay_mean = sim::Tick(100) * sim::kMicrosecond;
+    /**
+     * Frame is held back by a fixed window so frames serialized after
+     * it overtake it (the DES analogue of path reordering).
+     */
+    double reorder_rate = 0.0;
+    sim::Tick reorder_window = sim::Tick(50) * sim::kMicrosecond;
+
+    /** Whether this spec can affect any frame at all. */
+    bool active() const
+    {
+        return drop_rate > 0.0 || corrupt_rate > 0.0 ||
+               delay_rate > 0.0 || reorder_rate > 0.0;
+    }
+};
+
+/** "Kill the IOhost at `at` for `duration`." */
+struct OutageWindow
+{
+    sim::Tick at = 0;
+    sim::Tick duration = 0;
+};
+
+/** Steal a sidecore: worker `worker` executes nothing during the window. */
+struct StallWindow
+{
+    unsigned worker = 0;
+    sim::Tick at = 0;
+    sim::Tick duration = 0;
+};
+
+/** Clamp IOhost client RX rings to `limit` slots during the window. */
+struct RxSqueezeWindow
+{
+    sim::Tick at = 0;
+    sim::Tick duration = 0;
+    size_t limit = 64;
+};
+
+/**
+ * A complete scenario.  Builder methods chain:
+ *
+ *   fault::FaultPlan plan;
+ *   plan.seed = 7;
+ *   plan.dropRate(1e-3)
+ *       .killIoHost(2 * sim::kSecond, 500 * sim::kMillisecond);
+ */
+struct FaultPlan
+{
+    /**
+     * Seed for the injector's private RNG stream.  The injector draws
+     * from sim::Random(seed).split("fault"), never from the
+     * simulation's workload RNG, so two runs that differ only in their
+     * fault plan share an identical workload arrival schedule.
+     */
+    uint64_t seed = 1;
+
+    /** Frame faults applied to every attached link (both directions). */
+    LinkFaultSpec channel;
+
+    std::vector<OutageWindow> outages;
+    std::vector<StallWindow> stalls;
+    std::vector<RxSqueezeWindow> squeezes;
+
+    FaultPlan &dropRate(double p);
+    FaultPlan &corruptRate(double p);
+    FaultPlan &delayRate(double p,
+                         sim::Tick mean = sim::Tick(100) *
+                                          sim::kMicrosecond);
+    FaultPlan &reorderRate(double p,
+                           sim::Tick window = sim::Tick(50) *
+                                              sim::kMicrosecond);
+    FaultPlan &killIoHost(sim::Tick at, sim::Tick duration);
+    FaultPlan &stallSidecore(unsigned worker, sim::Tick at,
+                             sim::Tick duration);
+    FaultPlan &squeezeRxRing(sim::Tick at, sim::Tick duration,
+                             size_t limit);
+
+    /** An all-zero plan injects nothing and perturbs nothing. */
+    bool empty() const;
+};
+
+} // namespace vrio::fault
+
+#endif // VRIO_FAULT_PLAN_HPP

@@ -107,11 +107,47 @@ IoHypervisor::sendDeviceCreate(const transport::DeviceCreateCmd &cmd,
     sendToClient(t_mac, hdr, payload);
 }
 
+// -- crash / restart ------------------------------------------------------
+
+void
+IoHypervisor::discardRings()
+{
+    for (net::Nic *nic : client_nics) {
+        while (nic->rxPending(0) > 0)
+            offline_rx_drops += nic->rxTake(0, cfg.batch_max).size();
+    }
+    while (external_nic && external_nic->rxPending(0) > 0)
+        offline_rx_drops += external_nic->rxTake(0, cfg.batch_max).size();
+}
+
+void
+IoHypervisor::setOffline(bool off)
+{
+    if (offline_ == off)
+        return;
+    offline_ = off;
+    if (off) {
+        // Frames sitting in the rings at crash time are lost, as is
+        // any partially reassembled message state (partials also age
+        // out of the reassembler on their own timeout).
+        discardRings();
+        return;
+    }
+    // Restart: resume servicing whatever arrived since the last drain.
+    pumpClientRings();
+    if (external_nic)
+        pumpExternalRings();
+}
+
 // -- client-channel ingress ---------------------------------------------
 
 void
 IoHypervisor::clientRxNotify()
 {
+    if (offline_) {
+        discardRings();
+        return;
+    }
     if (pump_scheduled)
         return;
     pump_scheduled = true;
@@ -142,6 +178,10 @@ void
 IoHypervisor::pumpClientRings()
 {
     vrio_assert(!client_nics.empty(), "no client NIC");
+    if (offline_) {
+        discardRings();
+        return;
+    }
     for (size_t i = 0; i < client_nics.size(); ++i) {
         net::Nic *nic = client_nics[i];
         while (nic->rxPending(0) > 0 && intakeAllowed()) {
@@ -441,6 +481,12 @@ IoHypervisor::sendToClient(net::MacAddress t_mac,
                            const TransportHeader &hdr, const Bytes &payload)
 {
     vrio_assert(!client_nics.empty(), "no client NIC");
+    if (offline_) {
+        // Work that was in flight when the IOhost died produces no
+        // response; the client's retransmission timer covers it.
+        ++offline_tx_drops;
+        return;
+    }
     auto learned = client_port_of.find(t_mac);
     net::Nic *nic = learned != client_port_of.end()
                         ? client_nics[learned->second]
@@ -467,6 +513,10 @@ IoHypervisor::sendToClient(net::MacAddress t_mac,
 void
 IoHypervisor::externalRxNotify()
 {
+    if (offline_) {
+        discardRings();
+        return;
+    }
     // Reuse the client pump gate: a single poll loop services both
     // rings in practice; modelling one shared pickup delay suffices.
     if (pump_scheduled)
@@ -483,6 +533,10 @@ void
 IoHypervisor::pumpExternalRings()
 {
     vrio_assert(external_nic, "no external NIC");
+    if (offline_) {
+        discardRings();
+        return;
+    }
     while (external_nic->rxPending(0) > 0 && intakeAllowed()) {
         auto batch = external_nic->rxTake(0, cfg.batch_max);
         pending_batch_cycles += cfg.batch_fixed_cycles;

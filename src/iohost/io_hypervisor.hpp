@@ -134,6 +134,18 @@ class IoHypervisor : public sim::SimObject
     hv::Core &workerCore(unsigned w);
     const SteeringPolicy &steering() const { return steer; }
 
+    /**
+     * Crash / restart the IOhost (fault injection).  While offline
+     * every RX frame is discarded, ring pumps stop, and responses are
+     * suppressed — clients see pure loss and must retransmit
+     * (Section 4.5).  Coming back online resumes ring service;
+     * in-flight state lost to the crash is recovered by client
+     * retransmission, which is safe because the consolidated disk
+     * scheduler admits one outstanding request per block.
+     */
+    void setOffline(bool off);
+    bool offline() const { return offline_; }
+
     // -- statistics ---------------------------------------------------
     uint64_t messagesProcessed() const { return messages; }
     uint64_t requestsForwarded() const { return net_forwarded; }
@@ -141,6 +153,10 @@ class IoHypervisor : public sim::SimObject
     uint64_t copiedBytes() const { return copied_bytes; }
     uint64_t interruptsTaken() const { return irqs_taken; }
     uint64_t acksReceived() const { return acks; }
+    /** Frames discarded while the IOhost was crashed. */
+    uint64_t offlineRxDrops() const { return offline_rx_drops; }
+    /** Responses suppressed because the IOhost was crashed. */
+    uint64_t offlineTxDrops() const { return offline_tx_drops; }
     const transport::Reassembler &reassembler() const { return *reasm; }
 
   private:
@@ -162,6 +178,7 @@ class IoHypervisor : public sim::SimObject
 
     uint32_t next_wire_id = 1;
     bool pump_scheduled = false;
+    bool offline_ = false;
     /**
      * Requests dispatched to workers and not yet through their first
      * processing stage.  Ring intake stops when the workers are this
@@ -181,6 +198,11 @@ class IoHypervisor : public sim::SimObject
     uint64_t copied_bytes = 0;
     uint64_t irqs_taken = 0;
     uint64_t acks = 0;
+    uint64_t offline_rx_drops = 0;
+    uint64_t offline_tx_drops = 0;
+
+    /** Drain and discard every RX ring (crash semantics). */
+    void discardRings();
 
     // Ingress from the client channel.
     void clientRxNotify();

@@ -474,17 +474,19 @@ VrioModel::VrioModel(Rack &rack, ModelConfig cfg) : IoModel(rack, cfg)
             // switch; the T-channel shares the fabric with external
             // traffic and pays the forwarding latency, but VMhosts
             // stay reachable if the IOhost is replaced.
-            rack.connectToSwitch(strFormat("vrio.swlink%u", h),
-                                 host.nic->port(),
-                                 cfg.direct_link_gbps);
-            rack.connectToSwitch(strFormat("vrio.swport%u", h),
-                                 host.iohost_port->port(),
-                                 cfg.direct_link_gbps);
+            channel_links.push_back(
+                &rack.connectToSwitch(strFormat("vrio.swlink%u", h),
+                                      host.nic->port(),
+                                      cfg.direct_link_gbps));
+            channel_links.push_back(
+                &rack.connectToSwitch(strFormat("vrio.swport%u", h),
+                                      host.iohost_port->port(),
+                                      cfg.direct_link_gbps));
         } else {
-            rack.directLink(strFormat("vrio.dlink%u", h),
-                            host.nic->port(), host.iohost_port->port(),
-                            cfg.direct_link_gbps, cfg.vrio_channel_loss,
-                            cfg.direct_link_latency);
+            channel_links.push_back(&rack.directLink(
+                strFormat("vrio.dlink%u", h), host.nic->port(),
+                host.iohost_port->port(), cfg.direct_link_gbps,
+                cfg.vrio_channel_loss, cfg.direct_link_latency));
         }
         hosts.push_back(std::move(host));
     }
@@ -636,6 +638,15 @@ VrioModel::allNics() const
         out.push_back(host.iohost_port.get());
     }
     out.push_back(external_nic.get());
+    return out;
+}
+
+std::vector<net::Nic *>
+VrioModel::iohostClientNics()
+{
+    std::vector<net::Nic *> out;
+    for (auto &host : hosts)
+        out.push_back(host.iohost_port.get());
     return out;
 }
 

@@ -34,6 +34,20 @@ class VrioModel : public IoModel
     std::vector<const net::Nic *> allNics() const;
 
     /**
+     * The T-channel links between VMhosts and the IOhost (one per
+     * VMhost when wired directly, two when wired via the switch).
+     * Fault injection interposes on these to model channel loss,
+     * corruption, and delay.
+     */
+    const std::vector<net::Link *> &channelLinks() const
+    {
+        return channel_links;
+    }
+
+    /** IOhost-side client NICs (RX-ring squeeze targets), per host. */
+    std::vector<net::Nic *> iohostClientNics();
+
+    /**
      * Live-migrate an IOclient to another VMhost sharing this IOhost
      * (the dynamic switch of Section 4.6, which the paper describes
      * but did not implement).  The client detaches from its SRIOV VF,
@@ -72,6 +86,7 @@ class VrioModel : public IoModel
 
     std::vector<Host> hosts;
     std::vector<std::unique_ptr<Client>> clients;
+    std::vector<net::Link *> channel_links;
 
     std::unique_ptr<hv::Machine> iohost_machine;
     std::unique_ptr<net::Nic> external_nic;

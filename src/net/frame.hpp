@@ -31,6 +31,14 @@ struct Frame
     uint64_t trace_id = 0;
     sim::Tick born = 0;
 
+    /**
+     * Set by fault injection for frames corrupted in flight: the bytes
+     * are left intact (payloads may be shared), but every FCS check
+     * downstream (NIC RX, switch store-and-forward) fails and drops
+     * the frame.
+     */
+    bool fcs_corrupt = false;
+
     /** Bytes this frame occupies on the wire (with FCS). */
     uint64_t wireSize() const
     {

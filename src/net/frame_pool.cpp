@@ -59,6 +59,7 @@ FramePool::release(Frame *frame)
     frame->pad = 0;
     frame->trace_id = 0;
     frame->born = 0;
+    frame->fcs_corrupt = false;
     free.push_back(frame);
 }
 

@@ -40,9 +40,12 @@ Link::transmit(NetPort &from, FramePtr frame)
         vrio_panic("transmit from a port not on link ", name());
     }
 
+    int direction = to == end_b ? 0 : 1;
+
     uint64_t wire_bytes = frame->wireSize();
     sim::Tick serialization = sim::bytesToTicks(wire_bytes, cfg.gbps);
-    tx->submit(serialization, [this, to, frame = std::move(frame),
+    tx->submit(serialization, [this, to, direction,
+                               frame = std::move(frame),
                                wire_bytes]() mutable {
         bytes += wire_bytes;
         if (cfg.loss_probability > 0.0 &&
@@ -50,8 +53,26 @@ Link::transmit(NetPort &from, FramePtr frame)
             ++lost;
             return;
         }
+        sim::Tick propagation = cfg.propagation;
+        if (fault_hook) {
+            FaultVerdict v = fault_hook->onTransmit(*this, direction,
+                                                    *frame);
+            switch (v.kind) {
+            case FaultVerdict::Kind::Deliver:
+                break;
+            case FaultVerdict::Kind::Drop:
+                ++lost;
+                return;
+            case FaultVerdict::Kind::Corrupt:
+                frame->fcs_corrupt = true;
+                break;
+            case FaultVerdict::Kind::Delay:
+                propagation += v.extra_delay;
+                break;
+            }
+        }
         ++delivered;
-        sim().events().schedule(cfg.propagation,
+        sim().events().schedule(propagation,
                                 [to, frame = std::move(frame)]() mutable {
                                     to->receive(std::move(frame));
                                 });

@@ -45,6 +45,39 @@ struct LinkConfig
     double loss_probability = 0.0;
 };
 
+/** Outcome of a fault hook's inspection of one in-flight frame. */
+struct FaultVerdict
+{
+    enum class Kind : uint8_t {
+        Deliver, ///< untouched
+        Drop,    ///< lost in flight
+        Corrupt, ///< delivered with a failing FCS (dropped by RX)
+        Delay,   ///< delivered after extra_delay additional latency
+    };
+    Kind kind = Kind::Deliver;
+    /** Extra propagation latency for Kind::Delay. */
+    sim::Tick extra_delay = 0;
+};
+
+/**
+ * Interface the fault-injection subsystem (src/fault) uses to
+ * interpose on a link.  Links with no hook installed (the default)
+ * take a single null-pointer branch per frame and produce an event
+ * schedule identical to a hook-free build.
+ */
+class LinkFaultHook
+{
+  public:
+    virtual ~LinkFaultHook() = default;
+
+    /**
+     * Decide the fate of a frame that finished serializing.
+     * @param direction 0 for A-to-B traffic, 1 for B-to-A.
+     */
+    virtual FaultVerdict onTransmit(Link &link, int direction,
+                                    const Frame &frame) = 0;
+};
+
 class Link : public sim::SimObject
 {
   public:
@@ -61,12 +94,20 @@ class Link : public sim::SimObject
 
     double gbps() const { return cfg.gbps; }
 
+    /**
+     * Interpose @p hook on every frame (nullptr detaches).  Installing
+     * a hook that always returns Deliver leaves the event schedule
+     * bit-identical to running without one.
+     */
+    void setFaultHook(LinkFaultHook *hook) { fault_hook = hook; }
+
     uint64_t framesDelivered() const { return delivered; }
     uint64_t framesLost() const { return lost; }
     uint64_t bytesCarried() const { return bytes; }
 
   private:
     LinkConfig cfg;
+    LinkFaultHook *fault_hook = nullptr;
     NetPort *end_a = nullptr;
     NetPort *end_b = nullptr;
     std::unique_ptr<sim::Resource> tx_a; ///< transmitter at end A

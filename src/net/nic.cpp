@@ -5,10 +5,19 @@
 namespace vrio::net {
 
 Nic::Nic(sim::Simulation &sim, std::string name, NicConfig cfg)
-    : SimObject(sim, std::move(name)), cfg(cfg), queues(cfg.num_queues)
+    : SimObject(sim, std::move(name)), cfg(cfg), queues(cfg.num_queues),
+      rx_ring_limit(cfg.rx_ring_size)
 {
     vrio_assert(cfg.num_queues >= 1, "NIC needs at least one queue");
     vrio_assert(cfg.rx_ring_size > 0, "RX ring must be non-empty");
+}
+
+void
+Nic::setRxRingLimit(size_t limit)
+{
+    if (limit == 0 || limit > cfg.rx_ring_size)
+        limit = cfg.rx_ring_size;
+    rx_ring_limit = limit;
 }
 
 void
@@ -98,6 +107,11 @@ Nic::classify(const MacAddress &dst) const
 void
 Nic::receive(FramePtr frame)
 {
+    if (frame->fcs_corrupt) {
+        // Hardware FCS check fails before any classification.
+        ++rx_crc_drops;
+        return;
+    }
     EtherHeader hdr = frame->ether();
     int queue = classify(hdr.dst);
     if (queue < 0) {
@@ -111,7 +125,7 @@ void
 Nic::enqueueRx(unsigned queue, FramePtr frame)
 {
     auto &q = queues[queue];
-    if (q.rx.size() >= cfg.rx_ring_size) {
+    if (q.rx.size() >= rx_ring_limit) {
         ++rx_drops;
         return;
     }

@@ -98,6 +98,16 @@ class Nic : public sim::SimObject, public NetPort
     std::vector<FramePtr> rxTake(unsigned queue, size_t max);
 
     /**
+     * Temporarily cap the usable RX ring below its configured size
+     * (fault injection models memory pressure this way).  0 restores
+     * the full configured ring.
+     */
+    void setRxRingLimit(size_t limit);
+
+    /** The currently effective RX ring capacity. */
+    size_t rxRingLimit() const { return rx_ring_limit; }
+
+    /**
      * Transmit @p frame from @p queue.  Oversized TCP/IPv4 frames are
      * TSO-segmented when enabled; oversized frames that TSO cannot
      * handle panic (software must pre-segment, as the vRIO transport
@@ -108,6 +118,7 @@ class Nic : public sim::SimObject, public NetPort
     // -- statistics ------------------------------------------------
     uint64_t rxFrames() const { return rx_frames; }
     uint64_t rxDrops() const { return rx_drops; }
+    uint64_t rxCrcDrops() const { return rx_crc_drops; }
     uint64_t txFrames() const { return tx_frames; }
     uint64_t interruptsFired() const { return interrupts; }
     uint64_t tsoSends() const { return tso_sends; }
@@ -131,9 +142,12 @@ class Nic : public sim::SimObject, public NetPort
     std::vector<Queue> queues;
     std::map<MacAddress, unsigned> extra_macs;
     bool promiscuous = false;
+    /** Effective RX ring capacity (cfg.rx_ring_size unless squeezed). */
+    size_t rx_ring_limit = 0;
 
     uint64_t rx_frames = 0;
     uint64_t rx_drops = 0;
+    uint64_t rx_crc_drops = 0;
     uint64_t tx_frames = 0;
     uint64_t interrupts = 0;
     uint64_t tso_sends = 0;

@@ -19,6 +19,11 @@ Switch::newPort()
 void
 Switch::ingress(size_t port_index, FramePtr frame)
 {
+    if (frame->fcs_corrupt) {
+        // Store-and-forward switches verify the FCS before queueing.
+        ++crc_drops;
+        return;
+    }
     EtherHeader hdr = frame->ether();
 
     // Learn the source address.

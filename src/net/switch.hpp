@@ -34,6 +34,7 @@ class Switch : public sim::SimObject
     size_t portCount() const { return ports.size(); }
     uint64_t framesForwarded() const { return forwarded; }
     uint64_t framesFlooded() const { return flooded; }
+    uint64_t crcDrops() const { return crc_drops; }
 
     /** MAC table size (learned addresses). */
     size_t macTableSize() const { return mac_table.size(); }
@@ -58,6 +59,7 @@ class Switch : public sim::SimObject
     std::map<MacAddress, size_t> mac_table;
     uint64_t forwarded = 0;
     uint64_t flooded = 0;
+    uint64_t crc_drops = 0;
 
     void ingress(size_t port_index, FramePtr frame);
     void egress(size_t port_index, FramePtr frame);

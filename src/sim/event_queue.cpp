@@ -146,6 +146,48 @@ EventQueue::step()
 }
 
 uint64_t
+EventQueue::fireTick()
+{
+    // Precondition: skimTop() ran, so the heap top is live.  Pop every
+    // entry sharing the top tick in one pass; successive heap pops
+    // come off in (when, seq) order, so the batch preserves the exact
+    // order one-at-a-time stepping would use.  Same-tick events
+    // scheduled *by* batch members get larger seqs and land in the
+    // caller's next fireTick() round — again matching unbatched order.
+    const Tick tick = heap.front().when;
+    now_ = tick;
+    // Swap the scratch buffer out so a callback that re-enters
+    // runUntil() on this queue starts from a fresh (empty) buffer
+    // instead of clobbering ours.
+    std::vector<Entry> batch;
+    std::swap(batch, batch_scratch);
+    batch.clear();
+    while (!heap.empty() && heap.front().when == tick) {
+        std::pop_heap(heap.begin(), heap.end(), later);
+        batch.push_back(heap.back());
+        heap.pop_back();
+    }
+    uint64_t executed = 0;
+    for (const Entry &entry : batch) {
+        const Slot &slot = slots[entry.slot];
+        if (!slot.armed || slot.generation != entry.gen) {
+            // Cancelled: either a stale heap entry we popped (skimTop
+            // would have dropped it) or cancelled by an earlier batch
+            // member after the pop; cancelSlot counted both as stale
+            // heap residents, so square the books here.
+            if (stale_count > 0)
+                --stale_count;
+            continue;
+        }
+        Callback fn = releaseSlot(entry.slot);
+        fn();
+        ++executed;
+    }
+    std::swap(batch, batch_scratch);
+    return executed;
+}
+
+uint64_t
 EventQueue::runUntil(Tick limit)
 {
     uint64_t executed = 0;
@@ -158,8 +200,7 @@ EventQueue::runUntil(Tick limit)
                 now_ = limit;
             return executed;
         }
-        step();
-        ++executed;
+        executed += fireTick();
     }
 }
 
@@ -167,9 +208,12 @@ uint64_t
 EventQueue::runToCompletion()
 {
     uint64_t executed = 0;
-    while (step())
-        ++executed;
-    return executed;
+    while (true) {
+        skimTop();
+        if (heap.empty())
+            return executed;
+        executed += fireTick();
+    }
 }
 
 } // namespace vrio::sim

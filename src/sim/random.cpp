@@ -120,4 +120,56 @@ Random::split()
     return Random(next());
 }
 
+void
+Random::jump()
+{
+    // Standard xoshiro256** jump polynomial (equivalent to 2^128
+    // next() calls), from the reference implementation.
+    static constexpr uint64_t kJump[] = {
+        0x180ec6d33cfd0abaull, 0xd5a61266f0c9392cull,
+        0xa9582618e03fc9aaull, 0x39abdc4529b1661cull};
+    uint64_t t[4] = {0, 0, 0, 0};
+    for (uint64_t word : kJump) {
+        for (int b = 0; b < 64; ++b) {
+            if (word & (uint64_t(1) << b)) {
+                t[0] ^= s[0];
+                t[1] ^= s[1];
+                t[2] ^= s[2];
+                t[3] ^= s[3];
+            }
+            next();
+        }
+    }
+    s[0] = t[0];
+    s[1] = t[1];
+    s[2] = t[2];
+    s[3] = t[3];
+}
+
+Random
+Random::split(uint64_t label) const
+{
+    // Feed (state, label) through the splitMix64 chain the seed
+    // constructor uses, so even adjacent labels decorrelate fully.
+    uint64_t x = 0x9e3779b97f4a7c15ull ^ label;
+    Random out(0);
+    for (int i = 0; i < 4; ++i) {
+        x ^= s[i];
+        out.s[i] = splitMix64(x);
+    }
+    return out;
+}
+
+Random
+Random::split(std::string_view label) const
+{
+    // FNV-1a folds the name into a 64-bit stream label.
+    uint64_t h = 0xcbf29ce484222325ull;
+    for (char c : label) {
+        h ^= uint8_t(c);
+        h *= 0x100000001b3ull;
+    }
+    return split(h);
+}
+
 } // namespace vrio::sim

@@ -10,6 +10,7 @@
 #define VRIO_SIM_RANDOM_HPP
 
 #include <cstdint>
+#include <string_view>
 
 namespace vrio::sim {
 
@@ -48,6 +49,30 @@ class Random
 
     /** Fork an independent stream (for per-VM generators). */
     Random split();
+
+    // -- seed-sequence API --------------------------------------------
+    // Splittable sub-streams so independent random processes (fault
+    // injection vs. workload arrivals) and within-cell replication
+    // (same sweep cell, k repetitions) never share draws.
+
+    /**
+     * Advance this generator by 2^128 steps (the xoshiro256** jump
+     * polynomial), partitioning its sequence into non-overlapping
+     * blocks.  Replication pattern: copy the generator, jump() the
+     * original, hand the copy to the replicate.
+     */
+    void jump();
+
+    /**
+     * Derive an independent labeled substream without disturbing this
+     * generator (const: the parent's own draws are unaffected, so
+     * attaching a consumer of a substream cannot perturb the parent's
+     * schedule).  Equal (state, label) pairs yield equal substreams.
+     */
+    Random split(uint64_t label) const;
+
+    /** Labeled substream keyed by a human-readable name. */
+    Random split(std::string_view label) const;
 
   private:
     uint64_t s[4];

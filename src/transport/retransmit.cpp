@@ -1,5 +1,7 @@
 #include "transport/retransmit.hpp"
 
+#include <limits>
+
 #include "util/logging.hpp"
 
 namespace vrio::transport {
@@ -26,8 +28,14 @@ RetransmitQueue::arm(uint64_t serial)
 {
     auto it = live.find(serial);
     vrio_assert(it != live.end(), "arming unknown serial ", serial);
+    // Backed-off timeouts can saturate near Tick max; keep the
+    // absolute expiry representable.
+    sim::Tick delay = it->second.timeout;
+    sim::Tick headroom = std::numeric_limits<sim::Tick>::max() - eq.now();
+    if (delay > headroom)
+        delay = headroom;
     it->second.timer =
-        eq.schedule(it->second.timeout, [this, serial]() {
+        eq.schedule(delay, [this, serial]() {
             expire(serial);
         });
 }
@@ -48,9 +56,13 @@ RetransmitQueue::expire(uint64_t serial)
     ++e.attempts;
     ++retransmits;
     ++e.generation; // the new unique identifier for this attempt
-    e.timeout *= 2; // exponential backoff per Section 4.5
-    if (cfg.max_timeout > 0 && e.timeout > cfg.max_timeout)
-        e.timeout = cfg.max_timeout;
+    // Exponential backoff per Section 4.5.  An explicit max_timeout
+    // caps the doubling; without one (max_timeout == 0) the doubling
+    // must still saturate instead of wrapping Tick after ~50 retries.
+    sim::Tick cap = cfg.max_timeout > 0
+                        ? cfg.max_timeout
+                        : std::numeric_limits<sim::Tick>::max() / 2;
+    e.timeout = e.timeout > cap / 2 ? cap : e.timeout * 2;
     send(serial, e.generation);
     arm(serial);
 }

@@ -45,8 +45,10 @@ FilebenchRandom::threadLoop(bool writer)
     if (writer)
         req.data.assign(cfg.io_bytes, uint8_t(ops));
 
-    guest.submitBlock(std::move(req), [this, writer](virtio::BlkStatus s,
-                                                     Bytes) {
+    sim::Tick issued = sim_->now();
+    guest.submitBlock(std::move(req), [this, writer,
+                                       issued](virtio::BlkStatus s,
+                                               Bytes) {
         if (s != virtio::BlkStatus::Ok) {
             ++errors;
         } else {
@@ -55,6 +57,7 @@ FilebenchRandom::threadLoop(bool writer)
                 ++writes;
             else
                 ++reads;
+            latency.add(sim::ticksToMicros(sim_->now() - issued));
         }
         // Think, then issue the next op (closed loop).
         guest.vm().vcpu().run(cfg.think_cycles, [this, writer]() {
@@ -67,6 +70,7 @@ void
 FilebenchRandom::resetStats()
 {
     ops = reads = writes = errors = 0;
+    latency.reset();
     epoch = sim_->now();
 }
 

@@ -10,6 +10,7 @@
 
 #include "models/io_model.hpp"
 #include "sim/random.hpp"
+#include "stats/histogram.hpp"
 
 namespace vrio::workloads {
 
@@ -40,6 +41,9 @@ class FilebenchRandom
     uint64_t writeOps() const { return writes; }
     uint64_t ioErrors() const { return errors; }
 
+    /** Per-op submit-to-complete latency (successful ops only). */
+    const stats::Histogram &latencyUs() const { return latency; }
+
     double opsPerSec(sim::Simulation &sim) const;
 
   private:
@@ -52,6 +56,7 @@ class FilebenchRandom
     uint64_t reads = 0;
     uint64_t writes = 0;
     uint64_t errors = 0;
+    stats::Histogram latency;
     sim::Tick epoch = 0;
     sim::Simulation *sim_ = nullptr;
 

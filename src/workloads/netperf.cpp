@@ -59,6 +59,12 @@ NetperfStream::NetperfStream(models::Generator &gen, unsigned session,
 
     // Guest side: an ack opens the window.
     guest.setNetHandler([this](Bytes, net::MacAddress, uint64_t) {
+        // The ack covers the oldest unacked chunk; its RTO timer
+        // (present only when cfg.rto > 0) is disarmed.
+        if (!rto_timers.empty()) {
+            rto_timers.begin()->second.cancel();
+            rto_timers.erase(rto_timers.begin());
+        }
         if (in_flight > 0)
             --in_flight;
         trySend();
@@ -78,6 +84,21 @@ NetperfStream::trySend()
     while (in_flight < cfg.window_chunks) {
         ++in_flight;
         ++chunks_tx;
+        if (cfg.rto > 0) {
+            // Loss recovery: if neither the chunk nor its ack survives
+            // the channel, the timer reclaims the window slot and the
+            // (indistinguishable) retransmission goes out as a fresh
+            // chunk.
+            uint64_t seq = next_chunk_seq++;
+            rto_timers[seq] =
+                sim_->events().schedule(cfg.rto, [this, seq]() {
+                    rto_timers.erase(seq);
+                    ++tcp_retransmits_;
+                    if (in_flight > 0)
+                        --in_flight;
+                    trySend();
+                });
+        }
         // The guest pays per-message cost for every 64B send() that
         // the stack later coalesces into this TSO chunk.
         double msgs = double(cfg.chunk_bytes) / double(cfg.msg_bytes);
@@ -95,6 +116,7 @@ NetperfStream::resetStats()
 {
     bytes_rx = 0;
     chunks_tx = 0;
+    tcp_retransmits_ = 0;
     epoch = sim_->now();
 }
 

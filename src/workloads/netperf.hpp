@@ -6,6 +6,8 @@
 #ifndef VRIO_WORKLOADS_NETPERF_HPP
 #define VRIO_WORKLOADS_NETPERF_HPP
 
+#include <map>
+
 #include "models/generator.hpp"
 #include "models/io_model.hpp"
 #include "stats/histogram.hpp"
@@ -64,6 +66,14 @@ class NetperfStream
         size_t msg_bytes = 64;
         size_t chunk_bytes = 16 * 1024;
         unsigned window_chunks = 8;
+        /**
+         * Retransmission timeout for the guest-TCP abstraction; 0
+         * disables loss recovery (the default — lossless runs never
+         * schedule a timer).  With a lossy channel the closed window
+         * would otherwise deadlock once enough chunks vanish; the RTO
+         * models TCP reopening the window by retransmitting.
+         */
+        sim::Tick rto = 0;
     };
 
     NetperfStream(models::Generator &gen, unsigned session,
@@ -76,6 +86,8 @@ class NetperfStream
     /** Payload bytes received by the generator since the last reset. */
     uint64_t bytesReceived() const { return bytes_rx; }
     uint64_t chunksSent() const { return chunks_tx; }
+    /** Window slots reclaimed by RTO expiry (lost chunk + resend). */
+    uint64_t tcpRetransmits() const { return tcp_retransmits_; }
 
     /** Gbps over the window [reset, now]. */
     double throughputGbps(sim::Simulation &sim) const;
@@ -90,8 +102,13 @@ class NetperfStream
     unsigned in_flight = 0;
     uint64_t bytes_rx = 0;
     uint64_t chunks_tx = 0;
+    uint64_t tcp_retransmits_ = 0;
     sim::Tick epoch = 0;
     sim::Simulation *sim_ = nullptr;
+
+    /** Outstanding per-chunk RTO timers, oldest first (keyed by seq). */
+    std::map<uint64_t, sim::EventHandle> rto_timers;
+    uint64_t next_chunk_seq = 0;
 
     void trySend();
 };

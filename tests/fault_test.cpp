@@ -1,0 +1,421 @@
+/**
+ * @file
+ * Tests for the fault-injection subsystem: link-hook mechanics, NIC
+ * FCS/ring behavior, and the injector's determinism contract (zero
+ * perturbation when idle, bit-identical schedules per seed, recovery
+ * through the Section 4.5 retransmission protocol).
+ */
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common.hpp"
+#include "fault/injector.hpp"
+#include "models/vrio.hpp"
+#include "net/frame.hpp"
+#include "net/link.hpp"
+#include "net/nic.hpp"
+#include "net/switch.hpp"
+
+namespace vrio {
+namespace {
+
+using models::ModelKind;
+using sim::kMicrosecond;
+using sim::kMillisecond;
+using sim::kNanosecond;
+
+// -- link hook mechanics ------------------------------------------------
+
+class SinkPort : public net::NetPort
+{
+  public:
+    std::vector<net::FramePtr> got;
+    std::vector<sim::Tick> when;
+    sim::Simulation *sim = nullptr;
+
+    void
+    receive(net::FramePtr f) override
+    {
+        got.push_back(std::move(f));
+        if (sim)
+            when.push_back(sim->now());
+    }
+};
+
+/** Hook that replays a fixed verdict script, one entry per frame. */
+class ScriptedHook : public net::LinkFaultHook
+{
+  public:
+    std::vector<net::FaultVerdict> script;
+    size_t cursor = 0;
+
+    net::FaultVerdict
+    onTransmit(net::Link &, int, const net::Frame &) override
+    {
+        if (cursor < script.size())
+            return script[cursor++];
+        return {};
+    }
+};
+
+net::FramePtr
+smallFrame()
+{
+    auto f = std::make_shared<net::Frame>();
+    f->bytes.resize(1246);
+    return f;
+}
+
+TEST(LinkFaultHook, DropCorruptDelayDeliver)
+{
+    sim::Simulation sim;
+    net::LinkConfig cfg;
+    cfg.gbps = 10.0;
+    cfg.propagation = 500 * kNanosecond;
+    net::Link link(sim, "l", cfg);
+    SinkPort a, b;
+    b.sim = &sim;
+    link.connect(a, b);
+
+    ScriptedHook hook;
+    net::FaultVerdict drop, corrupt, delay;
+    drop.kind = net::FaultVerdict::Kind::Drop;
+    corrupt.kind = net::FaultVerdict::Kind::Corrupt;
+    delay.kind = net::FaultVerdict::Kind::Delay;
+    delay.extra_delay = 10 * kMicrosecond;
+    hook.script = {drop, corrupt, delay, net::FaultVerdict{}};
+    link.setFaultHook(&hook);
+
+    for (int i = 0; i < 4; ++i)
+        link.transmit(a, smallFrame());
+    sim.runToCompletion();
+
+    EXPECT_EQ(link.framesLost(), 1u);
+    EXPECT_EQ(link.framesDelivered(), 3u);
+    ASSERT_EQ(b.got.size(), 3u);
+    // Frame 2 was corrupted in flight; bytes intact, flag set.
+    EXPECT_TRUE(b.got[0]->fcs_corrupt);
+    EXPECT_EQ(b.got[0]->bytes.size(), 1246u);
+    EXPECT_FALSE(b.got[1]->fcs_corrupt);
+    // 1250B at 10 Gbps = 1 us serialization each (FIFO transmitter);
+    // the delayed frame pays 10 us extra propagation, so frame 4
+    // overtakes it — delay is also the reorder mechanism.
+    EXPECT_EQ(b.when[0], 2 * kMicrosecond + 500 * kNanosecond);
+    EXPECT_EQ(b.when[1], 4 * kMicrosecond + 500 * kNanosecond);
+    EXPECT_EQ(b.when[2], 3 * kMicrosecond + 10 * kMicrosecond +
+                             500 * kNanosecond);
+}
+
+TEST(LinkFaultHook, AlwaysDeliverHookMatchesNoHook)
+{
+    // A hook returning Deliver for every frame must leave timing and
+    // counters identical to running without a hook.
+    auto run = [](bool with_hook) {
+        sim::Simulation sim;
+        net::LinkConfig cfg;
+        net::Link link(sim, "l", cfg);
+        SinkPort a, b;
+        b.sim = &sim;
+        link.connect(a, b);
+        ScriptedHook hook; // empty script -> Deliver forever
+        if (with_hook)
+            link.setFaultHook(&hook);
+        for (int i = 0; i < 8; ++i)
+            link.transmit(a, smallFrame());
+        sim.runToCompletion();
+        return b.when;
+    };
+    EXPECT_EQ(run(false), run(true));
+}
+
+// -- NIC FCS drop and ring squeeze --------------------------------------
+
+net::FramePtr
+frameTo(net::MacAddress dst)
+{
+    net::EtherHeader eh;
+    eh.dst = dst;
+    eh.src = net::MacAddress::local(0x99);
+    eh.ether_type = uint16_t(net::EtherType::Ipv4);
+    return net::makeFrame(eh, std::vector<uint8_t>(64, 0xab));
+}
+
+TEST(NicFaults, CorruptFrameDroppedBeforeClassification)
+{
+    sim::Simulation sim;
+    net::NicConfig cfg;
+    net::Nic nic(sim, "n", cfg);
+    net::MacAddress mac = net::MacAddress::local(1);
+    nic.setQueueMac(0, mac);
+
+    auto good = frameTo(mac);
+    auto bad = frameTo(mac);
+    bad->fcs_corrupt = true;
+    nic.receive(bad);
+    nic.receive(good);
+    EXPECT_EQ(nic.rxPending(0), 1u);
+    EXPECT_EQ(nic.rxCrcDrops(), 1u);
+    EXPECT_EQ(nic.rxFrames(), 1u);
+}
+
+TEST(NicFaults, RxRingLimitSqueezeAndRestore)
+{
+    sim::Simulation sim;
+    net::NicConfig cfg;
+    cfg.rx_ring_size = 4;
+    net::Nic nic(sim, "n", cfg);
+    net::MacAddress mac = net::MacAddress::local(1);
+    nic.setQueueMac(0, mac);
+    nic.setRxMode(0, net::Nic::RxMode::Poll);
+
+    nic.setRxRingLimit(2);
+    for (int i = 0; i < 4; ++i)
+        nic.receive(frameTo(mac));
+    EXPECT_EQ(nic.rxPending(0), 2u);
+    EXPECT_EQ(nic.rxDrops(), 2u);
+
+    // 0 restores the configured ring; limits above it clamp to it.
+    nic.setRxRingLimit(0);
+    EXPECT_EQ(nic.rxRingLimit(), 4u);
+    nic.setRxRingLimit(100);
+    EXPECT_EQ(nic.rxRingLimit(), 4u);
+}
+
+TEST(SwitchFaults, CorruptFrameDroppedAtIngress)
+{
+    sim::Simulation sim;
+    net::Switch sw(sim, "sw");
+    net::NetPort &p0 = sw.newPort();
+    net::NetPort &p1 = sw.newPort();
+    net::LinkConfig lcfg;
+    net::Link l0(sim, "l0", lcfg), l1(sim, "l1", lcfg);
+    SinkPort h0, h1;
+    l0.connect(h0, p0);
+    l1.connect(h1, p1);
+
+    auto f = frameTo(net::MacAddress::local(1));
+    f->fcs_corrupt = true;
+    l0.transmit(h0, f);
+    sim.runToCompletion();
+    EXPECT_EQ(sw.crcDrops(), 1u);
+    EXPECT_EQ(sw.framesFlooded(), 0u);
+    EXPECT_TRUE(h1.got.empty());
+}
+
+// -- end-to-end determinism and recovery --------------------------------
+
+struct VrioRun
+{
+    uint64_t ops = 0;
+    uint64_t errors = 0;
+    uint64_t retransmits = 0;
+    uint64_t injected_drops = 0;
+    std::vector<double> latency_us;
+};
+
+/**
+ * One small self-contained vRIO filebench run; @p plan == nullptr
+ * means no injector is constructed at all.
+ */
+VrioRun
+runVrioFilebench(const fault::FaultPlan *plan)
+{
+    bench::SweepOptions opt;
+    opt.warmup = 5 * kMillisecond;
+    opt.measure = 30 * kMillisecond;
+    opt.tweak = [](models::ModelConfig &mc) { mc.with_block = true; };
+    bench::Experiment exp(ModelKind::Vrio, 1, opt);
+    exp.settle();
+    auto *vm = dynamic_cast<models::VrioModel *>(exp.model);
+    EXPECT_NE(vm, nullptr);
+
+    std::unique_ptr<fault::FaultInjector> inj;
+    if (plan) {
+        inj = std::make_unique<fault::FaultInjector>(*exp.sim, "fault",
+                                                     *plan);
+        inj->attach(*vm);
+        inj->arm();
+    }
+
+    workloads::FilebenchRandom::Config cfg;
+    cfg.readers = 1;
+    cfg.writers = 1;
+    workloads::FilebenchRandom wl(exp.model->guest(0),
+                                  exp.sim->random().split(), cfg);
+    wl.start();
+    exp.sim->runUntil(exp.sim->now() + opt.warmup);
+    wl.resetStats();
+    exp.sim->runUntil(exp.sim->now() + opt.measure);
+
+    VrioRun r;
+    r.ops = wl.opsCompleted();
+    r.errors = wl.ioErrors();
+    r.retransmits = vm->clientRetransmissions(0);
+    r.latency_us = wl.latencyUs().raw();
+    if (inj)
+        r.injected_drops = inj->framesDropped();
+    return r;
+}
+
+TEST(FaultDeterminism, ZeroRatePlanIsByteIdentical)
+{
+    // Attaching an injector whose plan does nothing must not perturb
+    // the run at all: same op count and a bit-identical latency
+    // sample sequence as no injector existing.
+    VrioRun bare = runVrioFilebench(nullptr);
+    fault::FaultPlan idle;
+    VrioRun with_idle = runVrioFilebench(&idle);
+
+    EXPECT_EQ(bare.ops, with_idle.ops);
+    EXPECT_EQ(bare.retransmits, with_idle.retransmits);
+    EXPECT_EQ(bare.latency_us, with_idle.latency_us);
+    EXPECT_EQ(with_idle.injected_drops, 0u);
+}
+
+TEST(FaultDeterminism, SameSeedSameSchedule)
+{
+    fault::FaultPlan plan;
+    plan.seed = 7;
+    plan.dropRate(0.01);
+    VrioRun a = runVrioFilebench(&plan);
+    VrioRun b = runVrioFilebench(&plan);
+    EXPECT_EQ(a.ops, b.ops);
+    EXPECT_EQ(a.retransmits, b.retransmits);
+    EXPECT_EQ(a.injected_drops, b.injected_drops);
+    EXPECT_EQ(a.latency_us, b.latency_us);
+}
+
+TEST(FaultDeterminism, DifferentFaultSeedDiffers)
+{
+    fault::FaultPlan p7, p8;
+    p7.seed = 7;
+    p7.dropRate(0.01);
+    p8.seed = 8;
+    p8.dropRate(0.01);
+    VrioRun a = runVrioFilebench(&p7);
+    VrioRun b = runVrioFilebench(&p8);
+    ASSERT_GT(a.injected_drops, 0u);
+    ASSERT_GT(b.injected_drops, 0u);
+    // Different fault streams produce different latency sequences.
+    EXPECT_NE(a.latency_us, b.latency_us);
+}
+
+TEST(FaultRecovery, LossCausesRetransmissionsNotErrors)
+{
+    fault::FaultPlan plan;
+    plan.seed = 11;
+    plan.dropRate(0.01);
+    VrioRun r = runVrioFilebench(&plan);
+    EXPECT_GT(r.injected_drops, 0u);
+    EXPECT_GT(r.retransmits, 0u);
+    EXPECT_EQ(r.errors, 0u); // every request recovered
+    EXPECT_GT(r.ops, 0u);
+}
+
+TEST(FaultRecovery, IoHostOutageStallsThenRecovers)
+{
+    bench::SweepOptions opt;
+    opt.warmup = 5 * kMillisecond;
+    opt.tweak = [](models::ModelConfig &mc) { mc.with_block = true; };
+    bench::Experiment exp(ModelKind::Vrio, 1, opt);
+    exp.settle();
+    auto *vm = dynamic_cast<models::VrioModel *>(exp.model);
+    ASSERT_NE(vm, nullptr);
+
+    workloads::FilebenchRandom::Config cfg;
+    cfg.readers = 1;
+    cfg.writers = 1;
+    workloads::FilebenchRandom wl(exp.model->guest(0),
+                                  exp.sim->random().split(), cfg);
+    wl.start();
+    exp.sim->runUntil(exp.sim->now() + opt.warmup);
+    wl.resetStats();
+
+    // 20ms healthy, 50ms dark, 150ms recovery.
+    fault::FaultPlan plan;
+    plan.seed = 3;
+    plan.killIoHost(exp.sim->now() + 20 * kMillisecond,
+                    50 * kMillisecond);
+    fault::FaultInjector inj(*exp.sim, "fault", plan);
+    inj.attach(*vm);
+    inj.arm();
+
+    exp.sim->runUntil(exp.sim->now() + 20 * kMillisecond);
+    uint64_t before = wl.opsCompleted();
+    exp.sim->runUntil(exp.sim->now() + 50 * kMillisecond);
+    uint64_t during = wl.opsCompleted() - before;
+    exp.sim->runUntil(exp.sim->now() + 150 * kMillisecond);
+    uint64_t after = wl.opsCompleted() - before - during;
+
+    EXPECT_GT(before, 100u);
+    // The IOhost was dark: at most a handful of stragglers complete.
+    EXPECT_LT(during, before / 10);
+    // Retransmission revived every thread; throughput returned.
+    EXPECT_GT(after, before);
+    EXPECT_EQ(wl.ioErrors(), 0u);
+    EXPECT_EQ(inj.outagesTriggered(), 1u);
+    EXPECT_GT(vm->hypervisor().offlineRxDrops(), 0u);
+    EXPECT_GT(vm->clientRetransmissions(0), 0u);
+    EXPECT_FALSE(vm->hypervisor().offline());
+}
+
+TEST(FaultInjection, SqueezeWindowClampsAndRestoresRings)
+{
+    bench::SweepOptions opt;
+    opt.tweak = [](models::ModelConfig &mc) { mc.with_block = true; };
+    bench::Experiment exp(ModelKind::Vrio, 1, opt);
+    exp.settle();
+    auto *vm = dynamic_cast<models::VrioModel *>(exp.model);
+    ASSERT_NE(vm, nullptr);
+
+    fault::FaultPlan plan;
+    plan.squeezeRxRing(exp.sim->now() + 10 * kMillisecond,
+                       10 * kMillisecond, 8);
+    fault::FaultInjector inj(*exp.sim, "fault", plan);
+    inj.attach(*vm);
+    inj.arm();
+
+    auto nics = vm->iohostClientNics();
+    ASSERT_FALSE(nics.empty());
+    size_t full = nics[0]->rxRingLimit();
+    EXPECT_GT(full, 8u);
+
+    exp.sim->runUntil(exp.sim->now() + 15 * kMillisecond);
+    for (net::Nic *nic : nics)
+        EXPECT_EQ(nic->rxRingLimit(), 8u);
+    exp.sim->runUntil(exp.sim->now() + 10 * kMillisecond);
+    for (net::Nic *nic : nics)
+        EXPECT_EQ(nic->rxRingLimit(), full);
+}
+
+TEST(FaultSweep, ResultsIndependentOfWorkerCount)
+{
+    // The resilience bench distributes fault cells over a thread
+    // pool; per-cell results must not depend on the pool size.
+    auto sweep = [](unsigned jobs) {
+        bench::SweepRunner runner(jobs);
+        std::vector<std::shared_ptr<VrioRun>> slots;
+        for (uint64_t seed : {21ull, 22ull, 23ull}) {
+            slots.push_back(runner.defer<VrioRun>(
+                "cell " + std::to_string(seed), [seed]() {
+                    fault::FaultPlan plan;
+                    plan.seed = seed;
+                    plan.dropRate(0.005);
+                    return runVrioFilebench(&plan);
+                }));
+        }
+        runner.run();
+        std::vector<uint64_t> out;
+        for (auto &s : slots) {
+            out.push_back(s->ops);
+            out.push_back(s->retransmits);
+            out.push_back(s->injected_drops);
+        }
+        return out;
+    };
+    EXPECT_EQ(sweep(1), sweep(3));
+}
+
+} // namespace
+} // namespace vrio

@@ -21,6 +21,11 @@ run cmake -B build-ci-asan -S . \
 run cmake --build build-ci-asan -j "$JOBS"
 run ctest --test-dir build-ci-asan --output-on-failure -j "$JOBS"
 
+# The fault injector's hook/outage paths touch freed rings and
+# detached hooks in teardown-heavy patterns; run its suite standalone
+# under the sanitizers so a failure names it directly.
+run ./build-ci-asan/tests/fault_test
+
 echo "== Release =="
 run cmake -B build-ci-release -S . -DCMAKE_BUILD_TYPE=Release
 run cmake --build build-ci-release -j "$JOBS"
@@ -28,5 +33,8 @@ run ctest --test-dir build-ci-release --output-on-failure -j "$JOBS"
 
 echo "== Simulator hot-path microbenchmark (Release) =="
 run ./build-ci-release/bench/micro_sim_hotpath
+
+echo "== Resilience benchmark smoke (Release) =="
+run env VRIO_RESILIENCE_SMOKE=1 ./build-ci-release/bench/abl_resilience
 
 echo "CI OK"

@@ -518,6 +518,43 @@ TEST(Retransmit, ExpiryScheduleIsExponential)
     EXPECT_EQ(h.sends.size(), 4u);
 }
 
+TEST(Retransmit, UncappedBackoffSaturatesInsteadOfWrapping)
+{
+    // With max_timeout == 0 the timeout doubles forever; after ~50
+    // expiries the naive doubling would wrap Tick and schedule into
+    // the past (a panic).  The backoff must saturate instead and the
+    // give-up path must still fire.
+    RetransmitHarness h;
+    h.cfg.initial_timeout = 1; // 1 tick: reach the huge range fast
+    h.cfg.max_timeout = 0;
+    h.cfg.max_retries = 80; // > 64 doublings
+    h.build();
+    h.rq->track(1);
+    // Drain every expiry; saturated timeouts land near Tick max, so
+    // completion (not a time limit) is the only safe horizon.
+    h.sim.events().runToCompletion();
+    ASSERT_EQ(h.failures.size(), 1u);
+    EXPECT_EQ(h.sends.size(), size_t(h.cfg.max_retries) + 1);
+}
+
+TEST(Retransmit, StaleGenerationResponseLeavesRequestLive)
+{
+    // Section 4.5: a response carrying an old generation is ignored —
+    // the request keeps running on its current generation and can
+    // still complete.
+    RetransmitHarness h;
+    h.build();
+    h.rq->track(9);
+    h.sim.runUntil(11 * kMillisecond); // one expiry -> generation 1
+    ASSERT_EQ(h.sends.size(), 2u);
+    EXPECT_EQ(h.rq->accept(9, 0), RetransmitQueue::Accept::Stale);
+    EXPECT_EQ(h.rq->inFlight(), 1u); // still live, timer still armed
+    EXPECT_EQ(h.rq->accept(9, 1), RetransmitQueue::Accept::Ok);
+    EXPECT_EQ(h.rq->inFlight(), 0u);
+    h.sim.runUntil(sim::kSecond);
+    EXPECT_TRUE(h.failures.empty());
+}
+
 TEST(Retransmit, CancelStopsTimers)
 {
     RetransmitHarness h;
