@@ -8,9 +8,26 @@
 #include <string>
 #include <thread>
 
+#include "fault/injector.hpp"
+#include "models/vrio.hpp"
 #include "util/logging.hpp"
 
 namespace vrio::bench {
+
+bool
+smokeMode()
+{
+    const char *env = std::getenv("VRIO_BENCH_SMOKE");
+    return env && env[0] == '1';
+}
+
+SweepOptions::SweepOptions()
+{
+    if (smokeMode()) {
+        warmup = sim::Tick(10) * sim::kMillisecond;
+        measure = sim::Tick(40) * sim::kMillisecond;
+    }
+}
 
 unsigned
 SweepRunner::defaultJobs()
@@ -265,6 +282,58 @@ runNetperfStream(ModelKind kind, unsigned n_vms, const SweepOptions &opt)
     double messages = double(bytes) / 64.0;
     out.cycles_per_msg =
         messages > 0 ? (cycles_after - cycles_before) / messages : 0.0;
+    return out;
+}
+
+std::unique_ptr<fault::FaultInjector>
+attachInjector(Experiment &exp, const fault::FaultPlan &plan)
+{
+    auto *vrio_model = dynamic_cast<models::VrioModel *>(exp.model);
+    if (!vrio_model || plan.empty())
+        return nullptr;
+    auto inj = std::make_unique<fault::FaultInjector>(*exp.sim, "fault",
+                                                      plan);
+    inj->attach(*vrio_model);
+    inj->arm();
+    return inj;
+}
+
+FaultedStreamResult
+runNetperfStreamFaulted(ModelKind kind, unsigned n_vms,
+                        const SweepOptions &opt,
+                        const fault::FaultPlan &plan,
+                        workloads::NetperfStream::Config scfg)
+{
+    Experiment exp(kind, n_vms, opt);
+    exp.settle();
+    auto inj = attachInjector(exp, plan);
+
+    std::vector<std::unique_ptr<workloads::NetperfStream>> wls;
+    for (unsigned v = 0; v < n_vms; ++v) {
+        auto &gen = exp.rack->generator(v % opt.generators);
+        unsigned session = gen.newSession();
+        wls.push_back(std::make_unique<workloads::NetperfStream>(
+            gen, session, exp.model->guest(v), opt.costs, scfg));
+        wls.back()->start();
+    }
+    exp.sim->runUntil(exp.sim->now() + opt.warmup);
+    for (auto &wl : wls)
+        wl->resetStats();
+    exp.sim->runUntil(exp.sim->now() + opt.measure);
+
+    FaultedStreamResult out;
+    for (auto &wl : wls) {
+        out.total_gbps += wl->throughputGbps(*exp.sim);
+        out.tcp_retransmits += wl->tcpRetransmits();
+        if (const auto *tcp = wl->tcp()) {
+            out.tcp_timeouts += tcp->timeouts();
+            out.tcp_fast_retransmits += tcp->fastRetransmits();
+            out.cwnd_peak =
+                std::max(out.cwnd_peak, wl->cwndTrace().max());
+            out.srtt_last_us =
+                std::max(out.srtt_last_us, wl->srttTrace().last());
+        }
+    }
     return out;
 }
 

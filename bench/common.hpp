@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/testbed.hpp"
+#include "fault/plan.hpp"
 #include "models/io_model.hpp"
 #include "stats/histogram.hpp"
 #include "stats/table.hpp"
@@ -20,10 +21,26 @@
 #include "workloads/netperf.hpp"
 #include "workloads/request_response.hpp"
 
+namespace vrio::fault {
+class FaultInjector;
+}
+
 namespace vrio::bench {
+
+/**
+ * True when VRIO_BENCH_SMOKE=1: every bench shrinks its simulated
+ * warmup/measure windows so the whole fig/tab/abl suite runs in
+ * seconds.  Outputs stay fully deterministic — the golden-run
+ * regression harness (tests/golden_test.cpp) snapshots exactly these
+ * reduced runs.
+ */
+bool smokeMode();
 
 struct SweepOptions
 {
+    /** Defaults shrink to 10/40 ms under smokeMode(). */
+    SweepOptions();
+
     sim::Tick warmup = sim::Tick(30) * sim::kMillisecond;
     sim::Tick measure = sim::Tick(250) * sim::kMillisecond;
     unsigned vmhosts = 1;
@@ -75,6 +92,38 @@ struct StreamResult
 /** Netperf TCP stream (64B messages), guest -> generator. */
 StreamResult runNetperfStream(models::ModelKind kind, unsigned n_vms,
                               const SweepOptions &opt);
+
+/**
+ * Attach-and-arm a fault injector when the model is a vRIO wiring and
+ * the plan does something; returns null (and leaves the run untouched)
+ * otherwise.
+ */
+std::unique_ptr<fault::FaultInjector>
+attachInjector(Experiment &exp, const fault::FaultPlan &plan);
+
+struct FaultedStreamResult
+{
+    double total_gbps = 0;
+    /** All retransmissions (legacy RTO / adaptive timeout + fast). */
+    uint64_t tcp_retransmits = 0;
+    uint64_t tcp_timeouts = 0;
+    uint64_t tcp_fast_retransmits = 0;
+    /** Peak congestion window over the measure window [chunks]. */
+    double cwnd_peak = 0;
+    /** SRTT at end of run [us] (adaptive mode only). */
+    double srtt_last_us = 0;
+};
+
+/**
+ * Netperf TCP stream driven through a fault plan (loss sweeps); the
+ * stream config selects the legacy fixed-window or the adaptive
+ * congestion-controlled stack.
+ */
+FaultedStreamResult
+runNetperfStreamFaulted(models::ModelKind kind, unsigned n_vms,
+                        const SweepOptions &opt,
+                        const fault::FaultPlan &plan,
+                        workloads::NetperfStream::Config scfg);
 
 struct TpsResult
 {

@@ -16,7 +16,8 @@ int
 main()
 {
     bench::SweepOptions opt;
-    opt.measure = sim::Tick(500) * sim::kMillisecond;
+    if (!bench::smokeMode())
+        opt.measure = sim::Tick(500) * sim::kMillisecond;
 
     const ModelKind kinds[] = {ModelKind::Optimum, ModelKind::Vrio,
                                ModelKind::Elvis, ModelKind::Baseline};

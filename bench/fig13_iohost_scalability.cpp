@@ -40,7 +40,8 @@ main()
             opt.vmhosts = 4;
             opt.generators = 4;
             opt.sidecores = sc;
-            opt.measure = sim::Tick(150) * sim::kMillisecond;
+            if (!bench::smokeMode())
+                opt.measure = sim::Tick(150) * sim::kMillisecond;
             rr_cells.back().push_back(
                 runner.netperfRr(ModelKind::Vrio, n, opt));
             st_cells.back().push_back(

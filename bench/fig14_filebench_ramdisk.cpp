@@ -31,7 +31,8 @@ runScenario(ModelKind kind, unsigned n_vms, const Scenario &sc,
             uint64_t *ctx_switches = nullptr)
 {
     bench::SweepOptions opt;
-    opt.measure = sim::Tick(200) * sim::kMillisecond;
+    if (!bench::smokeMode())
+        opt.measure = sim::Tick(200) * sim::kMillisecond;
     opt.tweak = [](models::ModelConfig &mc) { mc.with_block = true; };
 
     bench::Experiment exp(kind, n_vms, opt);

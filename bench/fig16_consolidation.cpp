@@ -36,7 +36,8 @@ runWebserver(ModelKind kind, unsigned sidecores, bool only_first_host,
     bench::SweepOptions opt;
     opt.vmhosts = 2;
     opt.sidecores = sidecores;
-    opt.measure = sim::Tick(400) * sim::kMillisecond;
+    if (!bench::smokeMode())
+        opt.measure = sim::Tick(400) * sim::kMillisecond;
 
     std::vector<std::unique_ptr<interpose::Chain>> chains;
     opt.tweak = [&](models::ModelConfig &mc) {

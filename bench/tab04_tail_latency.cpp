@@ -19,7 +19,10 @@ int
 main()
 {
     bench::SweepOptions opt;
-    opt.measure = sim::Tick(4) * sim::kSecond;
+    // Tail percentiles need the long run; smoke mode keeps the
+    // shrunk default window (fewer samples, still deterministic).
+    if (!bench::smokeMode())
+        opt.measure = sim::Tick(4) * sim::kSecond;
 
     stats::Table table("Table 4: tail latency [usec] for one VM");
     table.setHeader(

@@ -8,7 +8,8 @@ namespace vrio::fault {
 FaultInjector::FaultInjector(sim::Simulation &sim, std::string name,
                              FaultPlan plan)
     : SimObject(sim, std::move(name)), plan_(std::move(plan)),
-      rng(sim::Random(plan_.seed).split("fault"))
+      rng(sim::Random(plan_.seed).split("fault")),
+      burst_rng(sim::Random(plan_.seed).split("fault.burst"))
 {}
 
 FaultInjector::~FaultInjector()
@@ -22,7 +23,9 @@ void
 FaultInjector::attachLink(net::Link &link)
 {
     link.setFaultHook(this);
+    link_index.emplace(&link, links.size());
     links.push_back(&link);
+    burst_states.emplace_back();
 }
 
 void
@@ -123,10 +126,38 @@ FaultInjector::endSqueeze()
         nic->setRxRingLimit(0);
 }
 
+bool
+FaultInjector::burstStep(net::Link &link, int direction)
+{
+    auto it = link_index.find(&link);
+    vrio_assert(it != link_index.end(), "hook from unattached link");
+    bool &bad = burst_states[it->second].bad[direction & 1];
+
+    const GilbertElliott &ge = plan_.burst;
+    // The current state decides this frame's fate; the chain then
+    // advances, so a bad-state residency of k frames loses k frames
+    // in a row (bad_loss = 1) — mean burst length 1/q.
+    double loss = bad ? ge.bad_loss : ge.good_loss;
+    bool lost = burst_rng.uniform() < loss;
+    double flip = bad ? ge.q : ge.p;
+    if (burst_rng.uniform() < flip)
+        bad = !bad;
+    return lost;
+}
+
 net::FaultVerdict
-FaultInjector::onTransmit(net::Link &, int, const net::Frame &)
+FaultInjector::onTransmit(net::Link &link, int direction,
+                          const net::Frame &)
 {
     net::FaultVerdict v;
+    // Correlated burst loss runs first: a frame the channel's bad
+    // state eats never reaches the i.i.d. fault lottery.
+    if (plan_.burst.active() && burstStep(link, direction)) {
+        ++burst_drops;
+        statCounter("injected.burst_drop").inc();
+        v.kind = net::FaultVerdict::Kind::Drop;
+        return v;
+    }
     const LinkFaultSpec &spec = plan_.channel;
     // Inactive spec: no draw at all, so attaching a disarmed injector
     // cannot perturb anything downstream.

@@ -20,6 +20,7 @@
 #ifndef VRIO_FAULT_INJECTOR_HPP
 #define VRIO_FAULT_INJECTOR_HPP
 
+#include <unordered_map>
 #include <vector>
 
 #include "fault/plan.hpp"
@@ -69,6 +70,8 @@ class FaultInjector : public sim::SimObject, public net::LinkFaultHook
     uint64_t framesCorrupted() const { return corrupts; }
     uint64_t framesDelayed() const { return delays; }
     uint64_t framesReordered() const { return reorders; }
+    /** Frames lost to the Gilbert-Elliott burst process. */
+    uint64_t framesBurstDropped() const { return burst_drops; }
     uint64_t outagesTriggered() const { return outage_count; }
 
     // net::LinkFaultHook
@@ -79,8 +82,23 @@ class FaultInjector : public sim::SimObject, public net::LinkFaultHook
     FaultPlan plan_;
     /** Private stream; see the determinism contract above. */
     sim::Random rng;
+    /**
+     * Separate substream for the burst chains so enabling
+     * Gilbert-Elliott never shifts the i.i.d. spec's draw sequence
+     * (and vice versa).
+     */
+    sim::Random burst_rng;
+
+    /** Per-direction Markov channel state for one attached link. */
+    struct BurstState
+    {
+        bool bad[2] = {false, false};
+    };
 
     std::vector<net::Link *> links;
+    /** Parallel to `links`; located via linkIndex() in the hot hook. */
+    std::vector<BurstState> burst_states;
+    std::unordered_map<const net::Link *, size_t> link_index;
     std::vector<net::Nic *> rings;
     iohost::IoHypervisor *iohv = nullptr;
     bool armed = false;
@@ -89,7 +107,11 @@ class FaultInjector : public sim::SimObject, public net::LinkFaultHook
     uint64_t corrupts = 0;
     uint64_t delays = 0;
     uint64_t reorders = 0;
+    uint64_t burst_drops = 0;
     uint64_t outage_count = 0;
+
+    /** True when the burst chain (state advanced) eats this frame. */
+    bool burstStep(net::Link &link, int direction);
 
     void beginOutage(const OutageWindow &w);
     void endOutage();

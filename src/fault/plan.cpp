@@ -14,6 +14,31 @@ checkRate(double p)
 
 } // namespace
 
+double
+GilbertElliott::steadyStateLoss() const
+{
+    if (p <= 0.0)
+        return good_loss;
+    double pi_bad = p / (p + q);
+    return pi_bad * bad_loss + (1.0 - pi_bad) * good_loss;
+}
+
+GilbertElliott
+GilbertElliott::forAverageLoss(double avg_loss, double mean_burst)
+{
+    vrio_assert(avg_loss >= 0.0 && avg_loss < 1.0,
+                "average loss out of range: ", avg_loss);
+    vrio_assert(mean_burst >= 1.0,
+                "mean burst below one frame: ", mean_burst);
+    GilbertElliott ge;
+    ge.good_loss = 0.0;
+    ge.bad_loss = 1.0;
+    ge.q = 1.0 / mean_burst;
+    // pi_bad = p / (p + q) must equal avg_loss.
+    ge.p = avg_loss > 0.0 ? ge.q * avg_loss / (1.0 - avg_loss) : 0.0;
+    return ge;
+}
+
 FaultPlan &
 FaultPlan::dropRate(double p)
 {
@@ -49,6 +74,26 @@ FaultPlan::reorderRate(double p, sim::Tick window)
 }
 
 FaultPlan &
+FaultPlan::burstLoss(GilbertElliott model)
+{
+    checkRate(model.p);
+    checkRate(model.q);
+    checkRate(model.good_loss);
+    checkRate(model.bad_loss);
+    vrio_assert(model.p <= 0.0 || model.q > 0.0,
+                "burst model can never leave the bad state");
+    burst = model;
+    return *this;
+}
+
+FaultPlan &
+FaultPlan::burstLoss(double avg_loss, double mean_burst)
+{
+    return burstLoss(GilbertElliott::forAverageLoss(avg_loss,
+                                                    mean_burst));
+}
+
+FaultPlan &
 FaultPlan::killIoHost(sim::Tick at, sim::Tick duration)
 {
     vrio_assert(duration > 0, "outage needs a positive duration");
@@ -76,8 +121,8 @@ FaultPlan::squeezeRxRing(sim::Tick at, sim::Tick duration, size_t limit)
 bool
 FaultPlan::empty() const
 {
-    return !channel.active() && outages.empty() && stalls.empty() &&
-           squeezes.empty();
+    return !channel.active() && !burst.active() && outages.empty() &&
+           stalls.empty() && squeezes.empty();
 }
 
 } // namespace vrio::fault

@@ -51,6 +51,46 @@ struct LinkFaultSpec
     }
 };
 
+/**
+ * Two-state Markov (Gilbert-Elliott) correlated burst-loss model.
+ *
+ * Each interposed link direction carries a hidden good/bad channel
+ * state; every frame is lost with the current state's loss
+ * probability, then the chain transitions.  Unlike the i.i.d.
+ * LinkFaultSpec::drop_rate, losses cluster into bursts of mean length
+ * 1/q frames, which is what trips TCP's fast-retransmit/timeout
+ * machinery in ways uniform loss at the same average rate does not.
+ */
+struct GilbertElliott
+{
+    /** P(good -> bad) per frame. */
+    double p = 0.0;
+    /** P(bad -> good) per frame; mean bad-burst length is 1/q. */
+    double q = 1.0;
+    /** Frame-loss probability in the good state. */
+    double good_loss = 0.0;
+    /** Frame-loss probability in the bad state (classic Gilbert: 1). */
+    double bad_loss = 1.0;
+
+    /** Whether this model can ever lose a frame. */
+    bool active() const
+    {
+        return (p > 0.0 && bad_loss > 0.0) || good_loss > 0.0;
+    }
+
+    /** Long-run fraction of frames lost. */
+    double steadyStateLoss() const;
+
+    /**
+     * Parameterize for a long-run loss rate of @p avg_loss with mean
+     * loss-burst length @p mean_burst frames (classic Gilbert:
+     * bad_loss = 1, good_loss = 0).  Comparing this against an i.i.d.
+     * drop_rate of @p avg_loss isolates the effect of correlation.
+     */
+    static GilbertElliott forAverageLoss(double avg_loss,
+                                         double mean_burst);
+};
+
 /** "Kill the IOhost at `at` for `duration`." */
 struct OutageWindow
 {
@@ -95,6 +135,13 @@ struct FaultPlan
     /** Frame faults applied to every attached link (both directions). */
     LinkFaultSpec channel;
 
+    /**
+     * Correlated burst loss layered on every attached link; one
+     * independent chain per link direction, all drawn from the
+     * injector's dedicated "fault.burst" RNG substream.
+     */
+    GilbertElliott burst;
+
     std::vector<OutageWindow> outages;
     std::vector<StallWindow> stalls;
     std::vector<RxSqueezeWindow> squeezes;
@@ -107,6 +154,10 @@ struct FaultPlan
     FaultPlan &reorderRate(double p,
                            sim::Tick window = sim::Tick(50) *
                                               sim::kMicrosecond);
+    /** Install @p model as the correlated burst-loss process. */
+    FaultPlan &burstLoss(GilbertElliott model);
+    /** Classic Gilbert burst loss at a target average rate. */
+    FaultPlan &burstLoss(double avg_loss, double mean_burst);
     FaultPlan &killIoHost(sim::Tick at, sim::Tick duration);
     FaultPlan &stallSidecore(unsigned worker, sim::Tick at,
                              sim::Tick duration);

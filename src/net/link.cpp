@@ -62,6 +62,7 @@ Link::transmit(NetPort &from, FramePtr frame)
                 break;
             case FaultVerdict::Kind::Drop:
                 ++lost;
+                ++fault_lost;
                 return;
             case FaultVerdict::Kind::Corrupt:
                 frame->fcs_corrupt = true;

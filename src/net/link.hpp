@@ -103,6 +103,12 @@ class Link : public sim::SimObject
 
     uint64_t framesDelivered() const { return delivered; }
     uint64_t framesLost() const { return lost; }
+    /**
+     * Subset of framesLost() eaten by the fault hook (injected i.i.d.
+     * or burst drops) rather than the link's own loss_probability;
+     * lets benches separate injected loss from intrinsic loss.
+     */
+    uint64_t framesLostToFaults() const { return fault_lost; }
     uint64_t bytesCarried() const { return bytes; }
 
   private:
@@ -115,6 +121,7 @@ class Link : public sim::SimObject
 
     uint64_t delivered = 0;
     uint64_t lost = 0;
+    uint64_t fault_lost = 0;
     uint64_t bytes = 0;
 };
 

@@ -23,6 +23,21 @@ TimeSeries::mean() const
     return acc / double(data.size());
 }
 
+double
+TimeSeries::max() const
+{
+    double best = 0.0;
+    for (const auto &p : data)
+        best = p.value > best ? p.value : best;
+    return best;
+}
+
+double
+TimeSeries::last() const
+{
+    return data.empty() ? 0.0 : data.back().value;
+}
+
 std::vector<TimeSeries::Point>
 TimeSeries::runningAverage() const
 {

@@ -29,6 +29,12 @@ class TimeSeries
     /** Mean of values (unweighted by time). */
     double mean() const;
 
+    /** Largest value recorded (0 when empty); cwnd-trace peaks. */
+    double max() const;
+
+    /** Most recent value (0 when empty); end-of-run SRTT/cwnd. */
+    double last() const;
+
     /**
      * Running average series: point i holds the mean of values 0..i.
      * Mirrors the "avg." line of the paper's Fig. 15.

@@ -1,5 +1,8 @@
 #include "workloads/netperf.hpp"
 
+#include "util/byte_buffer.hpp"
+#include "util/logging.hpp"
+
 namespace vrio::workloads {
 
 NetperfRr::NetperfRr(models::Generator &gen, unsigned session,
@@ -50,6 +53,11 @@ NetperfStream::NetperfStream(models::Generator &gen, unsigned session,
 {
     sim_ = &gen.sim();
 
+    if (this->cfg.adaptive) {
+        installAdaptiveHandlers();
+        return;
+    }
+
     // Generator side: count payload and ack every chunk.
     gen.setHandler(session, [this](Bytes payload, net::MacAddress src,
                                    uint64_t pad) {
@@ -75,7 +83,10 @@ void
 NetperfStream::start()
 {
     epoch = sim_->now();
-    trySend();
+    if (cfg.adaptive)
+        trySendAdaptive();
+    else
+        trySend();
 }
 
 void
@@ -111,6 +122,160 @@ NetperfStream::trySend()
     }
 }
 
+// -- adaptive (congestion-controlled) stack ------------------------------
+
+namespace {
+
+constexpr size_t kSeqBytes = 8;
+
+uint64_t
+decodeSeq(const Bytes &payload)
+{
+    ByteReader r(payload);
+    return r.getU64be();
+}
+
+} // namespace
+
+void
+NetperfStream::installAdaptiveHandlers()
+{
+    vrio_assert(cfg.chunk_bytes >= kSeqBytes,
+                "chunk too small for a sequence header");
+    tcp_ = std::make_unique<TcpCongestion>(cfg.tcp);
+
+    // Generator side: in-order tracking and cumulative acks.  A gap
+    // produces duplicate acks (same next-expected sequence) that the
+    // sender's fast-retransmit logic feeds on; a duplicate delivery
+    // re-acks without counting goodput twice.
+    gen.setHandler(session, [this](Bytes payload, net::MacAddress src,
+                                   uint64_t pad) {
+        uint64_t seq = decodeSeq(payload);
+        bool fresh = seq >= rx_expected && !rx_ooo.count(seq);
+        if (fresh)
+            bytes_rx += payload.size() + pad;
+        if (seq == rx_expected) {
+            ++rx_expected;
+            while (!rx_ooo.empty() &&
+                   *rx_ooo.begin() == rx_expected) {
+                rx_ooo.erase(rx_ooo.begin());
+                ++rx_expected;
+            }
+        } else if (seq > rx_expected) {
+            rx_ooo.insert(seq);
+        }
+        Bytes ack;
+        ByteWriter w(ack);
+        w.putU64be(rx_expected);
+        this->gen.send(this->session, src, std::move(ack));
+    });
+
+    // Guest side: the congestion machine consumes cumulative acks.
+    guest.setNetHandler([this](Bytes payload, net::MacAddress,
+                               uint64_t) {
+        sim::Tick now = sim_->now();
+        auto action = tcp_->onAck(decodeSeq(payload), now);
+        cwnd_trace.add(now, tcp_->cwnd());
+        if (tcp_->lastAckSampledRtt())
+            srtt_trace.add(now, sim::ticksToMicros(tcp_->srtt()));
+        if (action.retransmit)
+            resendChunk(action.retransmit_seq);
+        armRtoTimer();
+        trySendAdaptive();
+    });
+}
+
+void
+NetperfStream::trySendAdaptive()
+{
+    bool sent = false;
+    while (tcp_->canSend()) {
+        uint64_t seq = tcp_->onSend(sim_->now());
+        ++chunks_tx;
+        // The guest pays per-message cost for every 64B send() the
+        // stack coalesces into this chunk, exactly as in legacy mode.
+        sendChunk(seq, double(cfg.chunk_bytes) / double(cfg.msg_bytes));
+        sent = true;
+    }
+    if (sent && !rto_timer.pending())
+        armRtoTimer();
+}
+
+void
+NetperfStream::sendChunk(uint64_t seq, double charge_msgs)
+{
+    // Serialize all chunk sends through one chained vCPU job.  The
+    // congestion machine often emits sends from an ack's completion
+    // callback; submitting them straight to the core would let them
+    // bypass chunks still queued there (the Resource frees its server
+    // before running the callback), putting chunks on the wire out of
+    // order and triggering spurious fast retransmits at zero loss.
+    tx_queue.emplace_back(seq, charge_msgs);
+    if (!tx_busy)
+        pumpTxQueue();
+}
+
+void
+NetperfStream::pumpTxQueue()
+{
+    vrio_assert(!tx_queue.empty(), "pump of an empty tx queue");
+    tx_busy = true;
+    auto [seq, charge_msgs] = tx_queue.front();
+    tx_queue.pop_front();
+
+    Bytes hdr;
+    ByteWriter w(hdr);
+    w.putU64be(seq);
+    double msgs = double(cfg.chunk_bytes) / double(cfg.msg_bytes);
+    guest.vm().vcpu().run(
+        costs.stream_msg_cycles * charge_msgs,
+        [this, hdr = std::move(hdr), msgs]() mutable {
+            // sendNet() first: its transmission job takes the core
+            // ahead of the next chunk's application cost, keeping the
+            // wire order equal to the send order.
+            guest.sendNet(gen.sessionMac(session), std::move(hdr),
+                          cfg.chunk_bytes - kSeqBytes, uint64_t(msgs));
+            if (tx_queue.empty())
+                tx_busy = false;
+            else
+                pumpTxQueue();
+        });
+}
+
+void
+NetperfStream::resendChunk(uint64_t seq)
+{
+    ++tcp_retransmits_;
+    tcp_->onRetransmitSent(seq, sim_->now());
+    // The application already paid the per-message cost when the data
+    // first entered the stack; a retransmission is stack work only,
+    // charged as a single message.
+    sendChunk(seq, 1.0);
+}
+
+void
+NetperfStream::armRtoTimer()
+{
+    rto_timer.cancel();
+    if (!tcp_->hasOutstanding())
+        return;
+    rto_timer = sim_->events().schedule(tcp_->rto(),
+                                        [this]() { onRtoTimer(); });
+}
+
+void
+NetperfStream::onRtoTimer()
+{
+    if (!tcp_->hasOutstanding())
+        return;
+    uint64_t seq = tcp_->onRtoExpiry(sim_->now());
+    resendChunk(seq);
+    // Collapsing to cwnd = 1 may have reopened nothing; the window
+    // grows again as acks return.  Rearm with the backed-off timeout.
+    armRtoTimer();
+    trySendAdaptive();
+}
+
 void
 NetperfStream::resetStats()
 {
@@ -118,6 +283,8 @@ NetperfStream::resetStats()
     chunks_tx = 0;
     tcp_retransmits_ = 0;
     epoch = sim_->now();
+    cwnd_trace = {};
+    srtt_trace = {};
 }
 
 double

@@ -6,11 +6,17 @@
 #ifndef VRIO_WORKLOADS_NETPERF_HPP
 #define VRIO_WORKLOADS_NETPERF_HPP
 
+#include <deque>
 #include <map>
+#include <memory>
+#include <set>
+#include <utility>
 
 #include "models/generator.hpp"
 #include "models/io_model.hpp"
 #include "stats/histogram.hpp"
+#include "stats/time_series.hpp"
+#include "workloads/tcp_congestion.hpp"
 
 namespace vrio::workloads {
 
@@ -55,8 +61,23 @@ class NetperfRr
 
 /**
  * Netperf TCP stream, 64-byte messages, guest -> generator.  Messages
- * coalesce into TSO chunks; a fixed window of chunks is in flight and
- * the generator acks each chunk.
+ * coalesce into TSO chunks; the generator acks each chunk.
+ *
+ * Two window disciplines:
+ *
+ *  - Legacy (default, `adaptive == false`): a fixed window of
+ *    `window_chunks` is in flight and each chunk may carry a fixed
+ *    per-chunk RTO (`rto`).  This is the pre-congestion-control model
+ *    the existing figures were captured with; its event schedule is
+ *    kept byte-identical.
+ *
+ *  - Adaptive (`adaptive == true`): a TcpCongestion state machine
+ *    (slow start + AIMD, SRTT/RTTVAR adaptive RTO with exponential
+ *    backoff, fast retransmit on triple duplicate ack) governs the
+ *    window.  Chunks carry an 8-byte sequence number; acks carry the
+ *    receiver's cumulative next-expected sequence so duplicate acks
+ *    signal gaps.  cwnd and SRTT are traced per ack for the
+ *    stream-under-loss benches.
  */
 class NetperfStream
 {
@@ -67,13 +88,17 @@ class NetperfStream
         size_t chunk_bytes = 16 * 1024;
         unsigned window_chunks = 8;
         /**
-         * Retransmission timeout for the guest-TCP abstraction; 0
-         * disables loss recovery (the default — lossless runs never
-         * schedule a timer).  With a lossy channel the closed window
-         * would otherwise deadlock once enough chunks vanish; the RTO
-         * models TCP reopening the window by retransmitting.
+         * Legacy-mode retransmission timeout; 0 disables loss recovery
+         * (the default — lossless runs never schedule a timer).  With
+         * a lossy channel the closed window would otherwise deadlock
+         * once enough chunks vanish; the RTO models TCP reopening the
+         * window by retransmitting.  Ignored when `adaptive` is set.
          */
         sim::Tick rto = 0;
+        /** Use the congestion-controlled stack instead. */
+        bool adaptive = false;
+        /** Congestion parameters for the adaptive stack. */
+        TcpCongestion::Config tcp;
     };
 
     NetperfStream(models::Generator &gen, unsigned session,
@@ -86,11 +111,22 @@ class NetperfStream
     /** Payload bytes received by the generator since the last reset. */
     uint64_t bytesReceived() const { return bytes_rx; }
     uint64_t chunksSent() const { return chunks_tx; }
-    /** Window slots reclaimed by RTO expiry (lost chunk + resend). */
+    /**
+     * Legacy mode: window slots reclaimed by RTO expiry.  Adaptive
+     * mode: chunks retransmitted (timeout + fast retransmit).
+     */
     uint64_t tcpRetransmits() const { return tcp_retransmits_; }
 
     /** Gbps over the window [reset, now]. */
     double throughputGbps(sim::Simulation &sim) const;
+
+    // -- adaptive-stack introspection ---------------------------------
+    /** Congestion state; null in legacy mode. */
+    const TcpCongestion *tcp() const { return tcp_.get(); }
+    /** (tick, cwnd in chunks) recorded at every ack. */
+    const stats::TimeSeries &cwndTrace() const { return cwnd_trace; }
+    /** (tick, SRTT in us) recorded at every RTT-sampling ack. */
+    const stats::TimeSeries &srttTrace() const { return srtt_trace; }
 
   private:
     models::Generator &gen;
@@ -110,7 +146,35 @@ class NetperfStream
     std::map<uint64_t, sim::EventHandle> rto_timers;
     uint64_t next_chunk_seq = 0;
 
+    // -- adaptive-mode state ------------------------------------------
+    std::unique_ptr<TcpCongestion> tcp_;
+    sim::EventHandle rto_timer;
+    /**
+     * Chunks awaiting their guest-side send cost.  The workload chains
+     * one vCPU job at a time through this queue: a job submitted from
+     * another job's completion callback would otherwise bypass jobs
+     * already waiting on the core (the Resource frees its server
+     * before the callback runs), reordering the wire stream and
+     * triggering spurious fast retransmits.
+     */
+    std::deque<std::pair<uint64_t, double>> tx_queue;
+    bool tx_busy = false;
+    /** Receiver: next in-order sequence expected. */
+    uint64_t rx_expected = 0;
+    /** Receiver: buffered out-of-order sequences. */
+    std::set<uint64_t> rx_ooo;
+    stats::TimeSeries cwnd_trace;
+    stats::TimeSeries srtt_trace;
+
     void trySend();
+
+    void installAdaptiveHandlers();
+    void trySendAdaptive();
+    void sendChunk(uint64_t seq, double charge_msgs);
+    void pumpTxQueue();
+    void resendChunk(uint64_t seq);
+    void armRtoTimer();
+    void onRtoTimer();
 };
 
 } // namespace vrio::workloads

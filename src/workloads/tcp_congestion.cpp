@@ -1,0 +1,184 @@
+#include "workloads/tcp_congestion.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace vrio::workloads {
+
+TcpCongestion::TcpCongestion(Config cfg)
+    : cfg(cfg),
+      cwnd_(std::min(cfg.initial_cwnd, cfg.max_window)),
+      ssthresh_(std::min(cfg.initial_ssthresh, cfg.max_window)),
+      base_rto_(cfg.initial_rto)
+{
+    vrio_assert(cfg.initial_cwnd >= 1.0, "initial cwnd below one chunk");
+    vrio_assert(cfg.max_window >= 1.0, "max window below one chunk");
+    vrio_assert(cfg.min_rto > 0 && cfg.min_rto <= cfg.max_rto,
+                "bad RTO clamp range");
+    vrio_assert(cfg.dupack_threshold >= 1, "dupack threshold of zero");
+}
+
+unsigned
+TcpCongestion::windowLimit() const
+{
+    double w = std::min(cwnd_, cfg.max_window);
+    return unsigned(std::max(1.0, std::floor(w)));
+}
+
+bool
+TcpCongestion::canSend() const
+{
+    return flight.size() < size_t(windowLimit());
+}
+
+uint64_t
+TcpCongestion::onSend(sim::Tick now)
+{
+    vrio_assert(canSend(), "send past the congestion window");
+    uint64_t seq = next_seq++;
+    flight.push_back(Chunk{seq, now, false});
+    return seq;
+}
+
+uint64_t
+TcpCongestion::oldestUnacked() const
+{
+    vrio_assert(!flight.empty(), "no outstanding chunk");
+    return flight.front().seq;
+}
+
+void
+TcpCongestion::sampleRtt(sim::Tick rtt)
+{
+    ++rtt_samples;
+    if (srtt_ == 0) {
+        // First measurement (RFC 6298 2.2).
+        srtt_ = rtt;
+        rttvar_ = rtt / 2;
+    } else {
+        // Jacobson: RTTVAR <- 3/4 RTTVAR + 1/4 |SRTT - R|,
+        //           SRTT   <- 7/8 SRTT   + 1/8 R.
+        sim::Tick err = srtt_ > rtt ? srtt_ - rtt : rtt - srtt_;
+        rttvar_ = (3 * rttvar_ + err) / 4;
+        srtt_ = (7 * srtt_ + rtt) / 8;
+    }
+    sim::Tick computed = srtt_ + std::max(sim::Tick(1), 4 * rttvar_);
+    base_rto_ = std::clamp(computed, cfg.min_rto, cfg.max_rto);
+}
+
+sim::Tick
+TcpCongestion::rto() const
+{
+    // Exponential backoff, saturating at max_rto.  The shift cannot
+    // overflow: the exponent is capped once the doubled value clears
+    // the saturation point.
+    sim::Tick t = base_rto_;
+    for (unsigned i = 0; i < backoff && t < cfg.max_rto; ++i)
+        t *= 2;
+    return std::min(t, cfg.max_rto);
+}
+
+void
+TcpCongestion::enterRecovery(bool timeout)
+{
+    // Multiplicative decrease (RFC 5681): half the flight size, floor
+    // of two chunks.
+    double half = double(flight.size()) / 2.0;
+    ssthresh_ = std::max(2.0, half);
+    if (timeout) {
+        // Lost the ack clock entirely: restart from one chunk.
+        cwnd_ = 1.0;
+    } else {
+        // Fast recovery, simplified: resume at ssthresh without the
+        // dupack window inflation of full Reno.
+        cwnd_ = ssthresh_;
+    }
+}
+
+TcpCongestion::AckAction
+TcpCongestion::onAck(uint64_t cum_ack, sim::Tick now)
+{
+    AckAction action;
+    last_ack_sampled = false;
+
+    if (cum_ack > next_seq) {
+        vrio_panic("ack ", cum_ack, " beyond highest sent ", next_seq);
+    }
+
+    if (cum_ack <= cum_ack_) {
+        // Duplicate (or stale) ack: the receiver saw a gap.
+        if (cum_ack == cum_ack_ && !flight.empty()) {
+            ++dupacks;
+            if (dupacks == cfg.dupack_threshold) {
+                ++fast_retx;
+                enterRecovery(false);
+                action.retransmit = true;
+                action.retransmit_seq = flight.front().seq;
+            }
+        }
+        return action;
+    }
+
+    // New data acked.
+    cum_ack_ = cum_ack;
+    dupacks = 0;
+    backoff = 0; // a genuine ack ends any timeout backoff run
+
+    Chunk newest_acked{};
+    bool have_newest = false;
+    while (!flight.empty() && flight.front().seq < cum_ack) {
+        newest_acked = flight.front();
+        have_newest = true;
+        flight.pop_front();
+        ++action.newly_acked;
+    }
+
+    // Karn's rule: only a chunk that went out exactly once yields an
+    // RTT sample (a retransmitted chunk's ack is ambiguous).
+    if (have_newest && !newest_acked.retransmitted) {
+        sampleRtt(now - newest_acked.sent_at);
+        last_ack_sampled = true;
+    }
+
+    // Window growth per acked chunk: slow start below ssthresh,
+    // congestion avoidance (+1/cwnd) above.
+    for (unsigned i = 0; i < action.newly_acked; ++i) {
+        if (cwnd_ < ssthresh_)
+            cwnd_ += 1.0;
+        else
+            cwnd_ += 1.0 / cwnd_;
+    }
+    cwnd_ = std::min(cwnd_, cfg.max_window);
+    return action;
+}
+
+uint64_t
+TcpCongestion::onRtoExpiry(sim::Tick)
+{
+    vrio_assert(!flight.empty(), "RTO fired with nothing outstanding");
+    ++timeouts_;
+    enterRecovery(true);
+    dupacks = 0;
+    // Back off; cap the exponent so rto() never loops far and the
+    // timeout saturates at max_rto instead of overflowing.
+    if (rto() < cfg.max_rto)
+        ++backoff;
+    return flight.front().seq;
+}
+
+void
+TcpCongestion::onRetransmitSent(uint64_t seq, sim::Tick now)
+{
+    for (Chunk &c : flight) {
+        if (c.seq == seq) {
+            c.retransmitted = true;
+            c.sent_at = now;
+            return;
+        }
+    }
+    vrio_panic("retransmit of unknown chunk ", seq);
+}
+
+} // namespace vrio::workloads

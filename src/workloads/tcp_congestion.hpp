@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Reno-style TCP congestion control at TSO-chunk granularity.
+ *
+ * The guest-TCP abstraction in NetperfStream sends fixed-size chunks
+ * and receives cumulative acks; this state machine decides how many
+ * chunks may be in flight (slow start + AIMD congestion window), when
+ * an unacked chunk should be retransmitted (adaptive RTO from
+ * SRTT/RTTVAR per Jacobson, exponential backoff on repeated expiry,
+ * fast retransmit on triple duplicate ack), and which RTT measurements
+ * are admissible (Karn's rule: never sample a retransmitted chunk).
+ *
+ * The class is a pure state machine — no simulator types beyond
+ * sim::Tick — so randomized property tests can drive it through
+ * arbitrary loss schedules without building a rack (see
+ * tests/transport_property_test.cpp).  DESIGN.md's "Guest TCP model"
+ * section lists what is Reno-faithful and what is simplified.
+ */
+#ifndef VRIO_WORKLOADS_TCP_CONGESTION_HPP
+#define VRIO_WORKLOADS_TCP_CONGESTION_HPP
+
+#include <cstdint>
+#include <deque>
+
+#include "sim/ticks.hpp"
+
+namespace vrio::workloads {
+
+class TcpCongestion
+{
+  public:
+    struct Config
+    {
+        /** Initial congestion window [chunks] (RFC 5681's IW). */
+        double initial_cwnd = 2.0;
+        /**
+         * Receiver window: cwnd never exceeds this many chunks, and
+         * the sender never has more than this many in flight.
+         */
+        double max_window = 64.0;
+        /** Initial slow-start threshold [chunks]. */
+        double initial_ssthresh = 32.0;
+        /** RTO before the first RTT sample exists. */
+        sim::Tick initial_rto = sim::Tick(10) * sim::kMillisecond;
+        /** Lower clamp on the computed RTO. */
+        sim::Tick min_rto = sim::Tick(1) * sim::kMillisecond;
+        /** Upper clamp; exponential backoff saturates here. */
+        sim::Tick max_rto = sim::Tick(500) * sim::kMillisecond;
+        /** Duplicate acks that trigger fast retransmit. */
+        unsigned dupack_threshold = 3;
+    };
+
+    explicit TcpCongestion(Config cfg);
+
+    // -- sender-side events -------------------------------------------
+
+    /** True when a never-sent chunk may be admitted to the network. */
+    bool canSend() const;
+
+    /**
+     * Record the transmission of the next new chunk at @p now; returns
+     * its sequence number.  Panics if canSend() is false (the caller
+     * must respect the window).
+     */
+    uint64_t onSend(sim::Tick now);
+
+    /** What an arriving cumulative ack asks the sender to do. */
+    struct AckAction
+    {
+        /** Chunks newly acked by this cumulative ack. */
+        unsigned newly_acked = 0;
+        /** Fast retransmit: resend @c retransmit_seq now. */
+        bool retransmit = false;
+        uint64_t retransmit_seq = 0;
+    };
+
+    /**
+     * Process a cumulative ack: @p cum_ack is the receiver's next
+     * expected sequence (all chunks < cum_ack have arrived).
+     */
+    AckAction onAck(uint64_t cum_ack, sim::Tick now);
+
+    /**
+     * The retransmission timer fired: collapse to slow start, back the
+     * RTO off exponentially, and return the sequence to retransmit
+     * (the oldest unacked chunk).  Panics when nothing is outstanding.
+     */
+    uint64_t onRtoExpiry(sim::Tick now);
+
+    /**
+     * Record that @p seq went back on the wire (fast retransmit or
+     * timeout path).  Marks it ineligible for RTT sampling (Karn).
+     */
+    void onRetransmitSent(uint64_t seq, sim::Tick now);
+
+    // -- timer management ---------------------------------------------
+
+    /** Current retransmission timeout including backoff. */
+    sim::Tick rto() const;
+
+    /** True while any chunk is sent-but-unacked. */
+    bool hasOutstanding() const { return !flight.empty(); }
+
+    /** Oldest sent-but-unacked sequence; panics when none. */
+    uint64_t oldestUnacked() const;
+
+    // -- inspection ----------------------------------------------------
+    double cwnd() const { return cwnd_; }
+    double ssthresh() const { return ssthresh_; }
+    unsigned inFlight() const { return unsigned(flight.size()); }
+    /** Chunks admitted by the current window: floor(min(cwnd, rwnd)). */
+    unsigned windowLimit() const;
+    bool hasRttEstimate() const { return srtt_ > 0; }
+    sim::Tick srtt() const { return srtt_; }
+    sim::Tick rttvar() const { return rttvar_; }
+    unsigned backoffExponent() const { return backoff; }
+    uint64_t nextSeq() const { return next_seq; }
+    uint64_t cumAck() const { return cum_ack_; }
+
+    uint64_t rttSamples() const { return rtt_samples; }
+    uint64_t fastRetransmits() const { return fast_retx; }
+    uint64_t timeouts() const { return timeouts_; }
+    /** True when the previous onAck() took an RTT sample. */
+    bool lastAckSampledRtt() const { return last_ack_sampled; }
+
+  private:
+    struct Chunk
+    {
+        uint64_t seq;
+        sim::Tick sent_at;
+        bool retransmitted;
+    };
+
+    Config cfg;
+    double cwnd_;
+    double ssthresh_;
+    sim::Tick srtt_ = 0;
+    sim::Tick rttvar_ = 0;
+    sim::Tick base_rto_;
+    unsigned backoff = 0;
+    unsigned dupacks = 0;
+
+    /** Sent-but-unacked chunks, oldest first (seqs are contiguous). */
+    std::deque<Chunk> flight;
+    uint64_t next_seq = 0;
+    uint64_t cum_ack_ = 0;
+
+    uint64_t rtt_samples = 0;
+    uint64_t fast_retx = 0;
+    uint64_t timeouts_ = 0;
+    bool last_ack_sampled = false;
+
+    void sampleRtt(sim::Tick rtt);
+    void enterRecovery(bool timeout);
+};
+
+} // namespace vrio::workloads
+
+#endif // VRIO_WORKLOADS_TCP_CONGESTION_HPP

@@ -7,6 +7,7 @@
  */
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <memory>
 
 #include "common.hpp"
@@ -415,6 +416,104 @@ TEST(FaultSweep, ResultsIndependentOfWorkerCount)
         return out;
     };
     EXPECT_EQ(sweep(1), sweep(3));
+}
+
+// -- Gilbert-Elliott burst-loss statistics --------------------------------
+
+/**
+ * Statistical validation of the two-state Markov loss chain: stream
+ * many sequence-stamped frames through an injector-hooked link and
+ * reconstruct the loss pattern from the gaps on the receive side.
+ * With bad_loss = 1 and good_loss = 0 the theory gives
+ *
+ *   long-run loss rate          p / (p + q)   (= the requested average)
+ *   mean loss-burst length      1 / q
+ *   P(loss | previous loss)     1 - q         (chain stays bad)
+ *
+ * Checked at three plan seeds so a lucky stream cannot mask a broken
+ * transition rule.
+ */
+class BurstLossStats : public ::testing::TestWithParam<uint64_t>
+{};
+
+TEST_P(BurstLossStats, MatchesChainTheory)
+{
+    constexpr int kFrames = 100000;
+    constexpr double kAvgLoss = 0.05;
+    constexpr double kMeanBurst = 6.0;
+    // ~5000 losses in ~830 bursts: comfortably inside 15% tolerance.
+    constexpr double kTol = 0.15;
+
+    sim::Simulation sim;
+    net::LinkConfig lcfg;
+    net::Link link(sim, "l", lcfg);
+    SinkPort src, dst;
+    link.connect(src, dst);
+
+    fault::FaultPlan plan;
+    plan.seed = GetParam();
+    plan.burstLoss(kAvgLoss, kMeanBurst);
+    fault::FaultInjector inj(sim, "inj", plan);
+    inj.attachLink(link);
+    inj.arm();
+
+    for (uint32_t seq = 0; seq < kFrames; ++seq) {
+        auto f = std::make_shared<net::Frame>();
+        f->bytes.resize(64);
+        std::memcpy(f->bytes.data(), &seq, sizeof(seq));
+        link.transmit(src, std::move(f));
+    }
+    sim.runToCompletion();
+
+    // One direction, no delay faults: deliveries stay in order, so
+    // the gaps between received sequence numbers are the loss bursts.
+    std::vector<bool> lost(kFrames, true);
+    for (const auto &f : dst.got) {
+        uint32_t seq;
+        std::memcpy(&seq, f->bytes.data(), sizeof(seq));
+        lost[seq] = false;
+    }
+
+    uint64_t losses = 0, bursts = 0, stay_pairs = 0, stay_lost = 0;
+    for (int i = 0; i < kFrames; ++i) {
+        if (!lost[i])
+            continue;
+        ++losses;
+        if (i == 0 || !lost[i - 1])
+            ++bursts;
+        if (i + 1 < kFrames) {
+            ++stay_pairs;
+            if (lost[i + 1])
+                ++stay_lost;
+        }
+    }
+    ASSERT_GT(bursts, 100u) << "too few bursts for statistics";
+    EXPECT_EQ(losses, inj.framesBurstDropped());
+
+    double rate = double(losses) / kFrames;
+    double mean_burst = double(losses) / double(bursts);
+    double stay = double(stay_lost) / double(stay_pairs);
+
+    EXPECT_NEAR(rate, kAvgLoss, kAvgLoss * kTol)
+        << "long-run loss rate off at seed " << GetParam();
+    EXPECT_NEAR(mean_burst, kMeanBurst, kMeanBurst * kTol)
+        << "mean burst length off at seed " << GetParam();
+    double expect_stay = 1.0 - 1.0 / kMeanBurst;
+    EXPECT_NEAR(stay, expect_stay, expect_stay * kTol)
+        << "loss correlation off at seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BurstLossStats,
+                         ::testing::Values(3, 17, 29));
+
+TEST(BurstLoss, ForAverageLossParameterization)
+{
+    auto ge = fault::GilbertElliott::forAverageLoss(0.02, 8.0);
+    EXPECT_DOUBLE_EQ(ge.q, 1.0 / 8.0);
+    EXPECT_DOUBLE_EQ(ge.p, ge.q * 0.02 / 0.98);
+    EXPECT_NEAR(ge.steadyStateLoss(), 0.02, 1e-12);
+    EXPECT_DOUBLE_EQ(ge.bad_loss, 1.0);
+    EXPECT_DOUBLE_EQ(ge.good_loss, 0.0);
 }
 
 } // namespace

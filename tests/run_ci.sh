@@ -19,7 +19,10 @@ run cmake -B build-ci-asan -S . \
     -DCMAKE_BUILD_TYPE=Debug \
     -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all"
 run cmake --build build-ci-asan -j "$JOBS"
-run ctest --test-dir build-ci-asan --output-on-failure -j "$JOBS"
+# Golden snapshots execute the bench binaries; under ASan they run
+# ~10x slower for no extra coverage (the Release lane diffs the same
+# deterministic output), so skip that label here.
+run ctest --test-dir build-ci-asan --output-on-failure -j "$JOBS" -LE golden
 
 # The fault injector's hook/outage paths touch freed rings and
 # detached hooks in teardown-heavy patterns; run its suite standalone
@@ -29,7 +32,12 @@ run ./build-ci-asan/tests/fault_test
 echo "== Release =="
 run cmake -B build-ci-release -S . -DCMAKE_BUILD_TYPE=Release
 run cmake --build build-ci-release -j "$JOBS"
-run ctest --test-dir build-ci-release --output-on-failure -j "$JOBS"
+# Fast lane first: plain unit suites fail within seconds.  Then the
+# property suites and the golden-run snapshot comparison, which
+# re-executes every deterministic benchmark in smoke mode.
+run ctest --test-dir build-ci-release --output-on-failure -j "$JOBS" -L unit
+run ctest --test-dir build-ci-release --output-on-failure -j "$JOBS" -L property
+run ctest --test-dir build-ci-release --output-on-failure -j "$JOBS" -L golden
 
 echo "== Simulator hot-path microbenchmark (Release) =="
 run ./build-ci-release/bench/micro_sim_hotpath

@@ -162,3 +162,206 @@ TEST(RetransmitProperty, EventualDeliveryUnderHeavyLoss)
 
 } // namespace
 } // namespace vrio::transport
+
+// -- guest-TCP congestion machine properties ------------------------------
+
+#include <map>
+#include <set>
+
+#include "workloads/tcp_congestion.hpp"
+
+namespace vrio::workloads {
+namespace {
+
+/**
+ * Drive the congestion machine through a randomized lossy closed loop:
+ * an in-order receiver acks every delivery cumulatively, each chunk or
+ * ack can be lost, and ack delays vary so duplicate and stale acks
+ * occur naturally.  Checked on every step:
+ *
+ *   - cwnd stays within [1, max_window]
+ *   - chunks in flight never exceed max_window, and new chunks are
+ *     only admitted below the current window limit (a recovery
+ *     collapse may leave in-flight above the shrunken cwnd until acks
+ *     drain -- Reno cannot recall chunks already on the wire)
+ *   - rto() stays within [min_rto, max_rto]
+ *   - Karn's rule: an ack whose newest-covered chunk was retransmitted
+ *     never produces an RTT sample
+ *
+ * and the run must make forward progress despite the loss.
+ */
+class CongestionChaos : public ::testing::TestWithParam<uint64_t>
+{};
+
+TEST_P(CongestionChaos, InvariantsHoldUnderRandomLoss)
+{
+    sim::Random rng(GetParam());
+
+    TcpCongestion::Config cfg;
+    cfg.max_window = double(rng.uniformInt(4, 48));
+    cfg.initial_ssthresh = cfg.max_window / 2;
+    TcpCongestion tcp(cfg);
+
+    const double loss = rng.uniform(0.05, 0.3);
+
+    // Receiver state and the in-flight ack channel.
+    uint64_t rx_expected = 0;
+    std::set<uint64_t> rx_ooo;
+    std::multimap<sim::Tick, uint64_t> ack_queue; // arrival -> cum ack
+    std::set<uint64_t> retransmitted;
+    sim::Tick now = 0;
+
+    auto deliverToReceiver = [&](uint64_t seq) {
+        if (rng.bernoulli(loss))
+            return; // data chunk lost
+        if (seq == rx_expected) {
+            ++rx_expected;
+            while (rx_ooo.erase(rx_expected))
+                ++rx_expected;
+        } else if (seq > rx_expected) {
+            rx_ooo.insert(seq);
+        }
+        if (rng.bernoulli(loss))
+            return; // ack lost
+        sim::Tick delay =
+            sim::Tick(rng.uniformInt(1, 8)) * sim::kMillisecond / 10;
+        ack_queue.emplace(now + delay, rx_expected);
+    };
+
+    auto checkInvariants = [&]() {
+        ASSERT_GE(tcp.cwnd(), 1.0);
+        ASSERT_LE(tcp.cwnd(), cfg.max_window + 1e-9);
+        ASSERT_LE(tcp.inFlight(), unsigned(cfg.max_window));
+        ASSERT_LE(tcp.windowLimit(), unsigned(cfg.max_window));
+        if (tcp.canSend())
+            ASSERT_LT(tcp.inFlight(), tcp.windowLimit());
+        ASSERT_GE(tcp.rto(), cfg.min_rto);
+        ASSERT_LE(tcp.rto(), cfg.max_rto);
+    };
+
+    const uint64_t kTarget = 400;
+    for (int step = 0; step < 20000 && tcp.cumAck() < kTarget;
+         ++step) {
+        while (tcp.canSend())
+            deliverToReceiver(tcp.onSend(now));
+        ASSERT_NO_FATAL_FAILURE(checkInvariants());
+
+        if (!ack_queue.empty()) {
+            auto it = ack_queue.begin();
+            now = std::max(now, it->first);
+            uint64_t cum = it->second;
+            ack_queue.erase(it);
+
+            uint64_t prev = tcp.cumAck();
+            auto action = tcp.onAck(cum, now);
+            if (cum > prev && retransmitted.count(cum - 1)) {
+                // Karn: the newest chunk this ack covers went out more
+                // than once, so its RTT is ambiguous.
+                ASSERT_FALSE(tcp.lastAckSampledRtt())
+                    << "sampled a retransmitted chunk, cum " << cum;
+            }
+            if (action.retransmit) {
+                retransmitted.insert(action.retransmit_seq);
+                tcp.onRetransmitSent(action.retransmit_seq, now);
+                deliverToReceiver(action.retransmit_seq);
+            }
+        } else if (tcp.hasOutstanding()) {
+            // Nothing inbound: the retransmission timer fires.
+            now += tcp.rto();
+            uint64_t seq = tcp.onRtoExpiry(now);
+            retransmitted.insert(seq);
+            tcp.onRetransmitSent(seq, now);
+            deliverToReceiver(seq);
+        }
+        ASSERT_NO_FATAL_FAILURE(checkInvariants());
+    }
+
+    // Eventual delivery: loss plus backoff never deadlocks the loop.
+    EXPECT_GE(tcp.cumAck(), kTarget)
+        << "stalled at loss " << loss << " window " << cfg.max_window;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CongestionChaos,
+                         ::testing::Values(11, 23, 47));
+
+TEST(Congestion, RtoBackoffSaturatesAtMax)
+{
+    TcpCongestion::Config cfg;
+    TcpCongestion tcp(cfg);
+
+    sim::Tick now = 0;
+    tcp.onSend(now);
+
+    sim::Tick prev = tcp.rto();
+    EXPECT_EQ(prev, cfg.initial_rto);
+    for (int i = 0; i < 40; ++i) {
+        now += tcp.rto();
+        uint64_t seq = tcp.onRtoExpiry(now);
+        tcp.onRetransmitSent(seq, now);
+        sim::Tick cur = tcp.rto();
+        EXPECT_GE(cur, prev) << "backoff moved the RTO down";
+        EXPECT_LE(cur, cfg.max_rto);
+        prev = cur;
+    }
+    // 2^40 would have overflowed long ago; saturation must hold it at
+    // the clamp.
+    EXPECT_EQ(tcp.rto(), cfg.max_rto);
+
+    // A genuine ack ends the backoff run and restores the base RTO.
+    tcp.onAck(1, now + sim::kMillisecond);
+    EXPECT_LT(tcp.rto(), cfg.max_rto);
+    EXPECT_EQ(tcp.backoffExponent(), 0u);
+}
+
+TEST(Congestion, KarnRuleSkipsRetransmittedChunks)
+{
+    TcpCongestion::Config cfg;
+    TcpCongestion tcp(cfg);
+
+    sim::Tick now = 0;
+    tcp.onSend(now); // seq 0
+    tcp.onSend(now); // seq 1
+
+    // Chunk 0 is retransmitted; its eventual ack must not be sampled.
+    now += sim::Tick(20) * sim::kMillisecond;
+    uint64_t seq = tcp.onRtoExpiry(now);
+    EXPECT_EQ(seq, 0u);
+    tcp.onRetransmitSent(seq, now);
+
+    now += sim::Tick(2) * sim::kMillisecond;
+    tcp.onAck(1, now);
+    EXPECT_FALSE(tcp.lastAckSampledRtt());
+    EXPECT_EQ(tcp.rttSamples(), 0u);
+    EXPECT_FALSE(tcp.hasRttEstimate());
+
+    // Chunk 1 went out exactly once: its ack is admissible.
+    now += sim::Tick(2) * sim::kMillisecond;
+    tcp.onAck(2, now);
+    EXPECT_TRUE(tcp.lastAckSampledRtt());
+    EXPECT_EQ(tcp.rttSamples(), 1u);
+    EXPECT_TRUE(tcp.hasRttEstimate());
+}
+
+TEST(Congestion, WindowNeverExceedsReceiverLimit)
+{
+    TcpCongestion::Config cfg;
+    cfg.max_window = 8.0;
+    cfg.initial_ssthresh = 64.0; // slow start the whole way
+    TcpCongestion tcp(cfg);
+
+    // Ack everything instantly for many round trips; slow start would
+    // grow cwnd exponentially but the receiver window must cap it.
+    sim::Tick now = 0;
+    for (int rtt = 0; rtt < 10; ++rtt) {
+        while (tcp.canSend())
+            tcp.onSend(now);
+        EXPECT_LE(tcp.inFlight(), 8u);
+        now += sim::kMillisecond;
+        tcp.onAck(tcp.nextSeq(), now);
+        EXPECT_LE(tcp.cwnd(), 8.0);
+    }
+    EXPECT_EQ(tcp.cwnd(), 8.0);
+}
+
+} // namespace
+} // namespace vrio::workloads

@@ -128,6 +128,107 @@ TEST(RequestResponse, ConcurrencyRaisesThroughput)
     EXPECT_GT(run(8), run(1) * 1.5);
 }
 
+// -- legacy RTO timer path ----------------------------------------------
+
+TEST(NetperfStreamLegacyRto, AcksDisarmTimersOnCleanChannel)
+{
+    // With an RTO comfortably above the real round trip, every timer
+    // is disarmed by its ack before it can fire: zero retransmissions
+    // and full throughput on a loss-free channel.
+    core::Testbed tb(ModelKind::Vrio, 1);
+    tb.settle();
+    auto &gen = tb.generator();
+    models::CostParams costs;
+    NetperfStream::Config cfg;
+    cfg.rto = 100 * kMillisecond;
+    NetperfStream st(gen, gen.newSession(), tb.guest(0), costs, cfg);
+    st.start();
+    tb.runFor(100 * kMillisecond);
+
+    EXPECT_EQ(st.tcpRetransmits(), 0u);
+    EXPECT_GT(st.throughputGbps(tb.simulation()), 0.3);
+}
+
+TEST(NetperfStreamLegacyRto, ExpiryReclaimsWindowSlots)
+{
+    // An RTO far below the round trip fires before any ack returns.
+    // Each expiry must reclaim its window slot: the stream keeps
+    // sending (counted as retransmissions) instead of deadlocking
+    // with a permanently closed window.
+    core::Testbed tb(ModelKind::Vrio, 1);
+    tb.settle();
+    auto &gen = tb.generator();
+    models::CostParams costs;
+    NetperfStream::Config cfg;
+    cfg.rto = 50 * sim::kMicrosecond; // well under the ~5 ms RTT
+    NetperfStream st(gen, gen.newSession(), tb.guest(0), costs, cfg);
+    st.start();
+    tb.runFor(50 * kMillisecond);
+
+    EXPECT_GT(st.tcpRetransmits(), 100u);
+    EXPECT_GT(st.chunksSent(), cfg.window_chunks);
+    // Spurious retransmissions waste window, but data still flows.
+    EXPECT_GT(st.bytesReceived(), 0u);
+}
+
+// -- adaptive (congestion-controlled) path -------------------------------
+
+TEST(NetperfStreamAdaptive, CleanChannelHasNoRetransmissions)
+{
+    // The wire must carry chunks in send order on a clean channel: any
+    // reordering inside the stack shows up here as spurious duplicate
+    // acks and fast retransmissions.
+    core::Testbed tb(ModelKind::Vrio, 1);
+    tb.settle();
+    auto &gen = tb.generator();
+    models::CostParams costs;
+    NetperfStream::Config cfg;
+    cfg.adaptive = true;
+    cfg.tcp.max_window = 32;
+    cfg.tcp.initial_ssthresh = 16;
+    NetperfStream st(gen, gen.newSession(), tb.guest(0), costs, cfg);
+    st.start();
+    tb.runFor(200 * kMillisecond);
+
+    EXPECT_EQ(st.tcpRetransmits(), 0u);
+    ASSERT_NE(st.tcp(), nullptr);
+    EXPECT_EQ(st.tcp()->fastRetransmits(), 0u);
+    EXPECT_EQ(st.tcp()->timeouts(), 0u);
+    // Slow start then congestion avoidance should open the window to
+    // the receiver limit and keep it there.
+    EXPECT_EQ(st.tcp()->cwnd(), 32.0);
+    EXPECT_TRUE(st.tcp()->hasRttEstimate());
+    EXPECT_GT(st.tcp()->rttSamples(), 100u);
+    EXPECT_GT(st.throughputGbps(tb.simulation()), 0.3);
+    // The cwnd/SRTT traces recorded the ramp.
+    EXPECT_GT(st.cwndTrace().points().size(), 100u);
+    EXPECT_GT(st.srttTrace().points().size(), 100u);
+    EXPECT_EQ(st.cwndTrace().max(), 32.0);
+}
+
+TEST(NetperfStreamAdaptive, ThroughputMatchesLegacyCleanChannel)
+{
+    // At zero loss the congestion window opens past the legacy fixed
+    // window, so the adaptive stack must reach at least comparable
+    // throughput against the identical model wiring.
+    auto run = [](bool adaptive) {
+        core::Testbed tb(ModelKind::Vrio, 1);
+        tb.settle();
+        auto &gen = tb.generator();
+        models::CostParams costs;
+        NetperfStream::Config cfg;
+        cfg.adaptive = adaptive;
+        NetperfStream st(gen, gen.newSession(), tb.guest(0), costs,
+                         cfg);
+        st.start();
+        tb.runFor(200 * kMillisecond);
+        return st.throughputGbps(tb.simulation());
+    };
+    double legacy = run(false);
+    double adaptive = run(true);
+    EXPECT_GT(adaptive, legacy * 0.9);
+}
+
 core::TestbedOptions
 blockOptions()
 {
