@@ -294,6 +294,9 @@ attachInjector(Experiment &exp, const fault::FaultPlan &plan)
     auto inj = std::make_unique<fault::FaultInjector>(*exp.sim, "fault",
                                                       plan);
     inj->attach(*vrio_model);
+    // attach() wires only model-owned targets; port-down windows hit
+    // the rack's ToR switch, which the experiment owns.
+    inj->attachSwitch(exp.rack->rackSwitch());
     inj->arm();
     return inj;
 }
@@ -325,9 +328,12 @@ runNetperfStreamFaulted(ModelKind kind, unsigned n_vms,
     for (auto &wl : wls) {
         out.total_gbps += wl->throughputGbps(*exp.sim);
         out.tcp_retransmits += wl->tcpRetransmits();
-        if (const auto *tcp = wl->tcp()) {
-            out.tcp_timeouts += tcp->timeouts();
-            out.tcp_fast_retransmits += tcp->fastRetransmits();
+        if (wl->tcp()) {
+            // Post-warmup deltas: the injector arms before the lossy
+            // warmup, so the cumulative machine counters would charge
+            // warmup losses to the measured window.
+            out.tcp_timeouts += wl->tcpTimeouts();
+            out.tcp_fast_retransmits += wl->tcpFastRetransmits();
             out.cwnd_peak =
                 std::max(out.cwnd_peak, wl->cwndTrace().max());
             out.srtt_last_us =

@@ -42,6 +42,14 @@ FaultInjector::attachRxRing(net::Nic &nic)
 }
 
 void
+FaultInjector::attachSwitch(net::Switch &sw)
+{
+    vrio_assert(!switch_ || switch_ == &sw,
+                "injector already owns a switch");
+    switch_ = &sw;
+}
+
+void
 FaultInjector::attach(models::VrioModel &model)
 {
     for (net::Link *link : model.channelLinks())
@@ -62,30 +70,42 @@ FaultInjector::arm()
                 "stall windows need an attached IOhost");
     vrio_assert(plan_.squeezes.empty() || !rings.empty(),
                 "squeeze windows need attached RX rings");
+    vrio_assert(plan_.wedges.empty() || iohv,
+                "wedge windows need an attached IOhost");
+    vrio_assert(plan_.port_downs.empty() || switch_,
+                "port-down windows need an attached switch");
 
     auto &eq = sim().events();
+    // A window behind now() is a plan bug (the caller armed too late
+    // or mis-set an absolute tick); silently skipping it yields a run
+    // that quietly measures nothing, so reject the plan outright.
+    auto checkFuture = [&](sim::Tick at, const char *what) {
+        if (at < eq.now())
+            vrio_fatal("fault plan ", what, " scheduled at tick ", at,
+                       ", which is already in the past (now ", eq.now(),
+                       "); arm() before the window opens");
+    };
     for (const OutageWindow &w : plan_.outages) {
-        if (w.at < eq.now()) {
-            vrio_warn("skipping outage scheduled in the past");
-            continue;
-        }
+        checkFuture(w.at, "outage");
         eq.scheduleAt(w.at, [this, w]() { beginOutage(w); });
         eq.scheduleAt(w.at + w.duration, [this]() { endOutage(); });
     }
     for (const StallWindow &w : plan_.stalls) {
-        if (w.at < eq.now()) {
-            vrio_warn("skipping stall scheduled in the past");
-            continue;
-        }
+        checkFuture(w.at, "stall");
         eq.scheduleAt(w.at, [this, w]() { beginStall(w); });
     }
     for (const RxSqueezeWindow &w : plan_.squeezes) {
-        if (w.at < eq.now()) {
-            vrio_warn("skipping squeeze scheduled in the past");
-            continue;
-        }
+        checkFuture(w.at, "squeeze");
         eq.scheduleAt(w.at, [this, w]() { beginSqueeze(w); });
         eq.scheduleAt(w.at + w.duration, [this]() { endSqueeze(); });
+    }
+    for (const WedgeWindow &w : plan_.wedges) {
+        checkFuture(w.at, "wedge");
+        eq.scheduleAt(w.at, [this, w]() { beginWedge(w); });
+    }
+    for (const PortDownWindow &w : plan_.port_downs) {
+        checkFuture(w.at, "port-down");
+        eq.scheduleAt(w.at, [this, w]() { beginPortDown(w); });
     }
 }
 
@@ -109,6 +129,43 @@ FaultInjector::beginStall(const StallWindow &w)
     statCounter("stalls").inc();
     // Occupy the sidecore with dead time; queued work resumes after.
     iohv->workerCore(w.worker).runFor(w.duration, []() {});
+}
+
+void
+FaultInjector::beginWedge(const WedgeWindow &w)
+{
+    ++wedge_count;
+    statCounter("wedges").inc();
+    // Unlike beginStall's bounded dead time, a wedge pauses the worker
+    // core's resource outright: jobs queue behind it forever.  Nothing
+    // un-pauses it except clearWedge().
+    iohv->workerCore(w.worker).resource().setPaused(true);
+}
+
+void
+FaultInjector::clearWedge(unsigned worker)
+{
+    vrio_assert(iohv, "clearWedge with no attached IOhost");
+    iohv->workerCore(worker).resource().setPaused(false);
+}
+
+void
+FaultInjector::beginPortDown(const PortDownWindow &w)
+{
+    // Resolve the victim MAC to a port now, not at plan time: ports
+    // are learned from traffic, so the lookup needs warmup behind it.
+    std::optional<size_t> port = switch_->portOf(w.victim);
+    if (!port) {
+        vrio_warn("port-down victim MAC not in the switch table; "
+                  "no traffic has been seen from it — skipping");
+        return;
+    }
+    ++port_down_count;
+    statCounter("port_downs").inc();
+    switch_->setPortDown(*port, true);
+    sim().events().schedule(w.duration, [this, p = *port]() {
+        switch_->setPortDown(p, false);
+    });
 }
 
 void
@@ -198,6 +255,15 @@ FaultInjector::onTransmit(net::Link &link, int direction,
         // behind it arrive first.
         v.kind = net::FaultVerdict::Kind::Delay;
         v.extra_delay = spec.reorder_window;
+        return v;
+    }
+    // New classes partition after the old ones, so a plan that sets
+    // none of them reproduces the historical draw boundaries exactly.
+    acc += spec.corrupt_payload_rate;
+    if (u < acc) {
+        ++payload_corrupts;
+        statCounter("injected.corrupt_payload").inc();
+        v.kind = net::FaultVerdict::Kind::CorruptPayload;
         return v;
     }
     return v;

@@ -27,6 +27,7 @@
 #include "iohost/io_hypervisor.hpp"
 #include "net/link.hpp"
 #include "net/nic.hpp"
+#include "net/switch.hpp"
 #include "sim/simulation.hpp"
 
 namespace vrio::models {
@@ -50,6 +51,9 @@ class FaultInjector : public sim::SimObject, public net::LinkFaultHook
     /** Target for RX-ring squeeze windows. */
     void attachRxRing(net::Nic &nic);
 
+    /** Target for port-down windows. */
+    void attachSwitch(net::Switch &sw);
+
     /**
      * Convenience wiring for the vRIO model: every T-channel link,
      * the I/O hypervisor, and every IOhost-side client NIC.
@@ -65,6 +69,14 @@ class FaultInjector : public sim::SimObject, public net::LinkFaultHook
 
     const FaultPlan &plan() const { return plan_; }
 
+    /**
+     * Un-wedge a worker wedged by a WedgeWindow.  Nothing in the plan
+     * ever does this — a wedge is permanent by definition; recovery
+     * must come from the watchdog re-steering around the dead worker.
+     * Tests call it to exercise the revival path.
+     */
+    void clearWedge(unsigned worker);
+
     // -- injection counts (also in the stats registry) ---------------
     uint64_t framesDropped() const { return drops; }
     uint64_t framesCorrupted() const { return corrupts; }
@@ -72,7 +84,11 @@ class FaultInjector : public sim::SimObject, public net::LinkFaultHook
     uint64_t framesReordered() const { return reorders; }
     /** Frames lost to the Gilbert-Elliott burst process. */
     uint64_t framesBurstDropped() const { return burst_drops; }
+    /** Frames delivered with an FCS-passing payload flip. */
+    uint64_t framesPayloadCorrupted() const { return payload_corrupts; }
     uint64_t outagesTriggered() const { return outage_count; }
+    uint64_t wedgesTriggered() const { return wedge_count; }
+    uint64_t portDownsTriggered() const { return port_down_count; }
 
     // net::LinkFaultHook
     net::FaultVerdict onTransmit(net::Link &link, int direction,
@@ -101,6 +117,7 @@ class FaultInjector : public sim::SimObject, public net::LinkFaultHook
     std::unordered_map<const net::Link *, size_t> link_index;
     std::vector<net::Nic *> rings;
     iohost::IoHypervisor *iohv = nullptr;
+    net::Switch *switch_ = nullptr;
     bool armed = false;
 
     uint64_t drops = 0;
@@ -108,7 +125,10 @@ class FaultInjector : public sim::SimObject, public net::LinkFaultHook
     uint64_t delays = 0;
     uint64_t reorders = 0;
     uint64_t burst_drops = 0;
+    uint64_t payload_corrupts = 0;
     uint64_t outage_count = 0;
+    uint64_t wedge_count = 0;
+    uint64_t port_down_count = 0;
 
     /** True when the burst chain (state advanced) eats this frame. */
     bool burstStep(net::Link &link, int direction);
@@ -118,6 +138,9 @@ class FaultInjector : public sim::SimObject, public net::LinkFaultHook
     void beginStall(const StallWindow &w);
     void beginSqueeze(const RxSqueezeWindow &w);
     void endSqueeze();
+    void beginWedge(const WedgeWindow &w);
+    /** Resolves the victim port and schedules its own revival. */
+    void beginPortDown(const PortDownWindow &w);
 };
 
 } // namespace vrio::fault

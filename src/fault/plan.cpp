@@ -94,6 +94,14 @@ FaultPlan::burstLoss(double avg_loss, double mean_burst)
 }
 
 FaultPlan &
+FaultPlan::corruptPayloadRate(double p)
+{
+    checkRate(p);
+    channel.corrupt_payload_rate = p;
+    return *this;
+}
+
+FaultPlan &
 FaultPlan::killIoHost(sim::Tick at, sim::Tick duration)
 {
     vrio_assert(duration > 0, "outage needs a positive duration");
@@ -118,11 +126,28 @@ FaultPlan::squeezeRxRing(sim::Tick at, sim::Tick duration, size_t limit)
     return *this;
 }
 
+FaultPlan &
+FaultPlan::wedgeWorker(unsigned worker, sim::Tick at)
+{
+    wedges.push_back(WedgeWindow{worker, at});
+    return *this;
+}
+
+FaultPlan &
+FaultPlan::killSwitchPort(net::MacAddress victim, sim::Tick at,
+                          sim::Tick duration)
+{
+    vrio_assert(duration > 0, "port-down needs a positive duration");
+    port_downs.push_back(PortDownWindow{victim, at, duration});
+    return *this;
+}
+
 bool
 FaultPlan::empty() const
 {
     return !channel.active() && !burst.active() && outages.empty() &&
-           stalls.empty() && squeezes.empty();
+           stalls.empty() && squeezes.empty() && wedges.empty() &&
+           port_downs.empty();
 }
 
 } // namespace vrio::fault

@@ -21,6 +21,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "net/mac.hpp"
 #include "sim/ticks.hpp"
 
 namespace vrio::fault {
@@ -42,12 +43,19 @@ struct LinkFaultSpec
      */
     double reorder_rate = 0.0;
     sim::Tick reorder_window = sim::Tick(50) * sim::kMicrosecond;
+    /**
+     * Byzantine corruption: a payload byte flips but the FCS still
+     * passes, so the frame sails through every link-level check and
+     * is caught only by the transport-layer end-to-end checksum.
+     */
+    double corrupt_payload_rate = 0.0;
 
     /** Whether this spec can affect any frame at all. */
     bool active() const
     {
         return drop_rate > 0.0 || corrupt_rate > 0.0 ||
-               delay_rate > 0.0 || reorder_rate > 0.0;
+               delay_rate > 0.0 || reorder_rate > 0.0 ||
+               corrupt_payload_rate > 0.0;
     }
 };
 
@@ -115,6 +123,30 @@ struct RxSqueezeWindow
 };
 
 /**
+ * Wedge worker `worker` at `at`: unlike a StallWindow, the stall never
+ * ends on its own — the worker stays dead until someone (a test, or
+ * nobody) calls FaultInjector::clearWedge().  This is the fault the
+ * IOhost watchdog exists to detect.
+ */
+struct WedgeWindow
+{
+    unsigned worker = 0;
+    sim::Tick at = 0;
+};
+
+/**
+ * Kill the switch port that `victim` (a learned MAC) sits behind at
+ * `at` for `duration`.  Traffic re-routes by flooding if another path
+ * exists, and blackholes otherwise.
+ */
+struct PortDownWindow
+{
+    net::MacAddress victim;
+    sim::Tick at = 0;
+    sim::Tick duration = 0;
+};
+
+/**
  * A complete scenario.  Builder methods chain:
  *
  *   fault::FaultPlan plan;
@@ -145,6 +177,8 @@ struct FaultPlan
     std::vector<OutageWindow> outages;
     std::vector<StallWindow> stalls;
     std::vector<RxSqueezeWindow> squeezes;
+    std::vector<WedgeWindow> wedges;
+    std::vector<PortDownWindow> port_downs;
 
     FaultPlan &dropRate(double p);
     FaultPlan &corruptRate(double p);
@@ -158,11 +192,18 @@ struct FaultPlan
     FaultPlan &burstLoss(GilbertElliott model);
     /** Classic Gilbert burst loss at a target average rate. */
     FaultPlan &burstLoss(double avg_loss, double mean_burst);
+    /** FCS-passing payload corruption (see LinkFaultSpec). */
+    FaultPlan &corruptPayloadRate(double p);
     FaultPlan &killIoHost(sim::Tick at, sim::Tick duration);
     FaultPlan &stallSidecore(unsigned worker, sim::Tick at,
                              sim::Tick duration);
     FaultPlan &squeezeRxRing(sim::Tick at, sim::Tick duration,
                              size_t limit);
+    /** Wedge a worker until FaultInjector::clearWedge (maybe never). */
+    FaultPlan &wedgeWorker(unsigned worker, sim::Tick at);
+    /** Down the switch port behind @p victim for @p duration. */
+    FaultPlan &killSwitchPort(net::MacAddress victim, sim::Tick at,
+                              sim::Tick duration);
 
     /** An all-zero plan injects nothing and perturbs nothing. */
     bool empty() const;

@@ -21,7 +21,9 @@ enum class IoEvent {
     GuestInterrupt, ///< virtual interrupt handled by the guest
     Injection,      ///< hypervisor-mediated interrupt injection
     HostInterrupt,  ///< physical interrupt handled by the (VM)host
-    IohostInterrupt ///< physical interrupt handled at the IOhost
+    IohostInterrupt,///< physical interrupt handled at the IOhost
+    RequestTimeout, ///< request abandoned after retransmit exhaustion
+    Failover        ///< client re-homed its channel to a standby IOhost
 };
 
 struct IoEventCounts
@@ -31,6 +33,10 @@ struct IoEventCounts
     uint64_t injections = 0;
     uint64_t host_interrupts = 0;
     uint64_t iohost_interrupts = 0;
+    // Recovery events (not part of sum(): Table 3 counts only the
+    // per-transaction virtualization events of the happy path).
+    uint64_t request_timeouts = 0;
+    uint64_t failovers = 0;
 
     void
     record(IoEvent e, uint64_t n = 1)
@@ -50,6 +56,12 @@ struct IoEventCounts
             break;
           case IoEvent::IohostInterrupt:
             iohost_interrupts += n;
+            break;
+          case IoEvent::RequestTimeout:
+            request_timeouts += n;
+            break;
+          case IoEvent::Failover:
+            failovers += n;
             break;
         }
     }

@@ -1,5 +1,7 @@
 #include "iohost/io_hypervisor.hpp"
 
+#include <set>
+
 #include "block/alignment.hpp"
 #include "util/logging.hpp"
 
@@ -14,12 +16,28 @@ IoHypervisor::IoHypervisor(sim::Simulation &sim, std::string name,
     : SimObject(sim, std::move(name)), cfg(cfg), machine(machine),
       steer(cfg.num_workers),
       reasm(std::make_unique<transport::Reassembler>(sim.events(),
-                                                     cfg.mtu))
+                                                     cfg.mtu)),
+      worker_inflight(cfg.num_workers, 0),
+      worker_epoch(cfg.num_workers, 0),
+      watchdog_last_completed(cfg.num_workers, 0),
+      watchdog_stuck(cfg.num_workers, 0),
+      probe_outstanding(cfg.num_workers, false)
 {
     vrio_assert(cfg.first_worker_core + cfg.num_workers <=
                     machine.coreCount(),
                 "IOhost machine has too few cores for ",
                 cfg.num_workers, " workers");
+    // Recovery machinery is strictly opt-in: with both periods zero
+    // (the default) no events are ever scheduled here and a zero-fault
+    // run's schedule is byte-identical to one predating this code.
+    if (cfg.heartbeat_period > 0) {
+        sim.events().schedule(cfg.heartbeat_period,
+                              [this]() { heartbeatTick(); });
+    }
+    if (cfg.watchdog_period > 0) {
+        sim.events().schedule(cfg.watchdog_period,
+                              [this]() { watchdogTick(); });
+    }
 }
 
 hv::Core &
@@ -131,12 +149,126 @@ IoHypervisor::setOffline(bool off)
         // any partially reassembled message state (partials also age
         // out of the reassembler on their own timeout).
         discardRings();
+        // In-service duplicate-suppression state dies with the crash;
+        // the clients replay, and replaying is safe (Section 4.5).
+        dedup.clear();
         return;
     }
-    // Restart: resume servicing whatever arrived since the last drain.
+    // Restart: new incarnation (stamped into heartbeats so clients can
+    // tell a restarted IOhost from a slow one), then resume servicing
+    // whatever arrived since the last drain.
+    ++incarnation_;
     pumpClientRings();
     if (external_nic)
         pumpExternalRings();
+}
+
+// -- failure detection / recovery -----------------------------------------
+
+void
+IoHypervisor::heartbeatTick()
+{
+    // Self-rescheduling beacon.  A crashed IOhost stays silent — that
+    // silence is exactly what clients detect — but the timer keeps
+    // running so beats resume the instant it restarts.
+    sim().events().schedule(cfg.heartbeat_period,
+                            [this]() { heartbeatTick(); });
+    if (offline_)
+        return;
+    ++hb_seq;
+    transport::HeartbeatMsg beat;
+    beat.seq = hb_seq;
+    beat.incarnation = incarnation_;
+    Bytes payload;
+    ByteWriter w(payload);
+    beat.encode(w);
+    TransportHeader hdr;
+    hdr.type = MsgType::Heartbeat;
+    hdr.total_len = uint32_t(payload.size());
+    // One beat per distinct client T-MAC across every consolidated
+    // device — a client with net and block devices gets one beat.
+    std::set<net::MacAddress> targets;
+    for (const auto &[id, dev] : net_devices)
+        targets.insert(dev.t_mac);
+    for (const auto &[id, dev] : blk_devices)
+        targets.insert(dev.t_mac);
+    for (const net::MacAddress &mac : targets) {
+        sendToClient(mac, hdr, payload);
+        ++heartbeats_sent;
+    }
+}
+
+void
+IoHypervisor::watchdogTick()
+{
+    sim().events().schedule(cfg.watchdog_period,
+                            [this]() { watchdogTick(); });
+    if (offline_)
+        return;
+    for (unsigned w = 0; w < cfg.num_workers; ++w) {
+        // Progress signal: the core's completion counter.  Compare
+        // with != (resetStats may rewind it), and only count a pass
+        // against a worker that actually has steered work.
+        uint64_t done = workerCore(w).resource().completed();
+        bool busy = steer.workerLoad(w) > 0;
+        if (steer.isDown(w) || !busy ||
+            done != watchdog_last_completed[w]) {
+            watchdog_stuck[w] = 0;
+        } else if (++watchdog_stuck[w] >= cfg.watchdog_threshold) {
+            declareWorkerWedged(w);
+        }
+        watchdog_last_completed[w] = done;
+    }
+}
+
+void
+IoHypervisor::declareWorkerWedged(unsigned worker)
+{
+    ++wedges_detected;
+    statCounter("wedges_detected").inc();
+    last_wedge_tick = sim().events().now();
+    // Declared after exactly `threshold` consecutive no-progress
+    // passes, so this is the time since the worker was last seen
+    // making progress.
+    last_wedge_latency =
+        sim::Tick(cfg.watchdog_threshold) * cfg.watchdog_period;
+    watchdog_stuck[worker] = 0;
+
+    // Re-steer: devices pinned to the wedged worker forget their
+    // in-flight requests (the clients replay them) and pick a healthy
+    // worker on their next request.
+    requests_abandoned += steer.quarantine(worker);
+    // Without this, the abandoned requests' in-service entries would
+    // suppress the very retries that are supposed to recover them.
+    dedup.dropWorker(worker);
+    // Jobs stranded behind the wedge self-suppress via the epoch.
+    ++worker_epoch[worker];
+    vrio_assert(inflight >= worker_inflight[worker],
+                "inflight accounting out of sync");
+    inflight -= worker_inflight[worker];
+    worker_inflight[worker] = 0;
+
+    // Queue a probe behind the wedge: the moment the core serves it
+    // again (the wedge cleared), the worker is readmitted.
+    if (!probe_outstanding[worker]) {
+        probe_outstanding[worker] = true;
+        workerCore(worker).run(1.0,
+                               [this, worker]() { reviveWorker(worker); });
+    }
+
+    // The reclaimed intake budget lets the healthy workers take over.
+    pumpClientRings();
+    if (external_nic)
+        pumpExternalRings();
+}
+
+void
+IoHypervisor::reviveWorker(unsigned worker)
+{
+    probe_outstanding[worker] = false;
+    ++workers_revived;
+    statCounter("workers_revived").inc();
+    steer.markUp(worker);
 }
 
 // -- client-channel ingress ---------------------------------------------
@@ -164,10 +296,13 @@ IoHypervisor::intakeAllowed() const
 }
 
 void
-IoHypervisor::stageDone()
+IoHypervisor::stageDone(unsigned worker)
 {
     vrio_assert(inflight > 0, "stageDone underflow");
     --inflight;
+    vrio_assert(worker_inflight[worker] > 0,
+                "worker inflight underflow");
+    --worker_inflight[worker];
     // A worker went idle: it takes the next batch off the rings.
     pumpClientRings();
     if (external_nic)
@@ -213,16 +348,41 @@ IoHypervisor::dispatch(MessageAssembler::Assembled req)
 {
     ++messages;
     switch (req.hdr.type) {
-      case MsgType::NetOut:
+      case MsgType::NetOut: {
         ++inflight;
-        execNet(steer.steer(req.hdr.device_id), std::move(req));
+        unsigned w = steer.steer(req.hdr.device_id);
+        ++worker_inflight[w];
+        execNet(w, std::move(req));
         break;
-      case MsgType::BlkReq:
+      }
+      case MsgType::BlkReq: {
+        // Server side of the Section 4.5 unique-id rule: a
+        // retransmission of a request still in service must not
+        // execute twice.
+        if (!dedup.admit(req.hdr.device_id, req.hdr.request_serial,
+                         req.hdr.generation)) {
+            statCounter("duplicates_suppressed").inc();
+            break;
+        }
         ++inflight;
-        execBlock(steer.steer(req.hdr.device_id), std::move(req));
+        unsigned w = steer.steer(req.hdr.device_id);
+        dedup.bind(req.hdr.device_id, req.hdr.request_serial, w);
+        ++worker_inflight[w];
+        execBlock(w, std::move(req));
         break;
+      }
       case MsgType::DevAck:
         execAck(std::move(req));
+        break;
+      case MsgType::NetIn:
+      case MsgType::BlkResp:
+      case MsgType::DevCreate:
+      case MsgType::DevDestroy:
+      case MsgType::Heartbeat:
+        // Client-bound traffic that the switch flooded our way before
+        // learning the client's port (e.g. another IOhost's device
+        // announcements reaching the standby): not ours to process.
+        statCounter("foreign_rx_messages").inc();
         break;
       default:
         vrio_warn("IOhost ignoring unexpected message type ",
@@ -285,10 +445,15 @@ IoHypervisor::execNet(unsigned worker, MessageAssembler::Assembled req)
     }
 
     uint32_t device_id = req.hdr.device_id;
-    workerCore(worker).run(cycles, [this, worker, device_id,
+    uint64_t epoch = worker_epoch[worker];
+    workerCore(worker).run(cycles, [this, worker, epoch, device_id,
                                     req = std::move(req)]() mutable {
+        // Quarantined while queued: steering and intake accounting
+        // were reconciled by the watchdog, and the client replays.
+        if (epoch != worker_epoch[worker])
+            return;
         steer.complete(device_id, worker);
-        stageDone();
+        stageDone(worker);
 
         // The payload is the guest's L2 frame; run interposition and
         // forward it out the external port.
@@ -373,11 +538,14 @@ IoHypervisor::execBlock(unsigned worker, MessageAssembler::Assembled req)
                     takeBatchCycles() + disturbanceCycles();
 
     uint32_t device_id = req.hdr.device_id;
-    workerCore(worker).run(cycles, [this, worker, device_id,
+    uint64_t epoch = worker_epoch[worker];
+    workerCore(worker).run(cycles, [this, worker, epoch, device_id,
                                     req = std::move(req),
                                     kind]() mutable {
+        if (epoch != worker_epoch[worker])
+            return;
         steer.complete(device_id, worker);
-        stageDone();
+        stageDone(worker);
         auto it = blk_devices.find(device_id);
         if (it == blk_devices.end())
             return;
@@ -397,6 +565,8 @@ IoHypervisor::execBlock(unsigned worker, MessageAssembler::Assembled req)
                 resp.type = MsgType::BlkResp;
                 resp.status = uint8_t(virtio::BlkStatus::IoErr);
                 resp.total_len = 0;
+                resp.generation = dedup.take(
+                    device_id, resp.request_serial, resp.generation);
                 sendToClient(dev.t_mac, resp, {});
                 return;
             }
@@ -448,19 +618,33 @@ IoHypervisor::execBlock(unsigned worker, MessageAssembler::Assembled req)
 
                 // Completion-side worker cost (response path).
                 unsigned w = steer.steer(device_id);
+                // Re-bind the in-service entry to the response-stage
+                // worker: if *this* worker wedges, the quarantine must
+                // release the entry or the client's retries would be
+                // suppressed forever.
+                dedup.bind(device_id, resp_proto.request_serial, w);
+                uint64_t epoch = worker_epoch[w];
                 double cycles =
                     cfg.blk_fixed_cycles / 2 +
                     cfg.blk_per_byte_cycles * double(data.size()) +
                     interposeCycles(dev.chain, data.size());
                 workerCore(w).run(
-                    cycles, [this, w, device_id, resp_proto, status,
-                             data = std::move(data)]() mutable {
+                    cycles, [this, w, epoch, device_id, resp_proto,
+                             status, data = std::move(data)]() mutable {
+                        if (epoch != worker_epoch[w])
+                            return;
                         steer.complete(device_id, w);
                         auto it = blk_devices.find(device_id);
                         if (it == blk_devices.end())
                             return;
                         TransportHeader resp = resp_proto;
                         resp.status = uint8_t(status);
+                        // Stamp the newest generation seen, so a
+                        // response computed for generation g still
+                        // matches a client that has retried to g+1.
+                        resp.generation = dedup.take(
+                            device_id, resp.request_serial,
+                            resp.generation);
                         sendToClient(it->second.t_mac, resp, data);
                     });
             });
@@ -559,16 +743,20 @@ IoHypervisor::handleExternalFrame(net::FramePtr frame)
 
     ++inflight;
     unsigned worker = steer.steer(device_id);
+    ++worker_inflight[worker];
     size_t frame_bytes = frame->bytes.size() + frame->pad;
     double cycles = cfg.net_fixed_cycles +
                     cfg.net_per_byte_cycles * double(frame_bytes) +
                     interposeCycles(dev.chain, frame_bytes) +
                     takeBatchCycles() + disturbanceCycles();
 
-    workerCore(worker).run(cycles, [this, worker, device_id,
+    uint64_t epoch = worker_epoch[worker];
+    workerCore(worker).run(cycles, [this, worker, epoch, device_id,
                                     frame = std::move(frame)]() mutable {
+        if (epoch != worker_epoch[worker])
+            return;
         steer.complete(device_id, worker);
-        stageDone();
+        stageDone(worker);
         auto it = net_devices.find(device_id);
         if (it == net_devices.end())
             return;

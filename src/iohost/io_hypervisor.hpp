@@ -74,6 +74,24 @@ struct IoHypervisorConfig
     sim::Tick poll_pickup = sim::Tick(300) * sim::kNanosecond;
     /** Max frames taken from a ring per poll batch. */
     size_t batch_max = 16;
+
+    // -- failure detection (all disabled by default: a zero-config
+    // -- IOhost schedules no extra events and perturbs nothing) ------
+    /**
+     * Liveness beacon period: every period, send one Heartbeat
+     * message to each known client T-MAC (0 = no heartbeats).
+     */
+    sim::Tick heartbeat_period = 0;
+    /**
+     * Worker watchdog period (0 = no watchdog).  Each pass compares
+     * every worker's completion counter against the last pass; a
+     * worker with steered work but no progress for
+     * `watchdog_threshold` consecutive passes is declared wedged and
+     * quarantined: its devices re-steer to healthy workers and its
+     * in-flight requests are abandoned for the clients to replay.
+     */
+    sim::Tick watchdog_period = 0;
+    unsigned watchdog_threshold = 2;
 };
 
 /** A guest-facing net device consolidated on the IOhost. */
@@ -159,6 +177,22 @@ class IoHypervisor : public sim::SimObject
     uint64_t offlineTxDrops() const { return offline_tx_drops; }
     const transport::Reassembler &reassembler() const { return *reasm; }
 
+    // -- failure detection / recovery --------------------------------
+    uint64_t heartbeatsSent() const { return heartbeats_sent; }
+    /** Restart count; stamped into heartbeats. */
+    uint32_t incarnation() const { return incarnation_; }
+    /** Wedged workers the watchdog detected and quarantined. */
+    uint64_t wedgesDetected() const { return wedges_detected; }
+    /** Quarantined workers readmitted after the probe completed. */
+    uint64_t workersRevived() const { return workers_revived; }
+    /** In-flight requests abandoned to client replay by quarantines. */
+    uint64_t requestsAbandoned() const { return requests_abandoned; }
+    /** Duplicate block requests suppressed (Section 4.5 server side). */
+    uint64_t duplicatesSuppressed() const { return dedup.suppressed(); }
+    sim::Tick lastWedgeDetectTick() const { return last_wedge_tick; }
+    /** Stall-onset-to-quarantine time of the last detection. */
+    sim::Tick lastWedgeDetectLatency() const { return last_wedge_latency; }
+
   private:
     IoHypervisorConfig cfg;
     hv::Machine &machine;
@@ -201,6 +235,28 @@ class IoHypervisor : public sim::SimObject
     uint64_t offline_rx_drops = 0;
     uint64_t offline_tx_drops = 0;
 
+    // -- failure detection / recovery state --------------------------
+    transport::DuplicateFilter dedup;
+    /** First-stage dispatches outstanding per worker. */
+    std::vector<uint64_t> worker_inflight;
+    /**
+     * Bumped when a worker is quarantined; jobs capture the epoch at
+     * dispatch and self-suppress if it moved, so abandoned work never
+     * double-completes steering state or double-executes backends.
+     */
+    std::vector<uint64_t> worker_epoch;
+    std::vector<uint64_t> watchdog_last_completed;
+    std::vector<unsigned> watchdog_stuck;
+    std::vector<bool> probe_outstanding;
+    uint64_t hb_seq = 0;
+    uint32_t incarnation_ = 0;
+    uint64_t heartbeats_sent = 0;
+    uint64_t wedges_detected = 0;
+    uint64_t workers_revived = 0;
+    uint64_t requests_abandoned = 0;
+    sim::Tick last_wedge_tick = 0;
+    sim::Tick last_wedge_latency = 0;
+
     /** Drain and discard every RX ring (crash semantics). */
     void discardRings();
 
@@ -210,7 +266,13 @@ class IoHypervisor : public sim::SimObject
     void handleWireFrame(const net::FramePtr &frame);
     void dispatch(transport::MessageAssembler::Assembled req);
     bool intakeAllowed() const;
-    void stageDone();
+    void stageDone(unsigned worker);
+
+    // Failure detection / recovery.
+    void heartbeatTick();
+    void watchdogTick();
+    void declareWorkerWedged(unsigned worker);
+    void reviveWorker(unsigned worker);
 
     // Request execution on worker cores.
     void execNet(unsigned worker,

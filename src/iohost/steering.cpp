@@ -4,7 +4,8 @@
 
 namespace vrio::iohost {
 
-SteeringPolicy::SteeringPolicy(unsigned num_workers) : load(num_workers, 0)
+SteeringPolicy::SteeringPolicy(unsigned num_workers)
+    : load(num_workers, 0), down(num_workers, false)
 {
     vrio_assert(num_workers >= 1, "need at least one worker");
 }
@@ -17,10 +18,22 @@ SteeringPolicy::steer(uint32_t device_id)
         // Order-preservation rule: follow the in-flight requests.
         ++pinned;
     } else {
-        unsigned best = 0;
-        for (unsigned w = 1; w < load.size(); ++w) {
-            if (load[w] < load[best])
+        // Least-loaded scan over healthy workers; if every worker is
+        // down (nothing left to prefer) fall back to the global scan
+        // rather than refusing to steer.
+        unsigned best = unsigned(load.size());
+        for (unsigned w = 0; w < load.size(); ++w) {
+            if (down[w])
+                continue;
+            if (best == load.size() || load[w] < load[best])
                 best = w;
+        }
+        if (best == load.size()) {
+            best = 0;
+            for (unsigned w = 1; w < load.size(); ++w) {
+                if (load[w] < load[best])
+                    best = w;
+            }
         }
         dev.worker = best;
     }
@@ -41,6 +54,43 @@ SteeringPolicy::complete(uint32_t device_id, unsigned worker)
     --dev.in_flight;
     vrio_assert(load[worker] > 0, "worker load underflow");
     --load[worker];
+}
+
+uint64_t
+SteeringPolicy::quarantine(unsigned worker)
+{
+    vrio_assert(worker < load.size(), "bad worker ", worker);
+    if (!down[worker]) {
+        down[worker] = true;
+        ++down_count;
+    }
+    uint64_t abandoned = 0;
+    for (auto &[id, dev] : devices) {
+        if (dev.worker == worker && dev.in_flight > 0) {
+            abandoned += dev.in_flight;
+            dev.in_flight = 0;
+        }
+    }
+    vrio_assert(load[worker] >= abandoned, "quarantine load underflow");
+    load[worker] -= abandoned;
+    return abandoned;
+}
+
+void
+SteeringPolicy::markUp(unsigned worker)
+{
+    vrio_assert(worker < load.size(), "bad worker ", worker);
+    if (down[worker]) {
+        down[worker] = false;
+        --down_count;
+    }
+}
+
+bool
+SteeringPolicy::isDown(unsigned worker) const
+{
+    vrio_assert(worker < load.size(), "bad worker ", worker);
+    return down[worker];
 }
 
 uint64_t

@@ -44,6 +44,20 @@ class SteeringPolicy
     /** Steering decisions that were forced by the affinity rule. */
     uint64_t pinnedDecisions() const { return pinned; }
 
+    /**
+     * Quarantine @p worker: mark it down and forget every in-flight
+     * request pinned to it, so its devices re-steer to a healthy
+     * worker on their next request (the clients replay the abandoned
+     * ones).  @return the number of requests abandoned.
+     */
+    uint64_t quarantine(unsigned worker);
+
+    /** Readmit a quarantined worker to the least-loaded scan. */
+    void markUp(unsigned worker);
+
+    bool isDown(unsigned worker) const;
+    unsigned downWorkers() const { return down_count; }
+
   private:
     struct DeviceState
     {
@@ -52,8 +66,10 @@ class SteeringPolicy
     };
 
     std::vector<uint64_t> load;
+    std::vector<bool> down;
     std::map<uint32_t, DeviceState> devices;
     uint64_t pinned = 0;
+    unsigned down_count = 0;
 };
 
 } // namespace vrio::iohost

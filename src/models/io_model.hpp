@@ -95,6 +95,35 @@ struct ModelConfig
     unsigned spare_client_slots = 0;
 
     /**
+     * End-to-end failure detection and recovery (vRIO kinds only).
+     * Off by default: enabling it schedules heartbeat, watchdog and
+     * lapse-timer events, so zero-config runs stay byte-identical
+     * with historical schedules.
+     */
+    struct Recovery
+    {
+        bool enabled = false;
+        /** IOhost liveness-beacon period (per client T-MAC). */
+        sim::Tick heartbeat_period = sim::Tick(2) * sim::kMillisecond;
+        /** Missed-beat budget before a client declares the IOhost dead. */
+        unsigned heartbeat_miss = 4;
+        /** IOhost worker-watchdog sweep period (0 = no watchdog). */
+        sim::Tick watchdog_period = sim::Tick(5) * sim::kMillisecond;
+        /** Consecutive no-progress sweeps before quarantine. */
+        unsigned watchdog_threshold = 2;
+        /**
+         * Provision a standby IOhost (own machine, client port and
+         * external port on the rack switch, same consolidated devices
+         * over shared storage); clients whose heartbeat window lapses
+         * re-home their channel to it and replay outstanding requests.
+         * Requires vrio_via_switch — failover is a re-addressing, not
+         * a re-cabling.
+         */
+        bool standby = false;
+    };
+    Recovery recovery;
+
+    /**
      * Client kind per VM index (heterogeneity experiments: KVM/ESXi
      * guests and bare-metal OSes share the IOhost).  Empty = all KVM.
      */

@@ -135,6 +135,12 @@ class VrioModel::Client : public GuestEndpoint
     uint64_t staleResponses() const { return rtq.staleResponses(); }
     uint64_t devCreates() const { return dev_creates; }
     uint64_t blockFailures() const { return blk_failures; }
+    uint64_t heartbeatsSeen() const { return beats_seen; }
+    uint64_t heartbeatLapses() const { return hb_lapses; }
+    uint64_t failoversDone() const { return failovers; }
+    sim::Tick lapseTick() const { return lapse_tick; }
+    /** Block requests submitted and not yet completed or failed. */
+    uint64_t pendingBlocks() const { return pending.size(); }
 
   private:
     friend class VrioModel;
@@ -171,7 +177,66 @@ class VrioModel::Client : public GuestEndpoint
      *  T_sriov, the default). */
     hv::Core *io_core = nullptr;
 
+    // -- failure detection (armed only when recovery is enabled) -------
+    /** Beat-to-beat patience; 0 = monitoring off. */
+    sim::Tick hb_lapse_window = 0;
+    bool has_standby = false;
+    net::MacAddress standby_mac;
+    sim::EventHandle hb_timer;
+    uint64_t beats_seen = 0;
+    uint64_t hb_lapses = 0;
+    uint64_t failovers = 0;
+    uint32_t last_incarnation = 0;
+    /** Tick of the most recent lapse declaration. */
+    sim::Tick lapse_tick = 0;
+
     bool tvirtio() const { return io_core != nullptr; }
+
+    void
+    armHeartbeatMonitor()
+    {
+        hb_timer.cancel();
+        hb_timer = vm_.sim().events().schedule(
+            hb_lapse_window, [this]() { heartbeatLapse(); });
+    }
+
+    /**
+     * The heartbeat window closed with no beat from the IOhost: it is
+     * presumed dead.  With a standby, re-home the channel and replay
+     * every outstanding block request immediately; without one there
+     * is nothing to do but note the detection — a beat from the
+     * recovered IOhost re-arms the monitor.
+     */
+    void
+    heartbeatLapse()
+    {
+        ++hb_lapses;
+        lapse_tick = vm_.sim().events().now();
+        if (has_standby && iohost_mac != standby_mac) {
+            iohost_mac = standby_mac;
+            ++failovers;
+            vm_.events().record(hv::IoEvent::Failover);
+            rtq.kickAll();
+            armHeartbeatMonitor(); // now watching the standby
+        }
+    }
+
+    void
+    receiveHeartbeat(const transport::MessageAssembler::Assembled &msg)
+    {
+        transport::HeartbeatMsg beat;
+        ByteReader r(msg.payload);
+        if (!transport::HeartbeatMsg::decode(r, beat))
+            return;
+        // A beacon from an IOhost this channel is not homed on (the
+        // standby, pre-failover) proves nothing about our IOhost.
+        if (msg.src != iohost_mac)
+            return;
+        ++beats_seen;
+        last_incarnation = beat.incarnation;
+        if (hb_lapse_window > 0)
+            armHeartbeatMonitor();
+    }
 
     /**
      * Hand one wire message to the channel.  T_sriov: straight to the
@@ -244,7 +309,10 @@ class VrioModel::Client : public GuestEndpoint
         });
     }
 
-    /** Retry cap exceeded: raise a device error (Section 4.5). */
+    /**
+     * Retry cap exceeded: raise a device timeout (Section 4.5,
+     * extended) — the guest sees the request fail instead of hanging.
+     */
     void
     failBlock(uint64_t serial)
     {
@@ -254,7 +322,8 @@ class VrioModel::Client : public GuestEndpoint
         auto done = std::move(it->second.done);
         pending.erase(it);
         ++blk_failures;
-        done(virtio::BlkStatus::IoErr, {});
+        vm_.events().record(hv::IoEvent::RequestTimeout);
+        done(virtio::BlkStatus::Timeout, {});
     }
 
     /**
@@ -300,6 +369,9 @@ class VrioModel::Client : public GuestEndpoint
             break;
           case MsgType::DevCreate:
             receiveDevCreate(std::move(msg));
+            break;
+          case MsgType::Heartbeat:
+            receiveHeartbeat(msg);
             break;
           default:
             vrio_warn("client ignoring message type ",
@@ -412,6 +484,11 @@ VrioModel::VrioModel(Rack &rack, ModelConfig cfg) : IoModel(rack, cfg)
     ihc.stall_mean_us = cfg.costs.worker_stall.mean_us;
     ihc.jitter_cap_us = cfg.costs.worker_jitter.cap_us;
     ihc.stall_cap_us = cfg.costs.worker_stall.cap_us;
+    if (cfg.recovery.enabled) {
+        ihc.heartbeat_period = cfg.recovery.heartbeat_period;
+        ihc.watchdog_period = cfg.recovery.watchdog_period;
+        ihc.watchdog_threshold = cfg.recovery.watchdog_threshold;
+    }
     iohv = std::make_unique<iohost::IoHypervisor>(
         sim, "vrio.iohv", *iohost_machine, ihc);
 
@@ -426,6 +503,43 @@ VrioModel::VrioModel(Rack &rack, ModelConfig cfg) : IoModel(rack, cfg)
     rack.connectToSwitch("vrio.iohost.extlink", external_nic->port(),
                          cfg.iohost_external_gbps);
     iohv->attachExternalNic(*external_nic);
+
+    // -- standby IOhost (failover target) --------------------------------
+    if (cfg.recovery.standby) {
+        vrio_assert(cfg.recovery.enabled,
+                    "recovery.standby requires recovery.enabled");
+        vrio_assert(cfg.vrio_via_switch,
+                    "a standby IOhost requires vrio_via_switch wiring: "
+                    "failover is a re-addressing, not a re-cabling");
+        hv::MachineConfig smc = iomc;
+        standby_machine =
+            std::make_unique<hv::Machine>(sim, "vrio.standby", smc);
+        // Same knobs as the primary; its heartbeats start at t=0, so
+        // the switch knows its port before any client fails over.
+        standby_iohv = std::make_unique<iohost::IoHypervisor>(
+            sim, "vrio.standby.iohv", *standby_machine, ihc);
+
+        net::NicConfig scn;
+        scn.gbps = cfg.direct_link_gbps;
+        scn.num_queues = 1;
+        scn.mtu = cfg.vrio_mtu;
+        scn.rx_ring_size = cfg.iohost_rx_ring;
+        standby_cnic = std::make_unique<net::Nic>(
+            sim, "vrio.standby.cnic", scn);
+        standby_cnic->setQueueMac(0, net::MacAddress::local(0x7f8000));
+        rack.connectToSwitch("vrio.standby.swport", standby_cnic->port(),
+                             cfg.direct_link_gbps);
+        standby_iohv->attachClientNic(*standby_cnic);
+
+        net::NicConfig sen = enc;
+        standby_extnic = std::make_unique<net::Nic>(
+            sim, "vrio.standby.extnic", sen);
+        standby_extnic->setQueueMac(0, net::MacAddress::local(0x7e8000));
+        rack.connectToSwitch("vrio.standby.extlink",
+                             standby_extnic->port(),
+                             cfg.iohost_external_gbps);
+        standby_iohv->attachExternalNic(*standby_extnic);
+    }
 
     // -- VMhosts and their direct links to the IOhost --------------------
     for (unsigned h = 0; h < cfg.num_vmhosts; ++h) {
@@ -525,6 +639,12 @@ VrioModel::VrioModel(Rack &rack, ModelConfig cfg) : IoModel(rack, cfg)
         nd.t_mac = t_mac;
         nd.chain = net_chain;
         iohv->addNetDevice(nd);
+        if (standby_iohv) {
+            // The standby consolidates the same devices, ready to
+            // serve the moment a client re-homes to it.
+            standby_iohv->mapClientPort(t_mac, 0);
+            standby_iohv->addNetDevice(nd);
+        }
 
         if (cfg.with_block) {
             std::unique_ptr<block::BlockDevice> disk;
@@ -542,11 +662,30 @@ VrioModel::VrioModel(Rack &rack, ModelConfig cfg) : IoModel(rack, cfg)
             bd.device = disk.get();
             bd.chain = blk_chain;
             iohv->addBlockDevice(bd);
+            if (standby_iohv) {
+                // Shared backing store: replayed requests land on the
+                // same blocks whichever IOhost serves them.
+                standby_iohv->addBlockDevice(bd);
+            }
             client->attachRemoteDisk(disk->capacitySectors());
             remote_disks.push_back(std::move(disk));
         }
 
         clients.push_back(std::move(client));
+    }
+
+    // -- client-side heartbeat monitoring --------------------------------
+    if (cfg.recovery.enabled && cfg.recovery.heartbeat_period > 0) {
+        sim::Tick window = sim::Tick(cfg.recovery.heartbeat_miss) *
+                           cfg.recovery.heartbeat_period;
+        for (auto &client : clients) {
+            client->hb_lapse_window = window;
+            if (standby_cnic) {
+                client->has_standby = true;
+                client->standby_mac = standby_cnic->queueMac(0);
+            }
+            client->armHeartbeatMonitor();
+        }
     }
 
     // -- device-creation handshake at simulation start -------------------
@@ -672,6 +811,42 @@ uint64_t
 VrioModel::clientDevCreates(unsigned vm_index) const
 {
     return clients.at(vm_index)->devCreates();
+}
+
+uint64_t
+VrioModel::clientHeartbeatsSeen(unsigned vm_index) const
+{
+    return clients.at(vm_index)->heartbeatsSeen();
+}
+
+uint64_t
+VrioModel::clientHeartbeatLapses(unsigned vm_index) const
+{
+    return clients.at(vm_index)->heartbeatLapses();
+}
+
+uint64_t
+VrioModel::clientFailovers(unsigned vm_index) const
+{
+    return clients.at(vm_index)->failoversDone();
+}
+
+sim::Tick
+VrioModel::clientLapseTick(unsigned vm_index) const
+{
+    return clients.at(vm_index)->lapseTick();
+}
+
+uint64_t
+VrioModel::clientPendingBlocks(unsigned vm_index) const
+{
+    return clients.at(vm_index)->pendingBlocks();
+}
+
+uint64_t
+VrioModel::clientBlockTimeouts(unsigned vm_index) const
+{
+    return clients.at(vm_index)->blockFailures();
 }
 
 } // namespace vrio::models

@@ -69,6 +69,22 @@ class VrioModel : public IoModel
     uint64_t clientStaleResponses(unsigned vm_index) const;
     uint64_t clientDevCreates(unsigned vm_index) const;
 
+    // -- failure detection / recovery (cfg.recovery) ------------------
+    /** The standby IOhost, or null when recovery.standby is off. */
+    iohost::IoHypervisor *standbyHypervisor()
+    {
+        return standby_iohv.get();
+    }
+    uint64_t clientHeartbeatsSeen(unsigned vm_index) const;
+    uint64_t clientHeartbeatLapses(unsigned vm_index) const;
+    uint64_t clientFailovers(unsigned vm_index) const;
+    /** Tick of the client's most recent heartbeat-lapse declaration. */
+    sim::Tick clientLapseTick(unsigned vm_index) const;
+    /** Block requests submitted and not yet completed or failed. */
+    uint64_t clientPendingBlocks(unsigned vm_index) const;
+    /** Requests failed with BlkStatus::Timeout (retry cap). */
+    uint64_t clientBlockTimeouts(unsigned vm_index) const;
+
   protected:
     const hv::Vm &vmAt(unsigned vm_index) const override;
 
@@ -92,6 +108,12 @@ class VrioModel : public IoModel
     std::unique_ptr<net::Nic> external_nic;
     std::unique_ptr<iohost::IoHypervisor> iohv;
     std::vector<std::unique_ptr<block::BlockDevice>> remote_disks;
+
+    // Standby IOhost (recovery.standby).
+    std::unique_ptr<hv::Machine> standby_machine;
+    std::unique_ptr<net::Nic> standby_cnic;
+    std::unique_ptr<net::Nic> standby_extnic;
+    std::unique_ptr<iohost::IoHypervisor> standby_iohv;
 };
 
 } // namespace vrio::models

@@ -67,6 +67,19 @@ Link::transmit(NetPort &from, FramePtr frame)
             case FaultVerdict::Kind::Corrupt:
                 frame->fcs_corrupt = true;
                 break;
+            case FaultVerdict::Kind::CorruptPayload:
+                // Flip the frame's final materialized byte: for vRIO
+                // traffic that always lands inside the checksummed
+                // message region (payload, or the checksum field
+                // itself on header-only messages).  Frames may be
+                // shared (switch flooding), so mutate a copy.
+                if (!frame->bytes.empty()) {
+                    auto clone = std::make_shared<Frame>(*frame);
+                    clone->bytes.back() ^= 0xff;
+                    frame = std::move(clone);
+                    ++payload_corrupted;
+                }
+                break;
             case FaultVerdict::Kind::Delay:
                 propagation += v.extra_delay;
                 break;

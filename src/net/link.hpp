@@ -53,6 +53,13 @@ struct FaultVerdict
         Drop,    ///< lost in flight
         Corrupt, ///< delivered with a failing FCS (dropped by RX)
         Delay,   ///< delivered after extra_delay additional latency
+        /**
+         * Byzantine: a payload byte is flipped but the FCS still
+         * passes (buffer corruption, not wire corruption).  Every
+         * FCS check waves the frame through; only an end-to-end
+         * check (the transport checksum) can catch it.
+         */
+        CorruptPayload,
     };
     Kind kind = Kind::Deliver;
     /** Extra propagation latency for Kind::Delay. */
@@ -109,6 +116,8 @@ class Link : public sim::SimObject
      * lets benches separate injected loss from intrinsic loss.
      */
     uint64_t framesLostToFaults() const { return fault_lost; }
+    /** Frames delivered with an injected FCS-passing payload flip. */
+    uint64_t framesPayloadCorrupted() const { return payload_corrupted; }
     uint64_t bytesCarried() const { return bytes; }
 
   private:
@@ -122,6 +131,7 @@ class Link : public sim::SimObject
     uint64_t delivered = 0;
     uint64_t lost = 0;
     uint64_t fault_lost = 0;
+    uint64_t payload_corrupted = 0;
     uint64_t bytes = 0;
 };
 

@@ -13,12 +13,55 @@ NetPort &
 Switch::newPort()
 {
     ports.push_back(std::make_unique<Port>(*this, ports.size()));
+    port_down.push_back(false);
     return *ports.back();
+}
+
+void
+Switch::setPortDown(size_t port_index, bool down)
+{
+    vrio_assert(port_index < ports.size(), "no such switch port ",
+                port_index);
+    if (port_down[port_index] == down)
+        return;
+    port_down[port_index] = down;
+    if (!down)
+        return;
+    // Flush addresses learned on the dead port; traffic to them now
+    // floods, finding an alternate path if one exists (re-routing)
+    // and blackholing at egress checks otherwise.
+    for (auto it = mac_table.begin(); it != mac_table.end();) {
+        if (it->second == port_index)
+            it = mac_table.erase(it);
+        else
+            ++it;
+    }
+}
+
+bool
+Switch::portDown(size_t port_index) const
+{
+    vrio_assert(port_index < ports.size(), "no such switch port ",
+                port_index);
+    return port_down[port_index];
+}
+
+std::optional<size_t>
+Switch::portOf(MacAddress mac) const
+{
+    auto it = mac_table.find(mac);
+    if (it == mac_table.end())
+        return std::nullopt;
+    return it->second;
 }
 
 void
 Switch::ingress(size_t port_index, FramePtr frame)
 {
+    if (port_down[port_index]) {
+        ++dead_port_drops;
+        return;
+    }
     if (frame->fcs_corrupt) {
         // Store-and-forward switches verify the FCS before queueing.
         ++crc_drops;
@@ -62,6 +105,10 @@ Switch::ingress(size_t port_index, FramePtr frame)
 void
 Switch::egress(size_t port_index, FramePtr frame)
 {
+    if (port_down[port_index]) {
+        ++dead_port_drops;
+        return;
+    }
     Link *link = ports[port_index]->link();
     vrio_assert(link, "egress on unconnected switch port ", port_index);
     link->transmit(*ports[port_index], std::move(frame));

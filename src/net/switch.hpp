@@ -8,6 +8,7 @@
 
 #include <map>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "net/link.hpp"
@@ -39,6 +40,22 @@ class Switch : public sim::SimObject
     /** MAC table size (learned addresses). */
     size_t macTableSize() const { return mac_table.size(); }
 
+    /**
+     * Administratively kill or revive a port.  A down port drops
+     * traffic in both directions, and its learned MAC-table entries
+     * are flushed so subsequent frames for those addresses flood —
+     * re-routing them if the destination is reachable through another
+     * port, blackholing them (deadPortDrops()) if not.
+     */
+    void setPortDown(size_t port_index, bool down);
+    bool portDown(size_t port_index) const;
+
+    /** Port a MAC was learned on, if any. */
+    std::optional<size_t> portOf(MacAddress mac) const;
+
+    /** Frames eaten by a down port (either direction). */
+    uint64_t deadPortDrops() const { return dead_port_drops; }
+
   private:
     class Port : public NetPort
     {
@@ -56,10 +73,12 @@ class Switch : public sim::SimObject
 
     SwitchConfig cfg;
     std::vector<std::unique_ptr<Port>> ports;
+    std::vector<bool> port_down;
     std::map<MacAddress, size_t> mac_table;
     uint64_t forwarded = 0;
     uint64_t flooded = 0;
     uint64_t crc_drops = 0;
+    uint64_t dead_port_drops = 0;
 
     void ingress(size_t port_index, FramePtr frame);
     void egress(size_t port_index, FramePtr frame);

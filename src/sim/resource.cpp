@@ -19,7 +19,7 @@ Resource::submit(Tick service_time, JobFn on_done)
     job.service = service_time;
     job.on_done = std::move(on_done);
     job.enqueued = eq.now();
-    if (busy < nservers) {
+    if (busy < nservers && !paused_) {
         beginService(std::move(job));
     } else {
         ++contended;
@@ -35,12 +35,24 @@ Resource::submitDeferred(ServiceFn make_job, JobFn on_done)
     job.make_service = std::move(make_job);
     job.on_done = std::move(on_done);
     job.enqueued = eq.now();
-    if (busy < nservers) {
+    if (busy < nservers && !paused_) {
         beginService(std::move(job));
     } else {
         ++contended;
         queue.push_back(std::move(job));
     }
+}
+
+void
+Resource::setPaused(bool paused)
+{
+    if (paused_ == paused)
+        return;
+    paused_ = paused;
+    // Resuming drains the backlog onto every free server; each
+    // completion keeps the drain going through startNext() as usual.
+    while (!paused_ && !queue.empty() && busy < nservers)
+        startNext();
 }
 
 void
@@ -65,7 +77,7 @@ Resource::beginService(Job job)
 void
 Resource::startNext()
 {
-    if (!queue.empty() && busy < nservers) {
+    if (!queue.empty() && busy < nservers && !paused_) {
         Job job = std::move(queue.front());
         queue.pop_front();
         beginService(std::move(job));

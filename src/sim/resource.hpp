@@ -65,6 +65,16 @@ class Resource
     /** Jobs that found all servers busy and had to wait. */
     uint64_t contendedJobs() const { return contended; }
 
+    /**
+     * Pause/resume job admission.  A paused resource finishes jobs
+     * already in service but starts nothing new; submissions queue up
+     * behind the pause.  Models a wedged worker core: the stall lasts
+     * until someone calls setPaused(false), at which point the backlog
+     * drains in FIFO order.
+     */
+    void setPaused(bool paused);
+    bool paused() const { return paused_; }
+
     /** Distribution of per-job queueing delay (microseconds). */
     const stats::Histogram &waitHistogram() const { return wait_hist; }
 
@@ -87,6 +97,7 @@ class Resource
     std::string name_;
     unsigned nservers;
     unsigned busy = 0;
+    bool paused_ = false;
     std::deque<Job> queue;
 
     uint64_t completed_ = 0;

@@ -41,4 +41,21 @@ DeviceAck::decode(ByteReader &r, DeviceAck &out)
     return true;
 }
 
+void
+HeartbeatMsg::encode(ByteWriter &w) const
+{
+    w.putU64le(seq);
+    w.putU32le(incarnation);
+}
+
+bool
+HeartbeatMsg::decode(ByteReader &r, HeartbeatMsg &out)
+{
+    if (r.remaining() < kSize)
+        return false;
+    out.seq = r.getU64le();
+    out.incarnation = r.getU32le();
+    return true;
+}
+
 } // namespace vrio::transport

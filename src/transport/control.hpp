@@ -51,6 +51,23 @@ struct DeviceAck
     static bool decode(ByteReader &r, DeviceAck &out);
 };
 
+/**
+ * Heartbeat payload: the liveness beacon each I/O hypervisor
+ * broadcasts to its clients.  `seq` increments per beat;
+ * `incarnation` increments each time the IOhost restarts, so a client
+ * can tell a recovered primary from one that never went away.
+ */
+struct HeartbeatMsg
+{
+    uint64_t seq = 0;
+    uint32_t incarnation = 0;
+
+    static constexpr size_t kSize = 12;
+
+    void encode(ByteWriter &w) const;
+    static bool decode(ByteReader &r, HeartbeatMsg &out);
+};
+
 } // namespace vrio::transport
 
 #endif // VRIO_TRANSPORT_CONTROL_HPP

@@ -45,6 +45,13 @@ encapsulate(net::MacAddress src, net::MacAddress dst, uint32_t wire_msg_id,
 
     hdr.encode(w);
     w.putBytes(payload);
+
+    // End-to-end checksum over the message region (header + payload);
+    // the receiver's reassembler verifies it once the full message is
+    // back together.
+    constexpr size_t kL234 = net::kEtherHeaderSize + net::kIpv4HeaderSize +
+                             net::kTcpHeaderSize;
+    sealMessage(std::span<uint8_t>(frame->bytes).subspan(kL234));
     return frame;
 }
 

@@ -1,5 +1,8 @@
 #include "transport/header.hpp"
 
+#include "util/crc32.hpp"
+#include "util/logging.hpp"
+
 namespace vrio::transport {
 
 void
@@ -19,7 +22,7 @@ TransportHeader::encode(ByteWriter &w) const
     w.putU64le(sector);
     w.putU8(blk_type);
     w.putU8(status);
-    w.putU16le(0); // reserved
+    w.putU16le(payload_csum);
 }
 
 bool
@@ -43,7 +46,7 @@ TransportHeader::decode(ByteReader &r, TransportHeader &out)
     out.sector = r.getU64le();
     out.blk_type = r.getU8();
     out.status = r.getU8();
-    r.skip(2); // reserved
+    out.payload_csum = r.getU16le();
     return true;
 }
 
@@ -65,8 +68,48 @@ msgTypeName(MsgType type)
         return "dev-destroy";
       case MsgType::DevAck:
         return "dev-ack";
+      case MsgType::Heartbeat:
+        return "heartbeat";
     }
     return "unknown";
+}
+
+namespace {
+
+uint16_t
+checksumWithFieldZeroed(std::span<uint8_t> message)
+{
+    uint8_t &lo = message[TransportHeader::kCsumOffset];
+    uint8_t &hi = message[TransportHeader::kCsumOffset + 1];
+    uint8_t saved_lo = lo, saved_hi = hi;
+    lo = hi = 0;
+    uint16_t csum = uint16_t(crc32(message) & 0xffff);
+    lo = saved_lo;
+    hi = saved_hi;
+    return csum;
+}
+
+} // namespace
+
+void
+sealMessage(std::span<uint8_t> message)
+{
+    vrio_assert(message.size() >= TransportHeader::kSize,
+                "sealing a truncated transport message");
+    uint16_t csum = checksumWithFieldZeroed(message);
+    message[TransportHeader::kCsumOffset] = uint8_t(csum & 0xff);
+    message[TransportHeader::kCsumOffset + 1] = uint8_t(csum >> 8);
+}
+
+bool
+verifyMessage(std::span<uint8_t> message)
+{
+    if (message.size() < TransportHeader::kSize)
+        return false;
+    uint16_t stored =
+        uint16_t(message[TransportHeader::kCsumOffset]) |
+        uint16_t(message[TransportHeader::kCsumOffset + 1]) << 8;
+    return checksumWithFieldZeroed(message) == stored;
 }
 
 } // namespace vrio::transport

@@ -26,12 +26,20 @@
  *  32  u64 sector         block: starting sector
  *  40  u8  blk_type       block: virtio::BlkType
  *  41  u8  status         responses: virtio::BlkStatus
- *  42  u16 reserved
+ *  42  u16 payload_csum   truncated CRC-32 over header + payload
+ *
+ * The checksum covers the encoded header (with the checksum field
+ * itself zeroed) plus the full message payload, and is verified when
+ * the reassembler completes a message.  Link-level FCS already drops
+ * garbled frames; this end-to-end check is what catches byzantine
+ * corruption that *passes* FCS (bit flips inside a switch or NIC
+ * buffer, modeled by fault::FaultPlan's corrupt_payload_rate).
  */
 #ifndef VRIO_TRANSPORT_HEADER_HPP
 #define VRIO_TRANSPORT_HEADER_HPP
 
 #include <cstdint>
+#include <span>
 
 #include "util/byte_buffer.hpp"
 
@@ -48,6 +56,7 @@ enum class MsgType : uint8_t {
     DevCreate = 5,///< IOhost -> client: create a front-end
     DevDestroy = 6,
     DevAck = 7,   ///< client -> IOhost: control acknowledgement
+    Heartbeat = 8,///< IOhost -> client: liveness beacon
 };
 
 /** Header flag bits. */
@@ -67,8 +76,11 @@ struct TransportHeader
     uint64_t sector = 0;
     uint8_t blk_type = 0;
     uint8_t status = 0;
+    uint16_t payload_csum = 0;
 
     static constexpr size_t kSize = 44;
+    /** Byte offset of payload_csum within the encoded header. */
+    static constexpr size_t kCsumOffset = 42;
 
     void encode(ByteWriter &w) const;
 
@@ -80,6 +92,21 @@ struct TransportHeader
 };
 
 const char *msgTypeName(MsgType type);
+
+/**
+ * Stamp @p message (encoded header + payload, at least kSize bytes)
+ * with its end-to-end checksum: truncated CRC-32 computed with the
+ * checksum field zeroed.  Called once per message by encapsulate().
+ */
+void sealMessage(std::span<uint8_t> message);
+
+/**
+ * Verify a sealed message.  Temporarily zeroes the checksum field for
+ * the computation and restores it; returns true iff the stored value
+ * matches.  A mismatch means the payload was corrupted somewhere FCS
+ * could not see.
+ */
+bool verifyMessage(std::span<uint8_t> message);
 
 } // namespace vrio::transport
 

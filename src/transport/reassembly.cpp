@@ -1,5 +1,6 @@
 #include "transport/reassembly.hpp"
 
+#include <algorithm>
 #include <cstring>
 
 #include "util/logging.hpp"
@@ -106,6 +107,16 @@ Reassembler::tryComplete(const Key &key, Partial &p)
                 "reassembly overshoot: ", p.bytes_received, " > ",
                 *p.expected_total);
 
+    // End-to-end integrity: FCS-passing corruption (a bit flip inside
+    // a buffer rather than on the wire) surfaces only here, once the
+    // whole message is back together.  Drop it; the sender's
+    // retransmission machinery recovers.
+    if (!verifyMessage(std::span<uint8_t>(p.data))) {
+        partials.erase(key);
+        ++checksum_drops;
+        return std::nullopt;
+    }
+
     Message msg;
     ByteReader r(p.data);
     bool ok = TransportHeader::decode(r, msg.hdr);
@@ -158,6 +169,57 @@ MessageAssembler::feed(Message msg)
     a.hdr.total_len = uint32_t(a.payload.size());
     groups.erase(key);
     return a;
+}
+
+bool
+DuplicateFilter::admit(uint32_t device_id, uint64_t serial,
+                       uint16_t generation)
+{
+    auto [it, inserted] =
+        in_service.try_emplace({device_id, serial}, Entry{generation});
+    if (inserted)
+        return true;
+    // Generations wrap only after 65k retries of one request (the
+    // retransmit queue gives up orders of magnitude earlier), so a
+    // plain max is safe.
+    if (generation > it->second.generation)
+        it->second.generation = generation;
+    ++suppressed_;
+    return false;
+}
+
+void
+DuplicateFilter::bind(uint32_t device_id, uint64_t serial, unsigned worker)
+{
+    auto it = in_service.find({device_id, serial});
+    if (it != in_service.end())
+        it->second.worker = worker;
+}
+
+uint16_t
+DuplicateFilter::take(uint32_t device_id, uint64_t serial, uint16_t fallback)
+{
+    auto it = in_service.find({device_id, serial});
+    if (it == in_service.end())
+        return fallback;
+    uint16_t generation = std::max(fallback, it->second.generation);
+    in_service.erase(it);
+    return generation;
+}
+
+size_t
+DuplicateFilter::dropWorker(unsigned worker)
+{
+    size_t dropped = 0;
+    for (auto it = in_service.begin(); it != in_service.end();) {
+        if (it->second.worker == worker) {
+            it = in_service.erase(it);
+            ++dropped;
+        } else {
+            ++it;
+        }
+    }
+    return dropped;
 }
 
 void

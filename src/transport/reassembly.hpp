@@ -59,6 +59,8 @@ class Reassembler
     uint64_t duplicateSegments() const { return duplicate_segments; }
     /** Messages whose size/MTU forced a copying reassembly. */
     uint64_t copiedReassemblies() const { return copied; }
+    /** Complete messages dropped by the end-to-end checksum. */
+    uint64_t checksumDrops() const { return checksum_drops; }
 
   private:
     struct Key
@@ -89,6 +91,7 @@ class Reassembler
     uint64_t foreign = 0;
     uint64_t duplicate_segments = 0;
     uint64_t copied = 0;
+    uint64_t checksum_drops = 0;
     bool sweep_scheduled = false;
 
     void scheduleSweep();
@@ -141,6 +144,62 @@ class MessageAssembler
     };
 
     std::map<GroupKey, Group> groups;
+};
+
+/**
+ * Server-side half of the Section 4.5 unique-id rule: sequence-based
+ * duplicate suppression for idempotent retries.  A retransmitted block
+ * request whose original is still executing must not run twice; the
+ * filter tracks requests in service by (device, serial) and remembers
+ * the newest generation seen so the eventual response can be stamped
+ * with a generation the client's retransmit queue still accepts.
+ */
+class DuplicateFilter
+{
+  public:
+    /**
+     * Offer an arriving request.  @return true when it is new and
+     * should execute; false when an older generation is already in
+     * service (the duplicate is suppressed, but its generation is
+     * recorded for response stamping).
+     */
+    bool admit(uint32_t device_id, uint64_t serial, uint16_t generation);
+
+    /** Bind the in-service entry to the worker executing it. */
+    void bind(uint32_t device_id, uint64_t serial, unsigned worker);
+
+    /**
+     * The request is completing and its response is about to leave:
+     * forget the entry and return the newest generation seen, so a
+     * response computed for generation g still matches a client that
+     * has since retried with g+1.  @p fallback is returned when the
+     * entry is gone (filter cleared by a crash, or never admitted).
+     */
+    uint16_t take(uint32_t device_id, uint64_t serial, uint16_t fallback);
+
+    /**
+     * Abandon every entry bound to @p worker (watchdog quarantine).
+     * Their clients will retry; without this, the stale entries would
+     * suppress those retries forever.  @return entries dropped.
+     */
+    size_t dropWorker(unsigned worker);
+
+    /** Crash semantics: in-service state does not survive an outage. */
+    void clear() { in_service.clear(); }
+
+    uint64_t suppressed() const { return suppressed_; }
+    size_t inService() const { return in_service.size(); }
+
+  private:
+    struct Entry
+    {
+        uint16_t generation = 0;
+        unsigned worker = kNoWorker;
+    };
+    static constexpr unsigned kNoWorker = ~0u;
+
+    std::map<std::pair<uint32_t, uint64_t>, Entry> in_service;
+    uint64_t suppressed_ = 0;
 };
 
 } // namespace vrio::transport

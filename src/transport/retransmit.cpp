@@ -83,6 +83,19 @@ RetransmitQueue::accept(uint64_t serial, uint16_t generation)
 }
 
 void
+RetransmitQueue::kickAll()
+{
+    for (auto &[serial, e] : live) {
+        e.timer.cancel();
+        ++e.generation;
+        ++retransmits;
+        e.timeout = cfg.initial_timeout;
+        send(serial, e.generation);
+        arm(serial);
+    }
+}
+
+void
 RetransmitQueue::cancel(uint64_t serial)
 {
     auto it = live.find(serial);

@@ -68,6 +68,15 @@ class RetransmitQueue
     /** Abandon a tracked request (e.g. device destroyed). */
     void cancel(uint64_t serial);
 
+    /**
+     * Immediately retransmit every live request at a fresh generation
+     * with the backoff reset, without consuming a retry attempt.
+     * Called on failover: the requests are not lost to congestion,
+     * they were addressed to a dead IOhost — waiting out a backed-off
+     * timer would stretch recovery by hundreds of milliseconds.
+     */
+    void kickAll();
+
     size_t inFlight() const { return live.size(); }
     uint64_t retransmissions() const { return retransmits; }
     uint64_t giveUps() const { return give_ups; }

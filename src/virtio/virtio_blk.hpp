@@ -25,6 +25,13 @@ enum class BlkStatus : uint8_t {
     Ok = 0,
     IoErr = 1,
     Unsupported = 2,
+    /**
+     * Not a virtio wire status: delivered locally by the vRIO client
+     * when a request exhausts its retransmission budget (Section 4.5
+     * extended with failure detection) — the guest sees the request
+     * fail instead of hanging forever.
+     */
+    Timeout = 3,
 };
 
 constexpr uint32_t kSectorSize = 512;

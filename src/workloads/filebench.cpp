@@ -32,6 +32,8 @@ FilebenchRandom::start()
 void
 FilebenchRandom::threadLoop(bool writer)
 {
+    if (stopped_)
+        return;
     uint32_t nsectors = cfg.io_bytes / kSectorSize;
     uint64_t max_start = device_sectors - nsectors;
     // 4KB-aligned random offset within the device.
@@ -46,9 +48,11 @@ FilebenchRandom::threadLoop(bool writer)
         req.data.assign(cfg.io_bytes, uint8_t(ops));
 
     sim::Tick issued = sim_->now();
+    ++outstanding_;
     guest.submitBlock(std::move(req), [this, writer,
                                        issued](virtio::BlkStatus s,
                                                Bytes) {
+        --outstanding_;
         if (s != virtio::BlkStatus::Ok) {
             ++errors;
         } else {

@@ -36,6 +36,15 @@ class FilebenchRandom
     void start();
     void resetStats();
 
+    /**
+     * Stop the closed loops: each thread exits after its outstanding
+     * op completes, so a stopped workload converges to
+     * outstandingOps() == 0 (the recovery benches' drain check).
+     */
+    void stop() { stopped_ = true; }
+    /** Ops submitted and not yet completed or failed. */
+    unsigned outstandingOps() const { return outstanding_; }
+
     uint64_t opsCompleted() const { return ops; }
     uint64_t readOps() const { return reads; }
     uint64_t writeOps() const { return writes; }
@@ -56,6 +65,8 @@ class FilebenchRandom
     uint64_t reads = 0;
     uint64_t writes = 0;
     uint64_t errors = 0;
+    bool stopped_ = false;
+    unsigned outstanding_ = 0;
     stats::Histogram latency;
     sim::Tick epoch = 0;
     sim::Simulation *sim_ = nullptr;

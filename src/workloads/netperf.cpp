@@ -92,7 +92,7 @@ NetperfStream::start()
 void
 NetperfStream::trySend()
 {
-    while (in_flight < cfg.window_chunks) {
+    while (!stopped_ && in_flight < cfg.window_chunks) {
         ++in_flight;
         ++chunks_tx;
         if (cfg.rto > 0) {
@@ -189,7 +189,7 @@ void
 NetperfStream::trySendAdaptive()
 {
     bool sent = false;
-    while (tcp_->canSend()) {
+    while (!stopped_ && tcp_->canSend()) {
         uint64_t seq = tcp_->onSend(sim_->now());
         ++chunks_tx;
         // The guest pays per-message cost for every 64B send() the
@@ -282,9 +282,36 @@ NetperfStream::resetStats()
     bytes_rx = 0;
     chunks_tx = 0;
     tcp_retransmits_ = 0;
+    // The congestion machine's counters are cumulative and cannot be
+    // rewound (retransmit state must survive the reset); snapshot them
+    // so the delta accessors report post-warmup values only.
+    if (tcp_) {
+        tcp_timeouts_base = tcp_->timeouts();
+        tcp_fast_retx_base = tcp_->fastRetransmits();
+    }
     epoch = sim_->now();
     cwnd_trace = {};
     srtt_trace = {};
+}
+
+uint64_t
+NetperfStream::outstandingChunks() const
+{
+    if (tcp_)
+        return tcp_->nextSeq() - tcp_->cumAck();
+    return in_flight;
+}
+
+uint64_t
+NetperfStream::tcpTimeouts() const
+{
+    return tcp_ ? tcp_->timeouts() - tcp_timeouts_base : 0;
+}
+
+uint64_t
+NetperfStream::tcpFastRetransmits() const
+{
+    return tcp_ ? tcp_->fastRetransmits() - tcp_fast_retx_base : 0;
 }
 
 double

@@ -108,6 +108,16 @@ class NetperfStream
     void start();
     void resetStats();
 
+    /**
+     * Stop submitting new chunks.  Outstanding chunks keep draining
+     * (acks are processed, losses are still retransmitted), so a
+     * stopped stream converges to outstandingChunks() == 0 even over
+     * a faulty channel — the recovery benches' stranded-request check.
+     */
+    void stop() { stopped_ = true; }
+    /** Chunks sent and not yet acknowledged. */
+    uint64_t outstandingChunks() const;
+
     /** Payload bytes received by the generator since the last reset. */
     uint64_t bytesReceived() const { return bytes_rx; }
     uint64_t chunksSent() const { return chunks_tx; }
@@ -116,6 +126,14 @@ class NetperfStream
      * mode: chunks retransmitted (timeout + fast retransmit).
      */
     uint64_t tcpRetransmits() const { return tcp_retransmits_; }
+    /**
+     * Adaptive mode: RTO expiries / fast retransmits since the last
+     * resetStats() (cumulative machine counters minus the snapshot
+     * taken at reset, so warmup losses are excluded); 0 in legacy
+     * mode.
+     */
+    uint64_t tcpTimeouts() const;
+    uint64_t tcpFastRetransmits() const;
 
     /** Gbps over the window [reset, now]. */
     double throughputGbps(sim::Simulation &sim) const;
@@ -136,9 +154,13 @@ class NetperfStream
     Config cfg;
 
     unsigned in_flight = 0;
+    bool stopped_ = false;
     uint64_t bytes_rx = 0;
     uint64_t chunks_tx = 0;
     uint64_t tcp_retransmits_ = 0;
+    /** Cumulative-counter snapshots taken at resetStats(). */
+    uint64_t tcp_timeouts_base = 0;
+    uint64_t tcp_fast_retx_base = 0;
     sim::Tick epoch = 0;
     sim::Simulation *sim_ = nullptr;
 

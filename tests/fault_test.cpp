@@ -506,6 +506,323 @@ TEST_P(BurstLossStats, MatchesChainTheory)
 INSTANTIATE_TEST_SUITE_P(Seeds, BurstLossStats,
                          ::testing::Values(3, 17, 29));
 
+// -- arm-time plan validation ---------------------------------------------
+
+TEST(FaultPlanDeathTest, ArmRejectsPastWindows)
+{
+    // A window behind now() would silently measure nothing; arm()
+    // must reject the plan loudly instead.
+    sim::Simulation sim;
+    net::NicConfig ncfg;
+    net::Nic nic(sim, "n", ncfg);
+    sim.events().schedule(5 * kMillisecond, []() {});
+    sim.runToCompletion();
+
+    fault::FaultPlan plan;
+    plan.squeezeRxRing(1 * kMillisecond, 1 * kMillisecond, 8);
+    fault::FaultInjector inj(sim, "fault", plan);
+    inj.attachRxRing(nic);
+    EXPECT_DEATH(inj.arm(), "already in the past");
+}
+
+// -- failure detection + recovery (cfg.recovery) --------------------------
+
+std::vector<std::unique_ptr<workloads::FilebenchRandom>>
+startFilebench(bench::Experiment &exp, unsigned n_vms)
+{
+    std::vector<std::unique_ptr<workloads::FilebenchRandom>> wls;
+    for (unsigned v = 0; v < n_vms; ++v) {
+        workloads::FilebenchRandom::Config cfg;
+        cfg.readers = 1;
+        cfg.writers = 1;
+        wls.push_back(std::make_unique<workloads::FilebenchRandom>(
+            exp.model->guest(v), exp.sim->random().split(), cfg));
+        wls.back()->start();
+    }
+    return wls;
+}
+
+uint64_t
+totalOps(const std::vector<std::unique_ptr<workloads::FilebenchRandom>>
+             &wls)
+{
+    uint64_t ops = 0;
+    for (const auto &wl : wls)
+        ops += wl->opsCompleted();
+    return ops;
+}
+
+TEST(Recovery, WatchdogDetectsAndReSteersWedgedWorker)
+{
+    bench::SweepOptions opt;
+    opt.warmup = 5 * kMillisecond;
+    opt.sidecores = 2; // somewhere for the survivors to re-steer to
+    opt.tweak = [](models::ModelConfig &mc) {
+        mc.with_block = true;
+        mc.recovery.enabled = true;
+    };
+    bench::Experiment exp(ModelKind::Vrio, 2, opt);
+    exp.settle();
+    auto *vm = dynamic_cast<models::VrioModel *>(exp.model);
+    ASSERT_NE(vm, nullptr);
+
+    auto wls = startFilebench(exp, 2);
+    exp.sim->runUntil(exp.sim->now() + opt.warmup);
+
+    const sim::Tick period = 5 * kMillisecond; // recovery default
+    sim::Tick wedge_at = exp.sim->now() + 5 * kMillisecond;
+    fault::FaultPlan plan;
+    plan.wedgeWorker(0, wedge_at);
+    fault::FaultInjector inj(*exp.sim, "fault", plan);
+    inj.attach(*vm);
+    inj.arm();
+
+    exp.sim->runUntil(exp.sim->now() + 40 * kMillisecond);
+    auto &hv = vm->hypervisor();
+    EXPECT_EQ(inj.wedgesTriggered(), 1u);
+    EXPECT_EQ(hv.wedgesDetected(), 1u);
+    // The watchdog declares after `watchdog_threshold` consecutive
+    // no-progress sweeps, so the latency it reports is exactly
+    // threshold * period; the wall-clock detection tick also absorbs
+    // the sweep-phase offset and the wedged worker's final in-service
+    // completion (at most two extra periods).
+    EXPECT_EQ(hv.lastWedgeDetectLatency(), 2 * period);
+    EXPECT_GE(hv.lastWedgeDetectTick(), wedge_at + 2 * period);
+    EXPECT_LE(hv.lastWedgeDetectTick(), wedge_at + 5 * period);
+
+    // Quarantine re-bound the dead worker's devices: the closed loops
+    // keep completing ops afterwards with no device error.
+    uint64_t at_check = totalOps(wls);
+    exp.sim->runUntil(exp.sim->now() + 20 * kMillisecond);
+    EXPECT_GT(totalOps(wls), at_check);
+
+    for (auto &wl : wls)
+        wl->stop();
+    exp.sim->runUntil(exp.sim->now() + 100 * kMillisecond);
+    for (auto &wl : wls) {
+        EXPECT_EQ(wl->outstandingOps(), 0u);
+        EXPECT_EQ(wl->ioErrors(), 0u);
+    }
+    for (unsigned v = 0; v < 2; ++v)
+        EXPECT_EQ(vm->clientPendingBlocks(v), 0u);
+}
+
+TEST(Recovery, HeartbeatLapseFailsOverToStandby)
+{
+    bench::SweepOptions opt;
+    opt.warmup = 5 * kMillisecond;
+    opt.tweak = [](models::ModelConfig &mc) {
+        mc.with_block = true;
+        mc.vrio_via_switch = true;
+        mc.recovery.enabled = true;
+        mc.recovery.standby = true;
+    };
+    bench::Experiment exp(ModelKind::Vrio, 1, opt);
+    exp.settle();
+    auto *vm = dynamic_cast<models::VrioModel *>(exp.model);
+    ASSERT_NE(vm, nullptr);
+    ASSERT_NE(vm->standbyHypervisor(), nullptr);
+
+    auto wls = startFilebench(exp, 1);
+    exp.sim->runUntil(exp.sim->now() + opt.warmup);
+    EXPECT_GT(vm->clientHeartbeatsSeen(0), 0u);
+
+    // The primary dies and never returns inside the run: recovery
+    // must come from failover, not from waiting out the outage.
+    sim::Tick dead_at = exp.sim->now() + 5 * kMillisecond;
+    fault::FaultPlan plan;
+    plan.killIoHost(dead_at, 10 * sim::kSecond);
+    fault::FaultInjector inj(*exp.sim, "fault", plan);
+    inj.attach(*vm);
+    inj.arm();
+
+    exp.sim->runUntil(exp.sim->now() + 30 * kMillisecond);
+    EXPECT_GE(vm->clientHeartbeatLapses(0), 1u);
+    EXPECT_EQ(vm->clientFailovers(0), 1u);
+    // Detection within the lapse window (miss * period = 8 ms) of the
+    // last pre-crash beat.
+    EXPECT_GT(vm->clientLapseTick(0), dead_at);
+    EXPECT_LE(vm->clientLapseTick(0), dead_at + 12 * kMillisecond);
+
+    // The standby now serves the channel while the primary is dark.
+    EXPECT_TRUE(vm->hypervisor().offline());
+    uint64_t at_check = totalOps(wls);
+    exp.sim->runUntil(exp.sim->now() + 20 * kMillisecond);
+    EXPECT_GT(totalOps(wls), at_check);
+
+    for (auto &wl : wls)
+        wl->stop();
+    exp.sim->runUntil(exp.sim->now() + 100 * kMillisecond);
+    EXPECT_EQ(wls[0]->outstandingOps(), 0u);
+    EXPECT_EQ(wls[0]->ioErrors(), 0u);
+    EXPECT_EQ(vm->clientPendingBlocks(0), 0u);
+}
+
+TEST(Recovery, DeadPortReroutesThroughSecondClientNic)
+{
+    // Two VMhosts means the IOhost has two client NICs on the rack
+    // switch.  Killing the port behind one of them re-routes that
+    // client's traffic: the switch flushes the dead port's addresses
+    // and floods, the frames reach the IOhost's other client NIC, and
+    // the IOhost re-learns the client's port from the new ingress.
+    bench::SweepOptions opt;
+    opt.warmup = 5 * kMillisecond;
+    opt.vmhosts = 2;
+    opt.tweak = [](models::ModelConfig &mc) {
+        mc.with_block = true;
+        mc.vrio_via_switch = true;
+        mc.recovery.enabled = true;
+    };
+    bench::Experiment exp(ModelKind::Vrio, 2, opt);
+    exp.settle();
+    auto *vm = dynamic_cast<models::VrioModel *>(exp.model);
+    ASSERT_NE(vm, nullptr);
+    auto nics = vm->iohostClientNics();
+    ASSERT_EQ(nics.size(), 2u);
+
+    auto wls = startFilebench(exp, 2);
+    exp.sim->runUntil(exp.sim->now() + opt.warmup);
+
+    sim::Tick down_at = exp.sim->now() + 5 * kMillisecond;
+    fault::FaultPlan plan;
+    plan.killSwitchPort(nics[0]->queueMac(0), down_at,
+                        20 * kMillisecond);
+    fault::FaultInjector inj(*exp.sim, "fault", plan);
+    inj.attach(*vm);
+    inj.attachSwitch(exp.rack->rackSwitch());
+    inj.arm();
+
+    // Measure strictly inside the window: ops must keep completing
+    // over the surviving NIC.
+    exp.sim->runUntil(down_at + 5 * kMillisecond);
+    uint64_t in_window = totalOps(wls);
+    exp.sim->runUntil(down_at + 18 * kMillisecond);
+    EXPECT_EQ(inj.portDownsTriggered(), 1u);
+    EXPECT_GT(totalOps(wls), in_window);
+    EXPECT_GT(exp.rack->rackSwitch().deadPortDrops(), 0u);
+
+    exp.sim->runUntil(exp.sim->now() + 20 * kMillisecond);
+    for (auto &wl : wls)
+        wl->stop();
+    exp.sim->runUntil(exp.sim->now() + 100 * kMillisecond);
+    for (auto &wl : wls) {
+        EXPECT_EQ(wl->outstandingOps(), 0u);
+        EXPECT_EQ(wl->ioErrors(), 0u);
+    }
+}
+
+TEST(Recovery, StreamResetSnapshotsCongestionCounters)
+{
+    // bench::FaultedStreamResult reports post-warmup deltas: the
+    // congestion machine's cumulative counters are snapshotted by
+    // resetStats(), not rewound.
+    bench::SweepOptions opt;
+    opt.warmup = 5 * kMillisecond;
+    bench::Experiment exp(ModelKind::Vrio, 1, opt);
+    exp.settle();
+    fault::FaultPlan plan;
+    plan.seed = 13;
+    plan.dropRate(0.02);
+    auto inj = bench::attachInjector(exp, plan);
+    ASSERT_NE(inj, nullptr);
+
+    workloads::NetperfStream::Config scfg;
+    scfg.adaptive = true;
+    auto &gen = exp.rack->generator(0);
+    workloads::NetperfStream wl(gen, gen.newSession(),
+                                exp.model->guest(0),
+                                models::CostParams{}, scfg);
+    wl.start();
+    exp.sim->runUntil(exp.sim->now() + 30 * kMillisecond);
+    ASSERT_NE(wl.tcp(), nullptr);
+    ASSERT_GT(wl.tcp()->timeouts() + wl.tcp()->fastRetransmits(), 0u)
+        << "warmup saw no losses; raise the rate";
+
+    uint64_t to_base = wl.tcp()->timeouts();
+    uint64_t fr_base = wl.tcp()->fastRetransmits();
+    wl.resetStats();
+    EXPECT_EQ(wl.tcpTimeouts(), 0u);
+    EXPECT_EQ(wl.tcpFastRetransmits(), 0u);
+
+    exp.sim->runUntil(exp.sim->now() + 30 * kMillisecond);
+    EXPECT_EQ(wl.tcpTimeouts(), wl.tcp()->timeouts() - to_base);
+    EXPECT_EQ(wl.tcpFastRetransmits(),
+              wl.tcp()->fastRetransmits() - fr_base);
+    EXPECT_GT(wl.tcpTimeouts() + wl.tcpFastRetransmits(), 0u);
+}
+
+/**
+ * Property: with the recovery layer armed, a single partial fault of
+ * any class injected mid-run leaves zero stranded requests once the
+ * workloads stop and the run drains — every submitted request
+ * eventually completes.  Checked across three workload seeds per
+ * fault class.
+ */
+class SingleFaultDrainsDry
+    : public ::testing::TestWithParam<std::tuple<int, uint64_t>>
+{};
+
+TEST_P(SingleFaultDrainsDry, NoStrandedRequests)
+{
+    const int fault_class = std::get<0>(GetParam());
+    const uint64_t seed = std::get<1>(GetParam());
+    const unsigned n_vms = 2;
+
+    bench::SweepOptions opt;
+    opt.warmup = 5 * kMillisecond;
+    opt.seed = seed;
+    opt.sidecores = 2;
+    opt.tweak = [fault_class](models::ModelConfig &mc) {
+        mc.with_block = true;
+        mc.vrio_via_switch = true;
+        mc.recovery.enabled = true;
+        mc.recovery.standby = (fault_class == 2);
+    };
+    bench::Experiment exp(ModelKind::Vrio, n_vms, opt);
+    exp.settle();
+    auto *vm = dynamic_cast<models::VrioModel *>(exp.model);
+    ASSERT_NE(vm, nullptr);
+
+    auto wls = startFilebench(exp, n_vms);
+    exp.sim->runUntil(exp.sim->now() + opt.warmup);
+
+    sim::Tick fault_at = exp.sim->now() + 5 * kMillisecond;
+    fault::FaultPlan plan;
+    plan.seed = seed;
+    switch (fault_class) {
+    case 0:
+        plan.wedgeWorker(0, fault_at);
+        break;
+    case 1:
+        plan.killSwitchPort(vm->iohostClientNics()[0]->queueMac(0),
+                            fault_at, 15 * kMillisecond);
+        break;
+    case 2:
+        plan.killIoHost(fault_at, 10 * sim::kSecond);
+        break;
+    }
+    auto inj = bench::attachInjector(exp, plan);
+    ASSERT_NE(inj, nullptr);
+
+    exp.sim->runUntil(exp.sim->now() + 40 * kMillisecond);
+    for (auto &wl : wls)
+        wl->stop();
+    exp.sim->runUntil(exp.sim->now() + 120 * kMillisecond);
+
+    EXPECT_GT(totalOps(wls), 0u);
+    for (auto &wl : wls)
+        EXPECT_EQ(wl->outstandingOps(), 0u)
+            << "class " << fault_class << " seed " << seed;
+    for (unsigned v = 0; v < n_vms; ++v)
+        EXPECT_EQ(vm->clientPendingBlocks(v), 0u)
+            << "class " << fault_class << " seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FaultClassesAndSeeds, SingleFaultDrainsDry,
+    ::testing::Combine(::testing::Values(0, 1, 2),
+                       ::testing::Values(101, 202, 303)));
+
 TEST(BurstLoss, ForAverageLossParameterization)
 {
     auto ge = fault::GilbertElliott::forAverageLoss(0.02, 8.0);

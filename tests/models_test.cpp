@@ -364,7 +364,7 @@ TEST(VrioLoss, TotalLossRaisesDeviceError)
     // Retry cap: 10+20+40+80+160+320+640 ms ~ 1.3 s.
     h.sim.runUntil(h.sim.now() + 5 * kSecond);
     EXPECT_TRUE(done);
-    EXPECT_EQ(status, virtio::BlkStatus::IoErr);
+    EXPECT_EQ(status, virtio::BlkStatus::Timeout);
 }
 
 TEST(VrioContention, WorkerSeesContendedPackets)

@@ -360,6 +360,62 @@ TEST(Switch, BroadcastFloods)
     EXPECT_EQ(h1.got.size(), 0u);
 }
 
+TEST(Switch, DeadPortFlushesReroutesAndRevives)
+{
+    sim::Simulation sim;
+    Switch sw(sim, "sw");
+    SinkPort h1, h2, h3;
+    Link l1(sim, "l1", {}), l2(sim, "l2", {}), l3(sim, "l3", {});
+    l1.connect(h1, sw.newPort());
+    l2.connect(h2, sw.newPort());
+    l3.connect(h3, sw.newPort());
+
+    MacAddress m1 = MacAddress::local(1);
+    MacAddress m2 = MacAddress::local(2);
+
+    // Learn m1 on port 0 and m2 on port 1.
+    l1.transmit(h1, frameTo(m2, m1));
+    l2.transmit(h2, frameTo(m1, m2));
+    sim.runToCompletion();
+    ASSERT_EQ(sw.portOf(m2), 1u);
+
+    // Down port 1: its learned addresses are flushed, so traffic to
+    // m2 floods and reaches the surviving ports (re-routing when an
+    // alternate path exists) while the dead port drops it at egress.
+    sw.setPortDown(1, true);
+    EXPECT_TRUE(sw.portDown(1));
+    EXPECT_FALSE(sw.portOf(m2).has_value());
+    size_t h2_frames = h2.got.size();
+    size_t h3_frames = h3.got.size();
+    l1.transmit(h1, frameTo(m2, m1));
+    sim.runToCompletion();
+    EXPECT_EQ(h2.got.size(), h2_frames);      // blackholed at egress
+    EXPECT_EQ(h3.got.size(), h3_frames + 1u); // flooded re-route
+    EXPECT_GE(sw.deadPortDrops(), 1u);
+
+    // Ingress on a dead port is dropped too: the host behind it is
+    // cut off in both directions.
+    size_t h1_frames = h1.got.size();
+    uint64_t drops = sw.deadPortDrops();
+    l2.transmit(h2, frameTo(m1, m2));
+    sim.runToCompletion();
+    EXPECT_EQ(h1.got.size(), h1_frames);
+    EXPECT_EQ(sw.deadPortDrops(), drops + 1u);
+
+    // Revival: the first transmission re-learns the address and
+    // unicast forwarding resumes.
+    sw.setPortDown(1, false);
+    l2.transmit(h2, frameTo(m1, m2));
+    sim.runToCompletion();
+    EXPECT_EQ(h1.got.size(), h1_frames + 1u);
+    ASSERT_TRUE(sw.portOf(m2).has_value());
+    EXPECT_EQ(*sw.portOf(m2), 1u);
+    size_t h2_after = h2.got.size();
+    l1.transmit(h1, frameTo(m2, m1));
+    sim.runToCompletion();
+    EXPECT_EQ(h2.got.size(), h2_after + 1u);
+}
+
 struct NicFixture : ::testing::Test
 {
     sim::Simulation sim;

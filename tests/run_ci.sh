@@ -14,10 +14,10 @@ run() {
     "$@"
 }
 
-echo "== Debug + ASan/UBSan =="
+echo "== Debug + ASan =="
 run cmake -B build-ci-asan -S . \
     -DCMAKE_BUILD_TYPE=Debug \
-    -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all"
+    -DCMAKE_CXX_FLAGS="-fsanitize=address -fno-sanitize-recover=all"
 run cmake --build build-ci-asan -j "$JOBS"
 # Golden snapshots execute the bench binaries; under ASan they run
 # ~10x slower for no extra coverage (the Release lane diffs the same
@@ -28,6 +28,16 @@ run ctest --test-dir build-ci-asan --output-on-failure -j "$JOBS" -LE golden
 # detached hooks in teardown-heavy patterns; run its suite standalone
 # under the sanitizers so a failure names it directly.
 run ./build-ci-asan/tests/fault_test
+
+echo "== Debug + UBSan =="
+# Separate lane: ASan's shadow memory changes allocation patterns and
+# can mask the alignment/overflow class UBSan exists to catch.
+run cmake -B build-ci-ubsan -S . \
+    -DCMAKE_BUILD_TYPE=Debug \
+    -DCMAKE_CXX_FLAGS="-fsanitize=undefined -fno-sanitize-recover=all"
+run cmake --build build-ci-ubsan -j "$JOBS"
+run ctest --test-dir build-ci-ubsan --output-on-failure -j "$JOBS" -LE golden
+run ./build-ci-ubsan/tests/fault_test
 
 echo "== Release =="
 run cmake -B build-ci-release -S . -DCMAKE_BUILD_TYPE=Release
@@ -44,5 +54,10 @@ run ./build-ci-release/bench/micro_sim_hotpath
 
 echo "== Resilience benchmark smoke (Release) =="
 run env VRIO_RESILIENCE_SMOKE=1 ./build-ci-release/bench/abl_resilience
+
+echo "== Recovery timeline (Release, full-size) =="
+# The recovery section alone at full measurement size: detection and
+# recovery latencies must stay finite with zero stranded requests.
+run env VRIO_RESILIENCE_RECOVERY=1 ./build-ci-release/bench/abl_resilience
 
 echo "CI OK"

@@ -638,6 +638,138 @@ TEST(Control, TruncatedDecodesFail)
     ByteReader r2(tiny);
     DeviceAck a;
     EXPECT_FALSE(DeviceAck::decode(r2, a));
+    ByteReader r3(tiny);
+    HeartbeatMsg h;
+    EXPECT_FALSE(HeartbeatMsg::decode(r3, h));
+}
+
+TEST(Control, HeartbeatRoundTrip)
+{
+    HeartbeatMsg hb;
+    hb.seq = 0x1122334455667788ull;
+    hb.incarnation = 7;
+    Bytes buf;
+    ByteWriter w(buf);
+    hb.encode(w);
+    ASSERT_EQ(buf.size(), HeartbeatMsg::kSize);
+    ByteReader r(buf);
+    HeartbeatMsg out;
+    ASSERT_TRUE(HeartbeatMsg::decode(r, out));
+    EXPECT_EQ(out.seq, hb.seq);
+    EXPECT_EQ(out.incarnation, 7u);
+}
+
+// -- end-to-end payload checksum ----------------------------------------
+
+TEST(Checksum, SealVerifyAndSingleFlipDetected)
+{
+    Bytes msg;
+    ByteWriter w(msg);
+    TransportHeader h = netHeader(16);
+    h.encode(w);
+    for (int i = 0; i < 16; ++i)
+        msg.push_back(uint8_t(i * 7));
+
+    sealMessage(msg);
+    EXPECT_TRUE(verifyMessage(msg));
+
+    // Any single payload flip fails verification...
+    msg.back() ^= 0x01;
+    EXPECT_FALSE(verifyMessage(msg));
+    msg.back() ^= 0x01;
+    EXPECT_TRUE(verifyMessage(msg));
+    // ...and so does a header flip outside the csum field itself.
+    msg[4] ^= 0x80;
+    EXPECT_FALSE(verifyMessage(msg));
+}
+
+TEST(Checksum, ReassemblerDropsFcsPassingCorruption)
+{
+    // A payload byte flipped in flight with a still-valid FCS sails
+    // through the NIC and switch checks; only the transport-level
+    // checksum at reassembly catches it.
+    sim::Simulation sim;
+    Reassembler reasm(sim.events(), net::kMtuVrioJumbo);
+
+    Bytes payload(20000);
+    for (size_t i = 0; i < payload.size(); ++i)
+        payload[i] = uint8_t(i * 13);
+    auto frame = encapsulate(MacAddress::local(1), MacAddress::local(2),
+                             5, netHeader(uint32_t(payload.size())),
+                             payload);
+    frame->bytes.back() ^= 0x40; // in-flight flip, FCS "recomputed"
+
+    std::optional<Message> out;
+    for (const auto &seg : net::tsoSegment(*frame, net::kMtuVrioJumbo))
+        if (auto m = reasm.feed(*seg))
+            out = std::move(m);
+    EXPECT_FALSE(out.has_value());
+    EXPECT_EQ(reasm.checksumDrops(), 1u);
+    EXPECT_EQ(reasm.messagesCompleted(), 0u);
+}
+
+// -- server-side duplicate suppression ------------------------------------
+
+TEST(DuplicateFilter, RetryOfInServiceRequestIsSuppressed)
+{
+    DuplicateFilter f;
+    EXPECT_TRUE(f.admit(1, 100, 0));
+    EXPECT_EQ(f.inService(), 1u);
+
+    // The client timed out and retried with a bumped generation: the
+    // original is still executing, so the retry must not run again.
+    EXPECT_FALSE(f.admit(1, 100, 1));
+    EXPECT_FALSE(f.admit(1, 100, 2));
+    EXPECT_EQ(f.suppressed(), 2u);
+
+    // The response is stamped with the newest generation seen, so the
+    // client's retransmit queue (now at generation 2) accepts it.
+    EXPECT_EQ(f.take(1, 100, 0), 2);
+    EXPECT_EQ(f.inService(), 0u);
+
+    // After completion the serial is forgotten: a fresh request (the
+    // client would never reuse a serial, but a lost-response retry
+    // arrives exactly like this) executes again — idempotent redo.
+    EXPECT_TRUE(f.admit(1, 100, 3));
+    EXPECT_EQ(f.take(1, 100, 3), 3);
+}
+
+TEST(DuplicateFilter, DistinctDevicesAndSerialsAreIndependent)
+{
+    DuplicateFilter f;
+    EXPECT_TRUE(f.admit(1, 100, 0));
+    EXPECT_TRUE(f.admit(2, 100, 0)); // same serial, other device
+    EXPECT_TRUE(f.admit(1, 101, 0)); // same device, other serial
+    EXPECT_EQ(f.inService(), 3u);
+    EXPECT_EQ(f.suppressed(), 0u);
+}
+
+TEST(DuplicateFilter, DropWorkerUnblocksRetries)
+{
+    DuplicateFilter f;
+    ASSERT_TRUE(f.admit(1, 7, 0));
+    ASSERT_TRUE(f.admit(1, 8, 0));
+    f.bind(1, 7, 3);
+    f.bind(1, 8, 4);
+
+    // Worker 3 wedged; the watchdog quarantines it.  Its in-service
+    // entry must go, or the client's retry would be suppressed
+    // forever by a request that will never complete.
+    EXPECT_EQ(f.dropWorker(3), 1u);
+    EXPECT_TRUE(f.admit(1, 7, 1));
+    // Worker 4's entry survived: its retry is still a duplicate.
+    EXPECT_FALSE(f.admit(1, 8, 1));
+}
+
+TEST(DuplicateFilter, TakeFallsBackWhenEntryGone)
+{
+    DuplicateFilter f;
+    // Crash semantics: clear() forgets everything in service; a
+    // response computed before the crash stamps its own generation.
+    ASSERT_TRUE(f.admit(1, 9, 5));
+    f.clear();
+    EXPECT_EQ(f.take(1, 9, 5), 5);
+    EXPECT_EQ(f.inService(), 0u);
 }
 
 } // namespace
