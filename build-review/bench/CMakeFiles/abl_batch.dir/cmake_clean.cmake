@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_batch.dir/abl_batch.cpp.o"
+  "CMakeFiles/abl_batch.dir/abl_batch.cpp.o.d"
+  "abl_batch"
+  "abl_batch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_batch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

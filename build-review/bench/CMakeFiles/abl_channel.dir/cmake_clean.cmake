@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_channel.dir/abl_channel.cpp.o"
+  "CMakeFiles/abl_channel.dir/abl_channel.cpp.o.d"
+  "abl_channel"
+  "abl_channel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_energy.dir/abl_energy.cpp.o"
+  "CMakeFiles/abl_energy.dir/abl_energy.cpp.o.d"
+  "abl_energy"
+  "abl_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_mtu_sweep.dir/abl_mtu_sweep.cpp.o"
+  "CMakeFiles/abl_mtu_sweep.dir/abl_mtu_sweep.cpp.o.d"
+  "abl_mtu_sweep"
+  "abl_mtu_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_mtu_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_resilience.dir/abl_resilience.cpp.o"
+  "CMakeFiles/abl_resilience.dir/abl_resilience.cpp.o.d"
+  "abl_resilience"
+  "abl_resilience.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_resilience.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

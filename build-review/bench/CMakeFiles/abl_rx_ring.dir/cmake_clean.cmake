@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_rx_ring.dir/abl_rx_ring.cpp.o"
+  "CMakeFiles/abl_rx_ring.dir/abl_rx_ring.cpp.o.d"
+  "abl_rx_ring"
+  "abl_rx_ring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_rx_ring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_steering.dir/abl_steering.cpp.o"
+  "CMakeFiles/abl_steering.dir/abl_steering.cpp.o.d"
+  "abl_steering"
+  "abl_steering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_steering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_price_trends.dir/fig01_price_trends.cpp.o"
+  "CMakeFiles/fig01_price_trends.dir/fig01_price_trends.cpp.o.d"
+  "fig01_price_trends"
+  "fig01_price_trends.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_price_trends.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

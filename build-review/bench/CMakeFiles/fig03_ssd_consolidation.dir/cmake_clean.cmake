@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_ssd_consolidation.dir/fig03_ssd_consolidation.cpp.o"
+  "CMakeFiles/fig03_ssd_consolidation.dir/fig03_ssd_consolidation.cpp.o.d"
+  "fig03_ssd_consolidation"
+  "fig03_ssd_consolidation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_ssd_consolidation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_apachebench_polling.dir/fig05_apachebench_polling.cpp.o"
+  "CMakeFiles/fig05_apachebench_polling.dir/fig05_apachebench_polling.cpp.o.d"
+  "fig05_apachebench_polling"
+  "fig05_apachebench_polling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_apachebench_polling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

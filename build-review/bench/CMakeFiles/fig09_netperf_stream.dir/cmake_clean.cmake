@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_netperf_stream.dir/fig09_netperf_stream.cpp.o"
+  "CMakeFiles/fig09_netperf_stream.dir/fig09_netperf_stream.cpp.o.d"
+  "fig09_netperf_stream"
+  "fig09_netperf_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_netperf_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

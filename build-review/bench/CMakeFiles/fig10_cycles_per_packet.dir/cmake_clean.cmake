@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_cycles_per_packet.dir/fig10_cycles_per_packet.cpp.o"
+  "CMakeFiles/fig10_cycles_per_packet.dir/fig10_cycles_per_packet.cpp.o.d"
+  "fig10_cycles_per_packet"
+  "fig10_cycles_per_packet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_cycles_per_packet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

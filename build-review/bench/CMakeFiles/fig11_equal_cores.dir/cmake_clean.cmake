@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_equal_cores.dir/fig11_equal_cores.cpp.o"
+  "CMakeFiles/fig11_equal_cores.dir/fig11_equal_cores.cpp.o.d"
+  "fig11_equal_cores"
+  "fig11_equal_cores.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_equal_cores.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_macrobenchmarks.dir/fig12_macrobenchmarks.cpp.o"
+  "CMakeFiles/fig12_macrobenchmarks.dir/fig12_macrobenchmarks.cpp.o.d"
+  "fig12_macrobenchmarks"
+  "fig12_macrobenchmarks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_macrobenchmarks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

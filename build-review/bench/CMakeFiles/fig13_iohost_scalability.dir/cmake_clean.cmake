@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_iohost_scalability.dir/fig13_iohost_scalability.cpp.o"
+  "CMakeFiles/fig13_iohost_scalability.dir/fig13_iohost_scalability.cpp.o.d"
+  "fig13_iohost_scalability"
+  "fig13_iohost_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_iohost_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_filebench_ramdisk.dir/fig14_filebench_ramdisk.cpp.o"
+  "CMakeFiles/fig14_filebench_ramdisk.dir/fig14_filebench_ramdisk.cpp.o.d"
+  "fig14_filebench_ramdisk"
+  "fig14_filebench_ramdisk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_filebench_ramdisk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_sidecore_utilization.dir/fig15_sidecore_utilization.cpp.o"
+  "CMakeFiles/fig15_sidecore_utilization.dir/fig15_sidecore_utilization.cpp.o.d"
+  "fig15_sidecore_utilization"
+  "fig15_sidecore_utilization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_sidecore_utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_consolidation.dir/fig16_consolidation.cpp.o"
+  "CMakeFiles/fig16_consolidation.dir/fig16_consolidation.cpp.o.d"
+  "fig16_consolidation"
+  "fig16_consolidation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_consolidation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

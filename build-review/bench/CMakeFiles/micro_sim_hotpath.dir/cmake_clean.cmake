@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_sim_hotpath.dir/micro_sim_hotpath.cpp.o"
+  "CMakeFiles/micro_sim_hotpath.dir/micro_sim_hotpath.cpp.o.d"
+  "micro_sim_hotpath"
+  "micro_sim_hotpath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_sim_hotpath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab01_tab02_rack_prices.dir/tab01_tab02_rack_prices.cpp.o"
+  "CMakeFiles/tab01_tab02_rack_prices.dir/tab01_tab02_rack_prices.cpp.o.d"
+  "tab01_tab02_rack_prices"
+  "tab01_tab02_rack_prices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab01_tab02_rack_prices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab03_interrupt_accounting.dir/tab03_interrupt_accounting.cpp.o"
+  "CMakeFiles/tab03_interrupt_accounting.dir/tab03_interrupt_accounting.cpp.o.d"
+  "tab03_interrupt_accounting"
+  "tab03_interrupt_accounting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab03_interrupt_accounting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

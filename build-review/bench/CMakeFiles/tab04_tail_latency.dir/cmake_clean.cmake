@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab04_tail_latency.dir/tab04_tail_latency.cpp.o"
+  "CMakeFiles/tab04_tail_latency.dir/tab04_tail_latency.cpp.o.d"
+  "tab04_tail_latency"
+  "tab04_tail_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab04_tail_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heterogeneous_rack.dir/heterogeneous_rack.cpp.o"
+  "CMakeFiles/heterogeneous_rack.dir/heterogeneous_rack.cpp.o.d"
+  "heterogeneous_rack"
+  "heterogeneous_rack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heterogeneous_rack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

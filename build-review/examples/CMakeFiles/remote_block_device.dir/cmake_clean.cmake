@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remote_block_device.dir/remote_block_device.cpp.o"
+  "CMakeFiles/remote_block_device.dir/remote_block_device.cpp.o.d"
+  "remote_block_device"
+  "remote_block_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remote_block_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

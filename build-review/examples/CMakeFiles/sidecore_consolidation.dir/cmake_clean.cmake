@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sidecore_consolidation.dir/sidecore_consolidation.cpp.o"
+  "CMakeFiles/sidecore_consolidation.dir/sidecore_consolidation.cpp.o.d"
+  "sidecore_consolidation"
+  "sidecore_consolidation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sidecore_consolidation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-review/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("stats")
+subdirs("sim")
+subdirs("virtio")
+subdirs("net")
+subdirs("hv")
+subdirs("block")
+subdirs("crypto")
+subdirs("interpose")
+subdirs("transport")
+subdirs("iohost")
+subdirs("models")
+subdirs("fault")
+subdirs("workloads")
+subdirs("cost")
+subdirs("core")

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/block/alignment.cpp" "src/block/CMakeFiles/vrio_block.dir/alignment.cpp.o" "gcc" "src/block/CMakeFiles/vrio_block.dir/alignment.cpp.o.d"
+  "/root/repo/src/block/disk_scheduler.cpp" "src/block/CMakeFiles/vrio_block.dir/disk_scheduler.cpp.o" "gcc" "src/block/CMakeFiles/vrio_block.dir/disk_scheduler.cpp.o.d"
+  "/root/repo/src/block/ram_disk.cpp" "src/block/CMakeFiles/vrio_block.dir/ram_disk.cpp.o" "gcc" "src/block/CMakeFiles/vrio_block.dir/ram_disk.cpp.o.d"
+  "/root/repo/src/block/ssd_model.cpp" "src/block/CMakeFiles/vrio_block.dir/ssd_model.cpp.o" "gcc" "src/block/CMakeFiles/vrio_block.dir/ssd_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/sim/CMakeFiles/vrio_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/virtio/CMakeFiles/vrio_virtio.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/stats/CMakeFiles/vrio_stats.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/vrio_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vrio_block.dir/alignment.cpp.o"
+  "CMakeFiles/vrio_block.dir/alignment.cpp.o.d"
+  "CMakeFiles/vrio_block.dir/disk_scheduler.cpp.o"
+  "CMakeFiles/vrio_block.dir/disk_scheduler.cpp.o.d"
+  "CMakeFiles/vrio_block.dir/ram_disk.cpp.o"
+  "CMakeFiles/vrio_block.dir/ram_disk.cpp.o.d"
+  "CMakeFiles/vrio_block.dir/ssd_model.cpp.o"
+  "CMakeFiles/vrio_block.dir/ssd_model.cpp.o.d"
+  "libvrio_block.a"
+  "libvrio_block.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vrio_block.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

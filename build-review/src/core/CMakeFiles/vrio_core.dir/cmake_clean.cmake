@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vrio_core.dir/testbed.cpp.o"
+  "CMakeFiles/vrio_core.dir/testbed.cpp.o.d"
+  "libvrio_core.a"
+  "libvrio_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vrio_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vrio_cost.dir/pricing.cpp.o"
+  "CMakeFiles/vrio_cost.dir/pricing.cpp.o.d"
+  "CMakeFiles/vrio_cost.dir/rack_cost.cpp.o"
+  "CMakeFiles/vrio_cost.dir/rack_cost.cpp.o.d"
+  "libvrio_cost.a"
+  "libvrio_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vrio_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

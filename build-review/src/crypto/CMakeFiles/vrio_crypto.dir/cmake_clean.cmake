@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vrio_crypto.dir/aes.cpp.o"
+  "CMakeFiles/vrio_crypto.dir/aes.cpp.o.d"
+  "CMakeFiles/vrio_crypto.dir/modes.cpp.o"
+  "CMakeFiles/vrio_crypto.dir/modes.cpp.o.d"
+  "libvrio_crypto.a"
+  "libvrio_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vrio_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vrio_fault.dir/injector.cpp.o"
+  "CMakeFiles/vrio_fault.dir/injector.cpp.o.d"
+  "CMakeFiles/vrio_fault.dir/plan.cpp.o"
+  "CMakeFiles/vrio_fault.dir/plan.cpp.o.d"
+  "libvrio_fault.a"
+  "libvrio_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vrio_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

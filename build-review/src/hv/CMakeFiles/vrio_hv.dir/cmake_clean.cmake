@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vrio_hv.dir/core.cpp.o"
+  "CMakeFiles/vrio_hv.dir/core.cpp.o.d"
+  "CMakeFiles/vrio_hv.dir/vm.cpp.o"
+  "CMakeFiles/vrio_hv.dir/vm.cpp.o.d"
+  "libvrio_hv.a"
+  "libvrio_hv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vrio_hv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/interpose/rle.cpp" "src/interpose/CMakeFiles/vrio_interpose.dir/rle.cpp.o" "gcc" "src/interpose/CMakeFiles/vrio_interpose.dir/rle.cpp.o.d"
+  "/root/repo/src/interpose/service.cpp" "src/interpose/CMakeFiles/vrio_interpose.dir/service.cpp.o" "gcc" "src/interpose/CMakeFiles/vrio_interpose.dir/service.cpp.o.d"
+  "/root/repo/src/interpose/services.cpp" "src/interpose/CMakeFiles/vrio_interpose.dir/services.cpp.o" "gcc" "src/interpose/CMakeFiles/vrio_interpose.dir/services.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/util/CMakeFiles/vrio_util.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/net/CMakeFiles/vrio_net.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/crypto/CMakeFiles/vrio_crypto.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sim/CMakeFiles/vrio_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/stats/CMakeFiles/vrio_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

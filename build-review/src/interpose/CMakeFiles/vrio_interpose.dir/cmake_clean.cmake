@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vrio_interpose.dir/rle.cpp.o"
+  "CMakeFiles/vrio_interpose.dir/rle.cpp.o.d"
+  "CMakeFiles/vrio_interpose.dir/service.cpp.o"
+  "CMakeFiles/vrio_interpose.dir/service.cpp.o.d"
+  "CMakeFiles/vrio_interpose.dir/services.cpp.o"
+  "CMakeFiles/vrio_interpose.dir/services.cpp.o.d"
+  "libvrio_interpose.a"
+  "libvrio_interpose.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vrio_interpose.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

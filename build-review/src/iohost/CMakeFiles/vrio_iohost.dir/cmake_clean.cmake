@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vrio_iohost.dir/io_hypervisor.cpp.o"
+  "CMakeFiles/vrio_iohost.dir/io_hypervisor.cpp.o.d"
+  "CMakeFiles/vrio_iohost.dir/steering.cpp.o"
+  "CMakeFiles/vrio_iohost.dir/steering.cpp.o.d"
+  "libvrio_iohost.a"
+  "libvrio_iohost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vrio_iohost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vrio_models.dir/baseline.cpp.o"
+  "CMakeFiles/vrio_models.dir/baseline.cpp.o.d"
+  "CMakeFiles/vrio_models.dir/elvis.cpp.o"
+  "CMakeFiles/vrio_models.dir/elvis.cpp.o.d"
+  "CMakeFiles/vrio_models.dir/generator.cpp.o"
+  "CMakeFiles/vrio_models.dir/generator.cpp.o.d"
+  "CMakeFiles/vrio_models.dir/io_model.cpp.o"
+  "CMakeFiles/vrio_models.dir/io_model.cpp.o.d"
+  "CMakeFiles/vrio_models.dir/optimum.cpp.o"
+  "CMakeFiles/vrio_models.dir/optimum.cpp.o.d"
+  "CMakeFiles/vrio_models.dir/rack.cpp.o"
+  "CMakeFiles/vrio_models.dir/rack.cpp.o.d"
+  "CMakeFiles/vrio_models.dir/virtio_blk_dev.cpp.o"
+  "CMakeFiles/vrio_models.dir/virtio_blk_dev.cpp.o.d"
+  "CMakeFiles/vrio_models.dir/virtio_net_dev.cpp.o"
+  "CMakeFiles/vrio_models.dir/virtio_net_dev.cpp.o.d"
+  "CMakeFiles/vrio_models.dir/vrio.cpp.o"
+  "CMakeFiles/vrio_models.dir/vrio.cpp.o.d"
+  "libvrio_models.a"
+  "libvrio_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vrio_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/ether.cpp" "src/net/CMakeFiles/vrio_net.dir/ether.cpp.o" "gcc" "src/net/CMakeFiles/vrio_net.dir/ether.cpp.o.d"
+  "/root/repo/src/net/frame.cpp" "src/net/CMakeFiles/vrio_net.dir/frame.cpp.o" "gcc" "src/net/CMakeFiles/vrio_net.dir/frame.cpp.o.d"
+  "/root/repo/src/net/frame_pool.cpp" "src/net/CMakeFiles/vrio_net.dir/frame_pool.cpp.o" "gcc" "src/net/CMakeFiles/vrio_net.dir/frame_pool.cpp.o.d"
+  "/root/repo/src/net/inet.cpp" "src/net/CMakeFiles/vrio_net.dir/inet.cpp.o" "gcc" "src/net/CMakeFiles/vrio_net.dir/inet.cpp.o.d"
+  "/root/repo/src/net/link.cpp" "src/net/CMakeFiles/vrio_net.dir/link.cpp.o" "gcc" "src/net/CMakeFiles/vrio_net.dir/link.cpp.o.d"
+  "/root/repo/src/net/mac.cpp" "src/net/CMakeFiles/vrio_net.dir/mac.cpp.o" "gcc" "src/net/CMakeFiles/vrio_net.dir/mac.cpp.o.d"
+  "/root/repo/src/net/nic.cpp" "src/net/CMakeFiles/vrio_net.dir/nic.cpp.o" "gcc" "src/net/CMakeFiles/vrio_net.dir/nic.cpp.o.d"
+  "/root/repo/src/net/switch.cpp" "src/net/CMakeFiles/vrio_net.dir/switch.cpp.o" "gcc" "src/net/CMakeFiles/vrio_net.dir/switch.cpp.o.d"
+  "/root/repo/src/net/tso.cpp" "src/net/CMakeFiles/vrio_net.dir/tso.cpp.o" "gcc" "src/net/CMakeFiles/vrio_net.dir/tso.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/util/CMakeFiles/vrio_util.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sim/CMakeFiles/vrio_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/stats/CMakeFiles/vrio_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

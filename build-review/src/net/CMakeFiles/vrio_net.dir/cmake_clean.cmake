@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vrio_net.dir/ether.cpp.o"
+  "CMakeFiles/vrio_net.dir/ether.cpp.o.d"
+  "CMakeFiles/vrio_net.dir/frame.cpp.o"
+  "CMakeFiles/vrio_net.dir/frame.cpp.o.d"
+  "CMakeFiles/vrio_net.dir/frame_pool.cpp.o"
+  "CMakeFiles/vrio_net.dir/frame_pool.cpp.o.d"
+  "CMakeFiles/vrio_net.dir/inet.cpp.o"
+  "CMakeFiles/vrio_net.dir/inet.cpp.o.d"
+  "CMakeFiles/vrio_net.dir/link.cpp.o"
+  "CMakeFiles/vrio_net.dir/link.cpp.o.d"
+  "CMakeFiles/vrio_net.dir/mac.cpp.o"
+  "CMakeFiles/vrio_net.dir/mac.cpp.o.d"
+  "CMakeFiles/vrio_net.dir/nic.cpp.o"
+  "CMakeFiles/vrio_net.dir/nic.cpp.o.d"
+  "CMakeFiles/vrio_net.dir/switch.cpp.o"
+  "CMakeFiles/vrio_net.dir/switch.cpp.o.d"
+  "CMakeFiles/vrio_net.dir/tso.cpp.o"
+  "CMakeFiles/vrio_net.dir/tso.cpp.o.d"
+  "libvrio_net.a"
+  "libvrio_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vrio_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/event_queue.cpp" "src/sim/CMakeFiles/vrio_sim.dir/event_queue.cpp.o" "gcc" "src/sim/CMakeFiles/vrio_sim.dir/event_queue.cpp.o.d"
+  "/root/repo/src/sim/random.cpp" "src/sim/CMakeFiles/vrio_sim.dir/random.cpp.o" "gcc" "src/sim/CMakeFiles/vrio_sim.dir/random.cpp.o.d"
+  "/root/repo/src/sim/resource.cpp" "src/sim/CMakeFiles/vrio_sim.dir/resource.cpp.o" "gcc" "src/sim/CMakeFiles/vrio_sim.dir/resource.cpp.o.d"
+  "/root/repo/src/sim/simulation.cpp" "src/sim/CMakeFiles/vrio_sim.dir/simulation.cpp.o" "gcc" "src/sim/CMakeFiles/vrio_sim.dir/simulation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/util/CMakeFiles/vrio_util.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/stats/CMakeFiles/vrio_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

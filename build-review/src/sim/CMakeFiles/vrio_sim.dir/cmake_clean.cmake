@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vrio_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/vrio_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/vrio_sim.dir/random.cpp.o"
+  "CMakeFiles/vrio_sim.dir/random.cpp.o.d"
+  "CMakeFiles/vrio_sim.dir/resource.cpp.o"
+  "CMakeFiles/vrio_sim.dir/resource.cpp.o.d"
+  "CMakeFiles/vrio_sim.dir/simulation.cpp.o"
+  "CMakeFiles/vrio_sim.dir/simulation.cpp.o.d"
+  "libvrio_sim.a"
+  "libvrio_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vrio_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvrio_sim.a"
+)

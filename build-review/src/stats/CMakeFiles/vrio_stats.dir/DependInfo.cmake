@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/histogram.cpp" "src/stats/CMakeFiles/vrio_stats.dir/histogram.cpp.o" "gcc" "src/stats/CMakeFiles/vrio_stats.dir/histogram.cpp.o.d"
+  "/root/repo/src/stats/registry.cpp" "src/stats/CMakeFiles/vrio_stats.dir/registry.cpp.o" "gcc" "src/stats/CMakeFiles/vrio_stats.dir/registry.cpp.o.d"
+  "/root/repo/src/stats/table.cpp" "src/stats/CMakeFiles/vrio_stats.dir/table.cpp.o" "gcc" "src/stats/CMakeFiles/vrio_stats.dir/table.cpp.o.d"
+  "/root/repo/src/stats/time_series.cpp" "src/stats/CMakeFiles/vrio_stats.dir/time_series.cpp.o" "gcc" "src/stats/CMakeFiles/vrio_stats.dir/time_series.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/util/CMakeFiles/vrio_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vrio_stats.dir/histogram.cpp.o"
+  "CMakeFiles/vrio_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/vrio_stats.dir/registry.cpp.o"
+  "CMakeFiles/vrio_stats.dir/registry.cpp.o.d"
+  "CMakeFiles/vrio_stats.dir/table.cpp.o"
+  "CMakeFiles/vrio_stats.dir/table.cpp.o.d"
+  "CMakeFiles/vrio_stats.dir/time_series.cpp.o"
+  "CMakeFiles/vrio_stats.dir/time_series.cpp.o.d"
+  "libvrio_stats.a"
+  "libvrio_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vrio_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transport/control.cpp" "src/transport/CMakeFiles/vrio_transport.dir/control.cpp.o" "gcc" "src/transport/CMakeFiles/vrio_transport.dir/control.cpp.o.d"
+  "/root/repo/src/transport/encap.cpp" "src/transport/CMakeFiles/vrio_transport.dir/encap.cpp.o" "gcc" "src/transport/CMakeFiles/vrio_transport.dir/encap.cpp.o.d"
+  "/root/repo/src/transport/header.cpp" "src/transport/CMakeFiles/vrio_transport.dir/header.cpp.o" "gcc" "src/transport/CMakeFiles/vrio_transport.dir/header.cpp.o.d"
+  "/root/repo/src/transport/reassembly.cpp" "src/transport/CMakeFiles/vrio_transport.dir/reassembly.cpp.o" "gcc" "src/transport/CMakeFiles/vrio_transport.dir/reassembly.cpp.o.d"
+  "/root/repo/src/transport/retransmit.cpp" "src/transport/CMakeFiles/vrio_transport.dir/retransmit.cpp.o" "gcc" "src/transport/CMakeFiles/vrio_transport.dir/retransmit.cpp.o.d"
+  "/root/repo/src/transport/segmenter.cpp" "src/transport/CMakeFiles/vrio_transport.dir/segmenter.cpp.o" "gcc" "src/transport/CMakeFiles/vrio_transport.dir/segmenter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/util/CMakeFiles/vrio_util.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/net/CMakeFiles/vrio_net.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sim/CMakeFiles/vrio_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/stats/CMakeFiles/vrio_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vrio_transport.dir/control.cpp.o"
+  "CMakeFiles/vrio_transport.dir/control.cpp.o.d"
+  "CMakeFiles/vrio_transport.dir/encap.cpp.o"
+  "CMakeFiles/vrio_transport.dir/encap.cpp.o.d"
+  "CMakeFiles/vrio_transport.dir/header.cpp.o"
+  "CMakeFiles/vrio_transport.dir/header.cpp.o.d"
+  "CMakeFiles/vrio_transport.dir/reassembly.cpp.o"
+  "CMakeFiles/vrio_transport.dir/reassembly.cpp.o.d"
+  "CMakeFiles/vrio_transport.dir/retransmit.cpp.o"
+  "CMakeFiles/vrio_transport.dir/retransmit.cpp.o.d"
+  "CMakeFiles/vrio_transport.dir/segmenter.cpp.o"
+  "CMakeFiles/vrio_transport.dir/segmenter.cpp.o.d"
+  "libvrio_transport.a"
+  "libvrio_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vrio_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/byte_buffer.cpp" "src/util/CMakeFiles/vrio_util.dir/byte_buffer.cpp.o" "gcc" "src/util/CMakeFiles/vrio_util.dir/byte_buffer.cpp.o.d"
+  "/root/repo/src/util/crc32.cpp" "src/util/CMakeFiles/vrio_util.dir/crc32.cpp.o" "gcc" "src/util/CMakeFiles/vrio_util.dir/crc32.cpp.o.d"
+  "/root/repo/src/util/hexdump.cpp" "src/util/CMakeFiles/vrio_util.dir/hexdump.cpp.o" "gcc" "src/util/CMakeFiles/vrio_util.dir/hexdump.cpp.o.d"
+  "/root/repo/src/util/logging.cpp" "src/util/CMakeFiles/vrio_util.dir/logging.cpp.o" "gcc" "src/util/CMakeFiles/vrio_util.dir/logging.cpp.o.d"
+  "/root/repo/src/util/strutil.cpp" "src/util/CMakeFiles/vrio_util.dir/strutil.cpp.o" "gcc" "src/util/CMakeFiles/vrio_util.dir/strutil.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vrio_util.dir/byte_buffer.cpp.o"
+  "CMakeFiles/vrio_util.dir/byte_buffer.cpp.o.d"
+  "CMakeFiles/vrio_util.dir/crc32.cpp.o"
+  "CMakeFiles/vrio_util.dir/crc32.cpp.o.d"
+  "CMakeFiles/vrio_util.dir/hexdump.cpp.o"
+  "CMakeFiles/vrio_util.dir/hexdump.cpp.o.d"
+  "CMakeFiles/vrio_util.dir/logging.cpp.o"
+  "CMakeFiles/vrio_util.dir/logging.cpp.o.d"
+  "CMakeFiles/vrio_util.dir/strutil.cpp.o"
+  "CMakeFiles/vrio_util.dir/strutil.cpp.o.d"
+  "libvrio_util.a"
+  "libvrio_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vrio_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

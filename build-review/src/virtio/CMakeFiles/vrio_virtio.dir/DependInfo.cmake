@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/virtio/guest_memory.cpp" "src/virtio/CMakeFiles/vrio_virtio.dir/guest_memory.cpp.o" "gcc" "src/virtio/CMakeFiles/vrio_virtio.dir/guest_memory.cpp.o.d"
+  "/root/repo/src/virtio/virtio_blk.cpp" "src/virtio/CMakeFiles/vrio_virtio.dir/virtio_blk.cpp.o" "gcc" "src/virtio/CMakeFiles/vrio_virtio.dir/virtio_blk.cpp.o.d"
+  "/root/repo/src/virtio/virtio_net.cpp" "src/virtio/CMakeFiles/vrio_virtio.dir/virtio_net.cpp.o" "gcc" "src/virtio/CMakeFiles/vrio_virtio.dir/virtio_net.cpp.o.d"
+  "/root/repo/src/virtio/virtqueue.cpp" "src/virtio/CMakeFiles/vrio_virtio.dir/virtqueue.cpp.o" "gcc" "src/virtio/CMakeFiles/vrio_virtio.dir/virtqueue.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/util/CMakeFiles/vrio_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vrio_virtio.dir/guest_memory.cpp.o"
+  "CMakeFiles/vrio_virtio.dir/guest_memory.cpp.o.d"
+  "CMakeFiles/vrio_virtio.dir/virtio_blk.cpp.o"
+  "CMakeFiles/vrio_virtio.dir/virtio_blk.cpp.o.d"
+  "CMakeFiles/vrio_virtio.dir/virtio_net.cpp.o"
+  "CMakeFiles/vrio_virtio.dir/virtio_net.cpp.o.d"
+  "CMakeFiles/vrio_virtio.dir/virtqueue.cpp.o"
+  "CMakeFiles/vrio_virtio.dir/virtqueue.cpp.o.d"
+  "libvrio_virtio.a"
+  "libvrio_virtio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vrio_virtio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

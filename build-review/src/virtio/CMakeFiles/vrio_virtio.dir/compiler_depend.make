@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for vrio_virtio.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vrio_workloads.dir/filebench.cpp.o"
+  "CMakeFiles/vrio_workloads.dir/filebench.cpp.o.d"
+  "CMakeFiles/vrio_workloads.dir/netperf.cpp.o"
+  "CMakeFiles/vrio_workloads.dir/netperf.cpp.o.d"
+  "CMakeFiles/vrio_workloads.dir/request_response.cpp.o"
+  "CMakeFiles/vrio_workloads.dir/request_response.cpp.o.d"
+  "CMakeFiles/vrio_workloads.dir/tcp_congestion.cpp.o"
+  "CMakeFiles/vrio_workloads.dir/tcp_congestion.cpp.o.d"
+  "libvrio_workloads.a"
+  "libvrio_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vrio_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interpose_test.dir/interpose_test.cpp.o"
+  "CMakeFiles/interpose_test.dir/interpose_test.cpp.o.d"
+  "interpose_test"
+  "interpose_test.pdb"
+  "interpose_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interpose_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

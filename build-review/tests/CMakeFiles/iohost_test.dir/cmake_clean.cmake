@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iohost_test.dir/iohost_test.cpp.o"
+  "CMakeFiles/iohost_test.dir/iohost_test.cpp.o.d"
+  "iohost_test"
+  "iohost_test.pdb"
+  "iohost_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iohost_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/virtio_dev_test.cpp" "tests/CMakeFiles/virtio_dev_test.dir/virtio_dev_test.cpp.o" "gcc" "tests/CMakeFiles/virtio_dev_test.dir/virtio_dev_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/fault/CMakeFiles/vrio_fault.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/core/CMakeFiles/vrio_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/workloads/CMakeFiles/vrio_workloads.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/models/CMakeFiles/vrio_models.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/iohost/CMakeFiles/vrio_iohost.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/hv/CMakeFiles/vrio_hv.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/block/CMakeFiles/vrio_block.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/virtio/CMakeFiles/vrio_virtio.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/interpose/CMakeFiles/vrio_interpose.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/crypto/CMakeFiles/vrio_crypto.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/transport/CMakeFiles/vrio_transport.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/net/CMakeFiles/vrio_net.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sim/CMakeFiles/vrio_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/stats/CMakeFiles/vrio_stats.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/cost/CMakeFiles/vrio_cost.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/vrio_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

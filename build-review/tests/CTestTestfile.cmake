@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-review/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-review/tests/util_test[1]_include.cmake")
+include("/root/repo/build-review/tests/stats_test[1]_include.cmake")
+include("/root/repo/build-review/tests/sim_test[1]_include.cmake")
+include("/root/repo/build-review/tests/virtio_test[1]_include.cmake")
+include("/root/repo/build-review/tests/net_test[1]_include.cmake")
+include("/root/repo/build-review/tests/crypto_test[1]_include.cmake")
+include("/root/repo/build-review/tests/block_test[1]_include.cmake")
+include("/root/repo/build-review/tests/interpose_test[1]_include.cmake")
+include("/root/repo/build-review/tests/transport_test[1]_include.cmake")
+include("/root/repo/build-review/tests/iohost_test[1]_include.cmake")
+include("/root/repo/build-review/tests/models_test[1]_include.cmake")
+include("/root/repo/build-review/tests/workloads_test[1]_include.cmake")
+include("/root/repo/build-review/tests/cost_test[1]_include.cmake")
+include("/root/repo/build-review/tests/core_test[1]_include.cmake")
+include("/root/repo/build-review/tests/transport_property_test[1]_include.cmake")
+include("/root/repo/build-review/tests/virtio_dev_test[1]_include.cmake")
+include("/root/repo/build-review/tests/sweep_test[1]_include.cmake")
+include("/root/repo/build-review/tests/fault_test[1]_include.cmake")
+include("/root/repo/build-review/tests/golden_test[1]_include.cmake")
