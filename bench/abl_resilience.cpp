@@ -513,6 +513,12 @@ runRecoveryCell(RecoveryFault f)
     };
 
     bench::Experiment exp(ModelKind::Vrio, n_vms, opt);
+    // The detection-latency read-out below consumes the tracer's
+    // recovery instants; arm it for that category even when no
+    // exporter is (the ring is memory-only and schedules nothing).
+    auto &tracer = exp.sim->telemetry().tracer;
+    if (!tracer.enabled())
+        tracer.enable(1u << 14, telemetry::cat::kRecovery);
     exp.settle();
     auto *vm = dynamic_cast<models::VrioModel *>(exp.model);
 
@@ -564,28 +570,18 @@ runRecoveryCell(RecoveryFault f)
         prev_ops = now_ops;
     }
 
-    // Detection: watchdog tick for the wedge, heartbeat lapse for the
-    // channel/IOhost faults (each client lapses at most once here, so
-    // the earliest recorded lapse is the detection tick).
-    if (f == RecoveryFault::WedgedWorker) {
-        if (vm->hypervisor().wedgesDetected() > 0)
-            out.detect_ms = sim::ticksToMicros(
-                                vm->hypervisor().lastWedgeDetectTick() -
-                                fault_at) /
-                            1e3;
-    } else {
-        sim::Tick first_lapse = 0;
-        for (unsigned v = 0; v < n_vms; ++v) {
-            if (vm->clientHeartbeatLapses(v) == 0)
-                continue;
-            sim::Tick t = vm->clientLapseTick(v);
-            if (first_lapse == 0 || t < first_lapse)
-                first_lapse = t;
-        }
-        if (first_lapse > 0)
-            out.detect_ms =
-                sim::ticksToMicros(first_lapse - fault_at) / 1e3;
-    }
+    // Detection: the recovery layer records a tracer instant at the
+    // exact declaration tick — "recovery.wedge" from the watchdog,
+    // "recovery.hb_lapse" from a client's heartbeat monitor — so the
+    // latency is read from the trace instead of re-derived per fault
+    // kind from model accessors.
+    const char *detect_event = f == RecoveryFault::WedgedWorker
+                                   ? "recovery.wedge"
+                                   : "recovery.hb_lapse";
+    sim::Tick detect_tick = 0;
+    if (tracer.firstInstant(detect_event, fault_at, detect_tick))
+        out.detect_ms =
+            sim::ticksToMicros(detect_tick - fault_at) / 1e3;
 
     for (size_t b = 0; b < lead; ++b)
         out.steady += double(out.bucket_ops[b]);

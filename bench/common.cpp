@@ -285,6 +285,12 @@ runNetperfStream(ModelKind kind, unsigned n_vms, const SweepOptions &opt)
     return out;
 }
 
+uint64_t
+registryCounterSum(Experiment &exp, std::string_view name)
+{
+    return exp.sim->telemetry().metrics.sumCounters(name);
+}
+
 std::unique_ptr<fault::FaultInjector>
 attachInjector(Experiment &exp, const fault::FaultPlan &plan)
 {
@@ -340,6 +346,8 @@ runNetperfStreamFaulted(ModelKind kind, unsigned n_vms,
                 std::max(out.srtt_last_us, wl->srttTrace().last());
         }
     }
+    out.link_lost = registryCounterSum(exp, "net.link.lost");
+    out.faults_injected = registryCounterSum(exp, "fault.injected");
     return out;
 }
 

@@ -112,7 +112,18 @@ struct FaultedStreamResult
     double cwnd_peak = 0;
     /** SRTT at end of run [us] (adaptive mode only). */
     double srtt_last_us = 0;
+    /** Frames the wiring lost, from `net.link.lost` (registry sum). */
+    uint64_t link_lost = 0;
+    /** Faults the injector realized, from `fault.injected`. */
+    uint64_t faults_injected = 0;
 };
+
+/**
+ * Sum one registry counter across every label set in this
+ * experiment's simulation (0 when no such series exists).  Benches
+ * read rack-wide telemetry this way instead of enumerating objects.
+ */
+uint64_t registryCounterSum(Experiment &exp, std::string_view name);
 
 /**
  * Netperf TCP stream driven through a fault plan (loss sweeps); the

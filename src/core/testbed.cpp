@@ -1,5 +1,8 @@
 #include "core/testbed.hpp"
 
+#include "telemetry/export.hpp"
+#include "util/strutil.hpp"
+
 namespace vrio::core {
 
 Testbed::Testbed(models::ModelKind kind, unsigned num_vms,
@@ -21,9 +24,18 @@ Testbed::Testbed(models::ModelKind kind, unsigned num_vms,
     if (options.configure)
         options.configure(mc);
     model_ = models::makeModel(*rack_, mc);
+    label_ = strFormat("%s-vm%u-s%llu", models::modelKindName(mc.kind),
+                       num_vms, (unsigned long long)options.seed);
 }
 
-Testbed::~Testbed() = default;
+Testbed::~Testbed()
+{
+    // Hand this run's metrics and trace to the process-wide sink
+    // while the model (whose objects back the registry probes) is
+    // still alive.  No exporter armed: a single cached getenv test.
+    if (telemetry::Sink::armed())
+        telemetry::Sink::instance().submit(label_, sim_->telemetry());
+}
 
 models::GuestEndpoint &
 Testbed::guest(unsigned vm_index)

@@ -57,6 +57,8 @@ class Testbed
     std::unique_ptr<sim::Simulation> sim_;
     std::unique_ptr<models::Rack> rack_;
     std::unique_ptr<models::IoModel> model_;
+    /** Sink label for this run (kind + size + seed). */
+    std::string label_;
 };
 
 } // namespace vrio::core

@@ -10,7 +10,33 @@ FaultInjector::FaultInjector(sim::Simulation &sim, std::string name,
     : SimObject(sim, std::move(name)), plan_(std::move(plan)),
       rng(sim::Random(plan_.seed).split("fault")),
       burst_rng(sim::Random(plan_.seed).split("fault.burst"))
-{}
+{
+    static const char *const kKindNames[kNumFaultKinds] = {
+        "drop",      "corrupt", "delay", "reorder",
+        "burst_drop", "corrupt_payload", "outage", "stall",
+        "wedge",     "port_down", "squeeze"};
+    auto &m = sim.telemetry().metrics;
+    auto &tr = sim.telemetry().tracer;
+    tr_fault_track = tr.intern("fault");
+    for (unsigned k = 0; k < kNumFaultKinds; ++k) {
+        tm_injected[k] =
+            &m.counter("fault.injected", {{"injector", this->name()},
+                                          {"kind", kKindNames[k]}});
+        tr_fault_names[k] =
+            tr.intern(std::string("fault.") + kKindNames[k]);
+    }
+}
+
+void
+FaultInjector::noteFault(unsigned kind, uint64_t arg)
+{
+    tm_injected[kind]->inc();
+    auto &tr = sim().telemetry().tracer;
+    if (tr.enabled()) {
+        tr.instant(tr_fault_track, tr_fault_names[kind],
+                   sim().events().now(), telemetry::cat::kFault, arg);
+    }
+}
 
 FaultInjector::~FaultInjector()
 {
@@ -114,6 +140,7 @@ FaultInjector::beginOutage(const OutageWindow &)
 {
     ++outage_count;
     statCounter("outages").inc();
+    noteFault(kOutage, 0);
     iohv->setOffline(true);
 }
 
@@ -127,6 +154,7 @@ void
 FaultInjector::beginStall(const StallWindow &w)
 {
     statCounter("stalls").inc();
+    noteFault(kStall, 0);
     // Occupy the sidecore with dead time; queued work resumes after.
     iohv->workerCore(w.worker).runFor(w.duration, []() {});
 }
@@ -136,6 +164,7 @@ FaultInjector::beginWedge(const WedgeWindow &w)
 {
     ++wedge_count;
     statCounter("wedges").inc();
+    noteFault(kWedge, 0);
     // Unlike beginStall's bounded dead time, a wedge pauses the worker
     // core's resource outright: jobs queue behind it forever.  Nothing
     // un-pauses it except clearWedge().
@@ -162,6 +191,7 @@ FaultInjector::beginPortDown(const PortDownWindow &w)
     }
     ++port_down_count;
     statCounter("port_downs").inc();
+    noteFault(kPortDown, 0);
     switch_->setPortDown(*port, true);
     sim().events().schedule(w.duration, [this, p = *port]() {
         switch_->setPortDown(p, false);
@@ -172,6 +202,7 @@ void
 FaultInjector::beginSqueeze(const RxSqueezeWindow &w)
 {
     statCounter("squeezes").inc();
+    noteFault(kSqueeze, 0);
     for (net::Nic *nic : rings)
         nic->setRxRingLimit(w.limit);
 }
@@ -212,6 +243,7 @@ FaultInjector::onTransmit(net::Link &link, int direction,
     if (plan_.burst.active() && burstStep(link, direction)) {
         ++burst_drops;
         statCounter("injected.burst_drop").inc();
+        tm_injected[kBurstDrop]->inc();
         v.kind = net::FaultVerdict::Kind::Drop;
         return v;
     }
@@ -228,6 +260,7 @@ FaultInjector::onTransmit(net::Link &link, int direction,
     if (u < acc) {
         ++drops;
         statCounter("injected.drop").inc();
+        tm_injected[kDrop]->inc();
         v.kind = net::FaultVerdict::Kind::Drop;
         return v;
     }
@@ -235,6 +268,7 @@ FaultInjector::onTransmit(net::Link &link, int direction,
     if (u < acc) {
         ++corrupts;
         statCounter("injected.corrupt").inc();
+        tm_injected[kCorrupt]->inc();
         v.kind = net::FaultVerdict::Kind::Corrupt;
         return v;
     }
@@ -242,6 +276,7 @@ FaultInjector::onTransmit(net::Link &link, int direction,
     if (u < acc) {
         ++delays;
         statCounter("injected.delay").inc();
+        tm_injected[kDelay]->inc();
         v.kind = net::FaultVerdict::Kind::Delay;
         v.extra_delay =
             sim::Tick(rng.exponential(double(spec.delay_mean)));
@@ -251,6 +286,7 @@ FaultInjector::onTransmit(net::Link &link, int direction,
     if (u < acc) {
         ++reorders;
         statCounter("injected.reorder").inc();
+        tm_injected[kReorder]->inc();
         // Holding this frame for a fixed window lets frames serialized
         // behind it arrive first.
         v.kind = net::FaultVerdict::Kind::Delay;
@@ -263,6 +299,7 @@ FaultInjector::onTransmit(net::Link &link, int direction,
     if (u < acc) {
         ++payload_corrupts;
         statCounter("injected.corrupt_payload").inc();
+        tm_injected[kPayloadCorrupt]->inc();
         v.kind = net::FaultVerdict::Kind::CorruptPayload;
         return v;
     }

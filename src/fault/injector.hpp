@@ -130,6 +130,28 @@ class FaultInjector : public sim::SimObject, public net::LinkFaultHook
     uint64_t wedge_count = 0;
     uint64_t port_down_count = 0;
 
+    /** Fault kinds as telemetry labels (`fault.injected{kind=...}`). */
+    enum FaultKindIdx : unsigned {
+        kDrop,
+        kCorrupt,
+        kDelay,
+        kReorder,
+        kBurstDrop,
+        kPayloadCorrupt,
+        kOutage,
+        kStall,
+        kWedge,
+        kPortDown,
+        kSqueeze,
+        kNumFaultKinds
+    };
+    telemetry::Counter *tm_injected[kNumFaultKinds];
+    uint16_t tr_fault_track;
+    uint16_t tr_fault_names[kNumFaultKinds];
+
+    /** Counter bump + (when tracing) a fault instant. */
+    void noteFault(unsigned kind, uint64_t arg);
+
     /** True when the burst chain (state advanced) eats this frame. */
     bool burstStep(net::Link &link, int direction);
 

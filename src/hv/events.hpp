@@ -13,6 +13,8 @@
 #include <cstdint>
 #include <string>
 
+#include "telemetry/metrics.hpp"
+
 namespace vrio::hv {
 
 /** Events charged against a single request-response transaction. */
@@ -38,9 +40,29 @@ struct IoEventCounts
     uint64_t request_timeouts = 0;
     uint64_t failovers = 0;
 
+    /**
+     * Mirror every recorded event into per-VM registry series
+     * (`hv.vm.<event>{vm=...}`).  Bound once at Vm construction;
+     * unbound counts (bare IoEventCounts in tests) stay local.
+     */
+    void
+    bindTelemetry(telemetry::MetricsRegistry &m,
+                  const telemetry::Labels &labels)
+    {
+        tm_[0] = &m.counter("hv.vm.sync_exits", labels);
+        tm_[1] = &m.counter("hv.vm.guest_interrupts", labels);
+        tm_[2] = &m.counter("hv.vm.injections", labels);
+        tm_[3] = &m.counter("hv.vm.host_interrupts", labels);
+        tm_[4] = &m.counter("hv.vm.iohost_interrupts", labels);
+        tm_[5] = &m.counter("hv.vm.request_timeouts", labels);
+        tm_[6] = &m.counter("hv.vm.failovers", labels);
+    }
+
     void
     record(IoEvent e, uint64_t n = 1)
     {
+        if (tm_[0])
+            tm_[unsigned(e)]->add(n);
         switch (e) {
           case IoEvent::SyncExit:
             sync_exits += n;
@@ -72,6 +94,9 @@ struct IoEventCounts
         return sync_exits + guest_interrupts + injections +
                host_interrupts + iohost_interrupts;
     }
+
+  private:
+    telemetry::Counter *tm_[7] = {};
 };
 
 } // namespace vrio::hv

@@ -22,7 +22,10 @@ Vm::Vm(sim::Simulation &sim, std::string name, Core &vcpu,
        size_t io_arena_bytes, ClientKind kind)
     : SimObject(sim, std::move(name)), vcpu_(&vcpu), mem(io_arena_bytes),
       kind_(kind)
-{}
+{
+    events_.bindTelemetry(sim.telemetry().metrics,
+                          {{"vm", this->name()}});
+}
 
 bool
 Vm::isBareMetal() const

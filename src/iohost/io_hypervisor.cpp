@@ -3,6 +3,7 @@
 #include <set>
 
 #include "block/alignment.hpp"
+#include "sim/ticks.hpp"
 #include "util/logging.hpp"
 
 namespace vrio::iohost {
@@ -27,6 +28,47 @@ IoHypervisor::IoHypervisor(sim::Simulation &sim, std::string name,
                     machine.coreCount(),
                 "IOhost machine has too few cores for ",
                 cfg.num_workers, " workers");
+    // Telemetry handles: resolved once here, bumped raw on the
+    // datapath.  One series per instance, labeled {iohv=<name>}.
+    auto &m = sim.telemetry().metrics;
+    telemetry::Labels l{{"iohv", this->name()}};
+    messages = &m.counter("iohost.messages", l);
+    net_forwarded = &m.counter("iohost.net_forwarded", l);
+    blk_ops = &m.counter("iohost.blk_ops", l);
+    copied_bytes = &m.counter("iohost.copied_bytes", l);
+    irqs_taken = &m.counter("iohost.irqs_taken", l);
+    acks = &m.counter("iohost.acks", l);
+    offline_rx_drops = &m.counter("iohost.offline_rx_drops", l);
+    offline_tx_drops = &m.counter("iohost.offline_tx_drops", l);
+    polls = &m.counter("iohost.polls", l);
+    heartbeats_sent = &m.counter("iohost.heartbeats_sent", l);
+    inflight_at_dispatch = &m.histogram("iohost.inflight_at_dispatch", l);
+    worker_stats.reserve(cfg.num_workers);
+    auto &tr = sim.telemetry().tracer;
+    for (unsigned w = 0; w < cfg.num_workers; ++w) {
+        telemetry::Labels wl{{"iohv", this->name()},
+                             {"worker", std::to_string(w)}};
+        worker_stats.push_back(
+            {&m.counter("iohost.worker.dispatches", wl),
+             &m.histogram("iohost.worker.service_ns", wl),
+             &m.histogram("iohost.worker.residency_ns", wl),
+             tr.intern(this->name() + ".worker" + std::to_string(w))});
+    }
+    tr_track = tr.intern(this->name());
+    tr_recovery_track = tr.intern("recovery");
+    tr_dispatch = tr.intern("iohost.dispatch");
+    tr_service = tr.intern("iohost.service");
+    tr_tx = tr.intern("iohost.tx");
+    tr_heartbeat = tr.intern("recovery.heartbeat");
+    tr_wedge = tr.intern("recovery.wedge");
+    tr_revive = tr.intern("recovery.revive");
+    // Pull-style probes: deep transport state sampled only at export.
+    m.probe("iohost.reasm.partials_expired", l,
+            [this]() { return double(reasm->partialsExpired()); });
+    m.probe("iohost.reasm.checksum_drops", l,
+            [this]() { return double(reasm->checksumDrops()); });
+    m.probe("iohost.dedup.suppressed", l,
+            [this]() { return double(dedup.suppressed()); });
     // Recovery machinery is strictly opt-in: with both periods zero
     // (the default) no events are ever scheduled here and a zero-fault
     // run's schedule is byte-identical to one predating this code.
@@ -61,7 +103,7 @@ IoHypervisor::attachClientNic(net::Nic &nic)
             // vRIO w/o poll: the IOhost takes a physical interrupt
             // per (coalesced) arrival; charge the IRQ path, then
             // drain the ring from the handler.
-            ++irqs_taken;
+            irqs_taken->inc();
             workerCore(0).run(cfg.interrupt_cycles,
                               [this]() { pumpClientRings(); });
         });
@@ -88,7 +130,7 @@ IoHypervisor::attachExternalNic(net::Nic &nic)
     } else {
         nic.setRxMode(0, net::Nic::RxMode::Interrupt);
         nic.setRxHandler(0, [this](unsigned) {
-            ++irqs_taken;
+            irqs_taken->inc();
             workerCore(0).run(cfg.interrupt_cycles,
                               [this]() { pumpExternalRings(); });
         });
@@ -132,10 +174,11 @@ IoHypervisor::discardRings()
 {
     for (net::Nic *nic : client_nics) {
         while (nic->rxPending(0) > 0)
-            offline_rx_drops += nic->rxTake(0, cfg.batch_max).size();
+            offline_rx_drops->add(nic->rxTake(0, cfg.batch_max).size());
     }
     while (external_nic && external_nic->rxPending(0) > 0)
-        offline_rx_drops += external_nic->rxTake(0, cfg.batch_max).size();
+        offline_rx_drops->add(
+            external_nic->rxTake(0, cfg.batch_max).size());
 }
 
 void
@@ -166,6 +209,12 @@ IoHypervisor::setOffline(bool off)
 // -- failure detection / recovery -----------------------------------------
 
 void
+IoHypervisor::mapHeartbeatPath(net::MacAddress t_mac, net::MacAddress dst)
+{
+    hb_path[t_mac] = dst;
+}
+
+void
 IoHypervisor::heartbeatTick()
 {
     // Self-rescheduling beacon.  A crashed IOhost stays silent — that
@@ -193,8 +242,32 @@ IoHypervisor::heartbeatTick()
     for (const auto &[id, dev] : blk_devices)
         targets.insert(dev.t_mac);
     for (const net::MacAddress &mac : targets) {
-        sendToClient(mac, hdr, payload);
-        ++heartbeats_sent;
+        auto alt = hb_path.find(mac);
+        if (hb_nic && alt != hb_path.end()) {
+            // Switch-path beacon: egress the dedicated heartbeat NIC
+            // so the beat shares fate with the switch fabric instead
+            // of the (possibly direct-wired) client channel.  The
+            // per-host receiver demuxes on the target T-MAC, stamped
+            // into the (otherwise unused) request serial.
+            TransportHeader hb = hdr;
+            hb.request_serial = mac.toU64();
+            net::MacAddress src = hb_nic->queueMac(0);
+            for (const auto &part :
+                 transport::segmentRequest(hb, payload)) {
+                hb_nic->send(0, transport::encapsulate(
+                                    src, alt->second, next_wire_id++,
+                                    part.hdr, part.payload));
+            }
+        } else {
+            sendToClient(mac, hdr, payload);
+        }
+        heartbeats_sent->inc();
+    }
+    auto &tr = sim().telemetry().tracer;
+    if (tr.enabled()) {
+        tr.instant(tr_recovery_track, tr_heartbeat,
+                   sim().events().now(), telemetry::cat::kRecovery,
+                   hb_seq);
     }
 }
 
@@ -233,6 +306,11 @@ IoHypervisor::declareWorkerWedged(unsigned worker)
     last_wedge_latency =
         sim::Tick(cfg.watchdog_threshold) * cfg.watchdog_period;
     watchdog_stuck[worker] = 0;
+    auto &tr = sim().telemetry().tracer;
+    if (tr.enabled()) {
+        tr.instant(tr_recovery_track, tr_wedge, last_wedge_tick,
+                   telemetry::cat::kRecovery, worker);
+    }
 
     // Re-steer: devices pinned to the wedged worker forget their
     // in-flight requests (the clients replay them) and pick a healthy
@@ -268,6 +346,11 @@ IoHypervisor::reviveWorker(unsigned worker)
     probe_outstanding[worker] = false;
     ++workers_revived;
     statCounter("workers_revived").inc();
+    auto &tr = sim().telemetry().tracer;
+    if (tr.enabled()) {
+        tr.instant(tr_recovery_track, tr_revive, sim().events().now(),
+                   telemetry::cat::kRecovery, worker);
+    }
     steer.markUp(worker);
 }
 
@@ -321,6 +404,7 @@ IoHypervisor::pumpClientRings()
         net::Nic *nic = client_nics[i];
         while (nic->rxPending(0) > 0 && intakeAllowed()) {
             auto batch = nic->rxTake(0, cfg.batch_max);
+            polls->inc();
             pending_batch_cycles += cfg.batch_fixed_cycles;
             for (const auto &frame : batch) {
                 // Learn which port this client is behind.
@@ -346,12 +430,19 @@ IoHypervisor::handleWireFrame(const net::FramePtr &frame)
 void
 IoHypervisor::dispatch(MessageAssembler::Assembled req)
 {
-    ++messages;
+    messages->inc();
+    inflight_at_dispatch->record(inflight);
+    auto &tr = sim().telemetry().tracer;
+    if (tr.enabled()) {
+        tr.instant(tr_track, tr_dispatch, sim().events().now(),
+                   telemetry::cat::kIo, req.hdr.request_serial);
+    }
     switch (req.hdr.type) {
       case MsgType::NetOut: {
         ++inflight;
         unsigned w = steer.steer(req.hdr.device_id);
         ++worker_inflight[w];
+        worker_stats[w].dispatches->inc();
         execNet(w, std::move(req));
         break;
       }
@@ -368,6 +459,7 @@ IoHypervisor::dispatch(MessageAssembler::Assembled req)
         unsigned w = steer.steer(req.hdr.device_id);
         dedup.bind(req.hdr.device_id, req.hdr.request_serial, w);
         ++worker_inflight[w];
+        worker_stats[w].dispatches->inc();
         execBlock(w, std::move(req));
         break;
       }
@@ -425,6 +517,21 @@ IoHypervisor::disturbanceCycles()
 }
 
 void
+IoHypervisor::recordService(unsigned worker, double cycles)
+{
+    // cycles / GHz = nanoseconds.
+    worker_stats[worker].service_ns->record(
+        uint64_t(cycles / cfg.worker_ghz));
+    auto &tr = sim().telemetry().tracer;
+    if (tr.enabled()) {
+        tr.span(worker_stats[worker].trace_track, tr_service,
+                sim().events().now(),
+                sim::cyclesToTicks(cycles, cfg.worker_ghz),
+                telemetry::cat::kIo, worker);
+    }
+}
+
+void
 IoHypervisor::execNet(unsigned worker, MessageAssembler::Assembled req)
 {
     auto it = net_devices.find(req.hdr.device_id);
@@ -441,17 +548,21 @@ IoHypervisor::execNet(unsigned worker, MessageAssembler::Assembled req)
                     takeBatchCycles() + disturbanceCycles();
     if (!req.zero_copy) {
         cycles += cfg.copy_per_byte_cycles * double(req.payload.size());
-        copied_bytes += req.payload.size();
+        copied_bytes->add(req.payload.size());
     }
 
+    recordService(worker, cycles);
     uint32_t device_id = req.hdr.device_id;
     uint64_t epoch = worker_epoch[worker];
-    workerCore(worker).run(cycles, [this, worker, epoch, device_id,
+    sim::Tick t0 = sim().events().now();
+    workerCore(worker).run(cycles, [this, worker, epoch, device_id, t0,
                                     req = std::move(req)]() mutable {
         // Quarantined while queued: steering and intake accounting
         // were reconciled by the watchdog, and the client replays.
         if (epoch != worker_epoch[worker])
             return;
+        worker_stats[worker].residency_ns->record(
+            (sim().events().now() - t0) / 1000);
         steer.complete(device_id, worker);
         stageDone(worker);
 
@@ -493,11 +604,11 @@ IoHypervisor::execNet(unsigned worker, MessageAssembler::Assembled req)
         vrio_assert(external_nic, "no external NIC");
         auto out = std::make_shared<net::Frame>();
         out->bytes = std::move(req.payload);
-        ++net_forwarded;
+        net_forwarded->inc();
         external_nic->send(0, std::move(out));
         if (!cfg.polling) {
             // TX-done interrupt on the external port (no-poll mode).
-            ++irqs_taken;
+            irqs_taken->inc();
             workerCore(0).run(cfg.interrupt_cycles, []() {});
         }
     });
@@ -528,7 +639,7 @@ IoHypervisor::execBlock(unsigned worker, MessageAssembler::Assembled req)
     }
     if (!req.zero_copy)
         copy_bytes += req.payload.size();
-    copied_bytes += copy_bytes;
+    copied_bytes->add(copy_bytes);
 
     size_t touched = is_write ? req.payload.size() : 0;
     double cycles = cfg.blk_fixed_cycles +
@@ -537,13 +648,17 @@ IoHypervisor::execBlock(unsigned worker, MessageAssembler::Assembled req)
                     interposeCycles(dev.chain, req.payload.size()) +
                     takeBatchCycles() + disturbanceCycles();
 
+    recordService(worker, cycles);
     uint32_t device_id = req.hdr.device_id;
     uint64_t epoch = worker_epoch[worker];
-    workerCore(worker).run(cycles, [this, worker, epoch, device_id,
+    sim::Tick t0 = sim().events().now();
+    workerCore(worker).run(cycles, [this, worker, epoch, device_id, t0,
                                     req = std::move(req),
                                     kind]() mutable {
         if (epoch != worker_epoch[worker])
             return;
+        worker_stats[worker].residency_ns->record(
+            (sim().events().now() - t0) / 1000);
         steer.complete(device_id, worker);
         stageDone(worker);
         auto it = blk_devices.find(device_id);
@@ -596,7 +711,7 @@ IoHypervisor::execBlock(unsigned worker, MessageAssembler::Assembled req)
                 if (it == blk_devices.end())
                     return;
                 BlockDeviceEntry &dev = it->second;
-                ++blk_ops;
+                blk_ops->inc();
 
                 // Interpose on read data flowing back to the client
                 // (e.g. decryption); reads of encrypted-at-rest data
@@ -657,7 +772,7 @@ IoHypervisor::execAck(MessageAssembler::Assembled req)
     transport::DeviceAck ack;
     ByteReader r(req.payload);
     if (transport::DeviceAck::decode(r, ack))
-        ++acks;
+        acks->inc();
 }
 
 void
@@ -668,8 +783,13 @@ IoHypervisor::sendToClient(net::MacAddress t_mac,
     if (offline_) {
         // Work that was in flight when the IOhost died produces no
         // response; the client's retransmission timer covers it.
-        ++offline_tx_drops;
+        offline_tx_drops->inc();
         return;
+    }
+    auto &tr = sim().telemetry().tracer;
+    if (tr.enabled()) {
+        tr.instant(tr_track, tr_tx, sim().events().now(),
+                   telemetry::cat::kIo, hdr.request_serial);
     }
     auto learned = client_port_of.find(t_mac);
     net::Nic *nic = learned != client_port_of.end()
@@ -686,7 +806,7 @@ IoHypervisor::sendToClient(net::MacAddress t_mac,
             // Interrupt-driven IOhost: each transmit completion also
             // interrupts (half of the "4 IOhost interrupts" of
             // Table 3's no-poll row).
-            ++irqs_taken;
+            irqs_taken->inc();
             workerCore(0).run(cfg.interrupt_cycles, []() {});
         }
     }
@@ -723,6 +843,7 @@ IoHypervisor::pumpExternalRings()
     }
     while (external_nic->rxPending(0) > 0 && intakeAllowed()) {
         auto batch = external_nic->rxTake(0, cfg.batch_max);
+        polls->inc();
         pending_batch_cycles += cfg.batch_fixed_cycles;
         for (auto &frame : batch)
             handleExternalFrame(std::move(frame));
@@ -750,11 +871,15 @@ IoHypervisor::handleExternalFrame(net::FramePtr frame)
                     interposeCycles(dev.chain, frame_bytes) +
                     takeBatchCycles() + disturbanceCycles();
 
+    recordService(worker, cycles);
     uint64_t epoch = worker_epoch[worker];
-    workerCore(worker).run(cycles, [this, worker, epoch, device_id,
+    sim::Tick t0 = sim().events().now();
+    workerCore(worker).run(cycles, [this, worker, epoch, device_id, t0,
                                     frame = std::move(frame)]() mutable {
         if (epoch != worker_epoch[worker])
             return;
+        worker_stats[worker].residency_ns->record(
+            (sim().events().now() - t0) / 1000);
         steer.complete(device_id, worker);
         stageDone(worker);
         auto it = net_devices.find(device_id);
@@ -782,7 +907,7 @@ IoHypervisor::handleExternalFrame(net::FramePtr frame)
         hdr.type = MsgType::NetIn;
         hdr.device_id = device_id;
         hdr.total_len = uint32_t(payload.size());
-        ++net_forwarded;
+        net_forwarded->inc();
         sendToClient(dev.t_mac, hdr, payload);
     });
 }

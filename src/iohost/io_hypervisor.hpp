@@ -22,6 +22,7 @@
 #include "interpose/service.hpp"
 #include "iohost/steering.hpp"
 #include "net/nic.hpp"
+#include "telemetry/telemetry.hpp"
 #include "transport/control.hpp"
 #include "transport/reassembly.hpp"
 #include "transport/segmenter.hpp"
@@ -164,21 +165,34 @@ class IoHypervisor : public sim::SimObject
     void setOffline(bool off);
     bool offline() const { return offline_; }
 
+    /**
+     * Route liveness beacons out @p nic (wired to the rack switch)
+     * instead of the client channel; beats to a client T-MAC are
+     * re-addressed to its `mapHeartbeatPath` destination.  This is the
+     * `recovery.heartbeat_via_switch` wiring: heartbeats share the
+     * switch datapath, so a dead switch port starves them and the
+     * affected clients lapse — per-path failure detection.
+     */
+    void setHeartbeatNic(net::Nic &nic) { hb_nic = &nic; }
+
+    /** Heartbeats for @p t_mac egress the heartbeat NIC to @p dst. */
+    void mapHeartbeatPath(net::MacAddress t_mac, net::MacAddress dst);
+
     // -- statistics ---------------------------------------------------
-    uint64_t messagesProcessed() const { return messages; }
-    uint64_t requestsForwarded() const { return net_forwarded; }
-    uint64_t blockOps() const { return blk_ops; }
-    uint64_t copiedBytes() const { return copied_bytes; }
-    uint64_t interruptsTaken() const { return irqs_taken; }
-    uint64_t acksReceived() const { return acks; }
+    uint64_t messagesProcessed() const { return messages->value(); }
+    uint64_t requestsForwarded() const { return net_forwarded->value(); }
+    uint64_t blockOps() const { return blk_ops->value(); }
+    uint64_t copiedBytes() const { return copied_bytes->value(); }
+    uint64_t interruptsTaken() const { return irqs_taken->value(); }
+    uint64_t acksReceived() const { return acks->value(); }
     /** Frames discarded while the IOhost was crashed. */
-    uint64_t offlineRxDrops() const { return offline_rx_drops; }
+    uint64_t offlineRxDrops() const { return offline_rx_drops->value(); }
     /** Responses suppressed because the IOhost was crashed. */
-    uint64_t offlineTxDrops() const { return offline_tx_drops; }
+    uint64_t offlineTxDrops() const { return offline_tx_drops->value(); }
     const transport::Reassembler &reassembler() const { return *reasm; }
 
     // -- failure detection / recovery --------------------------------
-    uint64_t heartbeatsSent() const { return heartbeats_sent; }
+    uint64_t heartbeatsSent() const { return heartbeats_sent->value(); }
     /** Restart count; stamped into heartbeats. */
     uint32_t incarnation() const { return incarnation_; }
     /** Wedged workers the watchdog detected and quarantined. */
@@ -226,14 +240,36 @@ class IoHypervisor : public sim::SimObject
     /** Batch overhead awaiting attribution to the next message. */
     double pending_batch_cycles = 0;
 
-    uint64_t messages = 0;
-    uint64_t net_forwarded = 0;
-    uint64_t blk_ops = 0;
-    uint64_t copied_bytes = 0;
-    uint64_t irqs_taken = 0;
-    uint64_t acks = 0;
-    uint64_t offline_rx_drops = 0;
-    uint64_t offline_tx_drops = 0;
+    // Registry-backed counters (labeled {iohv=<name>}), resolved once
+    // in the constructor.
+    telemetry::Counter *messages;
+    telemetry::Counter *net_forwarded;
+    telemetry::Counter *blk_ops;
+    telemetry::Counter *copied_bytes;
+    telemetry::Counter *irqs_taken;
+    telemetry::Counter *acks;
+    telemetry::Counter *offline_rx_drops;
+    telemetry::Counter *offline_tx_drops;
+    telemetry::Counter *polls;
+    /** Worker backlog depth observed at each dispatch. */
+    telemetry::LogHistogram *inflight_at_dispatch;
+    /** Per-worker dispatch counts and first-stage service time (ns). */
+    struct WorkerStats
+    {
+        telemetry::Counter *dispatches;
+        telemetry::LogHistogram *service_ns;
+        telemetry::LogHistogram *residency_ns;
+        uint16_t trace_track; ///< "iohost.workerN"
+    };
+    std::vector<WorkerStats> worker_stats;
+    uint16_t tr_track;          ///< "<name>" tracer track
+    uint16_t tr_recovery_track; ///< "recovery" tracer track
+    uint16_t tr_dispatch;
+    uint16_t tr_service;
+    uint16_t tr_tx;
+    uint16_t tr_heartbeat;
+    uint16_t tr_wedge;
+    uint16_t tr_revive;
 
     // -- failure detection / recovery state --------------------------
     transport::DuplicateFilter dedup;
@@ -250,7 +286,11 @@ class IoHypervisor : public sim::SimObject
     std::vector<bool> probe_outstanding;
     uint64_t hb_seq = 0;
     uint32_t incarnation_ = 0;
-    uint64_t heartbeats_sent = 0;
+    telemetry::Counter *heartbeats_sent;
+    /** Dedicated switch-path beacon NIC (null = client channel). */
+    net::Nic *hb_nic = nullptr;
+    /** Beacon destination per client T-MAC on the switch path. */
+    std::map<net::MacAddress, net::MacAddress> hb_path;
     uint64_t wedges_detected = 0;
     uint64_t workers_revived = 0;
     uint64_t requests_abandoned = 0;
@@ -275,6 +315,8 @@ class IoHypervisor : public sim::SimObject
     void reviveWorker(unsigned worker);
 
     // Request execution on worker cores.
+    /** Service-time histogram + tracer span for one worker stage. */
+    void recordService(unsigned worker, double cycles);
     void execNet(unsigned worker,
                  transport::MessageAssembler::Assembled req);
     void execBlock(unsigned worker,

@@ -120,6 +120,16 @@ struct ModelConfig
          * a re-cabling.
          */
         bool standby = false;
+        /**
+         * Route the IOhost's liveness beacons through the rack switch
+         * on a dedicated beacon NIC pair (one IOhost-side NIC plus one
+         * per VMhost) instead of the client channel.  Heartbeats then
+         * share fate with the switch fabric: a dead switch port on the
+         * beacon path starves the beats and the affected clients
+         * lapse — per-path failure detection even when the data
+         * channel is a direct link the switch never sees.
+         */
+        bool heartbeat_via_switch = false;
     };
     Recovery recovery;
 

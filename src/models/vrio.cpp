@@ -43,6 +43,24 @@ class VrioModel::Client : public GuestEndpoint
         host_nic->setQueueMac(vf, t_mac);
         host_nic->setRxHandler(vf,
                                [this](unsigned q) { vfInterrupt(q); });
+
+        // Telemetry: interned tracer ids (cheap even when tracing is
+        // off) and pull-style probes over the transport-layer state.
+        auto &tr = vm_.sim().telemetry().tracer;
+        tg_track = tr.intern(strFormat("guest.vm%u", vm_index));
+        tg_kick = tr.intern("guest.kick");
+        tg_complete = tr.intern("guest.complete");
+        tg_recovery_track = tr.intern("recovery");
+        tg_lapse = tr.intern("recovery.hb_lapse");
+        tg_failover = tr.intern("recovery.failover");
+        auto &m = vm_.sim().telemetry().metrics;
+        telemetry::Labels vl{{"vm", vm_.name()}};
+        m.probe("transport.rtq.retransmissions", vl,
+                [this]() { return double(rtq.retransmissions()); });
+        m.probe("transport.rtq.stale_responses", vl,
+                [this]() { return double(rtq.staleResponses()); });
+        m.probe("transport.reasm.checksum_drops", vl,
+                [this]() { return double(reasm.checksumDrops()); });
     }
 
     /** Rebind this client's transport channel (migration). */
@@ -84,6 +102,7 @@ class VrioModel::Client : public GuestEndpoint
             uint64_t messages) override
     {
         (void)messages;
+        traceGuest(tg_kick);
         const CostParams &c = model.config().costs;
         // The transport driver materializes the whole guest frame
         // (pad bytes become real zeros: vRIO ships actual bytes).
@@ -190,7 +209,31 @@ class VrioModel::Client : public GuestEndpoint
     /** Tick of the most recent lapse declaration. */
     sim::Tick lapse_tick = 0;
 
+    // Tracer ids (resolved once at construction).
+    uint16_t tg_track = 0;
+    uint16_t tg_kick = 0;
+    uint16_t tg_complete = 0;
+    uint16_t tg_recovery_track = 0;
+    uint16_t tg_lapse = 0;
+    uint16_t tg_failover = 0;
+    // Switch-path beacon acceptance (recovery.heartbeat_via_switch):
+    // beats from hb_alt_src count while still homed on hb_alt_home.
+    net::MacAddress hb_alt_src;
+    net::MacAddress hb_alt_home;
+    bool hb_alt_set = false;
+
     bool tvirtio() const { return io_core != nullptr; }
+
+    /** Packet-lifecycle instant on this guest's tracer track. */
+    void
+    traceGuest(uint16_t event_name)
+    {
+        auto &tr = vm_.sim().telemetry().tracer;
+        if (tr.enabled()) {
+            tr.instant(tg_track, event_name, vm_.sim().events().now(),
+                       telemetry::cat::kPacket, vm_index);
+        }
+    }
 
     void
     armHeartbeatMonitor()
@@ -212,10 +255,19 @@ class VrioModel::Client : public GuestEndpoint
     {
         ++hb_lapses;
         lapse_tick = vm_.sim().events().now();
+        auto &tr = vm_.sim().telemetry().tracer;
+        if (tr.enabled()) {
+            tr.instant(tg_recovery_track, tg_lapse, lapse_tick,
+                       telemetry::cat::kRecovery, vm_index);
+        }
         if (has_standby && iohost_mac != standby_mac) {
             iohost_mac = standby_mac;
             ++failovers;
             vm_.events().record(hv::IoEvent::Failover);
+            if (tr.enabled()) {
+                tr.instant(tg_recovery_track, tg_failover, lapse_tick,
+                           telemetry::cat::kRecovery, vm_index);
+            }
             rtq.kickAll();
             armHeartbeatMonitor(); // now watching the standby
         }
@@ -230,7 +282,12 @@ class VrioModel::Client : public GuestEndpoint
             return;
         // A beacon from an IOhost this channel is not homed on (the
         // standby, pre-failover) proves nothing about our IOhost.
-        if (msg.src != iohost_mac)
+        // With switch-path beacons, beats from the beacon NIC count
+        // for as long as the channel is still homed on the primary.
+        bool from_home = msg.src == iohost_mac;
+        bool from_alt = hb_alt_set && msg.src == hb_alt_src &&
+                        iohost_mac == hb_alt_home;
+        if (!from_home && !from_alt)
             return;
         ++beats_seen;
         last_incarnation = beat.incarnation;
@@ -264,6 +321,7 @@ class VrioModel::Client : public GuestEndpoint
     void
     dispatchBlock(block::BlockRequest req, block::BlockCallback done)
     {
+        traceGuest(tg_kick);
         const CostParams &c = model.config().costs;
         uint64_t serial = next_serial++;
         double cycles = c.guest_blk_submit +
@@ -385,6 +443,7 @@ class VrioModel::Client : public GuestEndpoint
         const CostParams &c = model.config().costs;
         if (msg.payload.size() < net::kEtherHeaderSize)
             return;
+        traceGuest(tg_complete);
         net::EtherHeader eh;
         {
             ByteReader r(msg.payload);
@@ -412,6 +471,7 @@ class VrioModel::Client : public GuestEndpoint
             rtq.accept(msg.hdr.request_serial, msg.hdr.generation);
         if (verdict != transport::RetransmitQueue::Accept::Ok)
             return; // stale or unknown: ignored (Section 4.5)
+        traceGuest(tg_complete);
 
         auto it = pending.find(msg.hdr.request_serial);
         vrio_assert(it != pending.end(),
@@ -503,6 +563,22 @@ VrioModel::VrioModel(Rack &rack, ModelConfig cfg) : IoModel(rack, cfg)
     rack.connectToSwitch("vrio.iohost.extlink", external_nic->port(),
                          cfg.iohost_external_gbps);
     iohv->attachExternalNic(*external_nic);
+
+    // -- switch-path heartbeat egress ------------------------------------
+    bool hb_via_switch =
+        cfg.recovery.enabled && cfg.recovery.heartbeat_via_switch;
+    if (hb_via_switch) {
+        net::NicConfig hbc;
+        hbc.gbps = cfg.direct_link_gbps;
+        hbc.num_queues = 1;
+        hbc.mtu = cfg.vrio_mtu;
+        hb_out_nic = std::make_unique<net::Nic>(
+            sim, "vrio.iohost.hbnic", hbc);
+        hb_out_nic->setQueueMac(0, net::MacAddress::local(0x7d0000));
+        rack.connectToSwitch("vrio.iohost.hblink", hb_out_nic->port(),
+                             cfg.direct_link_gbps);
+        iohv->setHeartbeatNic(*hb_out_nic);
+    }
 
     // -- standby IOhost (failover target) --------------------------------
     if (cfg.recovery.standby) {
@@ -602,6 +678,25 @@ VrioModel::VrioModel(Rack &rack, ModelConfig cfg) : IoModel(rack, cfg)
                 host.iohost_port->port(), cfg.direct_link_gbps,
                 cfg.vrio_channel_loss, cfg.direct_link_latency));
         }
+
+        if (hb_via_switch) {
+            net::NicConfig hbc;
+            hbc.gbps = cfg.direct_link_gbps;
+            hbc.num_queues = 1;
+            hbc.mtu = cfg.vrio_mtu;
+            host.hb_nic = std::make_unique<net::Nic>(
+                sim, strFormat("vrio.host%u.hbnic", h), hbc);
+            host.hb_nic->setQueueMac(
+                0, net::MacAddress::local(0x7c0000 + h));
+            rack.connectToSwitch(strFormat("vrio.hblink%u", h),
+                                 host.hb_nic->port(),
+                                 cfg.direct_link_gbps);
+            host.hb_reasm = std::make_unique<transport::Reassembler>(
+                sim.events(), cfg.vrio_mtu);
+            host.hb_nic->setRxHandler(0, [this, h](unsigned q) {
+                deliverSwitchHeartbeats(h, q);
+            });
+        }
         hosts.push_back(std::move(host));
     }
 
@@ -632,6 +727,13 @@ VrioModel::VrioModel(Rack &rack, ModelConfig cfg) : IoModel(rack, cfg)
         }
 
         iohv->mapClientPort(t_mac, h);
+        if (hb_via_switch) {
+            iohv->mapHeartbeatPath(t_mac,
+                                   hosts[h].hb_nic->queueMac(0));
+            client->hb_alt_src = hb_out_nic->queueMac(0);
+            client->hb_alt_home = hosts[h].iohost_port->queueMac(0);
+            client->hb_alt_set = true;
+        }
 
         iohost::NetDeviceEntry nd;
         nd.device_id = client->netDeviceId();
@@ -710,6 +812,27 @@ VrioModel::VrioModel(Rack &rack, ModelConfig cfg) : IoModel(rack, cfg)
 }
 
 VrioModel::~VrioModel() = default;
+
+void
+VrioModel::deliverSwitchHeartbeats(unsigned h, unsigned q)
+{
+    Host &host = hosts[h];
+    for (const auto &frame : host.hb_nic->rxTake(q, 64)) {
+        auto msg = host.hb_reasm->feed(*frame);
+        if (!msg)
+            continue;
+        auto beat = host.hb_asm.feed(std::move(*msg));
+        if (!beat || beat->hdr.type != MsgType::Heartbeat)
+            continue;
+        // The IOhost stamps the target T-MAC into the request serial;
+        // deliver the beat to that client alone.
+        for (auto &client : clients) {
+            if (client->host_index == h &&
+                client->t_mac.toU64() == beat->hdr.request_serial)
+                client->receiveHeartbeat(*beat);
+        }
+    }
+}
 
 GuestEndpoint &
 VrioModel::guest(unsigned vm_index)

@@ -75,6 +75,13 @@ class VrioModel : public IoModel
     {
         return standby_iohv.get();
     }
+    /**
+     * The IOhost-side beacon NIC carrying switch-path heartbeats, or
+     * null unless recovery.heartbeat_via_switch (fault-injection
+     * target: killing its switch port starves every beat while the
+     * data path stays up).
+     */
+    net::Nic *heartbeatBeaconNic() { return hb_out_nic.get(); }
     uint64_t clientHeartbeatsSeen(unsigned vm_index) const;
     uint64_t clientHeartbeatLapses(unsigned vm_index) const;
     uint64_t clientFailovers(unsigned vm_index) const;
@@ -98,7 +105,16 @@ class VrioModel : public IoModel
         std::unique_ptr<net::Nic> iohost_port; ///< IOhost end of the link
         /** Occupancy of each vCPU/VF slot on this host. */
         std::vector<bool> slot_used;
+        // Switch-path heartbeat receiver
+        // (recovery.heartbeat_via_switch): beats for this host's
+        // clients arrive here instead of over the client channel.
+        std::unique_ptr<net::Nic> hb_nic;
+        std::unique_ptr<transport::Reassembler> hb_reasm;
+        transport::MessageAssembler hb_asm;
     };
+
+    /** Reassemble and fan in switch-path heartbeats on host @p h. */
+    void deliverSwitchHeartbeats(unsigned h, unsigned q);
 
     std::vector<Host> hosts;
     std::vector<std::unique_ptr<Client>> clients;
@@ -106,6 +122,8 @@ class VrioModel : public IoModel
 
     std::unique_ptr<hv::Machine> iohost_machine;
     std::unique_ptr<net::Nic> external_nic;
+    /** IOhost-side beacon NIC (recovery.heartbeat_via_switch). */
+    std::unique_ptr<net::Nic> hb_out_nic;
     std::unique_ptr<iohost::IoHypervisor> iohv;
     std::vector<std::unique_ptr<block::BlockDevice>> remote_disks;
 

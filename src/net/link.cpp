@@ -11,6 +11,17 @@ Link::Link(sim::Simulation &sim, std::string name, LinkConfig cfg)
                                            this->name() + ".txA");
     tx_b = std::make_unique<sim::Resource>(sim.events(),
                                            this->name() + ".txB");
+
+    auto &m = sim.telemetry().metrics;
+    telemetry::Labels l{{"link", this->name()}};
+    delivered = &m.counter("net.link.delivered", l);
+    lost = &m.counter("net.link.lost", l);
+    fault_lost = &m.counter("net.link.fault_lost", l);
+    payload_corrupted = &m.counter("net.link.payload_corrupted", l);
+    bytes = &m.counter("net.link.bytes", l);
+    auto &tracer = sim.telemetry().tracer;
+    trace_track = tracer.intern("link." + this->name());
+    trace_wire = tracer.intern("wire");
 }
 
 void
@@ -47,10 +58,10 @@ Link::transmit(NetPort &from, FramePtr frame)
     tx->submit(serialization, [this, to, direction,
                                frame = std::move(frame),
                                wire_bytes]() mutable {
-        bytes += wire_bytes;
+        bytes->add(wire_bytes);
         if (cfg.loss_probability > 0.0 &&
             sim().random().bernoulli(cfg.loss_probability)) {
-            ++lost;
+            lost->inc();
             return;
         }
         sim::Tick propagation = cfg.propagation;
@@ -61,8 +72,8 @@ Link::transmit(NetPort &from, FramePtr frame)
             case FaultVerdict::Kind::Deliver:
                 break;
             case FaultVerdict::Kind::Drop:
-                ++lost;
-                ++fault_lost;
+                lost->inc();
+                fault_lost->inc();
                 return;
             case FaultVerdict::Kind::Corrupt:
                 frame->fcs_corrupt = true;
@@ -77,7 +88,7 @@ Link::transmit(NetPort &from, FramePtr frame)
                     auto clone = std::make_shared<Frame>(*frame);
                     clone->bytes.back() ^= 0xff;
                     frame = std::move(clone);
-                    ++payload_corrupted;
+                    payload_corrupted->inc();
                 }
                 break;
             case FaultVerdict::Kind::Delay:
@@ -85,7 +96,17 @@ Link::transmit(NetPort &from, FramePtr frame)
                 break;
             }
         }
-        ++delivered;
+        delivered->inc();
+        auto &tracer = sim().telemetry().tracer;
+        if (tracer.enabled()) {
+            // Serialization ended exactly now; the span covers wire
+            // occupancy plus flight time.
+            sim::Tick ser = sim::bytesToTicks(wire_bytes, cfg.gbps);
+            sim::Tick start = sim().now() >= ser ? sim().now() - ser : 0;
+            tracer.span(trace_track, trace_wire, start,
+                        sim().now() - start + propagation,
+                        telemetry::cat::kPacket, wire_bytes);
+        }
         sim().events().schedule(propagation,
                                 [to, frame = std::move(frame)]() mutable {
                                     to->receive(std::move(frame));

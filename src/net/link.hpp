@@ -108,17 +108,20 @@ class Link : public sim::SimObject
      */
     void setFaultHook(LinkFaultHook *hook) { fault_hook = hook; }
 
-    uint64_t framesDelivered() const { return delivered; }
-    uint64_t framesLost() const { return lost; }
+    uint64_t framesDelivered() const { return delivered->value(); }
+    uint64_t framesLost() const { return lost->value(); }
     /**
      * Subset of framesLost() eaten by the fault hook (injected i.i.d.
      * or burst drops) rather than the link's own loss_probability;
      * lets benches separate injected loss from intrinsic loss.
      */
-    uint64_t framesLostToFaults() const { return fault_lost; }
+    uint64_t framesLostToFaults() const { return fault_lost->value(); }
     /** Frames delivered with an injected FCS-passing payload flip. */
-    uint64_t framesPayloadCorrupted() const { return payload_corrupted; }
-    uint64_t bytesCarried() const { return bytes; }
+    uint64_t framesPayloadCorrupted() const
+    {
+        return payload_corrupted->value();
+    }
+    uint64_t bytesCarried() const { return bytes->value(); }
 
   private:
     LinkConfig cfg;
@@ -128,11 +131,15 @@ class Link : public sim::SimObject
     std::unique_ptr<sim::Resource> tx_a; ///< transmitter at end A
     std::unique_ptr<sim::Resource> tx_b;
 
-    uint64_t delivered = 0;
-    uint64_t lost = 0;
-    uint64_t fault_lost = 0;
-    uint64_t payload_corrupted = 0;
-    uint64_t bytes = 0;
+    // Registry-backed counters (one series per link, labeled by
+    // instance name); resolved once here, raw bumps in transmit().
+    telemetry::Counter *delivered;
+    telemetry::Counter *lost;
+    telemetry::Counter *fault_lost;
+    telemetry::Counter *payload_corrupted;
+    telemetry::Counter *bytes;
+    uint16_t trace_track; ///< interned "link.<name>" tracer track
+    uint16_t trace_wire;  ///< interned "wire" span name
 };
 
 } // namespace vrio::net

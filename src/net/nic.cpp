@@ -10,6 +10,14 @@ Nic::Nic(sim::Simulation &sim, std::string name, NicConfig cfg)
 {
     vrio_assert(cfg.num_queues >= 1, "NIC needs at least one queue");
     vrio_assert(cfg.rx_ring_size > 0, "RX ring must be non-empty");
+    auto &m = sim.telemetry().metrics;
+    telemetry::Labels l{{"nic", this->name()}};
+    rx_frames = &m.counter("net.nic.rx_frames", l);
+    rx_drops = &m.counter("net.nic.rx_drops", l);
+    rx_crc_drops = &m.counter("net.nic.rx_crc_drops", l);
+    tx_frames = &m.counter("net.nic.tx_frames", l);
+    interrupts = &m.counter("net.nic.interrupts", l);
+    tso_sends = &m.counter("net.nic.tso_sends", l);
 }
 
 void
@@ -109,7 +117,7 @@ Nic::receive(FramePtr frame)
 {
     if (frame->fcs_corrupt) {
         // Hardware FCS check fails before any classification.
-        ++rx_crc_drops;
+        rx_crc_drops->inc();
         return;
     }
     EtherHeader hdr = frame->ether();
@@ -126,10 +134,10 @@ Nic::enqueueRx(unsigned queue, FramePtr frame)
 {
     auto &q = queues[queue];
     if (q.rx.size() >= rx_ring_limit) {
-        ++rx_drops;
+        rx_drops->inc();
         return;
     }
-    ++rx_frames;
+    rx_frames->inc();
     q.rx.push_back(std::move(frame));
     if (q.mode == RxMode::Interrupt)
         maybeInterrupt(queue);
@@ -166,7 +174,7 @@ Nic::fireInterrupt(unsigned queue)
     auto &q = queues[queue];
     if (q.rx.empty())
         return;
-    ++interrupts;
+    interrupts->inc();
     q.handler(queue);
 }
 
@@ -183,14 +191,14 @@ Nic::send(unsigned queue, FramePtr frame)
                     " > MTU ", cfg.mtu, ") with TSO disabled");
         vrio_assert(frame->pad == 0 && frameIsTcpIpv4(*frame),
                     "oversized frame is not TSO-eligible");
-        ++tso_sends;
+        tso_sends->inc();
         for (auto &seg : tsoSegment(*frame, cfg.mtu)) {
-            ++tx_frames;
+            tx_frames->inc();
             l->transmit(*this, std::move(seg));
         }
         return;
     }
-    ++tx_frames;
+    tx_frames->inc();
     l->transmit(*this, std::move(frame));
 }
 

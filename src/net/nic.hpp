@@ -116,12 +116,12 @@ class Nic : public sim::SimObject, public NetPort
     void send(unsigned queue, FramePtr frame);
 
     // -- statistics ------------------------------------------------
-    uint64_t rxFrames() const { return rx_frames; }
-    uint64_t rxDrops() const { return rx_drops; }
-    uint64_t rxCrcDrops() const { return rx_crc_drops; }
-    uint64_t txFrames() const { return tx_frames; }
-    uint64_t interruptsFired() const { return interrupts; }
-    uint64_t tsoSends() const { return tso_sends; }
+    uint64_t rxFrames() const { return rx_frames->value(); }
+    uint64_t rxDrops() const { return rx_drops->value(); }
+    uint64_t rxCrcDrops() const { return rx_crc_drops->value(); }
+    uint64_t txFrames() const { return tx_frames->value(); }
+    uint64_t interruptsFired() const { return interrupts->value(); }
+    uint64_t tsoSends() const { return tso_sends->value(); }
 
     // NetPort
     void receive(FramePtr frame) override;
@@ -145,12 +145,14 @@ class Nic : public sim::SimObject, public NetPort
     /** Effective RX ring capacity (cfg.rx_ring_size unless squeezed). */
     size_t rx_ring_limit = 0;
 
-    uint64_t rx_frames = 0;
-    uint64_t rx_drops = 0;
-    uint64_t rx_crc_drops = 0;
-    uint64_t tx_frames = 0;
-    uint64_t interrupts = 0;
-    uint64_t tso_sends = 0;
+    // Registry-backed (one series per NIC, labeled by instance name);
+    // resolved in the constructor, bumped raw on the datapath.
+    telemetry::Counter *rx_frames;
+    telemetry::Counter *rx_drops;
+    telemetry::Counter *rx_crc_drops;
+    telemetry::Counter *tx_frames;
+    telemetry::Counter *interrupts;
+    telemetry::Counter *tso_sends;
 
     void enqueueRx(unsigned queue, FramePtr frame);
     void maybeInterrupt(unsigned queue);

@@ -7,13 +7,27 @@ namespace vrio::net {
 
 Switch::Switch(sim::Simulation &sim, std::string name, SwitchConfig cfg)
     : SimObject(sim, std::move(name)), cfg(cfg)
-{}
+{
+    auto &m = sim.telemetry().metrics;
+    telemetry::Labels l{{"switch", this->name()}};
+    forwarded = &m.counter("net.switch.forwarded", l);
+    flooded = &m.counter("net.switch.flooded", l);
+    crc_drops = &m.counter("net.switch.crc_drops", l);
+    dead_port_drops = &m.counter("net.switch.dead_port_drops", l);
+}
 
 NetPort &
 Switch::newPort()
 {
-    ports.push_back(std::make_unique<Port>(*this, ports.size()));
+    size_t index = ports.size();
+    ports.push_back(std::make_unique<Port>(*this, index));
     port_down.push_back(false);
+    auto &m = sim().telemetry().metrics;
+    telemetry::Labels l{{"switch", name()},
+                        {"port", std::to_string(index)}};
+    port_stats.push_back({&m.counter("net.switch.port.forwards", l),
+                          &m.counter("net.switch.port.floods", l),
+                          &m.counter("net.switch.port.dead_drops", l)});
     return *ports.back();
 }
 
@@ -59,12 +73,13 @@ void
 Switch::ingress(size_t port_index, FramePtr frame)
 {
     if (port_down[port_index]) {
-        ++dead_port_drops;
+        dead_port_drops->inc();
+        port_stats[port_index].dead_drops->inc();
         return;
     }
     if (frame->fcs_corrupt) {
         // Store-and-forward switches verify the FCS before queueing.
-        ++crc_drops;
+        crc_drops->inc();
         return;
     }
     EtherHeader hdr = frame->ether();
@@ -80,7 +95,8 @@ Switch::ingress(size_t port_index, FramePtr frame)
                 auto it = mac_table.find(hdr.dst);
                 if (it != mac_table.end()) {
                     if (it->second != port_index) {
-                        ++forwarded;
+                        forwarded->inc();
+                        port_stats[it->second].forwards->inc();
                         egress(it->second, std::move(frame));
                     }
                     // Destination is on the ingress port: filter.
@@ -88,7 +104,8 @@ Switch::ingress(size_t port_index, FramePtr frame)
                 }
             }
             // Unknown unicast or broadcast/multicast: flood.
-            ++flooded;
+            flooded->inc();
+            port_stats[port_index].floods->inc();
             for (size_t i = 0; i < ports.size(); ++i) {
                 if (i != port_index && ports[i]->link()) {
                     FramePtr copy = FramePool::local().acquire();
@@ -106,7 +123,8 @@ void
 Switch::egress(size_t port_index, FramePtr frame)
 {
     if (port_down[port_index]) {
-        ++dead_port_drops;
+        dead_port_drops->inc();
+        port_stats[port_index].dead_drops->inc();
         return;
     }
     Link *link = ports[port_index]->link();

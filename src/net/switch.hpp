@@ -33,9 +33,9 @@ class Switch : public sim::SimObject
     NetPort &newPort();
 
     size_t portCount() const { return ports.size(); }
-    uint64_t framesForwarded() const { return forwarded; }
-    uint64_t framesFlooded() const { return flooded; }
-    uint64_t crcDrops() const { return crc_drops; }
+    uint64_t framesForwarded() const { return forwarded->value(); }
+    uint64_t framesFlooded() const { return flooded->value(); }
+    uint64_t crcDrops() const { return crc_drops->value(); }
 
     /** MAC table size (learned addresses). */
     size_t macTableSize() const { return mac_table.size(); }
@@ -54,7 +54,7 @@ class Switch : public sim::SimObject
     std::optional<size_t> portOf(MacAddress mac) const;
 
     /** Frames eaten by a down port (either direction). */
-    uint64_t deadPortDrops() const { return dead_port_drops; }
+    uint64_t deadPortDrops() const { return dead_port_drops->value(); }
 
   private:
     class Port : public NetPort
@@ -75,10 +75,20 @@ class Switch : public sim::SimObject
     std::vector<std::unique_ptr<Port>> ports;
     std::vector<bool> port_down;
     std::map<MacAddress, size_t> mac_table;
-    uint64_t forwarded = 0;
-    uint64_t flooded = 0;
-    uint64_t crc_drops = 0;
-    uint64_t dead_port_drops = 0;
+
+    // Switch-wide totals plus one series per port, so a single hot
+    // port (or a blackholing dead one) is visible in exports.
+    telemetry::Counter *forwarded;
+    telemetry::Counter *flooded;
+    telemetry::Counter *crc_drops;
+    telemetry::Counter *dead_port_drops;
+    struct PortStats
+    {
+        telemetry::Counter *forwards;   ///< egress via learned entry
+        telemetry::Counter *floods;     ///< floods entering this port
+        telemetry::Counter *dead_drops; ///< eaten while this port down
+    };
+    std::vector<PortStats> port_stats;
 
     void ingress(size_t port_index, FramePtr frame);
     void egress(size_t port_index, FramePtr frame);

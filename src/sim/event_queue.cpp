@@ -184,6 +184,11 @@ EventQueue::fireTick()
         ++executed;
     }
     std::swap(batch, batch_scratch);
+    if (tm_fired) {
+        tm_fired->add(executed);
+        tm_per_tick->record(executed);
+        tm_depth->record(live_count);
+    }
     return executed;
 }
 

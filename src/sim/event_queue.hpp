@@ -23,6 +23,7 @@
 
 #include "sim/small_function.hpp"
 #include "sim/ticks.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace vrio::sim {
 
@@ -93,6 +94,22 @@ class EventQueue
     /** Execute exactly one event if one exists; returns false if idle. */
     bool step();
 
+    /**
+     * Bind telemetry handles (all three or none).  Unattached (the
+     * default, and the state of every standalone queue) the hot path
+     * pays exactly one null-pointer test per same-tick batch.
+     * `Simulation` attaches its own hub's handles at construction.
+     */
+    void
+    attachTelemetry(telemetry::Counter *fired,
+                    telemetry::LogHistogram *per_tick,
+                    telemetry::LogHistogram *depth)
+    {
+        tm_fired = fired;
+        tm_per_tick = per_tick;
+        tm_depth = depth;
+    }
+
     // -- introspection (tests / microbenchmarks) -------------------
     /** Live (scheduled, not fired/cancelled) events. */
     size_t liveEvents() const { return live_count; }
@@ -145,6 +162,11 @@ class EventQueue
     size_t stale_count = 0;  ///< cancelled entries still in the heap
     Tick now_ = 0;
     uint64_t next_seq = 0;
+
+    // Telemetry handles; null when no Simulation owns this queue.
+    telemetry::Counter *tm_fired = nullptr;
+    telemetry::LogHistogram *tm_per_tick = nullptr;
+    telemetry::LogHistogram *tm_depth = nullptr;
 
     uint32_t allocSlot(Callback fn);
     /** Take the callback out and recycle the slot. */

@@ -1,7 +1,20 @@
 #include "sim/simulation.hpp"
 
+#include <cstdlib>
+
+#include "telemetry/export.hpp"
+
 namespace vrio::sim {
 
-Simulation::Simulation(uint64_t seed) : rng(seed) {}
+Simulation::Simulation(uint64_t seed) : rng(seed)
+{
+    eq.attachTelemetry(&telem.metrics.counter("sim.events.fired"),
+                       &telem.metrics.histogram("sim.events.per_tick"),
+                       &telem.metrics.histogram("sim.queue.depth"));
+    // Arm the tracer when a trace export is requested for the process;
+    // tests and benches can also arm it programmatically.
+    if (telemetry::Sink::traceArmed())
+        telem.tracer.enable();
+}
 
 } // namespace vrio::sim

@@ -10,6 +10,7 @@
 #include "sim/event_queue.hpp"
 #include "sim/random.hpp"
 #include "stats/registry.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace vrio::sim {
 
@@ -21,6 +22,8 @@ class Simulation
     EventQueue &events() { return eq; }
     Random &random() { return rng; }
     stats::Registry &stats() { return registry; }
+    telemetry::Hub &telemetry() { return telem; }
+    const telemetry::Hub &telemetry() const { return telem; }
 
     Tick now() const { return eq.now(); }
 
@@ -39,6 +42,7 @@ class Simulation
     EventQueue eq;
     Random rng;
     stats::Registry registry;
+    telemetry::Hub telem;
 };
 
 /**

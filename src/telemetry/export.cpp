@@ -1,0 +1,326 @@
+#include "telemetry/export.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <vector>
+
+namespace vrio::telemetry {
+
+namespace {
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (uint8_t(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+const char *
+categoryName(uint8_t c)
+{
+    switch (c) {
+      case cat::kPacket: return "packet";
+      case cat::kIo: return "io";
+      case cat::kRecovery: return "recovery";
+      case cat::kFault: return "fault";
+      case cat::kSim: return "sim";
+      default: return "misc";
+    }
+}
+
+/** Ticks (ps) to Chrome's microsecond timebase, exact to 1 ps. */
+std::string
+ticksToUs(sim::Tick t)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "%llu.%06llu",
+                  (unsigned long long)(t / sim::kMicrosecond),
+                  (unsigned long long)(t % sim::kMicrosecond));
+    return buf;
+}
+
+std::string
+seriesLabel(const MetricsRegistry::Series &s)
+{
+    std::string out = s.name;
+    if (!s.labels.kv.empty()) {
+        out += '{';
+        for (size_t i = 0; i < s.labels.kv.size(); ++i) {
+            if (i)
+                out += ',';
+            out += s.labels.kv[i].first;
+            out += '=';
+            out += s.labels.kv[i].second;
+        }
+        out += '}';
+    }
+    return out;
+}
+
+std::string
+fmtDouble(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+    return buf;
+}
+
+} // namespace
+
+void
+writeChromeTrace(std::ostream &os, const Tracer &tracer)
+{
+    os << "{\"traceEvents\":[\n";
+    bool first = true;
+    auto sep = [&]() {
+        if (!first)
+            os << ",\n";
+        first = false;
+    };
+
+    // Track (and name) interning is shared; only ids actually used as
+    // a track get a thread_name metadata record.
+    std::vector<bool> used_tracks;
+    tracer.forEach([&](const TraceEvent &ev) {
+        if (ev.track >= used_tracks.size())
+            used_tracks.resize(ev.track + 1, false);
+        used_tracks[ev.track] = true;
+    });
+    sep();
+    os << "{\"ph\":\"M\",\"pid\":1,\"name\":\"process_name\","
+          "\"args\":{\"name\":\"vrio\"}}";
+    for (size_t t = 0; t < used_tracks.size(); ++t) {
+        if (!used_tracks[t])
+            continue;
+        sep();
+        os << "{\"ph\":\"M\",\"pid\":1,\"tid\":" << t
+           << ",\"name\":\"thread_name\",\"args\":{\"name\":\""
+           << jsonEscape(tracer.internedName(uint16_t(t))) << "\"}}";
+    }
+
+    tracer.forEach([&](const TraceEvent &ev) {
+        sep();
+        os << "{\"ph\":\"" << ev.phase << "\",\"pid\":1,\"tid\":"
+           << ev.track << ",\"ts\":" << ticksToUs(ev.ts);
+        if (ev.phase == 'X')
+            os << ",\"dur\":" << ticksToUs(ev.dur);
+        os << ",\"name\":\"" << jsonEscape(tracer.internedName(ev.name))
+           << "\",\"cat\":\"" << categoryName(ev.category) << "\"";
+        if (ev.phase == 'i')
+            os << ",\"s\":\"t\"";
+        os << ",\"args\":{\"arg\":" << ev.arg << "}}";
+    });
+    os << "\n]}\n";
+}
+
+void
+writeMetricsCsv(std::ostream &os, const MetricsRegistry &metrics,
+                const std::string &label, bool with_header)
+{
+    if (with_header)
+        os << "cell,kind,series,value,count,sum,mean,min,max,p50,p90,p99\n";
+    metrics.forEach([&](const MetricsRegistry::Series &s) {
+        os << label << ',';
+        switch (s.kind) {
+          case MetricsRegistry::Kind::CounterK:
+            os << "counter," << seriesLabel(s) << ','
+               << s.counter.value() << ",,,,,,,,\n";
+            break;
+          case MetricsRegistry::Kind::GaugeK:
+            os << "gauge," << seriesLabel(s) << ','
+               << fmtDouble(s.gauge.value()) << ",,,,,,,,\n";
+            break;
+          case MetricsRegistry::Kind::ProbeK:
+            os << "probe," << seriesLabel(s) << ','
+               << fmtDouble(s.sampler ? s.sampler() : 0) << ",,,,,,,,\n";
+            break;
+          case MetricsRegistry::Kind::HistogramK: {
+            const LogHistogram &h = s.histogram;
+            os << "histogram," << seriesLabel(s) << ",,"
+               << h.count() << ',' << h.sum() << ','
+               << fmtDouble(h.mean()) << ',' << h.min() << ','
+               << h.max() << ',' << fmtDouble(h.quantile(0.50)) << ','
+               << fmtDouble(h.quantile(0.90)) << ','
+               << fmtDouble(h.quantile(0.99)) << "\n";
+            break;
+          }
+        }
+    });
+}
+
+void
+writeMetricsSummary(std::ostream &os, const MetricsRegistry &metrics,
+                    const std::string &label)
+{
+    os << "== telemetry: " << label << " ==\n";
+    metrics.forEach([&](const MetricsRegistry::Series &s) {
+        os << "  " << seriesLabel(s) << " = ";
+        switch (s.kind) {
+          case MetricsRegistry::Kind::CounterK:
+            os << s.counter.value();
+            break;
+          case MetricsRegistry::Kind::GaugeK:
+            os << fmtDouble(s.gauge.value());
+            break;
+          case MetricsRegistry::Kind::ProbeK:
+            os << fmtDouble(s.sampler ? s.sampler() : 0);
+            break;
+          case MetricsRegistry::Kind::HistogramK:
+            os << "count=" << s.histogram.count()
+               << " mean=" << fmtDouble(s.histogram.mean())
+               << " p50=" << fmtDouble(s.histogram.quantile(0.50))
+               << " p99=" << fmtDouble(s.histogram.quantile(0.99))
+               << " max=" << s.histogram.max();
+            break;
+        }
+        os << "\n";
+    });
+}
+
+namespace {
+
+struct SinkState
+{
+    std::mutex mu;
+    bool atexit_registered = false;
+    bool flushed = false;
+    // Best trace candidate so far: serialized once at submit time
+    // (the tracer dies with its simulation, the sink outlives it).
+    std::string trace_json;
+    std::string trace_label;
+    size_t trace_events = 0;
+    // Every metrics submission, sorted at flush for thread-order
+    // independence.
+    std::vector<std::pair<std::string, std::string>> metric_blocks;
+};
+
+SinkState &
+state()
+{
+    static SinkState s;
+    return s;
+}
+
+} // namespace
+
+Sink &
+Sink::instance()
+{
+    static Sink sink;
+    return sink;
+}
+
+const std::string &
+Sink::tracePath()
+{
+    static const std::string path = []() {
+        const char *p = std::getenv("VRIO_TRACE");
+        return std::string(p ? p : "");
+    }();
+    return path;
+}
+
+const std::string &
+Sink::metricsPath()
+{
+    static const std::string path = []() {
+        const char *p = std::getenv("VRIO_METRICS");
+        return std::string(p ? p : "");
+    }();
+    return path;
+}
+
+void
+Sink::submit(const std::string &label, const Hub &hub)
+{
+    if (!armed())
+        return;
+    SinkState &st = state();
+    std::lock_guard<std::mutex> lock(st.mu);
+    if (!st.atexit_registered) {
+        st.atexit_registered = true;
+        // Both path caches must be constructed before the handler is
+        // registered, or their destructors run before flush() at exit
+        // and flush reads dead strings (armed() above short-circuits,
+        // so it may have constructed only one of them).
+        tracePath();
+        metricsPath();
+        std::atexit([]() { Sink::instance().flush(); });
+    }
+    if (traceArmed() && hub.tracer.enabled() && hub.tracer.size() > 0) {
+        size_t n = hub.tracer.size();
+        bool better = n > st.trace_events ||
+                      (n == st.trace_events && !st.trace_label.empty() &&
+                       label < st.trace_label);
+        if (better) {
+            std::ostringstream os;
+            writeChromeTrace(os, hub.tracer);
+            st.trace_json = os.str();
+            st.trace_label = label;
+            st.trace_events = n;
+        }
+    }
+    if (metricsArmed() && hub.metrics.size() > 0) {
+        std::ostringstream os;
+        bool csv = metricsPath().size() >= 4 &&
+                   metricsPath().compare(metricsPath().size() - 4, 4,
+                                         ".csv") == 0;
+        if (csv)
+            writeMetricsCsv(os, hub.metrics, label, /*with_header=*/false);
+        else
+            writeMetricsSummary(os, hub.metrics, label);
+        st.metric_blocks.emplace_back(label, os.str());
+    }
+}
+
+void
+Sink::flush()
+{
+    SinkState &st = state();
+    std::lock_guard<std::mutex> lock(st.mu);
+    if (st.flushed)
+        return;
+    st.flushed = true;
+    if (traceArmed() && !st.trace_json.empty()) {
+        std::ofstream f(tracePath());
+        if (f)
+            f << st.trace_json;
+    }
+    if (metricsArmed() && !st.metric_blocks.empty()) {
+        std::stable_sort(st.metric_blocks.begin(), st.metric_blocks.end());
+        std::ofstream f(metricsPath());
+        if (f) {
+            bool csv = metricsPath().size() >= 4 &&
+                       metricsPath().compare(metricsPath().size() - 4, 4,
+                                             ".csv") == 0;
+            if (csv)
+                f << "cell,kind,series,value,count,sum,mean,min,max,"
+                     "p50,p90,p99\n";
+            for (const auto &[label, block] : st.metric_blocks)
+                f << block;
+        }
+    }
+}
+
+} // namespace vrio::telemetry

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Telemetry exporters: Chrome `about://tracing` JSON for the tracer,
+ * CSV and plain-text summaries for the metrics registry, and the
+ * process-wide Sink that collects per-simulation submissions and
+ * writes the files named by `VRIO_TRACE` / `VRIO_METRICS` at exit.
+ *
+ * Arming is strictly opt-in via environment: when neither variable is
+ * set, `Sink::armed()` is false, nothing is serialized, and no file is
+ * touched — the zero-cost contract the golden harness relies on.
+ */
+#ifndef VRIO_TELEMETRY_EXPORT_HPP
+#define VRIO_TELEMETRY_EXPORT_HPP
+
+#include <ostream>
+#include <string>
+
+#include "telemetry/telemetry.hpp"
+
+namespace vrio::telemetry {
+
+/**
+ * Serialize the tracer ring as Chrome trace-event JSON
+ * (`{"traceEvents": [...]}`), loadable in Perfetto or
+ * about://tracing.  Each interned track becomes one named thread
+ * track; timestamps convert from ticks (ps) to microseconds.
+ */
+void writeChromeTrace(std::ostream &os, const Tracer &tracer);
+
+/**
+ * Serialize every metrics series as CSV rows prefixed with @p label
+ * (one submission = one experiment cell).  Emits a header only when
+ * @p with_header.
+ */
+void writeMetricsCsv(std::ostream &os, const MetricsRegistry &metrics,
+                     const std::string &label, bool with_header);
+
+/** Human-readable summary of the registry (counters first). */
+void writeMetricsSummary(std::ostream &os, const MetricsRegistry &metrics,
+                         const std::string &label);
+
+/**
+ * Process-wide collection point.  Every `core::Testbed` submits its
+ * simulation's hub on teardown; submissions from parallel sweep
+ * threads are serialized under a mutex.  The trace file receives the
+ * single richest submission (most retained events; ties broken by
+ * label) because one Chrome trace models one timeline; the metrics
+ * file receives every submission, sorted by label so parallel cell
+ * completion order cannot change the output.
+ */
+class Sink
+{
+  public:
+    static Sink &instance();
+
+    /** Cached `VRIO_TRACE` / `VRIO_METRICS` (empty = unset). */
+    static const std::string &tracePath();
+    static const std::string &metricsPath();
+    static bool traceArmed() { return !tracePath().empty(); }
+    static bool metricsArmed() { return !metricsPath().empty(); }
+    static bool armed() { return traceArmed() || metricsArmed(); }
+
+    /** Record one simulation's telemetry under @p label. */
+    void submit(const std::string &label, const Hub &hub);
+
+    /** Write the collected output files; idempotent. */
+    void flush();
+
+  private:
+    Sink() = default;
+};
+
+} // namespace vrio::telemetry
+
+#endif // VRIO_TELEMETRY_EXPORT_HPP

@@ -1,0 +1,283 @@
+#include "telemetry/json_check.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace vrio::telemetry {
+
+const JsonValue *
+JsonValue::get(std::string_view key) const
+{
+    if (type != Type::Object)
+        return nullptr;
+    for (const auto &[k, v] : obj) {
+        if (k == key)
+            return &v;
+    }
+    return nullptr;
+}
+
+namespace {
+
+struct Parser
+{
+    std::string_view text;
+    size_t pos = 0;
+    std::string err;
+
+    bool
+    fail(const std::string &what)
+    {
+        if (err.empty())
+            err = what + " at offset " + std::to_string(pos);
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos < text.size() &&
+               (text[pos] == ' ' || text[pos] == '\t' || text[pos] == '\n' ||
+                text[pos] == '\r'))
+            ++pos;
+    }
+
+    bool
+    consume(char c)
+    {
+        skipWs();
+        if (pos < text.size() && text[pos] == c) {
+            ++pos;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        skipWs();
+        if (pos >= text.size() || text[pos] != '"')
+            return fail("expected string");
+        ++pos;
+        out.clear();
+        while (pos < text.size()) {
+            char c = text[pos++];
+            if (c == '"')
+                return true;
+            if (c == '\\') {
+                if (pos >= text.size())
+                    return fail("dangling escape");
+                char e = text[pos++];
+                switch (e) {
+                  case '"': out += '"'; break;
+                  case '\\': out += '\\'; break;
+                  case '/': out += '/'; break;
+                  case 'b': out += '\b'; break;
+                  case 'f': out += '\f'; break;
+                  case 'n': out += '\n'; break;
+                  case 'r': out += '\r'; break;
+                  case 't': out += '\t'; break;
+                  case 'u': {
+                    if (pos + 4 > text.size())
+                        return fail("short \\u escape");
+                    for (int i = 0; i < 4; ++i) {
+                        if (!std::isxdigit(uint8_t(text[pos + i])))
+                            return fail("bad \\u escape");
+                    }
+                    // Validation only: fold to '?' rather than decode.
+                    pos += 4;
+                    out += '?';
+                    break;
+                  }
+                  default:
+                    return fail("bad escape");
+                }
+            } else if (uint8_t(c) < 0x20) {
+                return fail("raw control character in string");
+            } else {
+                out += c;
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    parseValue(JsonValue &out, int depth)
+    {
+        if (depth > 64)
+            return fail("nesting too deep");
+        skipWs();
+        if (pos >= text.size())
+            return fail("unexpected end of input");
+        char c = text[pos];
+        if (c == '{') {
+            ++pos;
+            out.type = JsonValue::Type::Object;
+            skipWs();
+            if (consume('}'))
+                return true;
+            while (true) {
+                std::string key;
+                if (!parseString(key))
+                    return false;
+                if (!consume(':'))
+                    return fail("expected ':'");
+                JsonValue v;
+                if (!parseValue(v, depth + 1))
+                    return false;
+                out.obj.emplace_back(std::move(key), std::move(v));
+                if (consume(','))
+                    continue;
+                if (consume('}'))
+                    return true;
+                return fail("expected ',' or '}'");
+            }
+        }
+        if (c == '[') {
+            ++pos;
+            out.type = JsonValue::Type::Array;
+            skipWs();
+            if (consume(']'))
+                return true;
+            while (true) {
+                JsonValue v;
+                if (!parseValue(v, depth + 1))
+                    return false;
+                out.arr.push_back(std::move(v));
+                if (consume(','))
+                    continue;
+                if (consume(']'))
+                    return true;
+                return fail("expected ',' or ']'");
+            }
+        }
+        if (c == '"') {
+            out.type = JsonValue::Type::String;
+            return parseString(out.str);
+        }
+        if (c == 't') {
+            if (text.substr(pos, 4) != "true")
+                return fail("bad literal");
+            pos += 4;
+            out.type = JsonValue::Type::Bool;
+            out.boolean = true;
+            return true;
+        }
+        if (c == 'f') {
+            if (text.substr(pos, 5) != "false")
+                return fail("bad literal");
+            pos += 5;
+            out.type = JsonValue::Type::Bool;
+            out.boolean = false;
+            return true;
+        }
+        if (c == 'n') {
+            if (text.substr(pos, 4) != "null")
+                return fail("bad literal");
+            pos += 4;
+            out.type = JsonValue::Type::Null;
+            return true;
+        }
+        // Number.
+        size_t start = pos;
+        if (c == '-')
+            ++pos;
+        bool digits = false;
+        while (pos < text.size() && std::isdigit(uint8_t(text[pos]))) {
+            ++pos;
+            digits = true;
+        }
+        if (pos < text.size() && text[pos] == '.') {
+            ++pos;
+            while (pos < text.size() && std::isdigit(uint8_t(text[pos])))
+                ++pos;
+        }
+        if (pos < text.size() && (text[pos] == 'e' || text[pos] == 'E')) {
+            ++pos;
+            if (pos < text.size() &&
+                (text[pos] == '+' || text[pos] == '-'))
+                ++pos;
+            while (pos < text.size() && std::isdigit(uint8_t(text[pos])))
+                ++pos;
+        }
+        if (!digits)
+            return fail("expected value");
+        out.type = JsonValue::Type::Number;
+        out.number = std::strtod(std::string(text.substr(start, pos - start))
+                                     .c_str(),
+                                 nullptr);
+        return true;
+    }
+};
+
+} // namespace
+
+bool
+parseJson(std::string_view text, JsonValue &out, std::string &err)
+{
+    Parser p{text, 0, {}};
+    if (!p.parseValue(out, 0)) {
+        err = p.err;
+        return false;
+    }
+    p.skipWs();
+    if (p.pos != text.size()) {
+        err = "trailing garbage at offset " + std::to_string(p.pos);
+        return false;
+    }
+    return true;
+}
+
+TraceCheck
+checkChromeTrace(std::string_view text)
+{
+    TraceCheck out;
+    JsonValue doc;
+    if (!parseJson(text, doc, out.error))
+        return out;
+    const JsonValue *events = doc.get("traceEvents");
+    if (!events || events->type != JsonValue::Type::Array) {
+        out.error = "missing traceEvents array";
+        return out;
+    }
+    for (const JsonValue &ev : events->arr) {
+        if (ev.type != JsonValue::Type::Object) {
+            out.error = "non-object trace event";
+            return out;
+        }
+        const JsonValue *ph = ev.get("ph");
+        const JsonValue *pid = ev.get("pid");
+        if (!ph || ph->type != JsonValue::Type::String || !pid) {
+            out.error = "trace event missing ph/pid";
+            return out;
+        }
+        if (ph->str == "M") {
+            const JsonValue *name = ev.get("name");
+            if (name && name->str == "thread_name") {
+                const JsonValue *args = ev.get("args");
+                const JsonValue *tname = args ? args->get("name") : nullptr;
+                if (tname && tname->type == JsonValue::Type::String)
+                    out.tracks.insert(tname->str);
+            }
+            continue;
+        }
+        const JsonValue *ts = ev.get("ts");
+        if (!ts || ts->type != JsonValue::Type::Number) {
+            out.error = "trace event missing numeric ts";
+            return out;
+        }
+        if (ph->str == "X") {
+            const JsonValue *dur = ev.get("dur");
+            if (!dur || dur->type != JsonValue::Type::Number) {
+                out.error = "span event missing numeric dur";
+                return out;
+            }
+        }
+        ++out.events;
+    }
+    out.ok = true;
+    return out;
+}
+
+} // namespace vrio::telemetry

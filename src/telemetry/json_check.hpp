@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Minimal JSON parser + Chrome-trace validity checker.
+ *
+ * Exists so CI can assert an exported trace is well-formed without
+ * adding a JSON dependency (nothing may be installed in the build
+ * image).  The parser accepts strict JSON — objects, arrays, strings
+ * with escapes, numbers, true/false/null — which is exactly what the
+ * exporter emits; it is a validator, not a general-purpose library.
+ */
+#ifndef VRIO_TELEMETRY_JSON_CHECK_HPP
+#define VRIO_TELEMETRY_JSON_CHECK_HPP
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace vrio::telemetry {
+
+struct JsonValue
+{
+    enum class Type { Null, Bool, Number, String, Array, Object };
+    Type type = Type::Null;
+    bool boolean = false;
+    double number = 0;
+    std::string str;
+    std::vector<JsonValue> arr;
+    std::vector<std::pair<std::string, JsonValue>> obj;
+
+    /** Object member lookup; null if absent or not an object. */
+    const JsonValue *get(std::string_view key) const;
+};
+
+/** Parse @p text as one JSON document; false + @p err on failure. */
+bool parseJson(std::string_view text, JsonValue &out, std::string &err);
+
+struct TraceCheck
+{
+    bool ok = false;
+    std::string error;
+    size_t events = 0;            ///< non-metadata trace events
+    std::set<std::string> tracks; ///< thread_name metadata values
+};
+
+/**
+ * Validate a Chrome trace-event document: parses, requires a
+ * `traceEvents` array whose entries carry `ph`/`pid`, and collects
+ * the named tracks and event count.
+ */
+TraceCheck checkChromeTrace(std::string_view text);
+
+} // namespace vrio::telemetry
+
+#endif // VRIO_TELEMETRY_JSON_CHECK_HPP

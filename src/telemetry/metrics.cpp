@@ -1,0 +1,91 @@
+#include "telemetry/metrics.hpp"
+
+#include "util/logging.hpp"
+
+namespace vrio::telemetry {
+
+std::string
+MetricsRegistry::seriesKey(std::string_view name, const Labels &l)
+{
+    std::string key(name);
+    if (l.kv.empty())
+        return key;
+    auto sorted = l.kv;
+    std::sort(sorted.begin(), sorted.end());
+    key += '{';
+    for (size_t i = 0; i < sorted.size(); ++i) {
+        if (i)
+            key += ',';
+        key += sorted[i].first;
+        key += '=';
+        key += sorted[i].second;
+    }
+    key += '}';
+    return key;
+}
+
+MetricsRegistry::Series &
+MetricsRegistry::fetch(std::string_view name, Labels labels, Kind kind)
+{
+    std::string key = seriesKey(name, labels);
+    auto it = series_.find(key);
+    if (it != series_.end()) {
+        vrio_assert(it->second->kind == kind,
+                    "telemetry series re-registered with a different kind: ",
+                    key);
+        return *it->second;
+    }
+    auto s = std::make_unique<Series>();
+    s->name = std::string(name);
+    std::sort(labels.kv.begin(), labels.kv.end());
+    s->labels = std::move(labels);
+    s->kind = kind;
+    Series &ref = *s;
+    series_.emplace(std::move(key), std::move(s));
+    return ref;
+}
+
+Counter &
+MetricsRegistry::counter(std::string_view name, Labels labels)
+{
+    return fetch(name, std::move(labels), Kind::CounterK).counter;
+}
+
+Gauge &
+MetricsRegistry::gauge(std::string_view name, Labels labels)
+{
+    return fetch(name, std::move(labels), Kind::GaugeK).gauge;
+}
+
+LogHistogram &
+MetricsRegistry::histogram(std::string_view name, Labels labels)
+{
+    return fetch(name, std::move(labels), Kind::HistogramK).histogram;
+}
+
+void
+MetricsRegistry::probe(std::string_view name, Labels labels,
+                       std::function<double()> fn)
+{
+    fetch(name, std::move(labels), Kind::ProbeK).sampler = std::move(fn);
+}
+
+uint64_t
+MetricsRegistry::sumCounters(std::string_view name) const
+{
+    uint64_t total = 0;
+    for (const auto &[key, s] : series_) {
+        if (s->kind == Kind::CounterK && s->name == name)
+            total += s->counter.value();
+    }
+    return total;
+}
+
+const MetricsRegistry::Series *
+MetricsRegistry::find(std::string_view name, Labels labels) const
+{
+    auto it = series_.find(seriesKey(name, labels));
+    return it == series_.end() ? nullptr : it->second.get();
+}
+
+} // namespace vrio::telemetry

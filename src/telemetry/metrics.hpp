@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Rack-wide metrics registry: hierarchical, label-aware counters,
+ * gauges and fixed-bucket log2 histograms.
+ *
+ * The contract that keeps telemetry off the simulator's hot path:
+ * handles are resolved ONCE at setup (`registry.counter(name, labels)`
+ * does a map lookup and may allocate) and every subsequent update is a
+ * raw `uint64_t` bump through the returned reference — no string
+ * hashing, no allocation, no branch beyond the caller's own.  Nothing
+ * in this module touches stdout, the RNG, or the event queue, so an
+ * instrumented run with no exporters armed is byte-identical to an
+ * uninstrumented one by construction.
+ */
+#ifndef VRIO_TELEMETRY_METRICS_HPP
+#define VRIO_TELEMETRY_METRICS_HPP
+
+#include <array>
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace vrio::telemetry {
+
+/** Monotonic event count.  Bumps are single adds on a raw word. */
+class Counter
+{
+  public:
+    void inc() { ++v_; }
+    void add(uint64_t n) { v_ += n; }
+    uint64_t value() const { return v_; }
+    void reset() { v_ = 0; }
+
+  private:
+    uint64_t v_ = 0;
+};
+
+/** Last-write-wins instantaneous value (queue depth, cwnd, ...). */
+class Gauge
+{
+  public:
+    void set(double v) { v_ = v; }
+    double value() const { return v_; }
+    void reset() { v_ = 0; }
+
+  private:
+    double v_ = 0;
+};
+
+/**
+ * Fixed-bucket log2 histogram: bucket 0 holds the value 0, bucket k
+ * (k >= 1) holds values in [2^(k-1), 2^k).  65 buckets cover the full
+ * uint64 range, so `record` is branch-free apart from the zero check:
+ * one count-leading-zeros, three adds.  No samples are retained —
+ * quantiles come back at bucket resolution (geometric midpoint),
+ * which is plenty for latency distributions spanning decades.
+ */
+class LogHistogram
+{
+  public:
+    static constexpr unsigned kBuckets = 65;
+
+    /** Bucket index for @p v: 0 -> 0, [2^(k-1), 2^k) -> k. */
+    static unsigned
+    bucketOf(uint64_t v)
+    {
+        return unsigned(std::bit_width(v)); // one clz; 0 maps to 0
+    }
+
+    /** Inclusive lower edge of bucket @p b. */
+    static uint64_t
+    bucketLow(unsigned b)
+    {
+        return b == 0 ? 0 : uint64_t(1) << (b - 1);
+    }
+
+    /** Exclusive upper edge of bucket @p b (0 -> 1). */
+    static uint64_t
+    bucketHigh(unsigned b)
+    {
+        return b == 0 ? 1 : uint64_t(1) << b;
+    }
+
+    void
+    record(uint64_t v)
+    {
+        ++buckets_[bucketOf(v)];
+        ++count_;
+        sum_ += v;
+        if (v < min_ || count_ == 1)
+            min_ = v;
+        if (v > max_)
+            max_ = v;
+    }
+
+    uint64_t count() const { return count_; }
+    uint64_t sum() const { return sum_; }
+    uint64_t min() const { return count_ ? min_ : 0; }
+    uint64_t max() const { return max_; }
+    double mean() const { return count_ ? double(sum_) / double(count_) : 0; }
+    uint64_t bucketCount(unsigned b) const { return buckets_[b]; }
+
+    /**
+     * Bucket-resolution quantile estimate: the geometric midpoint of
+     * the bucket containing the q-th sample.
+     */
+    double
+    quantile(double q) const
+    {
+        if (count_ == 0)
+            return 0;
+        uint64_t rank = uint64_t(q * double(count_ - 1)) + 1;
+        uint64_t seen = 0;
+        for (unsigned b = 0; b < kBuckets; ++b) {
+            seen += buckets_[b];
+            if (seen >= rank) {
+                if (b == 0)
+                    return 0;
+                double lo = double(bucketLow(b));
+                double hi = double(bucketHigh(b));
+                return lo + (hi - lo) / 2.0;
+            }
+        }
+        return double(max_);
+    }
+
+    void
+    reset()
+    {
+        buckets_.fill(0);
+        count_ = sum_ = max_ = 0;
+        min_ = 0;
+    }
+
+  private:
+    std::array<uint64_t, kBuckets> buckets_{};
+    uint64_t count_ = 0;
+    uint64_t sum_ = 0;
+    uint64_t min_ = 0;
+    uint64_t max_ = 0;
+};
+
+/**
+ * A small set of key=value labels.  Order given by the caller is
+ * irrelevant: the registry sorts by key before building the series
+ * identity, so {a=1,b=2} and {b=2,a=1} name the same series.
+ */
+struct Labels
+{
+    std::vector<std::pair<std::string, std::string>> kv;
+
+    Labels() = default;
+    Labels(std::initializer_list<std::pair<std::string, std::string>> init)
+        : kv(init)
+    {}
+
+    bool empty() const { return kv.empty(); }
+};
+
+/**
+ * Find-or-create registry of metric series.  A series is identified
+ * by (name, sorted labels); looking the same identity up twice
+ * returns the same handle, so setup code anywhere in the tree can
+ * share a series without coordination.  Handles are stable for the
+ * registry's lifetime (node-based storage).
+ */
+class MetricsRegistry
+{
+  public:
+    enum class Kind { CounterK, GaugeK, HistogramK, ProbeK };
+
+    Counter &counter(std::string_view name, Labels labels = {});
+    Gauge &gauge(std::string_view name, Labels labels = {});
+    LogHistogram &histogram(std::string_view name, Labels labels = {});
+
+    /**
+     * Pull-style series: @p fn is sampled only when an exporter walks
+     * the registry, so pre-existing component counters can surface in
+     * exports with zero hot-path change.  Re-registering the same
+     * identity replaces the sampler.
+     */
+    void probe(std::string_view name, Labels labels,
+               std::function<double()> fn);
+
+    struct Series
+    {
+        std::string name;
+        Labels labels;
+        Kind kind;
+        Counter counter;
+        Gauge gauge;
+        LogHistogram histogram;
+        std::function<double()> sampler;
+    };
+
+    /** Number of registered series. */
+    size_t size() const { return series_.size(); }
+
+    /**
+     * Visit every series in deterministic (key-sorted) order —
+     * exporters rely on this so output never depends on registration
+     * order.
+     */
+    template <typename F>
+    void
+    forEach(F &&fn) const
+    {
+        for (const auto &[key, s] : series_)
+            fn(*s);
+    }
+
+    /** Sum of all counter series with @p name (any labels). */
+    uint64_t sumCounters(std::string_view name) const;
+
+    /** The single series with exactly this identity, or null. */
+    const Series *find(std::string_view name, Labels labels = {}) const;
+
+  private:
+    Series &fetch(std::string_view name, Labels labels, Kind kind);
+    static std::string seriesKey(std::string_view name, const Labels &l);
+
+    std::map<std::string, std::unique_ptr<Series>, std::less<>> series_;
+};
+
+} // namespace vrio::telemetry
+
+#endif // VRIO_TELEMETRY_METRICS_HPP

@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Per-simulation telemetry hub: one metrics registry + one tracer.
+ * Owned by `sim::Simulation`; components reach it through
+ * `sim().telemetry()` and resolve their handles once at construction.
+ */
+#ifndef VRIO_TELEMETRY_TELEMETRY_HPP
+#define VRIO_TELEMETRY_TELEMETRY_HPP
+
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
+
+namespace vrio::telemetry {
+
+struct Hub
+{
+    MetricsRegistry metrics;
+    Tracer tracer;
+};
+
+} // namespace vrio::telemetry
+
+#endif // VRIO_TELEMETRY_TELEMETRY_HPP

@@ -1,0 +1,61 @@
+#include "telemetry/trace.hpp"
+
+namespace vrio::telemetry {
+
+uint16_t
+Tracer::intern(std::string_view s)
+{
+    auto it = intern_ids_.find(s);
+    if (it != intern_ids_.end())
+        return it->second;
+    uint16_t id = uint16_t(intern_names_.size());
+    intern_names_.emplace_back(s);
+    intern_ids_.emplace(std::string(s), id);
+    return id;
+}
+
+const std::string &
+Tracer::internedName(uint16_t id) const
+{
+    static const std::string unknown = "?";
+    return id < intern_names_.size() ? intern_names_[id] : unknown;
+}
+
+bool
+Tracer::firstInstant(std::string_view name, sim::Tick from,
+                     sim::Tick &out) const
+{
+    auto it = intern_ids_.find(name);
+    if (it == intern_ids_.end())
+        return false;
+    uint16_t id = it->second;
+    bool found = false;
+    sim::Tick best = 0;
+    forEach([&](const TraceEvent &ev) {
+        if (ev.phase != 'i' || ev.name != id || ev.ts < from)
+            return;
+        if (!found || ev.ts < best) {
+            best = ev.ts;
+            found = true;
+        }
+    });
+    out = best;
+    return found;
+}
+
+uint64_t
+Tracer::countNamed(std::string_view name) const
+{
+    auto it = intern_ids_.find(name);
+    if (it == intern_ids_.end())
+        return 0;
+    uint16_t id = it->second;
+    uint64_t n = 0;
+    forEach([&](const TraceEvent &ev) {
+        if (ev.name == id)
+            ++n;
+    });
+    return n;
+}
+
+} // namespace vrio::telemetry

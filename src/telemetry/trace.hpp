@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Virtual-time event tracer.
+ *
+ * Records span ("X") and instant ("i") events against interned track
+ * names into a pre-sized ring.  Timestamps are simulation ticks
+ * (picoseconds) — there is exactly one clock domain, the DES virtual
+ * clock, so a trace from a deterministic run is itself deterministic.
+ *
+ * Cost model: a disabled tracer costs one predictable branch per emit
+ * site (`if (tracer.enabled())`).  An enabled tracer costs a 32-byte
+ * POD store into the ring; when the ring is full the oldest event is
+ * overwritten and `droppedEvents()` counts the loss, so arming a trace
+ * can never grow memory without bound or perturb the simulation.
+ * Track/name interning happens at component setup, never per event.
+ */
+#ifndef VRIO_TELEMETRY_TRACE_HPP
+#define VRIO_TELEMETRY_TRACE_HPP
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/ticks.hpp"
+
+namespace vrio::telemetry {
+
+/** Event categories; the tracer can be armed with a subset mask. */
+namespace cat {
+constexpr uint8_t kPacket = 1 << 0;   ///< packet lifecycle spans
+constexpr uint8_t kIo = 1 << 1;       ///< IOhost dispatch/service
+constexpr uint8_t kRecovery = 1 << 2; ///< lapse/quarantine/failover
+constexpr uint8_t kFault = 1 << 3;    ///< injected fault windows
+constexpr uint8_t kSim = 1 << 4;      ///< simulator internals
+constexpr uint8_t kAll = 0xff;
+} // namespace cat
+
+/** One recorded event; 32-byte POD, ring storage. */
+struct TraceEvent
+{
+    sim::Tick ts;   ///< virtual-time start, ticks
+    sim::Tick dur;  ///< span length in ticks; 0 for instants
+    uint64_t arg;   ///< one free numeric argument (serial, vm, ...)
+    uint16_t track; ///< interned track id
+    uint16_t name;  ///< interned event-name id
+    uint8_t category;
+    char phase;     ///< 'X' span, 'i' instant
+};
+
+class Tracer
+{
+  public:
+    static constexpr size_t kDefaultCapacity = 1 << 16;
+
+    /** Arm the tracer: allocate the ring, accept matching categories. */
+    void
+    enable(size_t capacity = kDefaultCapacity, uint8_t category_mask = cat::kAll)
+    {
+        ring_.assign(capacity ? capacity : 1, TraceEvent{});
+        head_ = count_ = dropped_ = 0;
+        mask_ = category_mask;
+        enabled_ = true;
+    }
+
+    void
+    disable()
+    {
+        enabled_ = false;
+        ring_.clear();
+        ring_.shrink_to_fit();
+        head_ = count_ = 0;
+    }
+
+    bool enabled() const { return enabled_; }
+    uint8_t categoryMask() const { return mask_; }
+
+    /**
+     * Intern a track (or event-name) string; safe to call during
+     * setup whether or not the tracer is armed.  The same string
+     * always yields the same id.
+     */
+    uint16_t intern(std::string_view s);
+
+    /** The interned string for @p id ("?" if unknown). */
+    const std::string &internedName(uint16_t id) const;
+
+    void
+    span(uint16_t track, uint16_t name, sim::Tick start, sim::Tick dur,
+         uint8_t category, uint64_t arg = 0)
+    {
+        emit({start, dur, arg, track, name, category, 'X'});
+    }
+
+    void
+    instant(uint16_t track, uint16_t name, sim::Tick ts, uint8_t category,
+            uint64_t arg = 0)
+    {
+        emit({ts, 0, arg, track, name, category, 'i'});
+    }
+
+    size_t size() const { return count_; }
+    size_t capacity() const { return ring_.size(); }
+    uint64_t droppedEvents() const { return dropped_; }
+
+    /** Visit retained events oldest-first. */
+    template <typename F>
+    void
+    forEach(F &&fn) const
+    {
+        for (size_t i = 0; i < count_; ++i)
+            fn(ring_[(head_ + i) % ring_.size()]);
+    }
+
+    /**
+     * Tick of the earliest retained instant whose event name is
+     * @p name at or after @p from; false if none.
+     */
+    bool firstInstant(std::string_view name, sim::Tick from,
+                      sim::Tick &out) const;
+
+    /** Number of retained events with event name @p name. */
+    uint64_t countNamed(std::string_view name) const;
+
+  private:
+    void
+    emit(TraceEvent ev)
+    {
+        if (!(ev.category & mask_))
+            return;
+        if (count_ < ring_.size()) {
+            ring_[(head_ + count_) % ring_.size()] = ev;
+            ++count_;
+        } else {
+            // Full: overwrite the oldest retained event.
+            ring_[head_] = ev;
+            head_ = (head_ + 1) % ring_.size();
+            ++dropped_;
+        }
+    }
+
+    bool enabled_ = false;
+    uint8_t mask_ = cat::kAll;
+    std::vector<TraceEvent> ring_;
+    size_t head_ = 0;
+    size_t count_ = 0;
+    uint64_t dropped_ = 0;
+
+    std::map<std::string, uint16_t, std::less<>> intern_ids_;
+    std::vector<std::string> intern_names_;
+};
+
+} // namespace vrio::telemetry
+
+#endif // VRIO_TELEMETRY_TRACE_HPP

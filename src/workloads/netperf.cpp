@@ -52,6 +52,10 @@ NetperfStream::NetperfStream(models::Generator &gen, unsigned session,
     : gen(gen), session(session), guest(guest), costs(costs), cfg(cfg)
 {
     sim_ = &gen.sim();
+    auto &m = sim_->telemetry().metrics;
+    telemetry::Labels sl{{"session", std::to_string(session)}};
+    tm_cwnd = &m.histogram("workload.tcp.cwnd", sl);
+    tm_srtt = &m.histogram("workload.tcp.srtt_us", sl);
 
     if (this->cfg.adaptive) {
         installAdaptiveHandlers();
@@ -176,8 +180,12 @@ NetperfStream::installAdaptiveHandlers()
         sim::Tick now = sim_->now();
         auto action = tcp_->onAck(decodeSeq(payload), now);
         cwnd_trace.add(now, tcp_->cwnd());
-        if (tcp_->lastAckSampledRtt())
+        tm_cwnd->record(uint64_t(tcp_->cwnd()));
+        if (tcp_->lastAckSampledRtt()) {
             srtt_trace.add(now, sim::ticksToMicros(tcp_->srtt()));
+            tm_srtt->record(
+                uint64_t(sim::ticksToMicros(tcp_->srtt())));
+        }
         if (action.retransmit)
             resendChunk(action.retransmit_seq);
         armRtoTimer();

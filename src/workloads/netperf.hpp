@@ -16,6 +16,7 @@
 #include "models/io_model.hpp"
 #include "stats/histogram.hpp"
 #include "stats/time_series.hpp"
+#include "telemetry/metrics.hpp"
 #include "workloads/tcp_congestion.hpp"
 
 namespace vrio::workloads {
@@ -185,6 +186,9 @@ class NetperfStream
     uint64_t rx_expected = 0;
     /** Receiver: buffered out-of-order sequences. */
     std::set<uint64_t> rx_ooo;
+    /** Registry mirrors of the ack-time samples (null until ctor). */
+    telemetry::LogHistogram *tm_cwnd = nullptr;
+    telemetry::LogHistogram *tm_srtt = nullptr;
     stats::TimeSeries cwnd_trace;
     stats::TimeSeries srtt_trace;
 

@@ -46,8 +46,22 @@ run cmake --build build-ci-release -j "$JOBS"
 # property suites and the golden-run snapshot comparison, which
 # re-executes every deterministic benchmark in smoke mode.
 run ctest --test-dir build-ci-release --output-on-failure -j "$JOBS" -L unit
+run ctest --test-dir build-ci-release --output-on-failure -j "$JOBS" -L telemetry
 run ctest --test-dir build-ci-release --output-on-failure -j "$JOBS" -L property
 run ctest --test-dir build-ci-release --output-on-failure -j "$JOBS" -L golden
+
+echo "== Telemetry exporters (Release) =="
+# Arm both exporters on a smoke-mode figure run, then assert the
+# Chrome trace is well-formed and spans the whole datapath (guest,
+# link, IOhost, worker tracks) and the metrics CSV is non-trivial.
+TELEM_DIR="$(mktemp -d)"
+trap 'rm -rf "$TELEM_DIR"' EXIT
+run env VRIO_BENCH_SMOKE=1 \
+    VRIO_TRACE="$TELEM_DIR/trace.json" \
+    VRIO_METRICS="$TELEM_DIR/metrics.csv" \
+    ./build-ci-release/bench/fig07_netperf_rr_latency > /dev/null
+run ./build-ci-release/tests/trace_check "$TELEM_DIR/trace.json" 5
+run test "$(wc -l < "$TELEM_DIR/metrics.csv")" -gt 100
 
 echo "== Simulator hot-path microbenchmark (Release) =="
 run ./build-ci-release/bench/micro_sim_hotpath

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * CI helper: validate an exported Chrome trace file.
+ *
+ *   trace_check <trace.json> [min_tracks]
+ *
+ * Exits 0 when the file parses as a Chrome trace-event document with
+ * at least one event and at least @p min_tracks named tracks
+ * (default 1); prints the track names it found either way.  Built on
+ * the in-tree JSON checker so CI needs no external tooling.
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "telemetry/json_check.hpp"
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2 || argc > 3) {
+        std::fprintf(stderr, "usage: %s <trace.json> [min_tracks]\n",
+                     argv[0]);
+        return 2;
+    }
+    size_t min_tracks = argc == 3 ? std::strtoul(argv[2], nullptr, 10) : 1;
+
+    std::ifstream in(argv[1], std::ios::binary);
+    if (!in) {
+        std::fprintf(stderr, "trace_check: cannot open %s\n", argv[1]);
+        return 1;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+
+    auto chk = vrio::telemetry::checkChromeTrace(buf.str());
+    if (!chk.ok) {
+        std::fprintf(stderr, "trace_check: %s: %s\n", argv[1],
+                     chk.error.c_str());
+        return 1;
+    }
+    std::printf("trace_check: %s: %zu events, %zu tracks\n", argv[1],
+                chk.events, chk.tracks.size());
+    for (const auto &t : chk.tracks)
+        std::printf("  track: %s\n", t.c_str());
+    if (chk.events == 0) {
+        std::fprintf(stderr, "trace_check: no trace events\n");
+        return 1;
+    }
+    if (chk.tracks.size() < min_tracks) {
+        std::fprintf(stderr,
+                     "trace_check: expected >= %zu tracks, found %zu\n",
+                     min_tracks, chk.tracks.size());
+        return 1;
+    }
+    return 0;
+}
