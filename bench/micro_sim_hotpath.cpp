@@ -13,11 +13,13 @@
 #include <chrono>
 #include <cstdio>
 #include <deque>
+#include <thread>
 #include <vector>
 
 #include "net/frame.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/resource.hpp"
+#include "sim/simulation.hpp"
 #include "telemetry/telemetry.hpp"
 
 using namespace vrio;
@@ -190,6 +192,72 @@ benchFrameChurn(uint64_t total)
     return double(made) / secondsSince(t0);
 }
 
+/**
+ * Sharded epoch loop at Fig 13 scale: 16 VMhost shards plus a rack
+ * and an IOhost shard, each VMhost running a dense local event chain
+ * (100 ns spacing) that pings the IOhost across a 3.2 us link every
+ * 16th event — roughly the local-to-remote event ratio of a vRIO
+ * netperf run.  The lookahead window therefore holds ~32 local
+ * events per shard per epoch, which is the granularity the
+ * conservative barrier has to amortize.  Identical event population
+ * for every thread count; only the worker count varies.
+ */
+double
+benchShardedEpoch(unsigned threads, uint64_t total)
+{
+    const unsigned hosts = 16;
+    const Tick spacing = Tick(100) * sim::kNanosecond;
+    const Tick link = Tick(3200) * sim::kNanosecond;
+
+    sim::Simulation::Config sc;
+    sc.seed = 42;
+    sc.shards = hosts + 2;
+    sc.threads = threads;
+    sim::Simulation sim(sc);
+
+    const uint32_t io_shard = hosts + 1;
+    for (unsigned h = 1; h <= hosts; ++h) {
+        sim.noteCrossShardLink(h, io_shard, link);
+        sim.noteCrossShardLink(io_shard, h, link);
+    }
+
+    struct HostLoop
+    {
+        sim::Simulation *sim;
+        uint32_t io_shard;
+        Tick spacing, link;
+        uint64_t remaining;
+
+        void
+        step()
+        {
+            if (remaining-- == 0)
+                return;
+            if ((remaining & 15) == 0) {
+                // Request to the IOhost; it answers across the link.
+                uint32_t back = sim::Simulation::currentShardIndex();
+                sim->scheduleCross(io_shard, link, [this, back]() {
+                    sim->scheduleCross(back, link, []() {});
+                });
+            }
+            sim->events().schedule(spacing, [this]() { step(); });
+        }
+    };
+
+    std::vector<HostLoop> loops(hosts);
+    for (unsigned h = 0; h < hosts; ++h) {
+        loops[h] = {&sim, io_shard, spacing, link, total / hosts};
+        sim::ShardScope scope(sim, h + 1);
+        sim.events().schedule(spacing, [&loops, h]() { loops[h].step(); });
+    }
+
+    auto &fired = sim.telemetry().metrics.counter("sim.events.fired");
+    uint64_t before = fired.value();
+    auto t0 = std::chrono::steady_clock::now();
+    sim.runToCompletion();
+    return double(fired.value() - before) / secondsSince(t0);
+}
+
 /** Resource submit/complete throughput (adds the FIFO-queue layer). */
 double
 benchResourceChurn(uint64_t total)
@@ -231,5 +299,21 @@ main()
     std::printf("resource_jobs_per_sec: %.0f\n",
                 benchResourceChurn(kEvents / 2));
     std::printf("frames_per_sec: %.0f\n", benchFrameChurn(kFrames));
+
+    // Fig 13-scale parallel sweep.  Speedups are meaningful only up
+    // to the machine's core count, so print that alongside; a 1-core
+    // CI runner will legitimately show ~1.0x across the row.
+    std::printf("hardware_concurrency: %u\n",
+                std::thread::hardware_concurrency());
+    double base = 0;
+    for (unsigned threads : {1u, 2u, 4u, 8u}) {
+        double rate = benchShardedEpoch(threads, kEvents / 2);
+        if (threads == 1)
+            base = rate;
+        std::printf("sharded_epoch_t%u_events_per_sec: %.0f\n", threads,
+                    rate);
+        std::printf("sharded_epoch_t%u_speedup: %.2f\n", threads,
+                    rate / base);
+    }
     return 0;
 }

@@ -1,20 +1,31 @@
 #include "core/testbed.hpp"
 
+#include <cstdlib>
+
 #include "telemetry/export.hpp"
 #include "util/strutil.hpp"
 
 namespace vrio::core {
 
+namespace {
+
+unsigned
+threadsFromEnv()
+{
+    const char *env = std::getenv("VRIO_SIM_THREADS");
+    if (!env || !*env)
+        return 1;
+    long n = std::atol(env);
+    return n > 1 ? unsigned(n) : 1;
+}
+
+} // namespace
+
 Testbed::Testbed(models::ModelKind kind, unsigned num_vms,
                  TestbedOptions options)
 {
-    sim_ = std::make_unique<sim::Simulation>(options.seed);
-
-    models::RackConfig rc;
-    rc.num_generators = options.generators;
-    rc.costs = options.costs;
-    rack_ = std::make_unique<models::Rack>(*sim_, rc);
-
+    // Finalize the model configuration first: the shard layout (and
+    // therefore the Simulation) depends on the topology it describes.
     models::ModelConfig mc;
     mc.kind = kind;
     mc.num_vms = num_vms;
@@ -23,6 +34,26 @@ Testbed::Testbed(models::ModelKind kind, unsigned num_vms,
     mc.costs = options.costs;
     if (options.configure)
         options.configure(mc);
+
+    unsigned threads =
+        options.threads ? options.threads : threadsFromEnv();
+    sim::Simulation::Config sc;
+    sc.seed = options.seed;
+    bool vrio_kind = mc.kind == models::ModelKind::Vrio ||
+                     mc.kind == models::ModelKind::VrioNoPoll;
+    if (vrio_kind && (threads > 1 || options.shards > 1)) {
+        sc.shards = options.shards
+                        ? options.shards
+                        : models::vrioShardCount(mc.num_vmhosts);
+        sc.threads = threads;
+    }
+    sim_ = std::make_unique<sim::Simulation>(sc);
+
+    models::RackConfig rc;
+    rc.num_generators = options.generators;
+    rc.costs = options.costs;
+    rack_ = std::make_unique<models::Rack>(*sim_, rc);
+
     model_ = models::makeModel(*rack_, mc);
     label_ = strFormat("%s-vm%u-s%llu", models::modelKindName(mc.kind),
                        num_vms, (unsigned long long)options.seed);

@@ -27,6 +27,23 @@ struct TestbedOptions
     unsigned generators = 1;
     models::CostParams costs{};
     uint64_t seed = 1;
+    /**
+     * Event-loop worker threads.  0 (the default) reads the
+     * VRIO_SIM_THREADS environment variable, itself defaulting to 1.
+     * With more than one thread a vRIO topology is sharded per
+     * DESIGN.md §13 (rack fabric / per-VMhost / IOhost) and run under
+     * the conservative-lookahead epoch loop; results depend only on
+     * (seed, shard count), never on the thread count.  Non-vRIO
+     * models always run single-shard.
+     */
+    unsigned threads = 0;
+    /**
+     * Explicit shard count (vRIO kinds only).  0 = automatic: shard
+     * when threads > 1, single queue otherwise.  Setting it lets a
+     * test pin the shard layout while varying the thread count — the
+     * determinism property under test.
+     */
+    unsigned shards = 0;
     /** Final say over the model configuration. */
     std::function<void(models::ModelConfig &)> configure;
 };

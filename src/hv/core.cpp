@@ -19,6 +19,12 @@ Core::run(double cycles, sim::Resource::JobFn done)
 }
 
 void
+Core::runPreempt(double cycles, sim::Resource::JobFn done)
+{
+    res.submitPreempt(sim::cyclesToTicks(cycles, ghz_), std::move(done));
+}
+
+void
 Core::runFor(sim::Tick duration, sim::Resource::JobFn done)
 {
     res.submit(duration, std::move(done));

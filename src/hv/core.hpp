@@ -27,6 +27,13 @@ class Core : public sim::SimObject
     /** Execute @p cycles of work; @p done runs at completion. */
     void run(double cycles, sim::Resource::JobFn done);
 
+    /**
+     * Execute @p cycles ahead of the core's run queue when the core
+     * is free (sim::Resource::submitPreempt): interrupt injection and
+     * exit handling, which do not wait behind queued guest work.
+     */
+    void runPreempt(double cycles, sim::Resource::JobFn done);
+
     /** Execute @p duration of work (already in ticks). */
     void runFor(sim::Tick duration, sim::Resource::JobFn done);
 

@@ -555,7 +555,7 @@ IoHypervisor::execNet(unsigned worker, MessageAssembler::Assembled req)
     uint32_t device_id = req.hdr.device_id;
     uint64_t epoch = worker_epoch[worker];
     sim::Tick t0 = sim().events().now();
-    workerCore(worker).run(cycles, [this, worker, epoch, device_id, t0,
+    workerCore(worker).runPreempt(cycles, [this, worker, epoch, device_id, t0,
                                     req = std::move(req)]() mutable {
         // Quarantined while queued: steering and intake accounting
         // were reconciled by the watchdog, and the client replays.
@@ -609,7 +609,7 @@ IoHypervisor::execNet(unsigned worker, MessageAssembler::Assembled req)
         if (!cfg.polling) {
             // TX-done interrupt on the external port (no-poll mode).
             irqs_taken->inc();
-            workerCore(0).run(cfg.interrupt_cycles, []() {});
+            workerCore(0).runPreempt(cfg.interrupt_cycles, []() {});
         }
     });
 }
@@ -652,7 +652,7 @@ IoHypervisor::execBlock(unsigned worker, MessageAssembler::Assembled req)
     uint32_t device_id = req.hdr.device_id;
     uint64_t epoch = worker_epoch[worker];
     sim::Tick t0 = sim().events().now();
-    workerCore(worker).run(cycles, [this, worker, epoch, device_id, t0,
+    workerCore(worker).runPreempt(cycles, [this, worker, epoch, device_id, t0,
                                     req = std::move(req),
                                     kind]() mutable {
         if (epoch != worker_epoch[worker])
@@ -807,7 +807,7 @@ IoHypervisor::sendToClient(net::MacAddress t_mac,
             // interrupts (half of the "4 IOhost interrupts" of
             // Table 3's no-poll row).
             irqs_taken->inc();
-            workerCore(0).run(cfg.interrupt_cycles, []() {});
+            workerCore(0).runPreempt(cfg.interrupt_cycles, []() {});
         }
     }
 }
@@ -874,7 +874,7 @@ IoHypervisor::handleExternalFrame(net::FramePtr frame)
     recordService(worker, cycles);
     uint64_t epoch = worker_epoch[worker];
     sim::Tick t0 = sim().events().now();
-    workerCore(worker).run(cycles, [this, worker, epoch, device_id, t0,
+    workerCore(worker).runPreempt(cycles, [this, worker, epoch, device_id, t0,
                                     frame = std::move(frame)]() mutable {
         if (epoch != worker_epoch[worker])
             return;

@@ -62,7 +62,7 @@ class BaselineModel::Endpoint : public GuestEndpoint
         if (kick)
             vm_.events().record(hv::IoEvent::SyncExit);
 
-        vm_.vcpu().run(cycles, [this, eh, payload = std::move(payload),
+        vm_.vcpu().runPreempt(cycles, [this, eh, payload = std::move(payload),
                                 pad, kick, messages]() mutable {
             if (!netdev.guestTransmit(eh, payload, pad)) {
                 ++tx_ring_full;
@@ -200,7 +200,7 @@ class BaselineModel::Endpoint : public GuestEndpoint
                 // TX-done physical interrupt on the host.
                 vm_.events().record(hv::IoEvent::HostInterrupt);
                 model.ioCore(host_index)
-                    .run(model.config().costs.host_irq, []() {});
+                    .runPreempt(model.config().costs.host_irq, []() {});
             }
             netdev.hostCompleteTx(pkt.head);
             txDoneToGuest();
@@ -214,7 +214,7 @@ class BaselineModel::Endpoint : public GuestEndpoint
     {
         const CostParams &c = model.config().costs;
         vm_.events().record(hv::IoEvent::Injection);
-        model.ioCore(host_index).run(c.injection, [this, &c]() {
+        model.ioCore(host_index).runPreempt(c.injection, [this, &c]() {
             vm_.events().record(hv::IoEvent::GuestInterrupt);
             vm_.events().record(hv::IoEvent::SyncExit); // EOI trap
             vm_.vcpu().run(c.guest_irq + c.eoi_exit,
@@ -228,7 +228,7 @@ class BaselineModel::Endpoint : public GuestEndpoint
     {
         const CostParams &c = model.config().costs;
         vm_.events().record(hv::IoEvent::Injection);
-        model.ioCore(host_index).run(c.injection, [this, &c]() {
+        model.ioCore(host_index).runPreempt(c.injection, [this, &c]() {
             vm_.events().record(hv::IoEvent::GuestInterrupt);
             vm_.events().record(hv::IoEvent::SyncExit); // EOI trap
             vm_.vcpu().run(c.guest_irq + c.eoi_exit, [this, &c]() {
@@ -248,7 +248,7 @@ class BaselineModel::Endpoint : public GuestEndpoint
                         c.guest_net_rx +
                         stallCycles(vm_.sim().random(), c.guest_jitter,
                                     c.guest_ghz);
-                    vm_.vcpu().run(
+                    vm_.vcpu().runPreempt(
                         rx_cycles,
                         [this, payload = std::move(payload), src = eh.src,
                          pad]() mutable {
@@ -270,7 +270,7 @@ class BaselineModel::Endpoint : public GuestEndpoint
     {
         const CostParams &c = model.config().costs;
         vm_.events().record(hv::IoEvent::SyncExit);
-        vm_.vcpu().run(c.guest_blk_submit + c.exit,
+        vm_.vcpu().runPreempt(c.guest_blk_submit + c.exit,
                        [this, req = std::move(req),
                         done = std::move(done)]() mutable {
                            auto head = blkdev.guestSubmit(req);

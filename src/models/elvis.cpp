@@ -54,7 +54,7 @@ class ElvisModel::Endpoint : public GuestEndpoint
         eh.ether_type = uint16_t(net::EtherType::Raw);
         // No exit: the guest just posts to the shared-memory ring;
         // the sidecore notices by polling.
-        vm_.vcpu().run(c.guest_net_tx, [this, eh,
+        vm_.vcpu().runPreempt(c.guest_net_tx, [this, eh,
                                         payload = std::move(payload),
                                         pad]() mutable {
             if (!netdev.guestTransmit(eh, payload, pad)) {
@@ -123,7 +123,7 @@ class ElvisModel::Endpoint : public GuestEndpoint
                     // sidecore (the cost vRIO's IOhost polling avoids).
                     vm_.events().record(hv::IoEvent::HostInterrupt);
                     model.sidecore(host_index, sidecore_slot)
-                        .run(model.config().costs.elvis_host_irq +
+                        .runPreempt(model.config().costs.elvis_host_irq +
                                  model.config().costs.elvis_irq_frame,
                              []() {});
                 }
@@ -207,7 +207,7 @@ class ElvisModel::Endpoint : public GuestEndpoint
     ipiToGuest(std::function<void()> body)
     {
         const CostParams &c = model.config().costs;
-        model.sidecore(host_index, sidecore_slot).run(c.ipi, []() {});
+        model.sidecore(host_index, sidecore_slot).runPreempt(c.ipi, []() {});
         vm_.events().record(hv::IoEvent::GuestInterrupt);
         vm_.vcpu().run(c.guest_irq, std::move(body));
     }
@@ -230,7 +230,7 @@ class ElvisModel::Endpoint : public GuestEndpoint
             double cycles = c.guest_net_rx +
                             stallCycles(vm_.sim().random(),
                                         c.guest_jitter, c.guest_ghz);
-            vm_.vcpu().run(cycles,
+            vm_.vcpu().runPreempt(cycles,
                            [this, payload = std::move(payload),
                             src = eh.src, pad]() mutable {
                                if (handler)
@@ -248,7 +248,7 @@ class ElvisModel::Endpoint : public GuestEndpoint
     dispatchBlock(block::BlockRequest req, block::BlockCallback done)
     {
         const CostParams &c = model.config().costs;
-        vm_.vcpu().run(c.guest_blk_submit,
+        vm_.vcpu().runPreempt(c.guest_blk_submit,
                        [this, &c, req = std::move(req),
                         done = std::move(done)]() mutable {
                            auto head = blkdev.guestSubmit(req);
@@ -279,7 +279,7 @@ class ElvisModel::Endpoint : public GuestEndpoint
             cycles += blk_chain->cycleCost(bytes);
 
         model.sidecore(host_index, sidecore_slot)
-            .run(cycles, [this, hreq = std::move(*hreq)]() mutable {
+            .runPreempt(cycles, [this, hreq = std::move(*hreq)]() mutable {
                 sidecoreExecBlock(std::move(hreq));
                 sidecorePumpBlk();
             });

@@ -71,7 +71,7 @@ Generator::send(unsigned session, net::MacAddress dst, Bytes payload,
     eh.src = s.mac;
     eh.ether_type = uint16_t(net::EtherType::Raw);
     auto frame = net::makeFrame(eh, payload, pad);
-    machine->core(s.core).run(opCycles(s),
+    machine->core(s.core).runPreempt(opCycles(s),
                               [this, session, frame = std::move(frame)]()
                                   mutable {
                                   nic_->send(session, std::move(frame));

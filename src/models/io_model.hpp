@@ -185,6 +185,19 @@ class IoModel
 /** Instantiate the wiring for @p cfg.kind. */
 std::unique_ptr<IoModel> makeModel(Rack &rack, ModelConfig cfg);
 
+/**
+ * Shards a sharded vRIO topology partitions into (DESIGN.md §13):
+ * shard 0 is the rack fabric (switch + generators), shard 1+h is
+ * VMhost h, and the last shard is the IOhost (with its standby —
+ * they share consolidated disk objects).  Only the vRIO kinds have a
+ * shard cut; the other models keep everything on one queue.
+ */
+inline unsigned
+vrioShardCount(unsigned num_vmhosts)
+{
+    return num_vmhosts + 2;
+}
+
 } // namespace vrio::models
 
 #endif // VRIO_MODELS_IO_MODEL_HPP

@@ -35,12 +35,12 @@ class OptimumModel::Endpoint : public GuestEndpoint
         eh.src = f_mac;
         eh.ether_type = uint16_t(net::EtherType::Raw);
         auto frame = net::makeFrame(eh, payload, pad);
-        vm_.vcpu().run(c.guest_net_tx, [this, frame = std::move(frame),
+        vm_.vcpu().runPreempt(c.guest_net_tx, [this, frame = std::move(frame),
                                         &c]() mutable {
             nic.send(vf, std::move(frame));
             // ELI TX-completion interrupt, straight to the guest.
             vm_.events().record(hv::IoEvent::GuestInterrupt);
-            vm_.vcpu().run(c.guest_irq, []() {});
+            vm_.vcpu().runPreempt(c.guest_irq, []() {});
         });
     }
 

@@ -119,7 +119,7 @@ class VrioModel::Client : public GuestEndpoint
         double cycles =
             c.guest_net_tx + c.vrio_encap +
             c.vrio_client_per_byte * double(frame_bytes.size());
-        vm_.vcpu().run(cycles, [this, &c,
+        vm_.vcpu().runPreempt(cycles, [this, &c,
                                 frame_bytes =
                                     std::move(frame_bytes)]() mutable {
             TransportHeader hdr;
@@ -132,7 +132,7 @@ class VrioModel::Client : public GuestEndpoint
             transmitWire(std::move(wire));
             // ELI TX-completion interrupt.
             vm_.events().record(hv::IoEvent::GuestInterrupt);
-            vm_.vcpu().run(c.guest_irq, []() {});
+            vm_.vcpu().runPreempt(c.guest_irq, []() {});
         });
     }
 
@@ -310,7 +310,7 @@ class VrioModel::Client : public GuestEndpoint
         }
         const CostParams &c = model.config().costs;
         vm_.events().record(hv::IoEvent::SyncExit);
-        vm_.vcpu().run(c.exit, [this, &c, frame = std::move(frame)]() mutable {
+        vm_.vcpu().runPreempt(c.exit, [this, &c, frame = std::move(frame)]() mutable {
             io_core->run(c.vhost_net,
                          [this, frame = std::move(frame)]() mutable {
                              host_nic->send(vf, std::move(frame));
@@ -328,7 +328,7 @@ class VrioModel::Client : public GuestEndpoint
                         c.vrio_client_per_byte * double(req.data.size());
         pending.emplace(serial,
                         PendingBlock{std::move(req), std::move(done)});
-        vm_.vcpu().run(cycles, [this, serial]() {
+        vm_.vcpu().runPreempt(cycles, [this, serial]() {
             // track() performs the generation-0 send and arms the
             // 10 ms doubling timer (Section 4.5).
             rtq.track(serial);
@@ -357,7 +357,7 @@ class VrioModel::Client : public GuestEndpoint
 
         auto parts = transport::segmentRequest(proto, req.data);
         double cycles = c.vrio_encap * double(parts.size());
-        vm_.vcpu().run(cycles, [this, parts = std::move(parts)]() {
+        vm_.vcpu().runPreempt(cycles, [this, parts = std::move(parts)]() {
             for (const auto &part : parts) {
                 auto wire = transport::encapsulate(
                     t_mac, iohost_mac, next_wire_id++, part.hdr,
@@ -524,7 +524,22 @@ VrioModel::VrioModel(Rack &rack, ModelConfig cfg) : IoModel(rack, cfg)
                 "VrioModel requires a vRIO kind");
     auto &sim = rack.sim();
 
+    // Shard cut (DESIGN.md §13): the rack fabric stays on shard 0,
+    // each VMhost gets its own shard, and the IOhost (plus standby)
+    // takes the last.  ShardScope binds object construction to a
+    // partition so every captured EventQueue&/RNG is shard-local;
+    // with an unsharded simulation every scope clamps to shard 0 and
+    // this constructor is bit-identical to the historical one.
+    vrio_assert(sim.shardCount() == 1 ||
+                    sim.shardCount() == vrioShardCount(cfg.num_vmhosts),
+                "vRIO topology with ", cfg.num_vmhosts,
+                " VMhosts needs ", vrioShardCount(cfg.num_vmhosts),
+                " shards, simulation has ", sim.shardCount());
+    const uint32_t io_shard = cfg.num_vmhosts + 1;
+    auto vm_shard = [](unsigned h) { return uint32_t(1 + h); };
+
     // -- the IOhost -----------------------------------------------------
+    sim::ShardScope iohost_scope(sim, io_shard);
     hv::MachineConfig iomc;
     iomc.cores = cfg.sidecores;
     iomc.ghz = cfg.costs.iohost_ghz;
@@ -631,23 +646,29 @@ VrioModel::VrioModel(Rack &rack, ModelConfig cfg) : IoModel(rack, cfg)
             host.slot_used[i] = true;
         bool tvirtio =
             cfg.vrio_channel == ModelConfig::VrioChannel::Tvirtio;
-        hv::MachineConfig mc;
-        // All local sidecores moved to the IOhost; the T_virtio
-        // fallback brings back a local I/O core for vhost.
-        mc.cores = slots + (tvirtio ? 1 : 0);
-        mc.ghz = cfg.costs.guest_ghz;
-        host.machine = std::make_unique<hv::Machine>(
-            sim, strFormat("vrio.host%u", h), mc);
+        {
+            // Guest machine and host NIC live on the VMhost's shard.
+            sim::ShardScope host_scope(sim, vm_shard(h));
+            hv::MachineConfig mc;
+            // All local sidecores moved to the IOhost; the T_virtio
+            // fallback brings back a local I/O core for vhost.
+            mc.cores = slots + (tvirtio ? 1 : 0);
+            mc.ghz = cfg.costs.guest_ghz;
+            host.machine = std::make_unique<hv::Machine>(
+                sim, strFormat("vrio.host%u", h), mc);
 
-        net::NicConfig nc;
-        nc.gbps = cfg.direct_link_gbps;
-        nc.num_queues = slots;
-        nc.mtu = cfg.vrio_mtu;
-        nc.intr_coalesce_delay = sim::Tick(600) * sim::kNanosecond;
-        nc.intr_coalesce_frames = 8;
-        host.nic = std::make_unique<net::Nic>(
-            sim, strFormat("vrio.host%u.nic", h), nc);
+            net::NicConfig nc;
+            nc.gbps = cfg.direct_link_gbps;
+            nc.num_queues = slots;
+            nc.mtu = cfg.vrio_mtu;
+            nc.intr_coalesce_delay = sim::Tick(600) * sim::kNanosecond;
+            nc.intr_coalesce_frames = 8;
+            host.nic = std::make_unique<net::Nic>(
+                sim, strFormat("vrio.host%u.nic", h), nc);
+        }
 
+        // The per-VMhost client NIC is IOhost hardware: it stays on
+        // the IOhost's shard (the enclosing scope).
         net::NicConfig ioc;
         ioc.gbps = cfg.direct_link_gbps;
         ioc.num_queues = 1;
@@ -680,6 +701,10 @@ VrioModel::VrioModel(Rack &rack, ModelConfig cfg) : IoModel(rack, cfg)
         }
 
         if (hb_via_switch) {
+            // Beacon RX hardware is VMhost-side: the NIC and its
+            // reassembler (which captures the shard event queue) must
+            // live on the VMhost's shard.
+            sim::ShardScope host_scope(sim, vm_shard(h));
             net::NicConfig hbc;
             hbc.gbps = cfg.direct_link_gbps;
             hbc.num_queues = 1;
@@ -714,10 +739,16 @@ VrioModel::VrioModel(Rack &rack, ModelConfig cfg) : IoModel(rack, cfg)
             hv::Machine &m = *hosts[h].machine;
             io_core = &m.core(m.coreCount() - 1);
         }
-        auto client = std::make_unique<Client>(
-            *this, h, v, slot, hosts[h].nic.get(), f_mac, t_mac,
-            hosts[h].iohost_port->queueMac(0), kind, io_core,
-            strFormat("vrio.vm%u", v));
+        std::unique_ptr<Client> client;
+        {
+            // The IOclient runs inside the guest: its VM, timers and
+            // per-client telemetry belong to its VMhost's shard.
+            sim::ShardScope client_scope(sim, vm_shard(h));
+            client = std::make_unique<Client>(
+                *this, h, v, slot, hosts[h].nic.get(), f_mac, t_mac,
+                hosts[h].iohost_port->queueMac(0), kind, io_core,
+                strFormat("vrio.vm%u", v));
+        }
 
         interpose::Chain *net_chain = nullptr;
         interpose::Chain *blk_chain = nullptr;
@@ -786,6 +817,9 @@ VrioModel::VrioModel(Rack &rack, ModelConfig cfg) : IoModel(rack, cfg)
                 client->has_standby = true;
                 client->standby_mac = standby_cnic->queueMac(0);
             }
+            // The lapse timer must fire on the client's own shard.
+            sim::ShardScope client_scope(
+                sim, vm_shard(client->host_index));
             client->armHeartbeatMonitor();
         }
     }

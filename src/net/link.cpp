@@ -7,11 +7,6 @@ namespace vrio::net {
 Link::Link(sim::Simulation &sim, std::string name, LinkConfig cfg)
     : SimObject(sim, std::move(name)), cfg(cfg)
 {
-    tx_a = std::make_unique<sim::Resource>(sim.events(),
-                                           this->name() + ".txA");
-    tx_b = std::make_unique<sim::Resource>(sim.events(),
-                                           this->name() + ".txB");
-
     auto &m = sim.telemetry().metrics;
     telemetry::Labels l{{"link", this->name()}};
     delivered = &m.counter("net.link.delivered", l);
@@ -33,6 +28,17 @@ Link::connect(NetPort &a, NetPort &b)
     end_b = &b;
     a.link_ = this;
     b.link_ = this;
+    // Each transmitter serializes the sending endpoint's frames, so it
+    // lives on that endpoint's shard queue.  Deferred to connect()
+    // because only the endpoints know the shard cut.
+    tx_a = std::make_unique<sim::Resource>(sim().shardEvents(a.shard()),
+                                           name() + ".txA");
+    tx_b = std::make_unique<sim::Resource>(sim().shardEvents(b.shard()),
+                                           name() + ".txB");
+    if (a.shard() != b.shard()) {
+        sim().noteCrossShardLink(a.shard(), b.shard(), cfg.propagation);
+        sim().noteCrossShardLink(b.shard(), a.shard(), cfg.propagation);
+    }
 }
 
 void
@@ -107,10 +113,14 @@ Link::transmit(NetPort &from, FramePtr frame)
                         sim().now() - start + propagation,
                         telemetry::cat::kPacket, wire_bytes);
         }
-        sim().events().schedule(propagation,
-                                [to, frame = std::move(frame)]() mutable {
-                                    to->receive(std::move(frame));
-                                });
+        // Propagation is the shard boundary: a cross-shard delivery
+        // rides the epoch mailbox (delay >= lookahead by the connect()
+        // registration above); same-shard delivery degenerates to a
+        // plain schedule.
+        sim().scheduleCross(to->shard(), propagation,
+                            [to, frame = std::move(frame)]() mutable {
+                                to->receive(std::move(frame));
+                            });
     });
 }
 

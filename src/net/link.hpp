@@ -32,9 +32,20 @@ class NetPort
     /** The link this port is plugged into (set by Link::connect). */
     Link *link() const { return link_; }
 
+    /**
+     * Simulation shard this port executes on.  Defaults to the shard
+     * bound while the port was constructed (so model factories that
+     * build each partition under a ShardScope need no per-port
+     * plumbing); owners that construct ports on behalf of another
+     * partition override it explicitly.
+     */
+    uint32_t shard() const { return shard_; }
+    void setShard(uint32_t s) { shard_ = s; }
+
   private:
     friend class Link;
     Link *link_ = nullptr;
+    uint32_t shard_ = sim::Simulation::currentShardIndex();
 };
 
 struct LinkConfig
@@ -90,7 +101,13 @@ class Link : public sim::SimObject
   public:
     Link(sim::Simulation &sim, std::string name, LinkConfig cfg);
 
-    /** Plug both endpoints in (each port joins exactly one link). */
+    /**
+     * Plug both endpoints in (each port joins exactly one link).
+     * This is also the shard cut: each direction's transmitter is
+     * bound to its sending endpoint's shard queue, and a link whose
+     * endpoints live on different shards registers its propagation
+     * delay as conservative lookahead with the simulation.
+     */
     void connect(NetPort &a, NetPort &b);
 
     /**

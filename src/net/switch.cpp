@@ -21,6 +21,10 @@ Switch::newPort()
 {
     size_t index = ports.size();
     ports.push_back(std::make_unique<Port>(*this, index));
+    // Ports execute on the switch's shard regardless of which
+    // partition's wiring code asked for them (connectToSwitch runs
+    // under the endpoint's ShardScope).
+    ports.back()->setShard(homeShard());
     port_down.push_back(false);
     auto &m = sim().telemetry().metrics;
     telemetry::Labels l{{"switch", name()},

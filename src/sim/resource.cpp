@@ -19,6 +19,21 @@ Resource::submit(Tick service_time, JobFn on_done)
     job.service = service_time;
     job.on_done = std::move(on_done);
     job.enqueued = eq.now();
+    if (busy < nservers && !paused_ && queue.empty()) {
+        beginService(std::move(job));
+    } else {
+        ++contended;
+        queue.push_back(std::move(job));
+    }
+}
+
+void
+Resource::submitPreempt(Tick service_time, JobFn on_done)
+{
+    Job job;
+    job.service = service_time;
+    job.on_done = std::move(on_done);
+    job.enqueued = eq.now();
     if (busy < nservers && !paused_) {
         beginService(std::move(job));
     } else {
@@ -35,7 +50,7 @@ Resource::submitDeferred(ServiceFn make_job, JobFn on_done)
     job.make_service = std::move(make_job);
     job.on_done = std::move(on_done);
     job.enqueued = eq.now();
-    if (busy < nservers && !paused_) {
+    if (busy < nservers && !paused_ && queue.empty()) {
         beginService(std::move(job));
     } else {
         ++contended;

@@ -39,15 +39,30 @@ class Resource
 
     /**
      * Enqueue a job of length @p service_time; @p on_done runs at
-     * completion time.  Jobs are served FIFO.
+     * completion time.  Jobs are served strictly FIFO: a submission
+     * joins the back of a nonempty queue even when a server is free.
+     * The only externally observable free-server/nonempty-queue state
+     * is inside a completion callback — the finishing job's server is
+     * released before the callback so busyServers() excludes it — so
+     * this gate is precisely "a job submitted from a completion
+     * callback cannot overtake jobs already waiting".
      */
     void submit(Tick service_time, JobFn on_done);
+
+    /**
+     * Like submit() but dispatches ahead of any queued backlog when a
+     * server is free.  Models preemptive work — interrupt injection,
+     * vCPU exit handling — that a core takes up immediately rather
+     * than behind its run queue.
+     */
+    void submitPreempt(Tick service_time, JobFn on_done);
 
     /**
      * Like submit() but the job's service time is only determined when
      * service begins (e.g. batched NIC polling whose batch size depends
      * on what has accumulated).  @p make_job returns the service time
      * and is invoked at service start; @p on_done runs at completion.
+     * FIFO-gated the same way as submit().
      */
     void submitDeferred(ServiceFn make_job, JobFn on_done);
 

@@ -1,20 +1,302 @@
 #include "sim/simulation.hpp"
 
+#include <algorithm>
 #include <cstdlib>
 
 #include "telemetry/export.hpp"
+#include "util/logging.hpp"
 
 namespace vrio::sim {
 
-Simulation::Simulation(uint64_t seed) : rng(seed)
+Simulation::Simulation(const Config &cfg)
 {
-    eq.attachTelemetry(&telem.metrics.counter("sim.events.fired"),
-                       &telem.metrics.histogram("sim.events.per_tick"),
-                       &telem.metrics.histogram("sim.queue.depth"));
+    unsigned n = cfg.shards ? cfg.shards : 1;
+    threads_ = std::clamp(cfg.threads ? cfg.threads : 1u, 1u, n);
+
+    Random root(cfg.seed);
+    shards_.reserve(n);
+    for (unsigned s = 0; s < n; ++s) {
+        auto sh = std::make_unique<Shard>();
+        // Shard 0 keeps the seed's historical stream bit-for-bit so a
+        // 1-shard Config run equals the legacy constructor; the other
+        // shards get independent labeled substreams.
+        sh->rng = s == 0 ? root : root.split(uint64_t(s));
+        sh->inbox.resize(n);
+        shards_.push_back(std::move(sh));
+    }
+
+    if (n > 1)
+        telem.metrics.enableSharding(n);
+    auto *fired = &telem.metrics.counter("sim.events.fired");
+    auto *per_tick = &telem.metrics.histogram("sim.events.per_tick");
+    auto *depth = &telem.metrics.histogram("sim.queue.depth");
+    for (auto &sh : shards_)
+        sh->eq.attachTelemetry(fired, per_tick, depth);
+
     // Arm the tracer when a trace export is requested for the process;
-    // tests and benches can also arm it programmatically.
-    if (telemetry::Sink::traceArmed())
+    // tests and benches can also arm it programmatically.  Span
+    // emission is single-threaded by design, so the tracer stays dark
+    // in sharded mode — metrics (striped) are the parallel-safe lens.
+    if (n == 1 && telemetry::Sink::traceArmed())
         telem.tracer.enable();
+}
+
+Simulation::Simulation(uint64_t seed) : Simulation(Config{seed, 1, 1}) {}
+
+Simulation::~Simulation()
+{
+    if (!workers_.empty()) {
+        {
+            std::lock_guard lk(pool_mu_);
+            shutdown_.store(true, std::memory_order_release);
+        }
+        pool_cv_.notify_all();
+        for (auto &w : workers_)
+            w.join();
+    }
+}
+
+EventQueue &
+Simulation::shardEvents(unsigned s)
+{
+    vrio_assert(s < shards_.size(), "shard index ", s, " out of range");
+    return shards_[s]->eq;
+}
+
+Random &
+Simulation::shardRandom(unsigned s)
+{
+    vrio_assert(s < shards_.size(), "shard index ", s, " out of range");
+    return shards_[s]->rng;
+}
+
+void
+Simulation::noteCrossShardLink(uint32_t a, uint32_t b, Tick latency)
+{
+    if (shards_.size() == 1 || a == b)
+        return;
+    vrio_assert(!in_region_, "cross-shard wiring during a run");
+    vrio_assert(latency > 0, "cross-shard link ", a, "->", b,
+                " needs nonzero latency for conservative lookahead");
+    if (lookahead_ == 0 || latency < lookahead_)
+        lookahead_ = latency;
+}
+
+void
+Simulation::scheduleCross(uint32_t dst, Tick delay, EventQueue::Callback fn)
+{
+    if (shards_.size() == 1) {
+        shards_[0]->eq.schedule(delay, std::move(fn));
+        return;
+    }
+    vrio_assert(dst < shards_.size(), "shard index ", dst, " out of range");
+    auto &t = detail::t_shard;
+    bool bound = t.sim == this;
+    uint32_t src = bound ? t.index : 0;
+    Tick when = (bound ? t.eq->now() : shards_[0]->eq.now()) + delay;
+    if (src == dst) {
+        shards_[dst]->eq.scheduleAt(when, std::move(fn));
+        return;
+    }
+    vrio_assert(delay >= lookahead_, "cross-shard delay ", delay,
+                " below lookahead ", lookahead_);
+    if (!in_region_) {
+        // Wiring/handshake time: destination queues are quiescent, so
+        // schedule directly instead of waiting for a barrier.
+        shards_[dst]->eq.scheduleAt(when, std::move(fn));
+        return;
+    }
+    shards_[dst]->inbox[src].push_back({when, std::move(fn)});
+}
+
+void
+Simulation::runUntil(Tick limit)
+{
+    if (shards_.size() == 1) {
+        shards_[0]->eq.runUntil(limit);
+        return;
+    }
+    epochLoop(limit, false);
+}
+
+void
+Simulation::runToCompletion()
+{
+    if (shards_.size() == 1) {
+        shards_[0]->eq.runToCompletion();
+        return;
+    }
+    epochLoop(0, true);
+}
+
+/**
+ * Conservative epoch loop.  Each window: T = min next-event tick over
+ * all shards, H = min(T + lookahead - 1, limit); every shard runs its
+ * own queue up to H concurrently; the barrier merges mailboxes.  Any
+ * event executing at t <= H sends cross-shard work for t + delay >=
+ * T + lookahead = H + 1 > H, i.e. strictly beyond every shard's clock
+ * at the barrier — so no shard ever sees an arrival in its past.
+ */
+void
+Simulation::epochLoop(Tick limit, bool to_completion)
+{
+    vrio_assert(!in_region_, "re-entrant Simulation run");
+    // No declared cross-shard edge means the shards are independent:
+    // each may run to the horizon in a single window.
+    const Tick ahead = lookahead_ ? lookahead_ - 1 : ~Tick(0);
+
+    in_region_ = true;
+    openRegion();
+    while (true) {
+        bool any = false;
+        Tick t = 0;
+        for (auto &sh : shards_) {
+            if (sh->eq.empty())
+                continue;
+            Tick e = sh->eq.nextEventTick();
+            if (!any || e < t) {
+                t = e;
+                any = true;
+            }
+        }
+        if (!any || (!to_completion && t > limit))
+            break;
+        Tick h = t + std::min(ahead, ~Tick(0) - t); // saturating
+        if (!to_completion && h > limit)
+            h = limit;
+        runEpoch(h);
+        drainInboxes();
+    }
+    closeRegion();
+    in_region_ = false;
+
+    if (!to_completion) {
+        // Advance idle shard clocks to the horizon (runUntil on an
+        // idle queue just moves now_) so per-shard clocks agree with
+        // the single-shard contract: now() == limit after runUntil.
+        for (auto &sh : shards_)
+            sh->eq.runUntil(limit);
+    }
+}
+
+void
+Simulation::runEpoch(Tick horizon)
+{
+    epoch_limit_ = horizon;
+    if (threads_ == 1) {
+        runShardSlice(0, horizon);
+        return;
+    }
+    epoch_done_.store(0, std::memory_order_relaxed);
+    // Release: publishes epoch_limit_ and all pre-epoch state (the
+    // drained mailboxes of the previous window) to the workers.
+    epoch_seq_.fetch_add(1, std::memory_order_release);
+    runShardSlice(0, horizon);
+    while (epoch_done_.load(std::memory_order_acquire) != threads_ - 1)
+        std::this_thread::yield();
+}
+
+void
+Simulation::runShardSlice(unsigned slot, Tick horizon)
+{
+    // Static assignment: shard s is always driven as slot s % threads,
+    // so the shard->thread map is a function of the config alone.
+    for (unsigned s = slot; s < shards_.size(); s += threads_) {
+        ShardScope scope(*this, s);
+        shards_[s]->eq.runUntil(horizon);
+    }
+}
+
+void
+Simulation::drainInboxes()
+{
+    // Deterministic merge: destinations in shard order, sources in
+    // shard order, entries in source send order.  The sequence numbers
+    // the destination queue hands out are therefore a pure function of
+    // the shard count — never of the thread count or of which worker
+    // finished first.
+    for (auto &dst : shards_) {
+        for (auto &box : dst->inbox) {
+            for (auto &ev : box)
+                dst->eq.scheduleAt(ev.when, std::move(ev.fn));
+            box.clear();
+        }
+    }
+}
+
+void
+Simulation::openRegion()
+{
+    if (threads_ == 1)
+        return;
+    if (workers_.empty()) {
+        workers_.reserve(threads_ - 1);
+        for (unsigned w = 1; w < threads_; ++w)
+            workers_.emplace_back([this, w] { workerMain(w); });
+    }
+    {
+        std::lock_guard lk(pool_mu_);
+        region_open_ = true;
+        region_live_.store(true, std::memory_order_release);
+    }
+    pool_cv_.notify_all();
+}
+
+void
+Simulation::closeRegion()
+{
+    if (threads_ == 1)
+        return;
+    {
+        std::lock_guard lk(pool_mu_);
+        region_open_ = false;
+    }
+    region_live_.store(false, std::memory_order_release);
+}
+
+void
+Simulation::workerMain(unsigned slot)
+{
+    uint64_t seen = 0;
+    while (true) {
+        {
+            std::unique_lock lk(pool_mu_);
+            pool_cv_.wait(lk, [this] {
+                return region_open_ ||
+                       shutdown_.load(std::memory_order_relaxed);
+            });
+        }
+        if (shutdown_.load(std::memory_order_acquire))
+            return;
+        // Inside a run region: spin (yielding) on the epoch counter.
+        // Yield keeps oversubscribed configs (more threads than cores)
+        // from starving the coordinator.
+        while (region_live_.load(std::memory_order_acquire)) {
+            uint64_t e = epoch_seq_.load(std::memory_order_acquire);
+            if (e == seen) {
+                std::this_thread::yield();
+                continue;
+            }
+            seen = e;
+            runShardSlice(slot, epoch_limit_);
+            epoch_done_.fetch_add(1, std::memory_order_acq_rel);
+        }
+    }
+}
+
+ShardScope::ShardScope(Simulation &sim, uint32_t shard)
+{
+    prev_ = detail::t_shard;
+    prev_slot_ = telemetry::shardSlot();
+    uint32_t s = sim.shardCount() > 1 ? shard : 0;
+    detail::t_shard = {&sim, &sim.shardEvents(s), &sim.shardRandom(s), s};
+    telemetry::setShardSlot(s);
+}
+
+ShardScope::~ShardScope()
+{
+    detail::t_shard = prev_;
+    telemetry::setShardSlot(prev_slot_);
 }
 
 } // namespace vrio::sim

@@ -7,30 +7,35 @@ namespace vrio::stats {
 Counter &
 Registry::counter(const std::string &name)
 {
+    std::lock_guard lk(mu);
     return counters[name];
 }
 
 Histogram &
 Registry::histogram(const std::string &name)
 {
+    std::lock_guard lk(mu);
     return histograms[name];
 }
 
 bool
 Registry::hasCounter(const std::string &name) const
 {
+    std::lock_guard lk(mu);
     return counters.count(name) != 0;
 }
 
 bool
 Registry::hasHistogram(const std::string &name) const
 {
+    std::lock_guard lk(mu);
     return histograms.count(name) != 0;
 }
 
 uint64_t
 Registry::counterValue(const std::string &name) const
 {
+    std::lock_guard lk(mu);
     auto it = counters.find(name);
     return it == counters.end() ? 0 : it->second.value();
 }
@@ -38,6 +43,7 @@ Registry::counterValue(const std::string &name) const
 std::vector<std::string>
 Registry::counterNames(const std::string &prefix) const
 {
+    std::lock_guard lk(mu);
     std::vector<std::string> out;
     for (const auto &[name, _] : counters) {
         if (name.rfind(prefix, 0) == 0)
@@ -49,6 +55,7 @@ Registry::counterNames(const std::string &prefix) const
 std::vector<std::string>
 Registry::histogramNames(const std::string &prefix) const
 {
+    std::lock_guard lk(mu);
     std::vector<std::string> out;
     for (const auto &[name, _] : histograms) {
         if (name.rfind(prefix, 0) == 0)
@@ -60,6 +67,7 @@ Registry::histogramNames(const std::string &prefix) const
 std::string
 Registry::dump() const
 {
+    std::lock_guard lk(mu);
     std::string out;
     for (const auto &[name, c] : counters)
         out += strFormat("%-48s %12llu\n", name.c_str(),
@@ -77,6 +85,7 @@ Registry::dump() const
 void
 Registry::resetAll()
 {
+    std::lock_guard lk(mu);
     for (auto &[_, c] : counters)
         c.reset();
     for (auto &[_, h] : histograms)

@@ -10,6 +10,7 @@
 #define VRIO_STATS_REGISTRY_HPP
 
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -18,6 +19,14 @@
 
 namespace vrio::stats {
 
+/**
+ * Find-or-create is guarded by a mutex because a few runtime paths
+ * (fault injection verdicts, rare IOhost control events) resolve
+ * stats by name mid-run, which in a sharded simulation can happen on
+ * any shard thread.  Handles stay stable (node-based maps) and the
+ * bumps themselves remain plain counters: every individual stat is
+ * owned by one shard's objects, so no two threads bump the same one.
+ */
 class Registry
 {
   public:
@@ -46,6 +55,7 @@ class Registry
     void resetAll();
 
   private:
+    mutable std::mutex mu;
     std::map<std::string, Counter> counters;
     std::map<std::string, Histogram> histograms;
 };

@@ -4,6 +4,65 @@
 
 namespace vrio::telemetry {
 
+void
+Counter::stripe(unsigned shards)
+{
+    if (shards <= 1 || nstripes_ == shards)
+        return;
+    vrio_assert(nstripes_ == 0, "counter re-striped with a new width");
+    stripes_ = std::make_unique<Slot[]>(shards);
+    nstripes_ = shards;
+}
+
+void
+LogHistogram::Data::merge(const Data &o)
+{
+    if (o.count == 0)
+        return;
+    if (count == 0 || o.min < min)
+        min = o.min;
+    if (o.max > max)
+        max = o.max;
+    for (unsigned b = 0; b < kBuckets; ++b)
+        buckets[b] += o.buckets[b];
+    count += o.count;
+    sum += o.sum;
+}
+
+void
+LogHistogram::Data::clear()
+{
+    buckets.fill(0);
+    count = sum = min = max = 0;
+}
+
+LogHistogram::Data
+LogHistogram::merged() const
+{
+    Data d = data_;
+    for (unsigned s = 0; s < nstripes_; ++s)
+        d.merge(stripes_[s]);
+    return d;
+}
+
+void
+LogHistogram::reset()
+{
+    data_.clear();
+    for (unsigned s = 0; s < nstripes_; ++s)
+        stripes_[s].clear();
+}
+
+void
+LogHistogram::stripe(unsigned shards)
+{
+    if (shards <= 1 || nstripes_ == shards)
+        return;
+    vrio_assert(nstripes_ == 0, "histogram re-striped with a new width");
+    stripes_ = std::make_unique<Data[]>(shards);
+    nstripes_ = shards;
+}
+
 std::string
 MetricsRegistry::seriesKey(std::string_view name, const Labels &l)
 {
@@ -40,9 +99,25 @@ MetricsRegistry::fetch(std::string_view name, Labels labels, Kind kind)
     std::sort(labels.kv.begin(), labels.kv.end());
     s->labels = std::move(labels);
     s->kind = kind;
+    if (stripe_shards_) {
+        s->counter.stripe(stripe_shards_);
+        s->histogram.stripe(stripe_shards_);
+    }
     Series &ref = *s;
     series_.emplace(std::move(key), std::move(s));
     return ref;
+}
+
+void
+MetricsRegistry::enableSharding(unsigned shards)
+{
+    if (shards <= 1)
+        return;
+    stripe_shards_ = shards;
+    for (auto &[key, s] : series_) {
+        s->counter.stripe(shards);
+        s->histogram.stripe(shards);
+    }
 }
 
 Counter &

@@ -29,17 +29,64 @@
 
 namespace vrio::telemetry {
 
-/** Monotonic event count.  Bumps are single adds on a raw word. */
+/**
+ * Stripe slot of the shard the current thread is executing (0 when
+ * the simulation is not sharded).  Set by the parallel simulator
+ * (`sim::ShardScope`); read on every bump of a striped series.
+ */
+inline thread_local unsigned t_shard_slot = 0;
+
+inline void setShardSlot(unsigned slot) { t_shard_slot = slot; }
+inline unsigned shardSlot() { return t_shard_slot; }
+
+/**
+ * Monotonic event count.  Bumps are single adds on a raw word.
+ *
+ * In a sharded simulation the counter is striped: each shard bumps a
+ * private cache-line-padded slot (indexed by the thread's shard slot)
+ * and `value()` merges on read, so concurrent shards never touch the
+ * same word.  Unstriped (the default) the hot path is the historical
+ * single add behind one null-pointer test.
+ */
 class Counter
 {
   public:
-    void inc() { ++v_; }
-    void add(uint64_t n) { v_ += n; }
-    uint64_t value() const { return v_; }
-    void reset() { v_ = 0; }
+    void inc() { add(1); }
+    void
+    add(uint64_t n)
+    {
+        if (stripes_)
+            stripes_[t_shard_slot].v += n;
+        else
+            v_ += n;
+    }
+    uint64_t
+    value() const
+    {
+        uint64_t v = v_;
+        for (unsigned s = 0; s < nstripes_; ++s)
+            v += stripes_[s].v;
+        return v;
+    }
+    void
+    reset()
+    {
+        v_ = 0;
+        for (unsigned s = 0; s < nstripes_; ++s)
+            stripes_[s].v = 0;
+    }
+
+    /** Give each of @p shards a private bump slot. */
+    void stripe(unsigned shards);
 
   private:
+    struct alignas(64) Slot
+    {
+        uint64_t v = 0;
+    };
     uint64_t v_ = 0;
+    unsigned nstripes_ = 0;
+    std::unique_ptr<Slot[]> stripes_;
 };
 
 /** Last-write-wins instantaneous value (queue depth, cwnd, ...). */
@@ -61,6 +108,11 @@ class Gauge
  * one count-leading-zeros, three adds.  No samples are retained —
  * quantiles come back at bucket resolution (geometric midpoint),
  * which is plenty for latency distributions spanning decades.
+ *
+ * Like Counter, a histogram can be striped for a sharded simulation:
+ * each shard records into a private bucket array and every read-side
+ * accessor folds the stripes.  Reads happen at reporting time only,
+ * so the merge cost is off the hot path.
  */
 class LogHistogram
 {
@@ -91,21 +143,25 @@ class LogHistogram
     void
     record(uint64_t v)
     {
-        ++buckets_[bucketOf(v)];
-        ++count_;
-        sum_ += v;
-        if (v < min_ || count_ == 1)
-            min_ = v;
-        if (v > max_)
-            max_ = v;
+        (stripes_ ? stripes_[t_shard_slot] : data_).record(v);
     }
 
-    uint64_t count() const { return count_; }
-    uint64_t sum() const { return sum_; }
-    uint64_t min() const { return count_ ? min_ : 0; }
-    uint64_t max() const { return max_; }
-    double mean() const { return count_ ? double(sum_) / double(count_) : 0; }
-    uint64_t bucketCount(unsigned b) const { return buckets_[b]; }
+    uint64_t count() const { return merged().count; }
+    uint64_t sum() const { return merged().sum; }
+    uint64_t
+    min() const
+    {
+        Data d = merged();
+        return d.count ? d.min : 0;
+    }
+    uint64_t max() const { return merged().max; }
+    double
+    mean() const
+    {
+        Data d = merged();
+        return d.count ? double(d.sum) / double(d.count) : 0;
+    }
+    uint64_t bucketCount(unsigned b) const { return merged().buckets[b]; }
 
     /**
      * Bucket-resolution quantile estimate: the geometric midpoint of
@@ -114,12 +170,13 @@ class LogHistogram
     double
     quantile(double q) const
     {
-        if (count_ == 0)
+        Data d = merged();
+        if (d.count == 0)
             return 0;
-        uint64_t rank = uint64_t(q * double(count_ - 1)) + 1;
+        uint64_t rank = uint64_t(q * double(d.count - 1)) + 1;
         uint64_t seen = 0;
         for (unsigned b = 0; b < kBuckets; ++b) {
-            seen += buckets_[b];
+            seen += d.buckets[b];
             if (seen >= rank) {
                 if (b == 0)
                     return 0;
@@ -128,23 +185,45 @@ class LogHistogram
                 return lo + (hi - lo) / 2.0;
             }
         }
-        return double(max_);
+        return double(d.max);
     }
 
-    void
-    reset()
-    {
-        buckets_.fill(0);
-        count_ = sum_ = max_ = 0;
-        min_ = 0;
-    }
+    void reset();
+
+    /** Give each of @p shards a private bucket array. */
+    void stripe(unsigned shards);
 
   private:
-    std::array<uint64_t, kBuckets> buckets_{};
-    uint64_t count_ = 0;
-    uint64_t sum_ = 0;
-    uint64_t min_ = 0;
-    uint64_t max_ = 0;
+    struct Data
+    {
+        std::array<uint64_t, kBuckets> buckets{};
+        uint64_t count = 0;
+        uint64_t sum = 0;
+        uint64_t min = 0;
+        uint64_t max = 0;
+
+        void
+        record(uint64_t v)
+        {
+            ++buckets[bucketOf(v)];
+            ++count;
+            sum += v;
+            if (v < min || count == 1)
+                min = v;
+            if (v > max)
+                max = v;
+        }
+
+        void merge(const Data &o);
+        void clear();
+    };
+
+    /** Fold all stripes into one view (identity when unstriped). */
+    Data merged() const;
+
+    Data data_;
+    unsigned nstripes_ = 0;
+    std::unique_ptr<Data[]> stripes_;
 };
 
 /**
@@ -222,11 +301,23 @@ class MetricsRegistry
     /** The single series with exactly this identity, or null. */
     const Series *find(std::string_view name, Labels labels = {}) const;
 
+    /**
+     * Stripe every counter/histogram series — existing and future —
+     * for @p shards concurrent writers (see Counter::stripe).  Called
+     * once by the sharded simulator before any shard thread runs;
+     * registration itself must still happen from one thread at a time
+     * (model construction and run regions never overlap).  Gauges are
+     * left unstriped: last-write-wins has no meaningful parallel
+     * merge and no simulator hot path sets one.
+     */
+    void enableSharding(unsigned shards);
+
   private:
     Series &fetch(std::string_view name, Labels labels, Kind kind);
     static std::string seriesKey(std::string_view name, const Labels &l);
 
     std::map<std::string, std::unique_ptr<Series>, std::less<>> series_;
+    unsigned stripe_shards_ = 0;
 };
 
 } // namespace vrio::telemetry

@@ -64,7 +64,7 @@ FilebenchRandom::threadLoop(bool writer)
             latency.add(sim::ticksToMicros(sim_->now() - issued));
         }
         // Think, then issue the next op (closed loop).
-        guest.vm().vcpu().run(cfg.think_cycles, [this, writer]() {
+        guest.vm().vcpu().runPreempt(cfg.think_cycles, [this, writer]() {
             threadLoop(writer);
         });
     });
@@ -136,7 +136,7 @@ FilebenchWebserver::threadLoop()
         if (s == virtio::BlkStatus::Ok)
             bytes_read += uint64_t(nsectors) * kSectorSize;
         // Application work, then the log append.
-        guest.vm().vcpu().run(cfg.app_cycles, [this]() {
+        guest.vm().vcpu().runPreempt(cfg.app_cycles, [this]() {
             uint32_t log_sectors =
                 (cfg.log_append_bytes + kSectorSize - 1) / kSectorSize;
             block::BlockRequest log;

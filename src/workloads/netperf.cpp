@@ -117,7 +117,7 @@ NetperfStream::trySend()
         // The guest pays per-message cost for every 64B send() that
         // the stack later coalesces into this TSO chunk.
         double msgs = double(cfg.chunk_bytes) / double(cfg.msg_bytes);
-        guest.vm().vcpu().run(costs.stream_msg_cycles * msgs,
+        guest.vm().vcpu().runPreempt(costs.stream_msg_cycles * msgs,
                               [this, msgs]() {
                                   guest.sendNet(gen.sessionMac(session),
                                                 {}, cfg.chunk_bytes,
@@ -212,12 +212,11 @@ NetperfStream::trySendAdaptive()
 void
 NetperfStream::sendChunk(uint64_t seq, double charge_msgs)
 {
-    // Serialize all chunk sends through one chained vCPU job.  The
-    // congestion machine often emits sends from an ack's completion
-    // callback; submitting them straight to the core would let them
-    // bypass chunks still queued there (the Resource frees its server
-    // before running the callback), putting chunks on the wire out of
-    // order and triggering spurious fast retransmits at zero loss.
+    // Serialize all chunk sends through one chained vCPU job so at
+    // most one chunk's application cost occupies the core at a time
+    // and the wire order always equals the congestion machine's send
+    // order.  (Resource::submit is strictly FIFO, so this queue is
+    // pacing, not an ordering workaround.)
     tx_queue.emplace_back(seq, charge_msgs);
     if (!tx_busy)
         pumpTxQueue();
@@ -235,7 +234,7 @@ NetperfStream::pumpTxQueue()
     ByteWriter w(hdr);
     w.putU64be(seq);
     double msgs = double(cfg.chunk_bytes) / double(cfg.msg_bytes);
-    guest.vm().vcpu().run(
+    guest.vm().vcpu().runPreempt(
         costs.stream_msg_cycles * charge_msgs,
         [this, hdr = std::move(hdr), msgs]() mutable {
             // sendNet() first: its transmission job takes the core

@@ -173,12 +173,9 @@ class NetperfStream
     std::unique_ptr<TcpCongestion> tcp_;
     sim::EventHandle rto_timer;
     /**
-     * Chunks awaiting their guest-side send cost.  The workload chains
-     * one vCPU job at a time through this queue: a job submitted from
-     * another job's completion callback would otherwise bypass jobs
-     * already waiting on the core (the Resource frees its server
-     * before the callback runs), reordering the wire stream and
-     * triggering spurious fast retransmits.
+     * Chunks awaiting their guest-side send cost, paced one chained
+     * vCPU job at a time so the wire order always equals the
+     * congestion machine's send order.
      */
     std::deque<std::pair<uint64_t, double>> tx_queue;
     bool tx_busy = false;

@@ -43,7 +43,7 @@ RequestResponseServer::RequestResponseServer(models::Generator &gen,
         if (payload.size() < 8)
             return;
         auto &g = this->guest;
-        g.vm().vcpu().run(this->cfg.server_cycles, [this, src]() {
+        g.vm().vcpu().runPreempt(this->cfg.server_cycles, [this, src]() {
             // The response leaves as resp_frames TCP segments.
             unsigned frames = std::max(1u, this->cfg.resp_frames);
             uint64_t pad_per = this->cfg.resp_pad / frames;

@@ -85,7 +85,10 @@ goldenPath(const GoldenCase &c)
 std::string
 runBench(const GoldenCase &c, int &exit_code)
 {
-    std::string cmd = "env VRIO_BENCH_SMOKE=1 ";
+    // Snapshots are captured in the deterministic golden mode: one
+    // event loop, regardless of what the surrounding environment (a
+    // developer shell, a CI parallel lane) exports.
+    std::string cmd = "env VRIO_BENCH_SMOKE=1 VRIO_SIM_THREADS=1 ";
     if (c.extra_env[0]) {
         cmd += c.extra_env;
         cmd += ' ';
@@ -139,7 +142,13 @@ firstDiff(const std::string &want, const std::string &got)
     }
 }
 
-class GoldenTest : public ::testing::TestWithParam<GoldenCase> {};
+class GoldenTest : public ::testing::TestWithParam<GoldenCase>
+{
+  protected:
+    // Belt and braces with the `env` prefix in runBench(): the child
+    // environment is inherited, so pin golden mode here too.
+    static void SetUpTestSuite() { setenv("VRIO_SIM_THREADS", "1", 1); }
+};
 
 TEST_P(GoldenTest, MatchesSnapshot)
 {

@@ -39,6 +39,23 @@ run cmake --build build-ci-ubsan -j "$JOBS"
 run ctest --test-dir build-ci-ubsan --output-on-failure -j "$JOBS" -LE golden
 run ./build-ci-ubsan/tests/fault_test
 
+echo "== Debug + TSan (sharded event loop) =="
+# The parallel engine's memory-ordering contract (epoch publication,
+# striped telemetry, mailbox hand-off) is only checkable with real
+# concurrency: build the concurrency-relevant suites under
+# ThreadSanitizer and run them with a multi-threaded event loop.
+# TSan excludes the other sanitizers, hence its own tree.
+run cmake -B build-ci-tsan -S . \
+    -DCMAKE_BUILD_TYPE=Debug \
+    -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-sanitize-recover=all"
+run cmake --build build-ci-tsan -j "$JOBS" --target \
+    sim_test net_test telemetry_test core_test shard_equivalence_test
+run env VRIO_SIM_THREADS=4 ./build-ci-tsan/tests/sim_test
+run env VRIO_SIM_THREADS=4 ./build-ci-tsan/tests/net_test
+run env VRIO_SIM_THREADS=4 ./build-ci-tsan/tests/telemetry_test
+run env VRIO_SIM_THREADS=4 ./build-ci-tsan/tests/core_test
+run env VRIO_SIM_THREADS=4 ./build-ci-tsan/tests/shard_equivalence_test
+
 echo "== Release =="
 run cmake -B build-ci-release -S . -DCMAKE_BUILD_TYPE=Release
 run cmake --build build-ci-release -j "$JOBS"

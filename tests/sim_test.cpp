@@ -267,6 +267,41 @@ TEST(Resource, MultiServerParallelism)
     EXPECT_EQ(eq.now(), 20u); // two waves of two
 }
 
+TEST(Resource, CompletionChainSubmitQueuesBehindWaiters)
+{
+    // A submit() issued from a completion callback sees a free server
+    // (the completing one) while earlier arrivals still wait in the
+    // queue; strict FIFO demands it line up behind them.
+    EventQueue eq;
+    Resource res(eq, "r");
+    std::vector<int> done;
+    res.submit(10, [&]() {
+        done.push_back(1);
+        res.submit(10, [&]() { done.push_back(3); });
+    });
+    res.submit(10, [&]() { done.push_back(2); });
+    eq.runToCompletion();
+    EXPECT_EQ(done, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Resource, SubmitPreemptOvertakesQueue)
+{
+    // submitPreempt() keeps the pre-FIFO-fix admission: a free server
+    // is taken immediately even while earlier jobs wait — the
+    // dispatch discipline of a completion chain that reuses its own
+    // core (vCPU run chains).
+    EventQueue eq;
+    Resource res(eq, "r");
+    std::vector<int> done;
+    res.submit(10, [&]() {
+        done.push_back(1);
+        res.submitPreempt(10, [&]() { done.push_back(2); });
+    });
+    res.submit(10, [&]() { done.push_back(3); });
+    eq.runToCompletion();
+    EXPECT_EQ(done, (std::vector<int>{1, 2, 3}));
+}
+
 TEST(Resource, WaitHistogramRecordsQueueing)
 {
     EventQueue eq;

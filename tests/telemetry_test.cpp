@@ -104,6 +104,63 @@ TEST(MetricsRegistry, ForEachVisitsSortedOrder)
 
 // --------------------------------------------------------------- histogram
 
+// ---------------------------------------------------------------- striping
+
+TEST(Counter, StripedSlotsMergeOnRead)
+{
+    telemetry::Counter c;
+    c.add(5); // pre-stripe value must survive
+    c.stripe(4);
+    for (unsigned slot = 0; slot < 4; ++slot) {
+        telemetry::setShardSlot(slot);
+        c.add(slot + 1);
+    }
+    telemetry::setShardSlot(0);
+    EXPECT_EQ(c.value(), 5u + 1 + 2 + 3 + 4);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(LogHistogram, StripedSlotsMergeOnRead)
+{
+    LogHistogram h;
+    h.record(2); // pre-stripe sample
+    h.stripe(3);
+    telemetry::setShardSlot(1);
+    h.record(100);
+    telemetry::setShardSlot(2);
+    h.record(7);
+    telemetry::setShardSlot(0);
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_EQ(h.sum(), 109u);
+    EXPECT_EQ(h.min(), 2u);
+    EXPECT_EQ(h.max(), 100u);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    telemetry::setShardSlot(2);
+    h.record(9);
+    telemetry::setShardSlot(0);
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_EQ(h.max(), 9u);
+}
+
+TEST(MetricsRegistry, EnableShardingStripesExistingAndFutureSeries)
+{
+    MetricsRegistry reg;
+    auto &before = reg.counter("made.before");
+    reg.enableSharding(4);
+    auto &after = reg.counter("made.after");
+    telemetry::setShardSlot(3);
+    before.add(2);
+    after.add(3);
+    telemetry::setShardSlot(1);
+    before.add(10);
+    after.add(10);
+    telemetry::setShardSlot(0);
+    EXPECT_EQ(before.value(), 12u);
+    EXPECT_EQ(after.value(), 13u);
+}
+
 TEST(LogHistogram, BucketEdges)
 {
     EXPECT_EQ(LogHistogram::bucketOf(0), 0u);
