@@ -13,8 +13,9 @@ DiskScheduler::conflicts(const BlockRequest &req, uint64_t before_id) const
         return !in_flight.empty() ||
                (!pending.empty() && pending.front().id < before_id);
     }
-    for (const auto &[id, flying] : in_flight) {
-        if (flying.kind == virtio::BlkType::Flush || flying.overlaps(req))
+    for (const auto &flying : in_flight) {
+        if (flying.req.kind == virtio::BlkType::Flush ||
+            flying.req.overlaps(req))
             return true;
     }
     for (const auto &p : pending) {
@@ -27,9 +28,9 @@ DiskScheduler::conflicts(const BlockRequest &req, uint64_t before_id) const
 }
 
 void
-DiskScheduler::submit(BlockRequest req, BlockCallback done)
+DiskScheduler::submit(BlockRequest req, BlockCallback done, uint32_t queue)
 {
-    Pending p{std::move(req), std::move(done), next_id++};
+    Pending p{std::move(req), std::move(done), next_id++, queue};
     if (conflicts(p.req, p.id)) {
         ++deferred;
         pending.push_back(std::move(p));
@@ -38,18 +39,29 @@ DiskScheduler::submit(BlockRequest req, BlockCallback done)
     dispatchNow(std::move(p));
 }
 
+size_t
+DiskScheduler::queueDepth(uint32_t queue) const
+{
+    size_t depth = 0;
+    for (const auto &flying : in_flight)
+        depth += flying.queue == queue;
+    for (const auto &p : pending)
+        depth += p.queue == queue;
+    return depth;
+}
+
 void
 DiskScheduler::dispatchNow(Pending p)
 {
     uint64_t id = p.id;
-    in_flight.emplace_back(id, p.req);
+    in_flight.push_back(Flying{id, p.queue, p.req});
     BlockCallback user_done = std::move(p.done);
     dispatch(std::move(p.req),
              [this, id, user_done = std::move(user_done)](
                  virtio::BlkStatus status, Bytes data) {
                  for (auto it = in_flight.begin(); it != in_flight.end();
                       ++it) {
-                     if (it->first == id) {
+                     if (it->id == id) {
                          in_flight.erase(it);
                          break;
                      }

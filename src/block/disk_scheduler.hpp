@@ -37,12 +37,24 @@ class DiskScheduler
      * requests dispatch FIFO as conflicts drain (a request also
      * conflicts with *earlier pending* requests it overlaps, which
      * preserves per-block ordering).
+     *
+     * @p queue tags the request with its originating submission queue
+     * so multi-queue frontends (NVMe SQs) can see per-queue occupancy
+     * and arbitrate work-conservingly instead of over a single opaque
+     * FIFO.  Single-queue callers leave it at 0.
      */
-    void submit(BlockRequest req, BlockCallback done);
+    void submit(BlockRequest req, BlockCallback done, uint32_t queue = 0);
 
     size_t inFlight() const { return in_flight.size(); }
     size_t pendingCount() const { return pending.size(); }
     uint64_t deferrals() const { return deferred; }
+    /**
+     * Requests from @p queue currently owned by the scheduler (at the
+     * device or held back on a conflict).  Drops back to zero as
+     * completions drain, so an arbiter capping each SQ's outstanding
+     * work reads exactly this.
+     */
+    size_t queueDepth(uint32_t queue) const;
 
   private:
     struct Pending
@@ -50,11 +62,19 @@ class DiskScheduler
         BlockRequest req;
         BlockCallback done;
         uint64_t id;
+        uint32_t queue;
+    };
+
+    struct Flying
+    {
+        uint64_t id;
+        uint32_t queue;
+        BlockRequest req;
     };
 
     Dispatch dispatch;
     /** Sector ranges currently at the device, keyed by internal id. */
-    std::list<std::pair<uint64_t, BlockRequest>> in_flight;
+    std::list<Flying> in_flight;
     std::deque<Pending> pending;
     uint64_t next_id = 0;
     uint64_t deferred = 0;

@@ -45,8 +45,21 @@ RamDisk::submit(BlockRequest req, BlockCallback done)
                    " != request length ", req.byteLength());
     }
 
-    sim::Tick service =
-        cfg.request_latency + sim::bytesToTicks(req.byteLength(), cfg.gbps);
+    // FLUSH and TRIM move no data: they cost a fixed service time,
+    // distinct from the transfer-sized read/write path.
+    sim::Tick service;
+    switch (req.kind) {
+      case virtio::BlkType::Flush:
+        service = cfg.flush_latency ? cfg.flush_latency
+                                    : cfg.request_latency;
+        break;
+      case virtio::BlkType::Discard:
+        service = cfg.trim_latency;
+        break;
+      default:
+        service = cfg.request_latency +
+                  sim::bytesToTicks(req.byteLength(), cfg.gbps);
+    }
     channel.submit(
         service, [this, req = std::move(req), done = std::move(done)]() {
             ++completed;
@@ -64,6 +77,11 @@ RamDisk::submit(BlockRequest req, BlockCallback done)
                 done(virtio::BlkStatus::Ok, {});
                 break;
               case virtio::BlkType::Flush:
+                done(virtio::BlkStatus::Ok, {});
+                break;
+              case virtio::BlkType::Discard:
+                // Deallocate: subsequent reads see zeroes.
+                std::memset(store.data() + off, 0, req.byteLength());
                 done(virtio::BlkStatus::Ok, {});
                 break;
               default:

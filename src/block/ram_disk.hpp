@@ -22,6 +22,14 @@ struct RamDiskConfig
     sim::Tick request_latency = sim::Tick(5) * sim::kMicrosecond;
     /** Copy bandwidth of the backing memory. */
     double gbps = 80.0;
+    /** FLUSH service time; 0 = same as request_latency. */
+    sim::Tick flush_latency = 0;
+    /**
+     * TRIM (Discard) service time per request.  A ramdisk deallocates
+     * by dropping page references, so the default is cheaper than a
+     * data-moving request.
+     */
+    sim::Tick trim_latency = sim::Tick(2) * sim::kMicrosecond;
 };
 
 class RamDisk : public BlockDevice

@@ -51,10 +51,23 @@ SsdModel::submit(BlockRequest req, BlockCallback done)
         return;
     }
 
-    sim::Tick base = req.kind == virtio::BlkType::In ? cfg.read_latency
-                                                     : cfg.write_latency;
-    sim::Tick service =
-        base + sim::bytesToTicks(req.byteLength(), cfg.gbps);
+    sim::Tick service;
+    switch (req.kind) {
+      case virtio::BlkType::Flush:
+        service = cfg.flush_latency ? cfg.flush_latency
+                                    : cfg.write_latency;
+        break;
+      case virtio::BlkType::Discard:
+        service = cfg.trim_latency;
+        break;
+      case virtio::BlkType::In:
+        service = cfg.read_latency +
+                  sim::bytesToTicks(req.byteLength(), cfg.gbps);
+        break;
+      default:
+        service = cfg.write_latency +
+                  sim::bytesToTicks(req.byteLength(), cfg.gbps);
+    }
     channels.submit(
         service, [this, req = std::move(req), done = std::move(done)]() {
             ++completed;
@@ -74,6 +87,10 @@ SsdModel::submit(BlockRequest req, BlockCallback done)
                 done(virtio::BlkStatus::Ok, {});
                 break;
               case virtio::BlkType::Flush:
+                done(virtio::BlkStatus::Ok, {});
+                break;
+              case virtio::BlkType::Discard:
+                std::memset(store.data() + off, 0, req.byteLength());
                 done(virtio::BlkStatus::Ok, {});
                 break;
               default:

@@ -25,6 +25,14 @@ struct SsdConfig
     double gbps = 4.2; ///< ~SATA-3 class
     /** Internal parallelism (concurrently served requests). */
     unsigned queue_depth = 8;
+    /** FLUSH service time; 0 = same as write_latency. */
+    sim::Tick flush_latency = 0;
+    /**
+     * TRIM (Discard) service time per request.  On flash this is an
+     * FTL metadata update — slower than a cached write acknowledge,
+     * much cheaper than moving the data.
+     */
+    sim::Tick trim_latency = sim::Tick(60) * sim::kMicrosecond;
 
     /** FusionIO SX300-class PCIe SSD (21.6 Gbps per the datasheet). */
     static SsdConfig pcieSx300();

@@ -25,7 +25,8 @@ enum class IoEvent {
     HostInterrupt,  ///< physical interrupt handled by the (VM)host
     IohostInterrupt,///< physical interrupt handled at the IOhost
     RequestTimeout, ///< request abandoned after retransmit exhaustion
-    Failover        ///< client re-homed its channel to a standby IOhost
+    Failover,       ///< client re-homed its channel to a standby IOhost
+    AdminCommand    ///< hypervisor-mediated NVMe admin command
 };
 
 struct IoEventCounts
@@ -35,10 +36,12 @@ struct IoEventCounts
     uint64_t injections = 0;
     uint64_t host_interrupts = 0;
     uint64_t iohost_interrupts = 0;
-    // Recovery events (not part of sum(): Table 3 counts only the
-    // per-transaction virtualization events of the happy path).
+    // Recovery and setup events (not part of sum(): Table 3 counts
+    // only the per-transaction virtualization events of the happy
+    // path).
     uint64_t request_timeouts = 0;
     uint64_t failovers = 0;
+    uint64_t admin_commands = 0;
 
     /**
      * Mirror every recorded event into per-VM registry series
@@ -56,6 +59,7 @@ struct IoEventCounts
         tm_[4] = &m.counter("hv.vm.iohost_interrupts", labels);
         tm_[5] = &m.counter("hv.vm.request_timeouts", labels);
         tm_[6] = &m.counter("hv.vm.failovers", labels);
+        tm_[7] = &m.counter("hv.vm.admin_commands", labels);
     }
 
     void
@@ -85,6 +89,9 @@ struct IoEventCounts
           case IoEvent::Failover:
             failovers += n;
             break;
+          case IoEvent::AdminCommand:
+            admin_commands += n;
+            break;
         }
     }
 
@@ -96,7 +103,7 @@ struct IoEventCounts
     }
 
   private:
-    telemetry::Counter *tm_[7] = {};
+    telemetry::Counter *tm_[8] = {};
 };
 
 } // namespace vrio::hv

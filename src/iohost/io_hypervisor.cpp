@@ -696,7 +696,10 @@ IoHypervisor::execBlock(unsigned worker, MessageAssembler::Assembled req)
             breq.nsectors =
                 uint32_t(req.payload.size() / virtio::kSectorSize);
             breq.data = std::move(req.payload);
-        } else if (kind == virtio::BlkType::In) {
+        } else if (kind == virtio::BlkType::In ||
+                   kind == virtio::BlkType::Discard) {
+            // Reads and discards carry no payload; the sector count
+            // rides in the header's io_len.
             breq.nsectors = req.hdr.io_len / virtio::kSectorSize;
         }
 

@@ -2,6 +2,7 @@
 
 #include "models/baseline.hpp"
 #include "models/elvis.hpp"
+#include "models/nvme_passthrough.hpp"
 #include "models/optimum.hpp"
 #include "models/vrio.hpp"
 #include "util/logging.hpp"
@@ -22,6 +23,8 @@ modelKindName(ModelKind kind)
         return "vrio";
       case ModelKind::VrioNoPoll:
         return "vrio-no-poll";
+      case ModelKind::NvmePassthrough:
+        return "nvme-pt";
     }
     return "unknown";
 }
@@ -55,6 +58,8 @@ makeModel(Rack &rack, ModelConfig cfg)
       case ModelKind::Vrio:
       case ModelKind::VrioNoPoll:
         return std::make_unique<VrioModel>(rack, cfg);
+      case ModelKind::NvmePassthrough:
+        return std::make_unique<NvmePassthroughModel>(rack, cfg);
     }
     vrio_panic("unreachable model kind");
 }

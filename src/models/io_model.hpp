@@ -13,6 +13,7 @@
 #include "block/ram_disk.hpp"
 #include "block/ssd_model.hpp"
 #include "hv/events.hpp"
+#include "nvme/controller.hpp"
 #include "interpose/service.hpp"
 #include "models/endpoint.hpp"
 #include "models/rack.hpp"
@@ -24,7 +25,15 @@ enum class ModelKind {
     Elvis,     ///< local sidecores, state of the art
     Optimum,   ///< SRIOV + ELI, non-interposable upper bound
     Vrio,      ///< remote sidecores, polling IOhost
-    VrioNoPoll ///< ablation: interrupt-driven IOhost
+    VrioNoPoll,///< ablation: interrupt-driven IOhost
+    /**
+     * NVMe I/O-queues passthrough (Chen et al.): each VM owns
+     * dedicated SQ/CQ pairs mapped into its memory — doorbells and
+     * completion interrupts bypass the hypervisor; only admin
+     * commands (queue/namespace setup) are mediated.  Like the
+     * optimum, non-interposable.
+     */
+    NvmePassthrough
 };
 
 const char *modelKindName(ModelKind kind);
@@ -48,6 +57,21 @@ struct ModelConfig
     bool block_use_ssd = false;
     block::RamDiskConfig ramdisk_cfg{.capacity_bytes = 16ull << 20};
     block::SsdConfig ssd_cfg{.capacity_bytes = 16ull << 20};
+
+    /**
+     * How block devices reach the backing store.  Direct keeps the
+     * historical wiring (the model's own RamDisk/SsdModel per VM).
+     * Nvme routes every disk through an NVMe controller: the
+     * passthrough model always uses it (one controller per VMhost,
+     * one queue pair per VM); for the vRIO kinds it consolidates all
+     * VM disks as namespaces behind one shared queue pair at the
+     * IOhost — the serialized arrangement fig17 compares against.
+     */
+    enum class BlockBackend { Direct, Nvme };
+    BlockBackend block_backend = BlockBackend::Direct;
+    nvme::ControllerConfig nvme_cfg;
+    /** SQ/CQ ring depth for model-created NVMe queue pairs. */
+    uint16_t nvme_queue_depth = 32;
 
     // -- vRIO specifics ----------------------------------------------
     /**

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * NVMe I/O-queues-passthrough model (Chen et al.).
+ *
+ * Networking is SRIOV+ELI exactly like the optimum.  Storage is the
+ * interesting part: each VMhost carries one NVMe controller, and every
+ * VM on it owns a dedicated SQ/CQ pair whose rings live in the VM's
+ * own memory.  Doorbell writes are plain stores to a mapped page (no
+ * exit) and completion interrupts are delivered straight to the guest
+ * (no injection); only admin commands — namespace attach and queue
+ * creation at boot — trap to the hypervisor.  Like the optimum, the
+ * arrangement is non-interposable: no host software ever sees an I/O
+ * request, so the paper's interposition services cannot apply.
+ *
+ * Steady-state Table 3 row: 0 exits, 2 guest interrupts (TX completion
+ * + block completion), 0 injections, 0 host interrupts.
+ */
+#ifndef VRIO_MODELS_NVME_PASSTHROUGH_HPP
+#define VRIO_MODELS_NVME_PASSTHROUGH_HPP
+
+#include "models/io_model.hpp"
+#include "nvme/driver.hpp"
+
+namespace vrio::models {
+
+class NvmePassthroughModel : public IoModel
+{
+  public:
+    NvmePassthroughModel(Rack &rack, ModelConfig cfg);
+    ~NvmePassthroughModel() override;
+
+    GuestEndpoint &guest(unsigned vm_index) override;
+    std::vector<const sim::Resource *> ioResources() const override
+    {
+        return {}; // no host I/O cores by construction
+    }
+
+    /** The controller on VMhost @p host (tests and benches). */
+    nvme::Controller &controller(unsigned host);
+
+  protected:
+    const hv::Vm &vmAt(unsigned vm_index) const override;
+
+  private:
+    class Endpoint;
+
+    struct Host
+    {
+        std::unique_ptr<hv::Machine> machine;
+        std::unique_ptr<net::Nic> nic;
+        /** Local backing store all this host's namespaces carve. */
+        std::unique_ptr<block::BlockDevice> backing;
+        std::unique_ptr<nvme::Controller> ctrl;
+    };
+
+    std::vector<Host> hosts;
+    std::vector<std::unique_ptr<Endpoint>> endpoints;
+};
+
+} // namespace vrio::models
+
+#endif // VRIO_MODELS_NVME_PASSTHROUGH_HPP

@@ -2,6 +2,7 @@
 
 #include "models/jitter.hpp"
 
+#include "nvme/nvme_backed_device.hpp"
 #include "transport/control.hpp"
 #include "transport/encap.hpp"
 #include "transport/reassembly.hpp"
@@ -781,7 +782,22 @@ VrioModel::VrioModel(Rack &rack, ModelConfig cfg) : IoModel(rack, cfg)
 
         if (cfg.with_block) {
             std::unique_ptr<block::BlockDevice> disk;
-            if (cfg.block_use_ssd) {
+            if (cfg.block_backend == ModelConfig::BlockBackend::Nvme) {
+                // Still under the enclosing IOhost ShardScope: the
+                // controller, its rings and the backing device all
+                // live on the IOhost's shard with the workers that
+                // poke them.
+                if (!nvme_shared)
+                    setupNvmeShared();
+                uint64_t per_vm = (cfg.block_use_ssd
+                                       ? cfg.ssd_cfg.capacity_bytes
+                                       : cfg.ramdisk_cfg.capacity_bytes) /
+                                  virtio::kSectorSize;
+                uint32_t nsid = nvme_shared->ctrl->addNamespace(per_vm);
+                disk = std::make_unique<nvme::NvmeBackedDevice>(
+                    sim, strFormat("vrio.iohost.nvme.ns%u", v),
+                    *nvme_shared->qp, nsid);
+            } else if (cfg.block_use_ssd) {
                 disk = std::make_unique<block::SsdModel>(
                     sim, strFormat("vrio.iohost.ssd%u", v), cfg.ssd_cfg);
             } else {
@@ -843,6 +859,37 @@ VrioModel::VrioModel(Rack &rack, ModelConfig cfg) : IoModel(rack, cfg)
             }
         }
     });
+}
+
+void
+VrioModel::setupNvmeShared()
+{
+    auto &sim = rack_.sim();
+    uint64_t per_vm_bytes = cfg_.block_use_ssd
+                                ? cfg_.ssd_cfg.capacity_bytes
+                                : cfg_.ramdisk_cfg.capacity_bytes;
+    auto shared = std::make_unique<NvmeShared>();
+    if (cfg_.block_use_ssd) {
+        block::SsdConfig sc = cfg_.ssd_cfg;
+        sc.capacity_bytes = per_vm_bytes * cfg_.num_vms;
+        shared->backing = std::make_unique<block::SsdModel>(
+            sim, "vrio.iohost.nvme.ssd", sc);
+    } else {
+        block::RamDiskConfig rc = cfg_.ramdisk_cfg;
+        rc.capacity_bytes = per_vm_bytes * cfg_.num_vms;
+        shared->backing = std::make_unique<block::RamDisk>(
+            sim, "vrio.iohost.nvme.rd", rc);
+    }
+    shared->ctrl = std::make_unique<nvme::Controller>(
+        sim, "vrio.iohost.nvme", *shared->backing, cfg_.nvme_cfg);
+    // Hypervisor-memory arena for the shared queue pair: rings plus
+    // up to queue-depth in-flight PRP buffers.
+    shared->arena = std::make_unique<virtio::GuestMemory>(32u << 20);
+    // No interrupt hook: the IOhost's worker context polls, so the
+    // driver reaps inline when the completion lands.
+    shared->qp = std::make_unique<nvme::QueuePairDriver>(
+        *shared->ctrl, *shared->arena, cfg_.nvme_queue_depth);
+    nvme_shared = std::move(shared);
 }
 
 VrioModel::~VrioModel() = default;

@@ -14,6 +14,7 @@
 #include "block/disk_scheduler.hpp"
 #include "iohost/io_hypervisor.hpp"
 #include "models/io_model.hpp"
+#include "nvme/driver.hpp"
 #include "transport/retransmit.hpp"
 
 namespace vrio::models {
@@ -126,6 +127,23 @@ class VrioModel : public IoModel
     std::unique_ptr<net::Nic> hb_out_nic;
     std::unique_ptr<iohost::IoHypervisor> iohv;
     std::vector<std::unique_ptr<block::BlockDevice>> remote_disks;
+
+    /**
+     * Shared NVMe backing (ModelConfig::BlockBackend::Nvme): the
+     * IOhost consolidates every VM disk as a namespace of one
+     * controller and reaches it through a single queue pair in
+     * hypervisor memory — the interposed arrangement fig17 compares
+     * against per-VM queue passthrough.
+     */
+    struct NvmeShared
+    {
+        std::unique_ptr<virtio::GuestMemory> arena;
+        std::unique_ptr<block::BlockDevice> backing;
+        std::unique_ptr<nvme::Controller> ctrl;
+        std::unique_ptr<nvme::QueuePairDriver> qp;
+    };
+    std::unique_ptr<NvmeShared> nvme_shared;
+    void setupNvmeShared();
 
     // Standby IOhost (recovery.standby).
     std::unique_ptr<hv::Machine> standby_machine;

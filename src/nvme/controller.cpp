@@ -1,0 +1,316 @@
+#include "nvme/controller.hpp"
+
+#include "sim/simulation.hpp"
+#include "util/logging.hpp"
+
+namespace vrio::nvme {
+
+Controller::Controller(sim::Simulation &sim, std::string name,
+                       block::BlockDevice &backend, ControllerConfig cfg)
+    : SimObject(sim, std::move(name)), cfg(cfg), backend(backend),
+      engine(sim.events(), this->name() + ".engine")
+{
+    sched = std::make_unique<block::DiskScheduler>(
+        [this](block::BlockRequest req, block::BlockCallback done) {
+            this->backend.submit(std::move(req), std::move(done));
+        });
+
+    auto &m = sim.telemetry().metrics;
+    telemetry::Labels ctl{{"ctrl", this->name()}};
+    doorbell_writes = &m.counter("nvme.doorbell.writes", ctl);
+    cq_interrupts = &m.counter("nvme.cq.interrupts", ctl);
+    sq_depth = &m.histogram("nvme.sq.depth", ctl);
+}
+
+Controller::~Controller() = default;
+
+uint32_t
+Controller::addNamespace(uint64_t sectors)
+{
+    vrio_assert(sectors > 0, "empty namespace");
+    vrio_assert(next_base_sector + sectors <= backend.capacitySectors(),
+                "namespaces exceed backing device capacity: need ",
+                next_base_sector + sectors, " of ",
+                backend.capacitySectors());
+    namespaces.push_back({next_base_sector, sectors});
+    next_base_sector += sectors;
+    ++admin_commands;
+    return uint32_t(namespaces.size());
+}
+
+uint16_t
+Controller::adminCreateQueuePair(QueueSpec spec)
+{
+    vrio_assert(spec.mem, "queue pair needs a memory arena");
+    vrio_assert(spec.depth >= 2, "queue depth must be >= 2");
+    // Phase detection depends on the CQ starting zeroed: a stale
+    // entry with phase bit 1 would read as a fresh completion.
+    spec.mem->fill(spec.cq_base, uint64_t(spec.depth) * kCqeSize);
+
+    auto q = std::make_unique<QueuePair>();
+    q->spec = std::move(spec);
+    uint16_t qid = uint16_t(qps.size() + 1);
+    q->service_ns = &sim().telemetry().metrics.histogram(
+        "nvme.queue.service_ns",
+        {{"ctrl", name()}, {"qid", std::to_string(qid)}});
+    qps.push_back(std::move(q));
+    // Create I/O CQ + Create I/O SQ, mediated as one call.
+    admin_commands += 2;
+    return qid;
+}
+
+Controller::QueuePair &
+Controller::qp(uint16_t qid)
+{
+    vrio_assert(qid >= 1 && qid <= qps.size(), "bad qid ", qid);
+    return *qps[qid - 1];
+}
+
+uint16_t
+Controller::queueDepth(uint16_t qid) const
+{
+    const QueuePair &q = *qps.at(qid - 1);
+    return uint16_t((q.sq_tail + q.spec.depth - q.sq_head) %
+                    q.spec.depth);
+}
+
+uint64_t
+Controller::namespaceSectors(uint32_t nsid) const
+{
+    vrio_assert(nsid >= 1 && nsid <= namespaces.size(), "bad nsid ",
+                nsid);
+    return namespaces[nsid - 1].sectors;
+}
+
+void
+Controller::ringSqDoorbell(uint16_t qid, uint16_t new_tail)
+{
+    qp(qid); // validate before the latency elapses
+    sim().events().schedule(
+        cfg.doorbell_latency, [this, qid, new_tail]() {
+            QueuePair &q = qp(qid);
+            vrio_assert(new_tail < q.spec.depth, "doorbell tail ",
+                        new_tail, " out of range");
+            q.sq_tail = new_tail;
+            doorbell_writes->inc();
+            // Backlog visible to the device at this doorbell: what
+            // fig17 plots as nvme.sq.depth.
+            sq_depth->record((q.sq_tail + q.spec.depth - q.sq_head) %
+                             q.spec.depth);
+            pump();
+        });
+}
+
+void
+Controller::ringCqDoorbell(uint16_t qid, uint16_t new_head)
+{
+    qp(qid);
+    sim().events().schedule(cfg.doorbell_latency,
+                            [this, qid, new_head]() {
+                                QueuePair &q = qp(qid);
+                                vrio_assert(new_head < q.spec.depth,
+                                            "cq doorbell out of range");
+                                q.cq_head = new_head;
+                                doorbell_writes->inc();
+                                pump(); // CQ slots freed; may unblock
+                            });
+}
+
+bool
+Controller::canFetch(const QueuePair &q, uint16_t qid) const
+{
+    if (q.sq_head == q.sq_tail)
+        return false; // SQ empty
+    // Work-conserving arbitration cap: this SQ's share of the disk
+    // scheduler backlog, plus commands still on the command
+    // processor, must stay under the per-queue service cap.
+    if (sched->queueDepth(qid) + q.transit >= cfg.sq_service_cap)
+        return false;
+    // Reserve CQ space for every command in the pipeline so a slow
+    // reaper can never make the controller overwrite an unconsumed
+    // CQE.  (depth - 1 usable slots, per the spec's full condition.)
+    unsigned cq_used =
+        (q.cq_tail + q.spec.depth - q.cq_head) % q.spec.depth;
+    if (q.pipeline + cq_used >= unsigned(q.spec.depth) - 1)
+        return false;
+    return true;
+}
+
+void
+Controller::pump()
+{
+    if (qps.empty())
+        return;
+    // Round-robin with bursts: starting from rr_next, each SQ may
+    // fetch up to arb_burst commands per turn; rounds repeat while
+    // any queue makes progress, so an idle SQ never strands work in
+    // a busy one (work conservation), while the per-queue cap keeps
+    // one flooded SQ from starving the rest (fairness).
+    bool progress = true;
+    while (progress) {
+        progress = false;
+        uint16_t start = rr_next;
+        for (uint16_t i = 0; i < qps.size(); ++i) {
+            uint16_t qid = uint16_t((start + i) % qps.size() + 1);
+            QueuePair &q = *qps[qid - 1];
+            unsigned burst = 0;
+            while (burst < cfg.arb_burst && canFetch(q, qid)) {
+                fetchOne(qid);
+                ++burst;
+                progress = true;
+            }
+            if (burst == cfg.arb_burst) {
+                // Queue used its full turn: the next pump resumes
+                // with its successor.
+                rr_next = uint16_t(qid % qps.size());
+            }
+        }
+    }
+}
+
+void
+Controller::fetchOne(uint16_t qid)
+{
+    QueuePair &q = qp(qid);
+    uint64_t addr = q.spec.sq_base + uint64_t(q.sq_head) * kSqeSize;
+    Command cmd = Command::decode(*q.spec.mem, addr);
+    q.sq_head = uint16_t((q.sq_head + 1) % q.spec.depth);
+    ++q.transit;
+    ++q.pipeline;
+    sim::Tick fetched = now();
+    engine.submit(cfg.cmd_fixed, [this, qid, cmd, fetched]() {
+        issue(qid, cmd, fetched);
+    });
+}
+
+void
+Controller::issue(uint16_t qid, Command cmd, sim::Tick fetched)
+{
+    QueuePair &q = qp(qid);
+    --q.transit;
+
+    virtio::BlkType kind;
+    switch (cmd.opcode) {
+      case kOpRead:
+        kind = virtio::BlkType::In;
+        break;
+      case kOpWrite:
+        kind = virtio::BlkType::Out;
+        break;
+      case kOpFlush:
+        kind = virtio::BlkType::Flush;
+        break;
+      case kOpDsmDeallocate:
+        kind = virtio::BlkType::Discard;
+        break;
+      default:
+        complete(qid, cmd, fetched, kStatusInvalidOpcode, {});
+        return;
+    }
+
+    if (kind != virtio::BlkType::Flush) {
+        if (cmd.nsid < 1 || cmd.nsid > namespaces.size()) {
+            complete(qid, cmd, fetched, kStatusInvalidField, {});
+            return;
+        }
+        const Namespace &ns = namespaces[cmd.nsid - 1];
+        if (cmd.nlb == 0 || cmd.slba + cmd.nlb > ns.sectors) {
+            complete(qid, cmd, fetched, kStatusLbaOutOfRange, {});
+            return;
+        }
+    }
+
+    block::BlockRequest req;
+    req.kind = kind;
+    req.nsectors = cmd.nlb;
+    if (kind != virtio::BlkType::Flush)
+        req.sector = namespaces[cmd.nsid - 1].base_sector + cmd.slba;
+    if (kind == virtio::BlkType::Out)
+        req.data = q.spec.mem->read(cmd.prp1, req.byteLength());
+    if (kind == virtio::BlkType::Flush)
+        req.nsectors = 0;
+
+    sched->submit(
+        std::move(req),
+        [this, qid, cmd, fetched](virtio::BlkStatus status, Bytes data) {
+            complete(qid, cmd, fetched, mapStatus(status), data);
+        },
+        qid);
+}
+
+uint16_t
+Controller::mapStatus(virtio::BlkStatus s)
+{
+    switch (s) {
+      case virtio::BlkStatus::Ok:
+        return kStatusOk;
+      case virtio::BlkStatus::Unsupported:
+        return kStatusInvalidField;
+      default:
+        return kStatusInternalError;
+    }
+}
+
+void
+Controller::complete(uint16_t qid, const Command &cmd, sim::Tick fetched,
+                     uint16_t status, const Bytes &data)
+{
+    QueuePair &q = qp(qid);
+    // DMA read data into the command's PRP buffer before the CQE
+    // becomes visible.
+    if (status == kStatusOk && cmd.opcode == kOpRead)
+        q.spec.mem->write(cmd.prp1, data);
+
+    postCqe(qid, cmd, status);
+    --q.pipeline;
+    ++completed_cmds;
+    q.service_ns->record((now() - fetched) / sim::kNanosecond);
+
+    // MSI-X coalescing: fire when the frame budget fills; otherwise
+    // arm the delay timer so a lone completion is never stranded.
+    ++q.irq_pending;
+    if (q.irq_pending >= cfg.cq_coalesce_frames ||
+        cfg.cq_coalesce_delay == 0) {
+        fireInterrupt(qid);
+    } else if (!q.irq_timer_armed) {
+        q.irq_timer_armed = true;
+        sim().events().schedule(cfg.cq_coalesce_delay, [this, qid]() {
+            QueuePair &tq = qp(qid);
+            tq.irq_timer_armed = false;
+            if (tq.irq_pending > 0)
+                fireInterrupt(qid);
+        });
+    }
+
+    pump(); // scheduler capacity freed; fetch more
+}
+
+void
+Controller::postCqe(uint16_t qid, const Command &cmd, uint16_t status)
+{
+    QueuePair &q = qp(qid);
+    Completion c;
+    c.sq_head = q.sq_head;
+    c.sq_id = qid;
+    c.cid = cmd.cid;
+    c.status = status;
+    c.phase = q.cq_phase;
+    c.encode(*q.spec.mem,
+             q.spec.cq_base + uint64_t(q.cq_tail) * kCqeSize);
+    q.cq_tail = uint16_t((q.cq_tail + 1) % q.spec.depth);
+    if (q.cq_tail == 0)
+        q.cq_phase ^= 1; // ring wrapped: flip the phase tag
+}
+
+void
+Controller::fireInterrupt(uint16_t qid)
+{
+    QueuePair &q = qp(qid);
+    q.irq_pending = 0;
+    ++irqs_fired;
+    cq_interrupts->inc();
+    if (q.spec.interrupt)
+        q.spec.interrupt();
+}
+
+} // namespace vrio::nvme

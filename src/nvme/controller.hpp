@@ -1,0 +1,186 @@
+/**
+ * @file
+ * NVMe controller device model.
+ *
+ * The controller owns paired submission/completion queues mapped in a
+ * guest (or hypervisor) memory arena, fetches commands on doorbell
+ * writes under round-robin arbitration across SQs, executes them
+ * against a backing block::BlockDevice through a block::DiskScheduler,
+ * and posts phase-tagged completions with MSI-X-style per-CQ
+ * interrupts (optionally coalesced).
+ *
+ * Queue pairs are created through the admin interface
+ * (adminCreateQueuePair) — the one operation that stays
+ * hypervisor-mediated in the I/O-queues-passthrough model per Chen et
+ * al.: I/O submission and completion never leave guest context, queue
+ * and namespace lifecycle always does.
+ *
+ * Timing model: a doorbell write reaches the controller after
+ * `doorbell_latency` (PCIe posted write); each fetched command charges
+ * `cmd_fixed` on the controller's single command processor; data
+ * transfer time lives in the backing device's bandwidth model, so it
+ * is not double-charged here.
+ *
+ * Arbitration is work-conserving: an SQ is skipped only when it is
+ * empty or when its share of the scheduler backlog has reached
+ * `sq_service_cap` (read straight from DiskScheduler::queueDepth) —
+ * an idle queue never blocks a busy one.
+ */
+#ifndef VRIO_NVME_CONTROLLER_HPP
+#define VRIO_NVME_CONTROLLER_HPP
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "block/disk_scheduler.hpp"
+#include "nvme/nvme_defs.hpp"
+#include "sim/resource.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace vrio::nvme {
+
+struct ControllerConfig
+{
+    /** PCIe posted-write latency of a doorbell reaching the device. */
+    sim::Tick doorbell_latency = sim::Tick(400) * sim::kNanosecond;
+    /** Fixed fetch+decode+issue cost per command (command processor). */
+    sim::Tick cmd_fixed = sim::Tick(700) * sim::kNanosecond;
+    /** Commands fetched from one SQ per round-robin turn. */
+    unsigned arb_burst = 4;
+    /**
+     * Per-SQ cap on scheduler occupancy (in-flight + conflict-held);
+     * arbitration stops fetching from an SQ at the cap and resumes as
+     * its completions drain.
+     */
+    unsigned sq_service_cap = 8;
+    /** Completions per CQ accumulated before an interrupt fires. */
+    unsigned cq_coalesce_frames = 1;
+    /** Max time a completion waits for coalescing company (0=none). */
+    sim::Tick cq_coalesce_delay = 0;
+};
+
+class Controller : public sim::SimObject
+{
+  public:
+    /** Everything needed to create one SQ/CQ pair. */
+    struct QueueSpec
+    {
+        /** Arena holding both rings and the PRP data buffers. */
+        virtio::GuestMemory *mem = nullptr;
+        /** Ring bases: depth * kSqeSize / depth * kCqeSize bytes. */
+        uint64_t sq_base = 0;
+        uint64_t cq_base = 0;
+        /** Entries per ring (>= 2; one slot stays open per NVMe). */
+        uint16_t depth = 32;
+        /** MSI-X vector: invoked per (possibly coalesced) interrupt. */
+        std::function<void()> interrupt;
+    };
+
+    Controller(sim::Simulation &sim, std::string name,
+               block::BlockDevice &backend, ControllerConfig cfg);
+    ~Controller() override;
+
+    /**
+     * Carve a namespace of @p sectors from the backing device
+     * (sequentially from the last namespace's end).  Returns the
+     * 1-based nsid.  Admin-mediated.
+     */
+    uint32_t addNamespace(uint64_t sectors);
+
+    /**
+     * Create an I/O SQ/CQ pair (admin Create I/O CQ + Create I/O SQ,
+     * collapsed into one mediated call).  Zeroes the CQ ring so phase
+     * detection starts clean.  Returns the 1-based qid.
+     */
+    uint16_t adminCreateQueuePair(QueueSpec spec);
+
+    /**
+     * SQ tail doorbell write: @p new_tail is the driver's tail after
+     * publishing SQEs.  Takes effect doorbell_latency later, then
+     * arbitration runs.
+     */
+    void ringSqDoorbell(uint16_t qid, uint16_t new_tail);
+
+    /** CQ head doorbell write: the driver consumed up to @p new_head. */
+    void ringCqDoorbell(uint16_t qid, uint16_t new_head);
+
+    uint64_t namespaceSectors(uint32_t nsid) const;
+    uint16_t queueCount() const { return uint16_t(qps.size()); }
+    uint16_t queueDepth(uint16_t qid) const;
+    /** Admin commands executed (queue creation, namespace attach). */
+    uint64_t adminCommands() const { return admin_commands; }
+    /** I/O commands completed (CQEs posted). */
+    uint64_t completedCommands() const { return completed_cmds; }
+    /** MSI-X interrupts fired across all CQs. */
+    uint64_t interruptsFired() const { return irqs_fired; }
+
+    const ControllerConfig &config() const { return cfg; }
+    block::DiskScheduler &scheduler() { return *sched; }
+
+  private:
+    struct Inflight
+    {
+        Command cmd;
+        sim::Tick fetched = 0;
+    };
+
+    struct QueuePair
+    {
+        QueueSpec spec;
+        /** Controller-side ring state. */
+        uint16_t sq_tail = 0; ///< last doorbell value
+        uint16_t sq_head = 0; ///< next SQE to fetch
+        uint16_t cq_tail = 0; ///< next CQE slot to write
+        uint16_t cq_head = 0; ///< last CQ doorbell value
+        uint8_t cq_phase = 1; ///< spec: phase starts at 1
+        /** Fetched but not yet handed to the disk scheduler. */
+        unsigned transit = 0;
+        /** Fetched but CQE not yet posted (bounds CQ occupancy). */
+        unsigned pipeline = 0;
+        /** Completions since the last interrupt fired. */
+        unsigned irq_pending = 0;
+        bool irq_timer_armed = false;
+        telemetry::LogHistogram *service_ns = nullptr;
+    };
+
+    struct Namespace
+    {
+        uint64_t base_sector = 0;
+        uint64_t sectors = 0;
+    };
+
+    ControllerConfig cfg;
+    block::BlockDevice &backend;
+    std::unique_ptr<block::DiskScheduler> sched;
+    /** Single command processor serializing fetch/decode/issue. */
+    sim::Resource engine;
+    std::vector<std::unique_ptr<QueuePair>> qps; ///< index = qid - 1
+    std::vector<Namespace> namespaces;           ///< index = nsid - 1
+    uint64_t next_base_sector = 0;
+    uint16_t rr_next = 0;
+    uint64_t admin_commands = 0;
+    uint64_t completed_cmds = 0;
+    uint64_t irqs_fired = 0;
+
+    telemetry::Counter *doorbell_writes = nullptr;
+    telemetry::Counter *cq_interrupts = nullptr;
+    telemetry::LogHistogram *sq_depth = nullptr;
+
+    QueuePair &qp(uint16_t qid);
+    /** Round-robin arbitration: fetch while any SQ has room + work. */
+    void pump();
+    bool canFetch(const QueuePair &q, uint16_t qid) const;
+    void fetchOne(uint16_t qid);
+    void issue(uint16_t qid, Command cmd, sim::Tick fetched);
+    void complete(uint16_t qid, const Command &cmd, sim::Tick fetched,
+                  uint16_t status, const Bytes &data);
+    void postCqe(uint16_t qid, const Command &cmd, uint16_t status);
+    void fireInterrupt(uint16_t qid);
+    static uint16_t mapStatus(virtio::BlkStatus s);
+};
+
+} // namespace vrio::nvme
+
+#endif // VRIO_NVME_CONTROLLER_HPP

@@ -1,0 +1,187 @@
+#include "nvme/driver.hpp"
+
+#include <vector>
+
+#include "util/logging.hpp"
+
+namespace vrio::nvme {
+
+QueuePairDriver::QueuePairDriver(Controller &ctrl,
+                                 virtio::GuestMemory &mem,
+                                 uint16_t depth,
+                                 std::function<void()> interrupt_hook)
+    : ctrl(ctrl), mem(mem), depth_(depth)
+{
+    sq_base = mem.alloc(uint64_t(depth) * kSqeSize, 4096);
+    cq_base = mem.alloc(uint64_t(depth) * kCqeSize, 4096);
+
+    Controller::QueueSpec spec;
+    spec.mem = &mem;
+    spec.sq_base = sq_base;
+    spec.cq_base = cq_base;
+    spec.depth = depth;
+    if (interrupt_hook) {
+        spec.interrupt = std::move(interrupt_hook);
+    } else {
+        spec.interrupt = [this]() { reap(); };
+    }
+    qid_ = ctrl.adminCreateQueuePair(std::move(spec));
+}
+
+QueuePairDriver::~QueuePairDriver()
+{
+    mem.free(sq_base);
+    mem.free(cq_base);
+}
+
+bool
+QueuePairDriver::sqFull() const
+{
+    return (unsigned(sq_tail) + depth_ - sq_head_known) % depth_ ==
+           unsigned(depth_) - 1;
+}
+
+uint16_t
+QueuePairDriver::allocCid()
+{
+    // Rolling 16-bit id, skipping ones still outstanding (possible
+    // when the controller runs far ahead of the reaper).
+    while (inflight.count(next_cid))
+        ++next_cid;
+    return next_cid++;
+}
+
+bool
+QueuePairDriver::trySubmit(uint32_t nsid, block::BlockRequest req,
+                           block::BlockCallback done)
+{
+    Pending p{nsid, std::move(req), std::move(done)};
+    return tryIssue(p);
+}
+
+bool
+QueuePairDriver::tryIssue(Pending &p)
+{
+    if (sqFull())
+        return false;
+
+    block::BlockRequest &req = p.req;
+    Command cmd;
+    cmd.cid = allocCid();
+    cmd.nsid = p.nsid;
+    cmd.slba = req.sector;
+    cmd.nlb = req.nsectors;
+
+    Inflight fl;
+    fl.kind = req.kind;
+    switch (req.kind) {
+      case virtio::BlkType::In:
+        cmd.opcode = kOpRead;
+        fl.bytes = uint32_t(req.byteLength());
+        fl.prp = mem.alloc(fl.bytes ? fl.bytes : 1, 512);
+        cmd.prp1 = fl.prp;
+        break;
+      case virtio::BlkType::Out:
+        cmd.opcode = kOpWrite;
+        vrio_assert(req.data.size() == req.byteLength(),
+                    "short write payload");
+        fl.bytes = uint32_t(req.data.size());
+        fl.prp = mem.alloc(fl.bytes ? fl.bytes : 1, 512);
+        cmd.prp1 = fl.prp;
+        mem.write(fl.prp, req.data);
+        break;
+      case virtio::BlkType::Flush:
+        cmd.opcode = kOpFlush;
+        cmd.nlb = 0;
+        break;
+      case virtio::BlkType::Discard:
+        cmd.opcode = kOpDsmDeallocate;
+        break;
+      default:
+        vrio_panic("unsupported block op ", unsigned(req.kind));
+    }
+    fl.done = std::move(p.done);
+
+    cmd.encode(mem, sq_base + uint64_t(sq_tail) * kSqeSize);
+    inflight.emplace(cmd.cid, std::move(fl));
+    sq_tail = uint16_t((sq_tail + 1) % depth_);
+    ++doorbells;
+    ctrl.ringSqDoorbell(qid_, sq_tail);
+    return true;
+}
+
+void
+QueuePairDriver::submit(uint32_t nsid, block::BlockRequest req,
+                        block::BlockCallback done)
+{
+    // Park behind any existing backlog (FIFO order), then push as far
+    // into the SQ as the ring allows.
+    backlog.push_back(Pending{nsid, std::move(req), std::move(done)});
+    drainBacklog();
+}
+
+void
+QueuePairDriver::drainBacklog()
+{
+    while (!backlog.empty() && tryIssue(backlog.front()))
+        backlog.pop_front();
+}
+
+unsigned
+QueuePairDriver::reap()
+{
+    struct Ready
+    {
+        block::BlockCallback done;
+        virtio::BlkStatus status;
+        Bytes data;
+    };
+    std::vector<Ready> ready;
+
+    unsigned n = 0;
+    while (true) {
+        Completion c = Completion::decode(
+            mem, cq_base + uint64_t(cq_head) * kCqeSize);
+        if (c.phase != phase_expect)
+            break; // next entry not yet posted
+        sq_head_known = c.sq_head;
+        auto it = inflight.find(c.cid);
+        vrio_assert(it != inflight.end(), "CQE for unknown cid ",
+                    c.cid);
+        Inflight fl = std::move(it->second);
+        inflight.erase(it);
+
+        virtio::BlkStatus status =
+            c.status == kStatusOk ? virtio::BlkStatus::Ok
+            : c.status == kStatusInvalidOpcode ||
+                    c.status == kStatusInvalidField
+                ? virtio::BlkStatus::Unsupported
+                : virtio::BlkStatus::IoErr;
+        Bytes data;
+        if (fl.kind == virtio::BlkType::In &&
+            status == virtio::BlkStatus::Ok)
+            data = mem.read(fl.prp, fl.bytes);
+        if (fl.prp)
+            mem.free(fl.prp);
+        ready.push_back(
+            Ready{std::move(fl.done), status, std::move(data)});
+
+        cq_head = uint16_t((cq_head + 1) % depth_);
+        if (cq_head == 0)
+            phase_expect ^= 1; // consumed past the wrap point
+        ++n;
+    }
+
+    if (n) {
+        ++doorbells;
+        ctrl.ringCqDoorbell(qid_, cq_head);
+        // Freed SQ slots first (sq_head_known advanced), so parked
+        // requests are older than anything a callback submits.
+        drainBacklog();
+    }
+    for (Ready &r : ready)
+        r.done(r.status, std::move(r.data));
+    return n;
+}
+
+} // namespace vrio::nvme

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * NVMe queue-pair driver: the software half of the queue machinery.
+ *
+ * A QueuePairDriver owns one SQ/CQ pair on a Controller: it allocates
+ * the rings and per-command PRP buffers in its memory arena, encodes
+ * SQEs, rings the tail doorbell, and reaps phase-tagged CQEs when the
+ * controller's MSI-X vector fires.  Both interposition arrangements
+ * are built from this one class:
+ *
+ *  - passthrough: one driver per VM, rings in the VM's own guest
+ *    memory, interrupts delivered to the guest (Chen et al.);
+ *  - interposed: one shared driver at the IOhost, rings in
+ *    hypervisor memory, every VM's namespace multiplexed through it
+ *    (the serialization the fig17 comparison measures).
+ *
+ * Backpressure surface: trySubmit() refuses when the SQ ring is full
+ * (the spec's depth-1 occupancy rule against the head learned from
+ * CQEs); submit() layers a FIFO overflow backlog on top that drains
+ * as completions free slots.
+ */
+#ifndef VRIO_NVME_DRIVER_HPP
+#define VRIO_NVME_DRIVER_HPP
+
+#include <deque>
+#include <map>
+
+#include "nvme/controller.hpp"
+
+namespace vrio::nvme {
+
+class QueuePairDriver
+{
+  public:
+    /**
+     * Creates the rings in @p mem and the queue pair on @p ctrl (an
+     * admin-mediated operation).  @p interrupt_hook, when set, is
+     * invoked on each MSI-X interrupt *instead of* an immediate
+     * reap() — the caller charges its interrupt-delivery costs and
+     * then calls reap() itself.  Unset = reap inline (polled host
+     * context).
+     */
+    QueuePairDriver(Controller &ctrl, virtio::GuestMemory &mem,
+                    uint16_t depth,
+                    std::function<void()> interrupt_hook = {});
+    ~QueuePairDriver();
+
+    QueuePairDriver(const QueuePairDriver &) = delete;
+    QueuePairDriver &operator=(const QueuePairDriver &) = delete;
+
+    /**
+     * Encode and publish one request against namespace @p nsid;
+     * returns false when the SQ is full, in which case the request is
+     * dropped, not queued (callers that must not lose work use
+     * submit()).  @p done fires after the CQE is reaped, with read
+     * data copied out of the PRP buffer.
+     */
+    bool trySubmit(uint32_t nsid, block::BlockRequest req,
+                   block::BlockCallback done);
+
+    /** trySubmit with an unbounded FIFO overflow backlog behind it. */
+    void submit(uint32_t nsid, block::BlockRequest req,
+                block::BlockCallback done);
+
+    /**
+     * Drain the CQ: consume every entry carrying the expected phase
+     * tag, ring the CQ head doorbell, refill the SQ from the backlog,
+     * then run completion callbacks.  Returns CQEs consumed.
+     */
+    unsigned reap();
+
+    Controller &controller() { return ctrl; }
+    uint16_t qid() const { return qid_; }
+    uint16_t depth() const { return depth_; }
+    /** Commands submitted to the SQ and not yet reaped. */
+    unsigned outstanding() const { return unsigned(inflight.size()); }
+    size_t backlogLength() const { return backlog.size(); }
+    /** True when trySubmit would refuse right now. */
+    bool sqFull() const;
+    uint64_t doorbellWrites() const { return doorbells; }
+
+  private:
+    struct Pending
+    {
+        uint32_t nsid;
+        block::BlockRequest req;
+        block::BlockCallback done;
+    };
+
+    struct Inflight
+    {
+        block::BlockCallback done;
+        uint64_t prp = 0;    ///< arena buffer (0 = none)
+        uint32_t bytes = 0;  ///< data length
+        virtio::BlkType kind = virtio::BlkType::In;
+    };
+
+    Controller &ctrl;
+    virtio::GuestMemory &mem;
+    uint16_t depth_;
+    uint16_t qid_ = 0;
+    uint64_t sq_base = 0;
+    uint64_t cq_base = 0;
+
+    uint16_t sq_tail = 0;
+    /** Head as last advertised by a CQE's sq_head field. */
+    uint16_t sq_head_known = 0;
+    uint16_t cq_head = 0;
+    uint8_t phase_expect = 1;
+    uint16_t next_cid = 0;
+    uint64_t doorbells = 0;
+
+    std::map<uint16_t, Inflight> inflight;
+    std::deque<Pending> backlog;
+
+    uint16_t allocCid();
+    /** Publish @p p when the SQ has room; moves from p only then. */
+    bool tryIssue(Pending &p);
+    void drainBacklog();
+};
+
+} // namespace vrio::nvme
+
+#endif // VRIO_NVME_DRIVER_HPP

@@ -1,0 +1,27 @@
+#include "nvme/nvme_backed_device.hpp"
+
+namespace vrio::nvme {
+
+NvmeBackedDevice::NvmeBackedDevice(sim::Simulation &sim,
+                                   std::string name,
+                                   QueuePairDriver &qp, uint32_t nsid)
+    : BlockDevice(sim, std::move(name)), qp(qp), nsid_(nsid),
+      sectors(qp.controller().namespaceSectors(nsid))
+{}
+
+void
+NvmeBackedDevice::submit(block::BlockRequest req,
+                         block::BlockCallback done)
+{
+    // Sectors are namespace-relative already; the controller rebases
+    // onto the shared backing device and bounds-checks (out-of-range
+    // posts an LBA-out-of-range CQE, surfaced as IoErr).
+    qp.submit(nsid_, std::move(req),
+              [this, done = std::move(done)](virtio::BlkStatus status,
+                                             Bytes data) {
+                  ++completed;
+                  done(status, std::move(data));
+              });
+}
+
+} // namespace vrio::nvme

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * block::BlockDevice adapter over one NVMe namespace.
+ *
+ * This is the interposed arrangement's device: the IOhost consolidates
+ * every VM's disk as a namespace of one shared NVMe controller and
+ * funnels all of them through a single shared queue pair in
+ * hypervisor memory — exactly the single-queue software path whose
+ * scaling fig17 compares against per-VM queue passthrough.  The
+ * adapter slots transparently behind iohost::BlockDeviceEntry, so the
+ * whole vRIO transport/worker machinery runs unchanged on top.
+ */
+#ifndef VRIO_NVME_NVME_BACKED_DEVICE_HPP
+#define VRIO_NVME_NVME_BACKED_DEVICE_HPP
+
+#include "block/block_device.hpp"
+#include "nvme/driver.hpp"
+
+namespace vrio::nvme {
+
+class NvmeBackedDevice : public block::BlockDevice
+{
+  public:
+    /**
+     * @param qp the (shared) queue pair all requests ride.
+     * @param nsid this device's namespace on the controller.
+     */
+    NvmeBackedDevice(sim::Simulation &sim, std::string name,
+                     QueuePairDriver &qp, uint32_t nsid);
+
+    uint64_t capacitySectors() const override { return sectors; }
+    void submit(block::BlockRequest req,
+                block::BlockCallback done) override;
+
+    uint32_t nsid() const { return nsid_; }
+
+  private:
+    QueuePairDriver &qp;
+    uint32_t nsid_;
+    uint64_t sectors;
+};
+
+} // namespace vrio::nvme
+
+#endif // VRIO_NVME_NVME_BACKED_DEVICE_HPP

@@ -1,0 +1,65 @@
+#include "nvme/nvme_defs.hpp"
+
+namespace vrio::nvme {
+
+// SQE byte layout (subset of the spec's command format):
+//   [0]     opcode            [2..3]   cid
+//   [4..7]  nsid              [24..31] prp1
+//   [40..47] slba (CDW10/11)  [48..49] nlb - 1 (CDW12 bits 15:0)
+void
+Command::encode(virtio::GuestMemory &mem, uint64_t addr) const
+{
+    mem.fill(addr, kSqeSize);
+    mem.writeU16(addr + 0, uint16_t(opcode)); // opcode + zero flags
+    mem.writeU16(addr + 2, cid);
+    mem.writeU32(addr + 4, nsid);
+    mem.writeU64(addr + 24, prp1);
+    mem.writeU64(addr + 40, slba);
+    mem.writeU16(addr + 48, nlb ? uint16_t(nlb - 1) : 0);
+    // Bit 0 of CDW13 distinguishes "nlb present": flush has none.
+    mem.writeU16(addr + 50, nlb ? 1 : 0);
+}
+
+Command
+Command::decode(const virtio::GuestMemory &mem, uint64_t addr)
+{
+    Command c;
+    c.opcode = uint8_t(mem.readU16(addr + 0));
+    c.cid = mem.readU16(addr + 2);
+    c.nsid = mem.readU32(addr + 4);
+    c.prp1 = mem.readU64(addr + 24);
+    c.slba = mem.readU64(addr + 40);
+    uint16_t nlb0 = mem.readU16(addr + 48);
+    c.nlb = mem.readU16(addr + 50) ? uint32_t(nlb0) + 1 : 0;
+    return c;
+}
+
+// CQE byte layout:
+//   [0..3]  result (DW0)      [8..9]   sq_head   [10..11] sq_id
+//   [12..13] cid              [14..15] status << 1 | phase
+void
+Completion::encode(virtio::GuestMemory &mem, uint64_t addr) const
+{
+    mem.writeU32(addr + 0, result);
+    mem.writeU32(addr + 4, 0);
+    mem.writeU16(addr + 8, sq_head);
+    mem.writeU16(addr + 10, sq_id);
+    mem.writeU16(addr + 12, cid);
+    mem.writeU16(addr + 14, uint16_t(status << 1) | (phase & 1));
+}
+
+Completion
+Completion::decode(const virtio::GuestMemory &mem, uint64_t addr)
+{
+    Completion c;
+    c.result = mem.readU32(addr + 0);
+    c.sq_head = mem.readU16(addr + 8);
+    c.sq_id = mem.readU16(addr + 10);
+    c.cid = mem.readU16(addr + 12);
+    uint16_t sp = mem.readU16(addr + 14);
+    c.status = sp >> 1;
+    c.phase = sp & 1;
+    return c;
+}
+
+} // namespace vrio::nvme

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * NVMe wire structures: 64-byte submission queue entries, 16-byte
+ * completion queue entries, opcodes and status codes.
+ *
+ * The layouts follow the NVMe 1.x base specification closely enough
+ * that the queue mechanics are faithful — command identifier and
+ * namespace id in the SQE's first dwords, PRP1 at byte 24, the
+ * starting LBA in CDW10/11 and the 0's-based block count in CDW12;
+ * CQE with SQ head pointer in DW2 and CID + phase tag + status in
+ * DW3.  Simplifications are documented inline: PRP lists collapse to
+ * one contiguous guest buffer (PRP1), and DSM deallocate carries a
+ * single LBA range in SLBA/NLB instead of a range-descriptor buffer.
+ */
+#ifndef VRIO_NVME_NVME_DEFS_HPP
+#define VRIO_NVME_NVME_DEFS_HPP
+
+#include <cstdint>
+
+#include "virtio/guest_memory.hpp"
+
+namespace vrio::nvme {
+
+constexpr uint32_t kSqeSize = 64;
+constexpr uint32_t kCqeSize = 16;
+/** LBA size; matches the virtio sector the block layer speaks. */
+constexpr uint32_t kLbaSize = 512;
+
+// -- I/O command set opcodes (NVMe base spec, figure "Opcodes") -------
+constexpr uint8_t kOpFlush = 0x00;
+constexpr uint8_t kOpWrite = 0x01;
+constexpr uint8_t kOpRead = 0x02;
+/** Dataset Management; we model only the deallocate (TRIM) form. */
+constexpr uint8_t kOpDsmDeallocate = 0x09;
+
+// -- status codes (generic command status, SCT 0) ---------------------
+constexpr uint16_t kStatusOk = 0x00;
+constexpr uint16_t kStatusInvalidOpcode = 0x01;
+constexpr uint16_t kStatusInvalidField = 0x02;
+constexpr uint16_t kStatusInternalError = 0x06;
+constexpr uint16_t kStatusLbaOutOfRange = 0x80;
+
+/**
+ * One submission queue entry.  `nlb` is the 1-based sector count at
+ * the API surface; the wire encoding stores the spec's 0's-based
+ * value in CDW12 bits 15:0.
+ */
+struct Command
+{
+    uint8_t opcode = 0;
+    /** Command identifier, unique among this SQ's outstanding cmds. */
+    uint16_t cid = 0;
+    /** Namespace id (1-based; 0 is invalid). */
+    uint32_t nsid = 0;
+    /** Guest-physical address of the (contiguous) data buffer. */
+    uint64_t prp1 = 0;
+    /** Starting LBA, namespace-relative. */
+    uint64_t slba = 0;
+    /** Number of logical blocks (1-based; 0 for flush). */
+    uint32_t nlb = 0;
+
+    void encode(virtio::GuestMemory &mem, uint64_t addr) const;
+    static Command decode(const virtio::GuestMemory &mem, uint64_t addr);
+};
+
+/** One completion queue entry. */
+struct Completion
+{
+    /** Command-specific result (DW0); unused by the I/O set here. */
+    uint32_t result = 0;
+    /** SQ head pointer at posting time (frees SQ slots driver-side). */
+    uint16_t sq_head = 0;
+    /** Submission queue the command came from. */
+    uint16_t sq_id = 0;
+    uint16_t cid = 0;
+    /** Status code (kStatus*). */
+    uint16_t status = 0;
+    /** Phase tag: flips each time the CQ wraps. */
+    uint8_t phase = 0;
+
+    void encode(virtio::GuestMemory &mem, uint64_t addr) const;
+    static Completion decode(const virtio::GuestMemory &mem,
+                             uint64_t addr);
+};
+
+} // namespace vrio::nvme
+
+#endif // VRIO_NVME_NVME_DEFS_HPP

@@ -84,6 +84,13 @@ GuestMemory::write(uint64_t addr, std::span<const uint8_t> data)
     std::memcpy(mem.data() + addr, data.data(), data.size());
 }
 
+void
+GuestMemory::fill(uint64_t addr, size_t len, uint8_t value)
+{
+    check(addr, len);
+    std::memset(mem.data() + addr, value, len);
+}
+
 Bytes
 GuestMemory::read(uint64_t addr, size_t len) const
 {

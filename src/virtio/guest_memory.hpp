@@ -38,6 +38,13 @@ class GuestMemory
     /** Copy bytes into guest memory (bounds-checked). */
     void write(uint64_t addr, std::span<const uint8_t> data);
 
+    /**
+     * Set @p len bytes to @p value (bounds-checked).  Queue rings must
+     * start zeroed — an NVMe completion ring's phase bits in
+     * particular — regardless of what a previous tenant left behind.
+     */
+    void fill(uint64_t addr, size_t len, uint8_t value = 0);
+
     /** Copy bytes out of guest memory (bounds-checked). */
     Bytes read(uint64_t addr, size_t len) const;
 

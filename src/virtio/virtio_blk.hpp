@@ -19,6 +19,8 @@ enum class BlkType : uint32_t {
     In = 0,    ///< read from device
     Out = 1,   ///< write to device
     Flush = 4,
+    /** TRIM/deallocate a sector range (virtio spec 5.2.6 discard). */
+    Discard = 11,
 };
 
 enum class BlkStatus : uint8_t {
