@@ -1,0 +1,252 @@
+/**
+ * @file
+ * Rack-layer companion to Fig. 13: N IOhosts behind the rack switch
+ * serving 4 VMhosts (DESIGN.md §15), with the cross-VM request
+ * coalescer on and off.
+ *
+ * Workload: closed-loop 4KB reads at queue depth 4, striped so the
+ * VMs homed on the same IOhost touch adjacent LBAs of the shared
+ * backend volume in the same round — the cross-VM adjacency the
+ * coalescer merges into one backend submission.  The backing ramdisk
+ * serializes requests through its DMA channel at a fixed per-request
+ * cost, so at this depth the un-merged rack is channel-saturated and
+ * merging G requests saves (G-1) channel occupancies per round.
+ *
+ * Shape targets: (a) throughput scales with IOhost count at a fixed
+ * VMs-per-IOhost load, and coalescing-on >= coalescing-off at every
+ * rack width; (b) the coalescing gain grows with VMs per IOhost
+ * (more mergeable neighbors per window).
+ */
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "common.hpp"
+
+using namespace vrio;
+using models::ModelKind;
+
+namespace {
+
+/**
+ * Closed-loop striped reader: VM rank r of a G-VM IOhost group reads
+ * slot i*G + r (4KB slots) in round i, so one round of the group is a
+ * contiguous G*4KB extent; `depth` loops share the round counter, so
+ * a VM keeps that many rounds in flight.  Deterministic — no RNG.
+ */
+class StripedReader
+{
+  public:
+    StripedReader(models::GuestEndpoint &guest, unsigned rank,
+                  unsigned group, unsigned depth, double think_cycles)
+        : guest(guest), rank(rank), group(group), depth(depth),
+          think_cycles(think_cycles), sim_(&guest.vm().sim())
+    {
+        slots = guest.blockCapacitySectors() / kSlotSectors;
+    }
+
+    void start()
+    {
+        epoch = sim_->now();
+        for (unsigned q = 0; q < depth; ++q)
+            loop();
+    }
+
+    void resetStats()
+    {
+        ops_ = errors_ = 0;
+        latency.reset();
+        epoch = sim_->now();
+    }
+
+    uint64_t opsCompleted() const { return ops_; }
+    uint64_t ioErrors() const { return errors_; }
+    const stats::Histogram &latencyUs() const { return latency; }
+
+    double opsPerSec(sim::Simulation &sim) const
+    {
+        double seconds = sim::ticksToSeconds(sim.now() - epoch);
+        return seconds > 0 ? double(ops_) / seconds : 0.0;
+    }
+
+  private:
+    static constexpr uint32_t kSlotSectors = 8; // 4KB
+
+    models::GuestEndpoint &guest;
+    unsigned rank;
+    unsigned group;
+    unsigned depth;
+    double think_cycles;
+    sim::Simulation *sim_;
+    uint64_t slots = 0;
+    uint64_t round = 0;
+
+    uint64_t ops_ = 0;
+    uint64_t errors_ = 0;
+    stats::Histogram latency;
+    sim::Tick epoch = 0;
+
+    void loop()
+    {
+        block::BlockRequest req;
+        req.kind = virtio::BlkType::In;
+        req.sector = ((round * group + rank) % slots) * kSlotSectors;
+        req.nsectors = kSlotSectors;
+        ++round;
+
+        sim::Tick issued = sim_->now();
+        guest.submitBlock(std::move(req), [this, issued](
+                                              virtio::BlkStatus s,
+                                              Bytes) {
+            if (s != virtio::BlkStatus::Ok) {
+                ++errors_;
+            } else {
+                ++ops_;
+                latency.add(sim::ticksToMicros(sim_->now() - issued));
+            }
+            guest.vm().vcpu().runPreempt(think_cycles,
+                                         [this]() { loop(); });
+        });
+    }
+};
+
+struct RackCell
+{
+    double kiops = 0;
+    double mean_lat_us = 0;
+    uint64_t staged = 0;
+    uint64_t runs = 0;
+    uint64_t merged_parts = 0;
+};
+
+RackCell
+runRack(unsigned iohosts, unsigned vms_per_iohost, bool coalesce)
+{
+    unsigned n_vms = iohosts * vms_per_iohost;
+    bench::SweepOptions opt;
+    opt.vmhosts = 4;
+    opt.generators = 1;
+    opt.sidecores = 2;
+    if (!bench::smokeMode())
+        opt.measure = sim::Tick(150) * sim::kMillisecond;
+    opt.tweak = [=](models::ModelConfig &mc) {
+        mc.with_block = true;
+        mc.vrio_via_switch = true;
+        mc.rack.iohosts = iohosts;
+        mc.rack.coalesce = coalesce;
+        mc.rack.shared_volume = true;
+        mc.rack.coalesce_max = vms_per_iohost;
+        // Wide enough to catch a whole group even when the backend
+        // channel has staggered it by a request latency per member;
+        // once a full round merges, completions re-synchronize and the
+        // eager coalesce_max flush short-circuits the window wait.
+        mc.rack.coalesce_window = sim::Tick(8 * vms_per_iohost) *
+                                  sim::kMicrosecond;
+    };
+
+    bench::Experiment exp(ModelKind::Vrio, n_vms, opt);
+    exp.settle();
+
+    // VM v is homed on IOhost v % iohosts (PlacementPolicy::bootAssign),
+    // so its rank within the IOhost's group is v / iohosts.
+    std::vector<std::unique_ptr<StripedReader>> wls;
+    for (unsigned v = 0; v < n_vms; ++v) {
+        wls.push_back(std::make_unique<StripedReader>(
+            exp.model->guest(v), v / iohosts, vms_per_iohost, 4, 2500));
+        wls.back()->start();
+    }
+    exp.sim->runUntil(exp.sim->now() + opt.warmup);
+    for (auto &wl : wls)
+        wl->resetStats();
+    exp.sim->runUntil(exp.sim->now() + opt.measure);
+
+    RackCell cell;
+    stats::Histogram lat;
+    for (auto &wl : wls) {
+        cell.kiops += wl->opsPerSec(*exp.sim) / 1e3;
+        bench::mergeHistogram(lat, wl->latencyUs());
+    }
+    cell.mean_lat_us = lat.mean();
+    cell.staged = bench::registryCounterSum(exp, "rack.coalesce.staged");
+    cell.runs = bench::registryCounterSum(exp, "rack.coalesce.runs");
+    cell.merged_parts =
+        bench::registryCounterSum(exp, "rack.coalesce.merged_parts");
+    return cell;
+}
+
+double
+mergedPct(const RackCell &cell)
+{
+    return cell.staged
+               ? 100.0 * double(cell.merged_parts) / double(cell.staged)
+               : 0.0;
+}
+
+} // namespace
+
+int
+main()
+{
+    const unsigned rack_widths[] = {1, 2, 4};
+    const unsigned group_sizes[] = {2, 4, 8};
+    const unsigned kGroupAtWidth = 4;  // VMs/IOhost for table (a)
+    const unsigned kWidthAtGroup = 2;  // IOhosts for table (b)
+
+    bench::SweepRunner runner;
+    std::vector<std::shared_ptr<RackCell>> width_off, width_on;
+    for (unsigned r : rack_widths) {
+        width_off.push_back(runner.defer<RackCell>(
+            "rack R=" + std::to_string(r) + " off",
+            [r]() { return runRack(r, kGroupAtWidth, false); }));
+        width_on.push_back(runner.defer<RackCell>(
+            "rack R=" + std::to_string(r) + " on",
+            [r]() { return runRack(r, kGroupAtWidth, true); }));
+    }
+    std::vector<std::shared_ptr<RackCell>> group_off, group_on;
+    for (unsigned g : group_sizes) {
+        group_off.push_back(runner.defer<RackCell>(
+            "group G=" + std::to_string(g) + " off",
+            [g]() { return runRack(kWidthAtGroup, g, false); }));
+        group_on.push_back(runner.defer<RackCell>(
+            "group G=" + std::to_string(g) + " on",
+            [g]() { return runRack(kWidthAtGroup, g, true); }));
+    }
+    runner.run();
+
+    stats::Table width("Figure 13-rack (a): rack throughput at 4 VMs "
+                       "per IOhost [kIOPS]");
+    width.setHeader({"iohosts", "coalesce off", "coalesce on", "on/off",
+                     "merged %"});
+    for (size_t i = 0; i < std::size(rack_widths); ++i) {
+        const RackCell &off = *width_off[i];
+        const RackCell &on = *width_on[i];
+        width.addRow(std::to_string(rack_widths[i]),
+                     {off.kiops, on.kiops,
+                      off.kiops > 0 ? on.kiops / off.kiops : 0.0,
+                      mergedPct(on)},
+                     2);
+    }
+
+    stats::Table group("Figure 13-rack (b): coalescing gain vs VMs per "
+                       "IOhost, 2 IOhosts [kIOPS]");
+    group.setHeader({"vms/iohost", "coalesce off", "coalesce on",
+                     "on/off", "lat off [us]", "lat on [us]"});
+    for (size_t i = 0; i < std::size(group_sizes); ++i) {
+        const RackCell &off = *group_off[i];
+        const RackCell &on = *group_on[i];
+        group.addRow(std::to_string(group_sizes[i]),
+                     {off.kiops, on.kiops,
+                      off.kiops > 0 ? on.kiops / off.kiops : 0.0,
+                      off.mean_lat_us, on.mean_lat_us},
+                     2);
+    }
+
+    std::printf("%s\n", width.toString().c_str());
+    std::printf("%s\n", group.toString().c_str());
+    std::printf("paper shapes: (a) throughput scales with rack width at "
+                "fixed VMs/IOhost; coalescing-on >= coalescing-off at "
+                "every width.\n"
+                "(b) the coalescing gain grows with VMs per IOhost "
+                "(more mergeable neighbors per window).\n");
+    return 0;
+}

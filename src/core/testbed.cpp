@@ -35,6 +35,21 @@ Testbed::Testbed(models::ModelKind kind, unsigned num_vms,
     if (options.configure)
         options.configure(mc);
 
+    // Environment overrides for the rack layer (DESIGN.md §15): unset
+    // variables leave the configured topology untouched, so historical
+    // runs — and every golden — are unaffected.  Setting the IOhost
+    // count implies the switch wiring the rack layer requires.
+    if (const char *env = std::getenv("VRIO_RACK_IOHOSTS");
+        env && *env) {
+        long n = std::atol(env);
+        if (n >= 1) {
+            mc.rack.iohosts = unsigned(n);
+            mc.vrio_via_switch = true;
+        }
+    }
+    if (const char *env = std::getenv("VRIO_RACK_COALESCE"); env && *env)
+        mc.rack.coalesce = std::atol(env) != 0;
+
     unsigned threads =
         options.threads ? options.threads : threadsFromEnv();
     sim::Simulation::Config sc;
@@ -44,7 +59,8 @@ Testbed::Testbed(models::ModelKind kind, unsigned num_vms,
     if (vrio_kind && (threads > 1 || options.shards > 1)) {
         sc.shards = options.shards
                         ? options.shards
-                        : models::vrioShardCount(mc.num_vmhosts);
+                        : models::vrioShardCount(mc.num_vmhosts,
+                                                 mc.rack.iohosts);
         sc.threads = threads;
     }
     sim_ = std::make_unique<sim::Simulation>(sc);

@@ -1,5 +1,7 @@
 #include "fault/injector.hpp"
 
+#include <algorithm>
+
 #include "models/vrio.hpp"
 #include "util/logging.hpp"
 
@@ -57,8 +59,16 @@ FaultInjector::attachLink(net::Link &link)
 void
 FaultInjector::attachIoHost(iohost::IoHypervisor &hv)
 {
-    vrio_assert(!iohv || iohv == &hv, "injector already owns an IOhost");
-    iohv = &hv;
+    for (iohost::IoHypervisor *existing : iohvs)
+        vrio_assert(existing != &hv, "IOhost attached twice");
+    iohvs.push_back(&hv);
+}
+
+iohost::IoHypervisor &
+FaultInjector::targetIoHost(unsigned iohost)
+{
+    vrio_assert(!iohvs.empty(), "no attached IOhost");
+    return *iohvs[std::min<size_t>(iohost, iohvs.size() - 1)];
 }
 
 void
@@ -80,7 +90,8 @@ FaultInjector::attach(models::VrioModel &model)
 {
     for (net::Link *link : model.channelLinks())
         attachLink(*link);
-    attachIoHost(model.hypervisor());
+    for (unsigned k = 0; k < model.rackIoHostCount(); ++k)
+        attachIoHost(model.rackHypervisor(k));
     for (net::Nic *nic : model.iohostClientNics())
         attachRxRing(*nic);
 }
@@ -90,13 +101,13 @@ FaultInjector::arm()
 {
     vrio_assert(!armed, "injector armed twice");
     armed = true;
-    vrio_assert(plan_.outages.empty() || iohv,
+    vrio_assert(plan_.outages.empty() || !iohvs.empty(),
                 "outage windows need an attached IOhost");
-    vrio_assert(plan_.stalls.empty() || iohv,
+    vrio_assert(plan_.stalls.empty() || !iohvs.empty(),
                 "stall windows need an attached IOhost");
     vrio_assert(plan_.squeezes.empty() || !rings.empty(),
                 "squeeze windows need attached RX rings");
-    vrio_assert(plan_.wedges.empty() || iohv,
+    vrio_assert(plan_.wedges.empty() || !iohvs.empty(),
                 "wedge windows need an attached IOhost");
     vrio_assert(plan_.port_downs.empty() || switch_,
                 "port-down windows need an attached switch");
@@ -114,7 +125,7 @@ FaultInjector::arm()
     for (const OutageWindow &w : plan_.outages) {
         checkFuture(w.at, "outage");
         eq.scheduleAt(w.at, [this, w]() { beginOutage(w); });
-        eq.scheduleAt(w.at + w.duration, [this]() { endOutage(); });
+        eq.scheduleAt(w.at + w.duration, [this, w]() { endOutage(w); });
     }
     for (const StallWindow &w : plan_.stalls) {
         checkFuture(w.at, "stall");
@@ -136,18 +147,18 @@ FaultInjector::arm()
 }
 
 void
-FaultInjector::beginOutage(const OutageWindow &)
+FaultInjector::beginOutage(const OutageWindow &w)
 {
     ++outage_count;
     statCounter("outages").inc();
-    noteFault(kOutage, 0);
-    iohv->setOffline(true);
+    noteFault(kOutage, w.iohost);
+    targetIoHost(w.iohost).setOffline(true);
 }
 
 void
-FaultInjector::endOutage()
+FaultInjector::endOutage(const OutageWindow &w)
 {
-    iohv->setOffline(false);
+    targetIoHost(w.iohost).setOffline(false);
 }
 
 void
@@ -156,7 +167,8 @@ FaultInjector::beginStall(const StallWindow &w)
     statCounter("stalls").inc();
     noteFault(kStall, 0);
     // Occupy the sidecore with dead time; queued work resumes after.
-    iohv->workerCore(w.worker).runFor(w.duration, []() {});
+    targetIoHost(w.iohost).workerCore(w.worker).runFor(w.duration,
+                                                       []() {});
 }
 
 void
@@ -168,14 +180,14 @@ FaultInjector::beginWedge(const WedgeWindow &w)
     // Unlike beginStall's bounded dead time, a wedge pauses the worker
     // core's resource outright: jobs queue behind it forever.  Nothing
     // un-pauses it except clearWedge().
-    iohv->workerCore(w.worker).resource().setPaused(true);
+    targetIoHost(w.iohost).workerCore(w.worker).resource().setPaused(
+        true);
 }
 
 void
-FaultInjector::clearWedge(unsigned worker)
+FaultInjector::clearWedge(unsigned worker, unsigned iohost)
 {
-    vrio_assert(iohv, "clearWedge with no attached IOhost");
-    iohv->workerCore(worker).resource().setPaused(false);
+    targetIoHost(iohost).workerCore(worker).resource().setPaused(false);
 }
 
 void

@@ -45,7 +45,11 @@ class FaultInjector : public sim::SimObject, public net::LinkFaultHook
     /** Apply the plan's channel spec to frames crossing @p link. */
     void attachLink(net::Link &link);
 
-    /** Target for outage and stall windows. */
+    /**
+     * Target for outage, stall and wedge windows.  May be called once
+     * per rack IOhost; a window's `iohost` field indexes the attach
+     * order (out-of-range indexes clamp to the last attached).
+     */
     void attachIoHost(iohost::IoHypervisor &iohv);
 
     /** Target for RX-ring squeeze windows. */
@@ -75,7 +79,7 @@ class FaultInjector : public sim::SimObject, public net::LinkFaultHook
      * must come from the watchdog re-steering around the dead worker.
      * Tests call it to exercise the revival path.
      */
-    void clearWedge(unsigned worker);
+    void clearWedge(unsigned worker, unsigned iohost = 0);
 
     // -- injection counts (also in the stats registry) ---------------
     uint64_t framesDropped() const { return drops; }
@@ -116,7 +120,8 @@ class FaultInjector : public sim::SimObject, public net::LinkFaultHook
     std::vector<BurstState> burst_states;
     std::unordered_map<const net::Link *, size_t> link_index;
     std::vector<net::Nic *> rings;
-    iohost::IoHypervisor *iohv = nullptr;
+    /** Attached IOhosts in attach order (one in the legacy wiring). */
+    std::vector<iohost::IoHypervisor *> iohvs;
     net::Switch *switch_ = nullptr;
     bool armed = false;
 
@@ -155,8 +160,11 @@ class FaultInjector : public sim::SimObject, public net::LinkFaultHook
     /** True when the burst chain (state advanced) eats this frame. */
     bool burstStep(net::Link &link, int direction);
 
+    /** Resolve a window's `iohost` index (clamped) to its target. */
+    iohost::IoHypervisor &targetIoHost(unsigned iohost);
+
     void beginOutage(const OutageWindow &w);
-    void endOutage();
+    void endOutage(const OutageWindow &w);
     void beginStall(const StallWindow &w);
     void beginSqueeze(const RxSqueezeWindow &w);
     void endSqueeze();

@@ -102,18 +102,19 @@ FaultPlan::corruptPayloadRate(double p)
 }
 
 FaultPlan &
-FaultPlan::killIoHost(sim::Tick at, sim::Tick duration)
+FaultPlan::killIoHost(sim::Tick at, sim::Tick duration, unsigned iohost)
 {
     vrio_assert(duration > 0, "outage needs a positive duration");
-    outages.push_back(OutageWindow{at, duration});
+    outages.push_back(OutageWindow{at, duration, iohost});
     return *this;
 }
 
 FaultPlan &
-FaultPlan::stallSidecore(unsigned worker, sim::Tick at, sim::Tick duration)
+FaultPlan::stallSidecore(unsigned worker, sim::Tick at, sim::Tick duration,
+                         unsigned iohost)
 {
     vrio_assert(duration > 0, "stall needs a positive duration");
-    stalls.push_back(StallWindow{worker, at, duration});
+    stalls.push_back(StallWindow{worker, at, duration, iohost});
     return *this;
 }
 
@@ -127,9 +128,9 @@ FaultPlan::squeezeRxRing(sim::Tick at, sim::Tick duration, size_t limit)
 }
 
 FaultPlan &
-FaultPlan::wedgeWorker(unsigned worker, sim::Tick at)
+FaultPlan::wedgeWorker(unsigned worker, sim::Tick at, unsigned iohost)
 {
-    wedges.push_back(WedgeWindow{worker, at});
+    wedges.push_back(WedgeWindow{worker, at, iohost});
     return *this;
 }
 

@@ -99,11 +99,16 @@ struct GilbertElliott
                                          double mean_burst);
 };
 
-/** "Kill the IOhost at `at` for `duration`." */
+/**
+ * "Kill the IOhost at `at` for `duration`."  `iohost` selects the
+ * victim among the injector's attached IOhosts (rack mode); 0 — the
+ * default — is the historical single-IOhost target.
+ */
 struct OutageWindow
 {
     sim::Tick at = 0;
     sim::Tick duration = 0;
+    unsigned iohost = 0;
 };
 
 /** Steal a sidecore: worker `worker` executes nothing during the window. */
@@ -112,6 +117,7 @@ struct StallWindow
     unsigned worker = 0;
     sim::Tick at = 0;
     sim::Tick duration = 0;
+    unsigned iohost = 0;
 };
 
 /** Clamp IOhost client RX rings to `limit` slots during the window. */
@@ -132,6 +138,7 @@ struct WedgeWindow
 {
     unsigned worker = 0;
     sim::Tick at = 0;
+    unsigned iohost = 0;
 };
 
 /**
@@ -194,13 +201,15 @@ struct FaultPlan
     FaultPlan &burstLoss(double avg_loss, double mean_burst);
     /** FCS-passing payload corruption (see LinkFaultSpec). */
     FaultPlan &corruptPayloadRate(double p);
-    FaultPlan &killIoHost(sim::Tick at, sim::Tick duration);
+    FaultPlan &killIoHost(sim::Tick at, sim::Tick duration,
+                          unsigned iohost = 0);
     FaultPlan &stallSidecore(unsigned worker, sim::Tick at,
-                             sim::Tick duration);
+                             sim::Tick duration, unsigned iohost = 0);
     FaultPlan &squeezeRxRing(sim::Tick at, sim::Tick duration,
                              size_t limit);
     /** Wedge a worker until FaultInjector::clearWedge (maybe never). */
-    FaultPlan &wedgeWorker(unsigned worker, sim::Tick at);
+    FaultPlan &wedgeWorker(unsigned worker, sim::Tick at,
+                           unsigned iohost = 0);
     /** Down the switch port behind @p victim for @p duration. */
     FaultPlan &killSwitchPort(net::MacAddress victim, sim::Tick at,
                               sim::Tick duration);

@@ -1,5 +1,6 @@
 #include "iohost/io_hypervisor.hpp"
 
+#include <algorithm>
 #include <set>
 
 #include "block/alignment.hpp"
@@ -42,6 +43,9 @@ IoHypervisor::IoHypervisor(sim::Simulation &sim, std::string name,
     offline_tx_drops = &m.counter("iohost.offline_tx_drops", l);
     polls = &m.counter("iohost.polls", l);
     heartbeats_sent = &m.counter("iohost.heartbeats_sent", l);
+    coalesce_staged = &m.counter("rack.coalesce.staged", l);
+    coalesce_runs = &m.counter("rack.coalesce.runs", l);
+    coalesce_merged = &m.counter("rack.coalesce.merged_parts", l);
     inflight_at_dispatch = &m.histogram("iohost.inflight_at_dispatch", l);
     worker_stats.reserve(cfg.num_workers);
     auto &tr = sim.telemetry().tracer;
@@ -192,6 +196,13 @@ IoHypervisor::setOffline(bool off)
         // any partially reassembled message state (partials also age
         // out of the reassembler on their own timeout).
         discardRings();
+        // Requests staged in the coalescer die with the crash too.
+        staged.clear();
+        staged_total = 0;
+        if (coalesce_timer_armed) {
+            coalesce_timer.cancel();
+            coalesce_timer_armed = false;
+        }
         // In-service duplicate-suppression state dies with the crash;
         // the clients replay, and replaying is safe (Section 4.5).
         dedup.clear();
@@ -228,6 +239,10 @@ IoHypervisor::heartbeatTick()
     transport::HeartbeatMsg beat;
     beat.seq = hb_seq;
     beat.incarnation = incarnation_;
+    if (cfg.advertise_load) {
+        beat.has_load = true;
+        beat.load_ns = takeLoadDigest();
+    }
     Bytes payload;
     ByteWriter w(payload);
     beat.encode(w);
@@ -454,6 +469,17 @@ IoHypervisor::dispatch(MessageAssembler::Assembled req)
                          req.hdr.generation)) {
             statCounter("duplicates_suppressed").inc();
             break;
+        }
+        if (cfg.coalesce) {
+            auto it = blk_devices.find(req.hdr.device_id);
+            // Interposed devices keep the one-request path: a chain
+            // transforms exactly one request's payload, which a merged
+            // run cannot express.  Unknown devices fall through to
+            // execBlock for its warn-and-complete semantics.
+            if (it != blk_devices.end() && !it->second.chain) {
+                stageBlock(std::move(req), it->second);
+                break;
+            }
         }
         ++inflight;
         unsigned w = steer.steer(req.hdr.device_id);
@@ -767,6 +793,253 @@ IoHypervisor::execBlock(unsigned worker, MessageAssembler::Assembled req)
                     });
             });
     });
+}
+
+// -- cross-VM request coalescing (rack layer, DESIGN.md §15) --------------
+
+void
+IoHypervisor::stageBlock(MessageAssembler::Assembled req,
+                         const BlockDeviceEntry &dev)
+{
+    coalesce_staged->inc();
+    transport::CoalesceEntry e;
+    e.device_id = req.hdr.device_id;
+    e.serial = req.hdr.request_serial;
+    e.generation = req.hdr.generation;
+    e.blk_type = req.hdr.blk_type;
+    e.ns_id = dev.ns_id;
+    e.lba = dev.sector_offset + req.hdr.sector;
+    e.arrival = stage_arrival++;
+    e.zero_copy = req.zero_copy;
+    auto kind = virtio::BlkType(req.hdr.blk_type);
+    if (kind == virtio::BlkType::Out) {
+        vrio_assert(req.payload.size() % virtio::kSectorSize == 0,
+                    "unaligned write payload");
+        e.nsectors = uint32_t(req.payload.size() / virtio::kSectorSize);
+        e.payload = std::move(req.payload);
+    } else if (kind == virtio::BlkType::In ||
+               kind == virtio::BlkType::Discard) {
+        e.nsectors = req.hdr.io_len / virtio::kSectorSize;
+    }
+
+    // One staging bucket per backing device, in first-seen order (the
+    // rack wiring points many device_ids at one shared store — that
+    // cross-VM adjacency is what the planner merges).
+    StagedBucket *bucket = nullptr;
+    for (auto &b : staged)
+        if (b.device == dev.device)
+            bucket = &b;
+    if (!bucket) {
+        staged.push_back(StagedBucket{dev.device, {}});
+        bucket = &staged.back();
+    }
+    bucket->entries.push_back(std::move(e));
+    if (++staged_total >= cfg.coalesce_max) {
+        // Eager flush: a full window's worth arrived before the timer;
+        // waiting longer could only add latency, never merge mates.
+        flushCoalescer();
+        return;
+    }
+    if (!coalesce_timer_armed) {
+        coalesce_timer_armed = true;
+        coalesce_timer = sim().events().schedule(
+            cfg.coalesce_window, [this]() { flushCoalescer(); });
+    }
+}
+
+void
+IoHypervisor::flushCoalescer()
+{
+    if (coalesce_timer_armed) {
+        coalesce_timer.cancel();
+        coalesce_timer_armed = false;
+    }
+    auto buckets = std::move(staged);
+    staged.clear();
+    staged_total = 0;
+    for (auto &b : buckets) {
+        for (auto &run :
+             transport::planMergedRuns(std::move(b.entries),
+                                       cfg.coalesce_max))
+            execRun(std::move(run));
+    }
+}
+
+void
+IoHypervisor::execRun(transport::MergedRun run)
+{
+    coalesce_runs->inc();
+    if (run.merged())
+        coalesce_merged->add(run.parts.size());
+
+    // The run steers as one unit keyed by its lead (lowest-LBA)
+    // member's device; every member's in-service dedup entry binds to
+    // that worker so a quarantine releases the whole run for replay.
+    uint32_t lead_id = run.parts.front().device_id;
+    ++inflight;
+    unsigned w = steer.steer(lead_id);
+    for (const auto &p : run.parts)
+        dedup.bind(p.device_id, p.serial, w);
+    ++worker_inflight[w];
+    worker_stats[w].dispatches->inc();
+
+    // Worker cost: one fixed charge for the whole submission (the
+    // relocation payoff), per-byte over the bytes actually touched,
+    // the usual zero-copy edge accounting per member write, plus a
+    // small per-extra-member charge for scatter-gather bookkeeping.
+    bool is_write = virtio::BlkType(run.blk_type) == virtio::BlkType::Out;
+    uint64_t copy_bytes = 0;
+    size_t touched = 0;
+    for (const auto &p : run.parts) {
+        if (is_write) {
+            auto split = block::splitForZeroCopy(
+                TransportHeader::kSize % virtio::kSectorSize,
+                p.payload.size(), virtio::kSectorSize);
+            copy_bytes += split.copied();
+            touched += p.payload.size();
+        }
+        if (!p.zero_copy)
+            copy_bytes += p.payload.size();
+    }
+    copied_bytes->add(copy_bytes);
+    double cycles = cfg.blk_fixed_cycles +
+                    cfg.blk_per_byte_cycles * double(touched) +
+                    cfg.copy_per_byte_cycles * double(copy_bytes) +
+                    cfg.coalesce_part_cycles *
+                        double(run.parts.size() - 1) +
+                    takeBatchCycles() + disturbanceCycles();
+
+    recordService(w, cycles);
+    uint64_t epoch = worker_epoch[w];
+    sim::Tick t0 = sim().events().now();
+    workerCore(w).runPreempt(cycles, [this, w, epoch, lead_id, t0,
+                                      run = std::move(run)]() mutable {
+        // Quarantined while queued: the watchdog reconciled the
+        // accounting and dropped every member's dedup entry, so the
+        // clients' replays re-execute the whole run.
+        if (epoch != worker_epoch[w])
+            return;
+        worker_stats[w].residency_ns->record(
+            (sim().events().now() - t0) / 1000);
+        steer.complete(lead_id, w);
+        stageDone(w);
+        auto it = blk_devices.find(lead_id);
+        if (it == blk_devices.end())
+            return;
+
+        block::BlockRequest breq;
+        breq.kind = virtio::BlkType(run.blk_type);
+        breq.sector = run.lba;
+        breq.nsectors = run.nsectors;
+        if (breq.kind == virtio::BlkType::Out)
+            breq.data = transport::buildRunPayload(run);
+
+        it->second.device->submit(
+            std::move(breq),
+            [this, run = std::move(run)](virtio::BlkStatus status,
+                                         Bytes data) mutable {
+                // One backend op per run — the merged-visibility
+                // counter shape (blk_ops < staged when merging works).
+                blk_ops->inc();
+                fanBackRun(std::move(run), status, std::move(data));
+            });
+    });
+}
+
+void
+IoHypervisor::fanBackRun(transport::MergedRun run, virtio::BlkStatus status,
+                         Bytes data)
+{
+    // One response-stage worker charge for the whole run, then the
+    // split completions fan back per-VM.
+    uint32_t lead_id = run.parts.front().device_id;
+    unsigned w = steer.steer(lead_id);
+    for (const auto &p : run.parts)
+        dedup.bind(p.device_id, p.serial, w);
+    uint64_t epoch = worker_epoch[w];
+    double cycles = cfg.blk_fixed_cycles / 2 +
+                    cfg.blk_per_byte_cycles * double(data.size()) +
+                    cfg.coalesce_part_cycles *
+                        double(run.parts.size() - 1);
+    workerCore(w).run(cycles, [this, w, epoch, lead_id,
+                               run = std::move(run), status,
+                               data = std::move(data)]() mutable {
+        if (epoch != worker_epoch[w])
+            return;
+        steer.complete(lead_id, w);
+        // Completions fan back in arrival order, independent of the
+        // LBA order the run was assembled in — a client that staged
+        // first completes first.
+        std::vector<const transport::CoalesceEntry *> order;
+        order.reserve(run.parts.size());
+        for (const auto &p : run.parts)
+            order.push_back(&p);
+        std::sort(order.begin(), order.end(),
+                  [](const transport::CoalesceEntry *a,
+                     const transport::CoalesceEntry *b) {
+                      return a->arrival < b->arrival;
+                  });
+        bool is_read = virtio::BlkType(run.blk_type) == virtio::BlkType::In;
+        for (const transport::CoalesceEntry *p : order) {
+            auto it = blk_devices.find(p->device_id);
+            if (it == blk_devices.end())
+                continue;
+            const BlockDeviceEntry &dev = it->second;
+            TransportHeader resp;
+            resp.type = MsgType::BlkResp;
+            resp.device_id = p->device_id;
+            resp.request_serial = p->serial;
+            resp.blk_type = run.blk_type;
+            resp.sector = p->lba - dev.sector_offset;
+            resp.io_len = p->nsectors * virtio::kSectorSize;
+            resp.status = uint8_t(status);
+            Bytes slice;
+            if (is_read && status == virtio::BlkStatus::Ok)
+                slice = transport::sliceRunData(run, *p, data);
+            resp.total_len = uint32_t(slice.size());
+            resp.generation =
+                dedup.take(p->device_id, p->serial, p->generation);
+            sendToClient(dev.t_mac, resp, slice);
+        }
+    });
+}
+
+// -- load digest (rack placement input) -----------------------------------
+
+uint32_t
+IoHypervisor::loadDigestPreview() const
+{
+    uint64_t sum = 0, count = 0;
+    for (const auto &ws : worker_stats) {
+        sum += ws.residency_ns->sum();
+        count += ws.residency_ns->count();
+    }
+    uint64_t dsum = sum - hb_resid_sum;
+    uint64_t dcount = count - hb_resid_count;
+    if (dcount)
+        return uint32_t(std::min<uint64_t>(dsum / dcount, UINT32_MAX));
+    // No completions this beat period.  An idle IOhost advertises 0,
+    // but one with steered work and no progress (a wedge, a stall) is
+    // the worst possible target — advertise saturation so placement
+    // repels instead of attracting.
+    for (unsigned w = 0; w < cfg.num_workers; ++w)
+        if (steer.workerLoad(w) > 0)
+            return UINT32_MAX;
+    return inflight > 0 ? UINT32_MAX : 0;
+}
+
+uint32_t
+IoHypervisor::takeLoadDigest()
+{
+    uint32_t digest = loadDigestPreview();
+    uint64_t sum = 0, count = 0;
+    for (const auto &ws : worker_stats) {
+        sum += ws.residency_ns->sum();
+        count += ws.residency_ns->count();
+    }
+    hb_resid_sum = sum;
+    hb_resid_count = count;
+    return digest;
 }
 
 void

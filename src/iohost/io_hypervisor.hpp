@@ -23,6 +23,7 @@
 #include "iohost/steering.hpp"
 #include "net/nic.hpp"
 #include "telemetry/telemetry.hpp"
+#include "transport/coalesce.hpp"
 #include "transport/control.hpp"
 #include "transport/reassembly.hpp"
 #include "transport/segmenter.hpp"
@@ -93,6 +94,27 @@ struct IoHypervisorConfig
      */
     sim::Tick watchdog_period = 0;
     unsigned watchdog_threshold = 2;
+
+    // -- rack layer (DESIGN.md §15; all off by default) ---------------
+    /**
+     * Cross-VM request coalescing at this fan-out point: block
+     * requests stage briefly and flush as merged backend runs
+     * (transport/coalesce.hpp).  Off = the historical one-request,
+     * one-submission dispatch path, untouched.
+     */
+    bool coalesce = false;
+    /** Merge window; staged requests flush after this long. */
+    sim::Tick coalesce_window = sim::Tick(2) * sim::kMicrosecond;
+    /** Eager-flush threshold and per-run member cap. */
+    size_t coalesce_max = 8;
+    /** Worker cycles per extra member merged into a run. */
+    double coalesce_part_cycles = 400;
+    /**
+     * Piggyback a load digest (beat-period mean worker residency, ns)
+     * in heartbeats so clients can make rack placement decisions.
+     * Adds 4 bytes per beat; off keeps the wire format historical.
+     */
+    bool advertise_load = false;
 };
 
 /** A guest-facing net device consolidated on the IOhost. */
@@ -114,6 +136,14 @@ struct BlockDeviceEntry
     net::MacAddress t_mac;
     block::BlockDevice *device = nullptr;
     interpose::Chain *chain = nullptr;
+    /**
+     * This device's region on a shared backing store: client sector s
+     * maps to backend LBA sector_offset + s.  0 = whole device (the
+     * historical per-VM backing).
+     */
+    uint64_t sector_offset = 0;
+    /** Namespace id for the coalescer's FLUSH/TRIM fences. */
+    uint32_t ns_id = 0;
 };
 
 class IoHypervisor : public sim::SimObject
@@ -195,6 +225,18 @@ class IoHypervisor : public sim::SimObject
     uint64_t heartbeatsSent() const { return heartbeats_sent->value(); }
     /** Restart count; stamped into heartbeats. */
     uint32_t incarnation() const { return incarnation_; }
+    // -- cross-VM coalescing (cfg.coalesce) ---------------------------
+    /** Backend submissions issued by the coalescer. */
+    uint64_t coalesceRuns() const { return coalesce_runs->value(); }
+    /** Members of multi-request runs (cross-VM merges that paid off). */
+    uint64_t coalesceMergedParts() const
+    {
+        return coalesce_merged->value();
+    }
+    /** Requests that went through the staging buffer. */
+    uint64_t coalesceStaged() const { return coalesce_staged->value(); }
+    /** The load digest the next heartbeat would advertise (tests). */
+    uint32_t loadDigestPreview() const;
     /** Wedged workers the watchdog detected and quarantined. */
     uint64_t wedgesDetected() const { return wedges_detected; }
     /** Quarantined workers readmitted after the probe completed. */
@@ -297,6 +339,28 @@ class IoHypervisor : public sim::SimObject
     sim::Tick last_wedge_tick = 0;
     sim::Tick last_wedge_latency = 0;
 
+    // -- cross-VM request coalescing (cfg.coalesce) -------------------
+    /** Staged entries, bucketed per backing device in first-seen
+     *  order (grouping by equality only — never ordered by address —
+     *  keeps flush order run-to-run deterministic). */
+    struct StagedBucket
+    {
+        block::BlockDevice *device = nullptr;
+        std::vector<transport::CoalesceEntry> entries;
+    };
+    std::vector<StagedBucket> staged;
+    size_t staged_total = 0;
+    /** Arrival stamp deciding per-VM fan-back order. */
+    uint64_t stage_arrival = 0;
+    bool coalesce_timer_armed = false;
+    sim::EventHandle coalesce_timer;
+    telemetry::Counter *coalesce_staged;
+    telemetry::Counter *coalesce_runs;
+    telemetry::Counter *coalesce_merged;
+    /** residency_ns sum/count at the last heartbeat (digest deltas). */
+    uint64_t hb_resid_sum = 0;
+    uint64_t hb_resid_count = 0;
+
     /** Drain and discard every RX ring (crash semantics). */
     void discardRings();
 
@@ -313,6 +377,16 @@ class IoHypervisor : public sim::SimObject
     void watchdogTick();
     void declareWorkerWedged(unsigned worker);
     void reviveWorker(unsigned worker);
+    /** Beat-period mean worker residency (ns), saturating on wedges. */
+    uint32_t takeLoadDigest();
+
+    // Cross-VM request coalescing.
+    void stageBlock(transport::MessageAssembler::Assembled req,
+                    const BlockDeviceEntry &dev);
+    void flushCoalescer();
+    void execRun(transport::MergedRun run);
+    void fanBackRun(transport::MergedRun run, virtio::BlkStatus status,
+                    Bytes data);
 
     // Request execution on worker cores.
     /** Service-time histogram + tracer span for one worker stage. */

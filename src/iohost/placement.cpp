@@ -1,0 +1,77 @@
+#include "iohost/placement.hpp"
+
+namespace vrio::iohost {
+
+namespace {
+
+bool
+fresh(const IoHostLoad &e, sim::Tick now, sim::Tick freshness)
+{
+    return e.seen && now - e.last_beat <= freshness;
+}
+
+} // namespace
+
+std::optional<unsigned>
+PlacementPolicy::pickTarget(unsigned home,
+                            const std::vector<IoHostLoad> &table,
+                            const PlacementConfig &cfg, sim::Tick now,
+                            sim::Tick freshness)
+{
+    if (home >= table.size() || cfg.imbalance_ratio <= 0)
+        return std::nullopt;
+    const IoHostLoad &h = table[home];
+    if (h.load_ns < cfg.min_home_load_ns)
+        return std::nullopt;
+    std::optional<unsigned> best;
+    for (unsigned i = 0; i < table.size(); ++i) {
+        if (i == home || !fresh(table[i], now, freshness))
+            continue;
+        if (!best || table[i].load_ns < table[*best].load_ns)
+            best = i;
+    }
+    if (!best)
+        return std::nullopt;
+    // Ratio gate: the home must be strictly worse by the configured
+    // multiple.  A saturated candidate can never attract work.
+    if (double(h.load_ns) <
+        cfg.imbalance_ratio * double(table[*best].load_ns))
+        return std::nullopt;
+    if (table[*best].load_ns >= h.load_ns)
+        return std::nullopt;
+    return best;
+}
+
+unsigned
+PlacementPolicy::pickFailover(unsigned home,
+                              const std::vector<IoHostLoad> &table,
+                              sim::Tick now, sim::Tick freshness)
+{
+    (void)now;
+    (void)freshness;
+    unsigned n = unsigned(table.size());
+    if (n <= 1)
+        return home;
+    std::optional<unsigned> best;
+    for (unsigned i = 0; i < n; ++i) {
+        if (i == home || !table[i].seen)
+            continue;
+        if (!best) {
+            best = i;
+            continue;
+        }
+        const IoHostLoad &b = table[*best], &c = table[i];
+        if (c.last_beat != b.last_beat) {
+            if (c.last_beat > b.last_beat)
+                best = i;
+        } else if (c.load_ns < b.load_ns) {
+            best = i;
+        }
+    }
+    // Never heard from anyone else: rotate to the next index so the
+    // client still moves and the retransmit queue gets kicked toward
+    // a (possibly recovering) peer.
+    return best ? *best : (home + 1) % n;
+}
+
+} // namespace vrio::iohost

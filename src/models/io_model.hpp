@@ -158,6 +158,51 @@ struct ModelConfig
     Recovery recovery;
 
     /**
+     * Multi-IOhost rack layer (vRIO kinds only).  `iohosts == 0` (the
+     * default) keeps the historical single-IOhost wiring untouched;
+     * any value >= 1 builds the rack layer instead: that many IOhosts
+     * behind the rack switch (requires vrio_via_switch), every client
+     * device consolidated on all of them, VMs homed round-robin
+     * (PlacementPolicy::bootAssign) and re-homed dynamically off the
+     * load digests the IOhosts advertise in their heartbeats.  The
+     * PR 4 cold standby is subsumed: a lapsed home is just a
+     * placement decision toward another IOhost (recovery.standby is
+     * rejected in rack mode).
+     */
+    struct RackOpts
+    {
+        /** Rack IOhost count; 0 = historical single-IOhost wiring. */
+        unsigned iohosts = 0;
+        /**
+         * Cross-VM request coalescing at each IOhost fan-out point:
+         * same-destination adjacent-LBA block requests from different
+         * VMs merge into one backend submission (split completions
+         * fan back per-VM).  See transport/coalesce.hpp for rules.
+         */
+        bool coalesce = false;
+        /** Merge window: staged requests flush after this long. */
+        sim::Tick coalesce_window = sim::Tick(2) * sim::kMicrosecond;
+        /** Eager flush threshold and per-run member cap. */
+        size_t coalesce_max = 8;
+        /**
+         * All VMs share one backend volume per IOhost (namespace
+         * offsets collapse to 0) — the cross-VM adjacency scenario.
+         * Default: each VM gets its own namespace region.
+         */
+        bool shared_volume = false;
+        /**
+         * Voluntary re-steer gate: move a client when its home
+         * IOhost's advertised load is at least this multiple of the
+         * least-loaded peer's (0 = dynamic re-steering off; failover
+         * on heartbeat lapse still happens).
+         */
+        double resteer_ratio = 0.0;
+        /** Minimum dwell time between voluntary moves per client. */
+        sim::Tick resteer_dwell = sim::Tick(20) * sim::kMillisecond;
+    };
+    RackOpts rack;
+
+    /**
      * Client kind per VM index (heterogeneity experiments: KVM/ESXi
      * guests and bare-metal OSes share the IOhost).  Empty = all KVM.
      */
@@ -210,16 +255,19 @@ class IoModel
 std::unique_ptr<IoModel> makeModel(Rack &rack, ModelConfig cfg);
 
 /**
- * Shards a sharded vRIO topology partitions into (DESIGN.md §13):
+ * Shards a sharded vRIO topology partitions into (DESIGN.md §13/§15):
  * shard 0 is the rack fabric (switch + generators), shard 1+h is
- * VMhost h, and the last shard is the IOhost (with its standby —
- * they share consolidated disk objects).  Only the vRIO kinds have a
- * shard cut; the other models keep everything on one queue.
+ * VMhost h, and shard 1+H+k is rack IOhost k.  The historical layout
+ * (num_iohosts == 0, i.e. one IOhost plus its standby sharing the
+ * last shard) is the one-IOhost special case, so the legacy count
+ * num_vmhosts + 2 — and with it shard 0's RNG stream — is preserved
+ * exactly.  Only the vRIO kinds have a shard cut; the other models
+ * keep everything on one queue.
  */
 inline unsigned
-vrioShardCount(unsigned num_vmhosts)
+vrioShardCount(unsigned num_vmhosts, unsigned num_iohosts = 0)
 {
-    return num_vmhosts + 2;
+    return num_vmhosts + 1 + (num_iohosts ? num_iohosts : 1);
 }
 
 } // namespace vrio::models

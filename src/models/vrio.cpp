@@ -54,6 +54,7 @@ class VrioModel::Client : public GuestEndpoint
         tg_recovery_track = tr.intern("recovery");
         tg_lapse = tr.intern("recovery.hb_lapse");
         tg_failover = tr.intern("recovery.failover");
+        tg_resteer = tr.intern("recovery.resteer");
         auto &m = vm_.sim().telemetry().metrics;
         telemetry::Labels vl{{"vm", vm_.name()}};
         m.probe("transport.rtq.retransmissions", vl,
@@ -158,6 +159,7 @@ class VrioModel::Client : public GuestEndpoint
     uint64_t heartbeatsSeen() const { return beats_seen; }
     uint64_t heartbeatLapses() const { return hb_lapses; }
     uint64_t failoversDone() const { return failovers; }
+    uint64_t resteersDone() const { return resteers_; }
     sim::Tick lapseTick() const { return lapse_tick; }
     /** Block requests submitted and not yet completed or failed. */
     uint64_t pendingBlocks() const { return pending.size(); }
@@ -223,6 +225,23 @@ class VrioModel::Client : public GuestEndpoint
     net::MacAddress hb_alt_home;
     bool hb_alt_set = false;
 
+    // -- rack placement (cfg.rack.iohosts >= 1) ------------------------
+    /** Client-channel MAC of each rack IOhost; empty = non-rack. */
+    std::vector<net::MacAddress> rack_macs;
+    /** Index of the IOhost this client is currently homed on. */
+    unsigned rack_home = 0;
+    /** Per-IOhost load table fed by the beats this client sees. */
+    std::vector<iohost::IoHostLoad> rack_loads;
+    iohost::PlacementConfig place_cfg;
+    /** Minimum dwell between voluntary moves (0 = re-steering off). */
+    sim::Tick resteer_dwell = 0;
+    sim::Tick last_move = 0;
+    uint64_t resteers_ = 0;
+    telemetry::Counter *resteer_counter = nullptr;
+    uint16_t tg_resteer = 0;
+
+    bool onRack() const { return !rack_macs.empty(); }
+
     bool tvirtio() const { return io_core != nullptr; }
 
     /** Packet-lifecycle instant on this guest's tracer track. */
@@ -251,6 +270,55 @@ class VrioModel::Client : public GuestEndpoint
      * is nothing to do but note the detection — a beat from the
      * recovered IOhost re-arms the monitor.
      */
+    /**
+     * Home this client's channel on rack IOhost @p k: re-address,
+     * replay everything outstanding there, and note the move.  Both
+     * voluntary re-steers and lapse failovers land here — in the rack,
+     * failover IS a placement decision.
+     */
+    void
+    moveTo(unsigned k, bool failover)
+    {
+        sim::Tick now = vm_.sim().events().now();
+        last_move = now;
+        rack_home = k;
+        iohost_mac = rack_macs[k];
+        ++resteers_;
+        if (resteer_counter)
+            resteer_counter->inc();
+        auto &tr = vm_.sim().telemetry().tracer;
+        if (tr.enabled()) {
+            tr.instant(tg_recovery_track, tg_resteer, now,
+                       telemetry::cat::kRecovery, vm_index);
+        }
+        if (failover) {
+            ++failovers;
+            vm_.events().record(hv::IoEvent::Failover);
+            if (tr.enabled()) {
+                tr.instant(tg_recovery_track, tg_failover, now,
+                           telemetry::cat::kRecovery, vm_index);
+            }
+        }
+        rtq.kickAll();
+        if (hb_lapse_window > 0)
+            armHeartbeatMonitor(); // now watching the new home
+    }
+
+    /** A fresh beat from the home arrived: is somewhere else better? */
+    void
+    maybeResteer()
+    {
+        if (place_cfg.imbalance_ratio <= 0 || rack_macs.size() < 2)
+            return;
+        sim::Tick now = vm_.sim().events().now();
+        if (now - last_move < resteer_dwell)
+            return;
+        auto target = iohost::PlacementPolicy::pickTarget(
+            rack_home, rack_loads, place_cfg, now, hb_lapse_window);
+        if (target)
+            moveTo(*target, /*failover=*/false);
+    }
+
     void
     heartbeatLapse()
     {
@@ -260,6 +328,19 @@ class VrioModel::Client : public GuestEndpoint
         if (tr.enabled()) {
             tr.instant(tg_recovery_track, tg_lapse, lapse_tick,
                        telemetry::cat::kRecovery, vm_index);
+        }
+        if (onRack()) {
+            // The home went silent; pick a replacement from the load
+            // table (the PR 4 standby generalized to any peer).  A
+            // lone-IOhost rack has nowhere to go — like the legacy
+            // no-standby case, the next beat re-arms the monitor.
+            if (rack_macs.size() > 1) {
+                moveTo(iohost::PlacementPolicy::pickFailover(
+                           rack_home, rack_loads, lapse_tick,
+                           hb_lapse_window),
+                       /*failover=*/true);
+            }
+            return;
         }
         if (has_standby && iohost_mac != standby_mac) {
             iohost_mac = standby_mac;
@@ -281,6 +362,28 @@ class VrioModel::Client : public GuestEndpoint
         ByteReader r(msg.payload);
         if (!transport::HeartbeatMsg::decode(r, beat))
             return;
+        if (onRack()) {
+            // Every rack IOhost's beat updates the load table this
+            // client places by; only the home's beat counts for
+            // liveness (a live peer proves nothing about the home).
+            for (unsigned k = 0; k < rack_macs.size(); ++k) {
+                if (msg.src != rack_macs[k])
+                    continue;
+                rack_loads[k].seen = true;
+                rack_loads[k].last_beat = vm_.sim().events().now();
+                if (beat.has_load)
+                    rack_loads[k].load_ns = beat.load_ns;
+                if (k == rack_home) {
+                    ++beats_seen;
+                    last_incarnation = beat.incarnation;
+                    if (hb_lapse_window > 0)
+                        armHeartbeatMonitor();
+                    maybeResteer();
+                }
+                return;
+            }
+            return;
+        }
         // A beacon from an IOhost this channel is not homed on (the
         // standby, pre-failover) proves nothing about our IOhost.
         // With switch-path beacons, beats from the beacon NIC count
@@ -532,10 +635,29 @@ VrioModel::VrioModel(Rack &rack, ModelConfig cfg) : IoModel(rack, cfg)
     // with an unsharded simulation every scope clamps to shard 0 and
     // this constructor is bit-identical to the historical one.
     vrio_assert(sim.shardCount() == 1 ||
-                    sim.shardCount() == vrioShardCount(cfg.num_vmhosts),
+                    sim.shardCount() == vrioShardCount(cfg.num_vmhosts,
+                                                       cfg.rack.iohosts),
                 "vRIO topology with ", cfg.num_vmhosts,
-                " VMhosts needs ", vrioShardCount(cfg.num_vmhosts),
+                " VMhosts needs ",
+                vrioShardCount(cfg.num_vmhosts, cfg.rack.iohosts),
                 " shards, simulation has ", sim.shardCount());
+
+    // -- multi-IOhost rack (DESIGN.md §15) -------------------------------
+    if (cfg.rack.iohosts >= 1) {
+        vrio_assert(cfg.vrio_via_switch,
+                    "the rack layer requires vrio_via_switch wiring: "
+                    "placement is a re-addressing, not a re-cabling");
+        vrio_assert(!cfg.recovery.standby,
+                    "recovery.standby is subsumed by the rack layer "
+                    "(every IOhost is a failover target)");
+        vrio_assert(!cfg.recovery.heartbeat_via_switch,
+                    "rack beats already traverse the switch");
+        vrio_assert(cfg.block_backend == ModelConfig::BlockBackend::Direct,
+                    "rack mode supports the Direct block backend only");
+        buildRack();
+        return;
+    }
+
     const uint32_t io_shard = cfg.num_vmhosts + 1;
     auto vm_shard = [](unsigned h) { return uint32_t(1 + h); };
 
@@ -862,6 +984,252 @@ VrioModel::VrioModel(Rack &rack, ModelConfig cfg) : IoModel(rack, cfg)
 }
 
 void
+VrioModel::buildRack()
+{
+    auto &sim = rack_.sim();
+    const ModelConfig &cfg = cfg_;
+    const unsigned R = cfg.rack.iohosts;
+    auto vm_shard = [](unsigned h) { return uint32_t(1 + h); };
+    auto io_shard = [&cfg](unsigned k) {
+        return uint32_t(1 + cfg.num_vmhosts + k);
+    };
+
+    iohost::IoHypervisorConfig ihc;
+    ihc.num_workers = cfg.sidecores;
+    ihc.polling = cfg.kind == ModelKind::Vrio;
+    ihc.mtu = cfg.vrio_mtu;
+    ihc.batch_max = cfg.iohost_batch_max;
+    ihc.poll_pickup = cfg.iohost_poll_pickup;
+    ihc.worker_ghz = cfg.costs.iohost_ghz;
+    ihc.jitter_p = cfg.costs.worker_jitter.p;
+    ihc.jitter_mean_us = cfg.costs.worker_jitter.mean_us;
+    ihc.stall_p = cfg.costs.worker_stall.p;
+    ihc.stall_mean_us = cfg.costs.worker_stall.mean_us;
+    ihc.jitter_cap_us = cfg.costs.worker_jitter.cap_us;
+    ihc.stall_cap_us = cfg.costs.worker_stall.cap_us;
+    if (cfg.recovery.enabled) {
+        ihc.heartbeat_period = cfg.recovery.heartbeat_period;
+        ihc.watchdog_period = cfg.recovery.watchdog_period;
+        ihc.watchdog_threshold = cfg.recovery.watchdog_threshold;
+        // Beats double as the placement policy's load feed.
+        ihc.advertise_load = true;
+    }
+    ihc.coalesce = cfg.rack.coalesce;
+    ihc.coalesce_window = cfg.rack.coalesce_window;
+    ihc.coalesce_max = cfg.rack.coalesce_max;
+
+    uint64_t per_vm_bytes = cfg.block_use_ssd
+                                ? cfg.ssd_cfg.capacity_bytes
+                                : cfg.ramdisk_cfg.capacity_bytes;
+    uint64_t per_vm_sectors = per_vm_bytes / virtio::kSectorSize;
+
+    // -- the rack IOhosts, one shard each --------------------------------
+    for (unsigned k = 0; k < R; ++k) {
+        sim::ShardScope scope(sim, io_shard(k));
+        RackIoHost io;
+        hv::MachineConfig iomc;
+        iomc.cores = cfg.sidecores;
+        iomc.ghz = cfg.costs.iohost_ghz;
+        io.machine = std::make_unique<hv::Machine>(
+            sim, strFormat("vrio.iohost%u", k), iomc);
+        io.iohv = std::make_unique<iohost::IoHypervisor>(
+            sim, strFormat("vrio.iohv%u", k), *io.machine, ihc);
+
+        net::NicConfig cnc;
+        cnc.gbps = cfg.direct_link_gbps;
+        cnc.num_queues = 1;
+        cnc.mtu = cfg.vrio_mtu;
+        cnc.rx_ring_size = cfg.iohost_rx_ring;
+        io.cnic = std::make_unique<net::Nic>(
+            sim, strFormat("vrio.iohost%u.cnic", k), cnc);
+        io.cnic->setQueueMac(0, net::MacAddress::local(0x7f0000 + k));
+        channel_links.push_back(&rack_.connectToSwitch(
+            strFormat("vrio.iohost%u.swport", k), io.cnic->port(),
+            cfg.direct_link_gbps));
+        io.iohv->attachClientNic(*io.cnic);
+
+        net::NicConfig enc;
+        enc.gbps = cfg.iohost_external_gbps;
+        enc.num_queues = 1;
+        enc.mtu = 64 * 1024;
+        enc.rx_ring_size = 4096;
+        io.extnic = std::make_unique<net::Nic>(
+            sim, strFormat("vrio.iohost%u.extnic", k), enc);
+        io.extnic->setQueueMac(0, net::MacAddress::local(0x7e0000 + k));
+        rack_.connectToSwitch(strFormat("vrio.iohost%u.extlink", k),
+                              io.extnic->port(),
+                              cfg.iohost_external_gbps);
+        io.iohv->attachExternalNic(*io.extnic);
+
+        if (cfg.with_block) {
+            // Each IOhost serves its own replica of the rack volume
+            // (replicated-at-rest), so every VM's device works on
+            // every IOhost and a placement move needs no data motion.
+            uint64_t cap = cfg.rack.shared_volume
+                               ? per_vm_bytes
+                               : per_vm_bytes * cfg.num_vms;
+            if (cfg.block_use_ssd) {
+                block::SsdConfig sc = cfg.ssd_cfg;
+                sc.capacity_bytes = cap;
+                io.store = std::make_unique<block::SsdModel>(
+                    sim, strFormat("vrio.iohost%u.store", k), sc);
+            } else {
+                block::RamDiskConfig rc = cfg.ramdisk_cfg;
+                rc.capacity_bytes = cap;
+                io.store = std::make_unique<block::RamDisk>(
+                    sim, strFormat("vrio.iohost%u.store", k), rc);
+            }
+        }
+        rio.push_back(std::move(io));
+    }
+
+    // -- VMhosts, switch-wired (no per-host IOhost port) -----------------
+    for (unsigned h = 0; h < cfg.num_vmhosts; ++h) {
+        unsigned vms_here =
+            (cfg.num_vms + cfg.num_vmhosts - 1 - h) / cfg.num_vmhosts;
+        if (vms_here == 0)
+            vms_here = 1;
+        Host host;
+        unsigned slots = vms_here + cfg.spare_client_slots;
+        host.slot_used.assign(slots, false);
+        for (unsigned i = 0; i < vms_here; ++i)
+            host.slot_used[i] = true;
+        bool tvirtio =
+            cfg.vrio_channel == ModelConfig::VrioChannel::Tvirtio;
+        {
+            sim::ShardScope host_scope(sim, vm_shard(h));
+            hv::MachineConfig mc;
+            mc.cores = slots + (tvirtio ? 1 : 0);
+            mc.ghz = cfg.costs.guest_ghz;
+            host.machine = std::make_unique<hv::Machine>(
+                sim, strFormat("vrio.host%u", h), mc);
+
+            net::NicConfig nc;
+            nc.gbps = cfg.direct_link_gbps;
+            nc.num_queues = slots;
+            nc.mtu = cfg.vrio_mtu;
+            nc.intr_coalesce_delay = sim::Tick(600) * sim::kNanosecond;
+            nc.intr_coalesce_frames = 8;
+            host.nic = std::make_unique<net::Nic>(
+                sim, strFormat("vrio.host%u.nic", h), nc);
+        }
+        channel_links.push_back(&rack_.connectToSwitch(
+            strFormat("vrio.swlink%u", h), host.nic->port(),
+            cfg.direct_link_gbps));
+        hosts.push_back(std::move(host));
+    }
+
+    // -- clients, homed round-robin, consolidated everywhere -------------
+    std::vector<net::MacAddress> rack_macs;
+    for (auto &io : rio)
+        rack_macs.push_back(io.cnic->queueMac(0));
+    auto &m = sim.telemetry().metrics;
+
+    for (unsigned v = 0; v < cfg.num_vms; ++v) {
+        unsigned h = v % cfg.num_vmhosts;
+        unsigned slot = v / cfg.num_vmhosts;
+        unsigned home = iohost::PlacementPolicy::bootAssign(v, R);
+        auto f_mac = net::MacAddress::local(0x500000 + v);
+        auto t_mac = net::MacAddress::local(0x400000 + v);
+        hv::ClientKind kind = v < cfg.client_kinds.size()
+                                  ? cfg.client_kinds[v]
+                                  : hv::ClientKind::KvmGuest;
+        hv::Core *io_core = nullptr;
+        if (cfg.vrio_channel == ModelConfig::VrioChannel::Tvirtio) {
+            hv::Machine &mach = *hosts[h].machine;
+            io_core = &mach.core(mach.coreCount() - 1);
+        }
+        std::unique_ptr<Client> client;
+        {
+            sim::ShardScope client_scope(sim, vm_shard(h));
+            client = std::make_unique<Client>(
+                *this, h, v, slot, hosts[h].nic.get(), f_mac, t_mac,
+                rack_macs[home], kind, io_core,
+                strFormat("vrio.vm%u", v));
+        }
+        client->rack_macs = rack_macs;
+        client->rack_home = home;
+        client->rack_loads.assign(R, {});
+        client->place_cfg.imbalance_ratio = cfg.rack.resteer_ratio;
+        client->resteer_dwell = cfg.rack.resteer_dwell;
+        client->resteer_counter = &m.counter(
+            "rack.resteers",
+            telemetry::Labels{{"vm", strFormat("vrio.vm%u", v)}});
+
+        interpose::Chain *net_chain = nullptr;
+        interpose::Chain *blk_chain = nullptr;
+        if (cfg.chain_factory) {
+            net_chain = cfg.chain_factory(client->netDeviceId(), false);
+            blk_chain = cfg.chain_factory(client->blkDeviceId(), true);
+        }
+
+        iohost::NetDeviceEntry nd;
+        nd.device_id = client->netDeviceId();
+        nd.f_mac = f_mac;
+        nd.t_mac = t_mac;
+        nd.chain = net_chain;
+        for (auto &io : rio) {
+            io.iohv->mapClientPort(t_mac, 0);
+            io.iohv->addNetDevice(nd);
+        }
+
+        if (cfg.with_block) {
+            for (unsigned k = 0; k < R; ++k) {
+                iohost::BlockDeviceEntry bd;
+                bd.device_id = client->blkDeviceId();
+                bd.t_mac = t_mac;
+                bd.device = rio[k].store.get();
+                bd.chain = blk_chain;
+                bd.ns_id = v;
+                bd.sector_offset = cfg.rack.shared_volume
+                                       ? 0
+                                       : uint64_t(v) * per_vm_sectors;
+                rio[k].iohv->addBlockDevice(bd);
+            }
+            client->attachRemoteDisk(per_vm_sectors);
+        }
+        clients.push_back(std::move(client));
+    }
+
+    // -- client-side heartbeat monitoring --------------------------------
+    if (cfg.recovery.enabled && cfg.recovery.heartbeat_period > 0) {
+        sim::Tick window = sim::Tick(cfg.recovery.heartbeat_miss) *
+                           cfg.recovery.heartbeat_period;
+        for (auto &client : clients) {
+            client->hb_lapse_window = window;
+            sim::ShardScope client_scope(sim,
+                                         vm_shard(client->host_index));
+            client->armHeartbeatMonitor();
+        }
+    }
+
+    // -- device-creation handshake: the HOME IOhost announces ------------
+    // Announcing from every IOhost would multiply the handshake R-fold
+    // for no information; peers serve the same device ids regardless.
+    for (unsigned k = 0; k < R; ++k) {
+        sim::ShardScope scope(sim, io_shard(k));
+        sim.events().schedule(0, [this, k]() {
+            for (auto &client : clients) {
+                if (client->rack_home != k)
+                    continue;
+                transport::DeviceCreateCmd cmd;
+                cmd.kind = transport::DeviceKind::Net;
+                cmd.device_id = client->netDeviceId();
+                cmd.mac = client->mac();
+                rio[k].iohv->sendDeviceCreate(cmd, client->tMac());
+                if (client->hasBlockDevice()) {
+                    transport::DeviceCreateCmd bcmd;
+                    bcmd.kind = transport::DeviceKind::Block;
+                    bcmd.device_id = client->blkDeviceId();
+                    bcmd.capacity_sectors = client->blk_capacity;
+                    rio[k].iohv->sendDeviceCreate(bcmd, client->tMac());
+                }
+            }
+        });
+    }
+}
+
+void
 VrioModel::setupNvmeShared()
 {
     auto &sim = rack_.sim();
@@ -933,6 +1301,12 @@ std::vector<const sim::Resource *>
 VrioModel::ioResources() const
 {
     std::vector<const sim::Resource *> out;
+    if (!rio.empty()) {
+        for (const auto &io : rio)
+            for (unsigned w = 0; w < cfg_.sidecores; ++w)
+                out.push_back(&io.machine->core(w).resource());
+        return out;
+    }
     for (unsigned w = 0; w < cfg_.sidecores; ++w)
         out.push_back(&iohost_machine->core(w).resource());
     return out;
@@ -943,6 +1317,9 @@ VrioModel::migrateClient(unsigned vm_index, unsigned to_host)
 {
     vrio_assert(vm_index < clients.size(), "bad VM ", vm_index);
     vrio_assert(to_host < hosts.size(), "bad host ", to_host);
+    vrio_assert(rio.empty(),
+                "migrateClient is not supported in rack mode (a rack "
+                "client moves between IOhosts, not VMhosts)");
     Client &client = *clients[vm_index];
     vrio_assert(client.host_index != to_host,
                 "client already on host ", to_host);
@@ -978,9 +1355,15 @@ VrioModel::allNics() const
     std::vector<const net::Nic *> out;
     for (const auto &host : hosts) {
         out.push_back(host.nic.get());
-        out.push_back(host.iohost_port.get());
+        if (host.iohost_port)
+            out.push_back(host.iohost_port.get());
     }
-    out.push_back(external_nic.get());
+    for (const auto &io : rio) {
+        out.push_back(io.cnic.get());
+        out.push_back(io.extnic.get());
+    }
+    if (external_nic)
+        out.push_back(external_nic.get());
     return out;
 }
 
@@ -988,14 +1371,43 @@ std::vector<net::Nic *>
 VrioModel::iohostClientNics()
 {
     std::vector<net::Nic *> out;
+    if (!rio.empty()) {
+        for (auto &io : rio)
+            out.push_back(io.cnic.get());
+        return out;
+    }
     for (auto &host : hosts)
         out.push_back(host.iohost_port.get());
     return out;
 }
 
+net::MacAddress
+VrioModel::rackIoHostMac(unsigned k) const
+{
+    return rio.at(k).cnic->queueMac(0);
+}
+
+uint64_t
+VrioModel::clientResteers(unsigned vm_index) const
+{
+    return clients.at(vm_index)->resteersDone();
+}
+
+unsigned
+VrioModel::clientHomeIoHost(unsigned vm_index) const
+{
+    return clients.at(vm_index)->rack_home;
+}
+
 uint64_t
 VrioModel::iohostInterrupts() const
 {
+    if (!rio.empty()) {
+        uint64_t total = 0;
+        for (const auto &io : rio)
+            total += io.iohv->interruptsTaken();
+        return total;
+    }
     return iohv->interruptsTaken();
 }
 

@@ -13,6 +13,7 @@
 
 #include "block/disk_scheduler.hpp"
 #include "iohost/io_hypervisor.hpp"
+#include "iohost/placement.hpp"
 #include "models/io_model.hpp"
 #include "nvme/driver.hpp"
 #include "transport/retransmit.hpp"
@@ -29,7 +30,26 @@ class VrioModel : public IoModel
     std::vector<const sim::Resource *> ioResources() const override;
     uint64_t iohostInterrupts() const override;
 
-    iohost::IoHypervisor &hypervisor() { return *iohv; }
+    /** The (first) I/O hypervisor — rack IOhost 0 in rack mode. */
+    iohost::IoHypervisor &hypervisor() { return rackHypervisor(0); }
+
+    // -- multi-IOhost rack (cfg.rack.iohosts >= 1) --------------------
+    /** Rack IOhosts serving this model (1 for the historical wiring). */
+    unsigned rackIoHostCount() const
+    {
+        return rio.empty() ? 1u : unsigned(rio.size());
+    }
+    /** Rack IOhost @p k (the historical IOhost when not in rack mode). */
+    iohost::IoHypervisor &rackHypervisor(unsigned k)
+    {
+        return rio.empty() ? *iohv : *rio.at(k).iohv;
+    }
+    /** Client-channel MAC of rack IOhost @p k. */
+    net::MacAddress rackIoHostMac(unsigned k) const;
+    /** Placement moves (voluntary re-steers + failovers) of a client. */
+    uint64_t clientResteers(unsigned vm_index) const;
+    /** The rack IOhost a client is currently homed on. */
+    unsigned clientHomeIoHost(unsigned vm_index) const;
 
     /** All NICs in the wiring (diagnostics: drop counters etc.). */
     std::vector<const net::Nic *> allNics() const;
@@ -150,6 +170,27 @@ class VrioModel : public IoModel
     std::unique_ptr<net::Nic> standby_cnic;
     std::unique_ptr<net::Nic> standby_extnic;
     std::unique_ptr<iohost::IoHypervisor> standby_iohv;
+
+    /**
+     * One rack IOhost (cfg.rack.iohosts >= 1): its own machine,
+     * client/external switch ports, and backing store.  Stores are
+     * replicated-at-rest across the rack — every IOhost consolidates
+     * every client's devices over its own replica, so any IOhost can
+     * serve any client and a placement move needs no data motion (the
+     * simulation does not model cross-replica write propagation, so
+     * tests must not assert read-your-write across a re-steer).
+     */
+    struct RackIoHost
+    {
+        std::unique_ptr<hv::Machine> machine;
+        std::unique_ptr<net::Nic> cnic;
+        std::unique_ptr<net::Nic> extnic;
+        std::unique_ptr<iohost::IoHypervisor> iohv;
+        std::unique_ptr<block::BlockDevice> store;
+    };
+    std::vector<RackIoHost> rio;
+    /** Build the multi-IOhost wiring (replaces the legacy body). */
+    void buildRack();
 };
 
 } // namespace vrio::models

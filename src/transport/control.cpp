@@ -46,6 +46,8 @@ HeartbeatMsg::encode(ByteWriter &w) const
 {
     w.putU64le(seq);
     w.putU32le(incarnation);
+    if (has_load)
+        w.putU32le(load_ns);
 }
 
 bool
@@ -55,6 +57,13 @@ HeartbeatMsg::decode(ByteReader &r, HeartbeatMsg &out)
         return false;
     out.seq = r.getU64le();
     out.incarnation = r.getU32le();
+    if (r.remaining() >= sizeof(uint32_t)) {
+        out.load_ns = r.getU32le();
+        out.has_load = true;
+    } else {
+        out.load_ns = 0;
+        out.has_load = false;
+    }
     return true;
 }
 

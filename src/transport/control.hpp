@@ -56,13 +56,25 @@ struct DeviceAck
  * broadcasts to its clients.  `seq` increments per beat;
  * `incarnation` increments each time the IOhost restarts, so a client
  * can tell a recovered primary from one that never went away.
+ *
+ * Rack extension: an IOhost may piggyback a load digest (mean worker
+ * residency in ns over the last beat period) so clients can make
+ * placement decisions from the beats they already receive.  The field
+ * is strictly opt-in on the wire — `has_load == false` encodes the
+ * historical 12-byte beat bit-for-bit, and decode only reads the
+ * digest when the extra bytes are present — so single-IOhost runs
+ * stay byte-identical.
  */
 struct HeartbeatMsg
 {
     uint64_t seq = 0;
     uint32_t incarnation = 0;
+    /** Advertised load digest (valid when has_load). */
+    uint32_t load_ns = 0;
+    bool has_load = false;
 
     static constexpr size_t kSize = 12;
+    static constexpr size_t kSizeWithLoad = 16;
 
     void encode(ByteWriter &w) const;
     static bool decode(ByteReader &r, HeartbeatMsg &out);

@@ -60,6 +60,7 @@ const GoldenCase kCases[] = {
     {"fig11_equal_cores", "fig11_equal_cores", ""},
     {"fig12_macrobenchmarks", "fig12_macrobenchmarks", ""},
     {"fig13_iohost_scalability", "fig13_iohost_scalability", ""},
+    {"fig13_rack_scaling", "fig13_rack_scaling", ""},
     {"fig14_filebench_ramdisk", "fig14_filebench_ramdisk", ""},
     {"fig15_sidecore_utilization", "fig15_sidecore_utilization", ""},
     {"fig16_consolidation", "fig16_consolidation", ""},

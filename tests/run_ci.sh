@@ -50,13 +50,15 @@ run cmake -B build-ci-tsan -S . \
     -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-sanitize-recover=all"
 run cmake --build build-ci-tsan -j "$JOBS" --target \
     sim_test net_test telemetry_test core_test shard_equivalence_test \
-    nvme_test
+    nvme_test rack_test
 run env VRIO_SIM_THREADS=4 ./build-ci-tsan/tests/sim_test
 run env VRIO_SIM_THREADS=4 ./build-ci-tsan/tests/net_test
 run env VRIO_SIM_THREADS=4 ./build-ci-tsan/tests/telemetry_test
 run env VRIO_SIM_THREADS=4 ./build-ci-tsan/tests/core_test
 run env VRIO_SIM_THREADS=4 ./build-ci-tsan/tests/shard_equivalence_test
 run env VRIO_SIM_THREADS=4 ./build-ci-tsan/tests/nvme_test
+# The rack soak instantiates its own 1/2/8-thread matrix internally.
+run env VRIO_SIM_THREADS=4 ./build-ci-tsan/tests/rack_test
 
 echo "== Release =="
 run cmake -B build-ci-release -S . -DCMAKE_BUILD_TYPE=Release
@@ -68,6 +70,7 @@ run ctest --test-dir build-ci-release --output-on-failure -j "$JOBS" -L unit
 run ctest --test-dir build-ci-release --output-on-failure -j "$JOBS" -L nvme
 run ctest --test-dir build-ci-release --output-on-failure -j "$JOBS" -L telemetry
 run ctest --test-dir build-ci-release --output-on-failure -j "$JOBS" -L property
+run ctest --test-dir build-ci-release --output-on-failure -j "$JOBS" -L rack
 run ctest --test-dir build-ci-release --output-on-failure -j "$JOBS" -L golden
 
 echo "== Telemetry exporters (Release) =="

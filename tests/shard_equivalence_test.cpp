@@ -21,6 +21,7 @@
 
 #include "core/testbed.hpp"
 #include "stats/registry.hpp"
+#include "workloads/filebench.hpp"
 #include "workloads/netperf.hpp"
 
 namespace vrio {
@@ -90,32 +91,58 @@ struct RunResult
     uint64_t rr_lat_count = 0;
     uint64_t stream_bytes = 0;
     uint64_t stream_chunks = 0;
+    uint64_t fb_ops = 0;
+};
+
+struct Topology
+{
+    const char *name;
+    unsigned vmhosts;
+    unsigned vms;
+    uint64_t seed;
+    bool via_switch;
+    /** 0 = legacy single-IOhost wiring; >= 2 = rack layer under test. */
+    unsigned iohosts = 0;
+    bool coalesce = false;
 };
 
 /**
  * One vRIO rack: every VM runs netperf RR, VM 0 additionally pushes
- * a TCP stream.  The shard count is pinned so only the thread count
- * varies between runs.
+ * a TCP stream.  Rack topologies (iohosts >= 2) add a filebench
+ * random-I/O loop per VM so the block path — the cross-VM coalescer
+ * and the load-digest steering — carries traffic too.  The shard
+ * count is pinned so only the thread count varies between runs.
  */
 RunResult
-runTopology(unsigned vmhosts, unsigned vms, uint64_t seed,
-            unsigned threads, bool via_switch)
+runTopology(const Topology &t, unsigned threads)
 {
     core::TestbedOptions options;
-    options.vmhosts = vmhosts;
+    options.vmhosts = t.vmhosts;
     options.sidecores = 2;
-    options.seed = seed;
+    options.seed = t.seed;
     options.threads = threads;
-    options.shards = models::vrioShardCount(vmhosts);
+    options.shards = models::vrioShardCount(t.vmhosts, t.iohosts);
     options.configure = [&](models::ModelConfig &mc) {
-        mc.vrio_via_switch = via_switch;
+        mc.vrio_via_switch = t.via_switch;
+        if (t.iohosts) {
+            // Rack layer with live steering: heartbeats carry load
+            // digests and clients may re-home mid-run — placement
+            // decisions must be part of the determinism contract.
+            mc.with_block = true;
+            mc.recovery.enabled = true;
+            mc.rack.iohosts = t.iohosts;
+            mc.rack.coalesce = t.coalesce;
+            mc.rack.shared_volume = true;
+            mc.rack.resteer_ratio = 1.5;
+            mc.rack.resteer_dwell = 5 * kMillisecond;
+        }
     };
-    core::Testbed tb(ModelKind::Vrio, vms, options);
+    core::Testbed tb(ModelKind::Vrio, t.vms, options);
     tb.settle();
 
     auto &gen = tb.generator();
     std::vector<std::unique_ptr<workloads::NetperfRr>> rrs;
-    for (unsigned v = 0; v < vms; ++v) {
+    for (unsigned v = 0; v < t.vms; ++v) {
         rrs.push_back(std::make_unique<workloads::NetperfRr>(
             gen, gen.newSession(), tb.guest(v),
             workloads::NetperfRr::Config{}));
@@ -125,6 +152,18 @@ runTopology(unsigned vmhosts, unsigned vms, uint64_t seed,
     workloads::NetperfStream stream(gen, gen.newSession(), tb.guest(0),
                                     costs, {});
     stream.start();
+
+    std::vector<std::unique_ptr<workloads::FilebenchRandom>> fbs;
+    if (t.iohosts) {
+        for (unsigned v = 0; v < t.vms; ++v) {
+            workloads::FilebenchRandom::Config cfg;
+            cfg.readers = 1;
+            cfg.writers = 1;
+            fbs.push_back(std::make_unique<workloads::FilebenchRandom>(
+                tb.guest(v), tb.simulation().random().split(), cfg));
+            fbs.back()->start();
+        }
+    }
 
     tb.runFor(20 * kMillisecond);
 
@@ -136,17 +175,10 @@ runTopology(unsigned vmhosts, unsigned vms, uint64_t seed,
     }
     r.stream_bytes = stream.bytesReceived();
     r.stream_chunks = stream.chunksSent();
+    for (auto &fb : fbs)
+        r.fb_ops += fb->opsCompleted();
     return r;
 }
-
-struct Topology
-{
-    const char *name;
-    unsigned vmhosts;
-    unsigned vms;
-    uint64_t seed;
-    bool via_switch;
-};
 
 class ShardEquivalence : public ::testing::TestWithParam<Topology>
 {};
@@ -154,21 +186,23 @@ class ShardEquivalence : public ::testing::TestWithParam<Topology>
 TEST_P(ShardEquivalence, ThreadCountNeverChangesResults)
 {
     const Topology &t = GetParam();
-    RunResult base =
-        runTopology(t.vmhosts, t.vms, t.seed, 1, t.via_switch);
+    RunResult base = runTopology(t, 1);
     // A run that did nothing would satisfy equality trivially.
     ASSERT_GT(base.rr_txns, 100u);
     ASSERT_GT(base.stream_bytes, 0u);
+    if (t.iohosts) {
+        ASSERT_GT(base.fb_ops, 100u);
+    }
 
     for (unsigned threads : {2u, 8u}) {
-        RunResult par =
-            runTopology(t.vmhosts, t.vms, t.seed, threads, t.via_switch);
+        RunResult par = runTopology(t, threads);
         SCOPED_TRACE(std::string(t.name) + " threads=" +
                      std::to_string(threads));
         EXPECT_EQ(base.rr_txns, par.rr_txns);
         EXPECT_EQ(base.rr_lat_count, par.rr_lat_count);
         EXPECT_EQ(base.stream_bytes, par.stream_bytes);
         EXPECT_EQ(base.stream_chunks, par.stream_chunks);
+        EXPECT_EQ(base.fb_ops, par.fb_ops);
         expectIdentical(base.fp, par.fp, t.name);
     }
 }
@@ -178,7 +212,14 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(
         Topology{"direct_2x4", 2, 4, 7, false},
         Topology{"switch_3x3", 3, 3, 11, true},
-        Topology{"direct_4x4", 4, 4, 1234, false}),
+        Topology{"direct_4x4", 4, 4, 1234, false},
+        // Rack topologies: placement steering and the cross-VM
+        // coalescer must also be thread-count-invariant.
+        Topology{"rack_2h_2io", 2, 4, 21, true, 2, true},
+        Topology{"rack_3h_3io", 3, 6, 4242, true, 3, true},
+        // 6 VMs over 4 IOhosts: uneven groups (the generator caps at
+        // 7 sessions, so this is also the widest RR fan-in that fits).
+        Topology{"rack_2h_4io_nocoalesce", 2, 6, 99, true, 4, false}),
     [](const auto &info) { return std::string(info.param.name); });
 
 } // namespace
