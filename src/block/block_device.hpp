@@ -6,6 +6,7 @@
 #define VRIO_BLOCK_BLOCK_DEVICE_HPP
 
 #include <functional>
+#include <span>
 
 #include "sim/simulation.hpp"
 #include "util/byte_buffer.hpp"
@@ -52,6 +53,21 @@ class BlockDevice : public sim::SimObject
     virtual void submit(BlockRequest req, BlockCallback done) = 0;
 
     uint64_t completedRequests() const { return completed; }
+
+    /**
+     * Apply a replicated write out of band (warm-state mirroring): no
+     * timing, no completion, no request accounting — the bytes simply
+     * land, keeping a replica's store in step with committed writes at
+     * its primary.  Devices without a reachable data store return
+     * false and the mirrored write is dropped (the replica then serves
+     * stale data, which is the pre-replication status quo).
+     */
+    virtual bool mirrorWrite(uint64_t sector, std::span<const uint8_t> data)
+    {
+        (void)sector;
+        (void)data;
+        return false;
+    }
 
   protected:
     uint64_t completed = 0;

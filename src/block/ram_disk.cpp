@@ -90,6 +90,16 @@ RamDisk::submit(BlockRequest req, BlockCallback done)
         });
 }
 
+bool
+RamDisk::mirrorWrite(uint64_t sector, std::span<const uint8_t> data)
+{
+    uint64_t off = sector * virtio::kSectorSize;
+    if (off + data.size() > store.size())
+        return false;
+    std::memcpy(store.data() + off, data.data(), data.size());
+    return true;
+}
+
 Bytes
 RamDisk::peek(uint64_t sector, uint32_t nsectors) const
 {

@@ -39,6 +39,8 @@ class RamDisk : public BlockDevice
 
     uint64_t capacitySectors() const override;
     void submit(BlockRequest req, BlockCallback done) override;
+    bool mirrorWrite(uint64_t sector,
+                     std::span<const uint8_t> data) override;
 
     /** Direct peek for tests (bypasses timing). */
     Bytes peek(uint64_t sector, uint32_t nsectors) const;

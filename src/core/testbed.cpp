@@ -49,6 +49,15 @@ Testbed::Testbed(models::ModelKind kind, unsigned num_vms,
     }
     if (const char *env = std::getenv("VRIO_RACK_COALESCE"); env && *env)
         mc.rack.coalesce = std::atol(env) != 0;
+    // Warm-state replication (DESIGN.md §16) needs a peer to mirror
+    // to, so enabling it forces the rack to at least two IOhosts.
+    if (const char *env = std::getenv("VRIO_RACK_REPLICATION");
+        env && *env && std::atol(env) != 0) {
+        mc.rack.replication = true;
+        mc.vrio_via_switch = true;
+        if (mc.rack.iohosts < 2)
+            mc.rack.iohosts = 2;
+    }
 
     unsigned threads =
         options.threads ? options.threads : threadsFromEnv();

@@ -122,7 +122,33 @@ FaultInjector::arm()
                        ", which is already in the past (now ", eq.now(),
                        "); arm() before the window opens");
     };
-    for (const OutageWindow &w : plan_.outages) {
+    // Coalesce same-IOhost outage windows that overlap or touch.
+    // Scheduling them naively pairs each begin with its own end, so
+    // the FIRST window's end would bring the host back online while a
+    // later overlapping window still holds it down — the host flickers
+    // alive mid-crash and double-counts the outage.  One begin/end
+    // pair per maximal downtime interval instead.
+    std::vector<OutageWindow> outages = plan_.outages;
+    std::stable_sort(outages.begin(), outages.end(),
+                     [](const OutageWindow &a, const OutageWindow &b) {
+                         return a.iohost != b.iohost
+                                    ? a.iohost < b.iohost
+                                    : a.at < b.at;
+                     });
+    std::vector<OutageWindow> merged;
+    for (const OutageWindow &w : outages) {
+        if (!merged.empty() && merged.back().iohost == w.iohost &&
+            w.at <= merged.back().at + merged.back().duration) {
+            OutageWindow &m = merged.back();
+            sim::Tick end = std::max(m.at + m.duration,
+                                     w.at + w.duration);
+            m.duration = end - m.at;
+            ++outages_coalesced;
+            continue;
+        }
+        merged.push_back(w);
+    }
+    for (const OutageWindow &w : merged) {
         checkFuture(w.at, "outage");
         eq.scheduleAt(w.at, [this, w]() { beginOutage(w); });
         eq.scheduleAt(w.at + w.duration, [this, w]() { endOutage(w); });

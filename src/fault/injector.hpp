@@ -67,7 +67,10 @@ class FaultInjector : public sim::SimObject, public net::LinkFaultHook
     /**
      * Schedule the plan's timeline (outages, stalls, squeezes) at
      * absolute simulation ticks.  Call once, after attaching targets
-     * and before running; windows earlier than now() are skipped.
+     * and before any window opens (a window already in the past is a
+     * plan bug and fails fast).  Same-IOhost outage windows that
+     * overlap or touch are coalesced into one downtime interval — see
+     * outagesCoalesced().
      */
     void arm();
 
@@ -93,6 +96,8 @@ class FaultInjector : public sim::SimObject, public net::LinkFaultHook
     uint64_t outagesTriggered() const { return outage_count; }
     uint64_t wedgesTriggered() const { return wedge_count; }
     uint64_t portDownsTriggered() const { return port_down_count; }
+    /** Same-IOhost outage windows merged into an earlier one by arm(). */
+    uint64_t outagesCoalesced() const { return outages_coalesced; }
 
     // net::LinkFaultHook
     net::FaultVerdict onTransmit(net::Link &link, int direction,
@@ -134,6 +139,7 @@ class FaultInjector : public sim::SimObject, public net::LinkFaultHook
     uint64_t outage_count = 0;
     uint64_t wedge_count = 0;
     uint64_t port_down_count = 0;
+    uint64_t outages_coalesced = 0;
 
     /** Fault kinds as telemetry labels (`fault.injected{kind=...}`). */
     enum FaultKindIdx : unsigned {

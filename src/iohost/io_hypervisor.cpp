@@ -66,6 +66,9 @@ IoHypervisor::IoHypervisor(sim::Simulation &sim, std::string name,
     tr_heartbeat = tr.intern("recovery.heartbeat");
     tr_wedge = tr.intern("recovery.wedge");
     tr_revive = tr.intern("recovery.revive");
+    tr_starved = tr.intern("recovery.starved");
+    tr_rehome = tr.intern("recovery.rehome");
+    tr_replay = tr.intern("recovery.replay");
     // Pull-style probes: deep transport state sampled only at export.
     m.probe("iohost.reasm.partials_expired", l,
             [this]() { return double(reasm->partialsExpired()); });
@@ -206,15 +209,28 @@ IoHypervisor::setOffline(bool off)
         // In-service duplicate-suppression state dies with the crash;
         // the clients replay, and replaying is safe (Section 4.5).
         dedup.clear();
+        device_progress.clear();
+        // Held responses die unsent: their clients retry, and the
+        // retry either hits the peer's committed table (the Commit
+        // record made it) or re-executes at the new home (it did
+        // not).  Exactly once at the surviving store, either way.
+        held_responses.clear();
+        pending_rehomes.clear();
+        if (repl_)
+            repl_->reset(incarnation_);
         return;
     }
     // Restart: new incarnation (stamped into heartbeats so clients can
     // tell a restarted IOhost from a slow one), then resume servicing
     // whatever arrived since the last drain.
     ++incarnation_;
+    if (repl_)
+        repl_->reset(incarnation_);
     pumpClientRings();
     if (external_nic)
         pumpExternalRings();
+    if (repl_nic)
+        pumpReplicationRing();
 }
 
 // -- failure detection / recovery -----------------------------------------
@@ -307,6 +323,45 @@ IoHypervisor::watchdogTick()
         }
         watchdog_last_completed[w] = done;
     }
+    // Per-queue starvation pass (the worker check's blind spot): a
+    // device with in-service duplicate-filter entries but no
+    // completions is starved even when its worker keeps completing
+    // other devices' work — or when the backend swallowed the request
+    // outright, after the first stage already balanced the steering
+    // accounting, which no worker-level signal can ever see.
+    for (const auto &[id, dev] : blk_devices) {
+        DeviceProgress &p = device_progress[id];
+        if (dedup.inServiceOf(id) == 0 ||
+            p.completions != p.last_completions) {
+            p.stuck = 0;
+        } else if (++p.stuck >= cfg.watchdog_threshold) {
+            declareDeviceStarved(id);
+        }
+        p.last_completions = p.completions;
+    }
+}
+
+void
+IoHypervisor::declareDeviceStarved(uint32_t device_id)
+{
+    ++devices_starved;
+    statCounter("devices_starved").inc();
+    auto &tr = sim().telemetry().tracer;
+    if (tr.enabled()) {
+        tr.instant(tr_recovery_track, tr_starved, sim().events().now(),
+                   telemetry::cat::kRecovery, device_id);
+    }
+    // Quarantine the queue: drop its in-service entries so the
+    // clients' retries re-admit and re-execute, instead of being
+    // suppressed forever by state whose execution is lost.
+    dedup.dropDevice(device_id);
+    device_progress[device_id].stuck = 0;
+}
+
+void
+IoHypervisor::noteDeviceProgress(uint32_t device_id)
+{
+    ++device_progress[device_id].completions;
 }
 
 void
@@ -390,6 +445,12 @@ IoHypervisor::clientRxNotify()
 bool
 IoHypervisor::intakeAllowed() const
 {
+    // Replication backpressure: when the peer lags a whole window of
+    // unacked mirror records, stop admitting.  Frames queue in the RX
+    // rings (and overflow to client retransmission) instead of piling
+    // up responses this host is not allowed to release yet.
+    if (repl_ && repl_->windowFull())
+        return false;
     return inflight < size_t(cfg.num_workers) * cfg.batch_max;
 }
 
@@ -462,6 +523,29 @@ IoHypervisor::dispatch(MessageAssembler::Assembled req)
         break;
       }
       case MsgType::BlkReq: {
+        // Retry of a write the dead primary committed before its
+        // crash: the mirrored committed table answers it — executing
+        // again would double-apply a write the client already saw
+        // acknowledged.
+        if (repl_) {
+            uint16_t cgen = 0;
+            if (repl_->committedLookup(req.hdr.device_id,
+                                       req.hdr.request_serial, cgen)) {
+                ++commit_hits;
+                statCounter("repl_commit_hits").inc();
+                auto it = blk_devices.find(req.hdr.device_id);
+                if (it != blk_devices.end()) {
+                    TransportHeader resp = req.hdr;
+                    resp.type = MsgType::BlkResp;
+                    resp.status = uint8_t(virtio::BlkStatus::Ok);
+                    resp.total_len = 0;
+                    resp.generation =
+                        std::max(req.hdr.generation, cgen);
+                    sendToClient(it->second.t_mac, resp, {});
+                }
+                break;
+            }
+        }
         // Server side of the Section 4.5 unique-id rule: a
         // retransmission of a request still in service must not
         // execute twice.
@@ -470,6 +554,7 @@ IoHypervisor::dispatch(MessageAssembler::Assembled req)
             statCounter("duplicates_suppressed").inc();
             break;
         }
+        mirrorAdmitted(req.hdr, req.payload);
         if (cfg.coalesce) {
             auto it = blk_devices.find(req.hdr.device_id);
             // Interposed devices keep the one-request path: a chain
@@ -492,6 +577,39 @@ IoHypervisor::dispatch(MessageAssembler::Assembled req)
       case MsgType::DevAck:
         execAck(std::move(req));
         break;
+      case MsgType::ReplicaSync: {
+        transport::ReplicaSyncMsg msg;
+        ByteReader r(req.payload);
+        if (repl_ && transport::ReplicaSyncMsg::decode(r, msg))
+            repl_->onSyncMessage(msg, req.src);
+        else
+            statCounter("foreign_rx_messages").inc();
+        break;
+      }
+      case MsgType::ReplicaAck: {
+        transport::ReplicaAckMsg ack;
+        ByteReader r(req.payload);
+        if (repl_ && transport::ReplicaAckMsg::decode(r, ack))
+            repl_->onAckMessage(ack, req.src);
+        else
+            statCounter("foreign_rx_messages").inc();
+        break;
+      }
+      case MsgType::Rehome: {
+        // The activation half of a placement flip: a client newly
+        // homed here asks for its warm state to be promoted.  The
+        // Command half is IOhost -> client; one flooded our way is
+        // foreign, same as any other client-bound type below.
+        transport::RehomeCmd cmd;
+        ByteReader r(req.payload);
+        if (repl_ && transport::RehomeCmd::decode(r, cmd) &&
+            cmd.phase == transport::RehomeCmd::Phase::Activate) {
+            activateWarmState(cmd.device_id, cmd.floor_serial);
+        } else {
+            statCounter("foreign_rx_messages").inc();
+        }
+        break;
+      }
       case MsgType::NetIn:
       case MsgType::BlkResp:
       case MsgType::DevCreate:
@@ -708,7 +826,7 @@ IoHypervisor::execBlock(unsigned worker, MessageAssembler::Assembled req)
                 resp.total_len = 0;
                 resp.generation = dedup.take(
                     device_id, resp.request_serial, resp.generation);
-                sendToClient(dev.t_mac, resp, {});
+                finishBlockResponse(dev.t_mac, resp, {});
                 return;
             }
         }
@@ -789,7 +907,8 @@ IoHypervisor::execBlock(unsigned worker, MessageAssembler::Assembled req)
                         resp.generation = dedup.take(
                             device_id, resp.request_serial,
                             resp.generation);
-                        sendToClient(it->second.t_mac, resp, data);
+                        finishBlockResponse(it->second.t_mac, resp,
+                                            std::move(data));
                     });
             });
     });
@@ -999,9 +1118,309 @@ IoHypervisor::fanBackRun(transport::MergedRun run, virtio::BlkStatus status,
             resp.total_len = uint32_t(slice.size());
             resp.generation =
                 dedup.take(p->device_id, p->serial, p->generation);
-            sendToClient(dev.t_mac, resp, slice);
+            finishBlockResponse(dev.t_mac, resp, std::move(slice));
         }
     });
+}
+
+// -- warm-state replication (DESIGN.md §16) -------------------------------
+
+void
+IoHypervisor::attachReplicationNic(net::Nic &nic)
+{
+    vrio_assert(!repl_nic, "replication NIC already attached");
+    repl_nic = &nic;
+    nic.setPromiscuous(true);
+    nic.setRxMode(0, net::Nic::RxMode::Poll);
+    nic.setRxNotify(0, [this](unsigned) { replRxNotify(); });
+}
+
+void
+IoHypervisor::enableReplication(const ReplicationConfig &rcfg,
+                                net::MacAddress peer_mac,
+                                net::MacAddress upstream_mac)
+{
+    vrio_assert(!repl_, "replication already enabled");
+    vrio_assert(repl_nic, "attach the replication NIC first");
+    Replicator::Hooks hooks;
+    hooks.send = [this](MsgType type, const Bytes &payload,
+                        net::MacAddress dst) {
+        sendReplication(type, payload, dst);
+    };
+    hooks.apply = [this](const transport::ReplicaRecord &rec) {
+        applyMirroredCommit(rec);
+    };
+    hooks.acked = [this](uint64_t cum) { replicationAcked(cum); };
+    repl_ = std::make_unique<Replicator>(sim().events(), rcfg, peer_mac,
+                                         upstream_mac, std::move(hooks));
+    auto &m = sim().telemetry().metrics;
+    telemetry::Labels l{{"iohv", name()}};
+    m.probe("repl.lag", l, [this]() { return double(repl_->lag()); });
+    m.probe("repl.records_sent", l,
+            [this]() { return double(repl_->recordsSent()); });
+    m.probe("repl.commits_applied", l,
+            [this]() { return double(repl_->commitsApplied()); });
+    m.probe("repl.held_responses", l,
+            [this]() { return double(held_responses.size()); });
+}
+
+void
+IoHypervisor::replRxNotify()
+{
+    if (offline_) {
+        while (repl_nic->rxPending(0) > 0)
+            offline_rx_drops->add(
+                repl_nic->rxTake(0, cfg.batch_max).size());
+        return;
+    }
+    if (repl_pump_scheduled)
+        return;
+    repl_pump_scheduled = true;
+    sim().events().schedule(cfg.poll_pickup, [this]() {
+        repl_pump_scheduled = false;
+        pumpReplicationRing();
+    });
+}
+
+void
+IoHypervisor::pumpReplicationRing()
+{
+    vrio_assert(repl_nic, "no replication NIC");
+    if (offline_) {
+        while (repl_nic->rxPending(0) > 0)
+            offline_rx_drops->add(
+                repl_nic->rxTake(0, cfg.batch_max).size());
+        return;
+    }
+    // Pumped without the intake gate: mirror traffic and acks must
+    // keep flowing even when request admission is backpressured, or
+    // two IOhosts mirroring to each other would deadlock the moment
+    // both windows filled.
+    while (repl_nic->rxPending(0) > 0) {
+        auto batch = repl_nic->rxTake(0, cfg.batch_max);
+        for (const auto &frame : batch)
+            handleWireFrame(frame);
+    }
+}
+
+void
+IoHypervisor::sendReplication(MsgType type, const Bytes &payload,
+                              net::MacAddress dst)
+{
+    if (offline_ || !repl_nic)
+        return;
+    TransportHeader hdr;
+    hdr.type = type;
+    hdr.total_len = uint32_t(payload.size());
+    // Distinct serials keep concurrent multi-part control messages
+    // from colliding in the peer's message assembler.
+    hdr.request_serial = ++repl_msg_serial;
+    net::MacAddress src = repl_nic->queueMac(0);
+    for (const auto &part : transport::segmentRequest(hdr, payload)) {
+        repl_nic->send(0, transport::encapsulate(src, dst,
+                                                 next_wire_id++,
+                                                 part.hdr, part.payload));
+    }
+}
+
+void
+IoHypervisor::applyMirroredCommit(const transport::ReplicaRecord &rec)
+{
+    auto it = blk_devices.find(rec.device_id);
+    if (it == blk_devices.end() || rec.payload.empty())
+        return;
+    if (virtio::BlkType(rec.blk_type) != virtio::BlkType::Out)
+        return;
+    it->second.device->mirrorWrite(
+        it->second.sector_offset + rec.sector,
+        std::span<const uint8_t>(rec.payload));
+}
+
+void
+IoHypervisor::replicationAcked(uint64_t cum_seq)
+{
+    // Output commit: responses whose Commit record the peer now holds
+    // are safe to release — from here on, a crash of this host leaves
+    // the acknowledged write readable at the peer.
+    while (!held_responses.empty() &&
+           held_responses.begin()->first <= cum_seq) {
+        HeldResponse r = std::move(held_responses.begin()->second);
+        held_responses.erase(held_responses.begin());
+        sendToClient(r.t_mac, r.hdr, r.data);
+    }
+    // A drain barrier was reached: the peer is warm up to everything
+    // mirrored before the re-home began, so command the flip.
+    for (auto it = pending_rehomes.begin();
+         it != pending_rehomes.end();) {
+        if (it->barrier <= cum_seq) {
+            issueRehomeCommand(*it);
+            it = pending_rehomes.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    // The window may have reopened; resume admitting queued frames.
+    pumpClientRings();
+    if (external_nic)
+        pumpExternalRings();
+}
+
+void
+IoHypervisor::mirrorAdmitted(const TransportHeader &hdr,
+                             const Bytes &payload)
+{
+    if (!repl_)
+        return;
+    // Only writes need their payload at the peer (it applies at
+    // commit time); reads and fences mirror descriptor-only.
+    Bytes data;
+    if (virtio::BlkType(hdr.blk_type) == virtio::BlkType::Out)
+        data = payload;
+    repl_->mirrorInService(hdr.device_id, hdr.request_serial,
+                           hdr.generation, hdr.blk_type, hdr.sector,
+                           hdr.io_len, std::move(data));
+}
+
+void
+IoHypervisor::finishBlockResponse(net::MacAddress t_mac,
+                                  const TransportHeader &resp, Bytes data)
+{
+    // A backend completion whose submission predates a crash fires
+    // into the offline window: its result dies with the host.
+    // Mirroring a Commit here would append to the already-reset
+    // replication stream and hold a response that no surviving Commit
+    // record can ever release — the client replays at the new home
+    // instead.
+    if (offline_) {
+        offline_tx_drops->inc();
+        return;
+    }
+    noteDeviceProgress(resp.device_id);
+    if (!repl_) {
+        sendToClient(t_mac, resp, data);
+        return;
+    }
+    auto kind = virtio::BlkType(resp.blk_type);
+    bool state_changing = kind == virtio::BlkType::Out ||
+                          kind == virtio::BlkType::Flush ||
+                          kind == virtio::BlkType::Discard;
+    if (state_changing &&
+        virtio::BlkStatus(resp.status) == virtio::BlkStatus::Ok) {
+        uint64_t seq = repl_->mirrorCommit(resp.device_id,
+                                           resp.request_serial,
+                                           resp.generation);
+        held_responses.emplace(seq,
+                               HeldResponse{t_mac, resp,
+                                            std::move(data)});
+    } else {
+        repl_->mirrorForget(resp.device_id, resp.request_serial);
+        sendToClient(t_mac, resp, data);
+    }
+}
+
+void
+IoHypervisor::activateWarmState(uint32_t device_id,
+                                uint64_t floor_serial)
+{
+    if (!repl_)
+        return;
+    auto it = blk_devices.find(device_id);
+    if (it == blk_devices.end())
+        return;
+    auto entries = repl_->takeWarmInService(device_id);
+    uint64_t replayed = 0;
+    for (auto &e : entries) {
+        // Below the client's lowest outstanding serial means the
+        // request already completed at the old home and only its
+        // cleanup record was lost — replaying would re-apply a stale
+        // write over newer data.
+        if (e.serial < floor_serial)
+            continue;
+        // A client retry that beat the activation already owns the
+        // in-service entry; its execution covers this one.
+        if (!dedup.seed(device_id, e.serial, e.generation))
+            continue;
+        ++warm_replays;
+        ++replayed;
+        statCounter("repl_replays").inc();
+        TransportHeader hdr;
+        hdr.type = MsgType::BlkReq;
+        hdr.device_id = device_id;
+        hdr.request_serial = e.serial;
+        hdr.generation = e.generation;
+        hdr.blk_type = e.blk_type;
+        hdr.sector = e.sector;
+        hdr.io_len = e.io_len;
+        hdr.total_len = uint32_t(e.payload.size());
+        MessageAssembler::Assembled req;
+        req.hdr = hdr;
+        req.payload = std::move(e.payload);
+        req.zero_copy = false; // replayed from mirror memory: copies
+        // The chain continues downstream: a replayed request mirrors
+        // to this host's own peer like any freshly admitted one.
+        mirrorAdmitted(req.hdr, req.payload);
+        ++inflight;
+        unsigned w = steer.steer(device_id);
+        dedup.bind(device_id, hdr.request_serial, w);
+        ++worker_inflight[w];
+        worker_stats[w].dispatches->inc();
+        execBlock(w, std::move(req));
+    }
+    if (replayed) {
+        auto &tr = sim().telemetry().tracer;
+        if (tr.enabled()) {
+            tr.instant(tr_recovery_track, tr_replay,
+                       sim().events().now(), telemetry::cat::kRecovery,
+                       replayed);
+        }
+    }
+}
+
+bool
+IoHypervisor::beginRehome(uint32_t device_id, uint16_t target)
+{
+    if (!repl_ || offline_)
+        return false;
+    auto it = blk_devices.find(device_id);
+    if (it == blk_devices.end())
+        return false;
+    repl_->flush();
+    PendingRehome r;
+    r.device_id = device_id;
+    r.target = target;
+    r.t_mac = it->second.t_mac;
+    // Everything mirrored so far must be acked by the peer before the
+    // client flips — the drain barrier of the drain-mirror-flip.
+    r.barrier = repl_->nextSeq() - 1;
+    if (repl_->lastAcked() >= r.barrier)
+        issueRehomeCommand(r);
+    else
+        pending_rehomes.push_back(r);
+    return true;
+}
+
+void
+IoHypervisor::issueRehomeCommand(const PendingRehome &r)
+{
+    ++rehomes_issued;
+    statCounter("rehomes_issued").inc();
+    auto &tr = sim().telemetry().tracer;
+    if (tr.enabled()) {
+        tr.instant(tr_recovery_track, tr_rehome, sim().events().now(),
+                   telemetry::cat::kRecovery, r.device_id);
+    }
+    transport::RehomeCmd cmd;
+    cmd.phase = transport::RehomeCmd::Phase::Command;
+    cmd.device_id = r.device_id;
+    cmd.target = r.target;
+    Bytes payload;
+    ByteWriter w(payload);
+    cmd.encode(w);
+    TransportHeader hdr;
+    hdr.type = MsgType::Rehome;
+    hdr.device_id = r.device_id;
+    hdr.total_len = uint32_t(payload.size());
+    sendToClient(r.t_mac, hdr, payload);
 }
 
 // -- load digest (rack placement input) -----------------------------------

@@ -20,6 +20,7 @@
 #include "block/block_device.hpp"
 #include "hv/core.hpp"
 #include "interpose/service.hpp"
+#include "iohost/replication.hpp"
 #include "iohost/steering.hpp"
 #include "net/nic.hpp"
 #include "telemetry/telemetry.hpp"
@@ -208,6 +209,42 @@ class IoHypervisor : public sim::SimObject
     /** Heartbeats for @p t_mac egress the heartbeat NIC to @p dst. */
     void mapHeartbeatPath(net::MacAddress t_mac, net::MacAddress dst);
 
+    // -- warm-state replication (DESIGN.md §16) -----------------------
+    /**
+     * NIC carrying the replication control channel (wired to the rack
+     * switch).  Its ring is pumped unconditionally — mirror traffic
+     * and acks must keep flowing even when request admission is
+     * backpressured, or two IOhosts mirroring to each other would
+     * deadlock under overload.
+     */
+    void attachReplicationNic(net::Nic &nic);
+
+    /**
+     * Start mirroring warm state to @p peer_mac (the replication NIC
+     * of the next rack IOhost) while accepting the inbound mirror
+     * stream only from @p upstream_mac (the previous one).  Off by
+     * default: an IOhost without a replicator schedules no extra
+     * events and holds no responses.
+     */
+    void enableReplication(const ReplicationConfig &rcfg,
+                           net::MacAddress peer_mac,
+                           net::MacAddress upstream_mac);
+
+    /** The replication engine, or null when replication is off. */
+    Replicator *replicator() { return repl_.get(); }
+
+    /**
+     * Live re-homing (drain-mirror-flip): flush the mirror stream,
+     * wait until the peer's cumulative ack covers everything mirrored
+     * so far, then command the client behind @p device_id to re-home
+     * onto rack IOhost @p target.  In-service requests keep completing
+     * here during the drain (late responses still reach the client);
+     * new requests arrive at the target, which activates the warm
+     * state this host mirrored.  @return false when replication is
+     * off, the device is unknown, or this host is offline.
+     */
+    bool beginRehome(uint32_t device_id, uint16_t target);
+
     // -- statistics ---------------------------------------------------
     uint64_t messagesProcessed() const { return messages->value(); }
     uint64_t requestsForwarded() const { return net_forwarded->value(); }
@@ -248,6 +285,19 @@ class IoHypervisor : public sim::SimObject
     sim::Tick lastWedgeDetectTick() const { return last_wedge_tick; }
     /** Stall-onset-to-quarantine time of the last detection. */
     sim::Tick lastWedgeDetectLatency() const { return last_wedge_latency; }
+    /**
+     * Devices the per-queue watchdog declared starved (in-service
+     * entries but no completions while the workers stayed healthy).
+     */
+    uint64_t devicesStarved() const { return devices_starved; }
+    /** Warm in-service entries replayed after a failover activation. */
+    uint64_t warmReplays() const { return warm_replays; }
+    /** Retries acknowledged straight from the warm committed table. */
+    uint64_t commitHits() const { return commit_hits; }
+    /** Live re-home handoffs this host has commanded. */
+    uint64_t rehomesIssued() const { return rehomes_issued; }
+    /** Responses currently held awaiting a peer commit ack. */
+    size_t heldResponses() const { return held_responses.size(); }
 
   private:
     IoHypervisorConfig cfg;
@@ -312,6 +362,9 @@ class IoHypervisor : public sim::SimObject
     uint16_t tr_heartbeat;
     uint16_t tr_wedge;
     uint16_t tr_revive;
+    uint16_t tr_starved;
+    uint16_t tr_rehome;
+    uint16_t tr_replay;
 
     // -- failure detection / recovery state --------------------------
     transport::DuplicateFilter dedup;
@@ -338,6 +391,51 @@ class IoHypervisor : public sim::SimObject
     uint64_t requests_abandoned = 0;
     sim::Tick last_wedge_tick = 0;
     sim::Tick last_wedge_latency = 0;
+
+    /**
+     * Per-device starvation watchdog (the PR 4 blind spot): a device
+     * with in-service duplicate-filter entries but no completions is
+     * starved even when its worker keeps completing other work — or
+     * when a backend swallowed the request outright, which the
+     * worker-level check can never see.  Progress is counted at the
+     * same points the duplicate filter releases entries.
+     */
+    struct DeviceProgress
+    {
+        uint64_t completions = 0;
+        uint64_t last_completions = 0;
+        unsigned stuck = 0;
+    };
+    std::map<uint32_t, DeviceProgress> device_progress;
+    uint64_t devices_starved = 0;
+
+    // -- warm-state replication (DESIGN.md §16) -----------------------
+    net::Nic *repl_nic = nullptr;
+    std::unique_ptr<Replicator> repl_;
+    bool repl_pump_scheduled = false;
+    /** Distinguishes concurrent multi-part replication messages. */
+    uint64_t repl_msg_serial = 0;
+    /** A committed response awaiting the peer's cumulative ack. */
+    struct HeldResponse
+    {
+        net::MacAddress t_mac;
+        transport::TransportHeader hdr;
+        Bytes data;
+    };
+    /** Commit-record sequence -> response, released in seq order. */
+    std::map<uint64_t, HeldResponse> held_responses;
+    /** An in-progress drain-mirror-flip, waiting on its ack barrier. */
+    struct PendingRehome
+    {
+        uint32_t device_id = 0;
+        uint16_t target = 0;
+        net::MacAddress t_mac;
+        uint64_t barrier = 0;
+    };
+    std::vector<PendingRehome> pending_rehomes;
+    uint64_t warm_replays = 0;
+    uint64_t commit_hits = 0;
+    uint64_t rehomes_issued = 0;
 
     // -- cross-VM request coalescing (cfg.coalesce) -------------------
     /** Staged entries, bucketed per backing device in first-seen
@@ -377,8 +475,39 @@ class IoHypervisor : public sim::SimObject
     void watchdogTick();
     void declareWorkerWedged(unsigned worker);
     void reviveWorker(unsigned worker);
+    void declareDeviceStarved(uint32_t device_id);
+    /** A response left for (or was held on behalf of) @p device_id. */
+    void noteDeviceProgress(uint32_t device_id);
     /** Beat-period mean worker residency (ns), saturating on wedges. */
     uint32_t takeLoadDigest();
+
+    // Warm-state replication.
+    void replRxNotify();
+    void pumpReplicationRing();
+    void sendReplication(transport::MsgType type, const Bytes &payload,
+                         net::MacAddress dst);
+    void applyMirroredCommit(const transport::ReplicaRecord &rec);
+    void replicationAcked(uint64_t cum_seq);
+    /** Mirror an admitted block request to the peer. */
+    void mirrorAdmitted(const transport::TransportHeader &hdr,
+                        const Bytes &payload);
+    /**
+     * Route a finished block response: state-changing completions
+     * mirror a Commit and hold until the peer acks; reads mirror a
+     * Forget and leave immediately.  The no-replication path is a
+     * plain sendToClient.
+     */
+    void finishBlockResponse(net::MacAddress t_mac,
+                             const transport::TransportHeader &resp,
+                             Bytes data);
+    /**
+     * Failover activation: seed the filter and replay warm entries of
+     * @p device_id whose serial is >= @p floor_serial (entries below
+     * it already completed at the dead primary — their cleanup record
+     * was simply lost — and must not be re-applied).
+     */
+    void activateWarmState(uint32_t device_id, uint64_t floor_serial);
+    void issueRehomeCommand(const PendingRehome &r);
 
     // Cross-VM request coalescing.
     void stageBlock(transport::MessageAssembler::Assembled req,

@@ -45,13 +45,18 @@ PlacementPolicy::pickTarget(unsigned home,
 unsigned
 PlacementPolicy::pickFailover(unsigned home,
                               const std::vector<IoHostLoad> &table,
-                              sim::Tick now, sim::Tick freshness)
+                              sim::Tick now, sim::Tick freshness,
+                              int warm_peer)
 {
-    (void)now;
-    (void)freshness;
     unsigned n = unsigned(table.size());
     if (n <= 1)
         return home;
+    // The replication peer holds the home's warm state; prefer it
+    // whenever it is demonstrably alive, regardless of load.
+    if (warm_peer >= 0 && unsigned(warm_peer) < n &&
+        unsigned(warm_peer) != home &&
+        fresh(table[unsigned(warm_peer)], now, freshness))
+        return unsigned(warm_peer);
     std::optional<unsigned> best;
     for (unsigned i = 0; i < n; ++i) {
         if (i == home || !table[i].seen)
@@ -72,6 +77,18 @@ PlacementPolicy::pickFailover(unsigned home,
     // client still moves and the retransmit queue gets kicked toward
     // a (possibly recovering) peer.
     return best ? *best : (home + 1) % n;
+}
+
+PlacementPolicy::LapseVerdict
+PlacementPolicy::classifyLapse(unsigned home,
+                               const std::vector<IoHostLoad> &table,
+                               sim::Tick now, sim::Tick freshness)
+{
+    for (unsigned i = 0; i < table.size(); ++i) {
+        if (i != home && fresh(table[i], now, freshness))
+            return LapseVerdict::HomeDead;
+    }
+    return LapseVerdict::PathSuspect;
 }
 
 } // namespace vrio::iohost

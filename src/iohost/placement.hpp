@@ -78,10 +78,42 @@ class PlacementPolicy
      * candidate with the freshest beat, ties broken by lower load
      * then lower index.  With no beats seen at all, falls back to
      * (home + 1) mod N so a client always moves somewhere.
+     *
+     * When @p warm_peer names the home's replication peer (>= 0) and
+     * that peer has been heard from within @p freshness, it wins
+     * outright: it holds the home's mirrored duplicate-filter and
+     * in-service state, so landing anywhere else would forfeit the
+     * warm handoff.  -1 keeps the historical freshest-beat scan.
      */
     static unsigned pickFailover(unsigned home,
                                  const std::vector<IoHostLoad> &table,
-                                 sim::Tick now, sim::Tick freshness);
+                                 sim::Tick now, sim::Tick freshness,
+                                 int warm_peer = -1);
+
+    /** What a heartbeat lapse means, judged from the client's seat. */
+    enum class LapseVerdict {
+        /** Others still beat: the home itself is gone — fail over. */
+        HomeDead,
+        /**
+         * Nobody beats: the silence is on the client's own path (its
+         * NIC, its switch port), and every IOhost it could fail over
+         * to is equally unreachable — moving would only strand the
+         * in-service state at a home that is in fact alive.  Suppress
+         * the failover and keep retrying in place.
+         */
+        PathSuspect,
+    };
+
+    /**
+     * Classify a lapse of @p home: in a rack every IOhost beats every
+     * client, so beats still arriving from *any* other IOhost prove
+     * the client's path is fine and the home alone is dead.  A lapse
+     * of every source at once indicts the shared segment — the
+     * client's own path — instead.
+     */
+    static LapseVerdict classifyLapse(unsigned home,
+                                      const std::vector<IoHostLoad> &table,
+                                      sim::Tick now, sim::Tick freshness);
 };
 
 } // namespace vrio::iohost

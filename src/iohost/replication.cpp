@@ -1,0 +1,298 @@
+#include "iohost/replication.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+
+namespace vrio::iohost {
+
+using transport::ReplicaAckMsg;
+using transport::ReplicaRecord;
+using transport::ReplicaSyncMsg;
+
+Replicator::Replicator(sim::EventQueue &eq, ReplicationConfig cfg,
+                       net::MacAddress peer, net::MacAddress upstream,
+                       Hooks hooks)
+    : eq(eq), cfg(cfg), peer(peer), upstream(upstream),
+      hooks(std::move(hooks))
+{
+    vrio_assert(cfg.window > 0, "replication window must be positive");
+    vrio_assert(cfg.batch_max > 0, "replication batch must be positive");
+}
+
+uint64_t
+Replicator::append(ReplicaRecord rec)
+{
+    uint64_t seq = next_seq++;
+    log_.push_back(LogEntry{seq, std::move(rec)});
+    scheduleFlush();
+    return seq;
+}
+
+uint64_t
+Replicator::mirrorInService(uint32_t device_id, uint64_t serial,
+                            uint16_t generation, uint8_t blk_type,
+                            uint64_t sector, uint32_t io_len,
+                            Bytes payload)
+{
+    ReplicaRecord rec;
+    rec.kind = ReplicaRecord::Kind::InService;
+    rec.device_id = device_id;
+    rec.serial = serial;
+    rec.generation = generation;
+    rec.blk_type = blk_type;
+    rec.sector = sector;
+    rec.io_len = io_len;
+    rec.payload = std::move(payload);
+    return append(std::move(rec));
+}
+
+uint64_t
+Replicator::mirrorCommit(uint32_t device_id, uint64_t serial,
+                         uint16_t generation)
+{
+    ReplicaRecord rec;
+    rec.kind = ReplicaRecord::Kind::Commit;
+    rec.device_id = device_id;
+    rec.serial = serial;
+    rec.generation = generation;
+    return append(std::move(rec));
+}
+
+void
+Replicator::mirrorForget(uint32_t device_id, uint64_t serial)
+{
+    ReplicaRecord rec;
+    rec.kind = ReplicaRecord::Kind::Forget;
+    rec.device_id = device_id;
+    rec.serial = serial;
+    append(std::move(rec));
+}
+
+void
+Replicator::scheduleFlush()
+{
+    if (flush_scheduled)
+        return;
+    flush_scheduled = true;
+    eq.schedule(cfg.flush_delay, [this, epoch = timer_epoch]() {
+        if (epoch != timer_epoch)
+            return;
+        flush_scheduled = false;
+        flush();
+    });
+}
+
+void
+Replicator::flush()
+{
+    if (next_to_send < log_.size())
+        shipFrom(next_to_send);
+}
+
+void
+Replicator::shipFrom(size_t index)
+{
+    // Ship [index, end) in batch_max chunks.  Resends walk the same
+    // path from 0 (go-back-N), so a retransmitted prefix re-batches
+    // identically to its first transmission.
+    while (index < log_.size()) {
+        size_t n = std::min<size_t>(cfg.batch_max, log_.size() - index);
+        ReplicaSyncMsg msg;
+        msg.first_seq = log_[index].seq;
+        msg.incarnation = incarnation;
+        msg.records.reserve(n);
+        for (size_t i = 0; i < n; ++i)
+            msg.records.push_back(log_[index + i].rec);
+        Bytes payload;
+        ByteWriter w(payload);
+        msg.encode(w);
+        hooks.send(transport::MsgType::ReplicaSync, payload, peer);
+        records_sent += n;
+        index += n;
+    }
+    next_to_send = log_.size();
+    scheduleRetx();
+}
+
+void
+Replicator::scheduleRetx()
+{
+    if (retx_scheduled || log_.empty())
+        return;
+    retx_scheduled = true;
+    eq.schedule(cfg.retx_timeout, [this, epoch = timer_epoch,
+                                   acked_then = last_acked]() {
+        if (epoch != timer_epoch)
+            return;
+        retx_scheduled = false;
+        if (log_.empty())
+            return;
+        if (last_acked == acked_then) {
+            // No progress for a whole timeout: the batch (or its ack)
+            // was lost, or the path is down.  Go back to the oldest
+            // unacked record and reship everything.
+            ++retx_batches;
+            shipFrom(0);
+        }
+        scheduleRetx();
+    });
+}
+
+void
+Replicator::onAckMessage(const ReplicaAckMsg &ack, net::MacAddress src)
+{
+    if (src != peer) {
+        ++foreign_frames;
+        return; // flooded frame meant for another host's stream
+    }
+    if (ack.incarnation != incarnation)
+        return; // ack for a pre-restart stream
+    if (ack.cum_seq <= last_acked)
+        return;
+    uint64_t cum = std::min(ack.cum_seq, next_seq - 1);
+    size_t dropped = 0;
+    while (!log_.empty() && log_.front().seq <= cum) {
+        log_.pop_front();
+        ++dropped;
+    }
+    next_to_send -= std::min(next_to_send, dropped);
+    last_acked = cum;
+    if (hooks.acked)
+        hooks.acked(cum);
+}
+
+void
+Replicator::reset(uint32_t new_incarnation)
+{
+    log_.clear();
+    next_to_send = 0;
+    next_seq = 1;
+    last_acked = 0;
+    incarnation = new_incarnation;
+    flush_scheduled = false;
+    retx_scheduled = false;
+    ++timer_epoch;
+}
+
+void
+Replicator::onSyncMessage(const ReplicaSyncMsg &msg, net::MacAddress src)
+{
+    if (src != upstream) {
+        ++foreign_frames;
+        return; // flooded frame meant for another host's stream
+    }
+    if (rx_seen && msg.incarnation < rx_incarnation)
+        return; // a pre-restart batch that outlived its stream
+    if (!rx_seen || msg.incarnation != rx_incarnation) {
+        // A fresh upstream incarnation restarts the stream at
+        // sequence 1 (reset() rewinds the sender), so pin the cursor
+        // there rather than syncing it to this batch's first_seq: if
+        // the stream's first batch was lost, syncing would silently
+        // skip the lost prefix AND acknowledge it — the primary would
+        // release held responses for writes this host never saw.
+        // Starting at 1 turns a lost prefix into an ordinary gap that
+        // go-back-N redelivers.  The old incarnation's in-service
+        // mirror is exactly what failover consumes, so it is NOT
+        // cleared here: takeWarmInService() and the committed table
+        // keep serving until activation or eviction.
+        rx_seen = true;
+        rx_incarnation = msg.incarnation;
+        rx_next_seq = 1;
+    }
+    uint64_t seq = msg.first_seq;
+    if (seq > rx_next_seq) {
+        // Gap: a whole batch was lost.  Drop and dup-ack; the sender's
+        // retransmit timer goes back to the oldest unacked record.
+        ++stale_batches;
+    } else {
+        for (const ReplicaRecord &rec : msg.records) {
+            if (seq == rx_next_seq) {
+                applyRecord(rec);
+                ++rx_next_seq;
+            }
+            ++seq;
+        }
+    }
+    if (rx_next_seq == 0)
+        return; // nothing contiguously applied yet, nothing to ack
+    ReplicaAckMsg ack;
+    ack.cum_seq = rx_next_seq - 1;
+    ack.incarnation = rx_incarnation;
+    Bytes payload;
+    ByteWriter w(payload);
+    ack.encode(w);
+    hooks.send(transport::MsgType::ReplicaAck, payload, src);
+}
+
+void
+Replicator::applyRecord(const ReplicaRecord &rec)
+{
+    ++records_applied;
+    auto key = std::make_pair(rec.device_id, rec.serial);
+    switch (rec.kind) {
+      case ReplicaRecord::Kind::InService: {
+        WarmEntry &e = warm[key];
+        e.serial = rec.serial;
+        e.generation = rec.generation;
+        e.blk_type = rec.blk_type;
+        e.sector = rec.sector;
+        e.io_len = rec.io_len;
+        e.payload = rec.payload;
+        break;
+      }
+      case ReplicaRecord::Kind::Commit: {
+        auto it = warm.find(key);
+        if (it != warm.end()) {
+            if (!it->second.payload.empty() && hooks.apply) {
+                // The commit record is slim; the write payload was
+                // shipped once, at admit time, and applies now.
+                ReplicaRecord apply_rec = rec;
+                apply_rec.blk_type = it->second.blk_type;
+                apply_rec.sector = it->second.sector;
+                apply_rec.io_len = it->second.io_len;
+                apply_rec.payload = it->second.payload;
+                hooks.apply(apply_rec);
+                ++commits_applied;
+            }
+            warm.erase(it);
+        }
+        if (committed.emplace(key, rec.generation).second) {
+            committed_fifo.push_back(key);
+            while (committed_fifo.size() > cfg.committed_keep) {
+                committed.erase(committed_fifo.front());
+                committed_fifo.pop_front();
+            }
+        }
+        break;
+      }
+      case ReplicaRecord::Kind::Forget:
+        warm.erase(key);
+        break;
+    }
+}
+
+std::vector<Replicator::WarmEntry>
+Replicator::takeWarmInService(uint32_t device_id)
+{
+    std::vector<WarmEntry> out;
+    auto first = warm.lower_bound({device_id, 0});
+    auto last = warm.lower_bound({device_id + 1, 0});
+    for (auto it = first; it != last; ++it)
+        out.push_back(std::move(it->second));
+    warm.erase(first, last);
+    return out;
+}
+
+bool
+Replicator::committedLookup(uint32_t device_id, uint64_t serial,
+                            uint16_t &generation) const
+{
+    auto it = committed.find({device_id, serial});
+    if (it == committed.end())
+        return false;
+    generation = it->second;
+    return true;
+}
+
+} // namespace vrio::iohost

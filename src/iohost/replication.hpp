@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Warm-state replication between rack IOhosts.
+ *
+ * PR 8's rack failover is a placement decision: the client lands on a
+ * surviving IOhost, but that host has an empty duplicate filter, no
+ * in-service request state, and a store replica that never saw the
+ * primary's writes.  This module closes the gap with primary/backup
+ * log shipping: each IOhost continuously mirrors to a deterministic
+ * peer — IOhost k ships to (k+1) % R over a dedicated replication NIC
+ * through the rack switch —
+ *
+ *   (a) duplicate-filter entries and in-service request descriptors
+ *       (ReplicaRecord::InService, writes carrying their payload),
+ *   (b) committed writes (ReplicaRecord::Commit: the peer applies the
+ *       payload it saved at admit time to its own store replica), and
+ *   (c) completed reads (ReplicaRecord::Forget, pure cleanup).
+ *
+ * The stream is sequenced with cumulative acknowledgements and
+ * go-back-N retransmission; a bounded window of unacked records
+ * applies backpressure to request admission when the peer lags, and —
+ * crucially — a state-changing response is *held* until the peer has
+ * acknowledged its Commit record.  That output-commit rule is what
+ * makes "every acknowledged write is readable from the new home" an
+ * invariant rather than a race.
+ *
+ * On failover (or a planned re-home) the client sends a Rehome
+ * activation to the warm peer, which seeds its duplicate filter from
+ * the mirrored in-service table and replays the entries its dead
+ * primary never completed; whichever of {replay, client retry}
+ * arrives second is suppressed by the filter, so every request
+ * executes exactly once at the surviving store.  Retries of writes
+ * that committed before the crash are answered from the committed
+ * table without re-execution.
+ *
+ * Like SteeringPolicy and PlacementPolicy, the protocol state machine
+ * is kept free of wire and store concerns: the owning IoHypervisor
+ * provides send/apply/ack hooks, so the sequencing and window rules
+ * can be unit-tested against a loopback pair.
+ */
+#ifndef VRIO_IOHOST_REPLICATION_HPP
+#define VRIO_IOHOST_REPLICATION_HPP
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "net/mac.hpp"
+#include "sim/event_queue.hpp"
+#include "transport/control.hpp"
+#include "transport/header.hpp"
+
+namespace vrio::iohost {
+
+struct ReplicationConfig
+{
+    /** Max unacked mirror records before admission backpressure. */
+    unsigned window = 256;
+    /** Records per ReplicaSync message. */
+    unsigned batch_max = 16;
+    /** How long appended records may linger before a batch ships. */
+    sim::Tick flush_delay = sim::Tick(5) * sim::kMicrosecond;
+    /** Resend-from-oldest timeout when the cumulative ack stalls. */
+    sim::Tick retx_timeout = sim::Tick(1) * sim::kMillisecond;
+    /** Bound on the remembered committed-request table. */
+    size_t committed_keep = 4096;
+};
+
+class Replicator
+{
+  public:
+    struct Hooks
+    {
+        /**
+         * Ship an encoded control payload to @p dst (the peer for
+         * ReplicaSync, the upstream primary for ReplicaAck).
+         */
+        std::function<void(transport::MsgType, const Bytes &,
+                           net::MacAddress)> send;
+        /** Apply a committed write to the local store replica. */
+        std::function<void(const transport::ReplicaRecord &)> apply;
+        /**
+         * The peer's cumulative ack advanced to @p cum_seq: release
+         * held responses and, if the window reopened, resume intake.
+         */
+        std::function<void(uint64_t)> acked;
+    };
+
+    /**
+     * @p peer is where this host's mirror stream ships (and the only
+     * source acks are accepted from); @p upstream is the primary whose
+     * stream this host receives (the only source syncs are accepted
+     * from).  In a ring of R hosts, host k has peer (k+1) % R and
+     * upstream (k-1+R) % R.  The source filters matter because the
+     * rack switch floods frames for unlearned MACs to every
+     * promiscuous port: without them a third host would ingest a
+     * foreign stream and corrupt its cursor.
+     */
+    Replicator(sim::EventQueue &eq, ReplicationConfig cfg,
+               net::MacAddress peer, net::MacAddress upstream,
+               Hooks hooks);
+
+    // ---- primary (sender) side --------------------------------------
+
+    /** Mirror an admitted request.  @return the record's sequence. */
+    uint64_t mirrorInService(uint32_t device_id, uint64_t serial,
+                             uint16_t generation, uint8_t blk_type,
+                             uint64_t sector, uint32_t io_len,
+                             Bytes payload);
+    /**
+     * Mirror a state-changing completion.  The caller must hold the
+     * client response until lastAcked() covers the returned sequence.
+     */
+    uint64_t mirrorCommit(uint32_t device_id, uint64_t serial,
+                          uint16_t generation);
+    /** Mirror a read completion (peer-side cleanup only). */
+    void mirrorForget(uint32_t device_id, uint64_t serial);
+
+    /** Ship everything pending now (re-home drain barrier). */
+    void flush();
+
+    /** True when the unacked log has reached the window bound. */
+    bool windowFull() const { return log_.size() >= cfg.window; }
+    uint64_t lastAcked() const { return last_acked; }
+    /** Sequence the next mirrored record will take. */
+    uint64_t nextSeq() const { return next_seq; }
+    /** Current replication lag in records (unacked log depth). */
+    uint64_t lag() const { return log_.size(); }
+
+    /** Handle a peer ack; frames not from the peer are ignored. */
+    void onAckMessage(const transport::ReplicaAckMsg &ack,
+                      net::MacAddress src);
+
+    /**
+     * Crash/restart: the outbound stream restarts at sequence 1 under
+     * a fresh incarnation and all timer state is forgotten.  Receiver
+     * state is untouched — the warm mirror of the OLD incarnation is
+     * exactly what a failover away from this host consumes.
+     */
+    void reset(uint32_t incarnation);
+
+    // ---- peer (receiver) side ---------------------------------------
+
+    void onSyncMessage(const transport::ReplicaSyncMsg &msg,
+                       net::MacAddress src);
+
+    struct WarmEntry
+    {
+        uint64_t serial = 0;
+        uint16_t generation = 0;
+        uint8_t blk_type = 0;
+        uint64_t sector = 0;
+        uint32_t io_len = 0;
+        Bytes payload;
+    };
+
+    /**
+     * Failover activation: surrender every warm in-service entry of
+     * @p device_id (ordered by serial) for duplicate-filter seeding
+     * and replay.
+     */
+    std::vector<WarmEntry> takeWarmInService(uint32_t device_id);
+
+    /**
+     * Did (device, serial) commit at the upstream primary before it
+     * died?  If so the retry must be acknowledged, not re-executed;
+     * @p generation returns the newest generation to stamp.
+     */
+    bool committedLookup(uint32_t device_id, uint64_t serial,
+                         uint16_t &generation) const;
+
+    // ---- introspection ----------------------------------------------
+
+    size_t warmInService() const { return warm.size(); }
+    size_t warmCommitted() const { return committed.size(); }
+    uint64_t recordsSent() const { return records_sent; }
+    uint64_t recordsApplied() const { return records_applied; }
+    uint64_t commitsApplied() const { return commits_applied; }
+    uint64_t retransmitBatches() const { return retx_batches; }
+    uint64_t staleBatches() const { return stale_batches; }
+    /** Flood-delivered frames dropped by the source filters. */
+    uint64_t foreignFrames() const { return foreign_frames; }
+
+  private:
+    struct LogEntry
+    {
+        uint64_t seq = 0;
+        transport::ReplicaRecord rec;
+    };
+
+    sim::EventQueue &eq;
+    ReplicationConfig cfg;
+    net::MacAddress peer;
+    net::MacAddress upstream;
+    Hooks hooks;
+
+    // Sender: records [last_acked+1, next_seq) in order; the first
+    // `next_to_send` of them have been shipped at least once.
+    std::deque<LogEntry> log_;
+    size_t next_to_send = 0;
+    uint64_t next_seq = 1;
+    uint64_t last_acked = 0;
+    uint32_t incarnation = 0;
+    bool flush_scheduled = false;
+    bool retx_scheduled = false;
+    /** Invalidates scheduled timers across reset(). */
+    uint64_t timer_epoch = 0;
+
+    // Receiver: contiguous-apply cursor plus the warm tables.
+    uint64_t rx_next_seq = 0;
+    uint32_t rx_incarnation = 0;
+    bool rx_seen = false;
+    std::map<std::pair<uint32_t, uint64_t>, WarmEntry> warm;
+    std::map<std::pair<uint32_t, uint64_t>, uint16_t> committed;
+    std::deque<std::pair<uint32_t, uint64_t>> committed_fifo;
+
+    uint64_t records_sent = 0;
+    uint64_t records_applied = 0;
+    uint64_t commits_applied = 0;
+    uint64_t retx_batches = 0;
+    uint64_t stale_batches = 0;
+    uint64_t foreign_frames = 0;
+
+    uint64_t append(transport::ReplicaRecord rec);
+    void scheduleFlush();
+    void scheduleRetx();
+    void shipFrom(size_t index);
+    void applyRecord(const transport::ReplicaRecord &rec);
+};
+
+} // namespace vrio::iohost
+
+#endif // VRIO_IOHOST_REPLICATION_HPP

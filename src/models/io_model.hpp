@@ -199,6 +199,26 @@ struct ModelConfig
         double resteer_ratio = 0.0;
         /** Minimum dwell time between voluntary moves per client. */
         sim::Tick resteer_dwell = sim::Tick(20) * sim::kMillisecond;
+        /**
+         * Warm-state replication (DESIGN.md §16): each IOhost k
+         * mirrors duplicate-filter entries, in-service descriptors
+         * and committed writes to IOhost (k+1) mod R over a dedicated
+         * replication NIC through the rack switch.  Failover then
+         * prefers the warm peer, which replays unacked requests and
+         * answers retries of committed writes without re-execution;
+         * planned live re-homes (`scheduleRehome`) become possible.
+         * Requires iohosts >= 2.  Off (the default) schedules no
+         * replication events and keeps every schedule byte-identical.
+         */
+        bool replication = false;
+        /** Unacked-record window before admission backpressure. */
+        unsigned repl_window = 256;
+        /** Mirror records per ReplicaSync batch. */
+        unsigned repl_batch = 16;
+        /** Append-to-ship delay (batching latency bound). */
+        sim::Tick repl_flush_delay = sim::Tick(5) * sim::kMicrosecond;
+        /** Go-back-N resend timeout when the cumulative ack stalls. */
+        sim::Tick repl_retx_timeout = sim::Tick(1) * sim::kMillisecond;
     };
     RackOpts rack;
 

@@ -55,6 +55,8 @@ class VrioModel::Client : public GuestEndpoint
         tg_lapse = tr.intern("recovery.hb_lapse");
         tg_failover = tr.intern("recovery.failover");
         tg_resteer = tr.intern("recovery.resteer");
+        tg_rehome = tr.intern("recovery.rehome");
+        tg_path_suspect = tr.intern("recovery.path_suspect");
         auto &m = vm_.sim().telemetry().metrics;
         telemetry::Labels vl{{"vm", vm_.name()}};
         m.probe("transport.rtq.retransmissions", vl,
@@ -163,6 +165,9 @@ class VrioModel::Client : public GuestEndpoint
     sim::Tick lapseTick() const { return lapse_tick; }
     /** Block requests submitted and not yet completed or failed. */
     uint64_t pendingBlocks() const { return pending.size(); }
+    uint64_t rehomesDone() const { return rehomes_; }
+    uint64_t pathSuspicions() const { return path_suspicions_; }
+    sim::Tick lastBlackout() const { return last_blackout_; }
 
   private:
     friend class VrioModel;
@@ -240,6 +245,20 @@ class VrioModel::Client : public GuestEndpoint
     telemetry::Counter *resteer_counter = nullptr;
     uint16_t tg_resteer = 0;
 
+    // -- warm-state replication (cfg.rack.replication) -----------------
+    /** The rack runs the DESIGN.md §16 mirror ring. */
+    bool rack_repl_ = false;
+    /** Rehome commands accepted (planned live flips). */
+    uint64_t rehomes_ = 0;
+    /** Lapses classified PathSuspect (failover suppressed). */
+    uint64_t path_suspicions_ = 0;
+    /** Flip-to-first-accepted-response of the latest move. */
+    sim::Tick last_blackout_ = 0;
+    sim::Tick blackout_start = 0;
+    bool blackout_pending = false;
+    uint16_t tg_rehome = 0;
+    uint16_t tg_path_suspect = 0;
+
     bool onRack() const { return !rack_macs.empty(); }
 
     bool tvirtio() const { return io_core != nullptr; }
@@ -299,9 +318,72 @@ class VrioModel::Client : public GuestEndpoint
                            telemetry::cat::kRecovery, vm_index);
             }
         }
+        if (rack_repl_) {
+            // Ask the new home to promote its warm state before any
+            // retry can arrive: both frames take the same client->home
+            // path, and the switch's per-link FIFO keeps them ordered.
+            sendRehomeActivate();
+        }
+        // Blackout clock: flip tick to the first accepted response at
+        // the new home (fig19's recovery metric, warm or cold).
+        blackout_pending = true;
+        blackout_start = now;
         rtq.kickAll();
         if (hb_lapse_window > 0)
             armHeartbeatMonitor(); // now watching the new home
+    }
+
+    /**
+     * Tell the new home to seed its duplicate filter and replay the
+     * warm in-service entries its upstream mirrored for this device.
+     * The floor serial fences off entries whose request already
+     * completed (only their cleanup record died with the primary).
+     */
+    void
+    sendRehomeActivate()
+    {
+        transport::RehomeCmd cmd;
+        cmd.phase = transport::RehomeCmd::Phase::Activate;
+        cmd.device_id = blkDeviceId();
+        cmd.floor_serial =
+            pending.empty() ? next_serial : pending.begin()->first;
+        Bytes payload;
+        ByteWriter w(payload);
+        cmd.encode(w);
+        TransportHeader hdr;
+        hdr.type = MsgType::Rehome;
+        hdr.device_id = blkDeviceId();
+        hdr.total_len = uint32_t(payload.size());
+        auto wire = transport::encapsulate(t_mac, iohost_mac,
+                                           next_wire_id++, hdr, payload);
+        transmitWire(std::move(wire));
+    }
+
+    /** A Rehome command from the home: a planned drain-mirror-flip. */
+    void
+    receiveRehome(const transport::MessageAssembler::Assembled &msg)
+    {
+        transport::RehomeCmd cmd;
+        ByteReader r(msg.payload);
+        if (!transport::RehomeCmd::decode(r, cmd))
+            return;
+        if (cmd.phase != transport::RehomeCmd::Phase::Command)
+            return;
+        if (!onRack() || cmd.target >= rack_macs.size())
+            return;
+        // A command from an IOhost this client already left (it lapsed
+        // mid-drain and we failed over) is stale: the failover was the
+        // placement decision, don't bounce back.
+        if (msg.src != rack_macs[rack_home])
+            return;
+        ++rehomes_;
+        auto &tr = vm_.sim().telemetry().tracer;
+        if (tr.enabled()) {
+            tr.instant(tg_recovery_track, tg_rehome,
+                       vm_.sim().events().now(),
+                       telemetry::cat::kRecovery, vm_index);
+        }
+        moveTo(cmd.target, /*failover=*/false);
     }
 
     /** A fresh beat from the home arrived: is somewhere else better? */
@@ -335,9 +417,32 @@ class VrioModel::Client : public GuestEndpoint
             // lone-IOhost rack has nowhere to go — like the legacy
             // no-standby case, the next beat re-arms the monitor.
             if (rack_macs.size() > 1) {
+                // Per-path suspicion: every rack IOhost beats every
+                // client, so if no source still beats, the silence is
+                // on this client's own path and every failover target
+                // is equally unreachable — suppress the move, kick the
+                // retries, and keep watching.
+                if (iohost::PlacementPolicy::classifyLapse(
+                        rack_home, rack_loads, lapse_tick,
+                        hb_lapse_window) ==
+                    iohost::PlacementPolicy::LapseVerdict::PathSuspect) {
+                    ++path_suspicions_;
+                    if (tr.enabled()) {
+                        tr.instant(tg_recovery_track, tg_path_suspect,
+                                   lapse_tick,
+                                   telemetry::cat::kRecovery, vm_index);
+                    }
+                    rtq.kickAll();
+                    armHeartbeatMonitor();
+                    return;
+                }
+                int warm_peer =
+                    rack_repl_
+                        ? int((rack_home + 1) % rack_macs.size())
+                        : -1;
                 moveTo(iohost::PlacementPolicy::pickFailover(
                            rack_home, rack_loads, lapse_tick,
-                           hb_lapse_window),
+                           hb_lapse_window, warm_peer),
                        /*failover=*/true);
             }
             return;
@@ -535,6 +640,9 @@ class VrioModel::Client : public GuestEndpoint
           case MsgType::Heartbeat:
             receiveHeartbeat(msg);
             break;
+          case MsgType::Rehome:
+            receiveRehome(msg);
+            break;
           default:
             vrio_warn("client ignoring message type ",
                       transport::msgTypeName(msg.hdr.type));
@@ -582,6 +690,14 @@ class VrioModel::Client : public GuestEndpoint
                     "accepted response without a pending request");
         auto done = std::move(it->second.done);
         pending.erase(it);
+
+        if (blackout_pending) {
+            // First accepted response since the placement flip: the
+            // service gap the move cost this client ends here.
+            blackout_pending = false;
+            last_blackout_ =
+                vm_.sim().events().now() - blackout_start;
+        }
 
         auto status = virtio::BlkStatus(msg.hdr.status);
         double cycles = c.guest_blk_complete + c.vrio_decap +
@@ -1061,6 +1177,27 @@ VrioModel::buildRack()
                               cfg.iohost_external_gbps);
         io.iohv->attachExternalNic(*io.extnic);
 
+        if (cfg.rack.replication) {
+            // Dedicated replication NIC through the switch: mirror
+            // traffic must keep flowing when client intake is gated,
+            // and its switch port is a fault-injection target of its
+            // own (a killed replication link starves catch-up without
+            // touching the data path).
+            net::NicConfig rnc;
+            rnc.gbps = cfg.direct_link_gbps;
+            rnc.num_queues = 1;
+            rnc.mtu = cfg.vrio_mtu;
+            rnc.rx_ring_size = cfg.iohost_rx_ring;
+            io.rnic = std::make_unique<net::Nic>(
+                sim, strFormat("vrio.iohost%u.rnic", k), rnc);
+            io.rnic->setQueueMac(0,
+                                 net::MacAddress::local(0x7d0000 + k));
+            channel_links.push_back(&rack_.connectToSwitch(
+                strFormat("vrio.iohost%u.rlink", k), io.rnic->port(),
+                cfg.direct_link_gbps));
+            io.iohv->attachReplicationNic(*io.rnic);
+        }
+
         if (cfg.with_block) {
             // Each IOhost serves its own replica of the rack volume
             // (replicated-at-rest), so every VM's device works on
@@ -1081,6 +1218,26 @@ VrioModel::buildRack()
             }
         }
         rio.push_back(std::move(io));
+    }
+
+    // -- replication ring: k mirrors to (k+1) % R ------------------------
+    // Enabled after every IOhost exists because each needs its peer's
+    // (and upstream's) replication-NIC MAC.
+    if (cfg.rack.replication) {
+        vrio_assert(R >= 2,
+                    "rack.replication needs at least two IOhosts "
+                    "(a lone host has no peer to mirror to)");
+        iohost::ReplicationConfig rc;
+        rc.window = cfg.rack.repl_window;
+        rc.batch_max = cfg.rack.repl_batch;
+        rc.flush_delay = cfg.rack.repl_flush_delay;
+        rc.retx_timeout = cfg.rack.repl_retx_timeout;
+        for (unsigned k = 0; k < R; ++k) {
+            sim::ShardScope scope(sim, io_shard(k));
+            rio[k].iohv->enableReplication(
+                rc, rio[(k + 1) % R].rnic->queueMac(0),
+                rio[(k + R - 1) % R].rnic->queueMac(0));
+        }
     }
 
     // -- VMhosts, switch-wired (no per-host IOhost port) -----------------
@@ -1149,6 +1306,7 @@ VrioModel::buildRack()
         }
         client->rack_macs = rack_macs;
         client->rack_home = home;
+        client->rack_repl_ = cfg.rack.replication;
         client->rack_loads.assign(R, {});
         client->place_cfg.imbalance_ratio = cfg.rack.resteer_ratio;
         client->resteer_dwell = cfg.rack.resteer_dwell;
@@ -1361,6 +1519,8 @@ VrioModel::allNics() const
     for (const auto &io : rio) {
         out.push_back(io.cnic.get());
         out.push_back(io.extnic.get());
+        if (io.rnic)
+            out.push_back(io.rnic.get());
     }
     if (external_nic)
         out.push_back(external_nic.get());
@@ -1463,6 +1623,50 @@ uint64_t
 VrioModel::clientBlockTimeouts(unsigned vm_index) const
 {
     return clients.at(vm_index)->blockFailures();
+}
+
+void
+VrioModel::scheduleRehome(unsigned vm_index, unsigned target,
+                          sim::Tick at)
+{
+    vrio_assert(!rio.empty(), "scheduleRehome requires rack mode");
+    vrio_assert(cfg_.rack.replication,
+                "scheduleRehome requires rack.replication (a cold "
+                "target has no warm state to activate)");
+    vrio_assert(target < rio.size(), "bad re-home target ", target);
+    vrio_assert(vm_index < clients.size(), "bad VM ", vm_index);
+    // The home is captured now (call time, normally during setup) so
+    // the drain event never peeks at client state across shards.  If
+    // the client moved before @p at, the stale home still drains, but
+    // the client ignores a Rehome command from a host it already left.
+    Client &c = *clients[vm_index];
+    const unsigned home = c.rack_home;
+    const uint32_t device_id = c.blkDeviceId();
+    if (home == target)
+        return;
+    auto &sim = rack_.sim();
+    sim::ShardScope scope(sim, 1 + cfg_.num_vmhosts + home);
+    sim.events().scheduleAt(at, [this, home, device_id, target]() {
+        rio[home].iohv->beginRehome(device_id, uint16_t(target));
+    });
+}
+
+uint64_t
+VrioModel::clientRehomes(unsigned vm_index) const
+{
+    return clients.at(vm_index)->rehomesDone();
+}
+
+sim::Tick
+VrioModel::clientLastBlackout(unsigned vm_index) const
+{
+    return clients.at(vm_index)->lastBlackout();
+}
+
+uint64_t
+VrioModel::clientPathSuspicions(unsigned vm_index) const
+{
+    return clients.at(vm_index)->pathSuspicions();
 }
 
 } // namespace vrio::models

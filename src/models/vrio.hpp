@@ -113,6 +113,27 @@ class VrioModel : public IoModel
     /** Requests failed with BlkStatus::Timeout (retry cap). */
     uint64_t clientBlockTimeouts(unsigned vm_index) const;
 
+    // -- warm-state replication / live re-homing (cfg.rack.replication)
+    /**
+     * Schedule a planned live re-home of @p vm_index onto rack IOhost
+     * @p target at tick @p at: the then-current home drains its mirror
+     * stream (IoHypervisor::beginRehome) and commands the client to
+     * flip.  The home is captured when the drain starts, so a failover
+     * racing the schedule simply turns the command into a no-op move.
+     * Requires rack mode with replication on.
+     */
+    void scheduleRehome(unsigned vm_index, unsigned target, sim::Tick at);
+    /** Rehome commands accepted by a client (planned flips). */
+    uint64_t clientRehomes(unsigned vm_index) const;
+    /**
+     * Duration of the client's most recent placement-move blackout:
+     * flip tick to first accepted response at the new home (0 until a
+     * first move completes).
+     */
+    sim::Tick clientLastBlackout(unsigned vm_index) const;
+    /** Lapses suppressed as PathSuspect (no failover issued). */
+    uint64_t clientPathSuspicions(unsigned vm_index) const;
+
   protected:
     const hv::Vm &vmAt(unsigned vm_index) const override;
 
@@ -176,15 +197,20 @@ class VrioModel : public IoModel
      * client/external switch ports, and backing store.  Stores are
      * replicated-at-rest across the rack — every IOhost consolidates
      * every client's devices over its own replica, so any IOhost can
-     * serve any client and a placement move needs no data motion (the
-     * simulation does not model cross-replica write propagation, so
-     * tests must not assert read-your-write across a re-steer).
+     * serve any client and a placement move needs no data motion.
+     * Without cfg.rack.replication the simulation does not model
+     * cross-replica write propagation, so tests must not assert
+     * read-your-write across a re-steer; with it on, committed writes
+     * propagate to the warm peer's store (DESIGN.md §16) and
+     * read-your-write holds across a failover or re-home onto it.
      */
     struct RackIoHost
     {
         std::unique_ptr<hv::Machine> machine;
         std::unique_ptr<net::Nic> cnic;
         std::unique_ptr<net::Nic> extnic;
+        /** Replication control channel (cfg.rack.replication only). */
+        std::unique_ptr<net::Nic> rnic;
         std::unique_ptr<iohost::IoHypervisor> iohv;
         std::unique_ptr<block::BlockDevice> store;
     };

@@ -67,4 +67,106 @@ HeartbeatMsg::decode(ByteReader &r, HeartbeatMsg &out)
     return true;
 }
 
+void
+ReplicaRecord::encode(ByteWriter &w) const
+{
+    w.putU8(uint8_t(kind));
+    w.putU32le(device_id);
+    w.putU64le(serial);
+    w.putU16le(generation);
+    w.putU8(blk_type);
+    w.putU64le(sector);
+    w.putU32le(io_len);
+    w.putU32le(uint32_t(payload.size()));
+    if (!payload.empty())
+        w.putBytes(std::span<const uint8_t>(payload));
+}
+
+bool
+ReplicaRecord::decode(ByteReader &r, ReplicaRecord &out)
+{
+    if (r.remaining() < kFixedSize)
+        return false;
+    out.kind = Kind(r.getU8());
+    out.device_id = r.getU32le();
+    out.serial = r.getU64le();
+    out.generation = r.getU16le();
+    out.blk_type = r.getU8();
+    out.sector = r.getU64le();
+    out.io_len = r.getU32le();
+    uint32_t payload_len = r.getU32le();
+    if (r.remaining() < payload_len)
+        return false;
+    auto b = r.viewBytes(payload_len);
+    out.payload.assign(b.begin(), b.end());
+    return true;
+}
+
+void
+ReplicaSyncMsg::encode(ByteWriter &w) const
+{
+    w.putU64le(first_seq);
+    w.putU32le(incarnation);
+    w.putU16le(uint16_t(records.size()));
+    for (const ReplicaRecord &rec : records)
+        rec.encode(w);
+}
+
+bool
+ReplicaSyncMsg::decode(ByteReader &r, ReplicaSyncMsg &out)
+{
+    if (r.remaining() < kHeaderSize)
+        return false;
+    out.first_seq = r.getU64le();
+    out.incarnation = r.getU32le();
+    uint16_t count = r.getU16le();
+    out.records.clear();
+    out.records.reserve(count);
+    for (uint16_t i = 0; i < count; ++i) {
+        ReplicaRecord rec;
+        if (!ReplicaRecord::decode(r, rec))
+            return false;
+        out.records.push_back(std::move(rec));
+    }
+    return true;
+}
+
+void
+ReplicaAckMsg::encode(ByteWriter &w) const
+{
+    w.putU64le(cum_seq);
+    w.putU32le(incarnation);
+}
+
+bool
+ReplicaAckMsg::decode(ByteReader &r, ReplicaAckMsg &out)
+{
+    if (r.remaining() < kSize)
+        return false;
+    out.cum_seq = r.getU64le();
+    out.incarnation = r.getU32le();
+    return true;
+}
+
+void
+RehomeCmd::encode(ByteWriter &w) const
+{
+    w.putU8(uint8_t(phase));
+    w.putU32le(device_id);
+    w.putU16le(target);
+    w.putU64le(floor_serial);
+}
+
+bool
+RehomeCmd::decode(ByteReader &r, RehomeCmd &out)
+{
+    if (r.remaining() < kSize)
+        return false;
+    out.phase = Phase(r.getU8());
+    out.device_id = r.getU32le();
+    out.target = r.getU16le();
+    out.floor_serial = r.getU64le();
+    return true;
+}
+
 } // namespace vrio::transport

@@ -12,6 +12,7 @@
 #define VRIO_TRANSPORT_CONTROL_HPP
 
 #include <cstdint>
+#include <vector>
 
 #include "net/mac.hpp"
 #include "util/byte_buffer.hpp"
@@ -78,6 +79,108 @@ struct HeartbeatMsg
 
     void encode(ByteWriter &w) const;
     static bool decode(ByteReader &r, HeartbeatMsg &out);
+};
+
+/**
+ * One entry in a warm-state mirror stream (ReplicaSync payload).
+ *
+ * The primary ships three record kinds to its replication peer:
+ *   InService — a block request was admitted (duplicate-filter entry
+ *               plus enough descriptor state to replay it; writes
+ *               carry the payload so the peer never needs to ask).
+ *   Commit    — a write/flush/trim completed and its response is about
+ *               to be released; the peer applies the payload it saved
+ *               at InService time to its own store replica and moves
+ *               the entry to the committed table.
+ *   Forget    — a read completed; the peer drops its in-service entry
+ *               (nothing to apply, nothing worth remembering).
+ */
+struct ReplicaRecord
+{
+    enum class Kind : uint8_t {
+        InService = 1,
+        Commit = 2,
+        Forget = 3,
+    };
+
+    Kind kind = Kind::InService;
+    uint32_t device_id = 0;
+    uint64_t serial = 0;
+    uint16_t generation = 0;
+    uint8_t blk_type = 0;
+    uint64_t sector = 0;
+    uint32_t io_len = 0;
+    Bytes payload; ///< write data (InService for writes), else empty
+
+    /** Encoded size excluding the payload bytes. */
+    static constexpr size_t kFixedSize = 1 + 4 + 8 + 2 + 1 + 8 + 4 + 4;
+
+    void encode(ByteWriter &w) const;
+    static bool decode(ByteReader &r, ReplicaRecord &out);
+};
+
+/**
+ * ReplicaSync payload: a batch of sequenced mirror records.  Records
+ * carry contiguous sequence numbers starting at `first_seq`; the
+ * receiver applies in order and acknowledges cumulatively, so a lost
+ * batch is recovered by go-back-N retransmission from the sender's
+ * unacked log.
+ */
+struct ReplicaSyncMsg
+{
+    uint64_t first_seq = 0;
+    uint32_t incarnation = 0; ///< sender restart epoch
+    std::vector<ReplicaRecord> records;
+
+    static constexpr size_t kHeaderSize = 8 + 4 + 2;
+
+    void encode(ByteWriter &w) const;
+    static bool decode(ByteReader &r, ReplicaSyncMsg &out);
+};
+
+/** ReplicaAck payload: highest contiguously applied sequence. */
+struct ReplicaAckMsg
+{
+    uint64_t cum_seq = 0;
+    uint32_t incarnation = 0; ///< echoes the sender's stream epoch
+
+    static constexpr size_t kSize = 8 + 4;
+
+    void encode(ByteWriter &w) const;
+    static bool decode(ByteReader &r, ReplicaAckMsg &out);
+};
+
+/**
+ * Rehome payload, used in both directions of a placement flip:
+ *   Command  — IOhost -> client: "your home is now rack IOhost
+ *              `target`" (the drain-mirror-flip handoff of a planned
+ *              live re-home).
+ *   Activate — client -> new home: "I am homed on you now; promote
+ *              your warm state for `device_id`" (replay unacked
+ *              in-service requests, seed the duplicate filter).
+ */
+struct RehomeCmd
+{
+    enum class Phase : uint8_t {
+        Command = 1,
+        Activate = 2,
+    };
+
+    Phase phase = Phase::Command;
+    uint32_t device_id = 0;
+    uint16_t target = 0; ///< rack IOhost index (Command only)
+    /**
+     * Activate only: the client's lowest outstanding request serial.
+     * Warm entries below it belong to requests that already completed
+     * (their Forget/Commit was lost with the crash) — replaying them
+     * would re-apply old writes, so the activation drops them.
+     */
+    uint64_t floor_serial = 0;
+
+    static constexpr size_t kSize = 1 + 4 + 2 + 8;
+
+    void encode(ByteWriter &w) const;
+    static bool decode(ByteReader &r, RehomeCmd &out);
 };
 
 } // namespace vrio::transport

@@ -70,6 +70,12 @@ msgTypeName(MsgType type)
         return "dev-ack";
       case MsgType::Heartbeat:
         return "heartbeat";
+      case MsgType::ReplicaSync:
+        return "replica-sync";
+      case MsgType::ReplicaAck:
+        return "replica-ack";
+      case MsgType::Rehome:
+        return "rehome";
     }
     return "unknown";
 }

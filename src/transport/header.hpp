@@ -57,6 +57,9 @@ enum class MsgType : uint8_t {
     DevDestroy = 6,
     DevAck = 7,   ///< client -> IOhost: control acknowledgement
     Heartbeat = 8,///< IOhost -> client: liveness beacon
+    ReplicaSync = 9, ///< IOhost -> peer IOhost: warm-state mirror batch
+    ReplicaAck = 10, ///< peer IOhost -> IOhost: cumulative mirror ack
+    Rehome = 11,  ///< placement flip: IOhost command / client activation
 };
 
 /** Header flag bits. */

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <iterator>
 
 #include "util/logging.hpp"
 
@@ -220,6 +221,34 @@ DuplicateFilter::dropWorker(unsigned worker)
         }
     }
     return dropped;
+}
+
+size_t
+DuplicateFilter::inServiceOf(uint32_t device_id) const
+{
+    auto first = in_service.lower_bound({device_id, 0});
+    auto last = in_service.lower_bound({device_id + 1, 0});
+    return size_t(std::distance(first, last));
+}
+
+size_t
+DuplicateFilter::dropDevice(uint32_t device_id)
+{
+    auto first = in_service.lower_bound({device_id, 0});
+    auto last = in_service.lower_bound({device_id + 1, 0});
+    size_t dropped = size_t(std::distance(first, last));
+    in_service.erase(first, last);
+    return dropped;
+}
+
+bool
+DuplicateFilter::seed(uint32_t device_id, uint64_t serial,
+                      uint16_t generation)
+{
+    auto [it, inserted] =
+        in_service.try_emplace({device_id, serial}, Entry{generation});
+    (void)it;
+    return inserted;
 }
 
 void

@@ -184,11 +184,31 @@ class DuplicateFilter
      */
     size_t dropWorker(unsigned worker);
 
+    /**
+     * Abandon every entry of @p device_id (per-device starvation
+     * quarantine: the worker is alive but this queue stopped moving,
+     * so its clients' retries must be re-admitted and re-steered).
+     * @return entries dropped.
+     */
+    size_t dropDevice(uint32_t device_id);
+
+    /**
+     * Seed an entry from a replication peer's warm state (failover
+     * handoff).  Unlike admit(), seeding neither counts a suppression
+     * nor bumps an existing newer generation: a live entry means the
+     * client's retry beat the replay, and the retry's generation is
+     * the one the response must carry.  @return true when the seeded
+     * entry is new (the caller should replay the request).
+     */
+    bool seed(uint32_t device_id, uint64_t serial, uint16_t generation);
+
     /** Crash semantics: in-service state does not survive an outage. */
     void clear() { in_service.clear(); }
 
     uint64_t suppressed() const { return suppressed_; }
     size_t inService() const { return in_service.size(); }
+    /** In-service entries of one device (starvation-watchdog input). */
+    size_t inServiceOf(uint32_t device_id) const;
 
   private:
     struct Entry

@@ -65,6 +65,7 @@ const GoldenCase kCases[] = {
     {"fig15_sidecore_utilization", "fig15_sidecore_utilization", ""},
     {"fig16_consolidation", "fig16_consolidation", ""},
     {"fig17_nvme_scaling", "fig17_nvme_scaling", ""},
+    {"fig19_warm_failover", "fig19_warm_failover", ""},
     {"tab01_tab02_rack_prices", "tab01_tab02_rack_prices", ""},
     {"tab03_interrupt_accounting", "tab03_interrupt_accounting", ""},
     {"tab04_tail_latency", "tab04_tail_latency", ""},

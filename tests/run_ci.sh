@@ -50,15 +50,17 @@ run cmake -B build-ci-tsan -S . \
     -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-sanitize-recover=all"
 run cmake --build build-ci-tsan -j "$JOBS" --target \
     sim_test net_test telemetry_test core_test shard_equivalence_test \
-    nvme_test rack_test
+    nvme_test rack_test replication_test
 run env VRIO_SIM_THREADS=4 ./build-ci-tsan/tests/sim_test
 run env VRIO_SIM_THREADS=4 ./build-ci-tsan/tests/net_test
 run env VRIO_SIM_THREADS=4 ./build-ci-tsan/tests/telemetry_test
 run env VRIO_SIM_THREADS=4 ./build-ci-tsan/tests/core_test
 run env VRIO_SIM_THREADS=4 ./build-ci-tsan/tests/shard_equivalence_test
 run env VRIO_SIM_THREADS=4 ./build-ci-tsan/tests/nvme_test
-# The rack soak instantiates its own 1/2/8-thread matrix internally.
+# The rack soak instantiates its own 1/2/8-thread matrix internally,
+# as do the replication handoff/soak suites.
 run env VRIO_SIM_THREADS=4 ./build-ci-tsan/tests/rack_test
+run env VRIO_SIM_THREADS=4 ./build-ci-tsan/tests/replication_test
 
 echo "== Release =="
 run cmake -B build-ci-release -S . -DCMAKE_BUILD_TYPE=Release
