@@ -36,6 +36,12 @@
  * Env knobs: VRIO_FIG19_SMOKE=1 shrinks the run (also implied by
  * VRIO_BENCH_SMOKE=1); VRIO_FIG19_OUTAGE_MS overrides the crash
  * window; VRIO_FIG19_VMS overrides the VM count (multiples of 2).
+ * VRIO_FIG19_FAILBACK=1 adds a fourth cell: the warm crash with
+ * rack.failback on — after the dead IOhost revives and resumes
+ * heartbeating, its refugee VMs re-steer back to their boot home
+ * (dwell-gated), so the cell asserts the rack ends rebalanced
+ * (clientHomeIoHost(v) == v % 2) with failback moves recorded.  Off
+ * by default: the golden snapshot covers the classic three cells.
  */
 #include <algorithm>
 #include <cstdio>
@@ -84,9 +90,10 @@ outageLength()
 
 enum class Scenario
 {
-    Cold,   ///< crash, replication off
-    Warm,   ///< crash, replication on
-    Rehome, ///< planned flip, replication on, no fault
+    Cold,     ///< crash, replication off
+    Warm,     ///< crash, replication on
+    Rehome,   ///< planned flip, replication on, no fault
+    Failback, ///< warm crash + rack.failback: refugees return home
 };
 
 struct Fig19Cell
@@ -103,6 +110,8 @@ struct Fig19Cell
     uint64_t errors = 0;
     uint64_t stranded = 0;
     uint64_t held = 0;       ///< held responses left after the drain
+    uint64_t failbacks = 0;  ///< dwell-gated returns to the boot home
+    bool homes_restored = false; ///< every VM back on IOhost v % 2
 };
 
 Fig19Cell
@@ -130,6 +139,7 @@ runCell(Scenario sc)
         mc.rack.iohosts = 2;
         mc.rack.shared_volume = true;
         mc.rack.replication = sc != Scenario::Cold;
+        mc.rack.failback = sc == Scenario::Failback;
     };
 
     bench::Experiment exp(ModelKind::Vrio, n_vms, opt);
@@ -225,6 +235,12 @@ runCell(Scenario sc)
         out.stranded += vm->clientPendingBlocks(v);
     for (unsigned k = 0; k < 2; ++k)
         out.held += vm->rackHypervisor(k).heldResponses();
+    out.homes_restored = true;
+    for (unsigned v = 0; v < n_vms; ++v) {
+        out.failbacks += vm->clientFailbacks(v);
+        if (vm->clientHomeIoHost(v) != v % 2)
+            out.homes_restored = false;
+    }
     return out;
 }
 
@@ -240,6 +256,12 @@ main()
         "fig19 warm", []() { return runCell(Scenario::Warm); });
     auto rehome = runner.defer<Fig19Cell>(
         "fig19 rehome", []() { return runCell(Scenario::Rehome); });
+    const char *fb_env = std::getenv("VRIO_FIG19_FAILBACK");
+    const bool with_failback = fb_env && *fb_env && *fb_env != '0';
+    std::shared_ptr<Fig19Cell> failback;
+    if (with_failback)
+        failback = runner.defer<Fig19Cell>(
+            "fig19 failback", []() { return runCell(Scenario::Failback); });
     runner.run();
 
     stats::Table timeline("Figure 19 (a): failover timeline, IOhost 0 "
@@ -281,6 +303,31 @@ main()
 
     std::printf("%s\n", timeline.toString().c_str());
     std::printf("%s\n", summary.toString().c_str());
+
+    if (with_failback) {
+        stats::Table fb("Figure 19 (c): fail-back after the revive "
+                        "(warm crash + rack.failback)");
+        fb.setHeader({"mode", "dip%", "blackout_ms", "failover",
+                      "failback", "errors", "stranded",
+                      "homes_restored"});
+        fb.addRow("failback",
+                  {failback->dip_pct, failback->blackout_ms,
+                   double(failback->failovers),
+                   double(failback->failbacks),
+                   double(failback->errors),
+                   double(failback->stranded),
+                   failback->homes_restored ? 1.0 : 0.0},
+                  2);
+        std::printf("%s\n", fb.toString().c_str());
+        std::printf("failback acceptance: refugees returned to their "
+                    "boot home after the revive (failbacks > 0): %s; "
+                    "rack rebalanced (home == vm %% 2 for every VM): "
+                    "%s; warm cell left refugees stranded on the "
+                    "survivor: %s\n",
+                    failback->failbacks > 0 ? "yes" : "NO",
+                    failback->homes_restored ? "yes" : "NO",
+                    !warm->homes_restored ? "yes" : "NO");
+    }
     std::printf("expected shape: warm dip strictly below cold dip "
                 "(activation seeds the duplicate filter and replays "
                 "the mirrored in-service table; dup > 0 warm, dup = 0 "

@@ -7,8 +7,15 @@
  * maximum — elvis's critical path crosses host interrupt context
  * (rare, very long stalls) while vRIO's crosses the IOhost worker
  * (more frequent, shorter disturbances).
+ *
+ * VRIO_TAB04_INTERP=1 appends a second table using
+ * stats::Histogram::percentileInterpolated — linear interpolation
+ * within the winning bucket instead of the bucket's upper edge, so
+ * sparse tails read a point estimate rather than a step function.
+ * Off by default (the golden snapshot covers the classic table only).
  */
 #include <cstdio>
+#include <cstdlib>
 
 #include "common.hpp"
 
@@ -47,6 +54,23 @@ main()
     }
 
     std::printf("%s\n", table.toString().c_str());
+
+    if (const char *env = std::getenv("VRIO_TAB04_INTERP");
+        env && *env && *env != '0') {
+        stats::Table interp(
+            "Table 4 (interpolated percentiles) [usec]");
+        interp.setHeader({"percentile", "optimum", "elvis", "vrio"});
+        for (int p = 0; p < 4; ++p) {
+            interp.addRow(
+                names[p],
+                {hists[0].percentileInterpolated(percentiles[p]),
+                 hists[1].percentileInterpolated(percentiles[p]),
+                 hists[2].percentileInterpolated(percentiles[p])},
+                1);
+        }
+        std::printf("%s\n", interp.toString().c_str());
+    }
+
     std::printf("paper: optimum 35/42/214/227; elvis 53/71/466/480; "
                 "vrio 60/156/258/274.\n"
                 "shape: elvis wins at 99.9/99.99; vrio wins at 99.999 "

@@ -58,6 +58,16 @@ Testbed::Testbed(models::ModelKind kind, unsigned num_vms,
         if (mc.rack.iohosts < 2)
             mc.rack.iohosts = 2;
     }
+    // Multi-tenant QoS (DESIGN.md §17) lives at the rack fan-out
+    // point, so enabling it forces rack mode (at least one IOhost
+    // behind the switch).
+    if (const char *env = std::getenv("VRIO_RACK_QOS");
+        env && *env && std::atol(env) != 0) {
+        mc.rack.qos.enabled = true;
+        mc.vrio_via_switch = true;
+        if (mc.rack.iohosts < 1)
+            mc.rack.iohosts = 1;
+    }
 
     unsigned threads =
         options.threads ? options.threads : threadsFromEnv();

@@ -29,6 +29,9 @@ IoHypervisor::IoHypervisor(sim::Simulation &sim, std::string name,
                     machine.coreCount(),
                 "IOhost machine has too few cores for ",
                 cfg.num_workers, " workers");
+    vrio_assert(!(cfg.qos && cfg.coalesce),
+                "QoS and coalescing both re-order the fan-out queue; "
+                "enable at most one");
     // Telemetry handles: resolved once here, bumped raw on the
     // datapath.  One series per instance, labeled {iohv=<name>}.
     auto &m = sim.telemetry().metrics;
@@ -46,6 +49,12 @@ IoHypervisor::IoHypervisor(sim::Simulation &sim, std::string name,
     coalesce_staged = &m.counter("rack.coalesce.staged", l);
     coalesce_runs = &m.counter("rack.coalesce.runs", l);
     coalesce_merged = &m.counter("rack.coalesce.merged_parts", l);
+    if (cfg.qos) {
+        qsched_ = std::make_unique<qos::FairScheduler>(cfg.qos_cfg);
+        qos_shed_ctr = &m.counter("qos.admission.shed", l);
+        qos_defer_ctr = &m.counter("qos.sched.deferrals", l);
+        qos_promote_ctr = &m.counter("qos.sched.promotions", l);
+    }
     inflight_at_dispatch = &m.histogram("iohost.inflight_at_dispatch", l);
     worker_stats.reserve(cfg.num_workers);
     auto &tr = sim.telemetry().tracer;
@@ -210,6 +219,15 @@ IoHypervisor::setOffline(bool off)
         // the clients replay, and replaying is safe (Section 4.5).
         dedup.clear();
         device_progress.clear();
+        // Requests queued in the QoS scheduler die with the crash the
+        // same way — clients replay them at whatever home they land
+        // on, and virtual time restarts from zero.
+        if (qsched_) {
+            qsched_->clear();
+            qos_pending.clear();
+            qos_live.clear();
+            qos_inflight = 0;
+        }
         // Held responses die unsent: their clients retry, and the
         // retry either hits the peer's committed table (the Commit
         // record made it) or re-executes at the new home (it did
@@ -451,6 +469,13 @@ IoHypervisor::intakeAllowed() const
     // up responses this host is not allowed to release yet.
     if (repl_ && repl_->windowFull())
         return false;
+    // With QoS on, the rings drain into the scheduler where policy
+    // (fair ordering, admission shed) applies — queueing in a dumb RX
+    // ring is exactly the head-of-line blocking the subsystem exists
+    // to remove.  Occupancy is bounded by admission control, not by
+    // worker backlog.
+    if (qsched_)
+        return true;
     return inflight < size_t(cfg.num_workers) * cfg.batch_max;
 }
 
@@ -462,6 +487,10 @@ IoHypervisor::stageDone(unsigned worker)
     vrio_assert(worker_inflight[worker] > 0,
                 "worker inflight underflow");
     --worker_inflight[worker];
+    // A freed first-stage slot serves the scheduler before the rings:
+    // queued-and-ordered work outranks fresh intake.
+    if (qsched_)
+        qosPump();
     // A worker went idle: it takes the next batch off the rings.
     pumpClientRings();
     if (external_nic)
@@ -552,6 +581,16 @@ IoHypervisor::dispatch(MessageAssembler::Assembled req)
         if (!dedup.admit(req.hdr.device_id, req.hdr.request_serial,
                          req.hdr.generation)) {
             statCounter("duplicates_suppressed").inc();
+            break;
+        }
+        // QoS fan-out: the request queues under the fair/deadline
+        // discipline instead of dispatching FIFO.  Mirroring happens
+        // at pop time so shed requests never enter the replication
+        // stream.  Unknown devices fall through to execBlock for its
+        // warn-and-complete semantics.
+        if (qsched_ &&
+            blk_devices.find(req.hdr.device_id) != blk_devices.end()) {
+            qosEnqueue(std::move(req));
             break;
         }
         mirrorAdmitted(req.hdr, req.payload);
@@ -765,6 +804,12 @@ IoHypervisor::execBlock(unsigned worker, MessageAssembler::Assembled req)
     if (it == blk_devices.end()) {
         vrio_warn("block request for unknown device ", req.hdr.device_id);
         steer.complete(req.hdr.device_id, worker);
+        // No response will release this request's QoS slot (the
+        // device moved away between admission and execution).
+        if (qsched_) {
+            qosFinish(req.hdr.device_id, req.hdr.request_serial);
+            qosPump();
+        }
         return;
     }
     BlockDeviceEntry &dev = it->second;
@@ -912,6 +957,124 @@ IoHypervisor::execBlock(unsigned worker, MessageAssembler::Assembled req)
                     });
             });
     });
+}
+
+// -- multi-tenant QoS scheduling (DESIGN.md §17) --------------------------
+
+void
+IoHypervisor::setTenant(uint32_t device_id, qos::TenantConfig tc)
+{
+    vrio_assert(qsched_ != nullptr,
+                "setTenant requires cfg.qos");
+    qsched_->setTenant(device_id, tc);
+    auto &m = sim().telemetry().metrics;
+    telemetry::Labels l{{"iohv", name()},
+                        {"tenant", std::to_string(device_id)}};
+    TenantTelemetry tt;
+    tt.latency_us = &m.histogram("qos.tenant.latency_us", l);
+    tt.slo_violations = &m.counter("qos.slo.violations", l);
+    tt.slo = tc.slo;
+    qos_tenants[device_id] = tt;
+}
+
+void
+IoHypervisor::qosEnqueue(MessageAssembler::Assembled req)
+{
+    const uint32_t device_id = req.hdr.device_id;
+    // Abstract cost: one fixed unit plus the data the workers and the
+    // backend actually touch — io_len covers reads (no payload on the
+    // request), the payload covers writes.
+    double bytes = double(std::max<uint64_t>(req.payload.size(),
+                                             req.hdr.io_len));
+    double cost = 1.0 + bytes / 4096.0;
+    sim::Tick now = sim().events().now();
+    uint64_t token = qos_next_token++;
+    switch (qsched_->push(device_id, token, cost, now)) {
+      case qos::Verdict::Shed:
+        // Unwind the admission: release the in-service entry so the
+        // client's retransmit timer retries this serial once pressure
+        // clears — the same loss-recovery loop a dropped frame uses.
+        dedup.take(device_id, req.hdr.request_serial,
+                   req.hdr.generation);
+        qos_shed_ctr->inc();
+        return;
+      case qos::Verdict::Deferred:
+        qos_defer_ctr->inc();
+        break;
+      case qos::Verdict::Admitted:
+        break;
+    }
+    qos_live.emplace(std::make_pair(device_id, req.hdr.request_serial),
+                     now);
+    qos_pending.emplace(token, std::move(req));
+    qosPump();
+}
+
+void
+IoHypervisor::qosPump()
+{
+    if (offline_)
+        return;
+    // A slot spans admission to response (see qos_inflight): the
+    // default window keeps the worker stage and the store's channel
+    // pipelined without letting a FIFO backlog re-form downstream.
+    const size_t window =
+        cfg.qos_window ? cfg.qos_window : cfg.num_workers * 4;
+    while (qos_inflight < window && !(repl_ && repl_->windowFull())) {
+        auto p = qsched_->pop(sim().events().now());
+        if (!p)
+            return;
+        if (p->promoted)
+            qos_promote_ctr->inc();
+        auto it = qos_pending.find(p->token);
+        vrio_assert(it != qos_pending.end(), "QoS token ", p->token,
+                    " has no pending request");
+        MessageAssembler::Assembled req = std::move(it->second);
+        qos_pending.erase(it);
+        mirrorAdmitted(req.hdr, req.payload);
+        ++qos_inflight;
+        ++inflight;
+        unsigned w = steer.steer(req.hdr.device_id);
+        dedup.bind(req.hdr.device_id, req.hdr.request_serial, w);
+        ++worker_inflight[w];
+        worker_stats[w].dispatches->inc();
+        execBlock(w, std::move(req));
+    }
+}
+
+std::optional<sim::Tick>
+IoHypervisor::qosFinish(uint32_t device_id, uint64_t serial)
+{
+    // Misses are expected: warm replays and coalesced runs never pass
+    // through the scheduler.
+    auto it = qos_live.find({device_id, serial});
+    if (it == qos_live.end())
+        return std::nullopt;
+    sim::Tick admitted = it->second;
+    qos_live.erase(it);
+    if (qos_inflight > 0)
+        --qos_inflight;
+    return admitted;
+}
+
+void
+IoHypervisor::qosRecordLatency(uint32_t device_id, uint64_t serial)
+{
+    auto admitted = qosFinish(device_id, serial);
+    if (!admitted)
+        return;
+    sim::Tick waited = sim().events().now() - *admitted;
+    auto tt = qos_tenants.find(device_id);
+    if (tt != qos_tenants.end()) {
+        tt->second.latency_us->record(
+            uint64_t(sim::ticksToMicros(waited)));
+        if (tt->second.slo && waited > tt->second.slo) {
+            tt->second.slo_violations->inc();
+            ++qos_slo_violations;
+        }
+    }
+    // The freed slot is the pump's wake-up signal.
+    qosPump();
 }
 
 // -- cross-VM request coalescing (rack layer, DESIGN.md §15) --------------
@@ -1296,6 +1459,8 @@ IoHypervisor::finishBlockResponse(net::MacAddress t_mac,
         return;
     }
     noteDeviceProgress(resp.device_id);
+    if (qsched_)
+        qosRecordLatency(resp.device_id, resp.request_serial);
     if (!repl_) {
         sendToClient(t_mac, resp, data);
         return;

@@ -23,6 +23,7 @@
 #include "iohost/replication.hpp"
 #include "iohost/steering.hpp"
 #include "net/nic.hpp"
+#include "qos/scheduler.hpp"
 #include "telemetry/telemetry.hpp"
 #include "transport/coalesce.hpp"
 #include "transport/control.hpp"
@@ -116,6 +117,27 @@ struct IoHypervisorConfig
      * Adds 4 bytes per beat; off keeps the wire format historical.
      */
     bool advertise_load = false;
+
+    // -- multi-tenant QoS (DESIGN.md §17; off by default) --------------
+    /**
+     * Weighted-fair / deadline scheduling at the fan-out point: block
+     * requests queue in a per-tenant `qos::FairScheduler` instead of
+     * dispatching FIFO, and admission control sheds over-budget
+     * tenants under pressure.  Off = the historical dispatch path,
+     * untouched.  Mutually exclusive with `coalesce` (both disciplines
+     * re-order the same queue).
+     */
+    bool qos = false;
+    qos::SchedulerConfig qos_cfg;
+    /**
+     * End-to-end admitted requests while QoS paces the fan-out
+     * (0 = four per worker).  A slot spans admission to response —
+     * it covers the worker stage *and* the shared store channel
+     * behind it — so queueing lives in the scheduler, where policy
+     * applies, not in downstream backlogs the policy can't reach.
+     * Four per worker keeps the worker/store pipeline full.
+     */
+    unsigned qos_window = 0;
 };
 
 /** A guest-facing net device consolidated on the IOhost. */
@@ -299,6 +321,35 @@ class IoHypervisor : public sim::SimObject
     /** Responses currently held awaiting a peer commit ack. */
     size_t heldResponses() const { return held_responses.size(); }
 
+    // -- multi-tenant QoS (cfg.qos) -----------------------------------
+    /**
+     * Declare the QoS contract (weight, optional latency SLO) for the
+     * tenant behind block device @p device_id and register its
+     * per-tenant telemetry series.  Requires cfg.qos.
+     */
+    void setTenant(uint32_t device_id, qos::TenantConfig tc);
+    /** The scheduler, or null when QoS is off. */
+    const qos::FairScheduler *qosScheduler() const
+    {
+        return qsched_.get();
+    }
+    /** Requests shed by admission control. */
+    uint64_t qosSheds() const { return qsched_ ? qsched_->sheds() : 0; }
+    /** Requests queued past their share with a finish-tag penalty. */
+    uint64_t qosDeferrals() const
+    {
+        return qsched_ ? qsched_->deferrals() : 0;
+    }
+    /** Requests served early by the deadline lane. */
+    uint64_t qosPromotions() const
+    {
+        return qsched_ ? qsched_->promotions() : 0;
+    }
+    /** Requests currently queued in the scheduler. */
+    size_t qosQueued() const { return qsched_ ? qsched_->queued() : 0; }
+    /** SLO violations observed at response time. */
+    uint64_t qosSloViolations() const { return qos_slo_violations; }
+
   private:
     IoHypervisorConfig cfg;
     hv::Machine &machine;
@@ -436,6 +487,46 @@ class IoHypervisor : public sim::SimObject
     uint64_t warm_replays = 0;
     uint64_t commit_hits = 0;
     uint64_t rehomes_issued = 0;
+
+    // -- multi-tenant QoS scheduling (cfg.qos) ------------------------
+    /** The policy object; null when QoS is off. */
+    std::unique_ptr<qos::FairScheduler> qsched_;
+    /** Token -> queued request body (the scheduler holds tokens only). */
+    std::map<uint64_t, transport::MessageAssembler::Assembled>
+        qos_pending;
+    uint64_t qos_next_token = 0;
+    /** (device, serial) -> admission tick, for end-to-end latency. */
+    std::map<std::pair<uint32_t, uint64_t>, sim::Tick> qos_live;
+    /**
+     * Scheduler picks whose *response* has not left yet.  Unlike
+     * `inflight` (first worker stage only), a QoS slot is held until
+     * finishBlockResponse: the backend behind the workers (the shared
+     * store's channel) is part of the contended pipeline, and
+     * releasing slots at stage end would just let the noisy tenant's
+     * backlog re-form there, past the scheduler's reach.
+     */
+    size_t qos_inflight = 0;
+    /** Per-tenant telemetry handles, resolved once in setTenant. */
+    struct TenantTelemetry
+    {
+        telemetry::LogHistogram *latency_us = nullptr;
+        telemetry::Counter *slo_violations = nullptr;
+        sim::Tick slo = 0;
+    };
+    std::map<uint32_t, TenantTelemetry> qos_tenants;
+    telemetry::Counter *qos_shed_ctr = nullptr;
+    telemetry::Counter *qos_defer_ctr = nullptr;
+    telemetry::Counter *qos_promote_ctr = nullptr;
+    uint64_t qos_slo_violations = 0;
+    /** Admission verdict + queue for one block request. */
+    void qosEnqueue(transport::MessageAssembler::Assembled req);
+    /** Dispatch scheduler picks while end-to-end slots are free. */
+    void qosPump();
+    /** Release the (device, serial) slot; admission tick on a hit. */
+    std::optional<sim::Tick> qosFinish(uint32_t device_id,
+                                       uint64_t serial);
+    /** End-of-request accounting (latency histogram, SLO check). */
+    void qosRecordLatency(uint32_t device_id, uint64_t serial);
 
     // -- cross-VM request coalescing (cfg.coalesce) -------------------
     /** Staged entries, bucketed per backing device in first-seen

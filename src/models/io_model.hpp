@@ -219,6 +219,47 @@ struct ModelConfig
         sim::Tick repl_flush_delay = sim::Tick(5) * sim::kMicrosecond;
         /** Go-back-N resend timeout when the cumulative ack stalls. */
         sim::Tick repl_retx_timeout = sim::Tick(1) * sim::kMillisecond;
+        /**
+         * Fail-back (DESIGN.md §17): once a client's boot-time home
+         * revives and resumes heartbeating, dwell-gated placement
+         * re-steers the client back to it, rebalancing the rack after
+         * an outage instead of leaving every refugee VM on the
+         * survivor.  The move reuses the voluntary re-steer machinery
+         * (blackout-bounded re-addressing, replay of outstanding
+         * requests) and respects `resteer_dwell` between moves.
+         */
+        bool failback = false;
+        /**
+         * Multi-tenant QoS at each IOhost fan-out point (DESIGN.md
+         * §17): block requests queue in a weighted-fair scheduler
+         * with an EDF deadline lane and admission control instead of
+         * dispatching FIFO.  Requires rack mode (iohosts >= 1) and is
+         * mutually exclusive with `coalesce`.  Off (the default)
+         * keeps every schedule byte-identical.
+         */
+        struct QosOpts
+        {
+            bool enabled = false;
+            /** Aggregate queue depth arming admission control. */
+            size_t high_water = 64;
+            /** Per-tenant minimum share under pressure (requests). */
+            size_t tenant_floor = 4;
+            /** Shed past this multiple of the tenant's share. */
+            double shed_factor = 2.0;
+            /** Deadline-lane promotion slack. */
+            sim::Tick promote_slack = sim::Tick(50) * sim::kMicrosecond;
+            /** End-to-end admitted requests (admission to response)
+             *  while QoS paces (0 = four per worker). */
+            unsigned window = 0;
+            /** Contract for VMs beyond the explicit vectors below. */
+            double default_weight = 1.0;
+            sim::Tick default_slo = 0;
+            /** Per-VM weights / SLO targets, indexed by VM; shorter
+             *  vectors fall back to the defaults above. */
+            std::vector<double> weights;
+            std::vector<sim::Tick> slos;
+        };
+        QosOpts qos;
     };
     RackOpts rack;
 

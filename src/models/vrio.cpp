@@ -168,6 +168,7 @@ class VrioModel::Client : public GuestEndpoint
     uint64_t rehomesDone() const { return rehomes_; }
     uint64_t pathSuspicions() const { return path_suspicions_; }
     sim::Tick lastBlackout() const { return last_blackout_; }
+    uint64_t failbacksDone() const { return failbacks_; }
 
   private:
     friend class VrioModel;
@@ -242,6 +243,10 @@ class VrioModel::Client : public GuestEndpoint
     sim::Tick resteer_dwell = 0;
     sim::Tick last_move = 0;
     uint64_t resteers_ = 0;
+    /** Boot-time home, the fail-back target (rack.failback). */
+    unsigned boot_home = 0;
+    bool failback_ = false;
+    uint64_t failbacks_ = 0;
     telemetry::Counter *resteer_counter = nullptr;
     uint16_t tg_resteer = 0;
 
@@ -484,6 +489,17 @@ class VrioModel::Client : public GuestEndpoint
                     if (hb_lapse_window > 0)
                         armHeartbeatMonitor();
                     maybeResteer();
+                } else if (failback_ && k == boot_home &&
+                           vm_.sim().events().now() - last_move >=
+                               resteer_dwell) {
+                    // The boot home is beating again after this client
+                    // left it (lapse failover or voluntary move).
+                    // Dwell-gated fail-back: once the revived host
+                    // proves liveness, move back and rebalance the
+                    // rack instead of stranding every refugee VM on
+                    // the survivor.
+                    ++failbacks_;
+                    moveTo(boot_home, /*failover=*/false);
                 }
                 return;
             }
@@ -770,9 +786,17 @@ VrioModel::VrioModel(Rack &rack, ModelConfig cfg) : IoModel(rack, cfg)
                     "rack beats already traverse the switch");
         vrio_assert(cfg.block_backend == ModelConfig::BlockBackend::Direct,
                     "rack mode supports the Direct block backend only");
+        vrio_assert(!(cfg.rack.qos.enabled && cfg.rack.coalesce),
+                    "rack.qos and rack.coalesce both re-order the "
+                    "fan-out queue; enable at most one");
         buildRack();
         return;
     }
+    vrio_assert(!cfg.rack.qos.enabled,
+                "rack.qos requires the rack layer (rack.iohosts >= 1)");
+    vrio_assert(!cfg.rack.failback,
+                "rack.failback requires the rack layer "
+                "(rack.iohosts >= 1)");
 
     const uint32_t io_shard = cfg.num_vmhosts + 1;
     auto vm_shard = [](unsigned h) { return uint32_t(1 + h); };
@@ -1133,6 +1157,14 @@ VrioModel::buildRack()
     ihc.coalesce = cfg.rack.coalesce;
     ihc.coalesce_window = cfg.rack.coalesce_window;
     ihc.coalesce_max = cfg.rack.coalesce_max;
+    ihc.qos = cfg.rack.qos.enabled;
+    if (cfg.rack.qos.enabled) {
+        ihc.qos_cfg.high_water = cfg.rack.qos.high_water;
+        ihc.qos_cfg.tenant_floor = cfg.rack.qos.tenant_floor;
+        ihc.qos_cfg.shed_factor = cfg.rack.qos.shed_factor;
+        ihc.qos_cfg.promote_slack = cfg.rack.qos.promote_slack;
+        ihc.qos_window = cfg.rack.qos.window;
+    }
 
     uint64_t per_vm_bytes = cfg.block_use_ssd
                                 ? cfg.ssd_cfg.capacity_bytes
@@ -1306,6 +1338,8 @@ VrioModel::buildRack()
         }
         client->rack_macs = rack_macs;
         client->rack_home = home;
+        client->boot_home = home;
+        client->failback_ = cfg.rack.failback;
         client->rack_repl_ = cfg.rack.replication;
         client->rack_loads.assign(R, {});
         client->place_cfg.imbalance_ratio = cfg.rack.resteer_ratio;
@@ -1343,6 +1377,16 @@ VrioModel::buildRack()
                                        ? 0
                                        : uint64_t(v) * per_vm_sectors;
                 rio[k].iohv->addBlockDevice(bd);
+                if (cfg.rack.qos.enabled) {
+                    qos::TenantConfig tc;
+                    tc.weight = v < cfg.rack.qos.weights.size()
+                                    ? cfg.rack.qos.weights[v]
+                                    : cfg.rack.qos.default_weight;
+                    tc.slo = v < cfg.rack.qos.slos.size()
+                                 ? cfg.rack.qos.slos[v]
+                                 : cfg.rack.qos.default_slo;
+                    rio[k].iohv->setTenant(bd.device_id, tc);
+                }
             }
             client->attachRemoteDisk(per_vm_sectors);
         }
@@ -1667,6 +1711,12 @@ uint64_t
 VrioModel::clientPathSuspicions(unsigned vm_index) const
 {
     return clients.at(vm_index)->pathSuspicions();
+}
+
+uint64_t
+VrioModel::clientFailbacks(unsigned vm_index) const
+{
+    return clients.at(vm_index)->failbacksDone();
 }
 
 } // namespace vrio::models

@@ -133,6 +133,8 @@ class VrioModel : public IoModel
     sim::Tick clientLastBlackout(unsigned vm_index) const;
     /** Lapses suppressed as PathSuspect (no failover issued). */
     uint64_t clientPathSuspicions(unsigned vm_index) const;
+    /** Fail-back moves to the revived boot home (rack.failback). */
+    uint64_t clientFailbacks(unsigned vm_index) const;
 
   protected:
     const hv::Vm &vmAt(unsigned vm_index) const override;

@@ -1,0 +1,149 @@
+#include "qos/scheduler.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+
+namespace vrio::qos {
+
+void
+FairScheduler::setTenant(uint32_t tenant, TenantConfig tc)
+{
+    vrio_assert(tc.weight > 0, "tenant weight must be positive, got ",
+                tc.weight);
+    tenants_[tenant].cfg = tc;
+}
+
+size_t
+FairScheduler::shareOf(const Tenant &t) const
+{
+    double wsum = 0;
+    for (const auto &[id, tt] : tenants_)
+        wsum += tt.cfg.weight;
+    double frac = wsum > 0 ? t.cfg.weight / wsum : 1.0;
+    size_t share = size_t(frac * double(cfg_.high_water));
+    return std::max(share, cfg_.tenant_floor);
+}
+
+size_t
+FairScheduler::shareOf(uint32_t tenant) const
+{
+    auto it = tenants_.find(tenant);
+    if (it == tenants_.end()) {
+        Tenant t;
+        return shareOf(t);
+    }
+    return shareOf(it->second);
+}
+
+size_t
+FairScheduler::queued(uint32_t tenant) const
+{
+    auto it = tenants_.find(tenant);
+    return it == tenants_.end() ? 0 : it->second.fifo.size();
+}
+
+Verdict
+FairScheduler::push(uint32_t tenant, uint64_t token, double cost,
+                    sim::Tick now)
+{
+    vrio_assert(cost > 0, "request cost must be positive, got ", cost);
+    Tenant &t = tenants_[tenant];
+    Verdict v = Verdict::Admitted;
+    if (total_ >= cfg_.high_water) {
+        size_t share = shareOf(t);
+        if (double(t.fifo.size()) >=
+            cfg_.shed_factor * double(share)) {
+            ++sheds_;
+            return Verdict::Shed;
+        }
+        if (t.fifo.size() >= share)
+            v = Verdict::Deferred;
+    }
+    Item item;
+    item.token = token;
+    item.start = std::max(vtime_, t.last_finish);
+    double charged =
+        cost * (v == Verdict::Deferred ? cfg_.defer_penalty : 1.0);
+    item.finish = item.start + charged / t.cfg.weight;
+    t.last_finish = item.finish;
+    item.queued_at = now;
+    item.deadline = t.cfg.slo ? now + t.cfg.slo : 0;
+    t.fifo.push_back(item);
+    ++total_;
+    if (v == Verdict::Deferred)
+        ++deferrals_;
+    return v;
+}
+
+std::optional<FairScheduler::Popped>
+FairScheduler::pop(sim::Tick now)
+{
+    if (total_ == 0)
+        return std::nullopt;
+
+    // Fair lane: the head with the minimum finish tag (tie: minimum
+    // start tag, then lowest tenant id via map order).
+    auto fair = tenants_.end();
+    double fair_f = 0, fair_s = 0;
+    for (auto it = tenants_.begin(); it != tenants_.end(); ++it) {
+        if (it->second.fifo.empty())
+            continue;
+        const Item &h = it->second.fifo.front();
+        if (fair == tenants_.end() || h.finish < fair_f ||
+            (h.finish == fair_f && h.start < fair_s)) {
+            fair = it;
+            fair_f = h.finish;
+            fair_s = h.start;
+        }
+    }
+    vrio_assert(fair != tenants_.end(), "queued count out of sync");
+
+    // Deadline lane: among heads whose slack is exhausted, the
+    // earliest deadline wins (tie: lowest tenant id via map order).
+    auto pick = tenants_.end();
+    sim::Tick pick_deadline = 0;
+    for (auto it = tenants_.begin(); it != tenants_.end(); ++it) {
+        if (it->second.fifo.empty())
+            continue;
+        const Item &h = it->second.fifo.front();
+        if (h.deadline == 0 || h.deadline > now + cfg_.promote_slack)
+            continue;
+        if (pick == tenants_.end() || h.deadline < pick_deadline) {
+            pick = it;
+            pick_deadline = h.deadline;
+        }
+    }
+
+    bool promoted = pick != tenants_.end() && pick != fair;
+    if (pick == tenants_.end())
+        pick = fair;
+    if (promoted)
+        ++promotions_;
+
+    Tenant &t = pick->second;
+    Item h = t.fifo.front();
+    t.fifo.pop_front();
+    --total_;
+    vtime_ = std::max(vtime_, h.start);
+
+    Popped p;
+    p.tenant = pick->first;
+    p.token = h.token;
+    p.queued_at = h.queued_at;
+    p.promoted = promoted;
+    return p;
+}
+
+void
+FairScheduler::clear()
+{
+    for (auto &[id, t] : tenants_) {
+        t.fifo.clear();
+        t.last_finish = 0;
+    }
+    vtime_ = 0;
+    total_ = 0;
+}
+
+} // namespace vrio::qos

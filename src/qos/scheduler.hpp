@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Multi-tenant QoS scheduling for the IOhost fan-out point
+ * (DESIGN.md §17).
+ *
+ * `FairScheduler` is a pure, deterministic policy object: start-time
+ * weighted fair queueing (SFQ) over virtual-time tags, with an
+ * optional deadline lane that EDF-promotes requests whose SLO slack
+ * is exhausted, plus admission control that defers or sheds
+ * over-budget tenants once aggregate queue depth crosses a
+ * high-water mark.  It holds opaque tokens only — the IOhost keeps
+ * the request bodies — and consumes no randomness, so its decisions
+ * are a pure function of the push/pop sequence (f(seed, shards),
+ * never threads).
+ *
+ * Discipline:
+ *  - Each request gets a start tag S = max(V, tenant.last_finish) and
+ *    a finish tag F = S + cost / weight; the tenant's FIFO preserves
+ *    per-device order (the steering layer requires it).
+ *  - pop() serves the tenant head with the minimum finish tag and
+ *    advances V to the served start tag — the classic SFQ rule, which
+ *    bounds any tenant's lag behind its weighted share by one
+ *    max-cost request.
+ *  - Deadline lane: a head whose deadline (enqueue + SLO) is within
+ *    `promote_slack` of now is served first, earliest deadline wins.
+ *    Only heads are eligible, so promotion never reorders a tenant
+ *    against itself.
+ *  - Admission: under pressure (total >= high_water) each tenant is
+ *    entitled to share = max(tenant_floor, weight_fraction *
+ *    high_water).  Occupancy at or past shed_factor * share sheds the
+ *    request (the IOhost releases its duplicate-filter entry and the
+ *    client's retransmit timer retries it); occupancy at or past the
+ *    share defers it — it still queues, but with a finish-tag penalty
+ *    that pushes it behind compliant traffic without ever starving it
+ *    (tags are finite, so every deferred request eventually holds the
+ *    minimum).
+ */
+#ifndef VRIO_QOS_SCHEDULER_HPP
+#define VRIO_QOS_SCHEDULER_HPP
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+
+#include "sim/ticks.hpp"
+
+namespace vrio::qos {
+
+/** Per-tenant QoS contract. */
+struct TenantConfig
+{
+    /** Fair-share weight (relative; must be > 0). */
+    double weight = 1.0;
+    /**
+     * Latency SLO target (0 = none).  A queued request's deadline is
+     * its enqueue tick plus this; the deadline lane promotes it once
+     * the remaining slack drops below `promote_slack`, and the IOhost
+     * counts a violation when the end-to-end latency exceeds it.
+     */
+    sim::Tick slo = 0;
+};
+
+struct SchedulerConfig
+{
+    /** Aggregate queued-request count that arms admission control. */
+    size_t high_water = 64;
+    /** Per-tenant minimum share under pressure (requests). */
+    size_t tenant_floor = 4;
+    /** Shed when a tenant's occupancy reaches this multiple of share. */
+    double shed_factor = 2.0;
+    /** Promote a head whose deadline is within this slack of now. */
+    sim::Tick promote_slack = sim::Tick(50) * sim::kMicrosecond;
+    /** Finish-tag cost multiplier applied to deferred requests. */
+    double defer_penalty = 4.0;
+};
+
+enum class Verdict
+{
+    Admitted, ///< queued at full priority
+    Deferred, ///< queued with a finish-tag penalty (over share)
+    Shed      ///< rejected; the client retransmits later
+};
+
+class FairScheduler
+{
+  public:
+    explicit FairScheduler(SchedulerConfig cfg) : cfg_(cfg) {}
+
+    /**
+     * Declare a tenant's weight/SLO.  Unknown tenants seen by push()
+     * get TenantConfig defaults (weight 1, no SLO).
+     */
+    void setTenant(uint32_t tenant, TenantConfig tc);
+
+    /**
+     * Offer one request of abstract @p cost.  On Admitted/Deferred
+     * the token is queued; on Shed it is not (the caller unwinds its
+     * admission state and relies on client retransmission).
+     */
+    Verdict push(uint32_t tenant, uint64_t token, double cost,
+                 sim::Tick now);
+
+    struct Popped
+    {
+        uint32_t tenant = 0;
+        uint64_t token = 0;
+        sim::Tick queued_at = 0;
+        /** Served out of fair order by the deadline lane. */
+        bool promoted = false;
+    };
+    /** Serve the next request, or nullopt when idle. */
+    std::optional<Popped> pop(sim::Tick now);
+
+    /** Drop all queued requests and reset virtual time (crash). */
+    void clear();
+
+    size_t queued() const { return total_; }
+    size_t queued(uint32_t tenant) const;
+    bool empty() const { return total_ == 0; }
+    double virtualTime() const { return vtime_; }
+    /** The share admission control grants @p tenant right now. */
+    size_t shareOf(uint32_t tenant) const;
+    uint64_t sheds() const { return sheds_; }
+    uint64_t deferrals() const { return deferrals_; }
+    uint64_t promotions() const { return promotions_; }
+
+  private:
+    struct Item
+    {
+        uint64_t token = 0;
+        double start = 0;
+        double finish = 0;
+        sim::Tick queued_at = 0;
+        sim::Tick deadline = 0; ///< 0 = no SLO
+    };
+    struct Tenant
+    {
+        TenantConfig cfg;
+        /** Finish tag of this tenant's last queued request. */
+        double last_finish = 0;
+        std::deque<Item> fifo;
+    };
+
+    size_t shareOf(const Tenant &t) const;
+
+    SchedulerConfig cfg_;
+    /** Ordered map: scans are deterministic, ties break on tenant id. */
+    std::map<uint32_t, Tenant> tenants_;
+    double vtime_ = 0;
+    size_t total_ = 0;
+    uint64_t sheds_ = 0;
+    uint64_t deferrals_ = 0;
+    uint64_t promotions_ = 0;
+};
+
+} // namespace vrio::qos
+
+#endif // VRIO_QOS_SCHEDULER_HPP

@@ -67,6 +67,23 @@ Histogram::percentile(double p) const
     return samples[rank - 1];
 }
 
+double
+Histogram::percentileInterpolated(double p) const
+{
+    vrio_assert(p >= 0.0 && p <= 100.0, "percentile ", p, " out of range");
+    if (samples.empty())
+        return 0.0;
+    ensureSorted();
+    if (samples.size() == 1)
+        return samples.front();
+    double rank = p / 100.0 * double(samples.size() - 1);
+    size_t lo = size_t(rank);
+    if (lo >= samples.size() - 1)
+        return samples.back();
+    double frac = rank - double(lo);
+    return samples[lo] + frac * (samples[lo + 1] - samples[lo]);
+}
+
 void
 Histogram::reset()
 {

@@ -41,6 +41,19 @@ class Histogram
      */
     double percentile(double p) const;
 
+    /**
+     * Percentile by linear interpolation between closest order
+     * statistics (the C = 1 / "exclusive" convention shared by numpy
+     * and most SLO tooling): rank = p/100 * (n-1), interpolating
+     * between floor and ceil.  Smoother than nearest-rank for deep
+     * tails (p999/p9999) over modest sample counts, where
+     * nearest-rank jumps a whole sample at a time.
+     *
+     * @param p percentile in [0, 100]; 0 returns the minimum,
+     *          100 the maximum.
+     */
+    double percentileInterpolated(double p) const;
+
     /** Drop all samples. */
     void reset();
 

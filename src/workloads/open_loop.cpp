@@ -1,0 +1,141 @@
+#include "workloads/open_loop.hpp"
+
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace vrio::workloads {
+
+using virtio::BlkType;
+using virtio::kSectorSize;
+
+OpenLoopBlock::OpenLoopBlock(models::GuestEndpoint &guest,
+                             sim::Random rng, Config cfg)
+    : guest(guest), rng(rng), cfg(cfg)
+{
+    vrio_assert(guest.hasBlockDevice(),
+                "open-loop workload needs a block device on the guest");
+    vrio_assert(cfg.io_bytes % kSectorSize == 0,
+                "I/O size must be sector aligned");
+    vrio_assert(cfg.rate > 0, "arrival rate must be positive");
+    vrio_assert(cfg.pareto_alpha > 1.0,
+                "bounded-Pareto shape must exceed 1 (finite mean), got ",
+                cfg.pareto_alpha);
+    vrio_assert(cfg.pareto_bound > 1.0,
+                "bounded-Pareto tail bound must exceed 1, got ",
+                cfg.pareto_bound);
+    device_sectors = guest.blockCapacitySectors();
+    sim_ = &guest.vm().sim();
+    mean_gap_ticks = double(sim::kSecond) / cfg.rate;
+}
+
+void
+OpenLoopBlock::start()
+{
+    epoch = sim_->now();
+    if (cfg.churn_ops_mean > 0)
+        conn_ops_left =
+            1 + uint64_t(rng.exponential(cfg.churn_ops_mean));
+    // Bootstrap through the vCPU so the timer chain binds to the
+    // guest's shard: every subsequent self-reschedule runs (and
+    // schedules) shard-locally, keeping results f(seed, shards)
+    // whatever the thread count.
+    guest.vm().vcpu().run(1.0, [this]() { arrival(); });
+}
+
+sim::Tick
+OpenLoopBlock::nextGap()
+{
+    // Bounded Pareto on [1, H] by inverse CDF, normalized to the
+    // configured mean gap: heavy-tailed lulls punctuating bursts, but
+    // with a finite mean so the long-run rate is exactly cfg.rate.
+    const double a = cfg.pareto_alpha;
+    const double H = cfg.pareto_bound;
+    double u = rng.uniform();
+    double x =
+        1.0 / std::pow(1.0 - u * (1.0 - std::pow(H, -a)), 1.0 / a);
+    double m = a / (a - 1.0) * (1.0 - std::pow(H, 1.0 - a)) /
+               (1.0 - std::pow(H, -a));
+    auto gap = sim::Tick(x / m * mean_gap_ticks);
+    return gap > 0 ? gap : 1;
+}
+
+void
+OpenLoopBlock::scheduleArrival(sim::Tick gap)
+{
+    sim_->events().schedule(gap, [this]() { arrival(); });
+}
+
+void
+OpenLoopBlock::arrival()
+{
+    if (stopped_)
+        return;
+    issueOne();
+    if (cfg.churn_ops_mean > 0 && --conn_ops_left == 0) {
+        // End of connection: pause, then resume as a "new" tenant
+        // connection on a fresh, non-overlapping random substream.
+        ++churns_;
+        rng.jump();
+        conn_ops_left =
+            1 + uint64_t(rng.exponential(cfg.churn_ops_mean));
+        scheduleArrival(cfg.churn_pause + nextGap());
+        return;
+    }
+    scheduleArrival(nextGap());
+}
+
+void
+OpenLoopBlock::issueOne()
+{
+    if (outstanding_ >= cfg.max_outstanding) {
+        // Open-loop give-up: the arrival is lost, not queued — queue
+        // depth past the budget is the server's problem to prevent,
+        // and this counter is how the bench sees it failing to.
+        ++overflows_;
+        return;
+    }
+    uint32_t nsectors = cfg.io_bytes / kSectorSize;
+    uint64_t aligned_slots = (device_sectors - nsectors) / nsectors;
+    uint64_t sector = rng.uniformInt(0, aligned_slots) * nsectors;
+    bool writer = rng.bernoulli(cfg.write_fraction);
+
+    block::BlockRequest req;
+    req.kind = writer ? BlkType::Out : BlkType::In;
+    req.sector = sector;
+    req.nsectors = nsectors;
+    if (writer)
+        req.data.assign(cfg.io_bytes, uint8_t(issued_));
+
+    ++issued_;
+    ++outstanding_;
+    sim::Tick at = sim_->now();
+    guest.submitBlock(std::move(req),
+                      [this, at](virtio::BlkStatus s, Bytes) {
+                          --outstanding_;
+                          if (s != virtio::BlkStatus::Ok) {
+                              ++errors;
+                              return;
+                          }
+                          ++ops;
+                          latency.add(
+                              sim::ticksToMicros(sim_->now() - at));
+                      });
+}
+
+void
+OpenLoopBlock::resetStats()
+{
+    ops = issued_ = errors = overflows_ = churns_ = 0;
+    latency.reset();
+    epoch = sim_->now();
+}
+
+double
+OpenLoopBlock::opsPerSec(sim::Simulation &sim) const
+{
+    double seconds = sim::ticksToSeconds(sim.now() - epoch);
+    return seconds > 0 ? double(ops) / seconds : 0.0;
+}
+
+} // namespace vrio::workloads

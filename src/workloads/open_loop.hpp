@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Open-loop block workload with heavy-tailed arrivals (DESIGN.md §17).
+ *
+ * Closed-loop workloads (filebench, netperf RR) self-throttle: a slow
+ * server slows its own offered load, which hides exactly the
+ * tail-latency story multi-tenant QoS exists to tell.  OpenLoopBlock
+ * issues 4KB block requests on a timer instead — arrivals keep coming
+ * whether or not earlier requests completed — with bounded-Pareto
+ * interarrival gaps (heavy-tailed bursts, finite mean) and optional
+ * connection churn (the arrival process periodically "reconnects":
+ * pauses, then resumes on a fresh random substream, modeling tenant
+ * connection turnover).  A noisy neighbor is just an OpenLoopBlock at
+ * N× the victim's rate.
+ */
+#ifndef VRIO_WORKLOADS_OPEN_LOOP_HPP
+#define VRIO_WORKLOADS_OPEN_LOOP_HPP
+
+#include "models/io_model.hpp"
+#include "sim/random.hpp"
+#include "stats/histogram.hpp"
+
+namespace vrio::workloads {
+
+class OpenLoopBlock
+{
+  public:
+    struct Config
+    {
+        /** Mean arrival rate, requests per second. */
+        double rate = 20000;
+        uint32_t io_bytes = 4096;
+        /** Fraction of requests that are writes. */
+        double write_fraction = 0.5;
+        /**
+         * Bounded-Pareto interarrival shape; smaller = heavier tail.
+         * Must be > 1 (finite mean) and != 1 exactly.
+         */
+        double pareto_alpha = 1.5;
+        /** Tail bound H/L: the longest gap as a multiple of the
+         *  shortest.  1000 gives millisecond-scale lulls between
+         *  microsecond-scale bursts at typical rates. */
+        double pareto_bound = 1000;
+        /**
+         * Connection churn: mean requests per connection (exponential;
+         * 0 = one immortal connection).  At end-of-connection the
+         * arrival process pauses for `churn_pause` and resumes on a
+         * fresh random substream.
+         */
+        double churn_ops_mean = 0;
+        sim::Tick churn_pause = sim::Tick(200) * sim::kMicrosecond;
+        /**
+         * Outstanding-request cap — the guest's queue-depth budget.
+         * An arrival past the cap is dropped and counted, not queued
+         * (an open-loop client's give-up, equivalent to a connection
+         * timeout at the application).
+         */
+        unsigned max_outstanding = 256;
+    };
+
+    OpenLoopBlock(models::GuestEndpoint &guest, sim::Random rng,
+                  Config cfg);
+
+    void start();
+    void resetStats();
+    /** Stop issuing; outstanding requests drain on their own. */
+    void stop() { stopped_ = true; }
+
+    uint64_t opsCompleted() const { return ops; }
+    uint64_t opsIssued() const { return issued_; }
+    uint64_t ioErrors() const { return errors; }
+    /** Arrivals dropped at the outstanding-request cap. */
+    uint64_t overflows() const { return overflows_; }
+    /** Connection turnovers taken. */
+    uint64_t churns() const { return churns_; }
+    unsigned outstandingOps() const { return outstanding_; }
+
+    /** Per-op submit-to-complete latency (successful ops only). */
+    const stats::Histogram &latencyUs() const { return latency; }
+
+    double opsPerSec(sim::Simulation &sim) const;
+
+  private:
+    models::GuestEndpoint &guest;
+    sim::Random rng;
+    Config cfg;
+    uint64_t device_sectors = 0;
+
+    uint64_t ops = 0;
+    uint64_t issued_ = 0;
+    uint64_t errors = 0;
+    uint64_t overflows_ = 0;
+    uint64_t churns_ = 0;
+    uint64_t conn_ops_left = 0;
+    bool stopped_ = false;
+    unsigned outstanding_ = 0;
+    stats::Histogram latency;
+    sim::Tick epoch = 0;
+    sim::Simulation *sim_ = nullptr;
+    /** Mean interarrival in ticks, derived from cfg.rate. */
+    double mean_gap_ticks = 0;
+
+    /** One bounded-Pareto interarrival gap (ticks). */
+    sim::Tick nextGap();
+    void scheduleArrival(sim::Tick gap);
+    void arrival();
+    void issueOne();
+};
+
+} // namespace vrio::workloads
+
+#endif // VRIO_WORKLOADS_OPEN_LOOP_HPP

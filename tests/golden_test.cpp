@@ -69,6 +69,7 @@ const GoldenCase kCases[] = {
     {"tab01_tab02_rack_prices", "tab01_tab02_rack_prices", ""},
     {"tab03_interrupt_accounting", "tab03_interrupt_accounting", ""},
     {"tab04_tail_latency", "tab04_tail_latency", ""},
+    {"tab04_multitenant_qos", "tab04_multitenant_qos", ""},
 };
 
 bool

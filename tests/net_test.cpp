@@ -416,6 +416,47 @@ TEST(Switch, DeadPortFlushesReroutesAndRevives)
     EXPECT_EQ(h2.got.size(), h2_after + 1u);
 }
 
+TEST(Switch, HealMustUseThePortIndexCapturedAtKillTime)
+{
+    // Regression for a fault-injection hazard: downing a port flushes
+    // its learned MACs, so a heal written as
+    // setPortDown(*portOf(mac), false) resolves nothing after the
+    // kill and silently leaves the port dark forever.  The correct
+    // pattern captures the index when the kill fires and heals by
+    // index (see the RackSoak and replication port-kill schedules).
+    sim::Simulation sim;
+    Switch sw(sim, "sw");
+    SinkPort h1, h2;
+    Link l1(sim, "l1", {}), l2(sim, "l2", {});
+    l1.connect(h1, sw.newPort());
+    l2.connect(h2, sw.newPort());
+
+    MacAddress m1 = MacAddress::local(1);
+    MacAddress m2 = MacAddress::local(2);
+    l1.transmit(h1, frameTo(m2, m1));
+    l2.transmit(h2, frameTo(m1, m2));
+    sim.runToCompletion();
+    ASSERT_EQ(sw.portOf(m2), 1u);
+
+    // Kill time: the MAC still resolves — capture the index.
+    auto killed = sw.portOf(m2);
+    ASSERT_TRUE(killed.has_value());
+    sw.setPortDown(*killed, true);
+
+    // Heal time: resolving by MAC now finds nothing (the flush is
+    // the hazard), so a MAC-keyed heal would be a silent no-op.
+    EXPECT_FALSE(sw.portOf(m2).has_value());
+    EXPECT_TRUE(sw.portDown(*killed));
+
+    // Healing by the captured index works and traffic re-learns.
+    sw.setPortDown(*killed, false);
+    EXPECT_FALSE(sw.portDown(*killed));
+    l2.transmit(h2, frameTo(m1, m2));
+    sim.runToCompletion();
+    ASSERT_TRUE(sw.portOf(m2).has_value());
+    EXPECT_EQ(*sw.portOf(m2), *killed);
+}
+
 struct NicFixture : ::testing::Test
 {
     sim::Simulation sim;

@@ -369,6 +369,7 @@ struct RackOptions
     double resteer_ratio = 0.0;
     bool watchdog = true;
     bool coalesce = true;
+    bool failback = false;
     sim::Tick window = 2 * kMicrosecond;
     size_t coalesce_max = 8;
 };
@@ -395,6 +396,7 @@ makeRack(const RackOptions &o)
         mc.rack.shared_volume = true;
         mc.rack.resteer_ratio = o.resteer_ratio;
         mc.rack.resteer_dwell = 5 * kMillisecond;
+        mc.rack.failback = o.failback;
     };
     auto tb = std::make_unique<core::Testbed>(ModelKind::Vrio, o.vms,
                                               options);
@@ -621,6 +623,72 @@ TEST(RackPlacement, DeadIoHostIsJustAPlacementDecision)
     }
 }
 
+TEST(RackPlacement, FailbackReturnsRefugeesToTheRevivedHome)
+{
+    // A bounded outage: IOhost 0 dies, its clients fail over to
+    // IOhost 1, then IOhost 0 revives and resumes heartbeating.
+    // With rack.failback the refugees re-steer back to their boot
+    // home (dwell-gated) and the rack ends rebalanced; without it
+    // they squat on the survivor forever — run both and compare.
+    for (bool failback : {false, true}) {
+        RackOptions o;
+        o.failback = failback;
+        auto tb = makeRack(o);
+        auto &vm = vrioOf(*tb);
+
+        std::vector<std::unique_ptr<workloads::FilebenchRandom>> wls;
+        for (unsigned v = 0; v < o.vms; ++v) {
+            workloads::FilebenchRandom::Config cfg;
+            cfg.readers = 1;
+            cfg.writers = 1;
+            wls.push_back(std::make_unique<workloads::FilebenchRandom>(
+                tb->guest(v), tb->simulation().random().split(), cfg));
+            wls.back()->start();
+        }
+        tb->runFor(5 * kMillisecond);
+
+        fault::FaultPlan plan;
+        plan.killIoHost(tb->simulation().now() + 2 * kMillisecond,
+                        15 * kMillisecond, /*iohost=*/0);
+        fault::FaultInjector inj(tb->simulation(), "fault", plan);
+        inj.attach(vm);
+        inj.arm();
+
+        // Long enough for the lapse, the revive, fresh heartbeats
+        // and the 5 ms re-steer dwell.
+        tb->runFor(60 * kMillisecond);
+
+        for (unsigned v = 0; v < o.vms; ++v) {
+            if (v % 2 == 0) {
+                // Boot-homed on the dead IOhost: failed over either
+                // way; only fail-back brings it home again.
+                EXPECT_EQ(vm.clientFailovers(v), 1u)
+                    << "failback " << failback << " vm " << v;
+                EXPECT_EQ(vm.clientHomeIoHost(v), failback ? 0u : 1u)
+                    << "failback " << failback << " vm " << v;
+                EXPECT_EQ(vm.clientFailbacks(v), failback ? 1u : 0u)
+                    << "failback " << failback << " vm " << v;
+            } else {
+                EXPECT_EQ(vm.clientHomeIoHost(v), 1u)
+                    << "failback " << failback << " vm " << v;
+                EXPECT_EQ(vm.clientFailbacks(v), 0u)
+                    << "failback " << failback << " vm " << v;
+            }
+        }
+
+        // Whatever the placement, the loops still drain dry.
+        for (auto &wl : wls)
+            wl->stop();
+        tb->runFor(150 * kMillisecond);
+        for (unsigned v = 0; v < o.vms; ++v) {
+            EXPECT_EQ(wls[v]->outstandingOps(), 0u)
+                << "failback " << failback << " vm " << v;
+            EXPECT_EQ(vm.clientPendingBlocks(v), 0u)
+                << "failback " << failback << " vm " << v;
+        }
+    }
+}
+
 TEST(RackPlacement, LoadImbalanceTriggersVoluntaryResteer)
 {
     // Wedge every worker of IOhost 0: its heartbeats keep flowing but
@@ -764,13 +832,20 @@ TEST_P(RackSoak, FaultSoupDrainsDry)
         net::MacAddress victim = vm.rackIoHostMac(dark);
         net::Switch &sw = tb->rack().rackSwitch();
         sim::ShardScope scope(sim, 0); // the switch is rack fabric
-        sim.events().scheduleAt(t0 + 35 * kMillisecond, [&sw, victim]() {
-            if (auto port = sw.portOf(victim))
-                sw.setPortDown(*port, true);
-        });
-        sim.events().scheduleAt(t0 + 41 * kMillisecond, [&sw, victim]() {
-            if (auto port = sw.portOf(victim))
-                sw.setPortDown(*port, false);
+        // Downing a port flushes its learned MACs, so a heal that
+        // re-resolves portOf(victim) finds nothing and leaves the
+        // port dark forever.  Resolve at kill time, heal by index.
+        auto killed = std::make_shared<std::optional<size_t>>();
+        sim.events().scheduleAt(t0 + 35 * kMillisecond,
+                                [&sw, victim, killed]() {
+                                    if (auto port = sw.portOf(victim)) {
+                                        sw.setPortDown(*port, true);
+                                        *killed = *port;
+                                    }
+                                });
+        sim.events().scheduleAt(t0 + 41 * kMillisecond, [&sw, killed]() {
+            if (*killed)
+                sw.setPortDown(**killed, false);
         });
     }
 

@@ -50,7 +50,7 @@ run cmake -B build-ci-tsan -S . \
     -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-sanitize-recover=all"
 run cmake --build build-ci-tsan -j "$JOBS" --target \
     sim_test net_test telemetry_test core_test shard_equivalence_test \
-    nvme_test rack_test replication_test
+    nvme_test rack_test replication_test qos_test
 run env VRIO_SIM_THREADS=4 ./build-ci-tsan/tests/sim_test
 run env VRIO_SIM_THREADS=4 ./build-ci-tsan/tests/net_test
 run env VRIO_SIM_THREADS=4 ./build-ci-tsan/tests/telemetry_test
@@ -61,6 +61,10 @@ run env VRIO_SIM_THREADS=4 ./build-ci-tsan/tests/nvme_test
 # as do the replication handoff/soak suites.
 run env VRIO_SIM_THREADS=4 ./build-ci-tsan/tests/rack_test
 run env VRIO_SIM_THREADS=4 ./build-ci-tsan/tests/replication_test
+# The QoS end-to-end rack test drives the fan-out scheduler under a
+# sharded loop; its decisions must stay f(seed, shards) with races
+# surfaced by TSan, not hidden by the single-queue default.
+run env VRIO_SIM_THREADS=4 ./build-ci-tsan/tests/qos_test
 
 echo "== Release =="
 run cmake -B build-ci-release -S . -DCMAKE_BUILD_TYPE=Release
@@ -73,6 +77,7 @@ run ctest --test-dir build-ci-release --output-on-failure -j "$JOBS" -L nvme
 run ctest --test-dir build-ci-release --output-on-failure -j "$JOBS" -L telemetry
 run ctest --test-dir build-ci-release --output-on-failure -j "$JOBS" -L property
 run ctest --test-dir build-ci-release --output-on-failure -j "$JOBS" -L rack
+run ctest --test-dir build-ci-release --output-on-failure -j "$JOBS" -L qos
 run ctest --test-dir build-ci-release --output-on-failure -j "$JOBS" -L golden
 
 echo "== Telemetry exporters (Release) =="
@@ -98,5 +103,17 @@ echo "== Recovery timeline (Release, full-size) =="
 # The recovery section alone at full measurement size: detection and
 # recovery latencies must stay finite with zero stranded requests.
 run env VRIO_RESILIENCE_RECOVERY=1 ./build-ci-release/bench/abl_resilience
+
+echo "== Multi-tenant QoS smoke (Release) =="
+# The noisy-neighbor matrix in smoke mode: its acceptance lines
+# (victim p99 >= 2x better with QoS on, aggregate within 10%) print
+# yes/NO, and the golden lane above already byte-compares the output.
+run env VRIO_BENCH_SMOKE=1 ./build-ci-release/bench/tab04_multitenant_qos
+
+echo "== Fail-back cell (Release, smoke) =="
+# The gated fourth fig19 cell: refugees must return to the revived
+# home and the rack must end rebalanced.
+run env VRIO_BENCH_SMOKE=1 VRIO_FIG19_FAILBACK=1 \
+    ./build-ci-release/bench/fig19_warm_failover > /dev/null
 
 echo "CI OK"

@@ -23,6 +23,7 @@
 #include "stats/registry.hpp"
 #include "workloads/filebench.hpp"
 #include "workloads/netperf.hpp"
+#include "workloads/open_loop.hpp"
 
 namespace vrio {
 namespace {
@@ -101,9 +102,11 @@ struct Topology
     unsigned vms;
     uint64_t seed;
     bool via_switch;
-    /** 0 = legacy single-IOhost wiring; >= 2 = rack layer under test. */
+    /** 0 = legacy single-IOhost wiring; >= 1 = rack layer under test. */
     unsigned iohosts = 0;
     bool coalesce = false;
+    /** Multi-tenant QoS at the fan-out (exclusive with coalesce). */
+    bool qos = false;
 };
 
 /**
@@ -136,6 +139,16 @@ runTopology(const Topology &t, unsigned threads)
             mc.rack.resteer_ratio = 1.5;
             mc.rack.resteer_dwell = 5 * kMillisecond;
         }
+        if (t.qos) {
+            // Tight admission bounds so the scheduler's defer/shed
+            // ladder — not just the fair lane — is exercised and must
+            // therefore be thread-count-invariant too.
+            mc.rack.qos.enabled = true;
+            mc.rack.qos.high_water = 16;
+            mc.rack.qos.tenant_floor = 4;
+            mc.rack.qos.weights = {1.0, 2.0};
+            mc.rack.qos.slos = {0, 200 * sim::kMicrosecond};
+        }
     };
     core::Testbed tb(ModelKind::Vrio, t.vms, options);
     tb.settle();
@@ -165,6 +178,19 @@ runTopology(const Topology &t, unsigned threads)
         }
     }
 
+    // QoS topologies add an open-loop firehose on VM 0 so admission
+    // control actually fires — the defer/shed decisions (and the
+    // client retransmits sheds trigger) join the fingerprint.
+    std::unique_ptr<workloads::OpenLoopBlock> noisy;
+    if (t.qos) {
+        workloads::OpenLoopBlock::Config cfg;
+        cfg.rate = 150000;
+        cfg.write_fraction = 1.0;
+        noisy = std::make_unique<workloads::OpenLoopBlock>(
+            tb.guest(0), tb.simulation().random().split(), cfg);
+        noisy->start();
+    }
+
     tb.runFor(20 * kMillisecond);
 
     RunResult r;
@@ -177,6 +203,8 @@ runTopology(const Topology &t, unsigned threads)
     r.stream_chunks = stream.chunksSent();
     for (auto &fb : fbs)
         r.fb_ops += fb->opsCompleted();
+    if (noisy)
+        r.fb_ops += noisy->opsCompleted();
     return r;
 }
 
@@ -219,7 +247,11 @@ INSTANTIATE_TEST_SUITE_P(
         Topology{"rack_3h_3io", 3, 6, 4242, true, 3, true},
         // 6 VMs over 4 IOhosts: uneven groups (the generator caps at
         // 7 sessions, so this is also the widest RR fan-in that fits).
-        Topology{"rack_2h_4io_nocoalesce", 2, 6, 99, true, 4, false}),
+        Topology{"rack_2h_4io_nocoalesce", 2, 6, 99, true, 4, false},
+        // Multi-tenant QoS: weighted-fair pops, deadline promotions
+        // and admission defer/shed under a noisy neighbor must all be
+        // f(seed, shards), never threads.
+        Topology{"rack_2h_2io_qos", 2, 4, 57, true, 2, false, true}),
     [](const auto &info) { return std::string(info.param.name); });
 
 } // namespace

@@ -57,6 +57,58 @@ TEST(Histogram, DeepTailPercentiles)
     EXPECT_DOUBLE_EQ(h.percentile(100), 1000.0);
 }
 
+TEST(Histogram, InterpolatedPercentileEdgeCases)
+{
+    // Empty: mirrors percentile()'s zero convention.
+    Histogram empty;
+    EXPECT_DOUBLE_EQ(empty.percentileInterpolated(50), 0.0);
+
+    // A single sample is every percentile of itself.
+    Histogram one;
+    one.add(7.0);
+    EXPECT_DOUBLE_EQ(one.percentileInterpolated(0), 7.0);
+    EXPECT_DOUBLE_EQ(one.percentileInterpolated(50), 7.0);
+    EXPECT_DOUBLE_EQ(one.percentileInterpolated(100), 7.0);
+
+    // Two samples: the whole [0,100] range interpolates linearly
+    // between them — the exclusive convention's defining case.
+    Histogram two;
+    two.add(10.0);
+    two.add(20.0);
+    EXPECT_DOUBLE_EQ(two.percentileInterpolated(0), 10.0);
+    EXPECT_DOUBLE_EQ(two.percentileInterpolated(25), 12.5);
+    EXPECT_DOUBLE_EQ(two.percentileInterpolated(50), 15.0);
+    EXPECT_DOUBLE_EQ(two.percentileInterpolated(75), 17.5);
+    EXPECT_DOUBLE_EQ(two.percentileInterpolated(100), 20.0);
+}
+
+TEST(Histogram, InterpolatedPercentileMatchesNumpyConvention)
+{
+    // rank = p/100 * (n-1) over sorted samples {1..100}:
+    // p50 -> rank 49.5 -> midway between 50 and 51.
+    Histogram h;
+    for (int i = 1; i <= 100; ++i)
+        h.add(double(i));
+    EXPECT_DOUBLE_EQ(h.percentileInterpolated(0), 1.0);
+    EXPECT_DOUBLE_EQ(h.percentileInterpolated(50), 50.5);
+    EXPECT_DOUBLE_EQ(h.percentileInterpolated(100), 100.0);
+    EXPECT_NEAR(h.percentileInterpolated(99), 99.01, 1e-9);
+
+    // Within a tail bucket the interpolated value moves smoothly
+    // where nearest-rank steps a whole sample at a time, and the
+    // estimate is monotone in p.
+    double prev = 0;
+    for (double p = 0; p <= 100.0; p += 0.37) {
+        double v = h.percentileInterpolated(p);
+        EXPECT_GE(v, prev) << "p " << p;
+        prev = v;
+    }
+    // Interpolation never leaves the winning bucket: it is bounded
+    // by the nearest-rank neighbors on either side.
+    EXPECT_GE(h.percentileInterpolated(99.9), h.percentile(99.9) - 1.0);
+    EXPECT_LE(h.percentileInterpolated(99.9), h.percentile(100));
+}
+
 TEST(Histogram, AddAfterPercentileKeepsSorting)
 {
     Histogram h;
